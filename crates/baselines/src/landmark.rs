@@ -1,0 +1,261 @@
+//! Landmark Explanation (Baraldi et al.): explain each record of the pair
+//! separately while holding the *other* record fixed as a landmark, then
+//! recombine the two half-explanations. For predicted non-matches the
+//! perturbed side is augmented by *injecting* the landmark's tokens, so
+//! drop-perturbations can also express "adding overlap raises the score" —
+//! the double-entity generation trick of the original system.
+
+use crew_core::{
+    fit_word_surrogate, words_of, Explainer, PerturbationSet, SurrogateOptions, WordExplanation,
+};
+use em_data::{EntityPair, Side, TokenizedPair};
+use em_matchers::Matcher;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Landmark configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LandmarkOptions {
+    /// Perturbation samples *per side*.
+    pub samples_per_side: usize,
+    pub kernel_width: f64,
+    pub lambda: f64,
+    pub seed: u64,
+    /// Augment perturbations with landmark-token injection when the model
+    /// predicts non-match.
+    pub injection: bool,
+}
+
+impl Default for LandmarkOptions {
+    fn default() -> Self {
+        LandmarkOptions {
+            samples_per_side: 128,
+            kernel_width: 0.75,
+            lambda: 1e-3,
+            seed: 0x1a17d,
+            injection: true,
+        }
+    }
+}
+
+/// The Landmark explainer.
+pub struct Landmark {
+    options: LandmarkOptions,
+}
+
+impl Landmark {
+    pub fn new(options: LandmarkOptions) -> Self {
+        Landmark { options }
+    }
+
+    /// Explain one side with the other as landmark. Returns weights for the
+    /// side's word indices (parallel to `side_indices`).
+    fn explain_side(
+        &self,
+        matcher: &dyn Matcher,
+        tokenized: &TokenizedPair,
+        side: Side,
+        inject: bool,
+    ) -> Result<(Vec<usize>, Vec<f64>, f64, f64), crew_core::ExplainError> {
+        let side_indices = tokenized.side_indices(side);
+        if side_indices.is_empty() {
+            return Ok((side_indices, Vec::new(), 0.0, 1.0));
+        }
+        let n_total = tokenized.len();
+        let m = side_indices.len();
+        let mut rng = StdRng::seed_from_u64(self.options.seed ^ (side as u64 + 1));
+
+        // Landmark tokens to inject: the other record's words, targeted at
+        // this side's aligned attributes.
+        let landmark_words: Vec<(usize, String)> = tokenized
+            .words()
+            .iter()
+            .filter(|w| w.side != side)
+            .map(|w| (w.attribute, w.text.clone()))
+            .collect();
+
+        // Sample masks over this side only.
+        let mut masks: Vec<Vec<bool>> = vec![vec![true; n_total]];
+        let mut inject_flags: Vec<bool> = vec![false];
+        for s in 0..self.options.samples_per_side {
+            let mut mask = vec![true; n_total];
+            let n_drop = rng.gen_range(1..=m.max(2) - 1).max(1);
+            let mut order = side_indices.clone();
+            for i in 0..n_drop.min(m - 1) {
+                let j = rng.gen_range(i..m);
+                order.swap(i, j);
+            }
+            for &i in order.iter().take(n_drop) {
+                mask[i] = false;
+            }
+            masks.push(mask);
+            // Half the samples get landmark injection when enabled.
+            inject_flags.push(inject && s % 2 == 1);
+        }
+
+        let responses: Vec<f64> = masks
+            .iter()
+            .zip(&inject_flags)
+            .map(|(mask, &inj)| {
+                let pair = if inj {
+                    let injections: Vec<(Side, usize, String)> = landmark_words
+                        .iter()
+                        .map(|(attr, text)| (side, *attr, text.clone()))
+                        .collect();
+                    tokenized.apply_mask_with_injections(mask, &injections)
+                } else {
+                    tokenized.apply_mask(mask)
+                };
+                matcher.predict_proba(&pair)
+            })
+            .collect();
+
+        // Restrict the design to this side's words.
+        let sub_masks: Vec<Vec<bool>> =
+            masks.iter().map(|mask| side_indices.iter().map(|&i| mask[i]).collect()).collect();
+        let kept_fraction: Vec<f64> = sub_masks
+            .iter()
+            .map(|sm| sm.iter().filter(|&&b| b).count() as f64 / m as f64)
+            .collect();
+        let set = PerturbationSet { masks: sub_masks, responses, kept_fraction };
+        let fit = fit_word_surrogate(
+            &set,
+            &SurrogateOptions {
+                kernel_width: self.options.kernel_width,
+                lambda: self.options.lambda,
+            },
+        )?;
+        Ok((side_indices, fit.weights, set.responses[0], fit.r_squared))
+    }
+}
+
+impl Default for Landmark {
+    fn default() -> Self {
+        Landmark::new(LandmarkOptions::default())
+    }
+}
+
+impl Explainer for Landmark {
+    fn name(&self) -> &str {
+        "landmark"
+    }
+
+    fn explain(
+        &self,
+        matcher: &dyn Matcher,
+        pair: &EntityPair,
+    ) -> Result<WordExplanation, crew_core::ExplainError> {
+        let tokenized = TokenizedPair::new(pair.clone());
+        if tokenized.is_empty() {
+            return Err(crew_core::ExplainError::EmptyPair);
+        }
+        let base = matcher.predict_proba(pair);
+        let inject = self.options.injection && base < matcher.threshold();
+
+        let (li, lw, _, lr2) = self.explain_side(matcher, &tokenized, Side::Left, inject)?;
+        let (ri, rw, _, rr2) = self.explain_side(matcher, &tokenized, Side::Right, inject)?;
+
+        let mut weights = vec![0.0; tokenized.len()];
+        for (&i, &w) in li.iter().zip(&lw) {
+            weights[i] = w;
+        }
+        for (&i, &w) in ri.iter().zip(&rw) {
+            weights[i] = w;
+        }
+        Ok(WordExplanation {
+            explainer: "landmark".to_string(),
+            words: words_of(&tokenized),
+            weights,
+            base_score: base,
+            intercept: 0.0,
+            surrogate_r2: 0.5 * (lr2 + rr2),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{magic_matcher, magic_pair};
+    use em_data::{Record, Schema};
+    use std::sync::Arc;
+
+    #[test]
+    fn landmark_finds_planted_evidence_on_both_sides() {
+        let lm = Landmark::new(LandmarkOptions { samples_per_side: 300, ..Default::default() });
+        let expl = lm.explain(&magic_matcher(), &magic_pair()).unwrap();
+        // magic tokens at 0 (left) and 3 (right) must dominate their sides.
+        assert!(expl.weights[0] > expl.weights[1].abs());
+        assert!(expl.weights[0] > expl.weights[2].abs());
+        assert!(expl.weights[3] > expl.weights[4].abs());
+        assert!(expl.weights[3] > expl.weights[5].abs());
+    }
+
+    #[test]
+    fn injection_helps_non_match_pairs() {
+        // Right record lacks "magic": without injection, dropping left
+        // tokens never changes the 0.1 score and the explanation is flat.
+        let schema = Arc::new(Schema::new(vec!["t"]));
+        let pair = em_data::EntityPair::new(
+            schema,
+            Record::new(0, vec!["magic alpha beta".into()]),
+            Record::new(1, vec!["gamma delta".into()]),
+        )
+        .unwrap();
+        let with = Landmark::new(LandmarkOptions {
+            samples_per_side: 300,
+            injection: true,
+            ..Default::default()
+        })
+        .explain(&magic_matcher(), &pair)
+        .unwrap();
+        let without = Landmark::new(LandmarkOptions {
+            samples_per_side: 300,
+            injection: false,
+            ..Default::default()
+        })
+        .explain(&magic_matcher(), &pair)
+        .unwrap();
+        let mass = |e: &WordExplanation| e.weights.iter().map(|w| w.abs()).sum::<f64>();
+        assert!(
+            mass(&with) > mass(&without),
+            "injection should produce informative weights: {} vs {}",
+            mass(&with),
+            mass(&without)
+        );
+    }
+
+    #[test]
+    fn one_sided_pair_is_handled() {
+        let schema = Arc::new(Schema::new(vec!["t"]));
+        let pair = em_data::EntityPair::new(
+            schema,
+            Record::new(0, vec!["magic words here".into()]),
+            Record::new(1, vec!["".into()]),
+        )
+        .unwrap();
+        let lm = Landmark::default();
+        let expl = lm.explain(&magic_matcher(), &pair).unwrap();
+        assert_eq!(expl.weights.len(), 3);
+    }
+
+    #[test]
+    fn landmark_is_deterministic() {
+        let lm = Landmark::default();
+        let a = lm.explain(&magic_matcher(), &magic_pair()).unwrap();
+        let b = lm.explain(&magic_matcher(), &magic_pair()).unwrap();
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn empty_pair_is_error() {
+        let schema = Arc::new(Schema::new(vec!["t"]));
+        let pair = em_data::EntityPair::new(
+            schema,
+            Record::new(0, vec!["".into()]),
+            Record::new(1, vec!["".into()]),
+        )
+        .unwrap();
+        assert!(Landmark::default().explain(&magic_matcher(), &pair).is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! Mojito (Di Cicco et al.): LIME adapted to EM with two EM-aware
+//! perturbation modes.
+//!
+//! - **DROP** explains predicted matches: delete tokens and watch the score
+//!   fall (same mechanics as LIME but attribute-aware sampling);
+//! - **COPY** explains predicted non-matches: copy a token from one record
+//!   into the aligned attribute of the other and watch the score rise —
+//!   each token's feature is "was it copied", so attributions answer *"what
+//!   would make these match?"*.
+//!
+//! `MojitoMode::Auto` picks DROP/COPY from the model's own prediction, as
+//! the original tool does.
+
+use crew_core::{
+    estimate_word_importance, words_of, Explainer, MaskStrategy, PerturbOptions,
+    PerturbationSet, SurrogateOptions, WordExplanation,
+};
+use em_data::{EntityPair, Side, TokenizedPair};
+use em_matchers::Matcher;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which perturbation mode to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MojitoMode {
+    Drop,
+    Copy,
+    /// DROP when the model predicts match, COPY otherwise.
+    Auto,
+}
+
+/// Mojito configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MojitoOptions {
+    pub mode: MojitoMode,
+    pub samples: usize,
+    pub kernel_width: f64,
+    pub lambda: f64,
+    pub seed: u64,
+    pub threads: usize,
+}
+
+impl Default for MojitoOptions {
+    fn default() -> Self {
+        MojitoOptions {
+            mode: MojitoMode::Auto,
+            samples: 256,
+            kernel_width: 0.75,
+            lambda: 1e-3,
+            seed: 0x0b0,
+            threads: 1,
+        }
+    }
+}
+
+/// The Mojito explainer.
+pub struct Mojito {
+    options: MojitoOptions,
+}
+
+impl Mojito {
+    pub fn new(options: MojitoOptions) -> Self {
+        Mojito { options }
+    }
+
+    fn explain_drop(
+        &self,
+        matcher: &dyn Matcher,
+        tokenized: &TokenizedPair,
+    ) -> Result<WordExplanation, crew_core::ExplainError> {
+        let mut expl = estimate_word_importance(
+            tokenized,
+            matcher,
+            &PerturbOptions {
+                samples: self.options.samples,
+                strategy: MaskStrategy::AttributeStratified,
+                seed: self.options.seed,
+                threads: self.options.threads,
+            },
+            &SurrogateOptions {
+                kernel_width: self.options.kernel_width,
+                lambda: self.options.lambda,
+            },
+            "mojito-drop",
+        )?;
+        expl.explainer = "mojito".to_string();
+        Ok(expl)
+    }
+
+    fn explain_copy(
+        &self,
+        matcher: &dyn Matcher,
+        tokenized: &TokenizedPair,
+    ) -> Result<WordExplanation, crew_core::ExplainError> {
+        let n = tokenized.len();
+        if n == 0 {
+            return Err(crew_core::ExplainError::EmptyPair);
+        }
+        if self.options.samples == 0 {
+            return Err(crew_core::ExplainError::NoSamples);
+        }
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        let full_mask = vec![true; n];
+        // Feature i = "token i was copied to the other record's aligned
+        // attribute". Sample binary copy vectors; row 0 = no copies.
+        let mut copy_vectors: Vec<Vec<bool>> = vec![vec![false; n]];
+        for _ in 0..self.options.samples {
+            let mut v: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.3)).collect();
+            if v.iter().all(|&b| !b) {
+                v[rng.gen_range(0..n)] = true;
+            }
+            copy_vectors.push(v);
+        }
+        let words = tokenized.words();
+        let responses: Vec<f64> = copy_vectors
+            .iter()
+            .map(|v| {
+                let injections: Vec<(Side, usize, String)> = v
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c)
+                    .map(|(i, _)| {
+                        let w = &words[i];
+                        (w.side.other(), w.attribute, w.text.clone())
+                    })
+                    .collect();
+                let pair = tokenized.apply_mask_with_injections(&full_mask, &injections);
+                matcher.predict_proba(&pair)
+            })
+            .collect();
+        // Proximity: samples with fewer copies are closer to the original.
+        let kept_fraction: Vec<f64> = copy_vectors
+            .iter()
+            .map(|v| 1.0 - v.iter().filter(|&&b| b).count() as f64 / n as f64)
+            .collect();
+        let set = PerturbationSet {
+            masks: copy_vectors.iter().map(|v| v.iter().map(|&b| !b).collect()).collect(),
+            responses,
+            kept_fraction,
+        };
+        // Fit on the copy indicators: rebuild design from the original copy
+        // vectors (mask = NOT copied, so invert back).
+        let fit = crew_core::fit_word_surrogate(
+            &PerturbationSet {
+                masks: set.masks.iter().map(|m| m.iter().map(|&b| !b).collect()).collect(),
+                responses: set.responses.clone(),
+                kept_fraction: set.kept_fraction.clone(),
+            },
+            &SurrogateOptions {
+                kernel_width: self.options.kernel_width,
+                lambda: self.options.lambda,
+            },
+        )?;
+        Ok(WordExplanation {
+            explainer: "mojito".to_string(),
+            words: words_of(tokenized),
+            weights: fit.weights,
+            base_score: set.responses[0],
+            intercept: fit.intercept,
+            surrogate_r2: fit.r_squared,
+        })
+    }
+}
+
+impl Default for Mojito {
+    fn default() -> Self {
+        Mojito::new(MojitoOptions::default())
+    }
+}
+
+impl Explainer for Mojito {
+    fn name(&self) -> &str {
+        "mojito"
+    }
+
+    fn explain(
+        &self,
+        matcher: &dyn Matcher,
+        pair: &EntityPair,
+    ) -> Result<WordExplanation, crew_core::ExplainError> {
+        let tokenized = TokenizedPair::new(pair.clone());
+        let mode = match self.options.mode {
+            MojitoMode::Auto => {
+                if matcher.predict_proba(pair) >= matcher.threshold() {
+                    MojitoMode::Drop
+                } else {
+                    MojitoMode::Copy
+                }
+            }
+            m => m,
+        };
+        match mode {
+            MojitoMode::Drop => self.explain_drop(matcher, &tokenized),
+            MojitoMode::Copy => self.explain_copy(matcher, &tokenized),
+            MojitoMode::Auto => unreachable!("resolved above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{magic_matcher, magic_pair};
+    use em_data::{Record, Schema};
+    use std::sync::Arc;
+
+    #[test]
+    fn drop_mode_finds_planted_evidence() {
+        let mojito = Mojito::new(MojitoOptions {
+            mode: MojitoMode::Drop,
+            samples: 400,
+            ..Default::default()
+        });
+        let expl = mojito.explain(&magic_matcher(), &magic_pair()).unwrap();
+        let ranked = expl.ranked_indices();
+        assert!(ranked[..2].contains(&0) && ranked[..2].contains(&3), "{ranked:?}");
+    }
+
+    #[test]
+    fn copy_mode_surfaces_what_would_make_a_match() {
+        // Non-matching pair: only the left has "magic". Copying it to the
+        // right flips the MagicMatcher to 0.9 — so the left "magic" token
+        // should get the highest copy attribution.
+        let schema = Arc::new(Schema::new(vec!["t"]));
+        let pair = em_data::EntityPair::new(
+            schema,
+            Record::new(0, vec!["magic alpha".into()]),
+            Record::new(1, vec!["beta gamma".into()]),
+        )
+        .unwrap();
+        let mojito = Mojito::new(MojitoOptions {
+            mode: MojitoMode::Copy,
+            samples: 300,
+            ..Default::default()
+        });
+        let expl = mojito.explain(&magic_matcher(), &pair).unwrap();
+        assert_eq!(expl.words[0].text, "magic");
+        let ranked = expl.ranked_indices();
+        assert_eq!(ranked[0], 0, "copying 'magic' should rank first: {:?}", expl.weights);
+        assert!(expl.weights[0] > 0.0);
+        assert!(expl.base_score < 0.5);
+    }
+
+    #[test]
+    fn auto_mode_picks_by_prediction() {
+        // Match pair → drop branch; base score is the matched probability.
+        let mojito = Mojito::default();
+        let expl = mojito.explain(&magic_matcher(), &magic_pair()).unwrap();
+        assert_eq!(expl.base_score, 0.9);
+
+        // Non-match pair → copy branch; base stays at the unperturbed 0.1.
+        let schema = Arc::new(Schema::new(vec!["t"]));
+        let pair = em_data::EntityPair::new(
+            schema,
+            Record::new(0, vec!["magic only left".into()]),
+            Record::new(1, vec!["nothing here".into()]),
+        )
+        .unwrap();
+        let expl2 = mojito.explain(&magic_matcher(), &pair).unwrap();
+        assert!((expl2.base_score - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn copy_mode_is_deterministic() {
+        let schema = Arc::new(Schema::new(vec!["t"]));
+        let pair = em_data::EntityPair::new(
+            schema,
+            Record::new(0, vec!["magic a".into()]),
+            Record::new(1, vec!["b".into()]),
+        )
+        .unwrap();
+        let mojito =
+            Mojito::new(MojitoOptions { mode: MojitoMode::Copy, ..Default::default() });
+        let a = mojito.explain(&magic_matcher(), &pair).unwrap();
+        let b = mojito.explain(&magic_matcher(), &pair).unwrap();
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn zero_samples_rejected_in_copy_mode() {
+        let mojito = Mojito::new(MojitoOptions {
+            mode: MojitoMode::Copy,
+            samples: 0,
+            ..Default::default()
+        });
+        assert!(mojito.explain(&magic_matcher(), &magic_pair()).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Microbenchmarks of the clustering substrate: agglomerative dendrogram
+//! construction and k-medoids at word-count scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_cluster::{agglomerative, kmedoids, Constraints, Linkage};
+use em_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_metric(n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> =
+        (0..n).map(|_| (rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0))).collect();
+    Matrix::from_fn(n, n, |i, j| {
+        let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+        (dx * dx + dy * dy).sqrt()
+    })
+}
+
+fn bench_agglomerative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agglomerative");
+    for n in [20usize, 60, 120] {
+        let d = random_metric(n, 3);
+        for linkage in [("average", Linkage::Average), ("ward", Linkage::Ward)] {
+            group.bench_with_input(BenchmarkId::new(linkage.0, n), &d, |b, d| {
+                b.iter(|| agglomerative(d, linkage.1, &Constraints::none()).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_constrained(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agglomerative_constrained");
+    for n in [20usize, 60] {
+        let d = random_metric(n, 4);
+        let constraints = Constraints {
+            must_link: vec![(0, 1), (2, 3)],
+            cannot_link: vec![(0, n - 1), (1, n - 2)],
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
+            b.iter(|| agglomerative(d, Linkage::Average, &constraints).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmedoids(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmedoids");
+    for n in [20usize, 60] {
+        let d = random_metric(n, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
+            b.iter(|| kmedoids(d, 5, 1, 20).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_agglomerative, bench_constrained, bench_kmedoids);
+criterion_main!(benches);

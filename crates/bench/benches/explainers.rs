@@ -1,0 +1,93 @@
+//! End-to-end explainer latency: one explanation of a fixed product pair by
+//! each of the six systems (rule matcher as the model so the bench isolates
+//! explainer overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crew_core::{Crew, CrewOptions, Explainer, MaskStrategy, PerturbOptions};
+use em_baselines::{
+    Certa, CertaOptions, Landmark, LandmarkOptions, Lemon, LemonOptions, Lime, LimeOptions,
+    Mojito, MojitoOptions,
+};
+use em_data::Record;
+use em_embed::{EmbeddingOptions, WordEmbeddings};
+use em_matchers::RuleMatcher;
+use std::sync::Arc;
+
+const SAMPLES: usize = 128;
+
+fn embeddings_for(pair: &em_data::EntityPair) -> Arc<WordEmbeddings> {
+    let sentences: Vec<Vec<String>> = vec![
+        em_text::tokenize(&pair.left().full_text()),
+        em_text::tokenize(&pair.right().full_text()),
+    ];
+    Arc::new(
+        WordEmbeddings::train(
+            sentences.iter().map(|v| v.as_slice()),
+            EmbeddingOptions { dimensions: 32, ..Default::default() },
+        )
+        .unwrap(),
+    )
+}
+
+fn bench_explainers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explain_end_to_end");
+    group.sample_size(20);
+    let matcher = RuleMatcher::uniform(4, 0.5).unwrap();
+    for tokens in [30usize, 90] {
+        let pair = em_synth::scaling_pair(tokens, 2);
+        let emb = embeddings_for(&pair);
+        let support = vec![
+            Record::new(900, pair.left().values().to_vec()),
+            Record::new(901, pair.right().values().to_vec()),
+        ];
+        let explainers: Vec<(&str, Box<dyn Explainer>)> = vec![
+            (
+                "crew",
+                Box::new(Crew::new(
+                    Arc::clone(&emb),
+                    CrewOptions {
+                        perturb: PerturbOptions {
+                            samples: SAMPLES,
+                            strategy: MaskStrategy::AttributeStratified,
+                            seed: 1,
+                            threads: 1,
+                        },
+                        ..Default::default()
+                    },
+                )),
+            ),
+            ("lime", Box::new(Lime::new(LimeOptions { samples: SAMPLES, ..Default::default() }))),
+            (
+                "mojito",
+                Box::new(Mojito::new(MojitoOptions { samples: SAMPLES, ..Default::default() })),
+            ),
+            (
+                "landmark",
+                Box::new(Landmark::new(LandmarkOptions {
+                    samples_per_side: SAMPLES / 2,
+                    ..Default::default()
+                })),
+            ),
+            (
+                "lemon",
+                Box::new(Lemon::new(LemonOptions {
+                    samples_per_side: SAMPLES / 2,
+                    ..Default::default()
+                })),
+            ),
+            (
+                "certa",
+                Box::new(Certa::new(support.clone(), CertaOptions::default()).unwrap()),
+            ),
+        ];
+        for (name, explainer) in &explainers {
+            group.bench_with_input(BenchmarkId::new(*name, tokens), &pair, |b, pair| {
+                b.iter(|| explainer.explain(&matcher, pair).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explainers);
+criterion_main!(benches);

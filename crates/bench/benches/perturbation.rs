@@ -1,0 +1,58 @@
+//! Microbenchmarks of the perturbation engine: mask sampling and
+//! mask-apply/model-query throughput at several pair lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crew_core::{sample_masks, MaskStrategy, PerturbOptions};
+use em_data::TokenizedPair;
+use em_matchers::{Matcher, RuleMatcher};
+
+fn bench_mask_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mask_sampling");
+    for tokens in [20usize, 80, 160] {
+        let pair = em_synth::scaling_pair(tokens, 1);
+        let tp = TokenizedPair::new(pair);
+        for strategy in [
+            ("uniform", MaskStrategy::UniformCount),
+            ("stratified", MaskStrategy::AttributeStratified),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.0, tokens),
+                &tp,
+                |b, tp| {
+                    let opts = PerturbOptions {
+                        samples: 256,
+                        strategy: strategy.1,
+                        seed: 7,
+                        threads: 1,
+                    };
+                    b.iter(|| sample_masks(tp, &opts).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_mask_apply_and_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mask_query");
+    let matcher = RuleMatcher::uniform(4, 0.5).unwrap();
+    for tokens in [20usize, 80, 160] {
+        let pair = em_synth::scaling_pair(tokens, 1);
+        let tp = TokenizedPair::new(pair);
+        let opts = PerturbOptions { samples: 256, seed: 7, threads: 1, ..Default::default() };
+        let masks = sample_masks(&tp, &opts).unwrap();
+        group.bench_with_input(BenchmarkId::new("rules_256", tokens), &tp, |b, tp| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for m in &masks {
+                    acc += matcher.predict_proba(&tp.apply_mask(m));
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mask_sampling, bench_mask_apply_and_query);
+criterion_main!(benches);

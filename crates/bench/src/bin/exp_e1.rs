@@ -1,0 +1,4 @@
+//! Regenerates extension experiment E1 (see DESIGN.md).
+fn main() {
+    em_bench::run("exp_e1", em_eval::exp_e1);
+}

@@ -1,0 +1,4 @@
+//! Regenerates extension experiment E2 (see DESIGN.md).
+fn main() {
+    em_bench::run("exp_e2", em_eval::exp_e2);
+}

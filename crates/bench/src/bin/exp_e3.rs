@@ -1,0 +1,4 @@
+//! Regenerates extension experiment E3 (see DESIGN.md).
+fn main() {
+    em_bench::run("exp_e3", em_eval::exp_e3);
+}

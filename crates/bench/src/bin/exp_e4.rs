@@ -1,0 +1,4 @@
+//! Regenerates extension experiment E4 (see DESIGN.md).
+fn main() {
+    em_bench::run("exp_e4", em_eval::exp_e4);
+}

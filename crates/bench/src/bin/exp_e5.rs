@@ -1,0 +1,4 @@
+//! Regenerates extension experiment E5 (see DESIGN.md).
+fn main() {
+    em_bench::run("exp_e5", em_eval::exp_e5);
+}

@@ -1,0 +1,4 @@
+//! Regenerates extension experiment E6 (see DESIGN.md).
+fn main() {
+    em_bench::run("exp_e6", em_eval::exp_e6);
+}

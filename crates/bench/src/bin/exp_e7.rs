@@ -1,0 +1,4 @@
+//! Regenerates extension experiment E7 (see DESIGN.md).
+fn main() {
+    em_bench::run("exp_e7", em_eval::exp_e7);
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment F2 (see DESIGN.md for the experiment index).
+fn main() {
+    em_bench::run("exp_f2", em_eval::exp_f2);
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment F3 (see DESIGN.md for the experiment index).
+fn main() {
+    em_bench::run("exp_f3", em_eval::exp_f3);
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment F4 (see DESIGN.md for the experiment index).
+fn main() {
+    em_bench::run("exp_f4", em_eval::exp_f4);
+}

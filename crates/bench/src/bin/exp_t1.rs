@@ -1,0 +1,4 @@
+//! Regenerates experiment T1 (see DESIGN.md for the experiment index).
+fn main() {
+    em_bench::run("exp_t1", em_eval::exp_t1);
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment T3 (see DESIGN.md for the experiment index).
+fn main() {
+    em_bench::run("exp_t3", em_eval::exp_t3);
+}

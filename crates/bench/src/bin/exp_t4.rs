@@ -1,0 +1,4 @@
+//! Regenerates experiment T4 (see DESIGN.md for the experiment index).
+fn main() {
+    em_bench::run("exp_t4", em_eval::exp_t4);
+}

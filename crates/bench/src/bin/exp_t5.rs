@@ -1,0 +1,4 @@
+//! Regenerates experiment T5 (see DESIGN.md for the experiment index).
+fn main() {
+    em_bench::run("exp_t5", em_eval::exp_t5);
+}

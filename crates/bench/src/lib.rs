@@ -1,0 +1,93 @@
+//! # em-bench
+//!
+//! Experiment binaries (one per table/figure, `exp_t1` … `exp_f4`, plus
+//! `run_all`) and Criterion microbenchmarks for the CREW reproduction.
+//!
+//! Every binary accepts an optional scale argument:
+//!
+//! ```text
+//! cargo run --release -p em-bench --bin exp_t3            # full scale
+//! cargo run --release -p em-bench --bin exp_t3 -- smoke   # seconds-scale
+//! cargo run --release -p em-bench --bin exp_t3 -- quick   # reduced scale
+//! cargo run --release -p em-bench --bin exp_t3 -- extended # all 7 families
+//! ```
+//!
+//! Tables are printed as markdown on stdout and written as CSV under
+//! `results/` for plotting.
+
+use em_eval::{ExperimentConfig, Table};
+
+/// Parse the common CLI convention of the experiment binaries.
+pub fn config_from_args() -> ExperimentConfig {
+    match std::env::args().nth(1).as_deref() {
+        Some("smoke") => ExperimentConfig::smoke(),
+        Some("quick") => quick_config(),
+        Some("extended") => ExperimentConfig::extended(),
+        _ => ExperimentConfig::default(),
+    }
+}
+
+/// A mid-scale configuration: all five families but fewer explained pairs —
+/// minutes, not tens of minutes.
+pub fn quick_config() -> ExperimentConfig {
+    ExperimentConfig {
+        entities: 150,
+        pairs: 400,
+        explain_pairs: 8,
+        samples: 128,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Print the table and persist its CSV under `results/<id>.csv`.
+pub fn emit(table: &Table) {
+    println!("{}", table.to_markdown());
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{}.csv", table.id.to_lowercase()));
+        match std::fs::write(&path, table.to_csv()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Run an experiment function with standard error handling.
+pub fn run(
+    name: &str,
+    f: impl FnOnce(&ExperimentConfig) -> Result<Table, em_eval::EvalError>,
+) {
+    let config = config_from_args();
+    eprintln!(
+        "running {name} (families={}, pairs={}, explained={}, samples={})",
+        config.families.len(),
+        config.pairs,
+        config.explain_pairs,
+        config.samples
+    );
+    let start = std::time::Instant::now();
+    match f(&config) {
+        Ok(table) => {
+            emit(&table);
+            eprintln!("{name} finished in {:.1}s", start.elapsed().as_secs_f64());
+        }
+        Err(e) => {
+            eprintln!("{name} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_smaller_than_default() {
+        let q = quick_config();
+        let d = ExperimentConfig::default();
+        assert!(q.pairs < d.pairs);
+        assert!(q.explain_pairs < d.explain_pairs);
+        assert_eq!(q.families.len(), d.families.len());
+    }
+}

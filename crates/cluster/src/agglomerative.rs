@@ -1,0 +1,474 @@
+//! Constrained agglomerative hierarchical clustering over a precomputed
+//! distance matrix.
+//!
+//! CREW clusters the words of one candidate pair (tens of items), so a
+//! straightforward O(n³) implementation with explicit cluster-distance
+//! recomputation is both simple and fast enough; what matters is support
+//! for must-link/cannot-link constraints and for cutting the same
+//! dendrogram at every K.
+
+use crate::ClusterError;
+
+/// Linkage criterion for cluster distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    Single,
+    Complete,
+    Average,
+    /// Ward-like: average linkage weighted by cluster sizes
+    /// (`|A||B|/(|A|+|B|) * avg`), favouring balanced merges.
+    Ward,
+}
+
+/// Pairwise constraints on the clustering.
+#[derive(Debug, Clone, Default)]
+pub struct Constraints {
+    /// Pairs that must end in the same cluster (applied as pre-merges).
+    pub must_link: Vec<(usize, usize)>,
+    /// Pairs that must never share a cluster (merges joining them are
+    /// skipped).
+    pub cannot_link: Vec<(usize, usize)>,
+}
+
+impl Constraints {
+    pub fn none() -> Self {
+        Constraints::default()
+    }
+}
+
+/// One merge step of the dendrogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// Ids of the merged clusters (cluster id = item index for leaves,
+    /// `n + step` for internal nodes).
+    pub a: usize,
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+}
+
+/// The full merge history; supports cutting at any K.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    n_items: usize,
+    merges: Vec<Merge>,
+    /// Cluster membership produced by must-link pre-merging (before any
+    /// distance-based merge). Leaf "clusters" in `merges` refer to these.
+    initial: Vec<usize>,
+    /// Number of distinct initial clusters.
+    n_initial: usize,
+}
+
+impl Dendrogram {
+    /// Number of clustered items.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The merge sequence (shortest-distance first).
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Smallest K this dendrogram can be cut at (1 unless cannot-link
+    /// constraints prevented full agglomeration).
+    pub fn min_clusters(&self) -> usize {
+        self.n_initial - self.merges.len()
+    }
+
+    /// Largest meaningful K (= number of initial clusters).
+    pub fn max_clusters(&self) -> usize {
+        self.n_initial
+    }
+
+    /// Cut into exactly `k` clusters. Returns per-item cluster labels in
+    /// `0..k` (renumbered compactly in first-appearance order).
+    pub fn cut(&self, k: usize) -> Result<Vec<usize>, ClusterError> {
+        if k < self.min_clusters() || k > self.max_clusters() || k == 0 {
+            return Err(ClusterError::InvalidK {
+                k,
+                min: self.min_clusters(),
+                max: self.max_clusters(),
+            });
+        }
+        // Union-find over initial clusters, replaying merges until k remain.
+        let mut parent: Vec<usize> = (0..self.n_initial + self.merges.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let n_merges = self.n_initial - k;
+        for (step, m) in self.merges.iter().take(n_merges).enumerate() {
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            let new_id = self.n_initial + step;
+            parent[ra] = new_id;
+            parent[rb] = new_id;
+        }
+        // Label items through their initial cluster's root.
+        let mut label_of_root: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(self.n_items);
+        for item in 0..self.n_items {
+            let root = find(&mut parent, self.initial[item]);
+            let next = label_of_root.len();
+            let label = *label_of_root.entry(root).or_insert(next);
+            labels.push(label);
+        }
+        debug_assert_eq!(label_of_root.len(), k);
+        Ok(labels)
+    }
+}
+
+/// Run constrained agglomerative clustering.
+///
+/// `distances` must be square, symmetric (within 1e-9) with a zero diagonal.
+pub fn agglomerative(
+    distances: &em_linalg::Matrix,
+    linkage: Linkage,
+    constraints: &Constraints,
+) -> Result<Dendrogram, ClusterError> {
+    let n = distances.rows();
+    validate_distances(distances)?;
+    for &(a, b) in constraints.must_link.iter().chain(&constraints.cannot_link) {
+        if a >= n || b >= n {
+            return Err(ClusterError::ConstraintOutOfRange { index: a.max(b), n });
+        }
+    }
+
+    // Conflicting constraints: a must-link path connecting a cannot-link
+    // pair is an error.
+    let mut uf: Vec<usize> = (0..n).collect();
+    fn find(uf: &mut [usize], mut x: usize) -> usize {
+        while uf[x] != x {
+            uf[x] = uf[uf[x]];
+            x = uf[x];
+        }
+        x
+    }
+    for &(a, b) in &constraints.must_link {
+        let (ra, rb) = (find(&mut uf, a), find(&mut uf, b));
+        if ra != rb {
+            uf[ra] = rb;
+        }
+    }
+    for &(a, b) in &constraints.cannot_link {
+        if find(&mut uf, a) == find(&mut uf, b) {
+            return Err(ClusterError::ConflictingConstraints { a, b });
+        }
+    }
+
+    // Initial clusters from must-link components, compactly numbered.
+    let mut root_to_cluster: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    let mut initial = vec![0usize; n];
+    for i in 0..n {
+        let r = find(&mut uf, i);
+        let next = root_to_cluster.len();
+        initial[i] = *root_to_cluster.entry(r).or_insert(next);
+    }
+    let n_initial = root_to_cluster.len();
+
+    // Active clusters: member item lists. Cluster ids grow past n_initial
+    // as merges happen (dendrogram convention).
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_initial];
+    for (item, &c) in initial.iter().enumerate() {
+        members[c].push(item);
+    }
+    let mut active: Vec<usize> = (0..n_initial).collect(); // indices into `members`/ids
+    let mut ids: Vec<usize> = (0..n_initial).collect();
+
+    // Cannot-link lookup at item level.
+    let cl: std::collections::HashSet<(usize, usize)> = constraints
+        .cannot_link
+        .iter()
+        .flat_map(|&(a, b)| [(a, b), (b, a)])
+        .collect();
+    let violates = |ma: &[usize], mb: &[usize]| -> bool {
+        ma.iter().any(|&x| mb.iter().any(|&y| cl.contains(&(x, y))))
+    };
+
+    // Base cluster-pair statistic for the linkage, computed from item
+    // distances once at initialisation and then maintained incrementally
+    // with the Lance-Williams recurrences (min / max / size-weighted mean).
+    // This keeps the whole agglomeration at O(n²) memory and O(n²) work per
+    // merge instead of rescanning member pairs (which is quadratic in
+    // cluster size and showed up as the explainer's hotspot on long pairs).
+    let base_stat = |ma: &[usize], mb: &[usize]| -> f64 {
+        match linkage {
+            Linkage::Single => {
+                let mut best = f64::INFINITY;
+                for &x in ma {
+                    for &y in mb {
+                        best = best.min(distances[(x, y)]);
+                    }
+                }
+                best
+            }
+            Linkage::Complete => {
+                let mut worst = f64::NEG_INFINITY;
+                for &x in ma {
+                    for &y in mb {
+                        worst = worst.max(distances[(x, y)]);
+                    }
+                }
+                worst
+            }
+            Linkage::Average | Linkage::Ward => {
+                let mut sum = 0.0;
+                for &x in ma {
+                    for &y in mb {
+                        sum += distances[(x, y)];
+                    }
+                }
+                sum / (ma.len() * mb.len()) as f64
+            }
+        }
+    };
+    // Ward's merge score is derived from the average statistic and sizes.
+    let score_of = |stat: f64, size_a: usize, size_b: usize| -> f64 {
+        if linkage == Linkage::Ward {
+            let (sa, sb) = (size_a as f64, size_b as f64);
+            stat * (sa * sb / (sa + sb))
+        } else {
+            stat
+        }
+    };
+
+    // Working statistic matrix over the initial clusters; `slot_of[c]`
+    // tracks which matrix slot cluster `c` occupies (slots are reused).
+    let mut stat = vec![vec![0.0f64; n_initial]; n_initial];
+    for i in 0..n_initial {
+        for j in i + 1..n_initial {
+            let s = base_stat(&members[i], &members[j]);
+            stat[i][j] = s;
+            stat[j][i] = s;
+        }
+    }
+
+    let mut merges = Vec::with_capacity(n_initial.saturating_sub(1));
+    loop {
+        if active.len() < 2 {
+            break;
+        }
+        // Find the closest admissible pair of active clusters.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..active.len() {
+            for j in i + 1..active.len() {
+                let (ci, cj) = (active[i], active[j]);
+                let d = score_of(stat[ci][cj], members[ci].len(), members[cj].len());
+                if best.is_none_or(|(_, _, bd)| d < bd)
+                    && !violates(&members[ci], &members[cj])
+                {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let Some((i, j, d)) = best else {
+            break; // all remaining merges violate cannot-link
+        };
+        let (ci, cj) = (active[i], active[j]);
+        merges.push(Merge { a: ids[i], b: ids[j], distance: d });
+        // Lance-Williams update: fold cluster cj's statistics into ci.
+        let (na, nb) = (members[ci].len() as f64, members[cj].len() as f64);
+        for &ck in &active {
+            if ck == ci || ck == cj {
+                continue;
+            }
+            stat[ci][ck] = match linkage {
+                Linkage::Single => stat[ci][ck].min(stat[cj][ck]),
+                Linkage::Complete => stat[ci][ck].max(stat[cj][ck]),
+                Linkage::Average | Linkage::Ward => {
+                    (na * stat[ci][ck] + nb * stat[cj][ck]) / (na + nb)
+                }
+            };
+            stat[ck][ci] = stat[ci][ck];
+        }
+        // Merge members of cj into ci; ci keeps its slot with a fresh id.
+        let moved = std::mem::take(&mut members[cj]);
+        members[ci].extend(moved);
+        let new_id = n_initial + merges.len() - 1;
+        active.remove(j);
+        ids.remove(j);
+        ids[i] = new_id;
+    }
+
+    Ok(Dendrogram { n_items: n, merges, initial, n_initial })
+}
+
+pub(crate) fn validate_distances(d: &em_linalg::Matrix) -> Result<(), ClusterError> {
+    let n = d.rows();
+    if d.cols() != n {
+        return Err(ClusterError::NotSquare { rows: d.rows(), cols: d.cols() });
+    }
+    if n == 0 {
+        return Err(ClusterError::Empty);
+    }
+    for i in 0..n {
+        if d[(i, i)].abs() > 1e-9 {
+            return Err(ClusterError::NonZeroDiagonal { index: i, value: d[(i, i)] });
+        }
+        for j in 0..n {
+            let v = d[(i, j)];
+            if !v.is_finite() || v < -1e-12 {
+                return Err(ClusterError::InvalidDistance { i, j, value: v });
+            }
+            if (v - d[(j, i)]).abs() > 1e-9 {
+                return Err(ClusterError::Asymmetric { i, j });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_linalg::Matrix;
+
+    /// Two tight groups: {0,1,2} near each other, {3,4} near each other,
+    /// far across.
+    fn two_blob_distances() -> Matrix {
+        let pts: [f64; 5] = [0.0, 0.1, 0.2, 10.0, 10.1];
+        Matrix::from_fn(5, 5, |i, j| (pts[i] - pts[j]).abs())
+    }
+
+    #[test]
+    fn cuts_recover_blobs() {
+        let d = two_blob_distances();
+        let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        let labels = dg.cut(2).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn cut_k_equals_n_gives_singletons() {
+        let d = two_blob_distances();
+        let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        let labels = dg.cut(5).unwrap();
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn cut_k_one_merges_everything() {
+        let d = two_blob_distances();
+        let dg = agglomerative(&d, Linkage::Single, &Constraints::none()).unwrap();
+        let labels = dg.cut(1).unwrap();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn invalid_k_is_rejected() {
+        let d = two_blob_distances();
+        let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        assert!(dg.cut(0).is_err());
+        assert!(dg.cut(6).is_err());
+    }
+
+    #[test]
+    fn merge_distances_are_monotone_for_average_linkage() {
+        let d = two_blob_distances();
+        let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        for w in dg.merges().windows(2) {
+            assert!(w[0].distance <= w[1].distance + 1e-9);
+        }
+    }
+
+    #[test]
+    fn must_link_forces_items_together() {
+        let d = two_blob_distances();
+        let constraints =
+            Constraints { must_link: vec![(0, 3)], cannot_link: vec![] };
+        let dg = agglomerative(&d, Linkage::Average, &constraints).unwrap();
+        for k in dg.min_clusters()..=dg.max_clusters() {
+            let labels = dg.cut(k).unwrap();
+            assert_eq!(labels[0], labels[3], "must-link violated at k={k}");
+        }
+    }
+
+    #[test]
+    fn cannot_link_keeps_items_apart() {
+        let d = two_blob_distances();
+        let constraints = Constraints { must_link: vec![], cannot_link: vec![(0, 1)] };
+        let dg = agglomerative(&d, Linkage::Average, &constraints).unwrap();
+        assert!(dg.min_clusters() >= 2);
+        for k in dg.min_clusters()..=dg.max_clusters() {
+            let labels = dg.cut(k).unwrap();
+            assert_ne!(labels[0], labels[1], "cannot-link violated at k={k}");
+        }
+    }
+
+    #[test]
+    fn conflicting_constraints_error() {
+        let d = two_blob_distances();
+        let constraints = Constraints {
+            must_link: vec![(0, 1), (1, 2)],
+            cannot_link: vec![(0, 2)],
+        };
+        assert!(matches!(
+            agglomerative(&d, Linkage::Average, &constraints),
+            Err(ClusterError::ConflictingConstraints { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_constraint_errors() {
+        let d = two_blob_distances();
+        let constraints = Constraints { must_link: vec![(0, 99)], cannot_link: vec![] };
+        assert!(matches!(
+            agglomerative(&d, Linkage::Average, &constraints),
+            Err(ClusterError::ConstraintOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_matrices() {
+        assert!(agglomerative(&Matrix::zeros(0, 0), Linkage::Average, &Constraints::none()).is_err());
+        assert!(agglomerative(&Matrix::zeros(2, 3), Linkage::Average, &Constraints::none()).is_err());
+        let mut bad_diag = Matrix::zeros(2, 2);
+        bad_diag[(0, 0)] = 1.0;
+        assert!(agglomerative(&bad_diag, Linkage::Average, &Constraints::none()).is_err());
+        let mut asym = Matrix::zeros(2, 2);
+        asym[(0, 1)] = 1.0;
+        assert!(agglomerative(&asym, Linkage::Average, &Constraints::none()).is_err());
+        let mut neg = Matrix::zeros(2, 2);
+        neg[(0, 1)] = -1.0;
+        neg[(1, 0)] = -1.0;
+        assert!(agglomerative(&neg, Linkage::Average, &Constraints::none()).is_err());
+    }
+
+    #[test]
+    fn single_item_dendrogram() {
+        let d = Matrix::zeros(1, 1);
+        let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        assert_eq!(dg.min_clusters(), 1);
+        assert_eq!(dg.cut(1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn linkages_agree_on_clear_structure() {
+        let d = two_blob_distances();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let dg = agglomerative(&d, linkage, &Constraints::none()).unwrap();
+            let labels = dg.cut(2).unwrap();
+            assert_eq!(labels[0], labels[2], "{linkage:?}");
+            assert_ne!(labels[0], labels[4], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn ties_are_broken_deterministically() {
+        // Equilateral: all distances equal; result must be stable run-to-run.
+        let d = Matrix::from_fn(4, 4, |i, j| if i == j { 0.0 } else { 1.0 });
+        let a = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        let b = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        assert_eq!(a.merges(), b.merges());
+    }
+}

@@ -1,0 +1,184 @@
+//! Cophenetic utilities: the cophenetic distance between two items is the
+//! linkage height at which they first share a cluster; the cophenetic
+//! correlation (Pearson between original and cophenetic distances) measures
+//! how faithfully a dendrogram preserves the input metric — the standard
+//! diagnostic for choosing a linkage criterion.
+
+use crate::agglomerative::Dendrogram;
+use crate::ClusterError;
+use em_linalg::Matrix;
+
+/// Compute the cophenetic distance matrix of a dendrogram.
+///
+/// Items that never merge (possible under cannot-link constraints) get a
+/// cophenetic distance of `f64::INFINITY`.
+pub fn cophenetic_distances(dendrogram: &Dendrogram) -> Matrix {
+    let n = dendrogram.n_items();
+    let mut d = Matrix::zeros(n, n);
+    if n == 0 {
+        return d;
+    }
+    // Initialise to infinity off-diagonal; same-initial-cluster items merge
+    // at height 0 (must-link pre-merges).
+    let max_k = dendrogram.max_clusters();
+    let base = dendrogram.cut(max_k).expect("max-cluster cut always valid");
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                d[(i, j)] = if base[i] == base[j] { 0.0 } else { f64::INFINITY };
+            }
+        }
+    }
+    // Replay merges coarser and coarser; the first time a pair lands in the
+    // same cluster, record the merge height.
+    let merges = dendrogram.merges();
+    for (step, merge) in merges.iter().enumerate() {
+        let k = max_k - (step + 1);
+        if k == 0 {
+            break;
+        }
+        let labels = dendrogram.cut(k).expect("cut within range");
+        for i in 0..n {
+            for j in i + 1..n {
+                if labels[i] == labels[j] && d[(i, j)].is_infinite() {
+                    d[(i, j)] = merge.distance;
+                    d[(j, i)] = merge.distance;
+                }
+            }
+        }
+    }
+    // The final merge (k would be 0): everything remaining coalesces at the
+    // last merge's height.
+    if let Some(last) = merges.last() {
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && d[(i, j)].is_infinite() && dendrogram.min_clusters() == 1 {
+                    d[(i, j)] = last.distance;
+                    d[(j, i)] = last.distance;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Cophenetic correlation coefficient: Pearson correlation between the
+/// upper triangles of the original and cophenetic distance matrices,
+/// ignoring never-merged (infinite) pairs.
+pub fn cophenetic_correlation(
+    original: &Matrix,
+    dendrogram: &Dendrogram,
+) -> Result<f64, ClusterError> {
+    crate::agglomerative::validate_distances(original)?;
+    let n = original.rows();
+    if n != dendrogram.n_items() {
+        return Err(ClusterError::LabelLengthMismatch {
+            expected: n,
+            got: dendrogram.n_items(),
+        });
+    }
+    let coph = cophenetic_distances(dendrogram);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            if coph[(i, j)].is_finite() {
+                xs.push(original[(i, j)]);
+                ys.push(coph[(i, j)]);
+            }
+        }
+    }
+    Ok(em_linalg::stats::pearson(&xs, &ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agglomerative::{agglomerative, Constraints, Linkage};
+
+    fn blob_distances() -> Matrix {
+        let pts: [f64; 6] = [0.0, 0.1, 0.2, 5.0, 5.1, 5.2];
+        Matrix::from_fn(6, 6, |i, j| (pts[i] - pts[j]).abs())
+    }
+
+    #[test]
+    fn cophenetic_respects_merge_order() {
+        let d = blob_distances();
+        let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        let c = cophenetic_distances(&dg);
+        // Within-blob cophenetic distances are small; across blobs large.
+        assert!(c[(0, 1)] < 1.0);
+        assert!(c[(3, 4)] < 1.0);
+        assert!(c[(0, 3)] > 3.0);
+        // Symmetric with zero diagonal.
+        for i in 0..6 {
+            assert_eq!(c[(i, i)], 0.0);
+            for j in 0..6 {
+                assert_eq!(c[(i, j)], c[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn cophenetic_is_ultrametric() {
+        // max(c(i,k), c(k,j)) >= c(i,j) for all triples.
+        let d = blob_distances();
+        let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        let c = cophenetic_distances(&dg);
+        for i in 0..6 {
+            for j in 0..6 {
+                for k in 0..6 {
+                    assert!(
+                        c[(i, j)] <= c[(i, k)].max(c[(k, j)]) + 1e-9,
+                        "ultrametric violated at ({i},{j},{k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_is_high_for_well_separated_data() {
+        let d = blob_distances();
+        let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        let r = cophenetic_correlation(&d, &dg).unwrap();
+        assert!(r > 0.9, "expected high cophenetic correlation, got {r}");
+    }
+
+    #[test]
+    fn correlation_bounded_for_uniform_data() {
+        // All distances equal: correlation degenerates to 0 (constant side).
+        let d = Matrix::from_fn(4, 4, |i, j| if i == j { 0.0 } else { 1.0 });
+        let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        let r = cophenetic_correlation(&d, &dg).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn cannot_link_pairs_get_infinite_cophenetic_distance() {
+        let d = blob_distances();
+        let constraints = Constraints { must_link: vec![], cannot_link: vec![(0, 3)] };
+        let dg = agglomerative(&d, Linkage::Average, &constraints).unwrap();
+        let c = cophenetic_distances(&dg);
+        if dg.min_clusters() > 1 {
+            assert!(c[(0, 3)].is_infinite());
+        }
+        // Correlation still computes over the finite pairs.
+        let r = cophenetic_correlation(&d, &dg).unwrap();
+        assert!(r.is_finite());
+    }
+
+    #[test]
+    fn average_linkage_beats_single_on_chained_data() {
+        // A chain of points: single linkage chains everything at tiny
+        // heights, distorting large distances; average linkage tracks the
+        // metric better.
+        let pts: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let d = Matrix::from_fn(10, 10, |i, j| (pts[i] - pts[j]).abs());
+        let single = agglomerative(&d, Linkage::Single, &Constraints::none()).unwrap();
+        let average = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        let rs = cophenetic_correlation(&d, &single).unwrap();
+        let ra = cophenetic_correlation(&d, &average).unwrap();
+        assert!(ra > rs, "average {ra} should beat single {rs} on a chain");
+    }
+}

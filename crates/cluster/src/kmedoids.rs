@@ -1,0 +1,138 @@
+//! K-medoids (PAM-style) clustering — the flat-clustering baseline used in
+//! the CREW ablation (agglomerative-with-constraints vs plain k-medoids).
+
+use crate::ClusterError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of a k-medoids run.
+#[derive(Debug, Clone)]
+pub struct KMedoids {
+    /// Item index of each medoid.
+    pub medoids: Vec<usize>,
+    /// Cluster label of each item (index into `medoids`).
+    pub labels: Vec<usize>,
+    /// Total distance of items to their medoid.
+    pub cost: f64,
+}
+
+/// Run PAM-style k-medoids: greedy build + swap refinement until no swap
+/// improves the cost (capped at `max_iter` sweeps).
+pub fn kmedoids(
+    distances: &em_linalg::Matrix,
+    k: usize,
+    seed: u64,
+    max_iter: usize,
+) -> Result<KMedoids, ClusterError> {
+    crate::agglomerative::validate_distances(distances)?;
+    let n = distances.rows();
+    if k == 0 || k > n {
+        return Err(ClusterError::InvalidK { k, min: 1, max: n });
+    }
+
+    // Init: random distinct medoids.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut medoids: Vec<usize> = order[..k].to_vec();
+    medoids.sort_unstable();
+
+    let assign = |medoids: &[usize]| -> (Vec<usize>, f64) {
+        let mut labels = vec![0usize; n];
+        let mut cost = 0.0;
+        for i in 0..n {
+            let mut best = (0usize, f64::INFINITY);
+            for (c, &m) in medoids.iter().enumerate() {
+                let d = distances[(i, m)];
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            labels[i] = best.0;
+            cost += best.1;
+        }
+        (labels, cost)
+    };
+
+    let (mut labels, mut cost) = assign(&medoids);
+    for _ in 0..max_iter {
+        let mut improved = false;
+        for c in 0..k {
+            for candidate in 0..n {
+                if medoids.contains(&candidate) {
+                    continue;
+                }
+                let mut trial = medoids.clone();
+                trial[c] = candidate;
+                let (tl, tc) = assign(&trial);
+                if tc + 1e-12 < cost {
+                    medoids = trial;
+                    labels = tl;
+                    cost = tc;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok(KMedoids { medoids, labels, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_linalg::Matrix;
+
+    fn blobs() -> Matrix {
+        let pts: [f64; 6] = [0.0, 0.2, 0.4, 9.0, 9.2, 9.4];
+        Matrix::from_fn(6, 6, |i, j| (pts[i] - pts[j]).abs())
+    }
+
+    #[test]
+    fn recovers_two_blobs() {
+        let r = kmedoids(&blobs(), 2, 1, 50).unwrap();
+        assert_eq!(r.labels[0], r.labels[1]);
+        assert_eq!(r.labels[1], r.labels[2]);
+        assert_eq!(r.labels[3], r.labels[4]);
+        assert_ne!(r.labels[0], r.labels[3]);
+        assert_eq!(r.medoids.len(), 2);
+    }
+
+    #[test]
+    fn cost_decreases_with_more_clusters() {
+        let d = blobs();
+        let c1 = kmedoids(&d, 1, 1, 50).unwrap().cost;
+        let c2 = kmedoids(&d, 2, 1, 50).unwrap().cost;
+        let c6 = kmedoids(&d, 6, 1, 50).unwrap().cost;
+        assert!(c2 < c1);
+        assert!(c6 <= c2);
+        assert_eq!(c6, 0.0);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let d = blobs();
+        assert!(kmedoids(&d, 0, 1, 10).is_err());
+        assert!(kmedoids(&d, 7, 1, 10).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let d = blobs();
+        let a = kmedoids(&d, 2, 5, 50).unwrap();
+        let b = kmedoids(&d, 2, 5, 50).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.medoids, b.medoids);
+    }
+
+    #[test]
+    fn medoids_are_members_of_their_cluster() {
+        let r = kmedoids(&blobs(), 2, 3, 50).unwrap();
+        for (c, &m) in r.medoids.iter().enumerate() {
+            assert_eq!(r.labels[m], c);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! # em-cluster
+//!
+//! Clustering substrate for CREW: constrained agglomerative hierarchical
+//! clustering over precomputed distance matrices (with must-link /
+//! cannot-link support and K-cuts of one dendrogram), a k-medoids baseline,
+//! and cluster-quality scores (silhouette, cohesion).
+//!
+//! ```
+//! use em_cluster::{agglomerative, Constraints, Linkage};
+//! use em_linalg::Matrix;
+//! let pts: [f64; 4] = [0.0, 0.1, 5.0, 5.1];
+//! let d = Matrix::from_fn(4, 4, |i, j| (pts[i] - pts[j]).abs());
+//! let dendrogram = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+//! let labels = dendrogram.cut(2).unwrap();
+//! assert_eq!(labels[0], labels[1]);
+//! assert_ne!(labels[0], labels[2]);
+//! ```
+
+// Index-based loops are kept where they mirror the textbook formulation
+// of the numeric kernels; iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+pub mod agglomerative;
+pub mod cophenetic;
+pub mod kmedoids;
+pub mod quality;
+
+pub use agglomerative::{agglomerative, Constraints, Dendrogram, Linkage, Merge};
+pub use cophenetic::{cophenetic_correlation, cophenetic_distances};
+pub use kmedoids::{kmedoids, KMedoids};
+pub use quality::{adjusted_rand_index, groups_from_labels, mean_intra_cluster_distance, silhouette};
+
+/// Errors from the clustering substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Distance matrix was not square.
+    NotSquare { rows: usize, cols: usize },
+    /// Empty distance matrix.
+    Empty,
+    /// Diagonal entry was non-zero.
+    NonZeroDiagonal { index: usize, value: f64 },
+    /// Negative or non-finite distance.
+    InvalidDistance { i: usize, j: usize, value: f64 },
+    /// Matrix was not symmetric.
+    Asymmetric { i: usize, j: usize },
+    /// Requested cluster count outside the achievable range.
+    InvalidK { k: usize, min: usize, max: usize },
+    /// A constraint referenced an item outside the matrix.
+    ConstraintOutOfRange { index: usize, n: usize },
+    /// Must-link chain connects a cannot-link pair.
+    ConflictingConstraints { a: usize, b: usize },
+    /// Label vector length does not match the matrix.
+    LabelLengthMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NotSquare { rows, cols } => {
+                write!(f, "distance matrix must be square, got {rows}x{cols}")
+            }
+            ClusterError::Empty => write!(f, "distance matrix is empty"),
+            ClusterError::NonZeroDiagonal { index, value } => {
+                write!(f, "diagonal entry {index} must be zero, got {value}")
+            }
+            ClusterError::InvalidDistance { i, j, value } => {
+                write!(f, "invalid distance at ({i},{j}): {value}")
+            }
+            ClusterError::Asymmetric { i, j } => {
+                write!(f, "distance matrix asymmetric at ({i},{j})")
+            }
+            ClusterError::InvalidK { k, min, max } => {
+                write!(f, "k={k} outside achievable range [{min},{max}]")
+            }
+            ClusterError::ConstraintOutOfRange { index, n } => {
+                write!(f, "constraint references item {index} but only {n} items exist")
+            }
+            ClusterError::ConflictingConstraints { a, b } => {
+                write!(f, "items {a} and {b} are both must-linked and cannot-linked")
+            }
+            ClusterError::LabelLengthMismatch { expected, got } => {
+                write!(f, "expected {expected} labels, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn random_distance_matrix(n: usize, seed: u64) -> em_linalg::Matrix {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Build from random points on a line so the matrix is a true metric.
+        let pts: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        em_linalg::Matrix::from_fn(n, n, |i, j| (pts[i] - pts[j]).abs())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn every_cut_is_a_partition(n in 2usize..12, seed in 0u64..200) {
+            let d = random_distance_matrix(n, seed);
+            let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+            for k in 1..=n {
+                let labels = dg.cut(k).unwrap();
+                prop_assert_eq!(labels.len(), n);
+                let distinct: std::collections::HashSet<_> = labels.iter().collect();
+                prop_assert_eq!(distinct.len(), k);
+                // Labels are compact 0..k
+                prop_assert!(labels.iter().all(|&l| l < k));
+            }
+        }
+
+        #[test]
+        fn cuts_are_nested(n in 3usize..10, seed in 0u64..200) {
+            // Refining a cut never splits previously-separated items back together:
+            // items together at k+1 clusters stay together at k clusters.
+            let d = random_distance_matrix(n, seed);
+            let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+            for k in 1..n {
+                let coarse = dg.cut(k).unwrap();
+                let fine = dg.cut(k + 1).unwrap();
+                for i in 0..n {
+                    for j in 0..n {
+                        if fine[i] == fine[j] {
+                            prop_assert_eq!(coarse[i], coarse[j]);
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn kmedoids_labels_valid(n in 2usize..10, k in 1usize..5, seed in 0u64..100) {
+            let k = k.min(n);
+            let d = random_distance_matrix(n, seed);
+            let r = kmedoids(&d, k, seed, 20).unwrap();
+            prop_assert_eq!(r.labels.len(), n);
+            prop_assert!(r.labels.iter().all(|&l| l < k));
+            prop_assert!(r.cost >= 0.0);
+        }
+
+        #[test]
+        fn silhouette_always_bounded(n in 3usize..10, seed in 0u64..100) {
+            let d = random_distance_matrix(n, seed);
+            let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+            for k in 2..n {
+                let labels = dg.cut(k).unwrap();
+                let s = silhouette(&d, &labels).unwrap();
+                prop_assert!((-1.0..=1.0).contains(&s), "k={} s={}", k, s);
+            }
+        }
+    }
+}

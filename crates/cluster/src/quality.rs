@@ -1,0 +1,271 @@
+//! Cluster quality scores: silhouette (used by CREW's K selection
+//! tie-break) and simple partition utilities.
+
+use crate::ClusterError;
+
+/// Mean silhouette coefficient of a labelled partition under a distance
+/// matrix. Returns 0.0 when every item is alone or all items share one
+/// cluster (silhouette is undefined there; 0 is the neutral value).
+pub fn silhouette(
+    distances: &em_linalg::Matrix,
+    labels: &[usize],
+) -> Result<f64, ClusterError> {
+    crate::agglomerative::validate_distances(distances)?;
+    let n = distances.rows();
+    if labels.len() != n {
+        return Err(ClusterError::LabelLengthMismatch { expected: n, got: labels.len() });
+    }
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if k <= 1 || k >= n {
+        return Ok(0.0);
+    }
+    let mut cluster_sizes = vec![0usize; k];
+    for &l in labels {
+        cluster_sizes[l] += 1;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let li = labels[i];
+        if cluster_sizes[li] <= 1 {
+            // Singleton: conventionally s(i) = 0.
+            counted += 1;
+            continue;
+        }
+        // a(i): mean intra-cluster distance.
+        // b(i): min over other clusters of mean distance.
+        let mut sums = vec![0.0; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[labels[j]] += distances[(i, j)];
+        }
+        let a = sums[li] / (cluster_sizes[li] - 1) as f64;
+        let mut b = f64::INFINITY;
+        for (c, &size) in cluster_sizes.iter().enumerate() {
+            if c == li || size == 0 {
+                continue;
+            }
+            b = b.min(sums[c] / size as f64);
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+        counted += 1;
+    }
+    Ok(if counted == 0 { 0.0 } else { total / counted as f64 })
+}
+
+/// Group item indices by label: `result[c]` lists members of cluster `c`.
+pub fn groups_from_labels(labels: &[usize]) -> Vec<Vec<usize>> {
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut groups = vec![Vec::new(); k];
+    for (i, &l) in labels.iter().enumerate() {
+        groups[l].push(i);
+    }
+    groups
+}
+
+/// Mean pairwise distance inside each cluster, averaged over clusters with
+/// ≥ 2 members (cohesion; lower is tighter).
+pub fn mean_intra_cluster_distance(
+    distances: &em_linalg::Matrix,
+    labels: &[usize],
+) -> Result<f64, ClusterError> {
+    crate::agglomerative::validate_distances(distances)?;
+    if labels.len() != distances.rows() {
+        return Err(ClusterError::LabelLengthMismatch {
+            expected: distances.rows(),
+            got: labels.len(),
+        });
+    }
+    let groups = groups_from_labels(labels);
+    let mut per_cluster = Vec::new();
+    for g in &groups {
+        if g.len() < 2 {
+            continue;
+        }
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        for (ai, &a) in g.iter().enumerate() {
+            for &b in &g[ai + 1..] {
+                sum += distances[(a, b)];
+                cnt += 1;
+            }
+        }
+        per_cluster.push(sum / cnt as f64);
+    }
+    Ok(if per_cluster.is_empty() {
+        0.0
+    } else {
+        per_cluster.iter().sum::<f64>() / per_cluster.len() as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_linalg::Matrix;
+
+    fn blob_distances() -> Matrix {
+        let pts: [f64; 6] = [0.0, 0.1, 0.2, 5.0, 5.1, 5.2];
+        Matrix::from_fn(6, 6, |i, j| (pts[i] - pts[j]).abs())
+    }
+
+    #[test]
+    fn good_partition_scores_high() {
+        let d = blob_distances();
+        let good = silhouette(&d, &[0, 0, 0, 1, 1, 1]).unwrap();
+        assert!(good > 0.9, "good partition silhouette {good}");
+    }
+
+    #[test]
+    fn bad_partition_scores_lower() {
+        let d = blob_distances();
+        let good = silhouette(&d, &[0, 0, 0, 1, 1, 1]).unwrap();
+        let bad = silhouette(&d, &[0, 1, 0, 1, 0, 1]).unwrap();
+        assert!(bad < good);
+        assert!(bad < 0.0, "mixed partition should have negative silhouette, got {bad}");
+    }
+
+    #[test]
+    fn degenerate_partitions_are_zero() {
+        let d = blob_distances();
+        assert_eq!(silhouette(&d, &[0, 0, 0, 0, 0, 0]).unwrap(), 0.0);
+        assert_eq!(silhouette(&d, &[0, 1, 2, 3, 4, 5]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn label_length_mismatch_errors() {
+        let d = blob_distances();
+        assert!(silhouette(&d, &[0, 0]).is_err());
+        assert!(mean_intra_cluster_distance(&d, &[0]).is_err());
+    }
+
+    #[test]
+    fn groups_round_trip() {
+        let groups = groups_from_labels(&[0, 1, 0, 2, 1]);
+        assert_eq!(groups, vec![vec![0, 2], vec![1, 4], vec![3]]);
+        assert!(groups_from_labels(&[]).is_empty());
+    }
+
+    #[test]
+    fn intra_distance_prefers_tight_clusters() {
+        let d = blob_distances();
+        let tight = mean_intra_cluster_distance(&d, &[0, 0, 0, 1, 1, 1]).unwrap();
+        let loose = mean_intra_cluster_distance(&d, &[0, 1, 0, 1, 0, 1]).unwrap();
+        assert!(tight < loose);
+        // All singletons: zero by convention.
+        assert_eq!(mean_intra_cluster_distance(&d, &[0, 1, 2, 3, 4, 5]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn silhouette_bounded() {
+        let d = blob_distances();
+        for labels in [[0, 0, 1, 1, 2, 2], [0, 1, 1, 0, 2, 2], [2, 1, 0, 0, 1, 2]] {
+            let s = silhouette(&d, &labels).unwrap();
+            assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+}
+
+/// Adjusted Rand Index between two labelled partitions of the same items:
+/// 1.0 for identical partitions, ~0 for independent ones, negative for
+/// worse-than-chance agreement. Used to compare CREW's cluster structure
+/// across seeds or configurations.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> Result<f64, ClusterError> {
+    if a.len() != b.len() {
+        return Err(ClusterError::LabelLengthMismatch { expected: a.len(), got: b.len() });
+    }
+    let n = a.len();
+    if n < 2 {
+        return Ok(1.0);
+    }
+    let ka = a.iter().copied().max().map_or(0, |m| m + 1);
+    let kb = b.iter().copied().max().map_or(0, |m| m + 1);
+    // Contingency table.
+    let mut table = vec![vec![0u64; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1;
+    }
+    let choose2 = |x: u64| -> f64 { (x * x.saturating_sub(1)) as f64 / 2.0 };
+    let mut sum_cells = 0.0;
+    let mut row_sums = vec![0u64; ka];
+    let mut col_sums = vec![0u64; kb];
+    for (i, row) in table.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            sum_cells += choose2(c);
+            row_sums[i] += c;
+            col_sums[j] += c;
+        }
+    }
+    let sum_rows: f64 = row_sums.iter().map(|&r| choose2(r)).sum();
+    let sum_cols: f64 = col_sums.iter().map(|&c| choose2(c)).sum();
+    let total = choose2(n as u64);
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate (e.g. both all-singletons or both one-cluster): they
+        // agree exactly when equal, which the formula cannot express.
+        return Ok(if a == b { 1.0 } else { 0.0 });
+    }
+    Ok((sum_cells - expected) / (max_index - expected))
+}
+
+#[cfg(test)]
+mod ari_tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = [0, 0, 1, 1, 2, 2];
+        assert_eq!(adjusted_rand_index(&a, &a).unwrap(), 1.0);
+        // Label permutation does not matter.
+        let b = [2, 2, 0, 0, 1, 1];
+        assert_eq!(adjusted_rand_index(&a, &b).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        // a splits by half, b alternates: agreement is chance-level.
+        let a = [0, 0, 0, 1, 1, 1];
+        let b = [0, 1, 0, 1, 0, 1];
+        let ari = adjusted_rand_index(&a, &b).unwrap();
+        assert!(ari.abs() < 0.35, "near-chance expected, got {ari}");
+    }
+
+    #[test]
+    fn partial_agreement_in_between() {
+        let a = [0, 0, 0, 1, 1, 1];
+        let b = [0, 0, 1, 1, 1, 1]; // one item moved
+        let ari = adjusted_rand_index(&a, &b).unwrap();
+        assert!(ari > 0.2 && ari < 1.0, "got {ari}");
+    }
+
+    #[test]
+    fn degenerate_partitions_handled() {
+        // Both single-cluster: identical → 1.
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[0, 0, 0]).unwrap(), 1.0);
+        // Both all-singletons: identical → 1.
+        assert_eq!(adjusted_rand_index(&[0, 1, 2], &[0, 1, 2]).unwrap(), 1.0);
+        // Single item / empty: trivially 1.
+        assert_eq!(adjusted_rand_index(&[0], &[0]).unwrap(), 1.0);
+        assert_eq!(adjusted_rand_index(&[], &[]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        assert!(adjusted_rand_index(&[0, 1], &[0]).is_err());
+    }
+
+    #[test]
+    fn ari_is_symmetric() {
+        let a = [0, 0, 1, 1, 2, 0, 1];
+        let b = [1, 1, 0, 0, 0, 2, 2];
+        let ab = adjusted_rand_index(&a, &b).unwrap();
+        let ba = adjusted_rand_index(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+}

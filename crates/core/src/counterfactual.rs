@@ -1,0 +1,261 @@
+//! Counterfactual explanations from cluster explanations: the smallest set
+//! of clusters whose removal flips the matcher's decision. This is the
+//! actionable reading of a CREW explanation ("the pair stops matching if
+//! you take away THIS evidence"), mirroring the counterfactual output of
+//! CERTA but at cluster granularity.
+
+use crate::explanation::ClusterExplanation;
+use em_data::{EntityPair, TokenizedPair};
+use em_matchers::Matcher;
+
+/// A counterfactual found by [`find_counterfactual`].
+#[derive(Debug, Clone)]
+pub struct Counterfactual {
+    /// Indices into `ClusterExplanation::clusters` of the removed clusters.
+    pub removed_clusters: Vec<usize>,
+    /// Word indices removed in total.
+    pub removed_words: Vec<usize>,
+    /// Model probability before the removal.
+    pub probability_before: f64,
+    /// Model probability after the removal.
+    pub probability_after: f64,
+    /// The perturbed pair that realises the flip.
+    pub flipped_pair: EntityPair,
+}
+
+impl Counterfactual {
+    /// Number of clusters the user must discount to flip the decision —
+    /// the cost of the counterfactual.
+    pub fn cost(&self) -> usize {
+        self.removed_clusters.len()
+    }
+}
+
+/// Options for the counterfactual search.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterfactualOptions {
+    /// Maximum number of clusters to remove before giving up.
+    pub max_removals: usize,
+}
+
+impl Default for CounterfactualOptions {
+    fn default() -> Self {
+        CounterfactualOptions { max_removals: 5 }
+    }
+}
+
+/// Greedy search for a minimal flipping cluster set.
+///
+/// Clusters are considered in order of their relevance toward the current
+/// prediction (most supporting first); at each step the cluster whose
+/// removal moves the probability furthest toward the opposite class is
+/// removed. Returns `Ok(None)` when no flip is found within
+/// `max_removals` (the decision is robust to the explanation's evidence).
+pub fn find_counterfactual(
+    matcher: &dyn Matcher,
+    pair: &EntityPair,
+    explanation: &ClusterExplanation,
+    options: CounterfactualOptions,
+) -> Result<Option<Counterfactual>, crate::ExplainError> {
+    let tokenized = TokenizedPair::new(pair.clone());
+    let n = tokenized.len();
+    if n == 0 {
+        return Err(crate::ExplainError::EmptyPair);
+    }
+    if options.max_removals == 0 {
+        return Ok(None);
+    }
+    let base = matcher.predict_proba(pair);
+    let predicted_match = base >= matcher.threshold();
+
+    let mut mask = vec![true; n];
+    let mut removed_clusters: Vec<usize> = Vec::new();
+
+    for _ in 0..options.max_removals.min(explanation.clusters.len()) {
+        // Candidate = not-yet-removed cluster minimising the resulting
+        // class score (i.e. moving hardest toward the flip).
+        let mut best: Option<(usize, f64, Vec<bool>)> = None;
+        for (ci, cluster) in explanation.clusters.iter().enumerate() {
+            if removed_clusters.contains(&ci) {
+                continue;
+            }
+            let mut trial = mask.clone();
+            for &w in &cluster.member_indices {
+                if w < n {
+                    trial[w] = false;
+                }
+            }
+            let p = matcher.predict_proba(&tokenized.apply_mask(&trial));
+            let score_toward_prediction = if predicted_match { p } else { 1.0 - p };
+            if best
+                .as_ref()
+                .is_none_or(|(_, s, _)| score_toward_prediction < *s)
+            {
+                best = Some((ci, score_toward_prediction, trial));
+            }
+        }
+        let Some((ci, _, trial)) = best else {
+            break;
+        };
+        removed_clusters.push(ci);
+        mask = trial;
+        let current = matcher.predict_proba(&tokenized.apply_mask(&mask));
+        let flipped = (current >= matcher.threshold()) != predicted_match;
+        if flipped {
+            let removed_words: Vec<usize> =
+                (0..n).filter(|&i| !mask[i]).collect();
+            return Ok(Some(Counterfactual {
+                removed_clusters,
+                removed_words,
+                probability_before: base,
+                probability_after: current,
+                flipped_pair: tokenized.apply_mask(&mask),
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Robustness of a decision under its own explanation: the fraction of the
+/// explanation's clusters that must be removed to flip, in `(0, 1]`;
+/// `None` when the decision never flips within the budget.
+pub fn explanation_robustness(
+    matcher: &dyn Matcher,
+    pair: &EntityPair,
+    explanation: &ClusterExplanation,
+) -> Result<Option<f64>, crate::ExplainError> {
+    let total = explanation.clusters.len().max(1);
+    let cf = find_counterfactual(
+        matcher,
+        pair,
+        explanation,
+        CounterfactualOptions { max_removals: total },
+    )?;
+    Ok(cf.map(|c| c.cost() as f64 / total as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crew::{Crew, CrewOptions};
+    use em_data::{Record, Schema};
+    use em_embed::{EmbeddingOptions, WordEmbeddings};
+    use std::sync::Arc;
+
+    /// Matches iff both sides contain "anchor".
+    struct AnchorMatcher;
+    impl Matcher for AnchorMatcher {
+        fn name(&self) -> &str {
+            "anchor"
+        }
+        fn predict_proba(&self, pair: &EntityPair) -> f64 {
+            let l = em_text::tokenize(&pair.left().full_text());
+            let r = em_text::tokenize(&pair.right().full_text());
+            if l.iter().any(|t| t == "anchor") && r.iter().any(|t| t == "anchor") {
+                0.95
+            } else {
+                0.05
+            }
+        }
+    }
+
+    fn pair() -> EntityPair {
+        let schema = Arc::new(Schema::new(vec!["t"]));
+        EntityPair::new(
+            schema,
+            Record::new(0, vec!["anchor alpha beta".into()]),
+            Record::new(1, vec!["anchor gamma".into()]),
+        )
+        .unwrap()
+    }
+
+    fn crew() -> Crew {
+        let corpus: Vec<Vec<String>> =
+            vec![em_text::tokenize("anchor alpha beta gamma anchor")];
+        let emb = WordEmbeddings::train(
+            corpus.iter().map(|v| v.as_slice()),
+            EmbeddingOptions { dimensions: 8, ..Default::default() },
+        )
+        .unwrap();
+        Crew::new(Arc::new(emb), CrewOptions::default())
+    }
+
+    #[test]
+    fn counterfactual_flips_the_anchor_pair() {
+        let p = pair();
+        let c = crew();
+        let ce = c.explain_clusters(&AnchorMatcher, &p).unwrap();
+        let cf = find_counterfactual(&AnchorMatcher, &p, &ce, CounterfactualOptions::default())
+            .unwrap()
+            .expect("anchor pair must be flippable");
+        assert!(cf.probability_before >= 0.5);
+        assert!(cf.probability_after < 0.5);
+        assert!(cf.cost() >= 1);
+        // The flipped pair must actually lack an anchor on some side.
+        assert!(AnchorMatcher.predict_proba(&cf.flipped_pair) < 0.5);
+        // Removed word indices are consistent with the mask.
+        assert!(!cf.removed_words.is_empty());
+    }
+
+    #[test]
+    fn robust_decisions_return_none() {
+        struct Constant;
+        impl Matcher for Constant {
+            fn name(&self) -> &str {
+                "constant"
+            }
+            fn predict_proba(&self, _: &EntityPair) -> f64 {
+                0.9
+            }
+        }
+        let p = pair();
+        let c = crew();
+        let ce = c.explain_clusters(&Constant, &p).unwrap();
+        let cf =
+            find_counterfactual(&Constant, &p, &ce, CounterfactualOptions::default()).unwrap();
+        assert!(cf.is_none());
+        assert_eq!(explanation_robustness(&Constant, &p, &ce).unwrap(), None);
+    }
+
+    #[test]
+    fn robustness_is_fraction_of_clusters() {
+        let p = pair();
+        let c = crew();
+        let ce = c.explain_clusters(&AnchorMatcher, &p).unwrap();
+        let r = explanation_robustness(&AnchorMatcher, &p, &ce).unwrap().unwrap();
+        assert!(r > 0.0 && r <= 1.0);
+    }
+
+    #[test]
+    fn zero_budget_returns_none() {
+        let p = pair();
+        let c = crew();
+        let ce = c.explain_clusters(&AnchorMatcher, &p).unwrap();
+        let cf = find_counterfactual(
+            &AnchorMatcher,
+            &p,
+            &ce,
+            CounterfactualOptions { max_removals: 0 },
+        )
+        .unwrap();
+        assert!(cf.is_none());
+    }
+
+    #[test]
+    fn greedy_removal_is_most_supporting_first() {
+        // The first removed cluster must contain an anchor word (the only
+        // evidence that matters).
+        let p = pair();
+        let c = crew();
+        let ce = c.explain_clusters(&AnchorMatcher, &p).unwrap();
+        let cf = find_counterfactual(&AnchorMatcher, &p, &ce, CounterfactualOptions::default())
+            .unwrap()
+            .unwrap();
+        let first = &ce.clusters[cf.removed_clusters[0]];
+        let has_anchor = first
+            .member_indices
+            .iter()
+            .any(|&i| ce.word_level.words[i].text == "anchor");
+        assert!(has_anchor, "greedy should remove anchor evidence first");
+    }
+}

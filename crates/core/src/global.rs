@@ -1,0 +1,316 @@
+//! Global (dataset-level) explanations: aggregate CREW's per-pair cluster
+//! explanations over many pairs to summarise *what the model as a whole
+//! relies on* — which attributes, and which recurring word groups.
+//!
+//! Local explainers answer "why did the model say match here?"; analysts
+//! also ask "what drives this matcher in general?". Aggregating cluster
+//! explanations gives that view without any extra model queries.
+
+use crate::crew::Crew;
+use crate::explanation::ClusterExplanation;
+use em_data::{Dataset, Schema};
+use em_matchers::Matcher;
+use std::collections::HashMap;
+
+/// Importance summary of one attribute across explained pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeImportance {
+    pub attribute: String,
+    /// Mean absolute attribution mass landing on this attribute's words.
+    pub mean_abs_mass: f64,
+    /// Share of pairs where this attribute hosts the top cluster.
+    pub top_cluster_share: f64,
+}
+
+/// A recurring word observed in high-impact clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecurringWord {
+    pub word: String,
+    pub attribute: String,
+    /// Occurrences in top-ranked clusters across explained pairs.
+    pub occurrences: usize,
+    /// Mean signed cluster weight when it occurs.
+    pub mean_weight: f64,
+}
+
+/// Dataset-level aggregate of per-pair CREW explanations.
+#[derive(Debug, Clone)]
+pub struct GlobalExplanation {
+    /// Pairs successfully explained.
+    pub pairs_explained: usize,
+    /// Attribute importances, sorted by mass descending.
+    pub attributes: Vec<AttributeImportance>,
+    /// Most recurrent words of top clusters, sorted by occurrences.
+    pub recurring_words: Vec<RecurringWord>,
+    /// Mean number of clusters selected per pair.
+    pub mean_clusters: f64,
+    /// Mean group-surrogate R².
+    pub mean_group_r2: f64,
+}
+
+impl GlobalExplanation {
+    /// Render as a compact text report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Global CREW explanation over {} pairs (mean {:.1} clusters/pair, mean group R² {:.3})\n",
+            self.pairs_explained, self.mean_clusters, self.mean_group_r2
+        );
+        out.push_str("attribute importance:\n");
+        for a in &self.attributes {
+            out.push_str(&format!(
+                "  {:<16} mass {:.3}  top-cluster share {:.2}\n",
+                a.attribute, a.mean_abs_mass, a.top_cluster_share
+            ));
+        }
+        out.push_str("recurring top-cluster words:\n");
+        for w in self.recurring_words.iter().take(15) {
+            out.push_str(&format!(
+                "  {:<20} ({}) ×{}  mean weight {:+.3}\n",
+                w.word, w.attribute, w.occurrences, w.mean_weight
+            ));
+        }
+        out
+    }
+}
+
+/// Aggregate per-pair explanations into a global one.
+///
+/// `top_clusters` limits which clusters of each pair feed the recurring
+/// word statistics (1 = only the strongest cluster).
+pub fn aggregate_explanations(
+    explanations: &[ClusterExplanation],
+    schema: &Schema,
+    top_clusters: usize,
+) -> Result<GlobalExplanation, crate::ExplainError> {
+    if explanations.is_empty() {
+        return Err(crate::ExplainError::NoSamples);
+    }
+    let n_attrs = schema.len();
+    let mut attr_mass = vec![0.0f64; n_attrs];
+    let mut attr_top = vec![0usize; n_attrs];
+    let mut word_stats: HashMap<(String, usize), (usize, f64)> = HashMap::new();
+    let mut cluster_counts = Vec::with_capacity(explanations.len());
+    let mut r2s = Vec::with_capacity(explanations.len());
+
+    for ce in explanations {
+        cluster_counts.push(ce.selected_k as f64);
+        r2s.push(ce.group_r2);
+        // Attribute mass from the word-level attribution.
+        for (w, &weight) in ce.word_level.words.iter().zip(&ce.word_level.weights) {
+            if w.attribute < n_attrs {
+                attr_mass[w.attribute] += weight.abs();
+            }
+        }
+        // Top cluster's dominant attribute.
+        if let Some(top) = ce.clusters.first() {
+            let mut counts = vec![0usize; n_attrs];
+            for &i in &top.member_indices {
+                let a = ce.word_level.words[i].attribute;
+                if a < n_attrs {
+                    counts[a] += 1;
+                }
+            }
+            if let Some((best_attr, _)) =
+                counts.iter().enumerate().max_by_key(|&(_, c)| *c)
+            {
+                attr_top[best_attr] += 1;
+            }
+        }
+        // Recurring words from the strongest clusters.
+        for cluster in ce.clusters.iter().take(top_clusters) {
+            for &i in &cluster.member_indices {
+                let w = &ce.word_level.words[i];
+                let entry = word_stats
+                    .entry((w.text.clone(), w.attribute))
+                    .or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += cluster.weight;
+            }
+        }
+    }
+
+    let n = explanations.len() as f64;
+    let mut attributes: Vec<AttributeImportance> = (0..n_attrs)
+        .map(|a| AttributeImportance {
+            attribute: schema.name(a).to_string(),
+            mean_abs_mass: attr_mass[a] / n,
+            top_cluster_share: attr_top[a] as f64 / n,
+        })
+        .collect();
+    attributes.sort_by(|x, y| y.mean_abs_mass.partial_cmp(&x.mean_abs_mass).unwrap());
+
+    let mut recurring_words: Vec<RecurringWord> = word_stats
+        .into_iter()
+        .map(|((word, attr), (occ, weight_sum))| RecurringWord {
+            word,
+            attribute: schema.name(attr.min(n_attrs - 1)).to_string(),
+            occurrences: occ,
+            mean_weight: weight_sum / occ as f64,
+        })
+        .collect();
+    recurring_words.sort_by(|a, b| {
+        b.occurrences
+            .cmp(&a.occurrences)
+            .then(b.mean_weight.abs().partial_cmp(&a.mean_weight.abs()).unwrap())
+            .then(a.word.cmp(&b.word))
+    });
+
+    Ok(GlobalExplanation {
+        pairs_explained: explanations.len(),
+        attributes,
+        recurring_words,
+        mean_clusters: em_linalg::stats::mean(&cluster_counts),
+        mean_group_r2: em_linalg::stats::mean(&r2s),
+    })
+}
+
+/// Explain up to `max_pairs` pairs of a dataset and aggregate. Pairs whose
+/// explanation fails (e.g. empty records) are skipped.
+pub fn explain_dataset(
+    crew: &Crew,
+    matcher: &dyn Matcher,
+    dataset: &Dataset,
+    max_pairs: usize,
+    top_clusters: usize,
+) -> Result<GlobalExplanation, crate::ExplainError> {
+    let mut explanations = Vec::new();
+    for ex in dataset.examples().iter().take(max_pairs) {
+        match crew.explain_clusters(matcher, &ex.pair) {
+            Ok(ce) => explanations.push(ce),
+            Err(crate::ExplainError::EmptyPair) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    aggregate_explanations(&explanations, dataset.schema(), top_clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crew::CrewOptions;
+    use crate::perturb::PerturbOptions;
+    use em_data::{EntityPair, Record};
+    use em_embed::{EmbeddingOptions, WordEmbeddings};
+    use std::sync::Arc;
+
+    /// Matches on shared brand token only — brand should dominate globally.
+    struct BrandMatcher;
+    impl Matcher for BrandMatcher {
+        fn name(&self) -> &str {
+            "brand"
+        }
+        fn predict_proba(&self, pair: &EntityPair) -> f64 {
+            let l = em_text::tokenize(pair.left().value(1));
+            let r = em_text::tokenize(pair.right().value(1));
+            if !l.is_empty() && l == r {
+                0.9
+            } else {
+                0.1
+            }
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let schema = Arc::new(Schema::new(vec!["title", "brand"]));
+        let mk = |id, t: &str, b: &str| {
+            Record::new(id, vec![t.to_string(), b.to_string()])
+        };
+        let mut examples = Vec::new();
+        let data = [
+            ("red chair", "acme", "crimson chair", "acme", true),
+            ("blue table", "bolt", "navy table", "bolt", true),
+            ("green lamp", "core", "lime lamp", "dex", false),
+            ("white desk", "acme", "ivory desk", "bolt", false),
+        ];
+        for (i, (lt, lb, rt, rb, label)) in data.iter().enumerate() {
+            let pair = EntityPair::new(
+                Arc::clone(&schema),
+                mk(i as u64 * 2, lt, lb),
+                mk(i as u64 * 2 + 1, rt, rb),
+            )
+            .unwrap();
+            examples.push(em_data::LabeledPair {
+                pair,
+                label: em_data::Label::from_bool(*label),
+            });
+        }
+        Dataset::new("toy", schema, examples).unwrap()
+    }
+
+    fn crew() -> Crew {
+        let corpus: Vec<Vec<String>> = [
+            "red chair acme", "blue table bolt", "green lamp core", "white desk acme",
+        ]
+        .iter()
+        .map(|s| em_text::tokenize(s))
+        .collect();
+        let emb = WordEmbeddings::train(
+            corpus.iter().map(|v| v.as_slice()),
+            EmbeddingOptions { dimensions: 8, ..Default::default() },
+        )
+        .unwrap();
+        Crew::new(
+            Arc::new(emb),
+            CrewOptions {
+                perturb: PerturbOptions { samples: 128, ..Default::default() },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn global_explanation_identifies_the_driving_attribute() {
+        let d = dataset();
+        let g = explain_dataset(&crew(), &BrandMatcher, &d, 10, 2).unwrap();
+        assert_eq!(g.pairs_explained, 4);
+        // Brand carries the decision; it must rank first by mass.
+        assert_eq!(g.attributes[0].attribute, "brand");
+        assert!(g.attributes[0].mean_abs_mass > g.attributes[1].mean_abs_mass);
+    }
+
+    #[test]
+    fn recurring_words_include_brand_tokens() {
+        let d = dataset();
+        let g = explain_dataset(&crew(), &BrandMatcher, &d, 10, 3).unwrap();
+        let brand_words: Vec<&RecurringWord> = g
+            .recurring_words
+            .iter()
+            .filter(|w| w.attribute == "brand")
+            .collect();
+        assert!(!brand_words.is_empty(), "brand words should recur in top clusters");
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let d = dataset();
+        let g = explain_dataset(&crew(), &BrandMatcher, &d, 2, 1).unwrap();
+        let text = g.render();
+        assert!(text.contains("over 2 pairs"));
+        assert!(text.contains("attribute importance"));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let d = dataset();
+        assert!(aggregate_explanations(&[], d.schema(), 1).is_err());
+    }
+
+    #[test]
+    fn aggregation_statistics_are_consistent() {
+        let d = dataset();
+        let c = crew();
+        let explanations: Vec<ClusterExplanation> = d
+            .examples()
+            .iter()
+            .map(|ex| c.explain_clusters(&BrandMatcher, &ex.pair).unwrap())
+            .collect();
+        let g = aggregate_explanations(&explanations, d.schema(), 1).unwrap();
+        let expect_mean = em_linalg::stats::mean(
+            &explanations.iter().map(|e| e.selected_k as f64).collect::<Vec<_>>(),
+        );
+        assert!((g.mean_clusters - expect_mean).abs() < 1e-12);
+        // Top-cluster shares sum to at most 1.
+        let share_sum: f64 = g.attributes.iter().map(|a| a.top_cluster_share).sum();
+        assert!(share_sum <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,436 @@
+//! The perturbation engine: sample word-drop masks, rebuild textual pairs,
+//! and query the matcher — optionally in parallel. All perturbation-based
+//! explainers (CREW, LIME, Mojito, Landmark, LEMON) share this substrate,
+//! so score differences reflect algorithms rather than plumbing.
+
+use em_data::{EntityPair, Side, TokenizedPair};
+use em_matchers::Matcher;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How drop masks are sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskStrategy {
+    /// LIME-for-text style: per sample, choose a drop count uniformly in
+    /// `1..=n-1` and drop that many uniformly chosen words.
+    UniformCount,
+    /// Independent per-word keep with probability 0.5.
+    Bernoulli,
+    /// Attribute-stratified: like `UniformCount` but drops are spread over
+    /// attributes proportionally, so a sample never silently concentrates
+    /// on one attribute (CREW's schema-aware sampler).
+    AttributeStratified,
+    /// Only perturb one side, keeping the other fixed (Landmark-style).
+    SingleSide(Side),
+}
+
+/// Options for perturbation sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbOptions {
+    /// Number of perturbed samples (the all-kept sample is added on top).
+    pub samples: usize,
+    pub strategy: MaskStrategy,
+    pub seed: u64,
+    /// Number of worker threads for model queries (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for PerturbOptions {
+    fn default() -> Self {
+        PerturbOptions {
+            samples: 256,
+            strategy: MaskStrategy::AttributeStratified,
+            seed: 0xc4e4,
+            threads: 1,
+        }
+    }
+}
+
+/// A perturbation sample: masks (true = word kept) and the matcher's
+/// response on each rebuilt pair. Row 0 is always the unperturbed pair.
+#[derive(Debug, Clone)]
+pub struct PerturbationSet {
+    pub masks: Vec<Vec<bool>>,
+    pub responses: Vec<f64>,
+    /// Fraction of words kept per sample (cached for kernels).
+    pub kept_fraction: Vec<f64>,
+}
+
+impl PerturbationSet {
+    /// Number of samples (including the unperturbed row 0).
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Model probability on the original pair.
+    pub fn base_score(&self) -> f64 {
+        self.responses[0]
+    }
+}
+
+/// Generate drop masks for a tokenized pair (without querying any model).
+pub fn sample_masks(
+    tokenized: &TokenizedPair,
+    opts: &PerturbOptions,
+) -> Result<Vec<Vec<bool>>, crate::ExplainError> {
+    let n = tokenized.len();
+    if n == 0 {
+        return Err(crate::ExplainError::EmptyPair);
+    }
+    if opts.samples == 0 {
+        return Err(crate::ExplainError::NoSamples);
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut masks = Vec::with_capacity(opts.samples + 1);
+    masks.push(vec![true; n]); // row 0: original
+    let perturbable: Vec<usize> = match opts.strategy {
+        MaskStrategy::SingleSide(side) => tokenized.side_indices(side),
+        _ => (0..n).collect(),
+    };
+    if perturbable.is_empty() {
+        return Err(crate::ExplainError::EmptyPair);
+    }
+    for _ in 0..opts.samples {
+        let mut mask = vec![true; n];
+        match opts.strategy {
+            MaskStrategy::Bernoulli => {
+                for &i in &perturbable {
+                    mask[i] = rng.gen_bool(0.5);
+                }
+                // Never emit the all-dropped mask on this path either.
+                if perturbable.iter().all(|&i| !mask[i]) {
+                    mask[perturbable[rng.gen_range(0..perturbable.len())]] = true;
+                }
+            }
+            MaskStrategy::UniformCount | MaskStrategy::SingleSide(_) => {
+                let max_drop = perturbable.len().max(2) - 1;
+                let n_drop = rng.gen_range(1..=max_drop.max(1));
+                let mut order = perturbable.clone();
+                partial_shuffle(&mut order, n_drop, &mut rng);
+                for &i in order.iter().take(n_drop) {
+                    mask[i] = false;
+                }
+            }
+            MaskStrategy::AttributeStratified => {
+                // Choose a global drop fraction, then apply it within every
+                // non-empty attribute group independently.
+                let frac = rng.gen_range(0.1..0.9);
+                for group in tokenized.attribute_groups() {
+                    if group.is_empty() {
+                        continue;
+                    }
+                    let n_drop =
+                        ((group.len() as f64 * frac).round() as usize).min(group.len());
+                    let mut order = group.clone();
+                    partial_shuffle(&mut order, n_drop, &mut rng);
+                    for &i in order.iter().take(n_drop) {
+                        mask[i] = false;
+                    }
+                }
+                if mask.iter().all(|&m| !m) {
+                    mask[rng.gen_range(0..n)] = true;
+                }
+            }
+        }
+        masks.push(mask);
+    }
+    Ok(masks)
+}
+
+/// Fisher-Yates prefix shuffle: after the call the first `k` items are a
+/// uniform random sample without replacement.
+fn partial_shuffle(items: &mut [usize], k: usize, rng: &mut StdRng) {
+    let n = items.len();
+    for i in 0..k.min(n.saturating_sub(1)) {
+        let j = rng.gen_range(i..n);
+        items.swap(i, j);
+    }
+}
+
+/// Query the matcher on every masked rebuild of the pair.
+///
+/// `injections[i]` (if provided) is appended to the i-th masked pair —
+/// used by injection-augmented explainers. Uses `opts.threads` workers.
+pub fn query_masks(
+    tokenized: &TokenizedPair,
+    masks: &[Vec<bool>],
+    matcher: &dyn Matcher,
+    threads: usize,
+) -> Vec<f64> {
+    let run = |mask: &Vec<bool>| -> f64 {
+        let pair: EntityPair = tokenized.apply_mask(mask);
+        matcher.predict_proba(&pair)
+    };
+    if threads <= 1 || masks.len() < 32 {
+        return masks.iter().map(run).collect();
+    }
+    let mut responses = vec![0.0; masks.len()];
+    let chunk = masks.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (mask_chunk, resp_chunk) in masks.chunks(chunk).zip(responses.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (m, r) in mask_chunk.iter().zip(resp_chunk.iter_mut()) {
+                    *r = run(m);
+                }
+            });
+        }
+    })
+    .expect("perturbation worker panicked");
+    responses
+}
+
+/// Sample masks and query the matcher in one step.
+///
+/// Guards against misbehaving models: a non-finite probability from the
+/// matcher is reported as [`crate::ExplainError::NonFiniteModelOutput`]
+/// instead of silently corrupting the surrogate fit; out-of-range finite
+/// values are clamped into `[0, 1]`.
+pub fn perturb(
+    tokenized: &TokenizedPair,
+    matcher: &dyn Matcher,
+    opts: &PerturbOptions,
+) -> Result<PerturbationSet, crate::ExplainError> {
+    let masks = sample_masks(tokenized, opts)?;
+    let mut responses = query_masks(tokenized, &masks, matcher, opts.threads);
+    for (i, r) in responses.iter_mut().enumerate() {
+        if !r.is_finite() {
+            return Err(crate::ExplainError::NonFiniteModelOutput { sample: i, value: *r });
+        }
+        *r = r.clamp(0.0, 1.0);
+    }
+    let n = tokenized.len() as f64;
+    let kept_fraction = masks
+        .iter()
+        .map(|m| m.iter().filter(|&&b| b).count() as f64 / n)
+        .collect();
+    Ok(PerturbationSet { masks, responses, kept_fraction })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::{Record, Schema};
+    use std::sync::Arc;
+
+    struct CountingMatcher;
+    impl Matcher for CountingMatcher {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        // Score = fraction of words present on the left title.
+        fn predict_proba(&self, pair: &EntityPair) -> f64 {
+            em_text::token_count(pair.left().value(0)) as f64 / 4.0
+        }
+    }
+
+    fn tokenized() -> TokenizedPair {
+        let schema = Arc::new(Schema::new(vec!["title", "brand"]));
+        let pair = EntityPair::new(
+            schema,
+            Record::new(0, vec!["one two three four".into(), "acme".into()]),
+            Record::new(1, vec!["one two".into(), "acme".into()]),
+        )
+        .unwrap();
+        TokenizedPair::new(pair)
+    }
+
+    #[test]
+    fn row_zero_is_unperturbed() {
+        let tp = tokenized();
+        let set = perturb(&tp, &CountingMatcher, &PerturbOptions::default()).unwrap();
+        assert!(set.masks[0].iter().all(|&b| b));
+        assert_eq!(set.base_score(), 1.0);
+        assert_eq!(set.kept_fraction[0], 1.0);
+        assert_eq!(set.len(), 257);
+    }
+
+    #[test]
+    fn masks_are_deterministic_per_seed() {
+        let tp = tokenized();
+        let opts = PerturbOptions { samples: 50, ..Default::default() };
+        let a = sample_masks(&tp, &opts).unwrap();
+        let b = sample_masks(&tp, &opts).unwrap();
+        assert_eq!(a, b);
+        let opts2 = PerturbOptions { seed: 999, ..opts };
+        let c = sample_masks(&tp, &opts2).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_mask_is_all_dropped() {
+        let tp = tokenized();
+        for strategy in [
+            MaskStrategy::UniformCount,
+            MaskStrategy::Bernoulli,
+            MaskStrategy::AttributeStratified,
+        ] {
+            let opts = PerturbOptions { samples: 200, strategy, ..Default::default() };
+            let masks = sample_masks(&tp, &opts).unwrap();
+            for m in &masks {
+                assert!(m.iter().any(|&b| b), "all-dropped mask from {strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_count_always_drops_something() {
+        let tp = tokenized();
+        let opts = PerturbOptions {
+            samples: 100,
+            strategy: MaskStrategy::UniformCount,
+            ..Default::default()
+        };
+        let masks = sample_masks(&tp, &opts).unwrap();
+        for m in masks.iter().skip(1) {
+            assert!(m.iter().any(|&b| !b), "a perturbed sample must drop a word");
+        }
+    }
+
+    #[test]
+    fn single_side_leaves_other_side_untouched() {
+        let tp = tokenized();
+        let opts = PerturbOptions {
+            samples: 100,
+            strategy: MaskStrategy::SingleSide(Side::Right),
+            ..Default::default()
+        };
+        let masks = sample_masks(&tp, &opts).unwrap();
+        let left = tp.side_indices(Side::Left);
+        for m in &masks {
+            for &i in &left {
+                assert!(m[i], "left side must stay intact");
+            }
+        }
+    }
+
+    #[test]
+    fn responses_reflect_masks() {
+        let tp = tokenized();
+        let set = perturb(
+            &tp,
+            &CountingMatcher,
+            &PerturbOptions { samples: 64, ..Default::default() },
+        )
+        .unwrap();
+        for (mask, &resp) in set.masks.iter().zip(&set.responses) {
+            // Count kept words in left title (indices 0..4).
+            let kept = mask[..4].iter().filter(|&&b| b).count();
+            assert!((resp - kept as f64 / 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let tp = tokenized();
+        let opts = PerturbOptions { samples: 100, threads: 1, ..Default::default() };
+        let masks = sample_masks(&tp, &opts).unwrap();
+        let seq = query_masks(&tp, &masks, &CountingMatcher, 1);
+        let par = query_masks(&tp, &masks, &CountingMatcher, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_pair_and_zero_samples_are_errors() {
+        let schema = Arc::new(Schema::new(vec!["t"]));
+        let empty = TokenizedPair::new(
+            EntityPair::new(
+                Arc::clone(&schema),
+                Record::new(0, vec!["".into()]),
+                Record::new(1, vec!["".into()]),
+            )
+            .unwrap(),
+        );
+        assert!(matches!(
+            sample_masks(&empty, &PerturbOptions::default()),
+            Err(crate::ExplainError::EmptyPair)
+        ));
+        let tp = tokenized();
+        assert!(matches!(
+            sample_masks(&tp, &PerturbOptions { samples: 0, ..Default::default() }),
+            Err(crate::ExplainError::NoSamples)
+        ));
+    }
+
+    #[test]
+    fn stratified_masks_touch_every_attribute() {
+        let tp = tokenized();
+        let opts = PerturbOptions {
+            samples: 300,
+            strategy: MaskStrategy::AttributeStratified,
+            ..Default::default()
+        };
+        let masks = sample_masks(&tp, &opts).unwrap();
+        // Both the title group and the brand group must get dropped in some
+        // samples.
+        let brand_indices = tp.cell_indices(Side::Left, 1);
+        let brand_dropped = masks.iter().any(|m| brand_indices.iter().any(|&i| !m[i]));
+        assert!(brand_dropped, "stratified sampling never perturbed the brand");
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+    use em_data::{EntityPair, Record, Schema};
+    use std::sync::Arc;
+
+    struct NanMatcher;
+    impl Matcher for NanMatcher {
+        fn name(&self) -> &str {
+            "nan"
+        }
+        fn predict_proba(&self, pair: &EntityPair) -> f64 {
+            // NaN once the pair loses words; finite on the original.
+            if em_text::token_count(&pair.left().full_text()) < 3 {
+                f64::NAN
+            } else {
+                0.5
+            }
+        }
+    }
+
+    struct OutOfRangeMatcher;
+    impl Matcher for OutOfRangeMatcher {
+        fn name(&self) -> &str {
+            "oob"
+        }
+        fn predict_proba(&self, _: &EntityPair) -> f64 {
+            1.7
+        }
+    }
+
+    fn tokenized() -> TokenizedPair {
+        let schema = Arc::new(Schema::new(vec!["t"]));
+        let pair = EntityPair::new(
+            schema,
+            Record::new(0, vec!["one two three".into()]),
+            Record::new(1, vec!["four five".into()]),
+        )
+        .unwrap();
+        TokenizedPair::new(pair)
+    }
+
+    #[test]
+    fn nan_output_is_reported_not_propagated() {
+        let tp = tokenized();
+        let err = perturb(&tp, &NanMatcher, &PerturbOptions { samples: 64, ..Default::default() })
+            .unwrap_err();
+        assert!(matches!(err, crate::ExplainError::NonFiniteModelOutput { .. }));
+        let msg = format!("{err}");
+        assert!(msg.contains("non-finite"));
+    }
+
+    #[test]
+    fn out_of_range_output_is_clamped() {
+        let tp = tokenized();
+        let set =
+            perturb(&tp, &OutOfRangeMatcher, &PerturbOptions { samples: 16, ..Default::default() })
+                .unwrap();
+        assert!(set.responses.iter().all(|&r| (0.0..=1.0).contains(&r)));
+        assert_eq!(set.base_score(), 1.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Machine-readable explanation reports: a small hand-rolled JSON emitter
+//! (the approved dependency set has no JSON crate) so explanations can be
+//! exported to dashboards and notebooks.
+
+use crate::explanation::{ClusterExplanation, WordExplanation};
+use em_data::Schema;
+
+/// Escape a string per JSON rules.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float as JSON (finite guard: NaN/inf become null).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        // Shortest round-trip representation Rust provides.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialise a word-level explanation to a JSON object string.
+pub fn word_explanation_to_json(expl: &WordExplanation, schema: &Schema) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"explainer\":\"{}\",", escape(&expl.explainer)));
+    out.push_str(&format!("\"base_score\":{},", num(expl.base_score)));
+    out.push_str(&format!("\"surrogate_r2\":{},", num(expl.surrogate_r2)));
+    out.push_str(&format!("\"intercept\":{},", num(expl.intercept)));
+    out.push_str("\"words\":[");
+    for (i, (w, &weight)) in expl.words.iter().zip(&expl.weights).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"text\":\"{}\",\"side\":\"{}\",\"attribute\":\"{}\",\"position\":{},\"weight\":{}}}",
+            escape(&w.text),
+            w.side.tag(),
+            escape(schema.name(w.attribute)),
+            w.position,
+            num(weight)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serialise a cluster explanation to a JSON object string (includes the
+/// word-level drill-down).
+pub fn cluster_explanation_to_json(expl: &ClusterExplanation, schema: &Schema) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"selected_k\":{},", expl.selected_k));
+    out.push_str(&format!("\"group_r2\":{},", num(expl.group_r2)));
+    out.push_str(&format!("\"silhouette\":{},", num(expl.silhouette)));
+    out.push_str("\"clusters\":[");
+    for (i, c) in expl.clusters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"weight\":{},\"coherence\":{},\"words\":[",
+            num(c.weight),
+            num(c.coherence)
+        ));
+        for (j, &w) in c.member_indices.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let word = &expl.word_level.words[w];
+            out.push_str(&format!(
+                "{{\"text\":\"{}\",\"side\":\"{}\",\"attribute\":\"{}\"}}",
+                escape(&word.text),
+                word.side.tag(),
+                escape(schema.name(word.attribute))
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],");
+    out.push_str(&format!(
+        "\"word_level\":{}",
+        word_explanation_to_json(&expl.word_level, schema)
+    ));
+    out.push('}');
+    out
+}
+
+/// Minimal JSON validity check used by tests and debug assertions: verifies
+/// balanced braces/brackets outside strings and legal escapes. Not a full
+/// parser — just enough to catch emitter bugs.
+pub fn looks_like_valid_json(s: &str) -> bool {
+    let mut depth: Vec<char> = Vec::new();
+    let mut chars = s.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    match chars.next() {
+                        Some('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') => {}
+                        Some('u') => {
+                            for _ in 0..4 {
+                                match chars.next() {
+                                    Some(h) if h.is_ascii_hexdigit() => {}
+                                    _ => return false,
+                                }
+                            }
+                        }
+                        _ => return false,
+                    }
+                }
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth.push('}'),
+            '[' => depth.push(']'),
+            '}' | ']'
+                if depth.pop() != Some(c) => {
+                    return false;
+                }
+            _ => {}
+        }
+    }
+    depth.is_empty() && !in_string
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explanation::WordCluster;
+    use em_data::{EntityPair, Record, TokenizedPair};
+    use std::sync::Arc;
+
+    fn sample() -> (ClusterExplanation, Arc<Schema>) {
+        let schema = Arc::new(Schema::new(vec!["title"]));
+        let pair = EntityPair::new(
+            Arc::clone(&schema),
+            Record::new(0, vec!["alpha \"quoted\" beta".into()]),
+            Record::new(1, vec!["gamma".into()]),
+        )
+        .unwrap();
+        let tp = TokenizedPair::new(pair);
+        let word_level = WordExplanation {
+            explainer: "crew".into(),
+            words: tp.words().to_vec(),
+            weights: vec![0.5, -0.25, 0.1, 0.0],
+            base_score: 0.8,
+            intercept: 0.1,
+            surrogate_r2: 0.9,
+        };
+        let ce = ClusterExplanation {
+            word_level,
+            clusters: vec![
+                WordCluster { member_indices: vec![0, 2], weight: 0.6, coherence: 0.7 },
+                WordCluster { member_indices: vec![1, 3], weight: -0.2, coherence: 0.5 },
+            ],
+            selected_k: 2,
+            group_r2: 0.85,
+            silhouette: 0.4,
+        };
+        (ce, schema)
+    }
+
+    #[test]
+    fn word_json_is_structurally_valid() {
+        let (ce, schema) = sample();
+        let json = word_explanation_to_json(&ce.word_level, &schema);
+        assert!(looks_like_valid_json(&json), "{json}");
+        assert!(json.contains("\"explainer\":\"crew\""));
+        assert!(json.contains("\"text\":\"alpha\""));
+        assert!(json.contains("\"weight\":0.5"));
+    }
+
+    #[test]
+    fn cluster_json_is_structurally_valid() {
+        let (ce, schema) = sample();
+        let json = cluster_explanation_to_json(&ce, &schema);
+        assert!(looks_like_valid_json(&json), "{json}");
+        assert!(json.contains("\"selected_k\":2"));
+        assert!(json.contains("\"clusters\":["));
+        assert!(json.contains("\"word_level\":{"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("line\nbreak"), "line\\nbreak");
+        assert_eq!(escape("bell\u{7}"), "bell\\u0007");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn validity_checker_rejects_garbage() {
+        assert!(looks_like_valid_json("{\"a\":[1,2,{}]}"));
+        assert!(!looks_like_valid_json("{\"a\":["));
+        assert!(!looks_like_valid_json("{]}"));
+        assert!(!looks_like_valid_json("{\"unterminated"));
+        assert!(!looks_like_valid_json("\"bad \\x escape\""));
+    }
+}

@@ -1,0 +1,237 @@
+//! Local surrogate fitting: the LIME-style weighted ridge regression that
+//! converts a perturbation sample into word-level (or cluster-level)
+//! attributions.
+
+use crate::perturb::PerturbationSet;
+use em_linalg::{ridge_regression, Matrix};
+
+/// Kernel and regularisation settings of the surrogate.
+#[derive(Debug, Clone, Copy)]
+pub struct SurrogateOptions {
+    /// Exponential kernel width on mask distance (fraction of words
+    /// dropped); LIME's default shape `exp(-d²/w²)`.
+    pub kernel_width: f64,
+    /// Ridge penalty.
+    pub lambda: f64,
+}
+
+impl Default for SurrogateOptions {
+    fn default() -> Self {
+        SurrogateOptions { kernel_width: 0.75, lambda: 1e-3 }
+    }
+}
+
+/// Result of a surrogate fit.
+#[derive(Debug, Clone)]
+pub struct SurrogateFit {
+    /// One signed weight per feature (word or cluster).
+    pub weights: Vec<f64>,
+    /// Intercept of the local linear model.
+    pub intercept: f64,
+    /// Weighted R² on the perturbation sample.
+    pub r_squared: f64,
+}
+
+/// Proximity weight of a sample given the fraction of words it kept.
+pub fn kernel_weight(kept_fraction: f64, width: f64) -> f64 {
+    let dropped = 1.0 - kept_fraction;
+    (-(dropped * dropped) / (width * width)).exp()
+}
+
+/// Fit a word-level surrogate: design matrix = binary keep indicators.
+pub fn fit_word_surrogate(
+    set: &PerturbationSet,
+    opts: &SurrogateOptions,
+) -> Result<SurrogateFit, crate::ExplainError> {
+    let n_words = set.masks.first().map_or(0, |m| m.len());
+    if n_words == 0 || set.is_empty() {
+        return Err(crate::ExplainError::EmptyPair);
+    }
+    let x = Matrix::from_fn(set.len(), n_words, |i, j| if set.masks[i][j] { 1.0 } else { 0.0 });
+    fit(set, x, opts)
+}
+
+/// Fit a group-level surrogate: one feature per group, valued as the
+/// fraction of the group's words kept in the sample. Groups are lists of
+/// word indices; they need not cover all words (uncovered words are simply
+/// not part of any feature).
+pub fn fit_group_surrogate(
+    set: &PerturbationSet,
+    groups: &[Vec<usize>],
+    opts: &SurrogateOptions,
+) -> Result<SurrogateFit, crate::ExplainError> {
+    if groups.is_empty() {
+        return Err(crate::ExplainError::NoGroups);
+    }
+    let n_words = set.masks.first().map_or(0, |m| m.len());
+    for g in groups {
+        if g.is_empty() {
+            return Err(crate::ExplainError::NoGroups);
+        }
+        if g.iter().any(|&i| i >= n_words) {
+            return Err(crate::ExplainError::GroupIndexOutOfRange);
+        }
+    }
+    let x = Matrix::from_fn(set.len(), groups.len(), |i, j| {
+        let g = &groups[j];
+        let kept = g.iter().filter(|&&w| set.masks[i][w]).count();
+        kept as f64 / g.len() as f64
+    });
+    fit(set, x, opts)
+}
+
+fn fit(
+    set: &PerturbationSet,
+    x: Matrix,
+    opts: &SurrogateOptions,
+) -> Result<SurrogateFit, crate::ExplainError> {
+    if opts.kernel_width <= 0.0 {
+        return Err(crate::ExplainError::InvalidKernelWidth(opts.kernel_width));
+    }
+    let weights: Vec<f64> =
+        set.kept_fraction.iter().map(|&f| kernel_weight(f, opts.kernel_width)).collect();
+    let fit = ridge_regression(&x, &set.responses, &weights, opts.lambda)
+        .map_err(crate::ExplainError::Linalg)?;
+    Ok(SurrogateFit {
+        weights: fit.coefficients,
+        intercept: fit.intercept,
+        r_squared: fit.r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Build a synthetic perturbation set where the response is a known
+    /// linear function of the mask.
+    fn linear_set(n_words: usize, true_weights: &[f64], samples: usize, seed: u64) -> PerturbationSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut masks = vec![vec![true; n_words]];
+        for _ in 0..samples {
+            let mut m: Vec<bool> = (0..n_words).map(|_| rng.gen_bool(0.5)).collect();
+            if m.iter().all(|&b| !b) {
+                m[0] = true;
+            }
+            masks.push(m);
+        }
+        let responses: Vec<f64> = masks
+            .iter()
+            .map(|m| {
+                0.1 + m
+                    .iter()
+                    .zip(true_weights)
+                    .map(|(&b, &w)| if b { w } else { 0.0 })
+                    .sum::<f64>()
+            })
+            .collect();
+        let kept_fraction = masks
+            .iter()
+            .map(|m| m.iter().filter(|&&b| b).count() as f64 / n_words as f64)
+            .collect();
+        PerturbationSet { masks, responses, kept_fraction }
+    }
+
+    #[test]
+    fn word_surrogate_recovers_linear_model() {
+        let truth = [0.4, -0.2, 0.0, 0.3];
+        let set = linear_set(4, &truth, 300, 1);
+        let fit = fit_word_surrogate(&set, &SurrogateOptions::default()).unwrap();
+        for (w, t) in fit.weights.iter().zip(&truth) {
+            assert!((w - t).abs() < 0.02, "weight {w} vs truth {t}");
+        }
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn kernel_weight_decays_with_drops() {
+        let full = kernel_weight(1.0, 0.75);
+        let half = kernel_weight(0.5, 0.75);
+        let none = kernel_weight(0.0, 0.75);
+        assert_eq!(full, 1.0);
+        assert!(half < full && half > none);
+    }
+
+    #[test]
+    fn group_surrogate_attributes_weight_to_groups() {
+        // Words 0,1 carry +0.3 each; words 2,3 carry -0.2 each.
+        let truth = [0.3, 0.3, -0.2, -0.2];
+        let set = linear_set(4, &truth, 400, 2);
+        let groups = vec![vec![0, 1], vec![2, 3]];
+        let fit = fit_group_surrogate(&set, &groups, &SurrogateOptions::default()).unwrap();
+        // Group feature is kept-fraction, so weight ≈ sum of member effects.
+        assert!((fit.weights[0] - 0.6).abs() < 0.05, "g0 {}", fit.weights[0]);
+        assert!((fit.weights[1] + 0.4).abs() < 0.05, "g1 {}", fit.weights[1]);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn grouping_correlated_words_keeps_fidelity() {
+        // A response that only depends on the *pair* of words being present
+        // together is better explained by a group feature.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n_words = 4;
+        let mut masks = vec![vec![true; n_words]];
+        for _ in 0..300 {
+            let m: Vec<bool> = (0..n_words).map(|_| rng.gen_bool(0.5)).collect();
+            masks.push(m);
+        }
+        let responses: Vec<f64> = masks
+            .iter()
+            .map(|m| if m[0] && m[1] { 0.9 } else { 0.2 })
+            .collect();
+        let kept_fraction = masks
+            .iter()
+            .map(|m| m.iter().filter(|&&b| b).count() as f64 / n_words as f64)
+            .collect();
+        let set = PerturbationSet { masks, responses, kept_fraction };
+        let word = fit_word_surrogate(&set, &SurrogateOptions::default()).unwrap();
+        let group = fit_group_surrogate(&set, &[vec![0, 1], vec![2, 3]], &SurrogateOptions::default())
+            .unwrap();
+        // The group surrogate with 2 features should be close to the word
+        // surrogate with 4 features in fit quality.
+        assert!(group.r_squared > word.r_squared - 0.1);
+        assert!(group.weights[0] > 0.3);
+        assert!(group.weights[1].abs() < 0.1);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let set = linear_set(3, &[0.1, 0.1, 0.1], 20, 4);
+        assert!(matches!(
+            fit_group_surrogate(&set, &[], &SurrogateOptions::default()),
+            Err(crate::ExplainError::NoGroups)
+        ));
+        assert!(matches!(
+            fit_group_surrogate(&set, &[vec![]], &SurrogateOptions::default()),
+            Err(crate::ExplainError::NoGroups)
+        ));
+        assert!(matches!(
+            fit_group_surrogate(&set, &[vec![99]], &SurrogateOptions::default()),
+            Err(crate::ExplainError::GroupIndexOutOfRange)
+        ));
+        assert!(matches!(
+            fit_word_surrogate(
+                &set,
+                &SurrogateOptions { kernel_width: 0.0, ..Default::default() }
+            ),
+            Err(crate::ExplainError::InvalidKernelWidth(_))
+        ));
+    }
+
+    #[test]
+    fn constant_response_gives_zeroish_weights() {
+        let set = {
+            let mut s = linear_set(3, &[0.0, 0.0, 0.0], 50, 5);
+            s.responses.iter_mut().for_each(|r| *r = 0.7);
+            s
+        };
+        let fit = fit_word_surrogate(&set, &SurrogateOptions::default()).unwrap();
+        for w in &fit.weights {
+            assert!(w.abs() < 1e-6);
+        }
+        assert!((fit.intercept - 0.7).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,337 @@
+//! Labelled datasets of candidate pairs, with deterministic splits and the
+//! summary statistics reported in the evaluation's dataset table.
+
+use crate::schema::{EntityPair, Schema};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Ground-truth label of a candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    Match,
+    NonMatch,
+}
+
+impl Label {
+    pub fn from_bool(is_match: bool) -> Self {
+        if is_match {
+            Label::Match
+        } else {
+            Label::NonMatch
+        }
+    }
+
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Label::Match => 1.0,
+            Label::NonMatch => 0.0,
+        }
+    }
+
+    pub fn is_match(self) -> bool {
+        matches!(self, Label::Match)
+    }
+}
+
+/// A labelled example.
+#[derive(Debug, Clone)]
+pub struct LabeledPair {
+    pub pair: EntityPair,
+    pub label: Label,
+}
+
+/// A named collection of labelled candidate pairs over one schema.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    schema: Arc<Schema>,
+    examples: Vec<LabeledPair>,
+}
+
+/// Train/validation/test split of a dataset (by reference into clones).
+#[derive(Debug, Clone)]
+pub struct Split {
+    pub train: Dataset,
+    pub validation: Dataset,
+    pub test: Dataset,
+}
+
+/// Summary statistics (dataset table row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    pub name: String,
+    pub pairs: usize,
+    pub matches: usize,
+    pub match_rate: f64,
+    pub attributes: usize,
+    pub avg_tokens_per_pair: f64,
+}
+
+impl Dataset {
+    /// Create a dataset; every pair must share the dataset schema.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+        examples: Vec<LabeledPair>,
+    ) -> Result<Self, crate::DataError> {
+        for ex in &examples {
+            if ex.pair.schema() != schema.as_ref() {
+                return Err(crate::DataError::ForeignSchema { record_id: ex.pair.left().id });
+            }
+        }
+        Ok(Dataset { name: name.into(), schema, examples })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    pub fn examples(&self) -> &[LabeledPair] {
+        &self.examples
+    }
+
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Number of positive (match) examples.
+    pub fn match_count(&self) -> usize {
+        self.examples.iter().filter(|e| e.label.is_match()).count()
+    }
+
+    /// Summary statistics for reporting.
+    pub fn stats(&self) -> DatasetStats {
+        let matches = self.match_count();
+        let token_total: usize = self.examples.iter().map(|e| e.pair.token_count()).sum();
+        DatasetStats {
+            name: self.name.clone(),
+            pairs: self.len(),
+            matches,
+            match_rate: if self.is_empty() { 0.0 } else { matches as f64 / self.len() as f64 },
+            attributes: self.schema.len(),
+            avg_tokens_per_pair: if self.is_empty() {
+                0.0
+            } else {
+                token_total as f64 / self.len() as f64
+            },
+        }
+    }
+
+    /// Deterministic stratified train/validation/test split.
+    ///
+    /// Fractions must be positive and sum to at most 1 (the remainder goes
+    /// to test). Stratification keeps the match rate of each part close to
+    /// the full dataset's.
+    pub fn split(&self, train_frac: f64, val_frac: f64, seed: u64) -> Result<Split, crate::DataError> {
+        if !(0.0..1.0).contains(&train_frac)
+            || !(0.0..1.0).contains(&val_frac)
+            || train_frac + val_frac >= 1.0
+            || train_frac <= 0.0
+        {
+            return Err(crate::DataError::InvalidSplit { train: train_frac, validation: val_frac });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pos: Vec<usize> = Vec::new();
+        let mut neg: Vec<usize> = Vec::new();
+        for (i, ex) in self.examples.iter().enumerate() {
+            if ex.label.is_match() {
+                pos.push(i);
+            } else {
+                neg.push(i);
+            }
+        }
+        pos.shuffle(&mut rng);
+        neg.shuffle(&mut rng);
+
+        let mut train_idx = Vec::new();
+        let mut val_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for stratum in [pos, neg] {
+            let n = stratum.len();
+            let n_train = (n as f64 * train_frac).round() as usize;
+            let n_val = (n as f64 * val_frac).round() as usize;
+            for (k, idx) in stratum.into_iter().enumerate() {
+                if k < n_train {
+                    train_idx.push(idx);
+                } else if k < n_train + n_val {
+                    val_idx.push(idx);
+                } else {
+                    test_idx.push(idx);
+                }
+            }
+        }
+
+        let take = |idx: &[usize], suffix: &str| {
+            Dataset {
+                name: format!("{}-{}", self.name, suffix),
+                schema: Arc::clone(&self.schema),
+                examples: idx.iter().map(|&i| self.examples[i].clone()).collect(),
+            }
+        };
+        Ok(Split {
+            train: take(&train_idx, "train"),
+            validation: take(&val_idx, "val"),
+            test: take(&test_idx, "test"),
+        })
+    }
+
+    /// Deterministically sample up to `n` examples (stratified), e.g. the
+    /// "pairs to explain" subset used in the headline experiments.
+    pub fn sample(&self, n: usize, seed: u64) -> Dataset {
+        if n >= self.len() {
+            return self.clone();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pos: Vec<usize> = Vec::new();
+        let mut neg: Vec<usize> = Vec::new();
+        for (i, ex) in self.examples.iter().enumerate() {
+            if ex.label.is_match() {
+                pos.push(i);
+            } else {
+                neg.push(i);
+            }
+        }
+        pos.shuffle(&mut rng);
+        neg.shuffle(&mut rng);
+        let n_pos = ((n as f64) * (pos.len() as f64 / self.len() as f64)).round() as usize;
+        let n_pos = n_pos.min(pos.len()).max(if pos.is_empty() { 0 } else { 1 }).min(n);
+        let n_neg = n - n_pos;
+        let mut chosen: Vec<usize> = pos.into_iter().take(n_pos).collect();
+        chosen.extend(neg.into_iter().take(n_neg));
+        chosen.sort_unstable();
+        Dataset {
+            name: format!("{}-sample{}", self.name, n),
+            schema: Arc::clone(&self.schema),
+            examples: chosen.into_iter().map(|i| self.examples[i].clone()).collect(),
+        }
+    }
+
+    /// Filter to only matches or only non-matches.
+    pub fn filter_label(&self, label: Label) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            schema: Arc::clone(&self.schema),
+            examples: self.examples.iter().filter(|e| e.label == label).cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Record;
+
+    fn make_dataset(n_pos: usize, n_neg: usize) -> Dataset {
+        let schema = Arc::new(Schema::new(vec!["name"]));
+        let mut examples = Vec::new();
+        for i in 0..(n_pos + n_neg) {
+            let l = Record::new(i as u64 * 2, vec![format!("item {i} alpha beta")]);
+            let r = Record::new(i as u64 * 2 + 1, vec![format!("item {i} alpha")]);
+            let pair = EntityPair::new(Arc::clone(&schema), l, r).unwrap();
+            examples.push(LabeledPair { pair, label: Label::from_bool(i < n_pos) });
+        }
+        Dataset::new("toy", schema, examples).unwrap()
+    }
+
+    #[test]
+    fn stats_report_counts_and_rates() {
+        let d = make_dataset(3, 7);
+        let s = d.stats();
+        assert_eq!(s.pairs, 10);
+        assert_eq!(s.matches, 3);
+        assert!((s.match_rate - 0.3).abs() < 1e-12);
+        assert_eq!(s.attributes, 1);
+        assert!(s.avg_tokens_per_pair > 0.0);
+    }
+
+    #[test]
+    fn split_partitions_every_example() {
+        let d = make_dataset(20, 80);
+        let split = d.split(0.7, 0.15, 42).unwrap();
+        assert_eq!(split.train.len() + split.validation.len() + split.test.len(), 100);
+        assert!(split.train.len() >= 65 && split.train.len() <= 75);
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let d = make_dataset(20, 80);
+        let split = d.split(0.6, 0.2, 1).unwrap();
+        let rate = |ds: &Dataset| ds.match_count() as f64 / ds.len() as f64;
+        assert!((rate(&split.train) - 0.2).abs() < 0.05);
+        assert!((rate(&split.test) - 0.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = make_dataset(10, 30);
+        let a = d.split(0.5, 0.2, 7).unwrap();
+        let b = d.split(0.5, 0.2, 7).unwrap();
+        let ids = |ds: &Dataset| ds.examples().iter().map(|e| e.pair.left().id).collect::<Vec<_>>();
+        assert_eq!(ids(&a.train), ids(&b.train));
+        assert_eq!(ids(&a.test), ids(&b.test));
+    }
+
+    #[test]
+    fn split_rejects_bad_fractions() {
+        let d = make_dataset(5, 5);
+        assert!(d.split(0.8, 0.3, 0).is_err());
+        assert!(d.split(0.0, 0.1, 0).is_err());
+        assert!(d.split(-0.1, 0.1, 0).is_err());
+    }
+
+    #[test]
+    fn sample_respects_size_and_stratification() {
+        let d = make_dataset(25, 75);
+        let s = d.sample(20, 3);
+        assert_eq!(s.len(), 20);
+        let matches = s.match_count();
+        assert!((3..=8).contains(&matches), "matches = {matches}");
+        // Sampling more than available returns everything.
+        assert_eq!(d.sample(1000, 3).len(), 100);
+    }
+
+    #[test]
+    fn filter_label_selects_only_that_class() {
+        let d = make_dataset(4, 6);
+        assert_eq!(d.filter_label(Label::Match).len(), 4);
+        assert_eq!(d.filter_label(Label::NonMatch).len(), 6);
+        assert!(d
+            .filter_label(Label::Match)
+            .examples()
+            .iter()
+            .all(|e| e.label.is_match()));
+    }
+
+    #[test]
+    fn dataset_rejects_foreign_schema_pairs() {
+        let schema_a = Arc::new(Schema::new(vec!["name"]));
+        let schema_b = Arc::new(Schema::new(vec!["title"]));
+        let l = Record::new(0, vec!["x".into()]);
+        let r = Record::new(1, vec!["y".into()]);
+        let pair = EntityPair::new(schema_b, l, r).unwrap();
+        let res = Dataset::new("bad", schema_a, vec![LabeledPair { pair, label: Label::Match }]);
+        assert!(matches!(res, Err(crate::DataError::ForeignSchema { .. })));
+    }
+
+    #[test]
+    fn label_conversions() {
+        assert_eq!(Label::from_bool(true), Label::Match);
+        assert_eq!(Label::Match.as_f64(), 1.0);
+        assert_eq!(Label::NonMatch.as_f64(), 0.0);
+        assert!(!Label::NonMatch.is_match());
+    }
+}

@@ -1,0 +1,259 @@
+//! The word-unit view of a pair: every word tagged with its side, attribute
+//! and position. This is the feature space all explainers operate in.
+
+use crate::schema::{EntityPair, Side};
+
+/// One occurrence of a word inside a pair of entity descriptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordUnit {
+    /// Lowercased word text.
+    pub text: String,
+    /// Which record the word comes from.
+    pub side: Side,
+    /// Attribute index in the pair's schema.
+    pub attribute: usize,
+    /// Position of the word inside its attribute value (0-based).
+    pub position: usize,
+}
+
+impl WordUnit {
+    /// Compact display form `L.title:sony`.
+    pub fn label(&self, schema: &crate::schema::Schema) -> String {
+        format!("{}.{}:{}", self.side.tag(), schema.name(self.attribute), self.text)
+    }
+}
+
+/// A pair decomposed into its word units, preserving enough structure to
+/// reconstruct perturbed pairs.
+#[derive(Debug, Clone)]
+pub struct TokenizedPair {
+    pair: EntityPair,
+    words: Vec<WordUnit>,
+}
+
+impl TokenizedPair {
+    /// Tokenize every attribute value of both records.
+    pub fn new(pair: EntityPair) -> Self {
+        let mut words = Vec::new();
+        for side in [Side::Left, Side::Right] {
+            let record = pair.record(side);
+            for attr in 0..pair.schema().len() {
+                for (position, text) in em_text::tokenize(record.value(attr)).into_iter().enumerate()
+                {
+                    words.push(WordUnit { text, side, attribute: attr, position });
+                }
+            }
+        }
+        TokenizedPair { pair, words }
+    }
+
+    /// The underlying (unperturbed) pair.
+    pub fn pair(&self) -> &EntityPair {
+        &self.pair
+    }
+
+    /// All word units in (side, attribute, position) order.
+    pub fn words(&self) -> &[WordUnit] {
+        &self.words
+    }
+
+    /// Number of word units.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Indices of words on a given side.
+    pub fn side_indices(&self, side: Side) -> Vec<usize> {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.side == side)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of words in a given (side, attribute) cell.
+    pub fn cell_indices(&self, side: Side, attribute: usize) -> Vec<usize> {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.side == side && w.attribute == attribute)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Rebuild an [`EntityPair`] keeping only the words whose index is
+    /// `true` in `mask`. Attribute values are reconstructed by joining the
+    /// surviving words with single spaces; non-masked attributes keep
+    /// their token order.
+    ///
+    /// # Panics
+    /// Panics if `mask.len() != self.len()`.
+    pub fn apply_mask(&self, mask: &[bool]) -> EntityPair {
+        assert_eq!(mask.len(), self.words.len(), "mask length must equal word count");
+        let schema = self.pair.schema_arc();
+        let mut pair = self.pair.clone();
+        for side in [Side::Left, Side::Right] {
+            for attr in 0..schema.len() {
+                let mut value = String::new();
+                for (i, w) in self.words.iter().enumerate() {
+                    if w.side == side && w.attribute == attr && mask[i] {
+                        if !value.is_empty() {
+                            value.push(' ');
+                        }
+                        value.push_str(&w.text);
+                    }
+                }
+                pair.record_mut(side).set_value(attr, value);
+            }
+        }
+        pair
+    }
+
+    /// Rebuild a pair keeping masked words and *appending* extra words to
+    /// their (side, attribute) cells — used by injection-style perturbations
+    /// (Landmark, LEMON, Mojito-COPY).
+    pub fn apply_mask_with_injections(
+        &self,
+        mask: &[bool],
+        injections: &[(Side, usize, String)],
+    ) -> EntityPair {
+        let mut pair = self.apply_mask(mask);
+        for (side, attr, text) in injections {
+            let current = pair.record(*side).value(*attr).to_string();
+            let new = if current.is_empty() {
+                text.clone()
+            } else {
+                format!("{current} {text}")
+            };
+            pair.record_mut(*side).set_value(*attr, new);
+        }
+        pair
+    }
+
+    /// Group word indices by attribute (over both sides); the EM-schema
+    /// arrangement CREW exploits.
+    pub fn attribute_groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.pair.schema().len()];
+        for (i, w) in self.words.iter().enumerate() {
+            groups[w.attribute].push(i);
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Record, Schema};
+    use std::sync::Arc;
+
+    fn pair() -> EntityPair {
+        let schema = Arc::new(Schema::new(vec!["title", "brand"]));
+        let l = Record::new(1, vec!["Sony Bravia TV".into(), "Sony".into()]);
+        let r = Record::new(2, vec!["Bravia 55 TV".into(), "".into()]);
+        EntityPair::new(schema, l, r).unwrap()
+    }
+
+    #[test]
+    fn tokenization_tags_side_attribute_position() {
+        let tp = TokenizedPair::new(pair());
+        assert_eq!(tp.len(), 7);
+        let w = &tp.words()[0];
+        assert_eq!(w.text, "sony");
+        assert_eq!(w.side, Side::Left);
+        assert_eq!(w.attribute, 0);
+        assert_eq!(w.position, 0);
+        let last = tp.words().last().unwrap();
+        assert_eq!(last.text, "tv");
+        assert_eq!(last.side, Side::Right);
+    }
+
+    #[test]
+    fn side_and_cell_indices() {
+        let tp = TokenizedPair::new(pair());
+        assert_eq!(tp.side_indices(Side::Left).len(), 4);
+        assert_eq!(tp.side_indices(Side::Right).len(), 3);
+        assert_eq!(tp.cell_indices(Side::Left, 1).len(), 1);
+        assert_eq!(tp.cell_indices(Side::Right, 1).len(), 0);
+    }
+
+    #[test]
+    fn full_mask_reconstructs_normalised_pair() {
+        let tp = TokenizedPair::new(pair());
+        let all = vec![true; tp.len()];
+        let rebuilt = tp.apply_mask(&all);
+        assert_eq!(rebuilt.left().value(0), "sony bravia tv");
+        assert_eq!(rebuilt.left().value(1), "sony");
+        assert_eq!(rebuilt.right().value(0), "bravia 55 tv");
+        assert_eq!(rebuilt.right().value(1), "");
+    }
+
+    #[test]
+    fn empty_mask_empties_all_values() {
+        let tp = TokenizedPair::new(pair());
+        let none = vec![false; tp.len()];
+        let rebuilt = tp.apply_mask(&none);
+        for attr in 0..2 {
+            assert_eq!(rebuilt.left().value(attr), "");
+            assert_eq!(rebuilt.right().value(attr), "");
+        }
+    }
+
+    #[test]
+    fn partial_mask_drops_exact_words() {
+        let tp = TokenizedPair::new(pair());
+        let mut mask = vec![true; tp.len()];
+        // Drop "bravia" from the left title (index 1).
+        assert_eq!(tp.words()[1].text, "bravia");
+        mask[1] = false;
+        let rebuilt = tp.apply_mask(&mask);
+        assert_eq!(rebuilt.left().value(0), "sony tv");
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn mask_length_mismatch_panics() {
+        let tp = TokenizedPair::new(pair());
+        tp.apply_mask(&[true]);
+    }
+
+    #[test]
+    fn injections_append_to_cells() {
+        let tp = TokenizedPair::new(pair());
+        let mask = vec![true; tp.len()];
+        let rebuilt = tp.apply_mask_with_injections(
+            &mask,
+            &[(Side::Right, 1, "sony".to_string())],
+        );
+        assert_eq!(rebuilt.right().value(1), "sony");
+        let rebuilt2 = tp.apply_mask_with_injections(
+            &mask,
+            &[(Side::Left, 0, "extra".to_string())],
+        );
+        assert_eq!(rebuilt2.left().value(0), "sony bravia tv extra");
+    }
+
+    #[test]
+    fn attribute_groups_cover_all_words() {
+        let tp = TokenizedPair::new(pair());
+        let groups = tp.attribute_groups();
+        assert_eq!(groups.len(), 2);
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, tp.len());
+        // title group holds words from both sides
+        assert_eq!(groups[0].len(), 6);
+        assert_eq!(groups[1].len(), 1);
+    }
+
+    #[test]
+    fn word_label_renders() {
+        let tp = TokenizedPair::new(pair());
+        let label = tp.words()[0].label(tp.pair().schema());
+        assert_eq!(label, "L.title:sony");
+    }
+}

@@ -1,0 +1,252 @@
+//! Co-occurrence counting and the PPMI transform.
+//!
+//! The semantic-similarity knowledge source of CREW needs word vectors
+//! trained on the *dataset corpus itself* (entity descriptions), mirroring
+//! how the paper family uses distributional similarity: words that appear in
+//! similar contexts (brands with brands, units with numbers) end up close.
+
+use em_text::Vocabulary;
+use std::collections::HashMap;
+
+/// Sparse symmetric co-occurrence counts over a corpus.
+#[derive(Debug, Clone)]
+pub struct Cooccurrence {
+    vocab: Vocabulary,
+    /// `(row, col) -> weighted count`, row/col are vocab ids; stores both
+    /// orientations so row extraction is cheap.
+    counts: HashMap<(u32, u32), f64>,
+    total: f64,
+    row_sums: Vec<f64>,
+}
+
+/// Options for co-occurrence counting.
+#[derive(Debug, Clone, Copy)]
+pub struct CoocOptions {
+    /// Symmetric window size (tokens on each side).
+    pub window: usize,
+    /// If true, weight a pair at distance `d` by `1/d` (GloVe-style).
+    pub distance_weighting: bool,
+    /// Drop tokens occurring fewer than this many times in the corpus.
+    pub min_count: u64,
+}
+
+impl Default for CoocOptions {
+    fn default() -> Self {
+        CoocOptions { window: 4, distance_weighting: true, min_count: 1 }
+    }
+}
+
+impl Cooccurrence {
+    /// Count co-occurrences over sentences (token slices).
+    pub fn build<'a, I>(sentences: I, opts: CoocOptions) -> Self
+    where
+        I: IntoIterator<Item = &'a [String]> + Clone,
+    {
+        // First pass: frequencies for min-count filtering.
+        let mut freq: HashMap<&str, u64> = HashMap::new();
+        for sent in sentences.clone() {
+            for tok in sent {
+                *freq.entry(tok.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut vocab = Vocabulary::new();
+        let mut counts: HashMap<(u32, u32), f64> = HashMap::new();
+        let mut total = 0.0;
+        // Row sums are accumulated during the (deterministic) corpus
+        // traversal rather than by iterating the HashMap afterwards: float
+        // summation order must not depend on hash iteration order, or
+        // retraining would produce last-bit differences.
+        let mut row_sums: Vec<f64> = Vec::new();
+        for sent in sentences {
+            // Map to ids, skipping rare tokens.
+            let ids: Vec<Option<u32>> = sent
+                .iter()
+                .map(|t| {
+                    if freq[t.as_str()] >= opts.min_count {
+                        Some(vocab.add(t))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            for (i, a) in ids.iter().enumerate() {
+                let Some(a) = *a else { continue };
+                let hi = (i + opts.window + 1).min(ids.len());
+                for (dist0, b) in ids[i + 1..hi].iter().enumerate() {
+                    let Some(b) = *b else { continue };
+                    let w = if opts.distance_weighting {
+                        1.0 / (dist0 as f64 + 1.0)
+                    } else {
+                        1.0
+                    };
+                    *counts.entry((a, b)).or_insert(0.0) += w;
+                    *counts.entry((b, a)).or_insert(0.0) += w;
+                    total += 2.0 * w;
+                    let need = (a.max(b) as usize) + 1;
+                    if row_sums.len() < need {
+                        row_sums.resize(need, 0.0);
+                    }
+                    row_sums[a as usize] += w;
+                    row_sums[b as usize] += w;
+                }
+            }
+        }
+        row_sums.resize(vocab.len(), 0.0);
+        Cooccurrence { vocab, counts, total, row_sums }
+    }
+
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Raw weighted count for an id pair.
+    pub fn count(&self, a: u32, b: u32) -> f64 {
+        self.counts.get(&(a, b)).copied().unwrap_or(0.0)
+    }
+
+    /// Total weighted mass (sum over all ordered pairs).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Positive pointwise mutual information of an id pair:
+    /// `max(0, ln( p(a,b) / (p(a) p(b)) ))` with a context-distribution
+    /// smoothing exponent applied to the column marginal.
+    pub fn ppmi(&self, a: u32, b: u32, smoothing: f64) -> f64 {
+        let c = self.count(a, b);
+        if c <= 0.0 || self.total <= 0.0 {
+            return 0.0;
+        }
+        let pa = self.row_sums[a as usize] / self.total;
+        // Smoothed context marginal (Levy & Goldberg alpha=0.75 by default).
+        let smoothed_total: f64 = self.row_sums.iter().map(|s| s.powf(smoothing)).sum();
+        let pb = self.row_sums[b as usize].powf(smoothing) / smoothed_total;
+        let pab = c / self.total;
+        (pab / (pa * pb)).ln().max(0.0)
+    }
+
+    /// Dense PPMI matrix (`vocab.len()` square). Fine for the small
+    /// per-dataset vocabularies this reproduction handles (≤ a few thousand
+    /// words); the SVD consumes this directly.
+    pub fn ppmi_matrix(&self, smoothing: f64) -> em_linalg::Matrix {
+        let n = self.vocab.len();
+        let mut m = em_linalg::Matrix::zeros(n, n);
+        if self.total <= 0.0 {
+            return m;
+        }
+        let smoothed_total: f64 = self.row_sums.iter().map(|s| s.powf(smoothing)).sum();
+        for (&(a, b), &c) in &self.counts {
+            if c <= 0.0 {
+                continue;
+            }
+            let pa = self.row_sums[a as usize] / self.total;
+            let pb = self.row_sums[b as usize].powf(smoothing) / smoothed_total;
+            let pab = c / self.total;
+            let v = (pab / (pa * pb)).ln();
+            if v > 0.0 {
+                m[(a as usize, b as usize)] = v;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sents(raw: &[&str]) -> Vec<Vec<String>> {
+        raw.iter().map(|s| em_text::tokenize(s)).collect()
+    }
+
+    fn build(raw: &[&str], opts: CoocOptions) -> Cooccurrence {
+        let s = sents(raw);
+        Cooccurrence::build(s.iter().map(|v| v.as_slice()), opts)
+    }
+
+    #[test]
+    fn counts_are_symmetric() {
+        let c = build(&["sony tv black", "sony tv white"], CoocOptions::default());
+        let sony = c.vocab().get("sony").unwrap();
+        let tv = c.vocab().get("tv").unwrap();
+        assert!(c.count(sony, tv) > 0.0);
+        assert_eq!(c.count(sony, tv), c.count(tv, sony));
+    }
+
+    #[test]
+    fn window_limits_pairs() {
+        let opts = CoocOptions { window: 1, distance_weighting: false, min_count: 1 };
+        let c = build(&["a b c d"], opts);
+        let a = c.vocab().get("a").unwrap();
+        let b = c.vocab().get("b").unwrap();
+        let d = c.vocab().get("d").unwrap();
+        assert_eq!(c.count(a, b), 1.0);
+        assert_eq!(c.count(a, d), 0.0);
+    }
+
+    #[test]
+    fn distance_weighting_decays() {
+        let opts = CoocOptions { window: 3, distance_weighting: true, min_count: 1 };
+        let c = build(&["a b c"], opts);
+        let a = c.vocab().get("a").unwrap();
+        let b = c.vocab().get("b").unwrap();
+        let cc = c.vocab().get("c").unwrap();
+        assert_eq!(c.count(a, b), 1.0); // distance 1
+        assert_eq!(c.count(a, cc), 0.5); // distance 2
+    }
+
+    #[test]
+    fn min_count_filters_rare_tokens() {
+        let opts = CoocOptions { window: 2, distance_weighting: false, min_count: 2 };
+        let c = build(&["common rare1 common", "common rare2"], opts);
+        assert!(c.vocab().get("common").is_some());
+        assert!(c.vocab().get("rare1").is_none());
+        assert!(c.vocab().get("rare2").is_none());
+    }
+
+    #[test]
+    fn ppmi_zero_for_unseen_pairs() {
+        let c = build(&["x y", "p q"], CoocOptions::default());
+        let x = c.vocab().get("x").unwrap();
+        let p = c.vocab().get("p").unwrap();
+        assert_eq!(c.ppmi(x, p, 0.75), 0.0);
+    }
+
+    #[test]
+    fn ppmi_positive_for_associated_pairs() {
+        // "sony" always next to "tv", "lg" always next to "monitor".
+        let c = build(
+            &["sony tv", "sony tv", "lg monitor", "lg monitor", "sony tv", "lg monitor"],
+            CoocOptions { window: 1, distance_weighting: false, min_count: 1 },
+        );
+        let sony = c.vocab().get("sony").unwrap();
+        let tv = c.vocab().get("tv").unwrap();
+        let monitor = c.vocab().get("monitor").unwrap();
+        assert!(c.ppmi(sony, tv, 1.0) > 0.0);
+        assert_eq!(c.ppmi(sony, monitor, 1.0), 0.0);
+    }
+
+    #[test]
+    fn ppmi_matrix_matches_pointwise() {
+        let c = build(&["a b c a b", "b c a"], CoocOptions::default());
+        let m = c.ppmi_matrix(0.75);
+        for i in 0..c.vocab().len() as u32 {
+            for j in 0..c.vocab().len() as u32 {
+                let expect = c.ppmi(i, j, 0.75);
+                assert!(
+                    (m[(i as usize, j as usize)] - expect).abs() < 1e-12,
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_corpus_is_harmless() {
+        let s: Vec<Vec<String>> = vec![];
+        let c = Cooccurrence::build(s.iter().map(|v| v.as_slice()), CoocOptions::default());
+        assert_eq!(c.vocab().len(), 0);
+        assert_eq!(c.total(), 0.0);
+        assert_eq!(c.ppmi_matrix(0.75).rows(), 0);
+    }
+}

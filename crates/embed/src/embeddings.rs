@@ -1,0 +1,346 @@
+//! Word embeddings: PPMI + truncated SVD over the corpus, with hashed
+//! character-trigram vectors as an out-of-vocabulary fallback so *every*
+//! word of a pair gets a semantic position (model numbers, typos, rare
+//! brands included).
+
+use crate::cooc::{CoocOptions, Cooccurrence};
+use em_linalg::{randomized_svd, Matrix, SvdOptions};
+use std::collections::HashMap;
+
+/// Options for embedding training.
+#[derive(Debug, Clone, Copy)]
+pub struct EmbeddingOptions {
+    /// Embedding dimensionality.
+    pub dimensions: usize,
+    /// Co-occurrence options.
+    pub cooc: CoocOptions,
+    /// PPMI context-distribution smoothing exponent.
+    pub smoothing: f64,
+    /// Weight singular vectors by `sigma^p` (p=0.5 is the common choice).
+    pub sigma_power: f64,
+    /// Seed for the randomized SVD.
+    pub seed: u64,
+}
+
+impl Default for EmbeddingOptions {
+    fn default() -> Self {
+        EmbeddingOptions {
+            dimensions: 48,
+            cooc: CoocOptions::default(),
+            smoothing: 0.75,
+            sigma_power: 0.5,
+            seed: 0xe4bed,
+        }
+    }
+}
+
+/// Trained word embeddings with trigram back-off.
+#[derive(Debug, Clone)]
+pub struct WordEmbeddings {
+    dims: usize,
+    by_word: HashMap<String, Vec<f64>>,
+}
+
+impl WordEmbeddings {
+    /// Train embeddings on a corpus of sentences.
+    ///
+    /// Falls back to pure trigram vectors when the corpus is too small for a
+    /// meaningful factorisation (fewer than 2 vocabulary words).
+    pub fn train<'a, I>(sentences: I, opts: EmbeddingOptions) -> Result<Self, crate::EmbedError>
+    where
+        I: IntoIterator<Item = &'a [String]> + Clone,
+    {
+        if opts.dimensions == 0 {
+            return Err(crate::EmbedError::InvalidDimensions(0));
+        }
+        let cooc = Cooccurrence::build(sentences, opts.cooc);
+        let n = cooc.vocab().len();
+        let mut by_word = HashMap::with_capacity(n);
+        if n >= 2 {
+            let ppmi = cooc.ppmi_matrix(opts.smoothing);
+            let k = opts.dimensions.min(n);
+            let svd = randomized_svd(&ppmi, k, SvdOptions { seed: opts.seed, ..Default::default() })
+                .map_err(crate::EmbedError::Linalg)?;
+            let kk = svd.sigma.len();
+            for (id, word, _) in cooc.vocab().iter() {
+                let mut v = Vec::with_capacity(kk);
+                for c in 0..kk {
+                    v.push(svd.u[(id as usize, c)] * svd.sigma[c].powf(opts.sigma_power));
+                }
+                // Pad to the requested dimensionality so all vectors align.
+                v.resize(opts.dimensions, 0.0);
+                by_word.insert(word.to_string(), v);
+            }
+        } else {
+            for (_, word, _) in cooc.vocab().iter() {
+                by_word.insert(word.to_string(), trigram_vector(word, opts.dimensions));
+            }
+        }
+        Ok(WordEmbeddings { dims: opts.dimensions, by_word })
+    }
+
+    /// Train on the textual corpus of an `em_data::Dataset`: each record's
+    /// attribute values become one sentence per record.
+    pub fn train_on_dataset(
+        dataset: &em_data::Dataset,
+        opts: EmbeddingOptions,
+    ) -> Result<Self, crate::EmbedError> {
+        let mut sentences: Vec<Vec<String>> = Vec::with_capacity(dataset.len() * 2);
+        for ex in dataset.examples() {
+            for rec in [ex.pair.left(), ex.pair.right()] {
+                sentences.push(em_text::tokenize(&rec.full_text()));
+            }
+        }
+        Self::train(sentences.iter().map(|v| v.as_slice()), opts)
+    }
+
+    /// Rebuild from parts (used by the text-format loader).
+    pub(crate) fn from_parts(dims: usize, by_word: HashMap<String, Vec<f64>>) -> Self {
+        WordEmbeddings { dims, by_word }
+    }
+
+    /// Iterate the in-vocabulary words (arbitrary order).
+    pub fn words(&self) -> impl Iterator<Item = &str> {
+        self.by_word.keys().map(|s| s.as_str())
+    }
+
+    /// Embedding dimensionality.
+    pub fn dimensions(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of in-vocabulary words.
+    pub fn vocab_size(&self) -> usize {
+        self.by_word.len()
+    }
+
+    /// True if the word was seen during training.
+    pub fn contains(&self, word: &str) -> bool {
+        self.by_word.contains_key(word)
+    }
+
+    /// Vector for a word: trained vector if in vocabulary, otherwise a
+    /// deterministic hashed character-trigram vector (so similar surface
+    /// forms like "panasonic"/"panasonik" stay close).
+    pub fn vector(&self, word: &str) -> Vec<f64> {
+        if let Some(v) = self.by_word.get(word) {
+            return v.clone();
+        }
+        trigram_vector(word, self.dims)
+    }
+
+    /// Cosine similarity between two words' vectors.
+    ///
+    /// When either word is out of vocabulary both are mapped through the
+    /// trigram space so the comparison stays apples-to-apples.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        match (self.by_word.get(a), self.by_word.get(b)) {
+            (Some(va), Some(vb)) => em_linalg::cosine(va, vb),
+            _ => em_linalg::cosine(&trigram_vector(a, self.dims), &trigram_vector(b, self.dims)),
+        }
+    }
+
+    /// `k` nearest in-vocabulary neighbours of a word by cosine.
+    pub fn nearest(&self, word: &str, k: usize) -> Vec<(String, f64)> {
+        let q = self.vector(word);
+        let mut scored: Vec<(String, f64)> = self
+            .by_word
+            .iter()
+            .filter(|(w, _)| w.as_str() != word)
+            .map(|(w, v)| (w.clone(), em_linalg::cosine(&q, v)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+}
+
+/// Deterministic hashed character-trigram vector (FNV-1a bucketed), L2
+/// normalised. Gives OOV words a stable position where shared substrings
+/// imply proximity.
+pub fn trigram_vector(word: &str, dims: usize) -> Vec<f64> {
+    let mut v = vec![0.0; dims];
+    if dims == 0 {
+        return v;
+    }
+    for g in em_text::qgrams(word, 3) {
+        let h = fnv1a(g.as_bytes());
+        v[(h % dims as u64) as usize] += 1.0;
+    }
+    let norm = em_linalg::norm2(&v);
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Build a pairwise cosine-distance matrix (`1 - cos`) over a word list.
+pub fn semantic_distance_matrix(emb: &WordEmbeddings, words: &[String]) -> Matrix {
+    let n = words.len();
+    let vecs: Vec<Vec<f64>> = words.iter().map(|w| emb.vector(w)).collect();
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i + 1..n {
+            let dist = if words[i] == words[j] {
+                0.0
+            } else {
+                // Cosine in [-1,1] -> distance in [0,1].
+                (1.0 - em_linalg::cosine(&vecs[i], &vecs[j])) / 2.0
+            };
+            d[(i, j)] = dist;
+            d[(j, i)] = dist;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<String>> {
+        // Brands co-occur with their product nouns; colours co-occur with
+        // both; repeated enough for stable statistics.
+        let raw = [
+            "sony bravia tv black",
+            "sony bravia tv silver",
+            "samsung qled tv black",
+            "samsung qled tv silver",
+            "sony wh1000 headphones black",
+            "bose qc45 headphones silver",
+            "sony bravia tv",
+            "samsung qled tv",
+            "bose qc45 headphones",
+            "sony wh1000 headphones",
+        ];
+        raw.iter().map(|s| em_text::tokenize(s)).collect()
+    }
+
+    fn train() -> WordEmbeddings {
+        let c = corpus();
+        WordEmbeddings::train(
+            c.iter().map(|v| v.as_slice()),
+            EmbeddingOptions { dimensions: 16, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn training_covers_vocabulary() {
+        let e = train();
+        assert!(e.contains("sony"));
+        assert!(e.contains("tv"));
+        assert!(!e.contains("unseen"));
+        assert_eq!(e.dimensions(), 16);
+        assert_eq!(e.vector("sony").len(), 16);
+    }
+
+    #[test]
+    fn similarity_is_reflexive_and_bounded() {
+        let e = train();
+        assert_eq!(e.similarity("sony", "sony"), 1.0);
+        let s = e.similarity("sony", "samsung");
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn distributionally_similar_words_are_closer() {
+        let e = train();
+        // "black" and "silver" occur in identical contexts; "black" and
+        // "bravia" do not.
+        let close = e.similarity("black", "silver");
+        let far = e.similarity("black", "qc45");
+        assert!(close > far, "close={close} far={far}");
+    }
+
+    #[test]
+    fn oov_words_use_trigram_backoff() {
+        let e = train();
+        // Typo of an OOV brand should still be near the same OOV surface form.
+        let same_ish = e.similarity("panasonic", "panasonik");
+        let different = e.similarity("panasonic", "xyzzy");
+        assert!(same_ish > different);
+        assert!(same_ish > 0.5);
+    }
+
+    #[test]
+    fn nearest_returns_sorted_topk() {
+        let e = train();
+        let nn = e.nearest("sony", 3);
+        assert_eq!(nn.len(), 3);
+        for w in nn.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(nn.iter().all(|(w, _)| w != "sony"));
+    }
+
+    #[test]
+    fn trigram_vectors_are_normalised_and_deterministic() {
+        let a = trigram_vector("bravia", 32);
+        let b = trigram_vector("bravia", 32);
+        assert_eq!(a, b);
+        assert!((em_linalg::norm2(&a) - 1.0).abs() < 1e-12);
+        assert_eq!(trigram_vector("", 0).len(), 0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let e1 = train();
+        let e2 = train();
+        assert_eq!(e1.vector("tv"), e2.vector("tv"));
+    }
+
+    #[test]
+    fn tiny_corpus_falls_back_to_trigrams() {
+        let c: Vec<Vec<String>> = vec![em_text::tokenize("solo")];
+        let e = WordEmbeddings::train(
+            c.iter().map(|v| v.as_slice()),
+            EmbeddingOptions { dimensions: 8, ..Default::default() },
+        )
+        .unwrap();
+        assert!(e.contains("solo"));
+        assert_eq!(e.vector("solo").len(), 8);
+    }
+
+    #[test]
+    fn zero_dimensions_is_an_error() {
+        let c = corpus();
+        let err = WordEmbeddings::train(
+            c.iter().map(|v| v.as_slice()),
+            EmbeddingOptions { dimensions: 0, ..Default::default() },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_zero_diagonal() {
+        let e = train();
+        let words: Vec<String> =
+            ["sony", "tv", "black", "sony"].iter().map(|s| s.to_string()).collect();
+        let d = semantic_distance_matrix(&e, &words);
+        assert_eq!(d.rows(), 4);
+        for i in 0..4 {
+            assert_eq!(d[(i, i)], 0.0);
+            for j in 0..4 {
+                assert!((d[(i, j)] - d[(j, i)]).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&d[(i, j)]));
+            }
+        }
+        // Duplicate words have zero distance.
+        assert_eq!(d[(0, 3)], 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Embedding serialization: a plain text format (`word v1 v2 …` per line,
+//! word2vec-style with a `rows dims` header) so trained embeddings can be
+//! cached across experiment runs or inspected with standard tools.
+
+use crate::embeddings::WordEmbeddings;
+use std::collections::HashMap;
+
+/// Serialise embeddings to the text format.
+pub fn to_text(embeddings: &WordEmbeddings) -> String {
+    let mut words: Vec<&str> = embeddings.words().collect();
+    words.sort_unstable();
+    let mut out = format!("{} {}\n", words.len(), embeddings.dimensions());
+    for w in words {
+        out.push_str(w);
+        for v in embeddings.vector(w) {
+            // 9 significant digits round-trip f64 well enough for cosine
+            // queries while keeping files readable.
+            out.push_str(&format!(" {v:.9e}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse embeddings from the text format.
+pub fn from_text(text: &str) -> Result<WordEmbeddings, crate::EmbedError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(crate::EmbedError::ParseError {
+        line: 1,
+        message: "missing header".to_string(),
+    })?;
+    let mut parts = header.split_whitespace();
+    let rows: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(crate::EmbedError::ParseError { line: 1, message: "bad row count".to_string() })?;
+    let dims: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(crate::EmbedError::ParseError { line: 1, message: "bad dims".to_string() })?;
+    if dims == 0 {
+        return Err(crate::EmbedError::InvalidDimensions(0));
+    }
+    let mut by_word = HashMap::with_capacity(rows);
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let word = fields
+            .next()
+            .ok_or(crate::EmbedError::ParseError {
+                line: i + 2,
+                message: "empty line in body".to_string(),
+            })?
+            .to_string();
+        let vector: Result<Vec<f64>, _> = fields.map(|f| f.parse::<f64>()).collect();
+        let vector = vector.map_err(|e| crate::EmbedError::ParseError {
+            line: i + 2,
+            message: format!("bad float: {e}"),
+        })?;
+        if vector.len() != dims {
+            return Err(crate::EmbedError::ParseError {
+                line: i + 2,
+                message: format!("expected {dims} values, got {}", vector.len()),
+            });
+        }
+        by_word.insert(word, vector);
+    }
+    if by_word.len() != rows {
+        return Err(crate::EmbedError::ParseError {
+            line: 1,
+            message: format!("header claims {rows} rows, found {}", by_word.len()),
+        });
+    }
+    Ok(WordEmbeddings::from_parts(dims, by_word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embeddings::EmbeddingOptions;
+
+    fn trained() -> WordEmbeddings {
+        let corpus: Vec<Vec<String>> = ["alpha beta gamma", "beta gamma delta", "alpha delta"]
+            .iter()
+            .map(|s| em_text::tokenize(s))
+            .collect();
+        WordEmbeddings::train(
+            corpus.iter().map(|v| v.as_slice()),
+            EmbeddingOptions { dimensions: 6, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_similarities() {
+        let e = trained();
+        let text = to_text(&e);
+        let e2 = from_text(&text).unwrap();
+        assert_eq!(e2.dimensions(), e.dimensions());
+        assert_eq!(e2.vocab_size(), e.vocab_size());
+        for (a, b) in [("alpha", "beta"), ("gamma", "delta"), ("alpha", "alpha")] {
+            let s1 = e.similarity(a, b);
+            let s2 = e2.similarity(a, b);
+            assert!((s1 - s2).abs() < 1e-6, "{a}/{b}: {s1} vs {s2}");
+        }
+    }
+
+    #[test]
+    fn header_matches_content() {
+        let text = to_text(&trained());
+        let header = text.lines().next().unwrap();
+        assert_eq!(header, format!("{} 6", trained().vocab_size()));
+        assert_eq!(text.lines().count(), trained().vocab_size() + 1);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(from_text("").is_err());
+        assert!(from_text("not-a-number 4\n").is_err());
+        assert!(from_text("1 0\nword\n").is_err());
+        // Wrong vector length.
+        assert!(from_text("1 3\nword 0.1 0.2\n").is_err());
+        // Bad float.
+        assert!(from_text("1 2\nword 0.1 oops\n").is_err());
+        // Row count mismatch.
+        assert!(from_text("2 2\nword 0.1 0.2\n").is_err());
+    }
+
+    #[test]
+    fn oov_backoff_survives_round_trip() {
+        let e2 = from_text(&to_text(&trained())).unwrap();
+        // OOV words still get trigram vectors of the right dimension.
+        assert!(!e2.contains("zzz"));
+        assert_eq!(e2.vector("zzz").len(), 6);
+        assert!(e2.similarity("panasonic", "panasonik") > 0.5);
+    }
+}

@@ -1,0 +1,100 @@
+//! # em-embed
+//!
+//! Corpus-trained word embeddings for the semantic-similarity knowledge
+//! source of CREW: co-occurrence counting with distance weighting, the PPMI
+//! transform with context-distribution smoothing, a randomized truncated
+//! SVD factorisation, and hashed character-trigram back-off vectors for
+//! out-of-vocabulary words.
+//!
+//! This substitutes the pre-trained fastText vectors a Python
+//! implementation would download: CREW only consumes pairwise cosine
+//! similarity between the words of one candidate pair, and PPMI-SVD on the
+//! dataset corpus reproduces that signal offline.
+//!
+//! ```
+//! use em_embed::{WordEmbeddings, EmbeddingOptions};
+//! let corpus: Vec<Vec<String>> = vec![
+//!     em_text::tokenize("sonix tv black"),
+//!     em_text::tokenize("sonix tv white"),
+//! ];
+//! let emb = WordEmbeddings::train(
+//!     corpus.iter().map(|v| v.as_slice()),
+//!     EmbeddingOptions { dimensions: 8, ..Default::default() },
+//! ).unwrap();
+//! assert!(emb.similarity("black", "white") >= -1.0);
+//! assert_eq!(emb.similarity("tv", "tv"), 1.0);
+//! ```
+
+pub mod cooc;
+pub mod embeddings;
+pub mod io;
+
+pub use cooc::{CoocOptions, Cooccurrence};
+pub use io::{from_text, to_text};
+pub use embeddings::{
+    semantic_distance_matrix, trigram_vector, EmbeddingOptions, WordEmbeddings,
+};
+
+/// Errors from embedding training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmbedError {
+    /// Requested zero dimensions.
+    InvalidDimensions(usize),
+    /// Text-format parse failure.
+    ParseError { line: usize, message: String },
+    /// Underlying factorisation failed.
+    Linalg(em_linalg::LinalgError),
+}
+
+impl std::fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbedError::InvalidDimensions(d) => write!(f, "invalid embedding dimensions: {d}"),
+            EmbedError::ParseError { line, message } => {
+                write!(f, "embedding text parse error at line {line}: {message}")
+            }
+            EmbedError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmbedError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn trigram_vector_is_unit_or_zero(word in "[a-z0-9]{0,10}", dims in 1usize..64) {
+            let v = trigram_vector(&word, dims);
+            prop_assert_eq!(v.len(), dims);
+            let n = em_linalg::norm2(&v);
+            prop_assert!((n - 1.0).abs() < 1e-9 || n == 0.0);
+        }
+
+        #[test]
+        fn similarity_symmetric(a in "[a-z]{1,8}", b in "[a-z]{1,8}") {
+            let corpus: Vec<Vec<String>> = vec![
+                em_text::tokenize("alpha beta gamma"),
+                em_text::tokenize("beta gamma delta"),
+            ];
+            let e = WordEmbeddings::train(
+                corpus.iter().map(|v| v.as_slice()),
+                EmbeddingOptions { dimensions: 8, ..Default::default() },
+            ).unwrap();
+            let s1 = e.similarity(&a, &b);
+            let s2 = e.similarity(&b, &a);
+            prop_assert!((s1 - s2).abs() < 1e-12);
+            prop_assert!((-1.0..=1.0).contains(&s1));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Design-choice ablations and agreement analyses:
+//!
+//! - **E5** — ablation of CREW's *clustering machinery*: linkage criteria,
+//!   agglomerative vs k-medoids, cannot-link constraints on/off — the
+//!   design decisions DESIGN.md calls out, each scored on fidelity,
+//!   structure quality and interpretability.
+//! - **E6** — inter-explainer agreement: mean Spearman correlation between
+//!   the word attributions of every pair of systems (do the explainers
+//!   even agree on what matters?).
+
+use super::ExperimentConfig;
+use crate::context::EvalContext;
+use crate::explainers::{build_crew, explain_pair, ExplainerKind};
+use crate::table::{Cell, Table};
+use crew_core::{ClusterAlgorithm, CrewOptions};
+use em_cluster::Linkage;
+use em_metrics as metrics;
+
+/// E5 — clustering design ablation.
+pub fn exp_e5(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+    let variants: Vec<(&str, CrewOptions)> = vec![
+        ("average+cl (CREW)", CrewOptions::default()),
+        (
+            "single linkage",
+            CrewOptions { linkage: Linkage::Single, ..Default::default() },
+        ),
+        (
+            "complete linkage",
+            CrewOptions { linkage: Linkage::Complete, ..Default::default() },
+        ),
+        ("ward linkage", CrewOptions { linkage: Linkage::Ward, ..Default::default() }),
+        (
+            "no cannot-link",
+            CrewOptions { cannot_link_quantile: 0.0, ..Default::default() },
+        ),
+        (
+            "k-medoids",
+            CrewOptions { algorithm: ClusterAlgorithm::KMedoids, ..Default::default() },
+        ),
+    ];
+    let mut table = Table::new(
+        "E5",
+        "Ablation of CREW's clustering design choices",
+        vec!["dataset", "variant", "group_r2", "silhouette", "units", "coherence", "aopc_unit@3"],
+    );
+    // Two representative families keep the runtime in minutes.
+    let families: Vec<_> = config.families.iter().copied().take(2).collect();
+    for family in families {
+        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let matcher = ctx.matcher(config.matcher)?;
+        let pairs = ctx.pairs_to_explain(config.explain_pairs);
+        for (name, options) in &variants {
+            let crew = build_crew(&ctx, config.budget(), options.clone());
+            let mut r2 = Vec::new();
+            let mut sil = Vec::new();
+            let mut units_n = Vec::new();
+            let mut coh = Vec::new();
+            let mut aopc = Vec::new();
+            for ex in &pairs {
+                let ce = crew.explain_clusters(matcher.as_ref(), &ex.pair)?;
+                r2.push(ce.group_r2);
+                sil.push(ce.silhouette);
+                let rep = metrics::interpretability(
+                    &ce.units(),
+                    &ce.word_level.words,
+                    &ctx.embeddings,
+                )?;
+                units_n.push(rep.unit_count as f64);
+                coh.push(rep.semantic_coherence);
+                let tokenized = em_data::TokenizedPair::new(ex.pair.clone());
+                aopc.push(metrics::aopc_units(matcher.as_ref(), &tokenized, &ce.units(), 3)?);
+            }
+            let mean = em_linalg::stats::mean;
+            table.push_row(vec![
+                ctx.dataset.name().into(),
+                Cell::text(*name),
+                mean(&r2).into(),
+                mean(&sil).into(),
+                mean(&units_n).into(),
+                mean(&coh).into(),
+                mean(&aopc).into(),
+            ]);
+        }
+    }
+    Ok(table)
+}
+
+/// E6 — inter-explainer agreement: mean Spearman correlation of word
+/// attributions over the explained pairs, for every ordered pair of
+/// systems (upper triangle reported).
+pub fn exp_e6(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+    let mut table = Table::new(
+        "E6",
+        "Inter-explainer agreement (mean Spearman over explained pairs)",
+        vec!["dataset", "explainer_a", "explainer_b", "mean_spearman", "mean_jaccard@5"],
+    );
+    let families: Vec<_> = config.families.iter().copied().take(2).collect();
+    for family in families {
+        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let matcher = ctx.matcher(config.matcher)?;
+        let pairs = ctx.pairs_to_explain(config.explain_pairs);
+        // Collect every system's word-level explanation per pair.
+        let kinds = ExplainerKind::all();
+        let mut per_kind: Vec<Vec<crew_core::WordExplanation>> = Vec::with_capacity(kinds.len());
+        for kind in kinds {
+            let mut v = Vec::with_capacity(pairs.len());
+            for ex in &pairs {
+                v.push(
+                    explain_pair(kind, &ctx, config.budget(), matcher.as_ref(), &ex.pair)?
+                        .word_level,
+                );
+            }
+            per_kind.push(v);
+        }
+        for a in 0..kinds.len() {
+            for b in a + 1..kinds.len() {
+                let mut rho = Vec::new();
+                let mut jac = Vec::new();
+                for (ea, eb) in per_kind[a].iter().zip(&per_kind[b]) {
+                    rho.push(metrics::weight_rank_correlation(ea, eb)?);
+                    let k = 5.min(ea.weights.len().max(1));
+                    jac.push(metrics::topk_jaccard(ea, eb, k)?);
+                }
+                table.push_row(vec![
+                    ctx.dataset.name().into(),
+                    kinds[a].label().into(),
+                    kinds[b].label().into(),
+                    em_linalg::stats::mean(&rho).into(),
+                    em_linalg::stats::mean(&jac).into(),
+                ]);
+            }
+        }
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_covers_all_variants() {
+        let cfg = ExperimentConfig::smoke();
+        let t = exp_e5(&cfg).unwrap();
+        assert_eq!(t.rows.len(), 6); // 1 family × 6 variants
+        let md = t.to_markdown();
+        assert!(md.contains("k-medoids"));
+        assert!(md.contains("ward linkage"));
+    }
+
+    #[test]
+    fn e6_reports_upper_triangle() {
+        let cfg = ExperimentConfig::smoke();
+        let t = exp_e6(&cfg).unwrap();
+        // 7 systems → 21 unordered pairs × 1 family.
+        assert_eq!(t.rows.len(), 21);
+        let csv = t.to_csv();
+        let rows = em_data::parse_csv(&csv).unwrap();
+        let col = rows[0].iter().position(|c| c == "mean_spearman").unwrap();
+        for row in &rows[1..] {
+            let v: f64 = row[col].parse().unwrap();
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+}

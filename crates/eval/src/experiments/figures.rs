@@ -1,0 +1,211 @@
+//! Figure experiments F1-F4: each emits a long-format table whose CSV is
+//! the plotted series.
+
+use super::tables::flatten;
+use super::ExperimentConfig;
+use crate::context::EvalContext;
+use crate::explainers::{build_crew, explain_pair, ExplainBudget, ExplainerKind};
+use crate::table::Table;
+use crew_core::CrewOptions;
+use em_data::TokenizedPair;
+use em_metrics as metrics;
+
+/// F1 — AOPC deletion curves: mean probability drop vs fraction of top
+/// explanation words removed, per explainer.
+pub fn exp_f1(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+    let fractions = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let mut table = Table::new(
+        "F1",
+        "Deletion curves: mean Δprob vs fraction of top words removed",
+        vec!["dataset", "explainer", "fraction", "mean_drop"],
+    );
+    for &family in &config.families {
+        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let matcher = ctx.matcher(config.matcher)?;
+        let pairs = ctx.pairs_to_explain(config.explain_pairs);
+        for kind in ExplainerKind::all() {
+            // drops[f] accumulates base - p(after removing top f).
+            let mut drops = vec![0.0f64; fractions.len()];
+            for ex in &pairs {
+                let out =
+                    explain_pair(kind, &ctx, config.budget(), matcher.as_ref(), &ex.pair)?;
+                let tokenized = TokenizedPair::new(ex.pair.clone());
+                let curve = metrics::deletion_curve(
+                    matcher.as_ref(),
+                    &tokenized,
+                    &out.units,
+                    &fractions,
+                )?;
+                let base = curve[0].1;
+                for (d, &(_, p)) in drops.iter_mut().zip(&curve) {
+                    *d += base - p;
+                }
+            }
+            for (i, &f) in fractions.iter().enumerate() {
+                table.push_row(vec![
+                    ctx.dataset.name().into(),
+                    kind.label().into(),
+                    f.into(),
+                    (drops[i] / pairs.len().max(1) as f64).into(),
+                ]);
+            }
+        }
+    }
+    Ok(table)
+}
+
+/// F2 — fidelity (group R²) and silhouette vs number of clusters K: the
+/// knee CREW's model selection finds.
+pub fn exp_f2(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+    let mut table = Table::new(
+        "F2",
+        "CREW fidelity and silhouette vs cluster count K",
+        vec!["dataset", "k", "mean_group_r2", "mean_silhouette", "mean_selected_k"],
+    );
+    for &family in &config.families {
+        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let matcher = ctx.matcher(config.matcher)?;
+        let pairs = ctx.pairs_to_explain(config.explain_pairs);
+        let crew = build_crew(&ctx, config.budget(), CrewOptions::default());
+        let k_max = crew.options().max_clusters;
+        let mut r2_by_k = vec![Vec::new(); k_max + 1];
+        let mut sil_by_k = vec![Vec::new(); k_max + 1];
+        let mut selected = Vec::new();
+        for ex in &pairs {
+            for (k, r2, sil) in crew.k_sweep(matcher.as_ref(), &ex.pair)? {
+                r2_by_k[k].push(r2);
+                sil_by_k[k].push(sil);
+            }
+            selected.push(crew.explain_clusters(matcher.as_ref(), &ex.pair)?.selected_k as f64);
+        }
+        let mean_selected = em_linalg::stats::mean(&selected);
+        for k in 1..=k_max {
+            if r2_by_k[k].is_empty() {
+                continue;
+            }
+            table.push_row(vec![
+                ctx.dataset.name().into(),
+                k.into(),
+                em_linalg::stats::mean(&r2_by_k[k]).into(),
+                em_linalg::stats::mean(&sil_by_k[k]).into(),
+                mean_selected.into(),
+            ]);
+        }
+    }
+    Ok(table)
+}
+
+/// F3 — runtime scaling: seconds per explanation vs pair length in tokens.
+pub fn exp_f3(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+    // The base product pair is already ~38 tokens, so the grid starts
+    // there and grows (a 20-token target would duplicate the 40 bucket).
+    let sizes = [40usize, 80, 120, 160, 200];
+    let mut table = Table::new(
+        "F3",
+        "Explanation runtime vs pair length",
+        vec!["tokens", "explainer", "seconds"],
+    );
+    // A context is still needed for embeddings/support sets; use products
+    // (the scaling pairs are product-shaped).
+    let ctx = EvalContext::prepare(em_synth::Family::Products, config.generator(em_synth::Family::Products))?;
+    let matcher = ctx.matcher(config.matcher)?;
+    for &target in &sizes {
+        if target > 40 && config.samples < 64 {
+            // In smoke configurations skip the large sizes.
+            continue;
+        }
+        let pair = em_synth::scaling_pair(target, config.seed);
+        for kind in ExplainerKind::all() {
+            // Warm-up once, then measure the median of 3 runs.
+            let mut times = Vec::new();
+            for _ in 0..3 {
+                let out = explain_pair(kind, &ctx, config.budget(), matcher.as_ref(), &pair)?;
+                times.push(out.elapsed);
+            }
+            table.push_row(vec![
+                pair.token_count().into(),
+                kind.label().into(),
+                em_linalg::stats::median(&times).into(),
+            ]);
+        }
+    }
+    Ok(table)
+}
+
+/// F4 — stability (top-10 Jaccard across 5 seeds) vs perturbation budget,
+/// CREW vs LIME.
+pub fn exp_f4(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+    let budgets = [32usize, 64, 128, 256, 512];
+    let n_seeds = 5u64;
+    let mut table = Table::new(
+        "F4",
+        "Explanation stability across seeds vs perturbation budget",
+        vec!["dataset", "explainer", "samples", "stability@10"],
+    );
+    for &family in &config.families {
+        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let matcher = ctx.matcher(config.matcher)?;
+        let pairs = ctx.pairs_to_explain(config.explain_pairs.min(6));
+        for &samples in &budgets {
+            if samples > config.samples * 2 {
+                continue;
+            }
+            for kind in [ExplainerKind::Crew, ExplainerKind::Lime] {
+                let mut scores = Vec::new();
+                for ex in &pairs {
+                    let tokenized = TokenizedPair::new(ex.pair.clone());
+                    let k = 10.min(tokenized.len().max(1));
+                    let mut views = Vec::new();
+                    for s in 0..n_seeds {
+                        let budget = ExplainBudget {
+                            samples,
+                            seed: config.seed ^ (s * 131 + 7),
+                            threads: config.threads,
+                        };
+                        if kind == ExplainerKind::Crew {
+                            let crew = build_crew(&ctx, budget, CrewOptions::default());
+                            views.push(flatten(
+                                &crew.explain_clusters(matcher.as_ref(), &ex.pair)?,
+                            ));
+                        } else {
+                            let out =
+                                explain_pair(kind, &ctx, budget, matcher.as_ref(), &ex.pair)?;
+                            views.push(out.word_level);
+                        }
+                    }
+                    scores.push(metrics::mean_pairwise_stability(&views, k)?);
+                }
+                table.push_row(vec![
+                    ctx.dataset.name().into(),
+                    kind.label().into(),
+                    samples.into(),
+                    em_linalg::stats::mean(&scores).into(),
+                ]);
+            }
+        }
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_produces_series_per_explainer() {
+        let cfg = ExperimentConfig::smoke();
+        let t = exp_f1(&cfg).unwrap();
+        // 1 family × 7 explainers × 6 fractions
+        assert_eq!(t.rows.len(), 42);
+        // Drop at fraction 0 is exactly zero.
+        let md = t.to_csv();
+        assert!(md.contains("0.000"));
+    }
+
+    #[test]
+    fn f2_sweeps_k() {
+        let cfg = ExperimentConfig::smoke();
+        let t = exp_f2(&cfg).unwrap();
+        assert!(t.rows.len() >= 5, "expected a K sweep, got {} rows", t.rows.len());
+    }
+}

@@ -1,0 +1,103 @@
+//! Experiment runners: one function per table/figure of the reconstructed
+//! CREW evaluation (see DESIGN.md for the experiment index). Every runner
+//! is deterministic for a fixed [`ExperimentConfig`].
+
+pub mod design;
+pub mod extensions;
+pub mod figures;
+pub mod tables;
+
+pub use design::{exp_e5, exp_e6};
+pub use extensions::{exp_e1, exp_e2, exp_e3, exp_e4, exp_e7};
+pub use figures::{exp_f1, exp_f2, exp_f3, exp_f4};
+pub use tables::{exp_t1, exp_t2, exp_t3, exp_t4, exp_t5, exp_t6};
+
+use crate::context::MatcherKind;
+use em_synth::Family;
+
+/// Scale/seed knobs shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Master seed (datasets, training, sampling all derive from it).
+    pub seed: u64,
+    /// Base entities per synthetic dataset.
+    pub entities: usize,
+    /// Labelled pairs per synthetic dataset.
+    pub pairs: usize,
+    /// Test pairs explained per dataset in the headline experiments.
+    pub explain_pairs: usize,
+    /// Perturbation samples per explanation.
+    pub samples: usize,
+    /// Worker threads for model queries.
+    pub threads: usize,
+    /// Dataset families included.
+    pub families: Vec<Family>,
+    /// The model being explained in the headline experiments.
+    pub matcher: MatcherKind,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            seed: 7,
+            entities: 400,
+            pairs: 1200,
+            explain_pairs: 20,
+            samples: 256,
+            threads: 4,
+            families: Family::all().to_vec(),
+            matcher: MatcherKind::Attention,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The default configuration over all seven families (five core +
+    /// electronics + scholar).
+    pub fn extended() -> Self {
+        ExperimentConfig { families: Family::all_extended().to_vec(), ..Default::default() }
+    }
+
+    /// A drastically reduced configuration for unit/integration tests.
+    pub fn smoke() -> Self {
+        ExperimentConfig {
+            seed: 7,
+            entities: 50,
+            pairs: 120,
+            explain_pairs: 3,
+            samples: 48,
+            threads: 1,
+            families: vec![Family::Restaurants],
+            matcher: MatcherKind::Logistic,
+        }
+    }
+
+    /// Generator settings for one family under this configuration.
+    pub fn generator(&self, family: Family) -> em_synth::GeneratorConfig {
+        let match_rate = match family {
+            Family::Products => 0.12,
+            Family::Citations => 0.18,
+            Family::Restaurants => 0.22,
+            Family::Songs => 0.15,
+            Family::Beers => 0.20,
+            Family::Electronics => 0.10,
+            Family::Scholar => 0.16,
+        };
+        em_synth::GeneratorConfig {
+            entities: self.entities,
+            pairs: self.pairs,
+            match_rate,
+            hard_negative_rate: 0.6,
+            seed: self.seed,
+        }
+    }
+
+    /// The shared explainer budget of this configuration.
+    pub fn budget(&self) -> crate::explainers::ExplainBudget {
+        crate::explainers::ExplainBudget {
+            samples: self.samples,
+            seed: self.seed ^ 0xb0d,
+            threads: self.threads,
+        }
+    }
+}

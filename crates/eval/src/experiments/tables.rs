@@ -1,0 +1,369 @@
+//! Table experiments T1-T6 (see DESIGN.md for the reconstruction notes).
+
+use super::ExperimentConfig;
+use crate::context::{EvalContext, MatcherKind};
+use crate::explainers::{build_crew, explain_pair, ExplainerKind};
+use crate::table::{Cell, Table};
+use crew_core::{CrewOptions, KnowledgeWeights};
+use em_data::TokenizedPair;
+use em_metrics as metrics;
+
+/// T1 — dataset statistics (pairs, match rate, attributes, tokens).
+pub fn exp_t1(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+    let mut table = Table::new(
+        "T1",
+        "Synthetic benchmark statistics (ER-Magellan shaped)",
+        vec!["dataset", "pairs", "matches", "match_rate", "attributes", "avg_tokens/pair"],
+    );
+    for &family in &config.families {
+        let dataset = em_synth::generate(family, config.generator(family))?;
+        let s = dataset.stats();
+        table.push_row(vec![
+            s.name.into(),
+            s.pairs.into(),
+            s.matches.into(),
+            s.match_rate.into(),
+            s.attributes.into(),
+            s.avg_tokens_per_pair.into(),
+        ]);
+    }
+    Ok(table)
+}
+
+/// T2 — matcher quality (precision/recall/F1) per dataset: validates that
+/// the substrate models are competent enough to be worth explaining.
+pub fn exp_t2(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+    let mut table = Table::new(
+        "T2",
+        "Matcher quality on held-out test pairs",
+        vec!["dataset", "matcher", "precision", "recall", "f1"],
+    );
+    for &family in &config.families {
+        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        for kind in MatcherKind::all() {
+            let matcher = ctx.matcher(kind)?;
+            let report = em_matchers::evaluate(matcher.as_ref(), &ctx.split.test);
+            table.push_row(vec![
+                ctx.dataset.name().into(),
+                kind.label().into(),
+                report.precision.into(),
+                report.recall.into(),
+                report.f1.into(),
+            ]);
+        }
+    }
+    Ok(table)
+}
+
+/// Shared per-(dataset, explainer) aggregates behind T3 and T4.
+pub(crate) struct HeadlineRow {
+    pub dataset: String,
+    pub explainer: ExplainerKind,
+    pub aopc: f64,
+    pub aopc_units: f64,
+    pub flip_rate: f64,
+    pub surrogate_r2: f64,
+    pub sufficiency: f64,
+    pub units: f64,
+    pub coherence: f64,
+    pub purity: f64,
+    pub compression: f64,
+    pub seconds_per_pair: f64,
+}
+
+pub(crate) fn headline_metrics(
+    config: &ExperimentConfig,
+) -> Result<Vec<HeadlineRow>, crate::EvalError> {
+    let mut rows = Vec::new();
+    let fractions = metrics::standard_fractions();
+    for &family in &config.families {
+        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let matcher = ctx.matcher(config.matcher)?;
+        let pairs = ctx.pairs_to_explain(config.explain_pairs);
+        for kind in ExplainerKind::all() {
+            let mut aopc = Vec::new();
+            let mut aopc_u = Vec::new();
+            let mut flips = Vec::new();
+            let mut r2 = Vec::new();
+            let mut suff = Vec::new();
+            let mut units_n = Vec::new();
+            let mut coh = Vec::new();
+            let mut pur = Vec::new();
+            let mut comp = Vec::new();
+            let mut secs = Vec::new();
+            for ex in &pairs {
+                let out =
+                    explain_pair(kind, &ctx, config.budget(), matcher.as_ref(), &ex.pair)?;
+                let tokenized = TokenizedPair::new(ex.pair.clone());
+                aopc.push(metrics::aopc_deletion(
+                    matcher.as_ref(),
+                    &tokenized,
+                    &out.units,
+                    &fractions,
+                )?);
+                aopc_u.push(metrics::aopc_units(matcher.as_ref(), &tokenized, &out.units, 3)?);
+                flips.push(f64::from(metrics::decision_flip(
+                    matcher.as_ref(),
+                    &tokenized,
+                    &out.units,
+                )?));
+                suff.push(metrics::sufficiency(matcher.as_ref(), &tokenized, &out.units, 0.3)?);
+                r2.push(out.word_level.surrogate_r2);
+                let rep = metrics::interpretability(
+                    &out.units,
+                    &out.word_level.words,
+                    &ctx.embeddings,
+                )?;
+                units_n.push(rep.unit_count as f64);
+                coh.push(rep.semantic_coherence);
+                pur.push(rep.attribute_purity);
+                comp.push(rep.compression);
+                secs.push(out.elapsed);
+            }
+            let mean = em_linalg::stats::mean;
+            rows.push(HeadlineRow {
+                dataset: ctx.dataset.name().to_string(),
+                explainer: kind,
+                aopc: mean(&aopc),
+                aopc_units: mean(&aopc_u),
+                flip_rate: mean(&flips),
+                surrogate_r2: mean(&r2),
+                sufficiency: mean(&suff),
+                units: mean(&units_n),
+                coherence: mean(&coh),
+                purity: mean(&pur),
+                compression: mean(&comp),
+                seconds_per_pair: mean(&secs),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// T3 — headline fidelity: AOPC-deletion, decision-flip rate, sufficiency
+/// and surrogate R² per explainer × dataset.
+pub fn exp_t3(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+    let mut table = Table::new(
+        "T3",
+        "Fidelity to the model (higher is better)",
+        vec![
+            "dataset", "explainer", "aopc_del", "aopc_unit@3", "flip_rate", "sufficiency",
+            "surrogate_r2", "secs/pair",
+        ],
+    );
+    for row in headline_metrics(config)? {
+        table.push_row(vec![
+            row.dataset.into(),
+            row.explainer.label().into(),
+            row.aopc.into(),
+            row.aopc_units.into(),
+            row.flip_rate.into(),
+            row.sufficiency.into(),
+            row.surrogate_r2.into(),
+            row.seconds_per_pair.into(),
+        ]);
+    }
+    Ok(table)
+}
+
+/// T4 — headline interpretability: unit count, coherence, purity,
+/// compression per explainer × dataset.
+pub fn exp_t4(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+    let mut table = Table::new(
+        "T4",
+        "Interpretability proxies (fewer/more-coherent units are better)",
+        vec!["dataset", "explainer", "units", "coherence", "attr_purity", "compression"],
+    );
+    for row in headline_metrics(config)? {
+        table.push_row(vec![
+            row.dataset.into(),
+            row.explainer.label().into(),
+            row.units.into(),
+            row.coherence.into(),
+            row.purity.into(),
+            row.compression.into(),
+        ]);
+    }
+    Ok(table)
+}
+
+/// T5 — ablation of CREW's three knowledge sources.
+pub fn exp_t5(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+    let variants: Vec<(&str, KnowledgeWeights)> = vec![
+        ("semantic-only", KnowledgeWeights::only_semantic()),
+        ("attribute-only", KnowledgeWeights::only_attribute()),
+        ("importance-only", KnowledgeWeights::only_importance()),
+        ("sem+attr", KnowledgeWeights { semantic: 1.0, attribute: 1.0, importance: 0.0 }),
+        ("sem+imp", KnowledgeWeights { semantic: 1.0, attribute: 0.0, importance: 1.0 }),
+        ("attr+imp", KnowledgeWeights { semantic: 0.0, attribute: 1.0, importance: 1.0 }),
+        ("all (CREW)", KnowledgeWeights::default()),
+    ];
+    let mut table = Table::new(
+        "T5",
+        "Ablation of CREW's knowledge sources",
+        vec!["dataset", "variant", "group_r2", "silhouette", "units", "coherence", "attr_purity"],
+    );
+    for &family in &config.families {
+        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let matcher = ctx.matcher(config.matcher)?;
+        let pairs = ctx.pairs_to_explain(config.explain_pairs);
+        for (name, weights) in &variants {
+            let crew = build_crew(
+                &ctx,
+                config.budget(),
+                CrewOptions { knowledge: *weights, ..Default::default() },
+            );
+            let mut r2 = Vec::new();
+            let mut sil = Vec::new();
+            let mut units_n = Vec::new();
+            let mut coh = Vec::new();
+            let mut pur = Vec::new();
+            for ex in &pairs {
+                let ce = crew.explain_clusters(matcher.as_ref(), &ex.pair)?;
+                r2.push(ce.group_r2);
+                sil.push(ce.silhouette);
+                let rep = metrics::interpretability(
+                    &ce.units(),
+                    &ce.word_level.words,
+                    &ctx.embeddings,
+                )?;
+                units_n.push(rep.unit_count as f64);
+                coh.push(rep.semantic_coherence);
+                pur.push(rep.attribute_purity);
+            }
+            let mean = em_linalg::stats::mean;
+            table.push_row(vec![
+                ctx.dataset.name().into(),
+                Cell::text(*name),
+                mean(&r2).into(),
+                mean(&sil).into(),
+                mean(&units_n).into(),
+                mean(&coh).into(),
+                mean(&pur).into(),
+            ]);
+        }
+    }
+    Ok(table)
+}
+
+/// T6 — sensitivity of CREW to the perturbation budget S.
+pub fn exp_t6(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+    let budgets = [32usize, 64, 128, 256, 512];
+    let mut table = Table::new(
+        "T6",
+        "CREW sensitivity to the perturbation budget",
+        vec!["dataset", "samples", "aopc_del", "group_r2", "stability@10", "secs/pair"],
+    );
+    let fractions = metrics::standard_fractions();
+    for &family in &config.families {
+        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let matcher = ctx.matcher(config.matcher)?;
+        let pairs = ctx.pairs_to_explain(config.explain_pairs.min(8));
+        for &samples in &budgets {
+            if samples > config.samples * 2 {
+                continue; // respect the configured ceiling in smoke runs
+            }
+            let mut aopc = Vec::new();
+            let mut r2 = Vec::new();
+            let mut stab = Vec::new();
+            let mut secs = Vec::new();
+            for ex in &pairs {
+                let tokenized = TokenizedPair::new(ex.pair.clone());
+                // Three seeds for the stability estimate.
+                let mut word_views = Vec::new();
+                let mut first: Option<crew_core::ClusterExplanation> = None;
+                let t0 = std::time::Instant::now();
+                for s in 0..3u64 {
+                    let crew = build_crew(
+                        &ctx,
+                        crate::explainers::ExplainBudget {
+                            samples,
+                            seed: config.seed ^ (s * 77 + 1),
+                            threads: config.threads,
+                        },
+                        CrewOptions::default(),
+                    );
+                    let ce = crew.explain_clusters(matcher.as_ref(), &ex.pair)?;
+                    word_views.push(flatten(&ce));
+                    if s == 0 {
+                        first = Some(ce);
+                    }
+                }
+                secs.push(t0.elapsed().as_secs_f64() / 3.0);
+                let ce = first.expect("three seeds ran");
+                aopc.push(metrics::aopc_deletion(
+                    matcher.as_ref(),
+                    &tokenized,
+                    &ce.units(),
+                    &fractions,
+                )?);
+                r2.push(ce.group_r2);
+                let k = 10.min(tokenized.len().max(1));
+                stab.push(metrics::mean_pairwise_stability(&word_views, k)?);
+            }
+            let mean = em_linalg::stats::mean;
+            table.push_row(vec![
+                ctx.dataset.name().into(),
+                samples.into(),
+                mean(&aopc).into(),
+                mean(&r2).into(),
+                mean(&stab).into(),
+                mean(&secs).into(),
+            ]);
+        }
+    }
+    Ok(table)
+}
+
+/// Word-level view of a cluster explanation (cluster weight spread evenly).
+pub(crate) fn flatten(ce: &crew_core::ClusterExplanation) -> crew_core::WordExplanation {
+    let mut weights = vec![0.0; ce.word_level.words.len()];
+    for c in &ce.clusters {
+        let share = c.weight / c.member_indices.len() as f64;
+        for &i in &c.member_indices {
+            weights[i] = share;
+        }
+    }
+    crew_core::WordExplanation {
+        explainer: "crew".into(),
+        words: ce.word_level.words.clone(),
+        weights,
+        base_score: ce.word_level.base_score,
+        intercept: ce.word_level.intercept,
+        surrogate_r2: ce.group_r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_reports_every_family() {
+        let cfg = ExperimentConfig::smoke();
+        let t = exp_t1(&cfg).unwrap();
+        assert_eq!(t.rows.len(), 1);
+        assert!(t.to_markdown().contains("synth-restaurants"));
+    }
+
+    #[test]
+    fn t3_and_t4_cover_all_explainers() {
+        let cfg = ExperimentConfig::smoke();
+        let t3 = exp_t3(&cfg).unwrap();
+        assert_eq!(t3.rows.len(), 7); // 1 family × 7 explainers (incl. WYM ext.)
+        let md = t3.to_markdown();
+        for kind in ExplainerKind::all() {
+            assert!(md.contains(kind.label()), "missing {}", kind.label());
+        }
+        let t4 = exp_t4(&cfg).unwrap();
+        assert_eq!(t4.rows.len(), 7);
+    }
+
+    #[test]
+    fn t5_has_seven_variants() {
+        let cfg = ExperimentConfig::smoke();
+        let t = exp_t5(&cfg).unwrap();
+        assert_eq!(t.rows.len(), 7);
+        assert!(t.to_markdown().contains("all (CREW)"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Explainer roster: builds the seven systems under comparison (CREW, the
+//! five paper baselines, and the WYM extension) with a shared perturbation
+//! budget, and provides the uniform "units" view the metrics consume
+//! (clusters for CREW, decision units for WYM, mass-thresholded words for
+//! the word-level baselines).
+
+use crate::context::EvalContext;
+use crew_core::{
+    Crew, CrewOptions, Explainer, ExplanationUnit, MaskStrategy, PerturbOptions, WordExplanation,
+};
+use em_baselines::{
+    Certa, CertaOptions, Landmark, LandmarkOptions, Lemon, LemonOptions, Lime, LimeOptions,
+    Mojito, MojitoOptions, Wym, WymOptions,
+};
+use em_data::EntityPair;
+use em_matchers::Matcher;
+use std::sync::Arc;
+
+/// Fraction of absolute attribution mass that defines the "effective" unit
+/// set of a word-level explanation (standard practice for comparing
+/// explanation sizes).
+pub const UNIT_MASS_THRESHOLD: f64 = 0.8;
+
+/// The systems under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExplainerKind {
+    Crew,
+    Lime,
+    Mojito,
+    Landmark,
+    Lemon,
+    Certa,
+    /// Extension baseline: WYM-style decision units (not among the five
+    /// systems the paper's abstract lists).
+    Wym,
+}
+
+impl ExplainerKind {
+    pub fn all() -> [ExplainerKind; 7] {
+        [
+            ExplainerKind::Crew,
+            ExplainerKind::Lime,
+            ExplainerKind::Mojito,
+            ExplainerKind::Landmark,
+            ExplainerKind::Lemon,
+            ExplainerKind::Certa,
+            ExplainerKind::Wym,
+        ]
+    }
+
+    /// The five baselines the paper's abstract lists (no CREW, no WYM).
+    pub fn paper_baselines() -> [ExplainerKind; 5] {
+        [
+            ExplainerKind::Lime,
+            ExplainerKind::Mojito,
+            ExplainerKind::Landmark,
+            ExplainerKind::Lemon,
+            ExplainerKind::Certa,
+        ]
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ExplainerKind::Crew => "crew",
+            ExplainerKind::Lime => "lime",
+            ExplainerKind::Mojito => "mojito",
+            ExplainerKind::Landmark => "landmark",
+            ExplainerKind::Lemon => "lemon",
+            ExplainerKind::Certa => "certa",
+            ExplainerKind::Wym => "wym",
+        }
+    }
+}
+
+/// Budget configuration shared by every explainer in one experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplainBudget {
+    /// Total perturbation samples per explanation.
+    pub samples: usize,
+    pub seed: u64,
+    pub threads: usize,
+}
+
+impl Default for ExplainBudget {
+    fn default() -> Self {
+        ExplainBudget { samples: 256, seed: 0xeb, threads: 4 }
+    }
+}
+
+/// One explanation, in both views: the word-level attribution and the unit
+/// list used by the metrics.
+pub struct ExplanationOutput {
+    pub kind: ExplainerKind,
+    pub word_level: WordExplanation,
+    pub units: Vec<ExplanationUnit>,
+    /// CREW-only extras (selected K, group R², silhouette).
+    pub cluster_info: Option<(usize, f64, f64)>,
+    /// Wall-clock seconds spent producing the explanation.
+    pub elapsed: f64,
+}
+
+/// Build one explainer of the requested kind.
+pub fn build_explainer(
+    kind: ExplainerKind,
+    ctx: &EvalContext,
+    budget: ExplainBudget,
+) -> Result<Box<dyn Explainer>, crate::EvalError> {
+    Ok(match kind {
+        ExplainerKind::Crew => Box::new(build_crew(ctx, budget, CrewOptions::default())),
+        ExplainerKind::Lime => Box::new(Lime::new(LimeOptions {
+            samples: budget.samples,
+            seed: budget.seed,
+            threads: budget.threads,
+            ..Default::default()
+        })),
+        ExplainerKind::Mojito => Box::new(Mojito::new(MojitoOptions {
+            samples: budget.samples,
+            seed: budget.seed,
+            threads: budget.threads,
+            ..Default::default()
+        })),
+        ExplainerKind::Landmark => Box::new(Landmark::new(LandmarkOptions {
+            samples_per_side: budget.samples / 2,
+            seed: budget.seed,
+            ..Default::default()
+        })),
+        ExplainerKind::Lemon => Box::new(Lemon::new(LemonOptions {
+            samples_per_side: budget.samples / 2,
+            seed: budget.seed,
+            ..Default::default()
+        })),
+        ExplainerKind::Certa => Box::new(Certa::from_dataset(
+            &ctx.split.train,
+            32,
+            CertaOptions { seed: budget.seed, ..Default::default() },
+        )?),
+        ExplainerKind::Wym => Box::new(Wym::new(WymOptions {
+            samples: budget.samples,
+            seed: budget.seed,
+            ..Default::default()
+        })),
+    })
+}
+
+/// Build the CREW explainer for a context with a custom option set (the
+/// ablations tweak `knowledge`).
+pub fn build_crew(ctx: &EvalContext, budget: ExplainBudget, mut options: CrewOptions) -> Crew {
+    options.perturb = PerturbOptions {
+        samples: budget.samples,
+        strategy: MaskStrategy::AttributeStratified,
+        seed: budget.seed,
+        threads: budget.threads,
+    };
+    Crew::new(Arc::clone(&ctx.embeddings), options)
+}
+
+/// Explain one pair with one system, producing the uniform output.
+pub fn explain_pair(
+    kind: ExplainerKind,
+    ctx: &EvalContext,
+    budget: ExplainBudget,
+    matcher: &dyn Matcher,
+    pair: &EntityPair,
+) -> Result<ExplanationOutput, crate::EvalError> {
+    let start = std::time::Instant::now();
+    let (word_level, units, cluster_info) = if kind == ExplainerKind::Crew {
+        let crew = build_crew(ctx, budget, CrewOptions::default());
+        let ce = crew.explain_clusters(matcher, pair)?;
+        let units = ce.units();
+        let info = (ce.selected_k, ce.group_r2, ce.silhouette);
+        (ce.word_level, units, Some(info))
+    } else if kind == ExplainerKind::Wym {
+        // WYM's native units are its decision units; reconstruct them so
+        // the metrics see word pairs rather than flattened singletons.
+        let wym = Wym::new(WymOptions {
+            samples: budget.samples,
+            seed: budget.seed,
+            ..Default::default()
+        });
+        let we = wym.explain(matcher, pair)?;
+        let tokenized = em_data::TokenizedPair::new(pair.clone());
+        let units: Vec<crew_core::ExplanationUnit> = wym
+            .decision_units(&tokenized)
+            .into_iter()
+            .map(|u| crew_core::ExplanationUnit {
+                weight: u.member_indices.iter().map(|&i| we.weights[i]).sum(),
+                member_indices: u.member_indices,
+            })
+            .filter(|u| u.weight.abs() > f64::EPSILON)
+            .collect();
+        (we, units, None)
+    } else {
+        let explainer = build_explainer(kind, ctx, budget)?;
+        let we = explainer.explain(matcher, pair)?;
+        let units = we.units(UNIT_MASS_THRESHOLD);
+        (we, units, None)
+    };
+    Ok(ExplanationOutput {
+        kind,
+        word_level,
+        units,
+        cluster_info,
+        elapsed: start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::MatcherKind;
+    use em_synth::{Family, GeneratorConfig};
+
+    fn ctx() -> EvalContext {
+        EvalContext::prepare(
+            Family::Restaurants,
+            GeneratorConfig { entities: 60, pairs: 150, match_rate: 0.3, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_kind_builds_and_explains() {
+        let ctx = ctx();
+        let matcher = ctx.matcher(MatcherKind::Rules).unwrap();
+        let pair = &ctx.pairs_to_explain(1)[0].pair;
+        let budget = ExplainBudget { samples: 64, seed: 3, threads: 1 };
+        for kind in ExplainerKind::all() {
+            let out = explain_pair(kind, &ctx, budget, matcher.as_ref(), pair)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", kind.label()));
+            assert_eq!(out.kind, kind);
+            assert!(!out.word_level.weights.is_empty(), "{}", kind.label());
+            assert!(out.elapsed >= 0.0);
+            if kind == ExplainerKind::Crew {
+                assert!(out.cluster_info.is_some());
+                assert!(!out.units.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn crew_units_are_fewer_than_lime_units_on_average() {
+        let ctx = ctx();
+        let matcher = ctx.matcher(MatcherKind::Rules).unwrap();
+        let budget = ExplainBudget { samples: 128, seed: 5, threads: 1 };
+        let mut crew_units = 0usize;
+        let mut lime_units = 0usize;
+        for ex in ctx.pairs_to_explain(5) {
+            let c = explain_pair(ExplainerKind::Crew, &ctx, budget, matcher.as_ref(), &ex.pair)
+                .unwrap();
+            let l = explain_pair(ExplainerKind::Lime, &ctx, budget, matcher.as_ref(), &ex.pair)
+                .unwrap();
+            crew_units += c.units.len();
+            lime_units += l.units.len();
+        }
+        assert!(
+            crew_units < lime_units,
+            "CREW should compress: crew={crew_units} lime={lime_units}"
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            ExplainerKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 7);
+        assert_eq!(ExplainerKind::paper_baselines().len(), 5);
+    }
+}

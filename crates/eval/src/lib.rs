@@ -1,0 +1,91 @@
+//! # em-eval
+//!
+//! The experiment harness of the CREW reproduction: prepared evaluation
+//! contexts (datasets, splits, embeddings, trained model zoo), the roster
+//! of six explanation systems under comparison, and one runner per
+//! table/figure of the reconstructed evaluation (T1-T6, F1-F4 — see
+//! DESIGN.md for the experiment index and EXPERIMENTS.md for results).
+
+pub mod context;
+pub mod experiments;
+pub mod explainers;
+pub mod table;
+
+pub use context::{EvalContext, MatcherKind};
+pub use experiments::{
+    exp_e1, exp_e2, exp_e3, exp_e4, exp_e5, exp_e6, exp_e7, exp_f1, exp_f2, exp_f3, exp_f4, exp_t1, exp_t2, exp_t3, exp_t4,
+    exp_t5, exp_t6, ExperimentConfig,
+};
+pub use explainers::{
+    build_crew, build_explainer, explain_pair, ExplainBudget, ExplainerKind, ExplanationOutput,
+    UNIT_MASS_THRESHOLD,
+};
+pub use table::{Cell, Table};
+
+/// Errors from the evaluation harness (wraps every layer below).
+#[derive(Debug)]
+pub enum EvalError {
+    Synth(em_synth::SynthError),
+    Data(em_data::DataError),
+    Embed(em_embed::EmbedError),
+    Matcher(em_matchers::MatcherError),
+    Explain(crew_core::ExplainError),
+    Metric(em_metrics::MetricError),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Synth(e) => write!(f, "dataset generation: {e}"),
+            EvalError::Data(e) => write!(f, "data: {e}"),
+            EvalError::Embed(e) => write!(f, "embeddings: {e}"),
+            EvalError::Matcher(e) => write!(f, "matcher training: {e}"),
+            EvalError::Explain(e) => write!(f, "explanation: {e}"),
+            EvalError::Metric(e) => write!(f, "metric: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Synth(e) => Some(e),
+            EvalError::Data(e) => Some(e),
+            EvalError::Embed(e) => Some(e),
+            EvalError::Matcher(e) => Some(e),
+            EvalError::Explain(e) => Some(e),
+            EvalError::Metric(e) => Some(e),
+        }
+    }
+}
+
+impl From<em_synth::SynthError> for EvalError {
+    fn from(e: em_synth::SynthError) -> Self {
+        EvalError::Synth(e)
+    }
+}
+impl From<em_data::DataError> for EvalError {
+    fn from(e: em_data::DataError) -> Self {
+        EvalError::Data(e)
+    }
+}
+impl From<em_embed::EmbedError> for EvalError {
+    fn from(e: em_embed::EmbedError) -> Self {
+        EvalError::Embed(e)
+    }
+}
+impl From<em_matchers::MatcherError> for EvalError {
+    fn from(e: em_matchers::MatcherError) -> Self {
+        EvalError::Matcher(e)
+    }
+}
+impl From<crew_core::ExplainError> for EvalError {
+    fn from(e: crew_core::ExplainError) -> Self {
+        EvalError::Explain(e)
+    }
+}
+impl From<em_metrics::MetricError> for EvalError {
+    fn from(e: em_metrics::MetricError) -> Self {
+        EvalError::Metric(e)
+    }
+}

@@ -1,0 +1,175 @@
+//! Result tables: the uniform output format of every experiment runner,
+//! with markdown (for reports) and CSV (for plotting figures) emitters.
+
+/// A cell value: text or number (numbers get consistent formatting).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    Text(String),
+    Num(f64),
+    Int(i64),
+}
+
+impl Cell {
+    pub fn text(s: impl Into<String>) -> Cell {
+        Cell::Text(s.into())
+    }
+
+    fn render(&self, precision: usize) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Num(v) => format!("{v:.precision$}"),
+            Cell::Int(v) => format!("{v}"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Num(v)
+    }
+}
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+/// An experiment result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub id: String,
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Cell>>,
+    /// Decimal places for numeric cells.
+    pub precision: usize,
+}
+
+impl Table {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: Vec<&str>) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.into_iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            precision: 3,
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header — experiment runners
+    /// construct rows statically, so this is a programming error.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.columns.len(), "row width must match columns");
+        self.rows.push(row);
+    }
+
+    /// Render as a GitHub-flavoured markdown table with a title line.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let s = c.render(self.precision);
+                        widths[i] = widths[i].max(s.len());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push('|');
+        for (c, w) in self.columns.iter().zip(&widths) {
+            out.push_str(&format!(" {c:<w$} |"));
+        }
+        out.push_str("\n|");
+        for w in &widths {
+            out.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        out.push('\n');
+        for row in &rendered {
+            out.push('|');
+            for (s, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {s:<w$} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut rows: Vec<Vec<String>> = vec![self.columns.clone()];
+        for r in &self.rows {
+            rows.push(r.iter().map(|c| c.render(self.precision)).collect());
+        }
+        em_data::write_csv(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("T9", "demo table", vec!["name", "f1", "n"]);
+        t.push_row(vec!["alpha".into(), 0.91234.into(), 42usize.into()]);
+        t.push_row(vec!["beta".into(), 0.5.into(), 7usize.into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = table().to_markdown();
+        assert!(md.contains("### T9 — demo table"));
+        assert!(md.contains("alpha"));
+        assert!(md.contains("0.912"));
+        assert!(md.contains("| 42"));
+        assert!(md.lines().filter(|l| l.starts_with('|')).count() == 4);
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let csv = table().to_csv();
+        let parsed = em_data::parse_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0], vec!["name", "f1", "n"]);
+        assert_eq!(parsed[1][1], "0.912");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new("T0", "x", vec!["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn precision_is_respected() {
+        let mut t = table();
+        t.precision = 1;
+        assert!(t.to_markdown().contains("0.9"));
+        assert!(!t.to_markdown().contains("0.912"));
+    }
+}

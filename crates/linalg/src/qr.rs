@@ -1,0 +1,163 @@
+//! Householder QR decomposition, used by the randomized SVD to
+//! orthonormalise range sketches.
+
+use crate::matrix::Matrix;
+
+/// Thin QR decomposition `A = Q R` with `Q` of shape `(m, k)`,
+/// `R` upper-triangular of shape `(k, k)` where `k = min(m, n)`.
+pub struct Qr {
+    pub q: Matrix,
+    pub r: Matrix,
+}
+
+/// Compute a thin Householder QR of `a`.
+pub fn qr(a: &Matrix) -> Qr {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Accumulate Householder vectors; v_j stored in column j below diagonal
+    // plus an explicit head element.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for j in 0..k {
+        // Build the Householder vector for column j.
+        let mut v = vec![0.0; m - j];
+        for i in j..m {
+            v[i - j] = r[(i, j)];
+        }
+        let alpha = -v[0].signum() * crate::matrix::norm2(&v);
+        if alpha.abs() < f64::EPSILON {
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        v[0] -= alpha;
+        let vnorm = crate::matrix::norm2(&v);
+        if vnorm < f64::EPSILON {
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        for x in &mut v {
+            *x /= vnorm;
+        }
+        // Apply H = I - 2 v v^T to the trailing submatrix of R.
+        for c in j..n {
+            let mut dot = 0.0;
+            for i in j..m {
+                dot += v[i - j] * r[(i, c)];
+            }
+            for i in j..m {
+                r[(i, c)] -= 2.0 * v[i - j] * dot;
+            }
+        }
+        vs.push(v);
+    }
+    // Build thin Q by applying the Householder reflections to the first k
+    // columns of the identity, in reverse order.
+    let mut q = Matrix::zeros(m, k);
+    for c in 0..k {
+        q[(c, c)] = 1.0;
+    }
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for c in 0..k {
+            let mut dot = 0.0;
+            for i in j..m {
+                dot += v[i - j] * q[(i, c)];
+            }
+            for i in j..m {
+                q[(i, c)] -= 2.0 * v[i - j] * dot;
+            }
+        }
+    }
+    // Zero the strictly-lower part of the returned R and trim to k x n -> k x k view when square use.
+    let mut r_thin = Matrix::zeros(k, n);
+    for i in 0..k {
+        for j2 in i..n {
+            r_thin[(i, j2)] = r[(i, j2)];
+        }
+    }
+    Qr { q, r: r_thin }
+}
+
+/// Orthonormalise the columns of `a` (thin Q factor only).
+pub fn orthonormalize(a: &Matrix) -> Matrix {
+    qr(a).q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::dot;
+
+    fn col(m: &Matrix, j: usize) -> Vec<f64> {
+        m.col(j)
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_fn(5, 3, |i, j| ((i * 3 + j) as f64 * 0.7).sin() + 0.1 * i as f64);
+        let Qr { q, r } = qr(&a);
+        let recon = q.matmul(&r);
+        for i in 0..5 {
+            for j in 0..3 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-10, "mismatch at {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn q_columns_are_orthonormal() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i + 2 * j) as f64).cos() + (i as f64) * 0.05);
+        let Qr { q, .. } = qr(&a);
+        for i in 0..4 {
+            for j in 0..4 {
+                let d = dot(&col(&q, i), &col(&q, j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-10, "q^T q [{i},{j}] = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(4, 4, |i, j| (1 + i * 4 + j) as f64);
+        let Qr { r, .. } = qr(&a);
+        for i in 0..4 {
+            for j in 0..i {
+                assert!(r[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_handles_rank_deficient() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.0],
+            vec![2.0, 4.0, 1.0],
+            vec![3.0, 6.0, 0.0],
+        ]);
+        let Qr { q, r } = qr(&a);
+        let recon = q.matmul(&r);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn orthonormalize_identity_stays_orthonormal() {
+        let q = orthonormalize(&Matrix::identity(3));
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = dot(&col(&q, i), &col(&q, j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-12);
+            }
+        }
+    }
+}

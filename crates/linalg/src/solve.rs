@@ -1,0 +1,288 @@
+//! Positive-definite solves and (weighted) ridge regression.
+//!
+//! The perturbation-based explainers all reduce to a weighted least-squares
+//! fit of a local linear surrogate; ridge regularisation keeps the system
+//! well conditioned even when a word never appears unmasked in the sample.
+
+use crate::matrix::Matrix;
+use crate::LinalgError;
+
+/// Cholesky factorisation of a symmetric positive-definite matrix.
+///
+/// Returns the lower-triangular factor `L` with `A = L L^T`.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i, value: sum });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solve `A x = b` for symmetric positive-definite `A` via Cholesky.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let l = cholesky(a)?;
+    let n = a.rows();
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch { expected: n, got: b.len() });
+    }
+    // Forward substitution: L y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Back substitution: L^T x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Result of a ridge regression fit.
+#[derive(Debug, Clone)]
+pub struct RidgeFit {
+    /// Coefficients for each feature column of the design matrix.
+    pub coefficients: Vec<f64>,
+    /// Intercept term (fit separately, not penalised).
+    pub intercept: f64,
+    /// Weighted coefficient of determination of the fit on the training data.
+    pub r_squared: f64,
+}
+
+impl RidgeFit {
+    /// Predict the response for a feature row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.intercept + crate::matrix::dot(&self.coefficients, x)
+    }
+}
+
+/// Weighted ridge regression with an unpenalised intercept.
+///
+/// Minimises `Σ w_i (y_i − b − x_i·β)² + λ ||β||²`. Sample weights must be
+/// non-negative; rows with zero weight are ignored. This is exactly the
+/// LIME-style surrogate solver used across the explainer implementations.
+pub fn ridge_regression(
+    x: &Matrix,
+    y: &[f64],
+    weights: &[f64],
+    lambda: f64,
+) -> Result<RidgeFit, LinalgError> {
+    let n = x.rows();
+    let p = x.cols();
+    if y.len() != n {
+        return Err(LinalgError::DimensionMismatch { expected: n, got: y.len() });
+    }
+    if weights.len() != n {
+        return Err(LinalgError::DimensionMismatch { expected: n, got: weights.len() });
+    }
+    if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+        return Err(LinalgError::InvalidWeights);
+    }
+    if lambda < 0.0 {
+        return Err(LinalgError::InvalidLambda(lambda));
+    }
+    let wsum: f64 = weights.iter().sum();
+    if wsum <= 0.0 {
+        return Err(LinalgError::InvalidWeights);
+    }
+
+    // Centre x and y by their weighted means; this makes the intercept
+    // separable so it is not shrunk by the penalty.
+    let mut xmean = vec![0.0; p];
+    let mut ymean = 0.0;
+    for i in 0..n {
+        let w = weights[i] / wsum;
+        ymean += w * y[i];
+        for (m, &v) in xmean.iter_mut().zip(x.row(i)) {
+            *m += w * v;
+        }
+    }
+    let xc = Matrix::from_fn(n, p, |i, j| x[(i, j)] - xmean[j]);
+    let yc: Vec<f64> = y.iter().map(|&v| v - ymean).collect();
+
+    // Normal equations: (Xc^T W Xc + λI) β = Xc^T W yc
+    let mut gram = xc.weighted_gram(weights);
+    for i in 0..p {
+        gram[(i, i)] += lambda;
+    }
+    let wy: Vec<f64> = yc.iter().zip(weights).map(|(v, w)| v * w).collect();
+    let rhs = xc.tr_matvec(&wy);
+    let beta = solve_spd(&gram, &rhs)?;
+
+    let intercept = ymean - crate::matrix::dot(&beta, &xmean);
+
+    // Weighted R².
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for i in 0..n {
+        let pred = intercept + crate::matrix::dot(&beta, x.row(i));
+        let w = weights[i];
+        ss_res += w * (y[i] - pred) * (y[i] - pred);
+        ss_tot += w * (y[i] - ymean) * (y[i] - ymean);
+    }
+    let r_squared = if ss_tot <= f64::EPSILON {
+        // A constant response is perfectly described by the intercept.
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(-1.0, 1.0)
+    };
+
+    Ok(RidgeFit { coefficients: beta, intercept, r_squared })
+}
+
+/// Ordinary (unweighted) ridge regression.
+pub fn ridge(x: &Matrix, y: &[f64], lambda: f64) -> Result<RidgeFit, LinalgError> {
+    let w = vec![1.0; x.rows()];
+    ridge_regression(x, y, &w, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn cholesky_of_identity_is_identity() {
+        let l = cholesky(&Matrix::identity(4)).unwrap();
+        assert_eq!(l, Matrix::identity(4));
+    }
+
+    #[test]
+    fn cholesky_known_factor() {
+        // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]]
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let l = cholesky(&a).unwrap();
+        assert!(approx(l[(0, 0)], 2.0, 1e-12));
+        assert!(approx(l[(1, 0)], 1.0, 1e-12));
+        assert!(approx(l[(1, 1)], 2.0_f64.sqrt(), 1e-12));
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(matches!(cholesky(&a), Err(LinalgError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(cholesky(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn solve_spd_recovers_solution() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 2.0]]);
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!(approx(*xi, *ti, 1e-10));
+        }
+    }
+
+    #[test]
+    fn ridge_recovers_exact_linear_relation_with_tiny_lambda() {
+        // y = 2 x0 - 3 x1 + 5
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+        ]);
+        let y: Vec<f64> = (0..5).map(|i| 2.0 * x[(i, 0)] - 3.0 * x[(i, 1)] + 5.0).collect();
+        let fit = ridge(&x, &y, 1e-9).unwrap();
+        assert!(approx(fit.coefficients[0], 2.0, 1e-5));
+        assert!(approx(fit.coefficients[1], -3.0, 1e-5));
+        assert!(approx(fit.intercept, 5.0, 1e-5));
+        assert!(fit.r_squared > 0.999_999);
+    }
+
+    #[test]
+    fn ridge_shrinks_with_large_lambda() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![0.0, 1.0, 2.0, 3.0];
+        let small = ridge(&x, &y, 1e-9).unwrap();
+        let big = ridge(&x, &y, 1e6).unwrap();
+        assert!(small.coefficients[0] > 0.99);
+        assert!(big.coefficients[0].abs() < 0.01);
+    }
+
+    #[test]
+    fn weighted_ridge_ignores_zero_weight_rows() {
+        // Outlier at row 2 with zero weight must not affect the fit.
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![1.0], vec![2.0]]);
+        let y = vec![0.0, 1.0, 100.0, 2.0];
+        let w = vec![1.0, 1.0, 0.0, 1.0];
+        let fit = ridge_regression(&x, &y, &w, 1e-9).unwrap();
+        assert!(approx(fit.coefficients[0], 1.0, 1e-5));
+        assert!(approx(fit.intercept, 0.0, 1e-5));
+    }
+
+    #[test]
+    fn ridge_rejects_negative_weights_and_lambda() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let y = vec![0.0, 1.0];
+        assert!(matches!(
+            ridge_regression(&x, &y, &[1.0, -1.0], 0.1),
+            Err(LinalgError::InvalidWeights)
+        ));
+        assert!(matches!(
+            ridge_regression(&x, &y, &[1.0, 1.0], -0.1),
+            Err(LinalgError::InvalidLambda(_))
+        ));
+    }
+
+    #[test]
+    fn ridge_constant_response_has_full_r_squared() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let y = vec![4.0, 4.0, 4.0];
+        let fit = ridge(&x, &y, 1.0).unwrap();
+        assert!(approx(fit.intercept, 4.0, 1e-9));
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn ridge_dimension_mismatch_is_error() {
+        let x = Matrix::zeros(3, 2);
+        assert!(matches!(
+            ridge(&x, &[1.0, 2.0], 0.1),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ridge_prediction_matches_manual() {
+        let fit = RidgeFit { coefficients: vec![2.0, -1.0], intercept: 0.5, r_squared: 1.0 };
+        assert!(approx(fit.predict(&[1.0, 3.0]), -0.5, 1e-12));
+    }
+}

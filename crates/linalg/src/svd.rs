@@ -1,0 +1,281 @@
+//! Randomized truncated SVD (Halko-Martinsson-Tropp) used to factorise the
+//! PPMI co-occurrence matrix into word embeddings.
+
+use crate::matrix::Matrix;
+use crate::qr::orthonormalize;
+use crate::LinalgError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Truncated singular value decomposition `A ≈ U Σ V^T`.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    /// Left singular vectors, shape `(m, k)`.
+    pub u: Matrix,
+    /// Singular values, length `k`, in non-increasing order.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, shape `(n, k)`.
+    pub v: Matrix,
+}
+
+/// Options for the randomized SVD.
+#[derive(Debug, Clone, Copy)]
+pub struct SvdOptions {
+    /// Oversampling columns added to the sketch (default 8).
+    pub oversample: usize,
+    /// Power iterations to sharpen the spectrum (default 2).
+    pub power_iterations: usize,
+    /// RNG seed for the Gaussian test matrix.
+    pub seed: u64,
+}
+
+impl Default for SvdOptions {
+    fn default() -> Self {
+        SvdOptions { oversample: 8, power_iterations: 2, seed: 0x5eed_cafe }
+    }
+}
+
+/// Compute a rank-`k` randomized SVD of `a`.
+///
+/// The sketch dimension is `min(k + oversample, min(m, n))`; the returned
+/// decomposition is truncated back to `k` components (or fewer if the matrix
+/// has smaller dimensions).
+pub fn randomized_svd(a: &Matrix, k: usize, opts: SvdOptions) -> Result<TruncatedSvd, LinalgError> {
+    let m = a.rows();
+    let n = a.cols();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::EmptyMatrix);
+    }
+    if k == 0 {
+        return Err(LinalgError::InvalidRank(k));
+    }
+    let target = k.min(m).min(n);
+    let sketch = (target + opts.oversample).min(m).min(n);
+
+    // Stage A: range finding. Y = A * Omega, Omega Gaussian n x sketch.
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let omega = Matrix::from_fn(n, sketch, |_, _| gaussian(&mut rng));
+    let mut y = a.matmul(&omega);
+    let mut q = orthonormalize(&y);
+    // Power iterations with re-orthonormalisation for numerical stability.
+    let at = a.transpose();
+    for _ in 0..opts.power_iterations {
+        let z = orthonormalize(&at.matmul(&q));
+        y = a.matmul(&z);
+        q = orthonormalize(&y);
+    }
+
+    // Stage B: B = Q^T A is small (sketch x n); take its exact SVD via the
+    // eigendecomposition of B B^T (sketch x sketch, symmetric PSD).
+    let b = q.transpose().matmul(a);
+    let bbt = b.matmul(&b.transpose());
+    let (eigvals, eigvecs) = symmetric_eigen(&bbt, 200, 1e-12);
+
+    // Sort by eigenvalue descending.
+    let mut order: Vec<usize> = (0..eigvals.len()).collect();
+    order.sort_by(|&i, &j| eigvals[j].partial_cmp(&eigvals[i]).unwrap());
+
+    let kk = target.min(order.len());
+    let mut sigma = Vec::with_capacity(kk);
+    let mut u_small = Matrix::zeros(bbt.rows(), kk);
+    for (c, &idx) in order.iter().take(kk).enumerate() {
+        let s = eigvals[idx].max(0.0).sqrt();
+        sigma.push(s);
+        for r in 0..bbt.rows() {
+            u_small[(r, c)] = eigvecs[(r, idx)];
+        }
+    }
+
+    // U = Q * U_small ; V^T = Σ^{-1} U_small^T B  => V = B^T U_small Σ^{-1}
+    let u = q.matmul(&u_small);
+    let bt_us = b.transpose().matmul(&u_small);
+    let mut v = Matrix::zeros(n, kk);
+    for c in 0..kk {
+        let s = sigma[c];
+        for r in 0..n {
+            v[(r, c)] = if s > 1e-12 { bt_us[(r, c)] / s } else { 0.0 };
+        }
+    }
+    Ok(TruncatedSvd { u, sigma, v })
+}
+
+/// Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)`; column `j` of the eigenvector
+/// matrix corresponds to `eigenvalues[j]`. Intended for the small
+/// (sketch-sized) matrices produced inside the randomized SVD.
+pub fn symmetric_eigen(a: &Matrix, max_sweeps: usize, tol: f64) -> (Vec<f64>, Matrix) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "symmetric_eigen requires a square matrix");
+    let mut d = a.clone();
+    let mut v = Matrix::identity(n);
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius mass.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += d[(i, j)] * d[(i, j)];
+            }
+        }
+        if off.sqrt() < tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = d[(p, q)];
+                if apq.abs() < tol * 1e-3 {
+                    continue;
+                }
+                let app = d[(p, p)];
+                let aqq = d[(q, q)];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q.
+                for k in 0..n {
+                    let dkp = d[(k, p)];
+                    let dkq = d[(k, q)];
+                    d[(k, p)] = c * dkp - s * dkq;
+                    d[(k, q)] = s * dkp + c * dkq;
+                }
+                for k in 0..n {
+                    let dpk = d[(p, k)];
+                    let dqk = d[(q, k)];
+                    d[(p, k)] = c * dpk - s * dqk;
+                    d[(q, k)] = s * dpk + c * dqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eig = (0..n).map(|i| d[(i, i)]).collect();
+    (eig, v)
+}
+
+/// Standard normal sample via Box-Muller (avoids pulling rand_distr).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn low_rank_matrix(m: usize, n: usize, rank: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(m, rank, |_, _| gaussian(&mut rng));
+        let b = Matrix::from_fn(rank, n, |_, _| gaussian(&mut rng));
+        a.matmul(&b)
+    }
+
+    #[test]
+    fn symmetric_eigen_diagonal() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 1.0]]);
+        let (eig, _) = symmetric_eigen(&a, 100, 1e-14);
+        let mut e = eig.clone();
+        e.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        assert!((e[0] - 3.0).abs() < 1e-12);
+        assert!((e[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_eigen_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let (eig, vecs) = symmetric_eigen(&a, 100, 1e-14);
+        let mut pairs: Vec<(f64, Vec<f64>)> =
+            (0..2).map(|j| (eig[j], vecs.col(j))).collect();
+        pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+        assert!((pairs[0].0 - 3.0).abs() < 1e-10);
+        assert!((pairs[1].0 - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = &pairs[0].1;
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn svd_reconstructs_low_rank_matrix() {
+        let a = low_rank_matrix(30, 20, 4, 42);
+        let svd = randomized_svd(&a, 4, SvdOptions::default()).unwrap();
+        // Reconstruct and compare.
+        let mut recon = Matrix::zeros(30, 20);
+        for c in 0..svd.sigma.len() {
+            for i in 0..30 {
+                for j in 0..20 {
+                    recon[(i, j)] += svd.sigma[c] * svd.u[(i, c)] * svd.v[(j, c)];
+                }
+            }
+        }
+        let mut diff = a.clone();
+        diff.axpy(-1.0, &recon);
+        assert!(
+            diff.frobenius_norm() < 1e-6 * a.frobenius_norm().max(1.0),
+            "reconstruction error too large: {}",
+            diff.frobenius_norm()
+        );
+    }
+
+    #[test]
+    fn svd_singular_values_sorted_and_nonnegative() {
+        let a = low_rank_matrix(25, 15, 6, 7);
+        let svd = randomized_svd(&a, 6, SvdOptions::default()).unwrap();
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+        assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn svd_is_deterministic_for_fixed_seed() {
+        let a = low_rank_matrix(20, 12, 3, 9);
+        let s1 = randomized_svd(&a, 3, SvdOptions::default()).unwrap();
+        let s2 = randomized_svd(&a, 3, SvdOptions::default()).unwrap();
+        for (x, y) in s1.sigma.iter().zip(&s2.sigma) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn svd_rejects_empty_and_zero_rank() {
+        assert!(matches!(
+            randomized_svd(&Matrix::zeros(0, 0), 2, SvdOptions::default()),
+            Err(LinalgError::EmptyMatrix)
+        ));
+        assert!(matches!(
+            randomized_svd(&Matrix::identity(3), 0, SvdOptions::default()),
+            Err(LinalgError::InvalidRank(0))
+        ));
+    }
+
+    #[test]
+    fn svd_rank_capped_by_matrix_size() {
+        let a = Matrix::identity(3);
+        let svd = randomized_svd(&a, 10, SvdOptions::default()).unwrap();
+        assert!(svd.sigma.len() <= 3);
+        for &s in &svd.sigma {
+            assert!((s - 1.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn svd_u_columns_orthonormal() {
+        let a = low_rank_matrix(18, 10, 5, 3);
+        let svd = randomized_svd(&a, 5, SvdOptions::default()).unwrap();
+        for i in 0..svd.sigma.len() {
+            for j in 0..svd.sigma.len() {
+                let d = crate::matrix::dot(&svd.u.col(i), &svd.u.col(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-6, "U^T U [{i},{j}] = {d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Token-level soft-alignment ("attention") matcher.
+//!
+//! This is the reproduction's stand-in for the transformer EM models the
+//! paper explains: every token of one record attends over the tokens of the
+//! other via embedding cosine, producing per-attribute soft-alignment
+//! statistics that feed a trained logistic head. Crucially the model is
+//! *word-sensitive in the same way a BERT matcher is* — removing or
+//! injecting a single token changes the attention distributions and thus
+//! the score — which is exactly the code path perturbation explainers
+//! exercise.
+
+use crate::matcher::{best_f1_threshold, Matcher};
+use em_data::{Dataset, EntityPair, Side};
+use em_embed::{EmbeddingOptions, WordEmbeddings};
+use em_linalg::stats::{sigmoid, softmax};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Options for the attention matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct AttentionOptions {
+    /// Softmax temperature on cosine scores (higher = sharper alignment).
+    pub temperature: f64,
+    /// Embedding training options.
+    pub embeddings: EmbeddingOptions,
+    /// Head training: epochs.
+    pub epochs: usize,
+    /// Head training: learning rate.
+    pub learning_rate: f64,
+    /// Head training: L2 penalty.
+    pub l2: f64,
+    /// Seed for shuffling.
+    pub seed: u64,
+    /// Positive class weight.
+    pub positive_weight: f64,
+}
+
+impl Default for AttentionOptions {
+    fn default() -> Self {
+        AttentionOptions {
+            temperature: 6.0,
+            embeddings: EmbeddingOptions::default(),
+            epochs: 150,
+            learning_rate: 0.5,
+            l2: 1e-4,
+            seed: 21,
+            positive_weight: 2.0,
+        }
+    }
+}
+
+/// Per-attribute soft-alignment features: 4 per attribute + 2 global.
+const PER_ATTR: usize = 4;
+const GLOBAL: usize = 2;
+
+/// Trained soft-alignment matcher.
+pub struct AttentionMatcher {
+    embeddings: WordEmbeddings,
+    temperature: f64,
+    n_attributes: usize,
+    weights: Vec<f64>,
+    bias: f64,
+    threshold: f64,
+}
+
+impl AttentionMatcher {
+    /// Train embeddings on the train corpus and fit the logistic head on
+    /// soft-alignment features.
+    pub fn fit(
+        train: &Dataset,
+        validation: &Dataset,
+        opts: AttentionOptions,
+    ) -> Result<Self, crate::MatcherError> {
+        if train.is_empty() {
+            return Err(crate::MatcherError::EmptyTrainingSet);
+        }
+        let embeddings = WordEmbeddings::train_on_dataset(train, opts.embeddings)
+            .map_err(crate::MatcherError::Embedding)?;
+        let n_attributes = train.schema().len();
+        let dims = n_attributes * PER_ATTR + GLOBAL;
+
+        let feats = |d: &Dataset| -> (Vec<Vec<f64>>, Vec<f64>) {
+            let x: Vec<Vec<f64>> = d
+                .examples()
+                .iter()
+                .map(|ex| alignment_features(&embeddings, opts.temperature, n_attributes, &ex.pair))
+                .collect();
+            let y: Vec<f64> = d.examples().iter().map(|ex| ex.label.as_f64()).collect();
+            (x, y)
+        };
+        let (x, y) = feats(train);
+        let (vx, vy) = feats(validation);
+
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut w = vec![0.0; dims];
+        let mut b = 0.0;
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut best = (f64::NEG_INFINITY, w.clone(), b);
+        let mut stale = 0usize;
+        for _ in 0..opts.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let z = em_linalg::dot(&w, &x[i]) + b;
+                let pred = sigmoid(z);
+                let weight = if y[i] > 0.5 { opts.positive_weight } else { 1.0 };
+                let err = weight * (pred - y[i]);
+                for (wj, &xj) in w.iter_mut().zip(&x[i]) {
+                    *wj -= opts.learning_rate * (err * xj + opts.l2 * *wj);
+                }
+                b -= opts.learning_rate * err;
+            }
+            let (ex, ey) = if vx.is_empty() { (&x, &y) } else { (&vx, &vy) };
+            let f1 = head_f1(&w, b, ex, ey);
+            if f1 > best.0 + 1e-9 {
+                best = (f1, w.clone(), b);
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale > 20 {
+                    break;
+                }
+            }
+        }
+        let (_, w, b) = best;
+        let (cx, cy) = if vx.is_empty() { (&x, &y) } else { (&vx, &vy) };
+        let scores: Vec<f64> = cx.iter().map(|f| sigmoid(em_linalg::dot(&w, f) + b)).collect();
+        let labels: Vec<bool> = cy.iter().map(|&v| v > 0.5).collect();
+        let threshold = best_f1_threshold(&scores, &labels);
+        Ok(AttentionMatcher {
+            embeddings,
+            temperature: opts.temperature,
+            n_attributes,
+            weights: w,
+            bias: b,
+            threshold,
+        })
+    }
+
+    /// The trained word embeddings (shared with CREW's semantic knowledge
+    /// source in the experiment harness, as the paper pipeline does).
+    pub fn embeddings(&self) -> &WordEmbeddings {
+        &self.embeddings
+    }
+}
+
+fn head_f1(w: &[f64], b: f64, x: &[Vec<f64>], y: &[f64]) -> f64 {
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut fn_ = 0;
+    for (f, &truth) in x.iter().zip(y) {
+        let pred = sigmoid(em_linalg::dot(w, f) + b) >= 0.5;
+        let t = truth > 0.5;
+        match (pred, t) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            _ => {}
+        }
+    }
+    crate::matcher::report_from_counts(tp, fp, fn_, 0).f1
+}
+
+/// Soft-alignment feature vector of a pair.
+///
+/// Per attribute: mean and max of soft-alignment scores in both directions
+/// (L→R, R→L). Globally: overall token coverage both directions.
+fn alignment_features(
+    emb: &WordEmbeddings,
+    temperature: f64,
+    n_attributes: usize,
+    pair: &EntityPair,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n_attributes * PER_ATTR + GLOBAL);
+    let mut all_l: Vec<Vec<f64>> = Vec::new();
+    let mut all_r: Vec<Vec<f64>> = Vec::new();
+    for attr in 0..n_attributes {
+        let lt = em_text::tokenize(pair.record(Side::Left).value(attr));
+        let rt = em_text::tokenize(pair.record(Side::Right).value(attr));
+        let lv: Vec<Vec<f64>> = lt.iter().map(|w| emb.vector(w)).collect();
+        let rv: Vec<Vec<f64>> = rt.iter().map(|w| emb.vector(w)).collect();
+        let (mean_lr, max_lr) = direction_stats(&lv, &rv, temperature);
+        let (mean_rl, max_rl) = direction_stats(&rv, &lv, temperature);
+        out.push(mean_lr);
+        out.push(max_lr);
+        out.push(mean_rl);
+        out.push(max_rl);
+        all_l.extend(lv);
+        all_r.extend(rv);
+    }
+    let (cov_lr, _) = direction_stats(&all_l, &all_r, temperature);
+    let (cov_rl, _) = direction_stats(&all_r, &all_l, temperature);
+    out.push(cov_lr);
+    out.push(cov_rl);
+    out
+}
+
+/// For each query vector, attend over keys with temperature-softmax on
+/// cosine and score the query against its attention-weighted context.
+/// Returns (mean, max) over queries; (0,0) when either side is empty.
+fn direction_stats(queries: &[Vec<f64>], keys: &[Vec<f64>], temperature: f64) -> (f64, f64) {
+    if queries.is_empty() || keys.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sum = 0.0;
+    let mut max = f64::NEG_INFINITY;
+    for q in queries {
+        let sims: Vec<f64> = keys.iter().map(|k| em_linalg::cosine(q, k) * temperature).collect();
+        let attn = softmax(&sims);
+        // Attention-weighted context vector.
+        let mut ctx = vec![0.0; q.len()];
+        for (a, k) in attn.iter().zip(keys) {
+            for (c, &kv) in ctx.iter_mut().zip(k) {
+                *c += a * kv;
+            }
+        }
+        let score = em_linalg::cosine(q, &ctx).max(0.0);
+        sum += score;
+        if score > max {
+            max = score;
+        }
+    }
+    (sum / queries.len() as f64, max)
+}
+
+impl Matcher for AttentionMatcher {
+    fn name(&self) -> &str {
+        "attention"
+    }
+
+    fn predict_proba(&self, pair: &EntityPair) -> f64 {
+        let f = alignment_features(&self.embeddings, self.temperature, self.n_attributes, pair);
+        sigmoid(em_linalg::dot(&self.weights, &f) + self.bias)
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::evaluate;
+    use em_synth::{generate, Family, GeneratorConfig};
+
+    fn splits(seed: u64) -> (Dataset, Dataset, Dataset) {
+        let cfg = GeneratorConfig {
+            entities: 120,
+            pairs: 400,
+            match_rate: 0.25,
+            hard_negative_rate: 0.5,
+            seed,
+        };
+        let d = generate(Family::Citations, cfg).unwrap();
+        let s = d.split(0.7, 0.15, seed).unwrap();
+        (s.train, s.validation, s.test)
+    }
+
+    #[test]
+    fn attention_matcher_learns() {
+        let (train, val, test) = splits(31);
+        let m = AttentionMatcher::fit(&train, &val, AttentionOptions::default()).unwrap();
+        let r = evaluate(&m, &test);
+        assert!(r.f1 > 0.7, "attention F1 too low: {r:?}");
+    }
+
+    #[test]
+    fn token_drop_changes_score() {
+        let (train, val, test) = splits(32);
+        let m = AttentionMatcher::fit(&train, &val, AttentionOptions::default()).unwrap();
+        let ex = test
+            .examples()
+            .iter()
+            .find(|e| e.label.is_match() && !e.pair.left().value(0).is_empty())
+            .unwrap();
+        let before = m.predict_proba(&ex.pair);
+        // Drop the first token of the left title.
+        let title = ex.pair.left().value(0).to_string();
+        let rest: Vec<&str> = title.split_whitespace().skip(1).collect();
+        let mut maimed = ex.pair.clone();
+        maimed.record_mut(Side::Left).set_value(0, rest.join(" "));
+        let after = m.predict_proba(&maimed);
+        assert_ne!(before, after, "token-level perturbation must change the score");
+    }
+
+    #[test]
+    fn direction_stats_empty_inputs() {
+        assert_eq!(direction_stats(&[], &[vec![1.0]], 4.0), (0.0, 0.0));
+        assert_eq!(direction_stats(&[vec![1.0]], &[], 4.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn direction_stats_identical_tokens_score_high() {
+        let v = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let (mean, max) = direction_stats(&v, &v, 8.0);
+        assert!(mean > 0.8, "mean {mean}");
+        assert!(max > 0.9, "max {max}");
+    }
+
+    #[test]
+    fn probabilities_bounded_and_deterministic() {
+        let (train, val, test) = splits(33);
+        let a = AttentionMatcher::fit(&train, &val, AttentionOptions::default()).unwrap();
+        let b = AttentionMatcher::fit(&train, &val, AttentionOptions::default()).unwrap();
+        for ex in test.examples().iter().take(10) {
+            let pa = a.predict_proba(&ex.pair);
+            assert!((0.0..=1.0).contains(&pa));
+            assert_eq!(pa, b.predict_proba(&ex.pair));
+        }
+    }
+
+    #[test]
+    fn empty_train_is_error() {
+        let (train, val, _) = splits(34);
+        assert!(
+            AttentionMatcher::fit(&train.sample(0, 0), &val, AttentionOptions::default()).is_err()
+        );
+    }
+}

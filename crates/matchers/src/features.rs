@@ -1,0 +1,215 @@
+//! Pair → feature-vector extraction for the trainable matchers.
+//!
+//! For each attribute the extractor emits a bundle of similarity signals
+//! (token Jaccard, symmetric Monge-Elkan, q-gram Jaccard, numeric-aware
+//! similarity, null indicators, length ratio) plus whole-record TF-IDF
+//! cosine and token-overlap features. This is the classic Magellan-style
+//! feature table that makes the logistic/MLP matchers competitive while
+//! remaining fully word-sensitive: dropping a word changes the features.
+
+use em_data::{Dataset, EntityPair};
+use em_text::TfIdf;
+
+/// A fitted feature extractor (holds the TF-IDF vocabulary of the corpus).
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    tfidf: TfIdf,
+    n_attributes: usize,
+}
+
+/// Number of per-attribute features.
+pub const PER_ATTRIBUTE_FEATURES: usize = 6;
+/// Number of whole-record features.
+pub const GLOBAL_FEATURES: usize = 3;
+
+impl FeatureExtractor {
+    /// Fit on the training corpus (both records of every pair).
+    pub fn fit(train: &Dataset) -> Self {
+        let mut docs: Vec<Vec<String>> = Vec::with_capacity(train.len() * 2);
+        for ex in train.examples() {
+            docs.push(em_text::tokenize(&ex.pair.left().full_text()));
+            docs.push(em_text::tokenize(&ex.pair.right().full_text()));
+        }
+        FeatureExtractor {
+            tfidf: TfIdf::fit(docs.iter().map(|d| d.as_slice())),
+            n_attributes: train.schema().len(),
+        }
+    }
+
+    /// Feature dimensionality for pairs over the fitted schema.
+    pub fn dimensions(&self) -> usize {
+        self.n_attributes * PER_ATTRIBUTE_FEATURES + GLOBAL_FEATURES
+    }
+
+    /// Extract the feature vector of a pair.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the pair's schema size differs from the
+    /// fitted one; in release the extra/missing attributes are truncated or
+    /// zero-filled (defensive for perturbed pairs, which keep the schema).
+    pub fn extract(&self, pair: &EntityPair) -> Vec<f64> {
+        debug_assert_eq!(pair.schema().len(), self.n_attributes, "schema size changed");
+        let mut out = Vec::with_capacity(self.dimensions());
+        for attr in 0..self.n_attributes.min(pair.schema().len()) {
+            let l = pair.left().value(attr);
+            let r = pair.right().value(attr);
+            push_attribute_features(&mut out, l, r);
+        }
+        while out.len() < self.n_attributes * PER_ATTRIBUTE_FEATURES {
+            out.push(0.0);
+        }
+        // Whole-record features.
+        let lt = em_text::tokenize(&pair.left().full_text());
+        let rt = em_text::tokenize(&pair.right().full_text());
+        out.push(self.tfidf.cosine(&lt, &rt));
+        out.push(em_text::jaccard(&lt, &rt));
+        out.push(em_text::overlap_coefficient(&lt, &rt));
+        out
+    }
+
+    /// Extract features for every pair of a dataset along with labels.
+    pub fn extract_dataset(&self, data: &Dataset) -> (em_linalg::Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = data.examples().iter().map(|ex| self.extract(&ex.pair)).collect();
+        let y: Vec<f64> = data.examples().iter().map(|ex| ex.label.as_f64()).collect();
+        (em_linalg::Matrix::from_rows(&rows), y)
+    }
+}
+
+fn push_attribute_features(out: &mut Vec<f64>, l: &str, r: &str) {
+    let lt = em_text::tokenize(l);
+    let rt = em_text::tokenize(r);
+    let both_empty = lt.is_empty() && rt.is_empty();
+    let one_empty = lt.is_empty() != rt.is_empty();
+    // Null indicators first: similarity features are forced to 0 when either
+    // side is missing so "both null" is not mistaken for "identical".
+    if both_empty || one_empty {
+        out.push(0.0); // jaccard
+        out.push(0.0); // monge-elkan
+        out.push(0.0); // qgram jaccard
+        out.push(0.0); // numeric/string sim
+        out.push(if one_empty { 1.0 } else { 0.0 });
+        out.push(if both_empty { 1.0 } else { 0.0 });
+        return;
+    }
+    out.push(em_text::jaccard(&lt, &rt));
+    out.push(em_text::monge_elkan_sym(&lt, &rt));
+    out.push(em_text::qgram_jaccard(&l.to_lowercase(), &r.to_lowercase(), 3));
+    out.push(em_text::numeric_or_string_similarity(l, r));
+    out.push(0.0);
+    out.push(0.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::{Label, LabeledPair, Record, Schema};
+    use std::sync::Arc;
+
+    fn dataset() -> Dataset {
+        let schema = Arc::new(Schema::new(vec!["title", "price"]));
+        let mk = |id: u64, t: &str, p: &str| Record::new(id, vec![t.to_string(), p.to_string()]);
+        let examples = vec![
+            LabeledPair {
+                pair: EntityPair::new(
+                    Arc::clone(&schema),
+                    mk(0, "sonix tv 55", "499"),
+                    mk(1, "sonix television 55", "489"),
+                )
+                .unwrap(),
+                label: Label::Match,
+            },
+            LabeledPair {
+                pair: EntityPair::new(
+                    Arc::clone(&schema),
+                    mk(2, "veltron laptop", "999"),
+                    mk(3, "koyama blender", "59"),
+                )
+                .unwrap(),
+                label: Label::NonMatch,
+            },
+        ];
+        Dataset::new("toy", schema, examples).unwrap()
+    }
+
+    #[test]
+    fn dimensions_match_schema() {
+        let fe = FeatureExtractor::fit(&dataset());
+        assert_eq!(fe.dimensions(), 2 * PER_ATTRIBUTE_FEATURES + GLOBAL_FEATURES);
+    }
+
+    #[test]
+    fn extract_produces_correct_length_and_bounds() {
+        let d = dataset();
+        let fe = FeatureExtractor::fit(&d);
+        for ex in d.examples() {
+            let f = fe.extract(&ex.pair);
+            assert_eq!(f.len(), fe.dimensions());
+            for &v in &f {
+                assert!((0.0..=1.0 + 1e-9).contains(&v), "feature out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn matching_pair_scores_higher_overall() {
+        let d = dataset();
+        let fe = FeatureExtractor::fit(&d);
+        let fm = fe.extract(&d.examples()[0].pair);
+        let fn_ = fe.extract(&d.examples()[1].pair);
+        let sum_m: f64 = fm.iter().sum();
+        let sum_n: f64 = fn_.iter().sum();
+        assert!(sum_m > sum_n);
+    }
+
+    #[test]
+    fn null_indicators_fire() {
+        let d = dataset();
+        let fe = FeatureExtractor::fit(&d);
+        let schema = d.schema_arc();
+        let pair = EntityPair::new(
+            schema,
+            Record::new(10, vec!["x".into(), "".into()]),
+            Record::new(11, vec!["x".into(), "5".into()]),
+        )
+        .unwrap();
+        let f = fe.extract(&pair);
+        // price attribute block starts at PER_ATTRIBUTE_FEATURES; index 4 is
+        // one-empty, 5 is both-empty.
+        assert_eq!(f[PER_ATTRIBUTE_FEATURES + 4], 1.0);
+        assert_eq!(f[PER_ATTRIBUTE_FEATURES + 5], 0.0);
+
+        let pair2 = EntityPair::new(
+            d.schema_arc(),
+            Record::new(12, vec!["x".into(), "".into()]),
+            Record::new(13, vec!["x".into(), "".into()]),
+        )
+        .unwrap();
+        let f2 = fe.extract(&pair2);
+        assert_eq!(f2[PER_ATTRIBUTE_FEATURES + 4], 0.0);
+        assert_eq!(f2[PER_ATTRIBUTE_FEATURES + 5], 1.0);
+        // Similarities zeroed when null present.
+        assert_eq!(f2[PER_ATTRIBUTE_FEATURES], 0.0);
+    }
+
+    #[test]
+    fn dropping_a_word_changes_features() {
+        let d = dataset();
+        let fe = FeatureExtractor::fit(&d);
+        let pair = &d.examples()[0].pair;
+        let full = fe.extract(pair);
+        let mut perturbed = pair.clone();
+        perturbed.record_mut(em_data::Side::Left).set_value(0, "tv 55".into());
+        let dropped = fe.extract(&perturbed);
+        assert_ne!(full, dropped);
+    }
+
+    #[test]
+    fn extract_dataset_shapes() {
+        let d = dataset();
+        let fe = FeatureExtractor::fit(&d);
+        let (x, y) = fe.extract_dataset(&d);
+        assert_eq!(x.rows(), 2);
+        assert_eq!(x.cols(), fe.dimensions());
+        assert_eq!(y, vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,343 @@
+//! Two-hidden-layer MLP matcher with hand-rolled backprop and Adam.
+//!
+//! Architecturally this is the "feature-level deep" matcher: same inputs as
+//! the logistic model, non-linear decision surface. Its role in the
+//! reproduction is to be a second, less linear black box for the explainers.
+
+use crate::features::FeatureExtractor;
+use crate::logistic::TrainOptions;
+use crate::matcher::{best_f1_threshold, Matcher};
+use em_data::{Dataset, EntityPair};
+use em_linalg::stats::sigmoid;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Dense layer parameters.
+#[derive(Debug, Clone)]
+struct Layer {
+    /// Row-major `(out, in)` weight matrix.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+        // Xavier-uniform init.
+        let limit = (6.0 / (n_in + n_out) as f64).sqrt();
+        let w = (0..n_in * n_out).map(|_| rng.gen_range(-limit..limit)).collect();
+        Layer { w, b: vec![0.0; n_out], n_in, n_out }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            out.push(em_linalg::dot(row, x) + self.b[o]);
+        }
+    }
+}
+
+fn relu(v: &mut [f64]) {
+    for x in v {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+}
+
+/// Adam state for one parameter vector.
+#[derive(Debug, Clone)]
+struct Adam {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    fn new(n: usize) -> Self {
+        Adam { m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+    }
+
+    fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        self.t += 1;
+        let bc1 = 1.0 - B1.powi(self.t as i32);
+        let bc2 = 1.0 - B2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * grads[i];
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * grads[i] * grads[i];
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= lr * mhat / (vhat.sqrt() + EPS);
+        }
+    }
+}
+
+/// A trained MLP matcher (features → 2×ReLU hidden → sigmoid).
+pub struct MlpMatcher {
+    extractor: FeatureExtractor,
+    l1: Layer,
+    l2: Layer,
+    l3: Layer,
+    threshold: f64,
+}
+
+/// Hidden layer widths.
+const H1: usize = 32;
+const H2: usize = 16;
+
+impl MlpMatcher {
+    /// Train with Adam + early stopping on validation F1.
+    pub fn fit(
+        train: &Dataset,
+        validation: &Dataset,
+        opts: TrainOptions,
+    ) -> Result<Self, crate::MatcherError> {
+        if train.is_empty() {
+            return Err(crate::MatcherError::EmptyTrainingSet);
+        }
+        let extractor = FeatureExtractor::fit(train);
+        let (x, y) = extractor.extract_dataset(train);
+        let p = x.cols();
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut l1 = Layer::new(p, H1, &mut rng);
+        let mut l2 = Layer::new(H1, H2, &mut rng);
+        let mut l3 = Layer::new(H2, 1, &mut rng);
+        let mut adam = (
+            Adam::new(l1.w.len() + l1.b.len()),
+            Adam::new(l2.w.len() + l2.b.len()),
+            Adam::new(l3.w.len() + l3.b.len()),
+        );
+        let lr = (opts.learning_rate * 0.01).max(1e-4); // Adam needs a small LR
+        let (val_x, val_y) = extractor.extract_dataset(validation);
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        let mut best: (f64, Layer, Layer, Layer) =
+            (f64::NEG_INFINITY, l1.clone(), l2.clone(), l3.clone());
+        let mut stale = 0usize;
+
+        // Reusable activation buffers.
+        let (mut a1, mut a2, mut a3) = (Vec::new(), Vec::new(), Vec::new());
+
+        for _epoch in 0..opts.epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(opts.batch_size.max(1)) {
+                let mut g1 = vec![0.0; l1.w.len() + l1.b.len()];
+                let mut g2 = vec![0.0; l2.w.len() + l2.b.len()];
+                let mut g3 = vec![0.0; l3.w.len() + l3.b.len()];
+                for &i in batch {
+                    let input = x.row(i);
+                    l1.forward(input, &mut a1);
+                    relu(&mut a1);
+                    l2.forward(&a1, &mut a2);
+                    relu(&mut a2);
+                    l3.forward(&a2, &mut a3);
+                    let pred = sigmoid(a3[0]);
+                    let weight = if y[i] > 0.5 { opts.positive_weight } else { 1.0 };
+                    // dL/dz3 for BCE+sigmoid.
+                    let dz3 = weight * (pred - y[i]);
+
+                    // Layer 3 grads.
+                    for j in 0..H2 {
+                        g3[j] += dz3 * a2[j];
+                    }
+                    g3[l3.w.len()] += dz3;
+
+                    // Backprop into layer 2.
+                    let mut dz2 = [0.0; H2];
+                    for j in 0..H2 {
+                        if a2[j] > 0.0 {
+                            dz2[j] = dz3 * l3.w[j];
+                        }
+                    }
+                    for o in 0..H2 {
+                        if dz2[o] == 0.0 {
+                            continue;
+                        }
+                        for k in 0..H1 {
+                            g2[o * H1 + k] += dz2[o] * a1[k];
+                        }
+                        g2[l2.w.len() + o] += dz2[o];
+                    }
+
+                    // Backprop into layer 1.
+                    let mut dz1 = vec![0.0; H1];
+                    for k in 0..H1 {
+                        if a1[k] <= 0.0 {
+                            continue;
+                        }
+                        let mut acc = 0.0;
+                        for o in 0..H2 {
+                            acc += dz2[o] * l2.w[o * H1 + k];
+                        }
+                        dz1[k] = acc;
+                    }
+                    for o in 0..H1 {
+                        if dz1[o] == 0.0 {
+                            continue;
+                        }
+                        for k in 0..p {
+                            g1[o * p + k] += dz1[o] * input[k];
+                        }
+                        g1[l1.w.len() + o] += dz1[o];
+                    }
+                }
+                let scale = 1.0 / batch.len() as f64;
+                for g in g1.iter_mut().chain(&mut g2).chain(&mut g3) {
+                    *g *= scale;
+                }
+                step_layer(&mut l1, &mut adam.0, &g1, lr, opts.l2);
+                step_layer(&mut l2, &mut adam.1, &g2, lr, opts.l2);
+                step_layer(&mut l3, &mut adam.2, &g3, lr, opts.l2);
+            }
+
+            let (ex, ey) = if val_x.rows() > 0 { (&val_x, &val_y) } else { (&x, &y) };
+            let f1 = f1_of(&l1, &l2, &l3, ex, ey);
+            if f1 > best.0 + 1e-9 {
+                best = (f1, l1.clone(), l2.clone(), l3.clone());
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale > opts.patience {
+                    break;
+                }
+            }
+        }
+        let (_, l1, l2, l3) = best;
+
+        let (cal_x, cal_y) = if val_x.rows() > 0 { (&val_x, &val_y) } else { (&x, &y) };
+        let scores: Vec<f64> =
+            (0..cal_x.rows()).map(|i| forward_proba(&l1, &l2, &l3, cal_x.row(i))).collect();
+        let labels: Vec<bool> = cal_y.iter().map(|&v| v > 0.5).collect();
+        let threshold = best_f1_threshold(&scores, &labels);
+
+        Ok(MlpMatcher { extractor, l1, l2, l3, threshold })
+    }
+}
+
+fn step_layer(layer: &mut Layer, adam: &mut Adam, grads: &[f64], lr: f64, l2_penalty: f64) {
+    let nw = layer.w.len();
+    // Weight decay on weights only (not biases).
+    let mut g = grads.to_vec();
+    for i in 0..nw {
+        g[i] += l2_penalty * layer.w[i];
+    }
+    let mut params: Vec<f64> = layer.w.iter().chain(&layer.b).copied().collect();
+    adam.step(&mut params, &g, lr);
+    layer.w.copy_from_slice(&params[..nw]);
+    layer.b.copy_from_slice(&params[nw..]);
+}
+
+fn forward_proba(l1: &Layer, l2: &Layer, l3: &Layer, input: &[f64]) -> f64 {
+    let mut a1 = Vec::new();
+    let mut a2 = Vec::new();
+    let mut a3 = Vec::new();
+    l1.forward(input, &mut a1);
+    relu(&mut a1);
+    l2.forward(&a1, &mut a2);
+    relu(&mut a2);
+    l3.forward(&a2, &mut a3);
+    sigmoid(a3[0])
+}
+
+fn f1_of(l1: &Layer, l2: &Layer, l3: &Layer, x: &em_linalg::Matrix, y: &[f64]) -> f64 {
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut fn_ = 0;
+    for i in 0..x.rows() {
+        let pred = forward_proba(l1, l2, l3, x.row(i)) >= 0.5;
+        let truth = y[i] > 0.5;
+        match (pred, truth) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            _ => {}
+        }
+    }
+    crate::matcher::report_from_counts(tp, fp, fn_, 0).f1
+}
+
+impl Matcher for MlpMatcher {
+    fn name(&self) -> &str {
+        "mlp"
+    }
+
+    fn predict_proba(&self, pair: &EntityPair) -> f64 {
+        let f = self.extractor.extract(pair);
+        forward_proba(&self.l1, &self.l2, &self.l3, &f)
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::evaluate;
+    use em_synth::{generate, Family, GeneratorConfig};
+
+    fn splits(seed: u64) -> (Dataset, Dataset, Dataset) {
+        let cfg = GeneratorConfig {
+            entities: 120,
+            pairs: 400,
+            match_rate: 0.25,
+            hard_negative_rate: 0.5,
+            seed,
+        };
+        let d = generate(Family::Songs, cfg).unwrap();
+        let s = d.split(0.7, 0.15, seed).unwrap();
+        (s.train, s.validation, s.test)
+    }
+
+    #[test]
+    fn mlp_learns_to_match() {
+        let (train, val, test) = splits(11);
+        let m = MlpMatcher::fit(&train, &val, TrainOptions::default()).unwrap();
+        let r = evaluate(&m, &test);
+        assert!(r.f1 > 0.75, "MLP F1 too low: {r:?}");
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (train, val, test) = splits(12);
+        let m = MlpMatcher::fit(&train, &val, TrainOptions::default()).unwrap();
+        for ex in test.examples().iter().take(20) {
+            let p = m.predict_proba(&ex.pair);
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (train, val, test) = splits(13);
+        let a = MlpMatcher::fit(&train, &val, TrainOptions::default()).unwrap();
+        let b = MlpMatcher::fit(&train, &val, TrainOptions::default()).unwrap();
+        for ex in test.examples().iter().take(10) {
+            assert_eq!(a.predict_proba(&ex.pair), b.predict_proba(&ex.pair));
+        }
+    }
+
+    #[test]
+    fn empty_train_is_error() {
+        let (train, val, _) = splits(14);
+        assert!(MlpMatcher::fit(&train.sample(0, 0), &val, TrainOptions::default()).is_err());
+    }
+
+    #[test]
+    fn adam_reduces_simple_loss() {
+        // Sanity check the optimizer on a 1-parameter quadratic.
+        let mut adam = Adam::new(1);
+        let mut p = vec![5.0];
+        for _ in 0..2000 {
+            let g = vec![2.0 * p[0]]; // d/dp p^2
+            adam.step(&mut p, &g, 0.01);
+        }
+        assert!(p[0].abs() < 0.1, "Adam failed to minimise: {}", p[0]);
+    }
+}

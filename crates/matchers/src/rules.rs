@@ -1,0 +1,161 @@
+//! A hand-written rule matcher: weighted per-attribute similarity vote.
+//!
+//! Serves two roles: a Magellan-style baseline model in the matcher-quality
+//! table, and an always-available untrained black box for tests.
+
+use crate::matcher::Matcher;
+use em_data::EntityPair;
+
+/// One rule: an attribute index, a weight and the similarity used.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rule {
+    pub attribute: usize,
+    pub weight: f64,
+}
+
+/// Threshold matcher over a weighted mean of per-attribute token Jaccard
+/// and Monge-Elkan similarity.
+#[derive(Debug, Clone)]
+pub struct RuleMatcher {
+    rules: Vec<Rule>,
+    threshold: f64,
+}
+
+impl RuleMatcher {
+    /// Build with explicit rules.
+    ///
+    /// # Errors
+    /// Rejects empty rule sets, non-positive weights and out-of-range
+    /// thresholds.
+    pub fn new(rules: Vec<Rule>, threshold: f64) -> Result<Self, crate::MatcherError> {
+        if rules.is_empty() {
+            return Err(crate::MatcherError::NoRules);
+        }
+        if rules.iter().any(|r| r.weight <= 0.0 || !r.weight.is_finite()) {
+            return Err(crate::MatcherError::InvalidRuleWeight);
+        }
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(crate::MatcherError::InvalidThreshold(threshold));
+        }
+        Ok(RuleMatcher { rules, threshold })
+    }
+
+    /// Uniform rules over every attribute of a schema.
+    pub fn uniform(n_attributes: usize, threshold: f64) -> Result<Self, crate::MatcherError> {
+        let rules = (0..n_attributes).map(|attribute| Rule { attribute, weight: 1.0 }).collect();
+        RuleMatcher::new(rules, threshold)
+    }
+}
+
+impl Matcher for RuleMatcher {
+    fn name(&self) -> &str {
+        "rules"
+    }
+
+    fn predict_proba(&self, pair: &EntityPair) -> f64 {
+        let mut score = 0.0;
+        let mut weight_sum = 0.0;
+        for rule in &self.rules {
+            if rule.attribute >= pair.schema().len() {
+                continue;
+            }
+            let l = pair.left().value(rule.attribute);
+            let r = pair.right().value(rule.attribute);
+            let lt = em_text::tokenize(l);
+            let rt = em_text::tokenize(r);
+            // Skip attributes where either side is missing so nulls don't
+            // count as evidence either way.
+            if lt.is_empty() || rt.is_empty() {
+                continue;
+            }
+            let sim =
+                0.5 * em_text::jaccard(&lt, &rt) + 0.5 * em_text::monge_elkan_sym(&lt, &rt);
+            score += rule.weight * sim;
+            weight_sum += rule.weight;
+        }
+        if weight_sum == 0.0 {
+            0.0
+        } else {
+            score / weight_sum
+        }
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::{Record, Schema};
+    use std::sync::Arc;
+
+    fn pair(l: &[&str], r: &[&str]) -> EntityPair {
+        let schema = Arc::new(Schema::new(vec!["a", "b"]));
+        EntityPair::new(
+            schema,
+            Record::new(0, l.iter().map(|s| s.to_string()).collect()),
+            Record::new(1, r.iter().map(|s| s.to_string()).collect()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_pair_scores_one() {
+        let m = RuleMatcher::uniform(2, 0.5).unwrap();
+        let p = pair(&["sonix tv", "black"], &["sonix tv", "black"]);
+        assert!((m.predict_proba(&p) - 1.0).abs() < 1e-9);
+        assert!(m.predict(&p));
+    }
+
+    #[test]
+    fn disjoint_pair_scores_zero() {
+        let m = RuleMatcher::uniform(2, 0.5).unwrap();
+        let p = pair(&["alpha beta", "x"], &["gamma delta", "y"]);
+        assert!(m.predict_proba(&p) < 0.35);
+        assert!(!m.predict(&p));
+    }
+
+    #[test]
+    fn null_attributes_are_skipped() {
+        let m = RuleMatcher::uniform(2, 0.5).unwrap();
+        let p = pair(&["same words", ""], &["same words", "ignored"]);
+        assert!((m.predict_proba(&p) - 1.0).abs() < 1e-9);
+        // Fully null pair scores zero rather than NaN.
+        let empty = pair(&["", ""], &["", ""]);
+        assert_eq!(m.predict_proba(&empty), 0.0);
+    }
+
+    #[test]
+    fn weights_shift_the_score() {
+        let heavy_a =
+            RuleMatcher::new(vec![Rule { attribute: 0, weight: 10.0 }, Rule { attribute: 1, weight: 1.0 }], 0.5)
+                .unwrap();
+        let heavy_b =
+            RuleMatcher::new(vec![Rule { attribute: 0, weight: 1.0 }, Rule { attribute: 1, weight: 10.0 }], 0.5)
+                .unwrap();
+        let p = pair(&["match match", "zzz"], &["match match", "qqq"]);
+        assert!(heavy_a.predict_proba(&p) > heavy_b.predict_proba(&p));
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(RuleMatcher::new(vec![], 0.5).is_err());
+        assert!(RuleMatcher::new(vec![Rule { attribute: 0, weight: 0.0 }], 0.5).is_err());
+        assert!(RuleMatcher::new(vec![Rule { attribute: 0, weight: -1.0 }], 0.5).is_err());
+        assert!(RuleMatcher::new(vec![Rule { attribute: 0, weight: 1.0 }], 1.5).is_err());
+        assert!(RuleMatcher::uniform(0, 0.5).is_err());
+    }
+
+    #[test]
+    fn out_of_range_attribute_is_ignored() {
+        let m = RuleMatcher::new(
+            vec![Rule { attribute: 0, weight: 1.0 }, Rule { attribute: 9, weight: 1.0 }],
+            0.5,
+        )
+        .unwrap();
+        let p = pair(&["x y", "z"], &["x y", "z"]);
+        assert!((m.predict_proba(&p) - 1.0).abs() < 1e-9);
+    }
+}

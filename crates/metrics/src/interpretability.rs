@@ -1,0 +1,163 @@
+//! Interpretability proxies: the paper's claim is that CREW explanations
+//! are easier for users to digest. Without rerunning the user study we
+//! measure the standard proxies — explanation size, semantic coherence of
+//! units, attribute purity and compression.
+
+use crew_core::ExplanationUnit;
+use em_data::WordUnit;
+use em_embed::WordEmbeddings;
+
+/// Interpretability summary of one explanation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpretabilityReport {
+    /// Number of units the reader must inspect.
+    pub unit_count: usize,
+    /// Words per unit on average.
+    pub mean_unit_size: f64,
+    /// Mean pairwise embedding similarity inside multi-word units
+    /// (singletons count as 1.0): are the grouped words actually related?
+    pub semantic_coherence: f64,
+    /// Fraction of units whose words all share one attribute.
+    pub attribute_purity: f64,
+    /// Words covered per unit: `covered_words / unit_count` (≥ 1;
+    /// higher = more compression of the evidence).
+    pub compression: f64,
+}
+
+/// Compute the interpretability report for a unit list.
+pub fn interpretability(
+    units: &[ExplanationUnit],
+    words: &[WordUnit],
+    embeddings: &WordEmbeddings,
+) -> Result<InterpretabilityReport, crate::MetricError> {
+    if units.is_empty() {
+        return Ok(InterpretabilityReport {
+            unit_count: 0,
+            mean_unit_size: 0.0,
+            semantic_coherence: 0.0,
+            attribute_purity: 0.0,
+            compression: 0.0,
+        });
+    }
+    let mut covered = std::collections::HashSet::new();
+    let mut total_size = 0usize;
+    let mut coherence_sum = 0.0;
+    let mut pure = 0usize;
+    for u in units {
+        if u.member_indices.is_empty() {
+            return Err(crate::MetricError::EmptyUnit);
+        }
+        for &i in &u.member_indices {
+            if i >= words.len() {
+                return Err(crate::MetricError::UnitIndexOutOfRange { index: i, n: words.len() });
+            }
+            covered.insert(i);
+        }
+        total_size += u.member_indices.len();
+        coherence_sum += crew_core::semantic_coherence(words, &u.member_indices, embeddings);
+        let first_attr = words[u.member_indices[0]].attribute;
+        if u.member_indices.iter().all(|&i| words[i].attribute == first_attr) {
+            pure += 1;
+        }
+    }
+    let k = units.len();
+    Ok(InterpretabilityReport {
+        unit_count: k,
+        mean_unit_size: total_size as f64 / k as f64,
+        semantic_coherence: coherence_sum / k as f64,
+        attribute_purity: pure as f64 / k as f64,
+        compression: covered.len() as f64 / k as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::{EntityPair, Record, Schema, TokenizedPair};
+    use em_embed::EmbeddingOptions;
+    use std::sync::Arc;
+
+    fn words() -> Vec<WordUnit> {
+        let schema = Arc::new(Schema::new(vec!["title", "brand"]));
+        let pair = EntityPair::new(
+            schema,
+            Record::new(0, vec!["sonix tv black".into(), "sonix".into()]),
+            Record::new(1, vec!["sonix tv".into(), "sonix".into()]),
+        )
+        .unwrap();
+        TokenizedPair::new(pair).words().to_vec()
+    }
+
+    fn embeddings() -> WordEmbeddings {
+        let corpus: Vec<Vec<String>> =
+            ["sonix tv black", "sonix tv white"].iter().map(|s| em_text::tokenize(s)).collect();
+        WordEmbeddings::train(
+            corpus.iter().map(|v| v.as_slice()),
+            EmbeddingOptions { dimensions: 8, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    fn unit(indices: &[usize], weight: f64) -> ExplanationUnit {
+        ExplanationUnit { member_indices: indices.to_vec(), weight }
+    }
+
+    #[test]
+    fn counts_and_sizes() {
+        // words: 0 sonix,1 tv,2 black (L.title), 3 sonix (L.brand),
+        //        4 sonix,5 tv (R.title), 6 sonix (R.brand)
+        let units = vec![unit(&[0, 4], 0.5), unit(&[1, 5], 0.3), unit(&[2], -0.1)];
+        let r = interpretability(&units, &words(), &embeddings()).unwrap();
+        assert_eq!(r.unit_count, 3);
+        assert!((r.mean_unit_size - 5.0 / 3.0).abs() < 1e-9);
+        assert!((r.compression - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn purity_detects_attribute_mixing() {
+        let pure_units = vec![unit(&[0, 4], 0.5), unit(&[3, 6], 0.2)];
+        let r = interpretability(&pure_units, &words(), &embeddings()).unwrap();
+        assert_eq!(r.attribute_purity, 1.0);
+        // Mixing title word 0 with brand word 3 halves purity.
+        let mixed = vec![unit(&[0, 3], 0.5), unit(&[1, 5], 0.2)];
+        let r2 = interpretability(&mixed, &words(), &embeddings()).unwrap();
+        assert_eq!(r2.attribute_purity, 0.5);
+    }
+
+    #[test]
+    fn coherent_units_score_higher() {
+        let same_word = vec![unit(&[0, 4], 0.5)]; // sonix + sonix
+        let different = vec![unit(&[1, 2], 0.5)]; // tv + black
+        let a = interpretability(&same_word, &words(), &embeddings()).unwrap();
+        let b = interpretability(&different, &words(), &embeddings()).unwrap();
+        assert!(a.semantic_coherence >= b.semantic_coherence);
+        assert_eq!(a.semantic_coherence, 1.0);
+    }
+
+    #[test]
+    fn empty_units_list_is_neutral() {
+        let r = interpretability(&[], &words(), &embeddings()).unwrap();
+        assert_eq!(r.unit_count, 0);
+        assert_eq!(r.compression, 0.0);
+    }
+
+    #[test]
+    fn invalid_units_rejected() {
+        let bad = vec![unit(&[], 0.1)];
+        assert!(interpretability(&bad, &words(), &embeddings()).is_err());
+        let oob = vec![unit(&[99], 0.1)];
+        assert!(matches!(
+            interpretability(&oob, &words(), &embeddings()),
+            Err(crate::MetricError::UnitIndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn singleton_units_give_compression_one() {
+        let units = vec![unit(&[0], 0.4), unit(&[1], 0.2)];
+        let r = interpretability(&units, &words(), &embeddings()).unwrap();
+        assert_eq!(r.compression, 1.0);
+        assert_eq!(r.mean_unit_size, 1.0);
+        assert_eq!(r.semantic_coherence, 1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! # em-metrics
+//!
+//! Evaluation metrics for EM explanations, in three groups:
+//!
+//! - **fidelity** (to the model): deletion curves, AOPC, sufficiency,
+//!   comprehensiveness, decision-flip — all computed by querying the real
+//!   matcher on unit-deletion counterfactuals;
+//! - **interpretability** (for the user): unit count, semantic coherence,
+//!   attribute purity, compression — the proxies standing in for the
+//!   paper's user-facing comprehensibility claims;
+//! - **stability/agreement**: top-k Jaccard and rank correlation across
+//!   seeds or across explainers.
+//!
+//! ```
+//! use crew_core::ExplanationUnit;
+//! let units = vec![
+//!     ExplanationUnit { member_indices: vec![0], weight: 0.9 },
+//!     ExplanationUnit { member_indices: vec![1], weight: -0.4 },
+//! ];
+//! let ranked = em_metrics::ranked_units(&units);
+//! assert_eq!(ranked[0].weight, 0.9);
+//! ```
+
+pub mod fidelity;
+pub mod interpretability;
+pub mod stability;
+
+pub use fidelity::{
+    aopc_deletion, aopc_units, class_score, comprehensiveness, decision_flip, deletion_curve,
+    deletion_order, ranked_units, relevance_ranked_units, standard_fractions, sufficiency,
+    unit_deletion_curve,
+};
+pub use interpretability::{interpretability, InterpretabilityReport};
+pub use stability::{
+    cluster_structure_ari, mean_pairwise_stability, topk_jaccard, weight_rank_correlation,
+};
+
+/// Errors from metric computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricError {
+    /// The pair has no words.
+    EmptyPair,
+    /// A fraction was outside [0, 1].
+    InvalidFraction(f64),
+    /// The AOPC fraction grid was empty.
+    EmptyFractionGrid,
+    /// A unit had no members.
+    EmptyUnit,
+    /// A unit referenced a word outside the pair.
+    UnitIndexOutOfRange { index: usize, n: usize },
+    /// Two explanations cover different word counts.
+    ExplanationMismatch { a: usize, b: usize },
+    /// k must be positive.
+    InvalidK(usize),
+    /// Stability needs at least two explanations.
+    NeedAtLeastTwo(usize),
+}
+
+impl std::fmt::Display for MetricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricError::EmptyPair => write!(f, "pair has no words"),
+            MetricError::InvalidFraction(v) => write!(f, "fraction must be in [0,1], got {v}"),
+            MetricError::EmptyFractionGrid => write!(f, "fraction grid is empty"),
+            MetricError::EmptyUnit => write!(f, "explanation unit has no members"),
+            MetricError::UnitIndexOutOfRange { index, n } => {
+                write!(f, "unit references word {index} but pair has {n} words")
+            }
+            MetricError::ExplanationMismatch { a, b } => {
+                write!(f, "explanations cover {a} vs {b} words")
+            }
+            MetricError::InvalidK(k) => write!(f, "k must be positive, got {k}"),
+            MetricError::NeedAtLeastTwo(n) => {
+                write!(f, "stability needs at least two explanations, got {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}

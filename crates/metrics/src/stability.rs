@@ -1,0 +1,225 @@
+//! Stability/agreement metrics: how consistent are explanations across
+//! seeds, and how much do different explainers agree?
+
+use crew_core::WordExplanation;
+
+/// Jaccard similarity of the top-k word sets of two explanations.
+///
+/// # Errors
+/// The explanations must cover the same number of words.
+pub fn topk_jaccard(
+    a: &WordExplanation,
+    b: &WordExplanation,
+    k: usize,
+) -> Result<f64, crate::MetricError> {
+    if a.weights.len() != b.weights.len() {
+        return Err(crate::MetricError::ExplanationMismatch {
+            a: a.weights.len(),
+            b: b.weights.len(),
+        });
+    }
+    if k == 0 {
+        return Err(crate::MetricError::InvalidK(k));
+    }
+    let ta: std::collections::HashSet<usize> =
+        a.ranked_indices().into_iter().take(k).collect();
+    let tb: std::collections::HashSet<usize> =
+        b.ranked_indices().into_iter().take(k).collect();
+    let inter = ta.intersection(&tb).count() as f64;
+    let union = ta.union(&tb).count() as f64;
+    Ok(if union == 0.0 { 1.0 } else { inter / union })
+}
+
+/// Spearman rank correlation of two explanations' weight vectors.
+pub fn weight_rank_correlation(
+    a: &WordExplanation,
+    b: &WordExplanation,
+) -> Result<f64, crate::MetricError> {
+    if a.weights.len() != b.weights.len() {
+        return Err(crate::MetricError::ExplanationMismatch {
+            a: a.weights.len(),
+            b: b.weights.len(),
+        });
+    }
+    Ok(em_linalg::stats::spearman(&a.weights, &b.weights))
+}
+
+/// Mean pairwise top-k Jaccard over a set of explanations of the same pair
+/// (e.g. across seeds) — the stability score of the stability figure.
+pub fn mean_pairwise_stability(
+    explanations: &[WordExplanation],
+    k: usize,
+) -> Result<f64, crate::MetricError> {
+    if explanations.len() < 2 {
+        return Err(crate::MetricError::NeedAtLeastTwo(explanations.len()));
+    }
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for i in 0..explanations.len() {
+        for j in i + 1..explanations.len() {
+            sum += topk_jaccard(&explanations[i], &explanations[j], k)?;
+            count += 1;
+        }
+    }
+    Ok(sum / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::{EntityPair, Record, Schema, TokenizedPair};
+    use std::sync::Arc;
+
+    fn expl(weights: Vec<f64>) -> WordExplanation {
+        let schema = Arc::new(Schema::new(vec!["t"]));
+        let text = (0..weights.len()).map(|i| format!("w{i}")).collect::<Vec<_>>().join(" ");
+        let pair = EntityPair::new(
+            schema,
+            Record::new(0, vec![text]),
+            Record::new(1, vec!["".into()]),
+        )
+        .unwrap();
+        let tp = TokenizedPair::new(pair);
+        WordExplanation {
+            explainer: "test".into(),
+            words: tp.words().to_vec(),
+            weights,
+            base_score: 0.5,
+            intercept: 0.0,
+            surrogate_r2: 1.0,
+        }
+    }
+
+    #[test]
+    fn identical_explanations_have_full_agreement() {
+        let a = expl(vec![0.5, 0.3, 0.1, -0.2]);
+        let b = expl(vec![0.5, 0.3, 0.1, -0.2]);
+        assert_eq!(topk_jaccard(&a, &b, 2).unwrap(), 1.0);
+        assert!((weight_rank_correlation(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_topk_scores_zero() {
+        let a = expl(vec![0.9, 0.8, 0.0, 0.0]);
+        let b = expl(vec![0.0, 0.0, 0.9, 0.8]);
+        assert_eq!(topk_jaccard(&a, &b, 2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_in_between() {
+        let a = expl(vec![0.9, 0.8, 0.0, 0.0]);
+        let b = expl(vec![0.9, 0.0, 0.8, 0.0]);
+        // top2(a) = {0,1}, top2(b) = {0,2} → 1/3.
+        assert!((topk_jaccard(&a, &b, 2).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anticorrelated_weights_detected() {
+        let a = expl(vec![0.1, 0.2, 0.3, 0.4]);
+        let b = expl(vec![0.4, 0.3, 0.2, 0.1]);
+        assert!((weight_rank_correlation(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_pairwise_over_three() {
+        let a = expl(vec![0.9, 0.8, 0.0]);
+        let b = expl(vec![0.9, 0.8, 0.0]);
+        let c = expl(vec![0.0, 0.8, 0.9]);
+        // pairs: (a,b)=1, (a,c): top2 {0,1} vs {2,1} = 1/3, (b,c)=1/3.
+        let s = mean_pairwise_stability(&[a, b, c], 2).unwrap();
+        assert!((s - (1.0 + 1.0 / 3.0 + 1.0 / 3.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let a = expl(vec![0.1, 0.2]);
+        let b = expl(vec![0.1, 0.2, 0.3]);
+        assert!(topk_jaccard(&a, &b, 2).is_err());
+        assert!(topk_jaccard(&a, &a, 0).is_err());
+        assert!(mean_pairwise_stability(&[a], 2).is_err());
+    }
+}
+
+/// Adjusted Rand Index between the cluster partitions of two CREW
+/// explanations of the same pair — measures whether the *structure* (not
+/// just the ranking) is stable across seeds.
+pub fn cluster_structure_ari(
+    a: &crew_core::ClusterExplanation,
+    b: &crew_core::ClusterExplanation,
+) -> Result<f64, crate::MetricError> {
+    let n = a.word_level.words.len();
+    if b.word_level.words.len() != n {
+        return Err(crate::MetricError::ExplanationMismatch {
+            a: n,
+            b: b.word_level.words.len(),
+        });
+    }
+    let labels = |ce: &crew_core::ClusterExplanation| -> Vec<usize> {
+        let mut l = vec![0usize; n];
+        for (c, cluster) in ce.clusters.iter().enumerate() {
+            for &i in &cluster.member_indices {
+                l[i] = c;
+            }
+        }
+        l
+    };
+    em_cluster::adjusted_rand_index(&labels(a), &labels(b)).map_err(|_| {
+        crate::MetricError::ExplanationMismatch { a: n, b: b.word_level.words.len() }
+    })
+}
+
+#[cfg(test)]
+mod structure_tests {
+    use super::*;
+    use crew_core::{ClusterExplanation, WordCluster, WordExplanation};
+    use em_data::{EntityPair, Record, Schema, TokenizedPair};
+    use std::sync::Arc;
+
+    fn base_explanation(partition: &[Vec<usize>]) -> ClusterExplanation {
+        let schema = Arc::new(Schema::new(vec!["t"]));
+        let pair = EntityPair::new(
+            Arc::clone(&schema),
+            Record::new(0, vec!["a b c d".into()]),
+            Record::new(1, vec!["e f".into()]),
+        )
+        .unwrap();
+        let tp = TokenizedPair::new(pair);
+        let word_level = WordExplanation {
+            explainer: "crew".into(),
+            words: tp.words().to_vec(),
+            weights: vec![0.0; tp.len()],
+            base_score: 0.5,
+            intercept: 0.0,
+            surrogate_r2: 1.0,
+        };
+        ClusterExplanation {
+            word_level,
+            clusters: partition
+                .iter()
+                .map(|m| WordCluster {
+                    member_indices: m.clone(),
+                    weight: 0.1,
+                    coherence: 1.0,
+                })
+                .collect(),
+            selected_k: partition.len(),
+            group_r2: 1.0,
+            silhouette: 0.0,
+        }
+    }
+
+    #[test]
+    fn identical_structures_score_one() {
+        let a = base_explanation(&[vec![0, 1, 2], vec![3, 4, 5]]);
+        let b = base_explanation(&[vec![3, 4, 5], vec![0, 1, 2]]);
+        assert_eq!(cluster_structure_ari(&a, &b).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn different_structures_score_lower() {
+        let a = base_explanation(&[vec![0, 1, 2], vec![3, 4, 5]]);
+        let b = base_explanation(&[vec![0, 3], vec![1, 4], vec![2, 5]]);
+        let ari = cluster_structure_ari(&a, &b).unwrap();
+        assert!(ari < 0.5, "got {ari}");
+    }
+}

@@ -1,0 +1,344 @@
+//! The dataset families, mirroring the ER-Magellan benchmark shapes:
+//! products (Abt-Buy-like), citations (DBLP-ACM-like), restaurants
+//! (Fodors-Zagats-like), songs (iTunes-Amazon-like), beers (Beer-like),
+//! plus two extended families — electronics (Walmart-Amazon-like, 5
+//! attributes) and scholar (DBLP-Scholar-like, heavy noise and missing
+//! values). Each family defines a schema, a clean-entity sampler, a
+//! corruption profile and a blocking key used for hard-negative mining.
+
+use crate::corrupt::CorruptionProfile;
+use crate::pools::*;
+use em_data::Schema;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The benchmark family a synthetic dataset mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Consumer products with verbose titles and noisy descriptions.
+    Products,
+    /// Bibliographic records: clean, high token overlap for matches.
+    Citations,
+    /// Restaurants: short attributes, address/city dominate.
+    Restaurants,
+    /// Songs: title/artist/album/genre with medium noise.
+    Songs,
+    /// Beers: very short names, brewery dominates.
+    Beers,
+    /// Electronics with a 5-attribute schema (Walmart-Amazon-like):
+    /// model numbers are the decisive evidence.
+    Electronics,
+    /// Scholarly citations with heavy noise (DBLP-Scholar-like): venue and
+    /// year frequently missing or abbreviated.
+    Scholar,
+}
+
+impl Family {
+    /// The five core families mirrored from the ER-Magellan benchmark.
+    pub fn all() -> [Family; 5] {
+        [Family::Products, Family::Citations, Family::Restaurants, Family::Songs, Family::Beers]
+    }
+
+    /// All seven families including the extended ones.
+    pub fn all_extended() -> [Family; 7] {
+        [
+            Family::Products,
+            Family::Citations,
+            Family::Restaurants,
+            Family::Songs,
+            Family::Beers,
+            Family::Electronics,
+            Family::Scholar,
+        ]
+    }
+
+    /// Stable dataset name ("synth-products" etc.).
+    pub fn dataset_name(self) -> &'static str {
+        match self {
+            Family::Products => "synth-products",
+            Family::Citations => "synth-citations",
+            Family::Restaurants => "synth-restaurants",
+            Family::Songs => "synth-songs",
+            Family::Beers => "synth-beers",
+            Family::Electronics => "synth-electronics",
+            Family::Scholar => "synth-scholar",
+        }
+    }
+
+    /// Attribute schema of the family.
+    pub fn schema(self) -> Schema {
+        match self {
+            Family::Products => Schema::new(vec!["title", "brand", "description", "price"]),
+            Family::Citations => Schema::new(vec!["title", "authors", "venue", "year"]),
+            Family::Restaurants => Schema::new(vec!["name", "address", "city", "cuisine"]),
+            Family::Songs => Schema::new(vec!["title", "artist", "album", "genre"]),
+            Family::Beers => Schema::new(vec!["name", "brewery", "style", "abv"]),
+            Family::Electronics => {
+                Schema::new(vec!["title", "category", "brand", "modelno", "price"])
+            }
+            Family::Scholar => Schema::new(vec!["title", "authors", "venue", "year"]),
+        }
+    }
+
+    /// Corruption intensity characteristic of the family.
+    pub fn profile(self) -> CorruptionProfile {
+        match self {
+            Family::Products => CorruptionProfile::heavy(),
+            Family::Citations => CorruptionProfile::mild(),
+            Family::Restaurants => CorruptionProfile::mild(),
+            Family::Songs => CorruptionProfile::moderate(),
+            Family::Beers => CorruptionProfile::moderate(),
+            Family::Electronics => CorruptionProfile::moderate(),
+            Family::Scholar => CorruptionProfile::heavy(),
+        }
+    }
+
+    /// Index of the attribute used as blocking key for hard negatives
+    /// (entities sharing this value are confusable non-matches).
+    pub fn blocking_attribute(self) -> usize {
+        match self {
+            Family::Products => 1,    // brand
+            Family::Citations => 2,   // venue
+            Family::Restaurants => 2, // city
+            Family::Songs => 1,       // artist
+            Family::Beers => 1,       // brewery
+            Family::Electronics => 2, // brand
+            Family::Scholar => 2,     // venue
+        }
+    }
+
+    /// Sample a clean entity (attribute values aligned with [`Family::schema`]).
+    pub fn sample_entity(self, rng: &mut StdRng) -> Vec<String> {
+        match self {
+            Family::Products => sample_product(rng),
+            Family::Citations => sample_citation(rng),
+            Family::Restaurants => sample_restaurant(rng),
+            Family::Songs => sample_song(rng),
+            Family::Beers => sample_beer(rng),
+            Family::Electronics => sample_electronics(rng),
+            Family::Scholar => sample_scholar(rng),
+        }
+    }
+}
+
+fn pick<'a>(rng: &mut StdRng, pool: &'a [&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+fn sample_product(rng: &mut StdRng) -> Vec<String> {
+    let brand = pick(rng, BRANDS);
+    let ptype = pick(rng, PRODUCT_TYPES);
+    let adj = pick(rng, PRODUCT_ADJECTIVES);
+    let model = format!(
+        "{}{}{}",
+        char::from(b'a' + rng.gen_range(0..26u8)),
+        char::from(b'a' + rng.gen_range(0..26u8)),
+        rng.gen_range(100..9999)
+    );
+    let size = rng.gen_range(7..85);
+    let unit = pick(rng, UNITS);
+    let color = pick(rng, COLORS);
+    let title = format!("{brand} {model} {adj} {ptype} {size} {unit}");
+    let mut description = format!("{adj} {ptype} by {brand} in {color}");
+    if rng.gen_bool(0.6) {
+        description.push_str(&format!(" with {} {}", rng.gen_range(2..64), pick(rng, UNITS)));
+    }
+    if rng.gen_bool(0.4) {
+        description.push_str(&format!(" {} edition", pick(rng, PRODUCT_ADJECTIVES)));
+    }
+    let price = format!("{}.{:02}", rng.gen_range(19..1999), rng.gen_range(0..100));
+    vec![title, brand.to_string(), description, price]
+}
+
+fn sample_citation(rng: &mut StdRng) -> Vec<String> {
+    let topic = pick(rng, PAPER_TOPIC_WORDS);
+    let obj = pick(rng, PAPER_OBJECT_WORDS);
+    let obj2 = pick(rng, PAPER_OBJECT_WORDS);
+    let suffix = pick(rng, PAPER_SUFFIX_WORDS);
+    let title = if rng.gen_bool(0.5) {
+        format!("{topic} {obj} processing for {suffix}")
+    } else {
+        format!("towards {topic} {obj} {obj2} in {suffix}")
+    };
+    let n_authors = rng.gen_range(1..=4);
+    let mut authors = Vec::with_capacity(n_authors);
+    for _ in 0..n_authors {
+        authors.push(format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES)));
+    }
+    let venue = pick(rng, VENUES).to_string();
+    let year = rng.gen_range(1995..2024).to_string();
+    vec![title, authors.join(" , "), venue, year]
+}
+
+fn sample_restaurant(rng: &mut StdRng) -> Vec<String> {
+    let name = format!("{} {} {}", pick(rng, RESTAURANT_WORDS), pick(rng, RESTAURANT_WORDS), pick(rng, RESTAURANT_NOUNS));
+    let address = format!("{} {} street", rng.gen_range(1..999), pick(rng, STREET_WORDS));
+    let city = pick(rng, CITIES).to_string();
+    let cuisine = pick(rng, CUISINES).to_string();
+    vec![name, address, city, cuisine]
+}
+
+fn sample_song(rng: &mut StdRng) -> Vec<String> {
+    let title = format!("{} {}", pick(rng, SONG_WORDS), pick(rng, SONG_OBJECTS));
+    let artist = format!("{} {}", pick(rng, ARTIST_WORDS), pick(rng, ARTIST_NOUNS));
+    let album = format!("{} {} {}", pick(rng, ARTIST_WORDS), pick(rng, SONG_OBJECTS), if rng.gen_bool(0.3) { "deluxe" } else { "lp" });
+    let genre = pick(rng, GENRES).to_string();
+    vec![title, artist, album, genre]
+}
+
+fn sample_beer(rng: &mut StdRng) -> Vec<String> {
+    let name = format!("{} {}", pick(rng, RESTAURANT_WORDS), pick(rng, BEER_STYLES));
+    let brewery = format!("{} brewing", pick(rng, BREWERIES));
+    let style = if rng.gen_bool(0.5) {
+        format!("{} {}", pick(rng, BEER_ADJECTIVES), pick(rng, BEER_STYLES))
+    } else {
+        pick(rng, BEER_STYLES).to_string()
+    };
+    let abv = format!("{:.1}", rng.gen_range(3.5..12.5));
+    vec![name, brewery, style, abv]
+}
+
+fn sample_electronics(rng: &mut StdRng) -> Vec<String> {
+    let brand = pick(rng, BRANDS);
+    let ptype = pick(rng, PRODUCT_TYPES);
+    let category = pick(rng, PRODUCT_CATEGORIES);
+    let model = format!(
+        "{}{}-{}",
+        pick(rng, BRANDS).chars().next().unwrap().to_uppercase().next().unwrap().to_lowercase(),
+        char::from(b'a' + rng.gen_range(0..26u8)),
+        rng.gen_range(100..99999)
+    );
+    let title = format!(
+        "{brand} {model} {} {ptype} {}",
+        pick(rng, PRODUCT_ADJECTIVES),
+        pick(rng, COLORS)
+    );
+    let price = format!("{}.{:02}", rng.gen_range(9..2499), rng.gen_range(0..100));
+    vec![title, category.to_string(), brand.to_string(), model, price]
+}
+
+fn sample_scholar(rng: &mut StdRng) -> Vec<String> {
+    let topic = pick(rng, PAPER_TOPIC_WORDS);
+    let obj = pick(rng, PAPER_OBJECT_WORDS);
+    let suffix = pick(rng, PAPER_SUFFIX_WORDS);
+    let title = if rng.gen_bool(0.4) {
+        format!("on the {topic} {obj} problem for {suffix}")
+    } else {
+        format!("{topic} {obj} in large scale {suffix}")
+    };
+    let n_authors = rng.gen_range(1..=5);
+    let mut authors = Vec::with_capacity(n_authors);
+    for _ in 0..n_authors {
+        // Scholar-style initials half the time.
+        let first = pick(rng, FIRST_NAMES);
+        let last = pick(rng, LAST_NAMES);
+        if rng.gen_bool(0.5) {
+            authors.push(format!("{} {last}", &first[..1]));
+        } else {
+            authors.push(format!("{first} {last}"));
+        }
+    }
+    // Venue may be a conference or a journal; sometimes missing entirely.
+    let venue = if rng.gen_bool(0.15) {
+        String::new()
+    } else if rng.gen_bool(0.5) {
+        pick(rng, VENUES).to_string()
+    } else {
+        pick(rng, JOURNALS).to_string()
+    };
+    let year =
+        if rng.gen_bool(0.1) { String::new() } else { rng.gen_range(1990..2024).to_string() };
+    vec![title, authors.join(" , "), venue, year]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_family_samples_schema_aligned_entities() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for fam in Family::all_extended() {
+            let schema = fam.schema();
+            for _ in 0..20 {
+                let e = fam.sample_entity(&mut rng);
+                assert_eq!(e.len(), schema.len(), "family {fam:?}");
+                // Every entity has at least one non-empty value.
+                assert!(e.iter().any(|v| !v.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_attribute_is_in_schema_range() {
+        for fam in Family::all_extended() {
+            assert!(fam.blocking_attribute() < fam.schema().len());
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for fam in Family::all_extended() {
+            assert_eq!(fam.sample_entity(&mut a), fam.sample_entity(&mut b));
+        }
+    }
+
+    #[test]
+    fn dataset_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            Family::all_extended().iter().map(|f| f.dataset_name()).collect();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn products_have_numeric_price() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let e = Family::Products.sample_entity(&mut rng);
+        assert!(e[3].parse::<f64>().is_ok(), "price {:?}", e[3]);
+    }
+
+    #[test]
+    fn electronics_has_five_attributes_and_model_numbers() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10 {
+            let e = Family::Electronics.sample_entity(&mut rng);
+            assert_eq!(e.len(), 5);
+            assert!(e[3].contains('-'), "model {:?}", e[3]);
+            assert!(e[4].parse::<f64>().is_ok());
+            // Title embeds the model number (decisive evidence).
+            assert!(e[0].contains(&e[3]));
+        }
+    }
+
+    #[test]
+    fn scholar_tolerates_missing_venue_and_year() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut missing_venue = 0;
+        let mut missing_year = 0;
+        for _ in 0..200 {
+            let e = Family::Scholar.sample_entity(&mut rng);
+            assert_eq!(e.len(), 4);
+            if e[2].is_empty() {
+                missing_venue += 1;
+            }
+            if e[3].is_empty() {
+                missing_year += 1;
+            }
+        }
+        assert!(missing_venue > 5, "venue should sometimes be missing");
+        assert!(missing_year > 2, "year should sometimes be missing");
+    }
+
+    #[test]
+    fn citations_year_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let e = Family::Citations.sample_entity(&mut rng);
+            let y: i32 = e[3].parse().unwrap();
+            assert!((1995..2024).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Dataset generation: base entities → labelled candidate pairs with
+//! corrupted match variants and (hard) negative pairs, mirroring how the
+//! ER-Magellan benchmark candidate sets were produced by blocking.
+
+use crate::corrupt::{corrupt_value, CorruptionProfile};
+use crate::family::Family;
+use em_data::{Dataset, EntityPair, Label, LabeledPair, Record};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration of a synthetic dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Number of base entities in the simulated "clean world".
+    pub entities: usize,
+    /// Total labelled candidate pairs to emit.
+    pub pairs: usize,
+    /// Fraction of pairs that are matches (class imbalance knob).
+    pub match_rate: f64,
+    /// Among non-matches, the fraction sharing the family blocking key —
+    /// these are the confusable negatives blocking would let through.
+    pub hard_negative_rate: f64,
+    /// Master seed; everything downstream derives from it.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            entities: 400,
+            pairs: 1200,
+            match_rate: 0.18,
+            hard_negative_rate: 0.6,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate a labelled dataset for a family.
+pub fn generate(family: Family, config: GeneratorConfig) -> Result<Dataset, crate::SynthError> {
+    if config.entities < 2 {
+        return Err(crate::SynthError::TooFewEntities(config.entities));
+    }
+    if config.pairs == 0 {
+        return Err(crate::SynthError::NoPairs);
+    }
+    if !(0.0..=1.0).contains(&config.match_rate) {
+        return Err(crate::SynthError::InvalidRate("match_rate", config.match_rate));
+    }
+    if !(0.0..=1.0).contains(&config.hard_negative_rate) {
+        return Err(crate::SynthError::InvalidRate("hard_negative_rate", config.hard_negative_rate));
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed ^ family_salt(family));
+    let schema = Arc::new(family.schema());
+    let profile = family.profile();
+
+    // Base entities. The "left" source keeps them clean; the "right" source
+    // sees corrupted variants.
+    let entities: Vec<Vec<String>> =
+        (0..config.entities).map(|_| family.sample_entity(&mut rng)).collect();
+
+    // Group entity indices by blocking key for hard negatives.
+    let block_attr = family.blocking_attribute();
+    let mut blocks: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, e) in entities.iter().enumerate() {
+        blocks.entry(e[block_attr].as_str()).or_default().push(i);
+    }
+    // Keys in deterministic order for reproducible sampling.
+    let mut block_keys: Vec<&str> = blocks.keys().copied().collect();
+    block_keys.sort_unstable();
+    let multi_blocks: Vec<&Vec<usize>> = block_keys
+        .iter()
+        .filter_map(|k| {
+            let v = &blocks[k];
+            (v.len() >= 2).then_some(v)
+        })
+        .collect();
+
+    let n_matches = (config.pairs as f64 * config.match_rate).round() as usize;
+    let n_nonmatches = config.pairs - n_matches;
+    let n_hard = (n_nonmatches as f64 * config.hard_negative_rate).round() as usize;
+
+    let mut examples = Vec::with_capacity(config.pairs);
+    let mut next_id: u64 = 0;
+    let mut fresh_id = || {
+        let id = next_id;
+        next_id += 1;
+        id
+    };
+
+    // Matches: same entity, right side corrupted.
+    for _ in 0..n_matches {
+        let idx = rng.gen_range(0..entities.len());
+        let left_vals = entities[idx].clone();
+        let right_vals = corrupt_entity(&entities[idx], &profile, &mut rng);
+        let pair = EntityPair::new(
+            Arc::clone(&schema),
+            Record::new(fresh_id(), left_vals),
+            Record::new(fresh_id(), right_vals),
+        )?;
+        examples.push(LabeledPair { pair, label: Label::Match });
+    }
+
+    // Hard negatives: two distinct entities from the same block.
+    let mut hard_made = 0usize;
+    if !multi_blocks.is_empty() {
+        while hard_made < n_hard {
+            let block = multi_blocks[rng.gen_range(0..multi_blocks.len())];
+            let a = block[rng.gen_range(0..block.len())];
+            let b = block[rng.gen_range(0..block.len())];
+            if a == b {
+                continue;
+            }
+            let pair = EntityPair::new(
+                Arc::clone(&schema),
+                Record::new(fresh_id(), entities[a].clone()),
+                Record::new(fresh_id(), corrupt_entity(&entities[b], &profile, &mut rng)),
+            )?;
+            examples.push(LabeledPair { pair, label: Label::NonMatch });
+            hard_made += 1;
+        }
+    }
+
+    // Random negatives for the remainder.
+    while examples.len() < config.pairs {
+        let a = rng.gen_range(0..entities.len());
+        let b = rng.gen_range(0..entities.len());
+        if a == b {
+            continue;
+        }
+        let pair = EntityPair::new(
+            Arc::clone(&schema),
+            Record::new(fresh_id(), entities[a].clone()),
+            Record::new(fresh_id(), corrupt_entity(&entities[b], &profile, &mut rng)),
+        )?;
+        examples.push(LabeledPair { pair, label: Label::NonMatch });
+    }
+
+    // Shuffle so label order carries no signal, then done.
+    examples.shuffle(&mut rng);
+    Ok(Dataset::new(family.dataset_name(), schema, examples)?)
+}
+
+fn corrupt_entity(values: &[String], profile: &CorruptionProfile, rng: &mut StdRng) -> Vec<String> {
+    values.iter().map(|v| corrupt_value(v, profile, rng)).collect()
+}
+
+fn family_salt(family: Family) -> u64 {
+    match family {
+        Family::Products => 0x70726f64,
+        Family::Citations => 0x63697465,
+        Family::Restaurants => 0x72657374,
+        Family::Songs => 0x736f6e67,
+        Family::Beers => 0x62656572,
+        Family::Electronics => 0x656c6563,
+        Family::Scholar => 0x7363686f,
+    }
+}
+
+/// The extended suite: the five core families plus electronics and
+/// scholar, all derived from one seed.
+pub fn extended_benchmark(seed: u64) -> Result<Vec<Dataset>, crate::SynthError> {
+    let mut suite = standard_benchmark(seed)?;
+    for (fam, match_rate) in [(Family::Electronics, 0.10), (Family::Scholar, 0.16)] {
+        suite.push(generate(
+            fam,
+            GeneratorConfig { match_rate, seed, ..GeneratorConfig::default() },
+        )?);
+    }
+    Ok(suite)
+}
+
+/// The fixed benchmark suite used by every experiment: one dataset per
+/// core family with family-specific class imbalance, all derived from one
+/// seed.
+pub fn standard_benchmark(seed: u64) -> Result<Vec<Dataset>, crate::SynthError> {
+    let spec = [
+        (Family::Products, 0.12),
+        (Family::Citations, 0.18),
+        (Family::Restaurants, 0.22),
+        (Family::Songs, 0.15),
+        (Family::Beers, 0.20),
+    ];
+    spec.iter()
+        .map(|&(fam, match_rate)| {
+            generate(
+                fam,
+                GeneratorConfig { match_rate, seed, ..GeneratorConfig::default() },
+            )
+        })
+        .collect()
+}
+
+/// A single synthetic products pair whose two records total roughly
+/// `target_tokens` tokens — the scaling workload for the runtime figure.
+pub fn scaling_pair(target_tokens: usize, seed: u64) -> EntityPair {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Arc::new(Family::Products.schema());
+    let base = Family::Products.sample_entity(&mut rng);
+    let mut left = base.clone();
+    let mut right = corrupt_entity(&base, &CorruptionProfile::moderate(), &mut rng);
+    // Pad both descriptions with filler tokens until the total is reached.
+    let filler: Vec<&str> = crate::pools::PRODUCT_ADJECTIVES
+        .iter()
+        .chain(crate::pools::COLORS)
+        .copied()
+        .collect();
+    loop {
+        let pair = EntityPair::new(
+            Arc::clone(&schema),
+            Record::new(0, left.clone()),
+            Record::new(1, right.clone()),
+        )
+        .expect("schema-aligned by construction");
+        if pair.token_count() >= target_tokens {
+            return pair;
+        }
+        let w = filler[rng.gen_range(0..filler.len())];
+        left[2].push(' ');
+        left[2].push_str(w);
+        let w2 = filler[rng.gen_range(0..filler.len())];
+        right[2].push(' ');
+        right[2].push_str(w2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64) -> GeneratorConfig {
+        GeneratorConfig { entities: 50, pairs: 120, match_rate: 0.25, hard_negative_rate: 0.5, seed }
+    }
+
+    #[test]
+    fn generates_requested_size_and_rate() {
+        let d = generate(Family::Products, small_config(1)).unwrap();
+        assert_eq!(d.len(), 120);
+        let rate = d.match_count() as f64 / d.len() as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(Family::Songs, small_config(9)).unwrap();
+        let b = generate(Family::Songs, small_config(9)).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.examples().iter().zip(b.examples()) {
+            assert_eq!(x.label.is_match(), y.label.is_match());
+            assert_eq!(x.pair.left().values(), y.pair.left().values());
+            assert_eq!(x.pair.right().values(), y.pair.right().values());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(Family::Beers, small_config(1)).unwrap();
+        let b = generate(Family::Beers, small_config(2)).unwrap();
+        let same = a
+            .examples()
+            .iter()
+            .zip(b.examples())
+            .filter(|(x, y)| x.pair.left().values() == y.pair.left().values())
+            .count();
+        assert!(same < a.len(), "seeds produced identical datasets");
+    }
+
+    #[test]
+    fn matches_have_higher_overlap_than_nonmatches() {
+        let d = generate(Family::Citations, small_config(3)).unwrap();
+        let mut match_sim = Vec::new();
+        let mut non_sim = Vec::new();
+        for ex in d.examples() {
+            let l = em_text::tokenize(&ex.pair.left().full_text());
+            let r = em_text::tokenize(&ex.pair.right().full_text());
+            let j = em_text::jaccard(&l, &r);
+            if ex.label.is_match() {
+                match_sim.push(j);
+            } else {
+                non_sim.push(j);
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            avg(&match_sim) > avg(&non_sim) + 0.2,
+            "match overlap {} vs non {}",
+            avg(&match_sim),
+            avg(&non_sim)
+        );
+    }
+
+    #[test]
+    fn hard_negatives_share_blocking_key() {
+        let cfg = GeneratorConfig {
+            entities: 40,
+            pairs: 100,
+            match_rate: 0.0,
+            hard_negative_rate: 1.0,
+            seed: 4,
+        };
+        let d = generate(Family::Products, cfg).unwrap();
+        // With match_rate 0 and hard rate 1, most negatives share the brand
+        // (corruption can null or typo the brand on the right side).
+        let brand_attr = Family::Products.blocking_attribute();
+        let share = d
+            .examples()
+            .iter()
+            .filter(|e| {
+                let l = e.pair.left().value(brand_attr);
+                let r = e.pair.right().value(brand_attr);
+                !l.is_empty() && l == r
+            })
+            .count();
+        assert!(share > d.len() / 2, "only {share}/{} share key", d.len());
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        assert!(generate(Family::Beers, GeneratorConfig { entities: 1, ..small_config(0) }).is_err());
+        assert!(generate(Family::Beers, GeneratorConfig { pairs: 0, ..small_config(0) }).is_err());
+        assert!(
+            generate(Family::Beers, GeneratorConfig { match_rate: 1.5, ..small_config(0) }).is_err()
+        );
+        assert!(generate(
+            Family::Beers,
+            GeneratorConfig { hard_negative_rate: -0.1, ..small_config(0) }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn standard_benchmark_produces_all_families() {
+        let suite = standard_benchmark(7).unwrap();
+        assert_eq!(suite.len(), 5);
+        let names: Vec<&str> = suite.iter().map(|d| d.name()).collect();
+        assert!(names.contains(&"synth-products"));
+        assert!(names.contains(&"synth-beers"));
+        for d in &suite {
+            assert_eq!(d.len(), 1200);
+            assert!(d.match_count() > 0);
+        }
+    }
+
+    #[test]
+    fn extended_benchmark_adds_two_families() {
+        let suite = extended_benchmark(7).unwrap();
+        assert_eq!(suite.len(), 7);
+        let names: Vec<&str> = suite.iter().map(|d| d.name()).collect();
+        assert!(names.contains(&"synth-electronics"));
+        assert!(names.contains(&"synth-scholar"));
+        // Electronics has the 5-attribute schema.
+        let elec = suite.iter().find(|d| d.name() == "synth-electronics").unwrap();
+        assert_eq!(elec.schema().len(), 5);
+    }
+
+    #[test]
+    fn scaling_pair_hits_token_target() {
+        for target in [20, 60, 120] {
+            let p = scaling_pair(target, 3);
+            assert!(p.token_count() >= target);
+            assert!(p.token_count() < target + 30);
+        }
+    }
+
+    #[test]
+    fn scaling_pair_is_deterministic() {
+        let a = scaling_pair(50, 11);
+        let b = scaling_pair(50, 11);
+        assert_eq!(a.left().values(), b.left().values());
+        assert_eq!(a.right().values(), b.right().values());
+    }
+}

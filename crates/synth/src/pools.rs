@@ -1,0 +1,159 @@
+//! Static word pools backing the five synthetic dataset families. The
+//! pools are invented-but-plausible tokens (no scraped data) sized so that
+//! per-dataset vocabularies land in the few-hundred-word range real
+//! ER-Magellan datasets have.
+
+pub const BRANDS: &[&str] = &[
+    "sonix", "panatech", "grundwald", "veltron", "koyama", "ashford", "lumetra", "brixton",
+    "danvers", "quorra", "zelmont", "harwick", "nordvik", "calyxo", "tremona", "ostrel",
+    "fenwick", "maruyama", "delacroix", "vantor",
+];
+
+pub const PRODUCT_TYPES: &[&str] = &[
+    "television", "headphones", "laptop", "camera", "speaker", "monitor", "printer", "router",
+    "keyboard", "microwave", "blender", "vacuum", "projector", "soundbar", "tablet", "drone",
+];
+
+pub const PRODUCT_ADJECTIVES: &[&str] = &[
+    "wireless", "portable", "compact", "digital", "smart", "ultra", "premium", "professional",
+    "gaming", "bluetooth", "rechargeable", "waterproof", "foldable", "ergonomic",
+];
+
+pub const COLORS: &[&str] =
+    &["black", "white", "silver", "graphite", "navy", "red", "titanium", "green"];
+
+pub const UNITS: &[&str] = &["inch", "cm", "gb", "tb", "watt", "hz", "mah", "mp"];
+
+pub const FIRST_NAMES: &[&str] = &[
+    "alba", "boris", "carla", "dmitri", "elena", "farid", "greta", "hiro", "ines", "jonas",
+    "katya", "luca", "mira", "nadia", "otto", "priya", "quentin", "rosa", "stefan", "tomoko",
+];
+
+pub const LAST_NAMES: &[&str] = &[
+    "moretti", "vasquez", "lindqvist", "okafor", "petrov", "tanaka", "berger", "silva",
+    "novak", "eriksen", "delgado", "hoffmann", "kovacs", "yamada", "duarte", "weiss",
+    "marchetti", "solberg", "ivanova", "fontaine",
+];
+
+pub const PAPER_TOPIC_WORDS: &[&str] = &[
+    "scalable", "distributed", "adaptive", "efficient", "incremental", "probabilistic",
+    "declarative", "approximate", "parallel", "streaming", "semantic", "relational",
+];
+
+pub const PAPER_OBJECT_WORDS: &[&str] = &[
+    "query", "index", "join", "transaction", "schema", "matching", "clustering", "integration",
+    "provenance", "caching", "sampling", "optimization", "learning", "retrieval",
+];
+
+pub const PAPER_SUFFIX_WORDS: &[&str] = &[
+    "databases", "systems", "networks", "warehouses", "graphs", "streams", "pipelines",
+    "architectures",
+];
+
+pub const VENUES: &[&str] = &[
+    "sigmod", "vldb", "icde", "edbt", "cikm", "kdd", "wsdm", "sigir",
+];
+
+pub const CUISINES: &[&str] = &[
+    "italian", "japanese", "mexican", "thai", "french", "indian", "korean", "lebanese",
+    "spanish", "vietnamese",
+];
+
+pub const CITIES: &[&str] = &[
+    "rivermouth", "eastvale", "cedarburg", "lakewood", "marlowe", "ashport", "northgate",
+    "willowbrook", "ferndale", "oakhurst",
+];
+
+pub const STREET_WORDS: &[&str] = &[
+    "main", "oak", "maple", "harbor", "sunset", "park", "mill", "grove", "bridge", "station",
+];
+
+pub const RESTAURANT_WORDS: &[&str] = &[
+    "golden", "garden", "villa", "corner", "royal", "little", "blue", "olive", "lotus",
+    "ember", "harvest", "copper", "jade", "rustic",
+];
+
+pub const RESTAURANT_NOUNS: &[&str] = &[
+    "kitchen", "bistro", "grill", "table", "house", "cafe", "tavern", "trattoria", "cantina",
+    "brasserie",
+];
+
+pub const ARTIST_WORDS: &[&str] = &[
+    "midnight", "velvet", "electric", "crimson", "golden", "silent", "wandering", "neon",
+    "hollow", "paper",
+];
+
+pub const ARTIST_NOUNS: &[&str] = &[
+    "foxes", "harbors", "engines", "sparrows", "mirrors", "tides", "lanterns", "arrows",
+    "rivers", "echoes",
+];
+
+pub const SONG_WORDS: &[&str] = &[
+    "dreaming", "falling", "running", "burning", "waiting", "breathing", "shining", "drifting",
+    "holding", "fading", "rising", "turning",
+];
+
+pub const SONG_OBJECTS: &[&str] = &[
+    "lights", "hearts", "roads", "stars", "shadows", "oceans", "fires", "storms", "wires",
+    "wings",
+];
+
+pub const GENRES: &[&str] =
+    &["indie", "electronic", "folk", "jazz", "ambient", "rock", "soul", "house"];
+
+pub const BREWERIES: &[&str] = &[
+    "stonepine", "copperkettle", "wildmere", "foghollow", "ironbark", "driftwood", "halcyon",
+    "thornfield", "blackpeak", "summerline",
+];
+
+pub const BEER_STYLES: &[&str] = &[
+    "ipa", "stout", "porter", "pilsner", "saison", "lager", "witbier", "amber ale",
+    "pale ale", "barleywine",
+];
+
+pub const BEER_ADJECTIVES: &[&str] = &[
+    "hazy", "imperial", "session", "barrel aged", "double", "dry hopped", "nitro", "sour",
+];
+
+pub const PRODUCT_CATEGORIES: &[&str] = &[
+    "electronics", "audio", "computers", "appliances", "photography", "networking",
+    "accessories", "office",
+];
+
+pub const JOURNALS: &[&str] = &[
+    "tods", "tkde", "vldbj", "sigmod record", "information systems",
+    "data engineering bulletin",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_lowercase() {
+        let pools: &[&[&str]] = &[
+            BRANDS, PRODUCT_TYPES, PRODUCT_ADJECTIVES, COLORS, UNITS, FIRST_NAMES, LAST_NAMES,
+            PAPER_TOPIC_WORDS, PAPER_OBJECT_WORDS, PAPER_SUFFIX_WORDS, VENUES, CUISINES, CITIES,
+            STREET_WORDS, RESTAURANT_WORDS, RESTAURANT_NOUNS, ARTIST_WORDS, ARTIST_NOUNS,
+            SONG_WORDS, SONG_OBJECTS, GENRES, BREWERIES, BEER_STYLES, BEER_ADJECTIVES,
+            PRODUCT_CATEGORIES, JOURNALS,
+        ];
+        for pool in pools {
+            assert!(!pool.is_empty());
+            for w in *pool {
+                assert!(!w.is_empty());
+                assert_eq!(&w.to_lowercase(), w, "pool word must be lowercase: {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn pools_have_no_duplicates() {
+        for pool in [BRANDS, PRODUCT_TYPES, LAST_NAMES, BREWERIES] {
+            let mut seen = std::collections::HashSet::new();
+            for w in pool {
+                assert!(seen.insert(w), "duplicate pool word {w}");
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Opt-in token normalization for dirty product data: letter/digit
+//! segmentation ("55in" → "55", "in"), unit canonicalization ("inches" →
+//! "in") and number canonicalization ("1,299.00" → "1299"). Real
+//! ER-Magellan sources disagree on these surface forms constantly; the
+//! utilities let a matcher or explainer opt into a normalized token view
+//! without changing the default tokenizer (whose output must stay aligned
+//! with the original text for explanation rendering).
+
+/// Split a token at letter/digit boundaries: `"wh1000xm4"` →
+/// `["wh", "1000", "xm", "4"]`. Pure-letter or pure-digit tokens are
+/// returned unchanged (as a single segment).
+pub fn segment_letter_digit(token: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut cur_is_digit: Option<bool> = None;
+    for c in token.chars() {
+        let is_digit = c.is_ascii_digit();
+        match cur_is_digit {
+            Some(prev) if prev != is_digit => {
+                out.push(std::mem::take(&mut cur));
+                cur_is_digit = Some(is_digit);
+            }
+            None => cur_is_digit = Some(is_digit),
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Canonical short form of a measurement-unit word, if it is one.
+pub fn canonical_unit(token: &str) -> Option<&'static str> {
+    Some(match token {
+        "inch" | "inches" | "in" | "\"" => "in",
+        "centimeter" | "centimeters" | "cm" => "cm",
+        "millimeter" | "millimeters" | "mm" => "mm",
+        "gigabyte" | "gigabytes" | "gb" => "gb",
+        "terabyte" | "terabytes" | "tb" => "tb",
+        "megabyte" | "megabytes" | "mb" => "mb",
+        "watt" | "watts" | "w" => "watt",
+        "hertz" | "hz" => "hz",
+        "gigahertz" | "ghz" => "ghz",
+        "milliamp" | "milliamps" | "mah" => "mah",
+        "megapixel" | "megapixels" | "mp" => "mp",
+        "pound" | "pounds" | "lb" | "lbs" => "lb",
+        "ounce" | "ounces" | "oz" => "oz",
+        "liter" | "liters" | "litre" | "litres" | "l" => "l",
+        _ => return None,
+    })
+}
+
+/// Canonicalize a numeric token: strip thousands separators, drop a
+/// trailing `.00`-style zero fraction, so `"1,299.00"` → `"1299"` and
+/// `"12.50"` → `"12.5"`. Non-numeric tokens are returned unchanged.
+pub fn canonical_number(token: &str) -> String {
+    let stripped: String = token.chars().filter(|&c| c != ',').collect();
+    if stripped.parse::<f64>().is_err() {
+        return token.to_string();
+    }
+    if let Some((int_part, frac)) = stripped.split_once('.') {
+        let frac = frac.trim_end_matches('0');
+        if frac.is_empty() {
+            int_part.to_string()
+        } else {
+            format!("{int_part}.{frac}")
+        }
+    } else {
+        stripped
+    }
+}
+
+/// Full normalization of a token stream: segment letter/digit boundaries,
+/// canonicalize units and numbers, lowercase is assumed from `tokenize`.
+pub fn normalize_tokens(tokens: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(tokens.len());
+    for t in tokens {
+        for seg in segment_letter_digit(t) {
+            if let Some(u) = canonical_unit(&seg) {
+                out.push(u.to_string());
+            } else {
+                out.push(canonical_number(&seg));
+            }
+        }
+    }
+    out
+}
+
+/// Tokenize then normalize in one step.
+pub fn tokenize_normalized(s: &str) -> Vec<String> {
+    normalize_tokens(&crate::tokenize::tokenize(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segmentation_splits_mixed_tokens() {
+        assert_eq!(segment_letter_digit("wh1000xm4"), vec!["wh", "1000", "xm", "4"]);
+        assert_eq!(segment_letter_digit("55in"), vec!["55", "in"]);
+        assert_eq!(segment_letter_digit("abc"), vec!["abc"]);
+        assert_eq!(segment_letter_digit("1234"), vec!["1234"]);
+        assert!(segment_letter_digit("").is_empty());
+    }
+
+    #[test]
+    fn unit_canonicalization() {
+        assert_eq!(canonical_unit("inches"), Some("in"));
+        assert_eq!(canonical_unit("gb"), Some("gb"));
+        assert_eq!(canonical_unit("gigabytes"), Some("gb"));
+        assert_eq!(canonical_unit("sony"), None);
+    }
+
+    #[test]
+    fn number_canonicalization() {
+        assert_eq!(canonical_number("1299"), "1299");
+        assert_eq!(canonical_number("12.50"), "12.5");
+        assert_eq!(canonical_number("12.00"), "12");
+        assert_eq!(canonical_number("brand"), "brand");
+        // Comma-separated (pre-tokenizer) forms.
+        assert_eq!(canonical_number("1,299.00"), "1299");
+    }
+
+    #[test]
+    fn normalized_views_align_disagreeing_sources() {
+        // The classic Walmart-vs-Amazon surface disagreement. (Decimal
+        // canonicalization applies to attribute values before tokenizing —
+        // the tokenizer itself splits on '.'.)
+        let a = tokenize_normalized("Sonix 55in TV 1299 watts");
+        let b = tokenize_normalized("sonix 55 inch tv 1299 watt");
+        assert_eq!(a, b, "normalized views should agree: {a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn normalization_improves_jaccard_on_model_numbers() {
+        let raw_a = crate::tokenize::tokenize("wh1000xm4 headphones");
+        let raw_b = crate::tokenize::tokenize("wh 1000 xm4 headphones");
+        let raw_j = crate::similarity::jaccard(&raw_a, &raw_b);
+        let norm_j = crate::similarity::jaccard(
+            &normalize_tokens(&raw_a),
+            &normalize_tokens(&raw_b),
+        );
+        assert!(norm_j > raw_j, "normalized {norm_j} should beat raw {raw_j}");
+        assert_eq!(norm_j, 1.0);
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        for s in ["sonix 55in tv 1299.00", "wh1000xm4", "plain words here"] {
+            let once = tokenize_normalized(s);
+            let twice = normalize_tokens(&once);
+            assert_eq!(once, twice, "not idempotent on {s:?}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Word tokenization for entity descriptions.
+//!
+//! EM records are short, noisy product/bibliographic strings; the tokenizer
+//! lowercases, splits on non-alphanumerics but keeps digit/letter mixes
+//! ("mp3", "x100-s") together after separator normalisation, the behaviour
+//! the DeepMatcher-family preprocessing uses.
+
+/// A token together with its character span in the original string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lowercased token text.
+    pub text: String,
+    /// Byte offset of the token start in the original string.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+}
+
+/// Tokenize a string into lowercase alphanumeric tokens with spans.
+///
+/// Rules:
+/// - Unicode alphanumeric runs form tokens; everything else separates.
+/// - ASCII letters are lowercased; other characters are kept as-is
+///   (lowercased via `char::to_lowercase` when single-mapped).
+pub fn tokenize_spans(s: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut start = 0usize;
+    for (i, ch) in s.char_indices() {
+        if ch.is_alphanumeric() {
+            if cur.is_empty() {
+                start = i;
+            }
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(Token { text: std::mem::take(&mut cur), start, end: i });
+        }
+    }
+    if !cur.is_empty() {
+        out.push(Token { text: cur, start, end: s.len() });
+    }
+    out
+}
+
+/// Tokenize into plain lowercase strings (no spans).
+pub fn tokenize(s: &str) -> Vec<String> {
+    tokenize_spans(s).into_iter().map(|t| t.text).collect()
+}
+
+/// Number of tokens a string produces.
+pub fn token_count(s: &str) -> usize {
+    let mut n = 0;
+    let mut in_tok = false;
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            if !in_tok {
+                n += 1;
+                in_tok = true;
+            }
+        } else {
+            in_tok = false;
+        }
+    }
+    n
+}
+
+/// Extract character q-grams of a token, padded with `#` boundaries.
+///
+/// `qgrams("abc", 2)` → `["#a", "ab", "bc", "c#"]`. Returns the padded
+/// string itself if shorter than `q`.
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "q must be at least 1");
+    let padded: Vec<char> = std::iter::once('#')
+        .chain(s.chars())
+        .chain(std::iter::once('#'))
+        .collect();
+    if padded.len() < q {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// A compact interned vocabulary mapping token strings to dense ids.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    by_token: std::collections::HashMap<String, u32>,
+    tokens: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl Vocabulary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a token, incrementing its frequency count.
+    pub fn add(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.by_token.get(token) {
+            self.counts[id as usize] += 1;
+            return id;
+        }
+        let id = self.tokens.len() as u32;
+        self.by_token.insert(token.to_string(), id);
+        self.tokens.push(token.to_string());
+        self.counts.push(1);
+        id
+    }
+
+    /// Look up a token id without inserting.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.by_token.get(token).copied()
+    }
+
+    /// Token string for an id.
+    pub fn token(&self, id: u32) -> Option<&str> {
+        self.tokens.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Frequency count recorded for an id.
+    pub fn count(&self, id: u32) -> u64 {
+        self.counts.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Iterate `(id, token, count)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str, u64)> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .map(move |(i, t)| (i as u32, t.as_str(), self.counts[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_splits() {
+        assert_eq!(tokenize("Sony WH-1000XM4 Headphones"), vec!["sony", "wh", "1000xm4", "headphones"]);
+    }
+
+    #[test]
+    fn tokenize_handles_punctuation_and_unicode() {
+        assert_eq!(tokenize("café—crème (2021)"), vec!["café", "crème", "2021"]);
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("...!!!"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn spans_point_back_into_source() {
+        let s = "Abc  12-x";
+        let toks = tokenize_spans(s);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(&s[toks[0].start..toks[0].end], "Abc");
+        assert_eq!(&s[toks[1].start..toks[1].end], "12");
+        assert_eq!(&s[toks[2].start..toks[2].end], "x");
+        assert_eq!(toks[0].text, "abc");
+    }
+
+    #[test]
+    fn token_count_matches_tokenize() {
+        for s in ["", "a", "a b c", "x-1 y_2 z", "  spaced   out  "] {
+            assert_eq!(token_count(s), tokenize(s).len(), "input: {s:?}");
+        }
+    }
+
+    #[test]
+    fn qgrams_pad_boundaries() {
+        assert_eq!(qgrams("abc", 2), vec!["#a", "ab", "bc", "c#"]);
+        assert_eq!(qgrams("a", 3), vec!["#a#"]);
+        assert_eq!(qgrams("", 2), vec!["##"]);
+    }
+
+    #[test]
+    fn qgrams_of_len_one_enumerate_chars() {
+        assert_eq!(qgrams("ab", 1), vec!["#", "a", "b", "#"]);
+    }
+
+    #[test]
+    fn vocabulary_interning_round_trip() {
+        let mut v = Vocabulary::new();
+        let a = v.add("red");
+        let b = v.add("blue");
+        let a2 = v.add("red");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.token(a), Some("red"));
+        assert_eq!(v.count(a), 2);
+        assert_eq!(v.count(b), 1);
+        assert_eq!(v.get("green"), None);
+    }
+
+    #[test]
+    fn vocabulary_iter_in_id_order() {
+        let mut v = Vocabulary::new();
+        v.add("one");
+        v.add("two");
+        v.add("one");
+        let items: Vec<_> = v.iter().collect();
+        assert_eq!(items, vec![(0, "one", 2), (1, "two", 1)]);
+    }
+}

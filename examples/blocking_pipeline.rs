@@ -1,0 +1,72 @@
+//! The full EM pipeline on raw record tables: blocking → matching →
+//! CREW explanation → global summary. This is the workflow a downstream
+//! user runs on two dirty sources, end to end.
+//!
+//! ```text
+//! cargo run --release -p examples --bin blocking_pipeline
+//! ```
+
+use crew_core::{explain_dataset, Crew, CrewOptions};
+use em_data::{block, candidates_to_pairs, BlockingStrategy, Record};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Two "sources": the demo context's dataset supplies clean left
+    //    records and corrupted right records — exactly the two-table shape
+    //    blocking consumes.
+    let ctx = examples_support::demo_context();
+    let schema = ctx.dataset.schema_arc();
+    let left: Vec<Record> =
+        ctx.dataset.examples().iter().take(150).map(|e| e.pair.left().clone()).collect();
+    let right: Vec<Record> =
+        ctx.dataset.examples().iter().take(150).map(|e| e.pair.right().clone()).collect();
+    println!("sources: {} left records, {} right records", left.len(), right.len());
+
+    // 2. Blocking: brand equality plus a token-overlap pass.
+    let by_brand = block(
+        &schema,
+        &left,
+        &right,
+        &BlockingStrategy::AttributeEquality { attribute: 1 },
+    )?;
+    let by_tokens =
+        block(&schema, &left, &right, &BlockingStrategy::TokenOverlap { min_shared: 4 })?;
+    println!(
+        "blocking: brand-equality {} candidates (reduction {:.3}), token-overlap {} candidates",
+        by_brand.candidates.len(),
+        by_brand.reduction_ratio(left.len(), right.len()),
+        by_tokens.candidates.len()
+    );
+    // Union of the two candidate sets.
+    let mut candidates = by_brand.candidates;
+    for c in by_tokens.candidates {
+        if !candidates.contains(&c) {
+            candidates.push(c);
+        }
+    }
+    let pairs = candidates_to_pairs(&schema, &left, &right, &candidates)?;
+
+    // 3. Matching: score every candidate with the trained attention model.
+    let matcher = examples_support::demo_matcher(&ctx);
+    let mut matches: Vec<&em_data::EntityPair> =
+        pairs.iter().filter(|p| matcher.predict(p)).collect();
+    println!("matcher accepted {} of {} candidates\n", matches.len(), pairs.len());
+    matches.truncate(3);
+
+    // 4. Explain the accepted matches with CREW.
+    let crew = Crew::new(Arc::clone(&ctx.embeddings), CrewOptions::default());
+    for pair in &matches {
+        println!("--- match (p = {:.3}) ---", matcher.predict_proba(pair));
+        let ce = crew.explain_clusters(matcher.as_ref(), pair)?;
+        println!("{}", ce.render(pair.schema()));
+        // Machine-readable form for downstream dashboards:
+        let json = crew_core::cluster_explanation_to_json(&ce, pair.schema());
+        println!("json: {}…\n", &json[..json.len().min(120)]);
+    }
+
+    // 5. Global view: what does this matcher rely on overall?
+    let sample = ctx.split.test.sample(15, 7);
+    let global = explain_dataset(&crew, matcher.as_ref(), &sample, 15, 2)?;
+    println!("{}", global.render());
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Use CREW on your own data: load a DeepMatcher-style joined CSV
+//! (`label,ltable_*,rtable_*` columns), train a matcher, explain pairs.
+//!
+//! ```text
+//! cargo run --release -p examples --bin custom_dataset [path/to/pairs.csv]
+//! ```
+//!
+//! Without an argument the example writes and reads back a small
+//! demonstration CSV so it always runs offline.
+
+use crew_core::{Crew, CrewOptions};
+use em_data::dataset_from_joined_csv;
+use em_embed::{EmbeddingOptions, WordEmbeddings};
+use em_matchers::{evaluate, LogisticMatcher, Matcher, TrainOptions};
+use std::sync::Arc;
+
+const DEMO_CSV: &str = "\
+label,ltable_title,ltable_brand,ltable_price,rtable_title,rtable_brand,rtable_price
+1,sonix bravia 55 oled tv,sonix,899.99,sonix bravia 55in television,sonix,879.00
+1,veltron x200 gaming laptop,veltron,1299.00,veltron x200 laptop 16gb,veltron,1250.00
+0,sonix bravia 55 oled tv,sonix,899.99,sonix wh900 headphones,sonix,199.99
+1,koyama airfry pro oven,koyama,149.50,koyama air fryer pro,koyama,144.99
+0,veltron x200 gaming laptop,veltron,1299.00,koyama airfry pro oven,koyama,149.50
+1,brixton soundwave speaker,brixton,79.99,brixton soundwave bt speaker,brixton,82.00
+0,brixton soundwave speaker,brixton,79.99,veltron x200 laptop 16gb,veltron,1250.00
+1,sonix wh900 headphones,sonix,199.99,sonix wh 900 wireless headphones,sonix,189.00
+0,koyama airfry pro oven,koyama,149.50,brixton soundwave bt speaker,brixton,82.00
+1,lumetra vista 4k projector,lumetra,549.00,lumetra vista projector 4k,lumetra,539.99
+0,lumetra vista 4k projector,lumetra,549.00,sonix bravia 55in television,sonix,879.00
+1,quorra breeze tower fan,quorra,89.00,quorra breeze fan tower,quorra,85.50
+0,quorra breeze tower fan,quorra,89.00,lumetra vista projector 4k,lumetra,539.99
+1,nordvik polar freezer 300l,nordvik,449.00,nordvik polar 300 l freezer,nordvik,440.00
+0,nordvik polar freezer 300l,nordvik,449.00,quorra breeze fan tower,quorra,85.50
+1,ashford quiet kettle 17l,ashford,39.99,ashford quiet kettle,ashford,38.00
+0,ashford quiet kettle 17l,ashford,39.99,nordvik polar 300 l freezer,nordvik,440.00
+1,tremona slate e reader,tremona,129.00,tremona slate ereader wifi,tremona,125.00
+0,tremona slate e reader,tremona,129.00,ashford quiet kettle,ashford,38.00
+0,sonix wh900 headphones,sonix,199.99,tremona slate ereader wifi,tremona,125.00
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Load the CSV (user-supplied path or the built-in demo).
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)?,
+        None => {
+            println!("(no CSV given — using the built-in 20-pair demo)\n");
+            DEMO_CSV.to_string()
+        }
+    };
+    let dataset = dataset_from_joined_csv("custom", &text)?;
+    let stats = dataset.stats();
+    println!(
+        "loaded {} pairs ({} matches, {} attributes: {})",
+        stats.pairs,
+        stats.matches,
+        stats.attributes,
+        dataset.schema().names().collect::<Vec<_>>().join(", ")
+    );
+
+    // 2. Split and train. Tiny datasets train in milliseconds; for real
+    //    ER-Magellan exports expect a few seconds.
+    let split = dataset.split(0.6, 0.2, 1)?;
+    let matcher = LogisticMatcher::fit(&split.train, &split.validation, TrainOptions::default())?;
+    let q = evaluate(&matcher, &split.test);
+    println!("logistic matcher F1 on test: {:.3}\n", q.f1);
+
+    // 3. Word embeddings for CREW's semantic knowledge, trained on the
+    //    dataset's own corpus.
+    let embeddings = Arc::new(WordEmbeddings::train_on_dataset(
+        &split.train,
+        EmbeddingOptions::default(),
+    )?);
+
+    // 4. Explain every test pair.
+    let crew = Crew::new(embeddings, CrewOptions::default());
+    for ex in split.test.examples() {
+        let p = matcher.predict_proba(&ex.pair);
+        println!(
+            "--- pair (truth: {}, model: {:.3}) ---",
+            if ex.label.is_match() { "match" } else { "non-match" },
+            p
+        );
+        let explanation = crew.explain_clusters(&matcher, &ex.pair)?;
+        println!("{}", explanation.render(ex.pair.schema()));
+    }
+    Ok(())
+}

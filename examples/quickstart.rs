@@ -1,0 +1,44 @@
+//! Quickstart: generate a product-matching dataset, train a token-level
+//! attention matcher, and explain one of its decisions with CREW.
+//!
+//! ```text
+//! cargo run --release -p examples --bin quickstart
+//! ```
+
+use crew_core::{Crew, CrewOptions};
+use em_matchers::evaluate;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A dataset: five seeded synthetic families mirror the ER-Magellan
+    //    benchmark; real DeepMatcher CSVs load via
+    //    em_data::dataset_from_joined_csv (see the custom_dataset example).
+    let ctx = examples_support::demo_context();
+    println!("dataset: {} ({} pairs)", ctx.dataset.name(), ctx.dataset.len());
+
+    // 2. A matcher: the token-level soft-alignment model (the stand-in for
+    //    the transformer EM models the paper explains).
+    let matcher = examples_support::demo_matcher(&ctx);
+    let quality = evaluate(matcher.as_ref(), &ctx.split.test);
+    println!(
+        "matcher '{}' — P {:.3} / R {:.3} / F1 {:.3}\n",
+        matcher.name(),
+        quality.precision,
+        quality.recall,
+        quality.f1
+    );
+
+    // 3. A pair worth explaining.
+    let pair = examples_support::interesting_pair(&ctx, matcher.as_ref());
+    println!("pair under explanation:\n{pair}");
+    println!("model says match probability = {:.3}\n", matcher.predict_proba(&pair));
+
+    // 4. CREW: clusters of words from three knowledge sources (semantic
+    //    similarity, attribute arrangement, model importance).
+    let crew = Crew::new(std::sync::Arc::clone(&ctx.embeddings), CrewOptions::default());
+    let explanation = crew.explain_clusters(matcher.as_ref(), &pair)?;
+    println!("{}", explanation.render(pair.schema()));
+
+    // 5. Drill down: the word-level attribution CREW computed internally.
+    println!("{}", explanation.word_level.render(pair.schema(), 8));
+    Ok(())
+}

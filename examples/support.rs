@@ -1,0 +1,40 @@
+//! Shared helpers for the runnable examples: a small prepared context so
+//! each example stays focused on the API it demonstrates.
+
+use em_eval::{EvalContext, MatcherKind};
+use em_synth::{Family, GeneratorConfig};
+
+/// Prepare a small products context (fast enough for interactive runs).
+pub fn demo_context() -> EvalContext {
+    EvalContext::prepare(
+        Family::Products,
+        GeneratorConfig {
+            entities: 150,
+            pairs: 400,
+            match_rate: 0.2,
+            hard_negative_rate: 0.6,
+            seed: 42,
+        },
+    )
+    .expect("synthetic generation is infallible for valid configs")
+}
+
+/// Train (cached) the matcher used across examples.
+pub fn demo_matcher(ctx: &EvalContext) -> std::sync::Arc<dyn em_matchers::Matcher> {
+    ctx.matcher(MatcherKind::Attention).expect("training on generated data succeeds")
+}
+
+/// Pick an interesting test pair: a predicted match with enough words to
+/// make clustering meaningful.
+pub fn interesting_pair(
+    ctx: &EvalContext,
+    matcher: &dyn em_matchers::Matcher,
+) -> em_data::EntityPair {
+    ctx.split
+        .test
+        .examples()
+        .iter()
+        .find(|ex| ex.label.is_match() && matcher.predict_proba(&ex.pair) > 0.6)
+        .map(|ex| ex.pair.clone())
+        .unwrap_or_else(|| ctx.split.test.examples()[0].pair.clone())
+}

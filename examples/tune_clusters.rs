@@ -1,0 +1,46 @@
+//! Inspect CREW's cluster-count selection: sweep K on one pair, print the
+//! fidelity/silhouette trade-off and where the knee rule lands, then show
+//! how the knowledge-source weights change the clustering.
+//!
+//! ```text
+//! cargo run --release -p examples --bin tune_clusters
+//! ```
+
+use crew_core::{Crew, CrewOptions, KnowledgeWeights};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = examples_support::demo_context();
+    let matcher = examples_support::demo_matcher(&ctx);
+    let pair = examples_support::interesting_pair(&ctx, matcher.as_ref());
+    println!("pair:\n{pair}");
+
+    // 1. The K sweep behind CREW's model selection.
+    let crew = Crew::new(Arc::clone(&ctx.embeddings), CrewOptions::default());
+    let sweep = crew.k_sweep(matcher.as_ref(), &pair)?;
+    let chosen = crew.explain_clusters(matcher.as_ref(), &pair)?;
+    println!("K sweep (tau = {:.2}):", crew.options().tau);
+    println!("{:>4} {:>12} {:>12}", "K", "group_R2", "silhouette");
+    for (k, r2, sil) in &sweep {
+        let marker = if *k == chosen.selected_k { "  <= selected" } else { "" };
+        println!("{k:>4} {r2:>12.4} {sil:>12.4}{marker}");
+    }
+    println!();
+
+    // 2. How each knowledge source shapes the clusters.
+    for (name, weights) in [
+        ("semantic only", KnowledgeWeights::only_semantic()),
+        ("attribute only", KnowledgeWeights::only_attribute()),
+        ("importance only", KnowledgeWeights::only_importance()),
+        ("all three (CREW)", KnowledgeWeights::default()),
+    ] {
+        let variant = Crew::new(
+            Arc::clone(&ctx.embeddings),
+            CrewOptions { knowledge: weights, ..Default::default() },
+        );
+        let ce = variant.explain_clusters(matcher.as_ref(), &pair)?;
+        println!("=== {name} ===");
+        println!("{}", ce.render(pair.schema()));
+    }
+    Ok(())
+}

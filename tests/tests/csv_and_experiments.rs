@@ -1,0 +1,113 @@
+//! CSV round-trip through the full pipeline, and smoke runs of every
+//! experiment runner (table-shape validation).
+
+use em_eval::{ExperimentConfig, MatcherKind};
+use em_synth::{generate, Family, GeneratorConfig};
+
+#[test]
+fn synthetic_dataset_round_trips_through_csv_and_retrains() {
+    let d = generate(
+        Family::Citations,
+        GeneratorConfig { entities: 60, pairs: 150, match_rate: 0.3, ..Default::default() },
+    )
+    .unwrap();
+    let csv = em_data::dataset_to_joined_csv(&d);
+    let d2 = em_data::dataset_from_joined_csv("reloaded", &csv).unwrap();
+    assert_eq!(d.len(), d2.len());
+    assert_eq!(d.match_count(), d2.match_count());
+    assert_eq!(
+        d.schema().names().collect::<Vec<_>>(),
+        d2.schema().names().collect::<Vec<_>>()
+    );
+    // The reloaded dataset trains a working matcher.
+    let split = d2.split(0.7, 0.15, 1).unwrap();
+    let m = em_matchers::LogisticMatcher::fit(
+        &split.train,
+        &split.validation,
+        em_matchers::TrainOptions::default(),
+    )
+    .unwrap();
+    let r = em_matchers::evaluate(&m, &split.test);
+    assert!(r.f1 > 0.6, "retrained matcher too weak: {r:?}");
+}
+
+#[test]
+fn experiment_t1_t2_shapes() {
+    let cfg = ExperimentConfig::smoke();
+    let t1 = em_eval::exp_t1(&cfg).unwrap();
+    assert_eq!(t1.columns.len(), 6);
+    assert_eq!(t1.rows.len(), cfg.families.len());
+
+    let t2 = em_eval::exp_t2(&cfg).unwrap();
+    assert_eq!(t2.rows.len(), cfg.families.len() * 4);
+    // Trained matchers should comfortably beat zero F1 on synthetic data.
+    let csv = t2.to_csv();
+    let rows = em_data::parse_csv(&csv).unwrap();
+    let f1_col = rows[0].iter().position(|c| c == "f1").unwrap();
+    let mut any_strong = false;
+    for row in &rows[1..] {
+        let f1: f64 = row[f1_col].parse().unwrap();
+        assert!((0.0..=1.0).contains(&f1));
+        if f1 > 0.7 {
+            any_strong = true;
+        }
+    }
+    assert!(any_strong, "no matcher reached F1 0.7 on the smoke dataset");
+}
+
+#[test]
+fn experiment_t6_and_f4_budget_tables() {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.explain_pairs = 2;
+    let t6 = em_eval::exp_t6(&cfg).unwrap();
+    assert!(!t6.rows.is_empty());
+    // Budgets respected the smoke ceiling (samples <= 2*48=96).
+    let csv = t6.to_csv();
+    let rows = em_data::parse_csv(&csv).unwrap();
+    let col = rows[0].iter().position(|c| c == "samples").unwrap();
+    for row in &rows[1..] {
+        let s: usize = row[col].parse().unwrap();
+        assert!(s <= 96, "budget {s} exceeded smoke ceiling");
+    }
+
+    let f4 = em_eval::exp_f4(&cfg).unwrap();
+    assert!(!f4.rows.is_empty());
+    let csv = f4.to_csv();
+    let rows = em_data::parse_csv(&csv).unwrap();
+    let stab_col = rows[0].iter().position(|c| c == "stability@10").unwrap();
+    for row in &rows[1..] {
+        let s: f64 = row[stab_col].parse().unwrap();
+        assert!((0.0..=1.0).contains(&s), "stability out of range: {s}");
+    }
+}
+
+#[test]
+fn experiment_f3_runtime_table() {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.samples = 32;
+    let f3 = em_eval::exp_f3(&cfg).unwrap();
+    assert!(!f3.rows.is_empty());
+    let csv = f3.to_csv();
+    let rows = em_data::parse_csv(&csv).unwrap();
+    let secs_col = rows[0].iter().position(|c| c == "seconds").unwrap();
+    for row in &rows[1..] {
+        let s: f64 = row[secs_col].parse().unwrap();
+        assert!(s >= 0.0);
+    }
+}
+
+#[test]
+fn matcher_zoo_consistency_across_experiments() {
+    // The same config must yield the same trained-model behaviour in two
+    // separately prepared contexts (the regeneration guarantee behind every
+    // table).
+    let cfg = ExperimentConfig::smoke();
+    let family = cfg.families[0];
+    let a = em_eval::EvalContext::prepare(family, cfg.generator(family)).unwrap();
+    let b = em_eval::EvalContext::prepare(family, cfg.generator(family)).unwrap();
+    let ma = a.matcher(MatcherKind::Logistic).unwrap();
+    let mb = b.matcher(MatcherKind::Logistic).unwrap();
+    for (ea, eb) in a.split.test.examples().iter().zip(b.split.test.examples()).take(10) {
+        assert_eq!(ma.predict_proba(&ea.pair), mb.predict_proba(&eb.pair));
+    }
+}

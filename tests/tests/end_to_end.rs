@@ -1,0 +1,125 @@
+//! End-to-end pipeline tests: synthetic data → trained matcher → CREW
+//! explanation → metrics, plus whole-pipeline determinism.
+
+use crew_core::{Crew, CrewOptions, MaskStrategy, PerturbOptions};
+use em_data::TokenizedPair;
+use em_eval::{EvalContext, MatcherKind};
+use em_synth::{Family, GeneratorConfig};
+use std::sync::Arc;
+
+fn ctx(seed: u64) -> EvalContext {
+    EvalContext::prepare(
+        Family::Products,
+        GeneratorConfig { entities: 80, pairs: 200, match_rate: 0.25, seed, ..Default::default() },
+    )
+    .unwrap()
+}
+
+#[test]
+fn full_pipeline_products_attention_crew() {
+    let ctx = ctx(3);
+    let matcher = ctx.matcher(MatcherKind::Attention).unwrap();
+    // The matcher must be usable.
+    let quality = em_matchers::evaluate(matcher.as_ref(), &ctx.split.test);
+    assert!(quality.f1 > 0.6, "attention matcher too weak: {quality:?}");
+
+    let crew = Crew::new(Arc::clone(&ctx.embeddings), CrewOptions::default());
+    let mut explained = 0;
+    for ex in ctx.pairs_to_explain(5) {
+        let ce = crew.explain_clusters(matcher.as_ref(), &ex.pair).unwrap();
+        let n_words = ce.word_level.words.len();
+        // Partition invariants.
+        let covered: usize = ce.clusters.iter().map(|c| c.member_indices.len()).sum();
+        assert_eq!(covered, n_words);
+        assert!(ce.selected_k <= 10);
+        assert!(ce.selected_k < n_words || n_words == 1);
+        // Metrics run without error on the cluster units.
+        let tokenized = TokenizedPair::new(ex.pair.clone());
+        let aopc = em_metrics::aopc_deletion(
+            matcher.as_ref(),
+            &tokenized,
+            &ce.units(),
+            &em_metrics::standard_fractions(),
+        )
+        .unwrap();
+        assert!(aopc.is_finite());
+        explained += 1;
+    }
+    assert_eq!(explained, 5);
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let ctx = ctx(9);
+        let matcher = ctx.matcher(MatcherKind::Logistic).unwrap();
+        let crew = Crew::new(
+            Arc::clone(&ctx.embeddings),
+            CrewOptions {
+                perturb: PerturbOptions {
+                    samples: 64,
+                    strategy: MaskStrategy::AttributeStratified,
+                    seed: 5,
+                    threads: 2,
+                },
+                ..Default::default()
+            },
+        );
+        let pair = &ctx.pairs_to_explain(1)[0].pair;
+        let ce = crew.explain_clusters(matcher.as_ref(), pair).unwrap();
+        (
+            ce.selected_k,
+            ce.group_r2,
+            ce.word_level.weights.clone(),
+            ce.clusters.iter().map(|c| c.member_indices.clone()).collect::<Vec<_>>(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+}
+
+#[test]
+fn every_matcher_kind_is_explainable() {
+    let ctx = ctx(11);
+    let pair = ctx.pairs_to_explain(1)[0].pair.clone();
+    for kind in MatcherKind::all() {
+        let matcher = ctx.matcher(kind).unwrap();
+        let crew = Crew::new(
+            Arc::clone(&ctx.embeddings),
+            CrewOptions {
+                perturb: PerturbOptions { samples: 48, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let ce = crew
+            .explain_clusters(matcher.as_ref(), &pair)
+            .unwrap_or_else(|e| panic!("{} unexplainable: {e}", kind.label()));
+        assert!(!ce.clusters.is_empty(), "{}", kind.label());
+    }
+}
+
+#[test]
+fn crew_explanations_respect_cannot_link() {
+    // With aggressive cannot-link constraints, strongly positive and
+    // strongly negative words never co-cluster.
+    let ctx = ctx(13);
+    let matcher = ctx.matcher(MatcherKind::Logistic).unwrap();
+    let crew = Crew::new(
+        Arc::clone(&ctx.embeddings),
+        CrewOptions { cannot_link_quantile: 0.2, ..Default::default() },
+    );
+    for ex in ctx.pairs_to_explain(3) {
+        let ce = crew.explain_clusters(matcher.as_ref(), &ex.pair).unwrap();
+        let w = &ce.word_level.weights;
+        let links = crew_core::opposite_sign_cannot_links(w, 0.2);
+        for (a, b) in links {
+            let ca = ce.clusters.iter().position(|c| c.member_indices.contains(&a));
+            let cb = ce.clusters.iter().position(|c| c.member_indices.contains(&b));
+            assert_ne!(ca, cb, "cannot-linked words {a},{b} share a cluster");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end checks on the extended dataset families (electronics,
+//! scholar) and on calibrated matchers inside the explanation pipeline.
+
+use crew_core::{Crew, CrewOptions, PerturbOptions};
+use em_eval::{EvalContext, MatcherKind};
+use em_synth::{generate, Family, GeneratorConfig};
+use std::sync::Arc;
+
+fn config(seed: u64) -> GeneratorConfig {
+    GeneratorConfig { entities: 80, pairs: 200, match_rate: 0.25, seed, ..Default::default() }
+}
+
+#[test]
+fn electronics_family_trains_and_explains() {
+    let ctx = EvalContext::prepare(Family::Electronics, config(2)).unwrap();
+    assert_eq!(ctx.dataset.schema().len(), 5);
+    let matcher = ctx.matcher(MatcherKind::Logistic).unwrap();
+    let quality = em_matchers::evaluate(matcher.as_ref(), &ctx.split.test);
+    assert!(quality.f1 > 0.7, "electronics matcher too weak: {quality:?}");
+    let crew = Crew::new(
+        Arc::clone(&ctx.embeddings),
+        CrewOptions {
+            perturb: PerturbOptions { samples: 64, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let pair = &ctx.pairs_to_explain(1)[0].pair;
+    let ce = crew.explain_clusters(matcher.as_ref(), pair).unwrap();
+    assert!(!ce.clusters.is_empty());
+}
+
+#[test]
+fn scholar_family_handles_missing_values_end_to_end() {
+    let ctx = EvalContext::prepare(Family::Scholar, config(3)).unwrap();
+    // Scholar entities sometimes have empty venue/year; the pipeline must
+    // not choke on them.
+    let has_empty = ctx
+        .dataset
+        .examples()
+        .iter()
+        .any(|ex| ex.pair.left().values().iter().any(|v| v.is_empty()));
+    assert!(has_empty, "scholar should produce missing values");
+    let matcher = ctx.matcher(MatcherKind::Logistic).unwrap();
+    let quality = em_matchers::evaluate(matcher.as_ref(), &ctx.split.test);
+    assert!(quality.f1 > 0.6, "scholar matcher too weak: {quality:?}");
+    let crew = Crew::new(
+        Arc::clone(&ctx.embeddings),
+        CrewOptions {
+            perturb: PerturbOptions { samples: 64, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    for ex in ctx.pairs_to_explain(3) {
+        let ce = crew.explain_clusters(matcher.as_ref(), &ex.pair).unwrap();
+        let n = ce.word_level.words.len();
+        let covered: usize = ce.clusters.iter().map(|c| c.member_indices.len()).sum();
+        assert_eq!(covered, n);
+    }
+}
+
+#[test]
+fn calibrated_matcher_is_explainable() {
+    let d = generate(Family::Beers, config(5)).unwrap();
+    let split = d.split(0.6, 0.2, 5).unwrap();
+    let base = em_matchers::LogisticMatcher::fit(
+        &split.train,
+        &split.validation,
+        em_matchers::TrainOptions::default(),
+    )
+    .unwrap();
+    let calibrated =
+        em_matchers::CalibratedMatcher::fit(base, &split.validation).unwrap();
+    // ECE should be measurable and bounded.
+    let ece = em_matchers::expected_calibration_error(&calibrated, &split.test, 10).unwrap();
+    assert!((0.0..=1.0).contains(&ece));
+    // Explanations work through the wrapper.
+    let embeddings = Arc::new(
+        em_embed::WordEmbeddings::train_on_dataset(
+            &split.train,
+            em_embed::EmbeddingOptions::default(),
+        )
+        .unwrap(),
+    );
+    let crew = Crew::new(
+        embeddings,
+        CrewOptions {
+            perturb: PerturbOptions { samples: 64, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let pair = &split.test.examples()[0].pair;
+    let ce = crew.explain_clusters(&calibrated, pair).unwrap();
+    assert!(!ce.clusters.is_empty());
+}
+
+#[test]
+fn extended_benchmark_is_deterministic() {
+    let a = em_synth::extended_benchmark(9).unwrap();
+    let b = em_synth::extended_benchmark(9).unwrap();
+    assert_eq!(a.len(), 7);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name(), y.name());
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.match_count(), y.match_count());
+    }
+}

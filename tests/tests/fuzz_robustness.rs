@@ -1,0 +1,129 @@
+//! Fuzz-style robustness: arbitrary pair content through every explainer
+//! and metric must never panic and always produce finite, aligned outputs.
+
+use crew_core::{Crew, CrewOptions, Explainer, PerturbOptions};
+use em_baselines::{Certa, CertaOptions, Landmark, Lemon, Lime, Mojito, Wym};
+use em_data::{EntityPair, Record, Schema, TokenizedPair};
+use em_embed::{EmbeddingOptions, WordEmbeddings};
+use em_matchers::{Matcher, RuleMatcher};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn embeddings() -> Arc<WordEmbeddings> {
+    let corpus: Vec<Vec<String>> = ["alpha beta gamma delta", "beta gamma epsilon"]
+        .iter()
+        .map(|s| em_text::tokenize(s))
+        .collect();
+    Arc::new(
+        WordEmbeddings::train(
+            corpus.iter().map(|v| v.as_slice()),
+            EmbeddingOptions { dimensions: 8, ..Default::default() },
+        )
+        .unwrap(),
+    )
+}
+
+fn arbitrary_pair() -> impl Strategy<Value = EntityPair> {
+    let value = "[a-z0-9 .,()-]{0,30}";
+    (value.prop_map(|s| s), "[a-z ]{1,20}", "[a-z0-9 ]{0,25}", "[a-z ]{0,15}").prop_map(
+        |(a, b, c, d)| {
+            let schema = Arc::new(Schema::new(vec!["x", "y"]));
+            EntityPair::new(
+                schema,
+                Record::new(0, vec![a, c]),
+                Record::new(1, vec![b, d]),
+            )
+            .unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_explainers_handle_arbitrary_pairs(pair in arbitrary_pair()) {
+        let matcher = RuleMatcher::uniform(2, 0.5).unwrap();
+        let n = TokenizedPair::new(pair.clone()).len();
+        prop_assume!(n > 0);
+        let explainers: Vec<Box<dyn Explainer>> = vec![
+            Box::new(Lime::default()),
+            Box::new(Mojito::default()),
+            Box::new(Landmark::default()),
+            Box::new(Lemon::default()),
+            Box::new(Wym::default()),
+            Box::new(
+                Certa::new(
+                    vec![Record::new(9, vec!["spare".into(), "donor".into()])],
+                    CertaOptions::default(),
+                )
+                .unwrap(),
+            ),
+            Box::new(Crew::new(
+                embeddings(),
+                CrewOptions {
+                    perturb: PerturbOptions { samples: 24, ..Default::default() },
+                    ..Default::default()
+                },
+            )),
+        ];
+        for explainer in explainers {
+            let expl = explainer
+                .explain(&matcher, &pair)
+                .unwrap_or_else(|e| panic!("{} failed on {pair:?}: {e}", explainer.name()));
+            prop_assert_eq!(expl.weights.len(), n);
+            prop_assert!(expl.weights.iter().all(|w| w.is_finite()));
+        }
+    }
+
+    #[test]
+    fn metrics_handle_arbitrary_units(pair in arbitrary_pair(), seed in 0u64..50) {
+        use rand::{Rng, SeedableRng};
+        let matcher = RuleMatcher::uniform(2, 0.5).unwrap();
+        let tokenized = TokenizedPair::new(pair);
+        let n = tokenized.len();
+        prop_assume!(n > 0);
+        // Random unit partition with random weights.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let units: Vec<crew_core::ExplanationUnit> = (0..n)
+            .map(|i| crew_core::ExplanationUnit {
+                member_indices: vec![i],
+                weight: rng.gen_range(-1.0..1.0),
+            })
+            .collect();
+        let aopc = em_metrics::aopc_deletion(
+            &matcher,
+            &tokenized,
+            &units,
+            &em_metrics::standard_fractions(),
+        )
+        .unwrap();
+        prop_assert!(aopc.is_finite());
+        let aopc_u = em_metrics::aopc_units(&matcher, &tokenized, &units, 3).unwrap();
+        prop_assert!(aopc_u.is_finite());
+        let suff = em_metrics::sufficiency(&matcher, &tokenized, &units, 0.3).unwrap();
+        prop_assert!((0.0..=1.0).contains(&suff));
+        let _flip = em_metrics::decision_flip(&matcher, &tokenized, &units).unwrap();
+    }
+
+    #[test]
+    fn crew_partitions_arbitrary_pairs(pair in arbitrary_pair()) {
+        let matcher = RuleMatcher::uniform(2, 0.5).unwrap();
+        let n = TokenizedPair::new(pair.clone()).len();
+        prop_assume!(n > 0);
+        let crew = Crew::new(
+            embeddings(),
+            CrewOptions {
+                perturb: PerturbOptions { samples: 24, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let ce = crew.explain_clusters(&matcher, &pair).unwrap();
+        let covered: usize = ce.clusters.iter().map(|c| c.member_indices.len()).sum();
+        prop_assert_eq!(covered, n);
+        prop_assert_eq!(ce.clusters.len(), ce.selected_k);
+        // JSON export of every fuzzed explanation stays valid.
+        let json = crew_core::cluster_explanation_to_json(&ce, pair.schema());
+        prop_assert!(crew_core::report::looks_like_valid_json(&json));
+    }
+}
