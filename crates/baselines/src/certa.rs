@@ -9,9 +9,9 @@
 use crew_core::{words_of, Explainer, WordExplanation};
 use em_data::{Dataset, EntityPair, Record, Side, TokenizedPair};
 use em_matchers::Matcher;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use em_rngs::rngs::StdRng;
+use em_rngs::seq::SliceRandom;
+use em_rngs::SeedableRng;
 
 /// CERTA configuration.
 #[derive(Debug, Clone, Copy)]
@@ -23,7 +23,10 @@ pub struct CertaOptions {
 
 impl Default for CertaOptions {
     fn default() -> Self {
-        CertaOptions { substitutions: 12, seed: 0xce47a }
+        CertaOptions {
+            substitutions: 12,
+            seed: 0xce47a,
+        }
     }
 }
 
@@ -36,7 +39,10 @@ pub struct Certa {
 
 impl Certa {
     /// Build from an explicit support set.
-    pub fn new(support: Vec<Record>, options: CertaOptions) -> Result<Self, crew_core::ExplainError> {
+    pub fn new(
+        support: Vec<Record>,
+        options: CertaOptions,
+    ) -> Result<Self, crew_core::ExplainError> {
         if support.is_empty() {
             return Err(crew_core::ExplainError::NoSamples);
         }
@@ -104,7 +110,9 @@ impl Explainer for Certa {
                         continue;
                     }
                     let mut perturbed = pair.clone();
-                    perturbed.record_mut(side).set_value(attr, donor.value(attr).to_string());
+                    perturbed
+                        .record_mut(side)
+                        .set_value(attr, donor.value(attr).to_string());
                     deltas.push((matcher.predict_proba(&perturbed) - base).abs());
                 }
                 if deltas.is_empty() {
@@ -195,7 +203,11 @@ mod tests {
         use em_synth::{generate, Family, GeneratorConfig};
         let d = generate(
             Family::Beers,
-            GeneratorConfig { entities: 20, pairs: 30, ..Default::default() },
+            GeneratorConfig {
+                entities: 20,
+                pairs: 30,
+                ..Default::default()
+            },
         )
         .unwrap();
         let certa = Certa::from_dataset(&d, 16, CertaOptions::default()).unwrap();

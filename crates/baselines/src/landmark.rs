@@ -10,8 +10,8 @@ use crew_core::{
 };
 use em_data::{EntityPair, Side, TokenizedPair};
 use em_matchers::Matcher;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use em_rngs::rngs::StdRng;
+use em_rngs::{Rng, SeedableRng};
 
 /// Landmark configuration.
 #[derive(Debug, Clone, Copy)]
@@ -111,13 +111,19 @@ impl Landmark {
             .collect();
 
         // Restrict the design to this side's words.
-        let sub_masks: Vec<Vec<bool>> =
-            masks.iter().map(|mask| side_indices.iter().map(|&i| mask[i]).collect()).collect();
+        let sub_masks: Vec<Vec<bool>> = masks
+            .iter()
+            .map(|mask| side_indices.iter().map(|&i| mask[i]).collect())
+            .collect();
         let kept_fraction: Vec<f64> = sub_masks
             .iter()
             .map(|sm| sm.iter().filter(|&&b| b).count() as f64 / m as f64)
             .collect();
-        let set = PerturbationSet { masks: sub_masks, responses, kept_fraction };
+        let set = PerturbationSet {
+            masks: sub_masks,
+            responses,
+            kept_fraction,
+        };
         let fit = fit_word_surrogate(
             &set,
             &SurrogateOptions {
@@ -182,7 +188,10 @@ mod tests {
 
     #[test]
     fn landmark_finds_planted_evidence_on_both_sides() {
-        let lm = Landmark::new(LandmarkOptions { samples_per_side: 300, ..Default::default() });
+        let lm = Landmark::new(LandmarkOptions {
+            samples_per_side: 300,
+            ..Default::default()
+        });
         let expl = lm.explain(&magic_matcher(), &magic_pair()).unwrap();
         // magic tokens at 0 (left) and 3 (right) must dominate their sides.
         assert!(expl.weights[0] > expl.weights[1].abs());
@@ -256,6 +265,8 @@ mod tests {
             Record::new(1, vec!["".into()]),
         )
         .unwrap();
-        assert!(Landmark::default().explain(&magic_matcher(), &pair).is_err());
+        assert!(Landmark::default()
+            .explain(&magic_matcher(), &pair)
+            .is_err());
     }
 }

@@ -13,8 +13,8 @@ use crew_core::{
 };
 use em_data::{EntityPair, Side, TokenizedPair};
 use em_matchers::Matcher;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use em_rngs::rngs::StdRng;
+use em_rngs::{Rng, SeedableRng};
 
 /// LEMON configuration.
 #[derive(Debug, Clone, Copy)]
@@ -78,15 +78,23 @@ impl Lemon {
             }
             masks.push(mask);
         }
-        let responses: Vec<f64> =
-            masks.iter().map(|mask| matcher.predict_proba(&tokenized.apply_mask(mask))).collect();
-        let sub_masks: Vec<Vec<bool>> =
-            masks.iter().map(|mask| side_indices.iter().map(|&i| mask[i]).collect()).collect();
+        let responses: Vec<f64> = masks
+            .iter()
+            .map(|mask| matcher.predict_proba(&tokenized.apply_mask(mask)))
+            .collect();
+        let sub_masks: Vec<Vec<bool>> = masks
+            .iter()
+            .map(|mask| side_indices.iter().map(|&i| mask[i]).collect())
+            .collect();
         let kept_fraction: Vec<f64> = sub_masks
             .iter()
             .map(|sm| sm.iter().filter(|&&b| b).count() as f64 / m as f64)
             .collect();
-        let set = PerturbationSet { masks: sub_masks, responses, kept_fraction };
+        let set = PerturbationSet {
+            masks: sub_masks,
+            responses,
+            kept_fraction,
+        };
         let fit = fit_word_surrogate(
             &set,
             &SurrogateOptions {
@@ -177,10 +185,16 @@ mod tests {
 
     #[test]
     fn lemon_finds_planted_evidence() {
-        let lemon = Lemon::new(LemonOptions { samples_per_side: 300, ..Default::default() });
+        let lemon = Lemon::new(LemonOptions {
+            samples_per_side: 300,
+            ..Default::default()
+        });
         let expl = lemon.explain(&magic_matcher(), &magic_pair()).unwrap();
         let ranked = expl.ranked_indices();
-        assert!(ranked[..2].contains(&0) && ranked[..2].contains(&3), "{ranked:?}");
+        assert!(
+            ranked[..2].contains(&0) && ranked[..2].contains(&3),
+            "{ranked:?}"
+        );
     }
 
     #[test]
@@ -222,7 +236,10 @@ mod tests {
 
     #[test]
     fn zero_potential_weight_reduces_to_dual_drop() {
-        let with = Lemon::new(LemonOptions { potential_weight: 0.0, ..Default::default() });
+        let with = Lemon::new(LemonOptions {
+            potential_weight: 0.0,
+            ..Default::default()
+        });
         let expl = with.explain(&magic_matcher(), &magic_pair()).unwrap();
         // Still finds the planted words via drop surrogates.
         let ranked = expl.ranked_indices();

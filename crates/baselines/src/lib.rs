@@ -116,7 +116,11 @@ mod contract_tests {
                 "{} produced non-finite weights",
                 explainer.name()
             );
-            assert!((0.0..=1.0).contains(&expl.base_score), "{}", explainer.name());
+            assert!(
+                (0.0..=1.0).contains(&expl.base_score),
+                "{}",
+                explainer.name()
+            );
         }
     }
 
@@ -132,8 +136,10 @@ mod contract_tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: std::collections::HashSet<String> =
-            all_explainers().iter().map(|e| e.name().to_string()).collect();
+        let names: std::collections::HashSet<String> = all_explainers()
+            .iter()
+            .map(|e| e.name().to_string())
+            .collect();
         assert_eq!(names.len(), 5);
     }
 }

@@ -22,7 +22,13 @@ pub struct LimeOptions {
 
 impl Default for LimeOptions {
     fn default() -> Self {
-        LimeOptions { samples: 256, kernel_width: 0.75, lambda: 1e-3, seed: 0x11e, threads: 1 }
+        LimeOptions {
+            samples: 256,
+            kernel_width: 0.75,
+            lambda: 1e-3,
+            seed: 0x11e,
+            threads: 1,
+        }
     }
 }
 
@@ -79,11 +85,17 @@ mod tests {
 
     #[test]
     fn lime_finds_planted_evidence() {
-        let lime = Lime::new(LimeOptions { samples: 400, ..Default::default() });
+        let lime = Lime::new(LimeOptions {
+            samples: 400,
+            ..Default::default()
+        });
         let expl = lime.explain(&magic_matcher(), &magic_pair()).unwrap();
         let ranked = expl.ranked_indices();
         // The two "magic" tokens are indices 0 (left) and 3 (right).
-        assert!(ranked[..2].contains(&0) && ranked[..2].contains(&3), "{ranked:?}");
+        assert!(
+            ranked[..2].contains(&0) && ranked[..2].contains(&3),
+            "{ranked:?}"
+        );
         assert_eq!(expl.explainer, "lime");
         assert!(expl.surrogate_r2 > 0.5);
     }
@@ -98,12 +110,20 @@ mod tests {
 
     #[test]
     fn different_seeds_vary_but_agree_on_top() {
-        let a = Lime::new(LimeOptions { seed: 1, samples: 400, ..Default::default() })
-            .explain(&magic_matcher(), &magic_pair())
-            .unwrap();
-        let b = Lime::new(LimeOptions { seed: 2, samples: 400, ..Default::default() })
-            .explain(&magic_matcher(), &magic_pair())
-            .unwrap();
+        let a = Lime::new(LimeOptions {
+            seed: 1,
+            samples: 400,
+            ..Default::default()
+        })
+        .explain(&magic_matcher(), &magic_pair())
+        .unwrap();
+        let b = Lime::new(LimeOptions {
+            seed: 2,
+            samples: 400,
+            ..Default::default()
+        })
+        .explain(&magic_matcher(), &magic_pair())
+        .unwrap();
         assert_ne!(a.weights, b.weights);
         let top = |e: &WordExplanation| {
             let mut t = e.ranked_indices()[..2].to_vec();

@@ -12,13 +12,13 @@
 //! the original tool does.
 
 use crew_core::{
-    estimate_word_importance, words_of, Explainer, MaskStrategy, PerturbOptions,
-    PerturbationSet, SurrogateOptions, WordExplanation,
+    estimate_word_importance, words_of, Explainer, MaskStrategy, PerturbOptions, PerturbationSet,
+    SurrogateOptions, WordExplanation,
 };
 use em_data::{EntityPair, Side, TokenizedPair};
 use em_matchers::Matcher;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use em_rngs::rngs::StdRng;
+use em_rngs::{Rng, SeedableRng};
 
 /// Which perturbation mode to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,7 +134,10 @@ impl Mojito {
             .map(|v| 1.0 - v.iter().filter(|&&b| b).count() as f64 / n as f64)
             .collect();
         let set = PerturbationSet {
-            masks: copy_vectors.iter().map(|v| v.iter().map(|&b| !b).collect()).collect(),
+            masks: copy_vectors
+                .iter()
+                .map(|v| v.iter().map(|&b| !b).collect())
+                .collect(),
             responses,
             kept_fraction,
         };
@@ -142,7 +145,11 @@ impl Mojito {
         // vectors (mask = NOT copied, so invert back).
         let fit = crew_core::fit_word_surrogate(
             &PerturbationSet {
-                masks: set.masks.iter().map(|m| m.iter().map(|&b| !b).collect()).collect(),
+                masks: set
+                    .masks
+                    .iter()
+                    .map(|m| m.iter().map(|&b| !b).collect())
+                    .collect(),
                 responses: set.responses.clone(),
                 kept_fraction: set.kept_fraction.clone(),
             },
@@ -213,7 +220,10 @@ mod tests {
         });
         let expl = mojito.explain(&magic_matcher(), &magic_pair()).unwrap();
         let ranked = expl.ranked_indices();
-        assert!(ranked[..2].contains(&0) && ranked[..2].contains(&3), "{ranked:?}");
+        assert!(
+            ranked[..2].contains(&0) && ranked[..2].contains(&3),
+            "{ranked:?}"
+        );
     }
 
     #[test]
@@ -236,7 +246,11 @@ mod tests {
         let expl = mojito.explain(&magic_matcher(), &pair).unwrap();
         assert_eq!(expl.words[0].text, "magic");
         let ranked = expl.ranked_indices();
-        assert_eq!(ranked[0], 0, "copying 'magic' should rank first: {:?}", expl.weights);
+        assert_eq!(
+            ranked[0], 0,
+            "copying 'magic' should rank first: {:?}",
+            expl.weights
+        );
         assert!(expl.weights[0] > 0.0);
         assert!(expl.base_score < 0.5);
     }
@@ -269,8 +283,10 @@ mod tests {
             Record::new(1, vec!["b".into()]),
         )
         .unwrap();
-        let mojito =
-            Mojito::new(MojitoOptions { mode: MojitoMode::Copy, ..Default::default() });
+        let mojito = Mojito::new(MojitoOptions {
+            mode: MojitoMode::Copy,
+            ..Default::default()
+        });
         let a = mojito.explain(&magic_matcher(), &pair).unwrap();
         let b = mojito.explain(&magic_matcher(), &pair).unwrap();
         assert_eq!(a.weights, b.weights);

@@ -15,8 +15,8 @@ use crew_core::{
 };
 use em_data::{EntityPair, Side, TokenizedPair};
 use em_matchers::Matcher;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use em_rngs::rngs::StdRng;
+use em_rngs::{Rng, SeedableRng};
 
 /// One decision unit: a cross-record pair of similar words, or a single
 /// unpaired word.
@@ -86,7 +86,10 @@ impl Wym {
         }
         // Greedy best-first (stable for ties by indices).
         candidates.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+            b.0.partial_cmp(&a.0)
+                .unwrap()
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
         });
         let mut used = vec![false; words.len()];
         let mut units = Vec::new();
@@ -96,11 +99,17 @@ impl Wym {
             }
             used[l] = true;
             used[r] = true;
-            units.push(DecisionUnit { member_indices: vec![l, r], similarity: sim });
+            units.push(DecisionUnit {
+                member_indices: vec![l, r],
+                similarity: sim,
+            });
         }
         for (i, u) in used.iter().enumerate() {
             if !u {
-                units.push(DecisionUnit { member_indices: vec![i], similarity: 1.0 });
+                units.push(DecisionUnit {
+                    member_indices: vec![i],
+                    similarity: 1.0,
+                });
             }
         }
         // Deterministic order: by first member index.
@@ -170,7 +179,11 @@ impl Explainer for Wym {
             .iter()
             .map(|um| um.iter().filter(|&&b| b).count() as f64 / m as f64)
             .collect();
-        let set = PerturbationSet { masks: unit_masks, responses, kept_fraction };
+        let set = PerturbationSet {
+            masks: unit_masks,
+            responses,
+            kept_fraction,
+        };
         let fit = fit_word_surrogate(
             &set,
             &SurrogateOptions {
@@ -210,8 +223,10 @@ mod tests {
         let wym = Wym::default();
         let units = wym.decision_units(&tokenized);
         // "magic" (0) pairs with "magic" (3); the four fillers are singletons.
-        let paired: Vec<&DecisionUnit> =
-            units.iter().filter(|u| u.member_indices.len() == 2).collect();
+        let paired: Vec<&DecisionUnit> = units
+            .iter()
+            .filter(|u| u.member_indices.len() == 2)
+            .collect();
         assert_eq!(paired.len(), 1);
         assert_eq!(paired[0].member_indices, vec![0, 3]);
         assert_eq!(paired[0].similarity, 1.0);
@@ -244,8 +259,15 @@ mod tests {
         .unwrap();
         let tokenized = TokenizedPair::new(pair);
         let units = Wym::default().decision_units(&tokenized);
-        let pairs: Vec<_> = units.iter().filter(|u| u.member_indices.len() == 2).collect();
-        assert_eq!(pairs.len(), 2, "both brand (typo) and tv should pair: {units:?}");
+        let pairs: Vec<_> = units
+            .iter()
+            .filter(|u| u.member_indices.len() == 2)
+            .collect();
+        assert_eq!(
+            pairs.len(),
+            2,
+            "both brand (typo) and tv should pair: {units:?}"
+        );
     }
 
     #[test]
@@ -268,7 +290,10 @@ mod tests {
 
     #[test]
     fn wym_finds_planted_evidence_as_one_unit() {
-        let wym = Wym::new(WymOptions { samples: 300, ..Default::default() });
+        let wym = Wym::new(WymOptions {
+            samples: 300,
+            ..Default::default()
+        });
         let expl = wym.explain(&magic_matcher(), &magic_pair()).unwrap();
         // The "magic"+"magic" unit carries the decision; its two members
         // share the top weight.
@@ -278,7 +303,10 @@ mod tests {
             "{ranked:?} weights {:?}",
             expl.weights
         );
-        assert_eq!(expl.weights[0], expl.weights[3], "paired words share the unit weight");
+        assert_eq!(
+            expl.weights[0], expl.weights[3],
+            "paired words share the unit weight"
+        );
         assert!(expl.surrogate_r2 > 0.5);
     }
 
@@ -300,7 +328,10 @@ mod tests {
         )
         .unwrap();
         assert!(Wym::default().explain(&magic_matcher(), &empty).is_err());
-        let zero = Wym::new(WymOptions { samples: 0, ..Default::default() });
+        let zero = Wym::new(WymOptions {
+            samples: 0,
+            ..Default::default()
+        });
         assert!(zero.explain(&magic_matcher(), &magic_pair()).is_err());
     }
 }

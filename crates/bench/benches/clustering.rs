@@ -1,16 +1,17 @@
 //! Microbenchmarks of the clustering substrate: agglomerative dendrogram
 //! construction and k-medoids at word-count scales.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use em_cluster::{agglomerative, kmedoids, Constraints, Linkage};
 use em_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use em_rngs::rngs::StdRng;
+use em_rngs::{Rng, SeedableRng};
 
 fn random_metric(n: usize, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> =
-        (0..n).map(|_| (rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0))).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+        .collect();
     Matrix::from_fn(n, n, |i, j| {
         let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
         (dx * dx + dy * dy).sqrt()
@@ -56,5 +57,10 @@ fn bench_kmedoids(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_agglomerative, bench_constrained, bench_kmedoids);
+criterion_group!(
+    benches,
+    bench_agglomerative,
+    bench_constrained,
+    bench_kmedoids
+);
 criterion_main!(benches);

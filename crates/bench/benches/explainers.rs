@@ -2,12 +2,12 @@
 //! each of the six systems (rule matcher as the model so the bench isolates
 //! explainer overhead).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crew_core::{Crew, CrewOptions, Explainer, MaskStrategy, PerturbOptions};
 use em_baselines::{
-    Certa, CertaOptions, Landmark, LandmarkOptions, Lemon, LemonOptions, Lime, LimeOptions,
-    Mojito, MojitoOptions,
+    Certa, CertaOptions, Landmark, LandmarkOptions, Lemon, LemonOptions, Lime, LimeOptions, Mojito,
+    MojitoOptions,
 };
+use em_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use em_data::Record;
 use em_embed::{EmbeddingOptions, WordEmbeddings};
 use em_matchers::RuleMatcher;
@@ -23,7 +23,10 @@ fn embeddings_for(pair: &em_data::EntityPair) -> Arc<WordEmbeddings> {
     Arc::new(
         WordEmbeddings::train(
             sentences.iter().map(|v| v.as_slice()),
-            EmbeddingOptions { dimensions: 32, ..Default::default() },
+            EmbeddingOptions {
+                dimensions: 32,
+                ..Default::default()
+            },
         )
         .unwrap(),
     )
@@ -56,10 +59,19 @@ fn bench_explainers(c: &mut Criterion) {
                     },
                 )),
             ),
-            ("lime", Box::new(Lime::new(LimeOptions { samples: SAMPLES, ..Default::default() }))),
+            (
+                "lime",
+                Box::new(Lime::new(LimeOptions {
+                    samples: SAMPLES,
+                    ..Default::default()
+                })),
+            ),
             (
                 "mojito",
-                Box::new(Mojito::new(MojitoOptions { samples: SAMPLES, ..Default::default() })),
+                Box::new(Mojito::new(MojitoOptions {
+                    samples: SAMPLES,
+                    ..Default::default()
+                })),
             ),
             (
                 "landmark",

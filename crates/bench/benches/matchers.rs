@@ -1,34 +1,49 @@
 //! Matcher substrate benchmarks: feature extraction, embedding training
 //! and inference throughput for each model family.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use em_eval::{EvalContext, MatcherKind};
 use em_synth::{Family, GeneratorConfig};
 
 fn small_ctx() -> EvalContext {
     EvalContext::prepare(
         Family::Restaurants,
-        GeneratorConfig { entities: 80, pairs: 200, match_rate: 0.25, ..Default::default() },
+        GeneratorConfig {
+            entities: 80,
+            pairs: 200,
+            match_rate: 0.25,
+            ..Default::default()
+        },
     )
     .unwrap()
 }
 
 fn bench_inference(c: &mut Criterion) {
     let ctx = small_ctx();
-    let pairs: Vec<em_data::EntityPair> =
-        ctx.split.test.examples().iter().take(20).map(|e| e.pair.clone()).collect();
+    let pairs: Vec<em_data::EntityPair> = ctx
+        .split
+        .test
+        .examples()
+        .iter()
+        .take(20)
+        .map(|e| e.pair.clone())
+        .collect();
     let mut group = c.benchmark_group("matcher_inference_20pairs");
     for kind in MatcherKind::all() {
         let matcher = ctx.matcher(kind).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &pairs, |b, pairs| {
-            b.iter(|| {
-                let mut acc = 0.0;
-                for p in pairs {
-                    acc += matcher.predict_proba(p);
-                }
-                acc
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for p in pairs {
+                        acc += matcher.predict_proba(p);
+                    }
+                    acc
+                });
+            },
+        );
     }
     group.finish();
 }

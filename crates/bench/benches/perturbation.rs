@@ -1,8 +1,8 @@
 //! Microbenchmarks of the perturbation engine: mask sampling and
 //! mask-apply/model-query throughput at several pair lengths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crew_core::{sample_masks, MaskStrategy, PerturbOptions};
+use em_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use em_data::TokenizedPair;
 use em_matchers::{Matcher, RuleMatcher};
 
@@ -15,19 +15,15 @@ fn bench_mask_sampling(c: &mut Criterion) {
             ("uniform", MaskStrategy::UniformCount),
             ("stratified", MaskStrategy::AttributeStratified),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.0, tokens),
-                &tp,
-                |b, tp| {
-                    let opts = PerturbOptions {
-                        samples: 256,
-                        strategy: strategy.1,
-                        seed: 7,
-                        threads: 1,
-                    };
-                    b.iter(|| sample_masks(tp, &opts).unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.0, tokens), &tp, |b, tp| {
+                let opts = PerturbOptions {
+                    samples: 256,
+                    strategy: strategy.1,
+                    seed: 7,
+                    threads: 1,
+                };
+                b.iter(|| sample_masks(tp, &opts).unwrap());
+            });
         }
     }
     group.finish();
@@ -39,7 +35,12 @@ fn bench_mask_apply_and_query(c: &mut Criterion) {
     for tokens in [20usize, 80, 160] {
         let pair = em_synth::scaling_pair(tokens, 1);
         let tp = TokenizedPair::new(pair);
-        let opts = PerturbOptions { samples: 256, seed: 7, threads: 1, ..Default::default() };
+        let opts = PerturbOptions {
+            samples: 256,
+            seed: 7,
+            threads: 1,
+            ..Default::default()
+        };
         let masks = sample_masks(&tp, &opts).unwrap();
         group.bench_with_input(BenchmarkId::new("rules_256", tokens), &tp, |b, tp| {
             b.iter(|| {

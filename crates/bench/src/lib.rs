@@ -1,7 +1,8 @@
 //! # em-bench
 //!
 //! Experiment binaries (one per table/figure, `exp_t1` … `exp_f4`, plus
-//! `run_all`) and Criterion microbenchmarks for the CREW reproduction.
+//! `run_all`) and microbenchmarks for the CREW reproduction, timed by the
+//! in-tree [`harness`] (criterion-free, offline).
 //!
 //! Every binary accepts an optional scale argument:
 //!
@@ -17,12 +18,21 @@
 
 use em_eval::{ExperimentConfig, Table};
 
-/// Parse the common CLI convention of the experiment binaries.
+pub mod harness;
+
+pub use harness::{BenchReport, BenchResult, BenchmarkId, Criterion};
+
+/// Parse the common CLI convention of the experiment binaries
+/// (`smoke`/`--smoke`, `quick`/`--quick`, `extended`/`--extended`).
 pub fn config_from_args() -> ExperimentConfig {
-    match std::env::args().nth(1).as_deref() {
-        Some("smoke") => ExperimentConfig::smoke(),
-        Some("quick") => quick_config(),
-        Some("extended") => ExperimentConfig::extended(),
+    match std::env::args()
+        .nth(1)
+        .as_deref()
+        .map(|a| a.trim_start_matches('-').to_string())
+    {
+        Some(a) if a == "smoke" => ExperimentConfig::smoke(),
+        Some(a) if a == "quick" => quick_config(),
+        Some(a) if a == "extended" => ExperimentConfig::extended(),
         _ => ExperimentConfig::default(),
     }
 }
@@ -53,10 +63,7 @@ pub fn emit(table: &Table) {
 }
 
 /// Run an experiment function with standard error handling.
-pub fn run(
-    name: &str,
-    f: impl FnOnce(&ExperimentConfig) -> Result<Table, em_eval::EvalError>,
-) {
+pub fn run(name: &str, f: impl FnOnce(&ExperimentConfig) -> Result<Table, em_eval::EvalError>) {
     let config = config_from_args();
     eprintln!(
         "running {name} (families={}, pairs={}, explained={}, samples={})",

@@ -260,9 +260,7 @@ pub fn agglomerative(
             for j in i + 1..active.len() {
                 let (ci, cj) = (active[i], active[j]);
                 let d = score_of(stat[ci][cj], members[ci].len(), members[cj].len());
-                if best.is_none_or(|(_, _, bd)| d < bd)
-                    && !violates(&members[ci], &members[cj])
-                {
+                if best.is_none_or(|(_, _, bd)| d < bd) && !violates(&members[ci], &members[cj]) {
                     best = Some((i, j, d));
                 }
             }
@@ -271,7 +269,11 @@ pub fn agglomerative(
             break; // all remaining merges violate cannot-link
         };
         let (ci, cj) = (active[i], active[j]);
-        merges.push(Merge { a: ids[i], b: ids[j], distance: d });
+        merges.push(Merge {
+            a: ids[i],
+            b: ids[j],
+            distance: d,
+        });
         // Lance-Williams update: fold cluster cj's statistics into ci.
         let (na, nb) = (members[ci].len() as f64, members[cj].len() as f64);
         for &ck in &active {
@@ -296,20 +298,31 @@ pub fn agglomerative(
         ids[i] = new_id;
     }
 
-    Ok(Dendrogram { n_items: n, merges, initial, n_initial })
+    Ok(Dendrogram {
+        n_items: n,
+        merges,
+        initial,
+        n_initial,
+    })
 }
 
 pub(crate) fn validate_distances(d: &em_linalg::Matrix) -> Result<(), ClusterError> {
     let n = d.rows();
     if d.cols() != n {
-        return Err(ClusterError::NotSquare { rows: d.rows(), cols: d.cols() });
+        return Err(ClusterError::NotSquare {
+            rows: d.rows(),
+            cols: d.cols(),
+        });
     }
     if n == 0 {
         return Err(ClusterError::Empty);
     }
     for i in 0..n {
         if d[(i, i)].abs() > 1e-9 {
-            return Err(ClusterError::NonZeroDiagonal { index: i, value: d[(i, i)] });
+            return Err(ClusterError::NonZeroDiagonal {
+                index: i,
+                value: d[(i, i)],
+            });
         }
         for j in 0..n {
             let v = d[(i, j)];
@@ -384,8 +397,10 @@ mod tests {
     #[test]
     fn must_link_forces_items_together() {
         let d = two_blob_distances();
-        let constraints =
-            Constraints { must_link: vec![(0, 3)], cannot_link: vec![] };
+        let constraints = Constraints {
+            must_link: vec![(0, 3)],
+            cannot_link: vec![],
+        };
         let dg = agglomerative(&d, Linkage::Average, &constraints).unwrap();
         for k in dg.min_clusters()..=dg.max_clusters() {
             let labels = dg.cut(k).unwrap();
@@ -396,7 +411,10 @@ mod tests {
     #[test]
     fn cannot_link_keeps_items_apart() {
         let d = two_blob_distances();
-        let constraints = Constraints { must_link: vec![], cannot_link: vec![(0, 1)] };
+        let constraints = Constraints {
+            must_link: vec![],
+            cannot_link: vec![(0, 1)],
+        };
         let dg = agglomerative(&d, Linkage::Average, &constraints).unwrap();
         assert!(dg.min_clusters() >= 2);
         for k in dg.min_clusters()..=dg.max_clusters() {
@@ -421,7 +439,10 @@ mod tests {
     #[test]
     fn out_of_range_constraint_errors() {
         let d = two_blob_distances();
-        let constraints = Constraints { must_link: vec![(0, 99)], cannot_link: vec![] };
+        let constraints = Constraints {
+            must_link: vec![(0, 99)],
+            cannot_link: vec![],
+        };
         assert!(matches!(
             agglomerative(&d, Linkage::Average, &constraints),
             Err(ClusterError::ConstraintOutOfRange { .. })
@@ -430,8 +451,12 @@ mod tests {
 
     #[test]
     fn rejects_malformed_matrices() {
-        assert!(agglomerative(&Matrix::zeros(0, 0), Linkage::Average, &Constraints::none()).is_err());
-        assert!(agglomerative(&Matrix::zeros(2, 3), Linkage::Average, &Constraints::none()).is_err());
+        assert!(
+            agglomerative(&Matrix::zeros(0, 0), Linkage::Average, &Constraints::none()).is_err()
+        );
+        assert!(
+            agglomerative(&Matrix::zeros(2, 3), Linkage::Average, &Constraints::none()).is_err()
+        );
         let mut bad_diag = Matrix::zeros(2, 2);
         bad_diag[(0, 0)] = 1.0;
         assert!(agglomerative(&bad_diag, Linkage::Average, &Constraints::none()).is_err());
@@ -455,7 +480,12 @@ mod tests {
     #[test]
     fn linkages_agree_on_clear_structure() {
         let d = two_blob_distances();
-        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let dg = agglomerative(&d, linkage, &Constraints::none()).unwrap();
             let labels = dg.cut(2).unwrap();
             assert_eq!(labels[0], labels[2], "{linkage:?}");

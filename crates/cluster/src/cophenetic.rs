@@ -25,7 +25,11 @@ pub fn cophenetic_distances(dendrogram: &Dendrogram) -> Matrix {
     for i in 0..n {
         for j in 0..n {
             if i != j {
-                d[(i, j)] = if base[i] == base[j] { 0.0 } else { f64::INFINITY };
+                d[(i, j)] = if base[i] == base[j] {
+                    0.0
+                } else {
+                    f64::INFINITY
+                };
             }
         }
     }
@@ -157,7 +161,10 @@ mod tests {
     #[test]
     fn cannot_link_pairs_get_infinite_cophenetic_distance() {
         let d = blob_distances();
-        let constraints = Constraints { must_link: vec![], cannot_link: vec![(0, 3)] };
+        let constraints = Constraints {
+            must_link: vec![],
+            cannot_link: vec![(0, 3)],
+        };
         let dg = agglomerative(&d, Linkage::Average, &constraints).unwrap();
         let c = cophenetic_distances(&dg);
         if dg.min_clusters() > 1 {

@@ -2,9 +2,9 @@
 //! the CREW ablation (agglomerative-with-constraints vs plain k-medoids).
 
 use crate::ClusterError;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use em_rngs::rngs::StdRng;
+use em_rngs::seq::SliceRandom;
+use em_rngs::SeedableRng;
 
 /// Result of a k-medoids run.
 #[derive(Debug, Clone)]
@@ -78,7 +78,11 @@ pub fn kmedoids(
             break;
         }
     }
-    Ok(KMedoids { medoids, labels, cost })
+    Ok(KMedoids {
+        medoids,
+        labels,
+        cost,
+    })
 }
 
 #[cfg(test)]

@@ -27,7 +27,9 @@ pub mod quality;
 pub use agglomerative::{agglomerative, Constraints, Dendrogram, Linkage, Merge};
 pub use cophenetic::{cophenetic_correlation, cophenetic_distances};
 pub use kmedoids::{kmedoids, KMedoids};
-pub use quality::{adjusted_rand_index, groups_from_labels, mean_intra_cluster_distance, silhouette};
+pub use quality::{
+    adjusted_rand_index, groups_from_labels, mean_intra_cluster_distance, silhouette,
+};
 
 /// Errors from the clustering substrate.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,10 +74,16 @@ impl std::fmt::Display for ClusterError {
                 write!(f, "k={k} outside achievable range [{min},{max}]")
             }
             ClusterError::ConstraintOutOfRange { index, n } => {
-                write!(f, "constraint references item {index} but only {n} items exist")
+                write!(
+                    f,
+                    "constraint references item {index} but only {n} items exist"
+                )
             }
             ClusterError::ConflictingConstraints { a, b } => {
-                write!(f, "items {a} and {b} are both must-linked and cannot-linked")
+                write!(
+                    f,
+                    "items {a} and {b} are both must-linked and cannot-linked"
+                )
             }
             ClusterError::LabelLengthMismatch { expected, got } => {
                 write!(f, "expected {expected} labels, got {got}")
@@ -89,11 +97,11 @@ impl std::error::Error for ClusterError {}
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use propcheck::prelude::*;
 
     fn random_distance_matrix(n: usize, seed: u64) -> em_linalg::Matrix {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use em_rngs::{Rng, SeedableRng};
+        let mut rng = em_rngs::rngs::StdRng::seed_from_u64(seed);
         // Build from random points on a line so the matrix is a true metric.
         let pts: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
         em_linalg::Matrix::from_fn(n, n, |i, j| (pts[i] - pts[j]).abs())

@@ -6,14 +6,14 @@ use crate::ClusterError;
 /// Mean silhouette coefficient of a labelled partition under a distance
 /// matrix. Returns 0.0 when every item is alone or all items share one
 /// cluster (silhouette is undefined there; 0 is the neutral value).
-pub fn silhouette(
-    distances: &em_linalg::Matrix,
-    labels: &[usize],
-) -> Result<f64, ClusterError> {
+pub fn silhouette(distances: &em_linalg::Matrix, labels: &[usize]) -> Result<f64, ClusterError> {
     crate::agglomerative::validate_distances(distances)?;
     let n = distances.rows();
     if labels.len() != n {
-        return Err(ClusterError::LabelLengthMismatch { expected: n, got: labels.len() });
+        return Err(ClusterError::LabelLengthMismatch {
+            expected: n,
+            got: labels.len(),
+        });
     }
     let k = labels.iter().copied().max().map_or(0, |m| m + 1);
     if k <= 1 || k >= n {
@@ -55,7 +55,11 @@ pub fn silhouette(
         }
         counted += 1;
     }
-    Ok(if counted == 0 { 0.0 } else { total / counted as f64 })
+    Ok(if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    })
 }
 
 /// Group item indices by label: `result[c]` lists members of cluster `c`.
@@ -127,7 +131,10 @@ mod tests {
         let good = silhouette(&d, &[0, 0, 0, 1, 1, 1]).unwrap();
         let bad = silhouette(&d, &[0, 1, 0, 1, 0, 1]).unwrap();
         assert!(bad < good);
-        assert!(bad < 0.0, "mixed partition should have negative silhouette, got {bad}");
+        assert!(
+            bad < 0.0,
+            "mixed partition should have negative silhouette, got {bad}"
+        );
     }
 
     #[test]
@@ -158,7 +165,10 @@ mod tests {
         let loose = mean_intra_cluster_distance(&d, &[0, 1, 0, 1, 0, 1]).unwrap();
         assert!(tight < loose);
         // All singletons: zero by convention.
-        assert_eq!(mean_intra_cluster_distance(&d, &[0, 1, 2, 3, 4, 5]).unwrap(), 0.0);
+        assert_eq!(
+            mean_intra_cluster_distance(&d, &[0, 1, 2, 3, 4, 5]).unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -177,7 +187,10 @@ mod tests {
 /// across seeds or configurations.
 pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> Result<f64, ClusterError> {
     if a.len() != b.len() {
-        return Err(ClusterError::LabelLengthMismatch { expected: a.len(), got: b.len() });
+        return Err(ClusterError::LabelLengthMismatch {
+            expected: a.len(),
+            got: b.len(),
+        });
     }
     let n = a.len();
     if n < 2 {

@@ -102,8 +102,7 @@ pub fn find_counterfactual(
         let current = matcher.predict_proba(&tokenized.apply_mask(&mask));
         let flipped = (current >= matcher.threshold()) != predicted_match;
         if flipped {
-            let removed_words: Vec<usize> =
-                (0..n).filter(|&i| !mask[i]).collect();
+            let removed_words: Vec<usize> = (0..n).filter(|&i| !mask[i]).collect();
             return Ok(Some(Counterfactual {
                 removed_clusters,
                 removed_words,
@@ -129,7 +128,9 @@ pub fn explanation_robustness(
         matcher,
         pair,
         explanation,
-        CounterfactualOptions { max_removals: total },
+        CounterfactualOptions {
+            max_removals: total,
+        },
     )?;
     Ok(cf.map(|c| c.cost() as f64 / total as f64))
 }
@@ -170,11 +171,13 @@ mod tests {
     }
 
     fn crew() -> Crew {
-        let corpus: Vec<Vec<String>> =
-            vec![em_text::tokenize("anchor alpha beta gamma anchor")];
+        let corpus: Vec<Vec<String>> = vec![em_text::tokenize("anchor alpha beta gamma anchor")];
         let emb = WordEmbeddings::train(
             corpus.iter().map(|v| v.as_slice()),
-            EmbeddingOptions { dimensions: 8, ..Default::default() },
+            EmbeddingOptions {
+                dimensions: 8,
+                ..Default::default()
+            },
         )
         .unwrap();
         Crew::new(Arc::new(emb), CrewOptions::default())
@@ -211,8 +214,7 @@ mod tests {
         let p = pair();
         let c = crew();
         let ce = c.explain_clusters(&Constant, &p).unwrap();
-        let cf =
-            find_counterfactual(&Constant, &p, &ce, CounterfactualOptions::default()).unwrap();
+        let cf = find_counterfactual(&Constant, &p, &ce, CounterfactualOptions::default()).unwrap();
         assert!(cf.is_none());
         assert_eq!(explanation_robustness(&Constant, &p, &ce).unwrap(), None);
     }
@@ -222,7 +224,9 @@ mod tests {
         let p = pair();
         let c = crew();
         let ce = c.explain_clusters(&AnchorMatcher, &p).unwrap();
-        let r = explanation_robustness(&AnchorMatcher, &p, &ce).unwrap().unwrap();
+        let r = explanation_robustness(&AnchorMatcher, &p, &ce)
+            .unwrap()
+            .unwrap();
         assert!(r > 0.0 && r <= 1.0);
     }
 

@@ -14,8 +14,8 @@
 //!    fidelity-vs-size curve);
 //! 5. emit clusters with group-surrogate weights and semantic coherence.
 
-use crate::explanation::{words_of, ClusterExplanation, WordCluster, WordExplanation};
 use crate::explainer::Explainer;
+use crate::explanation::{words_of, ClusterExplanation, WordCluster, WordExplanation};
 use crate::knowledge::{
     combined_distances, opposite_sign_cannot_links, semantic_coherence, KnowledgeWeights,
 };
@@ -85,7 +85,10 @@ pub struct Crew {
 
 impl Crew {
     pub fn new(embeddings: Arc<WordEmbeddings>, options: CrewOptions) -> Self {
-        Crew { embeddings, options }
+        Crew {
+            embeddings,
+            options,
+        }
     }
 
     /// Convenience constructor with default options.
@@ -121,8 +124,11 @@ impl Crew {
                 let dendrogram = agglomerative(distances, self.options.linkage, &constraints)
                     .map_err(crate::ExplainError::Cluster)?;
                 let k_lo = dendrogram.min_clusters().max(1);
-                let k_hi =
-                    self.options.max_clusters.min(dendrogram.max_clusters()).max(k_lo);
+                let k_hi = self
+                    .options
+                    .max_clusters
+                    .min(dendrogram.max_clusters())
+                    .max(k_lo);
                 (k_lo..=k_hi)
                     .map(|k| {
                         dendrogram
@@ -243,9 +249,16 @@ impl Crew {
             .into_iter()
             .enumerate()
             .map(|(g, member_indices)| {
-                let coherence =
-                    semantic_coherence(word_level.words.as_slice(), &member_indices, &self.embeddings);
-                WordCluster { member_indices, weight: group_fit.weights[g], coherence }
+                let coherence = semantic_coherence(
+                    word_level.words.as_slice(),
+                    &member_indices,
+                    &self.embeddings,
+                );
+                WordCluster {
+                    member_indices,
+                    weight: group_fit.weights[g],
+                    coherence,
+                }
             })
             .collect();
         clusters.sort_by(|a, b| {
@@ -367,7 +380,10 @@ mod tests {
         Arc::new(
             WordEmbeddings::train(
                 corpus.iter().map(|v| v.as_slice()),
-                EmbeddingOptions { dimensions: 16, ..Default::default() },
+                EmbeddingOptions {
+                    dimensions: 16,
+                    ..Default::default()
+                },
             )
             .unwrap(),
         )
@@ -387,7 +403,10 @@ mod tests {
         Crew::new(
             embeddings(),
             CrewOptions {
-                perturb: PerturbOptions { samples: 200, ..Default::default() },
+                perturb: PerturbOptions {
+                    samples: 200,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         )
@@ -517,7 +536,10 @@ mod tests {
     fn kmedoids_variant_also_partitions() {
         let opts = CrewOptions {
             algorithm: ClusterAlgorithm::KMedoids,
-            perturb: PerturbOptions { samples: 100, ..Default::default() },
+            perturb: PerturbOptions {
+                samples: 100,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let c = Crew::new(embeddings(), opts);
@@ -531,7 +553,10 @@ mod tests {
             embeddings(),
             CrewOptions {
                 algorithm: ClusterAlgorithm::KMedoids,
-                perturb: PerturbOptions { samples: 100, ..Default::default() },
+                perturb: PerturbOptions {
+                    samples: 100,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
@@ -541,7 +566,10 @@ mod tests {
 
     #[test]
     fn invalid_tau_is_error() {
-        let opts = CrewOptions { tau: 0.0, ..Default::default() };
+        let opts = CrewOptions {
+            tau: 0.0,
+            ..Default::default()
+        };
         let c = Crew::new(embeddings(), opts);
         assert!(matches!(
             c.explain_clusters(&OverlapMatcher, &pair()),
@@ -566,7 +594,10 @@ mod tests {
             .position(|w| w.text == "sonix" && w.side == Side::Right && w.attribute == 0)
             .unwrap();
         let cluster_of = |idx: usize| {
-            ce.clusters.iter().position(|c| c.member_indices.contains(&idx)).unwrap()
+            ce.clusters
+                .iter()
+                .position(|c| c.member_indices.contains(&idx))
+                .unwrap()
         };
         assert_eq!(
             cluster_of(l_sonix),

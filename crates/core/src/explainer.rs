@@ -81,7 +81,10 @@ mod tests {
         let expl = estimate_word_importance(
             &tp,
             &MagicMatcher,
-            &PerturbOptions { samples: 400, ..Default::default() },
+            &PerturbOptions {
+                samples: 400,
+                ..Default::default()
+            },
             &SurrogateOptions::default(),
             "test",
         )
@@ -112,11 +115,16 @@ mod tests {
         )
         .unwrap();
         let tp = TokenizedPair::new(pair);
-        let opts = PerturbOptions { samples: 100, ..Default::default() };
-        let a = estimate_word_importance(&tp, &MagicMatcher, &opts, &SurrogateOptions::default(), "t")
-            .unwrap();
-        let b = estimate_word_importance(&tp, &MagicMatcher, &opts, &SurrogateOptions::default(), "t")
-            .unwrap();
+        let opts = PerturbOptions {
+            samples: 100,
+            ..Default::default()
+        };
+        let a =
+            estimate_word_importance(&tp, &MagicMatcher, &opts, &SurrogateOptions::default(), "t")
+                .unwrap();
+        let b =
+            estimate_word_importance(&tp, &MagicMatcher, &opts, &SurrogateOptions::default(), "t")
+                .unwrap();
         assert_eq!(a.weights, b.weights);
     }
 }

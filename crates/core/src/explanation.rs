@@ -67,7 +67,10 @@ impl WordExplanation {
                 break;
             }
             cum += w.abs();
-            units.push(ExplanationUnit { member_indices: vec![i], weight: w });
+            units.push(ExplanationUnit {
+                member_indices: vec![i],
+                weight: w,
+            });
         }
         units
     }
@@ -119,7 +122,10 @@ impl ClusterExplanation {
     pub fn units(&self) -> Vec<ExplanationUnit> {
         self.clusters
             .iter()
-            .map(|c| ExplanationUnit { member_indices: c.member_indices.clone(), weight: c.weight })
+            .map(|c| ExplanationUnit {
+                member_indices: c.member_indices.clone(),
+                weight: c.weight,
+            })
             .collect()
     }
 
@@ -243,8 +249,16 @@ mod tests {
         let ce = ClusterExplanation {
             word_level,
             clusters: vec![
-                WordCluster { member_indices: vec![0, 3], weight: 0.9, coherence: 0.8 },
-                WordCluster { member_indices: vec![1, 4], weight: -0.4, coherence: 0.6 },
+                WordCluster {
+                    member_indices: vec![0, 3],
+                    weight: 0.9,
+                    coherence: 0.8,
+                },
+                WordCluster {
+                    member_indices: vec![1, 4],
+                    weight: -0.4,
+                    coherence: 0.6,
+                },
             ],
             selected_k: 2,
             group_r2: 0.92,

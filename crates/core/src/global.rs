@@ -110,9 +110,7 @@ pub fn aggregate_explanations(
                     counts[a] += 1;
                 }
             }
-            if let Some((best_attr, _)) =
-                counts.iter().enumerate().max_by_key(|&(_, c)| *c)
-            {
+            if let Some((best_attr, _)) = counts.iter().enumerate().max_by_key(|&(_, c)| *c) {
                 attr_top[best_attr] += 1;
             }
         }
@@ -151,7 +149,12 @@ pub fn aggregate_explanations(
     recurring_words.sort_by(|a, b| {
         b.occurrences
             .cmp(&a.occurrences)
-            .then(b.mean_weight.abs().partial_cmp(&a.mean_weight.abs()).unwrap())
+            .then(
+                b.mean_weight
+                    .abs()
+                    .partial_cmp(&a.mean_weight.abs())
+                    .unwrap(),
+            )
             .then(a.word.cmp(&b.word))
     });
 
@@ -212,9 +215,7 @@ mod tests {
 
     fn dataset() -> Dataset {
         let schema = Arc::new(Schema::new(vec!["title", "brand"]));
-        let mk = |id, t: &str, b: &str| {
-            Record::new(id, vec![t.to_string(), b.to_string()])
-        };
+        let mk = |id, t: &str, b: &str| Record::new(id, vec![t.to_string(), b.to_string()]);
         let mut examples = Vec::new();
         let data = [
             ("red chair", "acme", "crimson chair", "acme", true),
@@ -239,20 +240,29 @@ mod tests {
 
     fn crew() -> Crew {
         let corpus: Vec<Vec<String>> = [
-            "red chair acme", "blue table bolt", "green lamp core", "white desk acme",
+            "red chair acme",
+            "blue table bolt",
+            "green lamp core",
+            "white desk acme",
         ]
         .iter()
         .map(|s| em_text::tokenize(s))
         .collect();
         let emb = WordEmbeddings::train(
             corpus.iter().map(|v| v.as_slice()),
-            EmbeddingOptions { dimensions: 8, ..Default::default() },
+            EmbeddingOptions {
+                dimensions: 8,
+                ..Default::default()
+            },
         )
         .unwrap();
         Crew::new(
             Arc::new(emb),
             CrewOptions {
-                perturb: PerturbOptions { samples: 128, ..Default::default() },
+                perturb: PerturbOptions {
+                    samples: 128,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         )
@@ -277,7 +287,10 @@ mod tests {
             .iter()
             .filter(|w| w.attribute == "brand")
             .collect();
-        assert!(!brand_words.is_empty(), "brand words should recur in top clusters");
+        assert!(
+            !brand_words.is_empty(),
+            "brand words should recur in top clusters"
+        );
     }
 
     #[test]
@@ -306,7 +319,10 @@ mod tests {
             .collect();
         let g = aggregate_explanations(&explanations, d.schema(), 1).unwrap();
         let expect_mean = em_linalg::stats::mean(
-            &explanations.iter().map(|e| e.selected_k as f64).collect::<Vec<_>>(),
+            &explanations
+                .iter()
+                .map(|e| e.selected_k as f64)
+                .collect::<Vec<_>>(),
         );
         assert!((g.mean_clusters - expect_mean).abs() < 1e-12);
         // Top-cluster shares sum to at most 1.

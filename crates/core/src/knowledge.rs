@@ -24,20 +24,36 @@ pub struct KnowledgeWeights {
 
 impl Default for KnowledgeWeights {
     fn default() -> Self {
-        KnowledgeWeights { semantic: 1.0, attribute: 1.0, importance: 1.0 }
+        KnowledgeWeights {
+            semantic: 1.0,
+            attribute: 1.0,
+            importance: 1.0,
+        }
     }
 }
 
 impl KnowledgeWeights {
     /// Use only a subset of sources (ablation variants).
     pub fn only_semantic() -> Self {
-        KnowledgeWeights { semantic: 1.0, attribute: 0.0, importance: 0.0 }
+        KnowledgeWeights {
+            semantic: 1.0,
+            attribute: 0.0,
+            importance: 0.0,
+        }
     }
     pub fn only_attribute() -> Self {
-        KnowledgeWeights { semantic: 0.0, attribute: 1.0, importance: 0.0 }
+        KnowledgeWeights {
+            semantic: 0.0,
+            attribute: 1.0,
+            importance: 0.0,
+        }
     }
     pub fn only_importance() -> Self {
-        KnowledgeWeights { semantic: 0.0, attribute: 0.0, importance: 1.0 }
+        KnowledgeWeights {
+            semantic: 0.0,
+            attribute: 0.0,
+            importance: 1.0,
+        }
     }
 
     fn normalised(self) -> Result<(f64, f64, f64), crate::ExplainError> {
@@ -135,10 +151,19 @@ pub fn opposite_sign_cannot_links(weights: &[f64], quantile: f64) -> Vec<(usize,
     let k = ((n as f64 * quantile).ceil() as usize).max(1);
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap());
-    let top: Vec<usize> =
-        order.iter().take(k).copied().filter(|&i| weights[i] > 0.0).collect();
-    let bottom: Vec<usize> =
-        order.iter().rev().take(k).copied().filter(|&i| weights[i] < 0.0).collect();
+    let top: Vec<usize> = order
+        .iter()
+        .take(k)
+        .copied()
+        .filter(|&i| weights[i] > 0.0)
+        .collect();
+    let bottom: Vec<usize> = order
+        .iter()
+        .rev()
+        .take(k)
+        .copied()
+        .filter(|&i| weights[i] < 0.0)
+        .collect();
     let mut links = Vec::with_capacity(top.len() * bottom.len());
     for &a in &top {
         for &b in &bottom {
@@ -162,7 +187,9 @@ pub fn semantic_coherence(
     let mut count = 0usize;
     for (a_pos, &a) in member_indices.iter().enumerate() {
         for &b in &member_indices[a_pos + 1..] {
-            sum += embeddings.similarity(&words[a].text, &words[b].text).max(0.0);
+            sum += embeddings
+                .similarity(&words[a].text, &words[b].text)
+                .max(0.0);
             count += 1;
         }
     }
@@ -199,7 +226,10 @@ mod tests {
         .collect();
         WordEmbeddings::train(
             corpus.iter().map(|v| v.as_slice()),
-            EmbeddingOptions { dimensions: 12, ..Default::default() },
+            EmbeddingOptions {
+                dimensions: 12,
+                ..Default::default()
+            },
         )
         .unwrap()
     }
@@ -211,7 +241,11 @@ mod tests {
         let words = tp.words();
         for i in 0..words.len() {
             for j in 0..words.len() {
-                let expect = if words[i].attribute == words[j].attribute { 0.0 } else { 1.0 };
+                let expect = if words[i].attribute == words[j].attribute {
+                    0.0
+                } else {
+                    1.0
+                };
                 assert_eq!(d[(i, j)], expect);
             }
         }
@@ -283,9 +317,17 @@ mod tests {
         let tp = tokenized();
         let emb = embeddings();
         let w = vec![0.0; tp.len()];
-        let zero = KnowledgeWeights { semantic: 0.0, attribute: 0.0, importance: 0.0 };
+        let zero = KnowledgeWeights {
+            semantic: 0.0,
+            attribute: 0.0,
+            importance: 0.0,
+        };
         assert!(combined_distances(&tp, &emb, &w, zero).is_err());
-        let neg = KnowledgeWeights { semantic: -1.0, attribute: 1.0, importance: 1.0 };
+        let neg = KnowledgeWeights {
+            semantic: -1.0,
+            attribute: 1.0,
+            importance: 1.0,
+        };
         assert!(combined_distances(&tp, &emb, &w, neg).is_err());
         // Length mismatch.
         assert!(combined_distances(&tp, &emb, &[0.0], KnowledgeWeights::default()).is_err());
@@ -327,6 +369,9 @@ mod tests {
         assert_eq!(words[5].text, "television");
         let related = semantic_coherence(words, &[1, 5], &emb);
         let unrelated = semantic_coherence(words, &[0, 2], &emb);
-        assert!(related >= unrelated, "related {related} unrelated {unrelated}");
+        assert!(
+            related >= unrelated,
+            "related {related} unrelated {unrelated}"
+        );
     }
 }

@@ -32,8 +32,8 @@
 pub mod counterfactual;
 pub mod crew;
 pub mod explainer;
-pub mod global;
 pub mod explanation;
+pub mod global;
 pub mod knowledge;
 pub mod perturb;
 pub mod report;
@@ -43,20 +43,21 @@ pub use counterfactual::{
     explanation_robustness, find_counterfactual, Counterfactual, CounterfactualOptions,
 };
 pub use crew::{ClusterAlgorithm, Crew, CrewOptions};
-pub use global::{
-    aggregate_explanations, explain_dataset, AttributeImportance, GlobalExplanation,
-    RecurringWord,
-};
-pub use report::{cluster_explanation_to_json, word_explanation_to_json};
 pub use explainer::{estimate_word_importance, Explainer};
 pub use explanation::{
     words_of, ClusterExplanation, ExplanationUnit, WordCluster, WordExplanation,
+};
+pub use global::{
+    aggregate_explanations, explain_dataset, AttributeImportance, GlobalExplanation, RecurringWord,
 };
 pub use knowledge::{
     attribute_distances, combined_distances, importance_distances, opposite_sign_cannot_links,
     semantic_coherence, semantic_distances, KnowledgeWeights,
 };
-pub use perturb::{perturb, query_masks, sample_masks, MaskStrategy, PerturbOptions, PerturbationSet};
+pub use perturb::{
+    perturb, query_masks, sample_masks, MaskStrategy, PerturbOptions, PerturbationSet,
+};
+pub use report::{cluster_explanation_to_json, word_explanation_to_json};
 pub use surrogate::{
     fit_group_surrogate, fit_word_surrogate, kernel_weight, SurrogateFit, SurrogateOptions,
 };
@@ -94,15 +95,24 @@ impl std::fmt::Display for ExplainError {
             ExplainError::EmptyPair => write!(f, "pair has no words to explain"),
             ExplainError::NoSamples => write!(f, "perturbation sample budget must be positive"),
             ExplainError::NoGroups => write!(f, "group surrogate requires non-empty groups"),
-            ExplainError::GroupIndexOutOfRange => write!(f, "group references a word index outside the pair"),
-            ExplainError::InvalidKernelWidth(w) => write!(f, "kernel width must be positive, got {w}"),
-            ExplainError::InvalidWeights => write!(f, "knowledge weights must be non-negative and not all zero"),
+            ExplainError::GroupIndexOutOfRange => {
+                write!(f, "group references a word index outside the pair")
+            }
+            ExplainError::InvalidKernelWidth(w) => {
+                write!(f, "kernel width must be positive, got {w}")
+            }
+            ExplainError::InvalidWeights => {
+                write!(f, "knowledge weights must be non-negative and not all zero")
+            }
             ExplainError::WeightLengthMismatch { expected, got } => {
                 write!(f, "expected {expected} word weights, got {got}")
             }
             ExplainError::InvalidTau(t) => write!(f, "tau must be in (0,1], got {t}"),
             ExplainError::NonFiniteModelOutput { sample, value } => {
-                write!(f, "matcher returned non-finite probability {value} on perturbed sample {sample}")
+                write!(
+                    f,
+                    "matcher returned non-finite probability {value} on perturbed sample {sample}"
+                )
             }
             ExplainError::Linalg(e) => write!(f, "solver failure: {e}"),
             ExplainError::Cluster(e) => write!(f, "clustering failure: {e}"),
@@ -124,7 +134,7 @@ impl std::error::Error for ExplainError {
 mod proptests {
     use super::*;
     use em_data::{EntityPair, Record, Schema, TokenizedPair};
-    use proptest::prelude::*;
+    use propcheck::prelude::*;
     use std::sync::Arc;
 
     proptest! {
@@ -155,7 +165,7 @@ mod proptests {
         }
 
         #[test]
-        fn importance_distance_matrix_is_valid(ws in proptest::collection::vec(-1.0f64..1.0, 2..15)) {
+        fn importance_distance_matrix_is_valid(ws in propcheck::collection::vec(-1.0f64..1.0, 2..15)) {
             let d = importance_distances(&ws);
             for i in 0..ws.len() {
                 prop_assert_eq!(d[(i, i)], 0.0);

@@ -5,8 +5,8 @@
 
 use em_data::{EntityPair, Side, TokenizedPair};
 use em_matchers::Matcher;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use em_rngs::rngs::StdRng;
+use em_rngs::{Rng, SeedableRng};
 
 /// How drop masks are sampled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,13 +118,12 @@ pub fn sample_masks(
             MaskStrategy::AttributeStratified => {
                 // Choose a global drop fraction, then apply it within every
                 // non-empty attribute group independently.
-                let frac = rng.gen_range(0.1..0.9);
+                let frac: f64 = rng.gen_range(0.1..0.9);
                 for group in tokenized.attribute_groups() {
                     if group.is_empty() {
                         continue;
                     }
-                    let n_drop =
-                        ((group.len() as f64 * frac).round() as usize).min(group.len());
+                    let n_drop = ((group.len() as f64 * frac).round() as usize).min(group.len());
                     let mut order = group.clone();
                     partial_shuffle(&mut order, n_drop, &mut rng);
                     for &i in order.iter().take(n_drop) {
@@ -170,16 +169,15 @@ pub fn query_masks(
     }
     let mut responses = vec![0.0; masks.len()];
     let chunk = masks.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (mask_chunk, resp_chunk) in masks.chunks(chunk).zip(responses.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (m, r) in mask_chunk.iter().zip(resp_chunk.iter_mut()) {
                     *r = run(m);
                 }
             });
         }
-    })
-    .expect("perturbation worker panicked");
+    });
     responses
 }
 
@@ -198,7 +196,10 @@ pub fn perturb(
     let mut responses = query_masks(tokenized, &masks, matcher, opts.threads);
     for (i, r) in responses.iter_mut().enumerate() {
         if !r.is_finite() {
-            return Err(crate::ExplainError::NonFiniteModelOutput { sample: i, value: *r });
+            return Err(crate::ExplainError::NonFiniteModelOutput {
+                sample: i,
+                value: *r,
+            });
         }
         *r = r.clamp(0.0, 1.0);
     }
@@ -207,7 +208,11 @@ pub fn perturb(
         .iter()
         .map(|m| m.iter().filter(|&&b| b).count() as f64 / n)
         .collect();
-    Ok(PerturbationSet { masks, responses, kept_fraction })
+    Ok(PerturbationSet {
+        masks,
+        responses,
+        kept_fraction,
+    })
 }
 
 #[cfg(test)]
@@ -251,7 +256,10 @@ mod tests {
     #[test]
     fn masks_are_deterministic_per_seed() {
         let tp = tokenized();
-        let opts = PerturbOptions { samples: 50, ..Default::default() };
+        let opts = PerturbOptions {
+            samples: 50,
+            ..Default::default()
+        };
         let a = sample_masks(&tp, &opts).unwrap();
         let b = sample_masks(&tp, &opts).unwrap();
         assert_eq!(a, b);
@@ -268,7 +276,11 @@ mod tests {
             MaskStrategy::Bernoulli,
             MaskStrategy::AttributeStratified,
         ] {
-            let opts = PerturbOptions { samples: 200, strategy, ..Default::default() };
+            let opts = PerturbOptions {
+                samples: 200,
+                strategy,
+                ..Default::default()
+            };
             let masks = sample_masks(&tp, &opts).unwrap();
             for m in &masks {
                 assert!(m.iter().any(|&b| b), "all-dropped mask from {strategy:?}");
@@ -313,7 +325,10 @@ mod tests {
         let set = perturb(
             &tp,
             &CountingMatcher,
-            &PerturbOptions { samples: 64, ..Default::default() },
+            &PerturbOptions {
+                samples: 64,
+                ..Default::default()
+            },
         )
         .unwrap();
         for (mask, &resp) in set.masks.iter().zip(&set.responses) {
@@ -326,7 +341,11 @@ mod tests {
     #[test]
     fn parallel_and_sequential_agree() {
         let tp = tokenized();
-        let opts = PerturbOptions { samples: 100, threads: 1, ..Default::default() };
+        let opts = PerturbOptions {
+            samples: 100,
+            threads: 1,
+            ..Default::default()
+        };
         let masks = sample_masks(&tp, &opts).unwrap();
         let seq = query_masks(&tp, &masks, &CountingMatcher, 1);
         let par = query_masks(&tp, &masks, &CountingMatcher, 4);
@@ -350,7 +369,13 @@ mod tests {
         ));
         let tp = tokenized();
         assert!(matches!(
-            sample_masks(&tp, &PerturbOptions { samples: 0, ..Default::default() }),
+            sample_masks(
+                &tp,
+                &PerturbOptions {
+                    samples: 0,
+                    ..Default::default()
+                }
+            ),
             Err(crate::ExplainError::NoSamples)
         ));
     }
@@ -368,7 +393,10 @@ mod tests {
         // samples.
         let brand_indices = tp.cell_indices(Side::Left, 1);
         let brand_dropped = masks.iter().any(|m| brand_indices.iter().any(|&i| !m[i]));
-        assert!(brand_dropped, "stratified sampling never perturbed the brand");
+        assert!(
+            brand_dropped,
+            "stratified sampling never perturbed the brand"
+        );
     }
 }
 
@@ -417,9 +445,19 @@ mod robustness_tests {
     #[test]
     fn nan_output_is_reported_not_propagated() {
         let tp = tokenized();
-        let err = perturb(&tp, &NanMatcher, &PerturbOptions { samples: 64, ..Default::default() })
-            .unwrap_err();
-        assert!(matches!(err, crate::ExplainError::NonFiniteModelOutput { .. }));
+        let err = perturb(
+            &tp,
+            &NanMatcher,
+            &PerturbOptions {
+                samples: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ExplainError::NonFiniteModelOutput { .. }
+        ));
         let msg = format!("{err}");
         assert!(msg.contains("non-finite"));
     }
@@ -427,9 +465,15 @@ mod robustness_tests {
     #[test]
     fn out_of_range_output_is_clamped() {
         let tp = tokenized();
-        let set =
-            perturb(&tp, &OutOfRangeMatcher, &PerturbOptions { samples: 16, ..Default::default() })
-                .unwrap();
+        let set = perturb(
+            &tp,
+            &OutOfRangeMatcher,
+            &PerturbOptions {
+                samples: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(set.responses.iter().all(|&r| (0.0..=1.0).contains(&r)));
         assert_eq!(set.base_score(), 1.0);
     }

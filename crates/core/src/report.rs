@@ -107,20 +107,18 @@ pub fn looks_like_valid_json(s: &str) -> bool {
     while let Some(c) = chars.next() {
         if in_string {
             match c {
-                '\\' => {
-                    match chars.next() {
-                        Some('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') => {}
-                        Some('u') => {
-                            for _ in 0..4 {
-                                match chars.next() {
-                                    Some(h) if h.is_ascii_hexdigit() => {}
-                                    _ => return false,
-                                }
+                '\\' => match chars.next() {
+                    Some('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') => {}
+                    Some('u') => {
+                        for _ in 0..4 {
+                            match chars.next() {
+                                Some(h) if h.is_ascii_hexdigit() => {}
+                                _ => return false,
                             }
                         }
-                        _ => return false,
                     }
-                }
+                    _ => return false,
+                },
                 '"' => in_string = false,
                 _ => {}
             }
@@ -130,10 +128,9 @@ pub fn looks_like_valid_json(s: &str) -> bool {
             '"' => in_string = true,
             '{' => depth.push('}'),
             '[' => depth.push(']'),
-            '}' | ']'
-                if depth.pop() != Some(c) => {
-                    return false;
-                }
+            '}' | ']' if depth.pop() != Some(c) => {
+                return false;
+            }
             _ => {}
         }
     }
@@ -167,8 +164,16 @@ mod tests {
         let ce = ClusterExplanation {
             word_level,
             clusters: vec![
-                WordCluster { member_indices: vec![0, 2], weight: 0.6, coherence: 0.7 },
-                WordCluster { member_indices: vec![1, 3], weight: -0.2, coherence: 0.5 },
+                WordCluster {
+                    member_indices: vec![0, 2],
+                    weight: 0.6,
+                    coherence: 0.7,
+                },
+                WordCluster {
+                    member_indices: vec![1, 3],
+                    weight: -0.2,
+                    coherence: 0.5,
+                },
             ],
             selected_k: 2,
             group_r2: 0.85,

@@ -17,7 +17,10 @@ pub struct SurrogateOptions {
 
 impl Default for SurrogateOptions {
     fn default() -> Self {
-        SurrogateOptions { kernel_width: 0.75, lambda: 1e-3 }
+        SurrogateOptions {
+            kernel_width: 0.75,
+            lambda: 1e-3,
+        }
     }
 }
 
@@ -47,7 +50,11 @@ pub fn fit_word_surrogate(
     if n_words == 0 || set.is_empty() {
         return Err(crate::ExplainError::EmptyPair);
     }
-    let x = Matrix::from_fn(set.len(), n_words, |i, j| if set.masks[i][j] { 1.0 } else { 0.0 });
+    let x = Matrix::from_fn(
+        set.len(),
+        n_words,
+        |i, j| if set.masks[i][j] { 1.0 } else { 0.0 },
+    );
     fit(set, x, opts)
 }
 
@@ -88,8 +95,11 @@ fn fit(
     if opts.kernel_width <= 0.0 {
         return Err(crate::ExplainError::InvalidKernelWidth(opts.kernel_width));
     }
-    let weights: Vec<f64> =
-        set.kept_fraction.iter().map(|&f| kernel_weight(f, opts.kernel_width)).collect();
+    let weights: Vec<f64> = set
+        .kept_fraction
+        .iter()
+        .map(|&f| kernel_weight(f, opts.kernel_width))
+        .collect();
     let fit = ridge_regression(&x, &set.responses, &weights, opts.lambda)
         .map_err(crate::ExplainError::Linalg)?;
     Ok(SurrogateFit {
@@ -102,12 +112,17 @@ fn fit(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use em_rngs::rngs::StdRng;
+    use em_rngs::{Rng, SeedableRng};
 
     /// Build a synthetic perturbation set where the response is a known
     /// linear function of the mask.
-    fn linear_set(n_words: usize, true_weights: &[f64], samples: usize, seed: u64) -> PerturbationSet {
+    fn linear_set(
+        n_words: usize,
+        true_weights: &[f64],
+        samples: usize,
+        seed: u64,
+    ) -> PerturbationSet {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut masks = vec![vec![true; n_words]];
         for _ in 0..samples {
@@ -131,7 +146,11 @@ mod tests {
             .iter()
             .map(|m| m.iter().filter(|&&b| b).count() as f64 / n_words as f64)
             .collect();
-        PerturbationSet { masks, responses, kept_fraction }
+        PerturbationSet {
+            masks,
+            responses,
+            kept_fraction,
+        }
     }
 
     #[test]
@@ -186,10 +205,18 @@ mod tests {
             .iter()
             .map(|m| m.iter().filter(|&&b| b).count() as f64 / n_words as f64)
             .collect();
-        let set = PerturbationSet { masks, responses, kept_fraction };
+        let set = PerturbationSet {
+            masks,
+            responses,
+            kept_fraction,
+        };
         let word = fit_word_surrogate(&set, &SurrogateOptions::default()).unwrap();
-        let group = fit_group_surrogate(&set, &[vec![0, 1], vec![2, 3]], &SurrogateOptions::default())
-            .unwrap();
+        let group = fit_group_surrogate(
+            &set,
+            &[vec![0, 1], vec![2, 3]],
+            &SurrogateOptions::default(),
+        )
+        .unwrap();
         // The group surrogate with 2 features should be close to the word
         // surrogate with 4 features in fit quality.
         assert!(group.r_squared > word.r_squared - 0.1);
@@ -215,7 +242,10 @@ mod tests {
         assert!(matches!(
             fit_word_surrogate(
                 &set,
-                &SurrogateOptions { kernel_width: 0.0, ..Default::default() }
+                &SurrogateOptions {
+                    kernel_width: 0.0,
+                    ..Default::default()
+                }
             ),
             Err(crate::ExplainError::InvalidKernelWidth(_))
         ));

@@ -68,7 +68,10 @@ pub fn block(
             }
             Ok(block_token_overlap(left, right, *min_shared))
         }
-        BlockingStrategy::AttributeJaccard { attribute, threshold } => {
+        BlockingStrategy::AttributeJaccard {
+            attribute,
+            threshold,
+        } => {
             validate_attribute(schema, *attribute)?;
             if !(*threshold > 0.0 && *threshold <= 1.0) {
                 return Err(crate::DataError::InvalidBlocking {
@@ -114,7 +117,10 @@ fn block_equality(left: &[Record], right: &[Record], attribute: usize) -> Blocki
             }
         }
     }
-    BlockingResult { candidates, comparisons }
+    BlockingResult {
+        candidates,
+        comparisons,
+    }
 }
 
 fn token_index(records: &[Record]) -> HashMap<String, Vec<usize>> {
@@ -156,7 +162,10 @@ fn block_token_overlap(left: &[Record], right: &[Record], min_shared: usize) -> 
             candidates.push((i, j));
         }
     }
-    BlockingResult { candidates, comparisons }
+    BlockingResult {
+        candidates,
+        comparisons,
+    }
 }
 
 fn block_attribute_jaccard(
@@ -168,8 +177,10 @@ fn block_attribute_jaccard(
     // Invert only the chosen attribute, then verify Jaccard on the
     // token-sharing candidates.
     let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-    let right_tokens: Vec<Vec<String>> =
-        right.iter().map(|r| em_text::tokenize(r.value(attribute))).collect();
+    let right_tokens: Vec<Vec<String>> = right
+        .iter()
+        .map(|r| em_text::tokenize(r.value(attribute)))
+        .collect();
     for (j, toks) in right_tokens.iter().enumerate() {
         let mut seen = HashSet::new();
         for t in toks {
@@ -197,7 +208,10 @@ fn block_attribute_jaccard(
             }
         }
     }
-    BlockingResult { candidates, comparisons }
+    BlockingResult {
+        candidates,
+        comparisons,
+    }
 }
 
 /// Materialise candidate pairs into [`EntityPair`]s.
@@ -260,8 +274,13 @@ mod tests {
     #[test]
     fn token_overlap_blocking_finds_shared_words() {
         let (l, r) = tables();
-        let res =
-            block(&schema(), &l, &r, &BlockingStrategy::TokenOverlap { min_shared: 2 }).unwrap();
+        let res = block(
+            &schema(),
+            &l,
+            &r,
+            &BlockingStrategy::TokenOverlap { min_shared: 2 },
+        )
+        .unwrap();
         // "alpha ... 55 sonix" shares alpha+55+sonix with right 0.
         assert!(res.candidates.contains(&(0, 0)));
         // "beta speaker brixton" shares beta+speaker+brixton with right 2.
@@ -277,14 +296,20 @@ mod tests {
             &schema(),
             &l,
             &r,
-            &BlockingStrategy::AttributeJaccard { attribute: 0, threshold: 0.9 },
+            &BlockingStrategy::AttributeJaccard {
+                attribute: 0,
+                threshold: 0.9,
+            },
         )
         .unwrap();
         let lax = block(
             &schema(),
             &l,
             &r,
-            &BlockingStrategy::AttributeJaccard { attribute: 0, threshold: 0.3 },
+            &BlockingStrategy::AttributeJaccard {
+                attribute: 0,
+                threshold: 0.3,
+            },
         )
         .unwrap();
         assert!(lax.candidates.len() >= strict.candidates.len());
@@ -302,20 +327,31 @@ mod tests {
             &BlockingStrategy::AttributeEquality { attribute: 9 }
         )
         .is_err());
-        assert!(block(&schema(), &l, &r, &BlockingStrategy::TokenOverlap { min_shared: 0 })
-            .is_err());
         assert!(block(
             &schema(),
             &l,
             &r,
-            &BlockingStrategy::AttributeJaccard { attribute: 0, threshold: 0.0 }
+            &BlockingStrategy::TokenOverlap { min_shared: 0 }
         )
         .is_err());
         assert!(block(
             &schema(),
             &l,
             &r,
-            &BlockingStrategy::AttributeJaccard { attribute: 0, threshold: 1.5 }
+            &BlockingStrategy::AttributeJaccard {
+                attribute: 0,
+                threshold: 0.0
+            }
+        )
+        .is_err());
+        assert!(block(
+            &schema(),
+            &l,
+            &r,
+            &BlockingStrategy::AttributeJaccard {
+                attribute: 0,
+                threshold: 1.5
+            }
         )
         .is_err());
     }
@@ -325,8 +361,13 @@ mod tests {
         let s = schema();
         let l = vec![rec(0, "x", "")];
         let r = vec![rec(1, "y", "")];
-        let res =
-            block(&s, &l, &r, &BlockingStrategy::AttributeEquality { attribute: 1 }).unwrap();
+        let res = block(
+            &s,
+            &l,
+            &r,
+            &BlockingStrategy::AttributeEquality { attribute: 1 },
+        )
+        .unwrap();
         assert!(res.candidates.is_empty());
     }
 
@@ -334,12 +375,20 @@ mod tests {
     fn candidates_materialise_into_pairs() {
         let (l, r) = tables();
         let s = Arc::new(schema());
-        let res =
-            block(&s, &l, &r, &BlockingStrategy::AttributeEquality { attribute: 1 }).unwrap();
+        let res = block(
+            &s,
+            &l,
+            &r,
+            &BlockingStrategy::AttributeEquality { attribute: 1 },
+        )
+        .unwrap();
         let pairs = candidates_to_pairs(&s, &l, &r, &res.candidates).unwrap();
         assert_eq!(pairs.len(), res.candidates.len());
         for p in &pairs {
-            assert_eq!(p.left().value(1).to_lowercase(), p.right().value(1).to_lowercase());
+            assert_eq!(
+                p.left().value(1).to_lowercase(),
+                p.right().value(1).to_lowercase()
+            );
         }
     }
 
@@ -347,8 +396,20 @@ mod tests {
     fn blocking_is_deterministic() {
         let (l, r) = tables();
         let s = schema();
-        let a = block(&s, &l, &r, &BlockingStrategy::TokenOverlap { min_shared: 1 }).unwrap();
-        let b = block(&s, &l, &r, &BlockingStrategy::TokenOverlap { min_shared: 1 }).unwrap();
+        let a = block(
+            &s,
+            &l,
+            &r,
+            &BlockingStrategy::TokenOverlap { min_shared: 1 },
+        )
+        .unwrap();
+        let b = block(
+            &s,
+            &l,
+            &r,
+            &BlockingStrategy::TokenOverlap { min_shared: 1 },
+        )
+        .unwrap();
         assert_eq!(a.candidates, b.candidates);
     }
 }

@@ -97,7 +97,10 @@ pub fn write_csv(rows: &[Vec<String>]) -> String {
 pub fn dataset_from_joined_csv(name: &str, text: &str) -> Result<Dataset, crate::DataError> {
     let rows = parse_csv(text)?;
     if rows.is_empty() {
-        return Err(crate::DataError::CsvParse { line: 0, message: "empty CSV".into() });
+        return Err(crate::DataError::CsvParse {
+            line: 0,
+            message: "empty CSV".into(),
+        });
     }
     let header = &rows[0];
     let label_col = header
@@ -211,7 +214,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_unterminated_quote() {
-        assert!(matches!(parse_csv("a\n\"oops"), Err(crate::DataError::CsvParse { .. })));
+        assert!(matches!(
+            parse_csv("a\n\"oops"),
+            Err(crate::DataError::CsvParse { .. })
+        ));
     }
 
     #[test]
@@ -244,7 +250,10 @@ id,label,ltable_title,ltable_brand,rtable_title,rtable_brand
     fn joined_csv_loads_dataset() {
         let d = dataset_from_joined_csv("demo", JOINED).unwrap();
         assert_eq!(d.len(), 2);
-        assert_eq!(d.schema().names().collect::<Vec<_>>(), vec!["title", "brand"]);
+        assert_eq!(
+            d.schema().names().collect::<Vec<_>>(),
+            vec!["title", "brand"]
+        );
         assert_eq!(d.match_count(), 1);
         assert_eq!(d.examples()[0].pair.left().value(0), "sony tv");
         assert_eq!(d.examples()[1].pair.right().value(1), "dell");
@@ -294,8 +303,11 @@ pub fn dataset_from_magellan(
     let (a_schema, a_records) = parse_record_table(table_a, 1)?;
     let (b_schema, b_records) = parse_record_table(table_b, 2)?;
     // Ordered intersection of attribute names.
-    let attrs: Vec<String> =
-        a_schema.iter().filter(|a| b_schema.contains(a)).cloned().collect();
+    let attrs: Vec<String> = a_schema
+        .iter()
+        .filter(|a| b_schema.contains(a))
+        .cloned()
+        .collect();
     if attrs.is_empty() {
         return Err(crate::DataError::CsvParse {
             line: 1,
@@ -306,7 +318,10 @@ pub fn dataset_from_magellan(
         attrs
             .iter()
             .map(|a| {
-                let idx = schema.iter().position(|s| s == a).expect("attr from intersection");
+                let idx = schema
+                    .iter()
+                    .position(|s| s == a)
+                    .expect("attr from intersection");
                 values[idx].clone()
             })
             .collect()
@@ -315,13 +330,20 @@ pub fn dataset_from_magellan(
 
     let rows = parse_csv(pairs)?;
     if rows.is_empty() {
-        return Err(crate::DataError::CsvParse { line: 0, message: "empty pair file".into() });
+        return Err(crate::DataError::CsvParse {
+            line: 0,
+            message: "empty pair file".into(),
+        });
     }
     let header = &rows[0];
     let col = |n: &str| {
-        header.iter().position(|h| h.eq_ignore_ascii_case(n)).ok_or_else(|| {
-            crate::DataError::CsvParse { line: 1, message: format!("missing '{n}' column") }
-        })
+        header
+            .iter()
+            .position(|h| h.eq_ignore_ascii_case(n))
+            .ok_or_else(|| crate::DataError::CsvParse {
+                line: 1,
+                message: format!("missing '{n}' column"),
+            })
     };
     let (lc, rc, label_c) = (col("ltable_id")?, col("rtable_id")?, col("label")?);
 
@@ -333,14 +355,20 @@ pub fn dataset_from_magellan(
                 message: format!("expected {} fields, got {}", header.len(), row.len()),
             });
         }
-        let lid: u64 = row[lc].trim().parse().map_err(|_| crate::DataError::CsvParse {
-            line: line_no + 1,
-            message: format!("bad ltable_id {:?}", row[lc]),
-        })?;
-        let rid: u64 = row[rc].trim().parse().map_err(|_| crate::DataError::CsvParse {
-            line: line_no + 1,
-            message: format!("bad rtable_id {:?}", row[rc]),
-        })?;
+        let lid: u64 = row[lc]
+            .trim()
+            .parse()
+            .map_err(|_| crate::DataError::CsvParse {
+                line: line_no + 1,
+                message: format!("bad ltable_id {:?}", row[lc]),
+            })?;
+        let rid: u64 = row[rc]
+            .trim()
+            .parse()
+            .map_err(|_| crate::DataError::CsvParse {
+                line: line_no + 1,
+                message: format!("bad rtable_id {:?}", row[rc]),
+            })?;
         let label = match row[label_c].trim() {
             "1" => Label::Match,
             "0" => Label::NonMatch,
@@ -351,14 +379,18 @@ pub fn dataset_from_magellan(
                 })
             }
         };
-        let lvals = a_records.get(&lid).ok_or_else(|| crate::DataError::CsvParse {
-            line: line_no + 1,
-            message: format!("ltable_id {lid} not in table A"),
-        })?;
-        let rvals = b_records.get(&rid).ok_or_else(|| crate::DataError::CsvParse {
-            line: line_no + 1,
-            message: format!("rtable_id {rid} not in table B"),
-        })?;
+        let lvals = a_records
+            .get(&lid)
+            .ok_or_else(|| crate::DataError::CsvParse {
+                line: line_no + 1,
+                message: format!("ltable_id {lid} not in table A"),
+            })?;
+        let rvals = b_records
+            .get(&rid)
+            .ok_or_else(|| crate::DataError::CsvParse {
+                line: line_no + 1,
+                message: format!("rtable_id {rid} not in table B"),
+            })?;
         let pair = EntityPair::new(
             Arc::clone(&schema),
             Record::new(lid, project(&a_schema, lvals)),
@@ -403,10 +435,13 @@ fn parse_record_table(
                 message: format!("expected {} fields, got {}", header.len(), row.len()),
             });
         }
-        let id: u64 = row[id_col].trim().parse().map_err(|_| crate::DataError::CsvParse {
-            line: line_no + 1,
-            message: format!("bad id {:?}", row[id_col]),
-        })?;
+        let id: u64 = row[id_col]
+            .trim()
+            .parse()
+            .map_err(|_| crate::DataError::CsvParse {
+                line: line_no + 1,
+                message: format!("bad id {:?}", row[id_col]),
+            })?;
         let values: Vec<String> = row
             .iter()
             .enumerate()
@@ -447,7 +482,10 @@ ltable_id,rtable_id,label
         let d = dataset_from_magellan("demo", TABLE_A, TABLE_B, PAIRS).unwrap();
         assert_eq!(d.len(), 4);
         assert_eq!(d.match_count(), 2);
-        assert_eq!(d.schema().names().collect::<Vec<_>>(), vec!["title", "brand", "price"]);
+        assert_eq!(
+            d.schema().names().collect::<Vec<_>>(),
+            vec!["title", "brand", "price"]
+        );
         let first = &d.examples()[0];
         assert_eq!(first.pair.left().id, 0);
         assert_eq!(first.pair.right().id, 10);

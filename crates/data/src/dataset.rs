@@ -2,9 +2,9 @@
 //! summary statistics reported in the evaluation's dataset table.
 
 use crate::schema::{EntityPair, Schema};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use em_rngs::rngs::StdRng;
+use em_rngs::seq::SliceRandom;
+use em_rngs::SeedableRng;
 use std::sync::Arc;
 
 /// Ground-truth label of a candidate pair.
@@ -78,10 +78,16 @@ impl Dataset {
     ) -> Result<Self, crate::DataError> {
         for ex in &examples {
             if ex.pair.schema() != schema.as_ref() {
-                return Err(crate::DataError::ForeignSchema { record_id: ex.pair.left().id });
+                return Err(crate::DataError::ForeignSchema {
+                    record_id: ex.pair.left().id,
+                });
             }
         }
-        Ok(Dataset { name: name.into(), schema, examples })
+        Ok(Dataset {
+            name: name.into(),
+            schema,
+            examples,
+        })
     }
 
     pub fn name(&self) -> &str {
@@ -121,7 +127,11 @@ impl Dataset {
             name: self.name.clone(),
             pairs: self.len(),
             matches,
-            match_rate: if self.is_empty() { 0.0 } else { matches as f64 / self.len() as f64 },
+            match_rate: if self.is_empty() {
+                0.0
+            } else {
+                matches as f64 / self.len() as f64
+            },
             attributes: self.schema.len(),
             avg_tokens_per_pair: if self.is_empty() {
                 0.0
@@ -136,13 +146,21 @@ impl Dataset {
     /// Fractions must be positive and sum to at most 1 (the remainder goes
     /// to test). Stratification keeps the match rate of each part close to
     /// the full dataset's.
-    pub fn split(&self, train_frac: f64, val_frac: f64, seed: u64) -> Result<Split, crate::DataError> {
+    pub fn split(
+        &self,
+        train_frac: f64,
+        val_frac: f64,
+        seed: u64,
+    ) -> Result<Split, crate::DataError> {
         if !(0.0..1.0).contains(&train_frac)
             || !(0.0..1.0).contains(&val_frac)
             || train_frac + val_frac >= 1.0
             || train_frac <= 0.0
         {
-            return Err(crate::DataError::InvalidSplit { train: train_frac, validation: val_frac });
+            return Err(crate::DataError::InvalidSplit {
+                train: train_frac,
+                validation: val_frac,
+            });
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut pos: Vec<usize> = Vec::new();
@@ -175,12 +193,10 @@ impl Dataset {
             }
         }
 
-        let take = |idx: &[usize], suffix: &str| {
-            Dataset {
-                name: format!("{}-{}", self.name, suffix),
-                schema: Arc::clone(&self.schema),
-                examples: idx.iter().map(|&i| self.examples[i].clone()).collect(),
-            }
+        let take = |idx: &[usize], suffix: &str| Dataset {
+            name: format!("{}-{}", self.name, suffix),
+            schema: Arc::clone(&self.schema),
+            examples: idx.iter().map(|&i| self.examples[i].clone()).collect(),
         };
         Ok(Split {
             train: take(&train_idx, "train"),
@@ -208,7 +224,10 @@ impl Dataset {
         pos.shuffle(&mut rng);
         neg.shuffle(&mut rng);
         let n_pos = ((n as f64) * (pos.len() as f64 / self.len() as f64)).round() as usize;
-        let n_pos = n_pos.min(pos.len()).max(if pos.is_empty() { 0 } else { 1 }).min(n);
+        let n_pos = n_pos
+            .min(pos.len())
+            .max(if pos.is_empty() { 0 } else { 1 })
+            .min(n);
         let n_neg = n - n_pos;
         let mut chosen: Vec<usize> = pos.into_iter().take(n_pos).collect();
         chosen.extend(neg.into_iter().take(n_neg));
@@ -216,7 +235,10 @@ impl Dataset {
         Dataset {
             name: format!("{}-sample{}", self.name, n),
             schema: Arc::clone(&self.schema),
-            examples: chosen.into_iter().map(|i| self.examples[i].clone()).collect(),
+            examples: chosen
+                .into_iter()
+                .map(|i| self.examples[i].clone())
+                .collect(),
         }
     }
 
@@ -225,7 +247,12 @@ impl Dataset {
         Dataset {
             name: self.name.clone(),
             schema: Arc::clone(&self.schema),
-            examples: self.examples.iter().filter(|e| e.label == label).cloned().collect(),
+            examples: self
+                .examples
+                .iter()
+                .filter(|e| e.label == label)
+                .cloned()
+                .collect(),
         }
     }
 }
@@ -242,7 +269,10 @@ mod tests {
             let l = Record::new(i as u64 * 2, vec![format!("item {i} alpha beta")]);
             let r = Record::new(i as u64 * 2 + 1, vec![format!("item {i} alpha")]);
             let pair = EntityPair::new(Arc::clone(&schema), l, r).unwrap();
-            examples.push(LabeledPair { pair, label: Label::from_bool(i < n_pos) });
+            examples.push(LabeledPair {
+                pair,
+                label: Label::from_bool(i < n_pos),
+            });
         }
         Dataset::new("toy", schema, examples).unwrap()
     }
@@ -262,7 +292,10 @@ mod tests {
     fn split_partitions_every_example() {
         let d = make_dataset(20, 80);
         let split = d.split(0.7, 0.15, 42).unwrap();
-        assert_eq!(split.train.len() + split.validation.len() + split.test.len(), 100);
+        assert_eq!(
+            split.train.len() + split.validation.len() + split.test.len(),
+            100
+        );
         assert!(split.train.len() >= 65 && split.train.len() <= 75);
     }
 
@@ -280,7 +313,12 @@ mod tests {
         let d = make_dataset(10, 30);
         let a = d.split(0.5, 0.2, 7).unwrap();
         let b = d.split(0.5, 0.2, 7).unwrap();
-        let ids = |ds: &Dataset| ds.examples().iter().map(|e| e.pair.left().id).collect::<Vec<_>>();
+        let ids = |ds: &Dataset| {
+            ds.examples()
+                .iter()
+                .map(|e| e.pair.left().id)
+                .collect::<Vec<_>>()
+        };
         assert_eq!(ids(&a.train), ids(&b.train));
         assert_eq!(ids(&a.test), ids(&b.test));
     }
@@ -323,7 +361,14 @@ mod tests {
         let l = Record::new(0, vec!["x".into()]);
         let r = Record::new(1, vec!["y".into()]);
         let pair = EntityPair::new(schema_b, l, r).unwrap();
-        let res = Dataset::new("bad", schema_a, vec![LabeledPair { pair, label: Label::Match }]);
+        let res = Dataset::new(
+            "bad",
+            schema_a,
+            vec![LabeledPair {
+                pair,
+                label: Label::Match,
+            }],
+        );
         assert!(matches!(res, Err(crate::DataError::ForeignSchema { .. })));
     }
 

@@ -36,7 +36,11 @@ pub use tokens::{TokenizedPair, WordUnit};
 #[derive(Debug, Clone, PartialEq)]
 pub enum DataError {
     /// Record value count does not match the schema.
-    SchemaMismatch { record_id: u64, expected: usize, got: usize },
+    SchemaMismatch {
+        record_id: u64,
+        expected: usize,
+        got: usize,
+    },
     /// A pair built over a different schema was added to a dataset.
     ForeignSchema { record_id: u64 },
     /// Split fractions were invalid.
@@ -50,18 +54,27 @@ pub enum DataError {
 impl std::fmt::Display for DataError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DataError::SchemaMismatch { record_id, expected, got } => write!(
+            DataError::SchemaMismatch {
+                record_id,
+                expected,
+                got,
+            } => write!(
                 f,
                 "record {record_id}: expected {expected} attribute values, got {got}"
             ),
             DataError::ForeignSchema { record_id } => {
-                write!(f, "pair with left record {record_id} uses a different schema")
+                write!(
+                    f,
+                    "pair with left record {record_id} uses a different schema"
+                )
             }
             DataError::InvalidSplit { train, validation } => write!(
                 f,
                 "invalid split fractions train={train} validation={validation}"
             ),
-            DataError::CsvParse { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            DataError::CsvParse { line, message } => {
+                write!(f, "CSV error at line {line}: {message}")
+            }
             DataError::InvalidBlocking { message } => write!(f, "invalid blocking: {message}"),
         }
     }
@@ -72,7 +85,7 @@ impl std::error::Error for DataError {}
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use propcheck::prelude::*;
     use std::sync::Arc;
 
     fn value() -> impl Strategy<Value = String> {
@@ -101,7 +114,7 @@ mod proptests {
         }
 
         #[test]
-        fn csv_round_trip_any_field(fields in proptest::collection::vec("[ -~]{0,15}", 1..5)) {
+        fn csv_round_trip_any_field(fields in propcheck::collection::vec("[ -~]{0,15}", 1..5)) {
             let rows = vec![fields];
             let text = csv::write_csv(&rows);
             let parsed = csv::parse_csv(&text).unwrap();

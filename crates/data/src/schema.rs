@@ -22,7 +22,10 @@ impl Schema {
     /// generators or dataset loaders, so this is a programming error.
     pub fn new<S: Into<String>>(attributes: Vec<S>) -> Self {
         let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
-        assert!(!attributes.is_empty(), "schema must have at least one attribute");
+        assert!(
+            !attributes.is_empty(),
+            "schema must have at least one attribute"
+        );
         for (i, a) in attributes.iter().enumerate() {
             assert!(
                 !attributes[..i].contains(a),
@@ -169,7 +172,11 @@ impl EntityPair {
                 got: right.len(),
             });
         }
-        Ok(EntityPair { schema, left, right })
+        Ok(EntityPair {
+            schema,
+            left,
+            right,
+        })
     }
 
     pub fn schema(&self) -> &Schema {
@@ -249,7 +256,10 @@ mod tests {
         assert_eq!(s.name(1), "brand");
         assert_eq!(s.index_of("price"), Some(2));
         assert_eq!(s.index_of("missing"), None);
-        assert_eq!(s.names().collect::<Vec<_>>(), vec!["title", "brand", "price"]);
+        assert_eq!(
+            s.names().collect::<Vec<_>>(),
+            vec!["title", "brand", "price"]
+        );
     }
 
     #[test]
@@ -277,7 +287,10 @@ mod tests {
         let bad = Record::new(2, vec!["a".into()]);
         assert!(EntityPair::new(Arc::clone(&s), ok.clone(), ok.clone()).is_ok());
         let err = EntityPair::new(s, ok, bad).unwrap_err();
-        assert!(matches!(err, crate::DataError::SchemaMismatch { record_id: 2, .. }));
+        assert!(matches!(
+            err,
+            crate::DataError::SchemaMismatch { record_id: 2, .. }
+        ));
     }
 
     #[test]

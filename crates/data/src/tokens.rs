@@ -19,7 +19,12 @@ pub struct WordUnit {
 impl WordUnit {
     /// Compact display form `L.title:sony`.
     pub fn label(&self, schema: &crate::schema::Schema) -> String {
-        format!("{}.{}:{}", self.side.tag(), schema.name(self.attribute), self.text)
+        format!(
+            "{}.{}:{}",
+            self.side.tag(),
+            schema.name(self.attribute),
+            self.text
+        )
     }
 }
 
@@ -38,9 +43,16 @@ impl TokenizedPair {
         for side in [Side::Left, Side::Right] {
             let record = pair.record(side);
             for attr in 0..pair.schema().len() {
-                for (position, text) in em_text::tokenize(record.value(attr)).into_iter().enumerate()
+                for (position, text) in em_text::tokenize(record.value(attr))
+                    .into_iter()
+                    .enumerate()
                 {
-                    words.push(WordUnit { text, side, attribute: attr, position });
+                    words.push(WordUnit {
+                        text,
+                        side,
+                        attribute: attr,
+                        position,
+                    });
                 }
             }
         }
@@ -94,7 +106,11 @@ impl TokenizedPair {
     /// # Panics
     /// Panics if `mask.len() != self.len()`.
     pub fn apply_mask(&self, mask: &[bool]) -> EntityPair {
-        assert_eq!(mask.len(), self.words.len(), "mask length must equal word count");
+        assert_eq!(
+            mask.len(),
+            self.words.len(),
+            "mask length must equal word count"
+        );
         let schema = self.pair.schema_arc();
         let mut pair = self.pair.clone();
         for side in [Side::Left, Side::Right] {
@@ -226,15 +242,10 @@ mod tests {
     fn injections_append_to_cells() {
         let tp = TokenizedPair::new(pair());
         let mask = vec![true; tp.len()];
-        let rebuilt = tp.apply_mask_with_injections(
-            &mask,
-            &[(Side::Right, 1, "sony".to_string())],
-        );
+        let rebuilt = tp.apply_mask_with_injections(&mask, &[(Side::Right, 1, "sony".to_string())]);
         assert_eq!(rebuilt.right().value(1), "sony");
-        let rebuilt2 = tp.apply_mask_with_injections(
-            &mask,
-            &[(Side::Left, 0, "extra".to_string())],
-        );
+        let rebuilt2 =
+            tp.apply_mask_with_injections(&mask, &[(Side::Left, 0, "extra".to_string())]);
         assert_eq!(rebuilt2.left().value(0), "sony bravia tv extra");
     }
 

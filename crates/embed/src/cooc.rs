@@ -32,7 +32,11 @@ pub struct CoocOptions {
 
 impl Default for CoocOptions {
     fn default() -> Self {
-        CoocOptions { window: 4, distance_weighting: true, min_count: 1 }
+        CoocOptions {
+            window: 4,
+            distance_weighting: true,
+            min_count: 1,
+        }
     }
 }
 
@@ -92,7 +96,12 @@ impl Cooccurrence {
             }
         }
         row_sums.resize(vocab.len(), 0.0);
-        Cooccurrence { vocab, counts, total, row_sums }
+        Cooccurrence {
+            vocab,
+            counts,
+            total,
+            row_sums,
+        }
     }
 
     pub fn vocab(&self) -> &Vocabulary {
@@ -175,7 +184,11 @@ mod tests {
 
     #[test]
     fn window_limits_pairs() {
-        let opts = CoocOptions { window: 1, distance_weighting: false, min_count: 1 };
+        let opts = CoocOptions {
+            window: 1,
+            distance_weighting: false,
+            min_count: 1,
+        };
         let c = build(&["a b c d"], opts);
         let a = c.vocab().get("a").unwrap();
         let b = c.vocab().get("b").unwrap();
@@ -186,7 +199,11 @@ mod tests {
 
     #[test]
     fn distance_weighting_decays() {
-        let opts = CoocOptions { window: 3, distance_weighting: true, min_count: 1 };
+        let opts = CoocOptions {
+            window: 3,
+            distance_weighting: true,
+            min_count: 1,
+        };
         let c = build(&["a b c"], opts);
         let a = c.vocab().get("a").unwrap();
         let b = c.vocab().get("b").unwrap();
@@ -197,7 +214,11 @@ mod tests {
 
     #[test]
     fn min_count_filters_rare_tokens() {
-        let opts = CoocOptions { window: 2, distance_weighting: false, min_count: 2 };
+        let opts = CoocOptions {
+            window: 2,
+            distance_weighting: false,
+            min_count: 2,
+        };
         let c = build(&["common rare1 common", "common rare2"], opts);
         assert!(c.vocab().get("common").is_some());
         assert!(c.vocab().get("rare1").is_none());
@@ -216,8 +237,19 @@ mod tests {
     fn ppmi_positive_for_associated_pairs() {
         // "sony" always next to "tv", "lg" always next to "monitor".
         let c = build(
-            &["sony tv", "sony tv", "lg monitor", "lg monitor", "sony tv", "lg monitor"],
-            CoocOptions { window: 1, distance_weighting: false, min_count: 1 },
+            &[
+                "sony tv",
+                "sony tv",
+                "lg monitor",
+                "lg monitor",
+                "sony tv",
+                "lg monitor",
+            ],
+            CoocOptions {
+                window: 1,
+                distance_weighting: false,
+                min_count: 1,
+            },
         );
         let sony = c.vocab().get("sony").unwrap();
         let tv = c.vocab().get("tv").unwrap();

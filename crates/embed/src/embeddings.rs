@@ -59,8 +59,15 @@ impl WordEmbeddings {
         if n >= 2 {
             let ppmi = cooc.ppmi_matrix(opts.smoothing);
             let k = opts.dimensions.min(n);
-            let svd = randomized_svd(&ppmi, k, SvdOptions { seed: opts.seed, ..Default::default() })
-                .map_err(crate::EmbedError::Linalg)?;
+            let svd = randomized_svd(
+                &ppmi,
+                k,
+                SvdOptions {
+                    seed: opts.seed,
+                    ..Default::default()
+                },
+            )
+            .map_err(crate::EmbedError::Linalg)?;
             let kk = svd.sigma.len();
             for (id, word, _) in cooc.vocab().iter() {
                 let mut v = Vec::with_capacity(kk);
@@ -76,7 +83,10 @@ impl WordEmbeddings {
                 by_word.insert(word.to_string(), trigram_vector(word, opts.dimensions));
             }
         }
-        Ok(WordEmbeddings { dims: opts.dimensions, by_word })
+        Ok(WordEmbeddings {
+            dims: opts.dimensions,
+            by_word,
+        })
     }
 
     /// Train on the textual corpus of an `em_data::Dataset`: each record's
@@ -234,7 +244,10 @@ mod tests {
         let c = corpus();
         WordEmbeddings::train(
             c.iter().map(|v| v.as_slice()),
-            EmbeddingOptions { dimensions: 16, ..Default::default() },
+            EmbeddingOptions {
+                dimensions: 16,
+                ..Default::default()
+            },
         )
         .unwrap()
     }
@@ -309,7 +322,10 @@ mod tests {
         let c: Vec<Vec<String>> = vec![em_text::tokenize("solo")];
         let e = WordEmbeddings::train(
             c.iter().map(|v| v.as_slice()),
-            EmbeddingOptions { dimensions: 8, ..Default::default() },
+            EmbeddingOptions {
+                dimensions: 8,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(e.contains("solo"));
@@ -321,7 +337,10 @@ mod tests {
         let c = corpus();
         let err = WordEmbeddings::train(
             c.iter().map(|v| v.as_slice()),
-            EmbeddingOptions { dimensions: 0, ..Default::default() },
+            EmbeddingOptions {
+                dimensions: 0,
+                ..Default::default()
+            },
         );
         assert!(err.is_err());
     }
@@ -329,8 +348,10 @@ mod tests {
     #[test]
     fn distance_matrix_is_symmetric_zero_diagonal() {
         let e = train();
-        let words: Vec<String> =
-            ["sony", "tv", "black", "sony"].iter().map(|s| s.to_string()).collect();
+        let words: Vec<String> = ["sony", "tv", "black", "sony"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let d = semantic_distance_matrix(&e, &words);
         assert_eq!(d.rows(), 4);
         for i in 0..4 {

@@ -30,14 +30,22 @@ pub fn from_text(text: &str) -> Result<WordEmbeddings, crate::EmbedError> {
         message: "missing header".to_string(),
     })?;
     let mut parts = header.split_whitespace();
-    let rows: usize = parts
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or(crate::EmbedError::ParseError { line: 1, message: "bad row count".to_string() })?;
-    let dims: usize = parts
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or(crate::EmbedError::ParseError { line: 1, message: "bad dims".to_string() })?;
+    let rows: usize =
+        parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(crate::EmbedError::ParseError {
+                line: 1,
+                message: "bad row count".to_string(),
+            })?;
+    let dims: usize =
+        parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(crate::EmbedError::ParseError {
+                line: 1,
+                message: "bad dims".to_string(),
+            })?;
     if dims == 0 {
         return Err(crate::EmbedError::InvalidDimensions(0));
     }
@@ -88,7 +96,10 @@ mod tests {
             .collect();
         WordEmbeddings::train(
             corpus.iter().map(|v| v.as_slice()),
-            EmbeddingOptions { dimensions: 6, ..Default::default() },
+            EmbeddingOptions {
+                dimensions: 6,
+                ..Default::default()
+            },
         )
         .unwrap()
     }

@@ -30,10 +30,8 @@ pub mod embeddings;
 pub mod io;
 
 pub use cooc::{CoocOptions, Cooccurrence};
+pub use embeddings::{semantic_distance_matrix, trigram_vector, EmbeddingOptions, WordEmbeddings};
 pub use io::{from_text, to_text};
-pub use embeddings::{
-    semantic_distance_matrix, trigram_vector, EmbeddingOptions, WordEmbeddings,
-};
 
 /// Errors from embedding training.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,7 +68,7 @@ impl std::error::Error for EmbedError {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use propcheck::prelude::*;
 
     proptest! {
         #[test]

@@ -9,9 +9,9 @@ use em_matchers::{
     TrainOptions,
 };
 use em_synth::{generate, Family, GeneratorConfig};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Which matcher family to train.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,7 +24,12 @@ pub enum MatcherKind {
 
 impl MatcherKind {
     pub fn all() -> [MatcherKind; 4] {
-        [MatcherKind::Logistic, MatcherKind::Mlp, MatcherKind::Attention, MatcherKind::Rules]
+        [
+            MatcherKind::Logistic,
+            MatcherKind::Mlp,
+            MatcherKind::Attention,
+            MatcherKind::Rules,
+        ]
     }
 
     pub fn label(self) -> &'static str {
@@ -50,10 +55,7 @@ pub struct EvalContext {
 impl EvalContext {
     /// Prepare a context for one family: generate data, split 70/15/15,
     /// train embeddings on the training corpus.
-    pub fn prepare(
-        family: Family,
-        config: GeneratorConfig,
-    ) -> Result<Self, crate::EvalError> {
+    pub fn prepare(family: Family, config: GeneratorConfig) -> Result<Self, crate::EvalError> {
         let dataset = generate(family, config)?;
         let split = dataset.split(0.7, 0.15, config.seed)?;
         let embeddings = Arc::new(WordEmbeddings::train_on_dataset(
@@ -81,41 +83,67 @@ impl EvalContext {
             Family::Electronics => 0.10,
             Family::Scholar => 0.16,
         };
-        EvalContext::prepare(family, GeneratorConfig { match_rate, seed, ..Default::default() })
+        EvalContext::prepare(
+            family,
+            GeneratorConfig {
+                match_rate,
+                seed,
+                ..Default::default()
+            },
+        )
     }
 
     /// Train (or fetch from cache) a matcher of the requested kind.
     pub fn matcher(&self, kind: MatcherKind) -> Result<Arc<dyn Matcher>, crate::EvalError> {
-        if let Some(m) = self.zoo.lock().get(&kind) {
+        if let Some(m) = self
+            .zoo
+            .lock()
+            .expect("matcher zoo lock poisoned")
+            .get(&kind)
+        {
             return Ok(Arc::clone(m));
         }
         let trained: Arc<dyn Matcher> = match kind {
             MatcherKind::Logistic => Arc::new(LogisticMatcher::fit(
                 &self.split.train,
                 &self.split.validation,
-                TrainOptions { seed: self.seed, ..Default::default() },
+                TrainOptions {
+                    seed: self.seed,
+                    ..Default::default()
+                },
             )?),
             MatcherKind::Mlp => Arc::new(MlpMatcher::fit(
                 &self.split.train,
                 &self.split.validation,
-                TrainOptions { seed: self.seed, ..Default::default() },
+                TrainOptions {
+                    seed: self.seed,
+                    ..Default::default()
+                },
             )?),
             MatcherKind::Attention => Arc::new(AttentionMatcher::fit(
                 &self.split.train,
                 &self.split.validation,
-                AttentionOptions { seed: self.seed, ..Default::default() },
+                AttentionOptions {
+                    seed: self.seed,
+                    ..Default::default()
+                },
             )?),
-            MatcherKind::Rules => {
-                Arc::new(RuleMatcher::uniform(self.dataset.schema().len(), 0.5)?)
-            }
+            MatcherKind::Rules => Arc::new(RuleMatcher::uniform(self.dataset.schema().len(), 0.5)?),
         };
-        self.zoo.lock().insert(kind, Arc::clone(&trained));
+        self.zoo
+            .lock()
+            .expect("matcher zoo lock poisoned")
+            .insert(kind, Arc::clone(&trained));
         Ok(trained)
     }
 
     /// Deterministic sample of test pairs to explain (stratified).
     pub fn pairs_to_explain(&self, n: usize) -> Vec<em_data::LabeledPair> {
-        self.split.test.sample(n, self.seed ^ 0xe8).examples().to_vec()
+        self.split
+            .test
+            .sample(n, self.seed ^ 0xe8)
+            .examples()
+            .to_vec()
     }
 }
 
@@ -126,7 +154,12 @@ mod tests {
     fn small_ctx() -> EvalContext {
         EvalContext::prepare(
             Family::Beers,
-            GeneratorConfig { entities: 60, pairs: 150, match_rate: 0.3, ..Default::default() },
+            GeneratorConfig {
+                entities: 60,
+                pairs: 150,
+                match_rate: 0.3,
+                ..Default::default()
+            },
         )
         .unwrap()
     }

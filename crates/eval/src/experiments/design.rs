@@ -22,26 +22,52 @@ pub fn exp_e5(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
         ("average+cl (CREW)", CrewOptions::default()),
         (
             "single linkage",
-            CrewOptions { linkage: Linkage::Single, ..Default::default() },
+            CrewOptions {
+                linkage: Linkage::Single,
+                ..Default::default()
+            },
         ),
         (
             "complete linkage",
-            CrewOptions { linkage: Linkage::Complete, ..Default::default() },
+            CrewOptions {
+                linkage: Linkage::Complete,
+                ..Default::default()
+            },
         ),
-        ("ward linkage", CrewOptions { linkage: Linkage::Ward, ..Default::default() }),
+        (
+            "ward linkage",
+            CrewOptions {
+                linkage: Linkage::Ward,
+                ..Default::default()
+            },
+        ),
         (
             "no cannot-link",
-            CrewOptions { cannot_link_quantile: 0.0, ..Default::default() },
+            CrewOptions {
+                cannot_link_quantile: 0.0,
+                ..Default::default()
+            },
         ),
         (
             "k-medoids",
-            CrewOptions { algorithm: ClusterAlgorithm::KMedoids, ..Default::default() },
+            CrewOptions {
+                algorithm: ClusterAlgorithm::KMedoids,
+                ..Default::default()
+            },
         ),
     ];
     let mut table = Table::new(
         "E5",
         "Ablation of CREW's clustering design choices",
-        vec!["dataset", "variant", "group_r2", "silhouette", "units", "coherence", "aopc_unit@3"],
+        vec![
+            "dataset",
+            "variant",
+            "group_r2",
+            "silhouette",
+            "units",
+            "coherence",
+            "aopc_unit@3",
+        ],
     );
     // Two representative families keep the runtime in minutes.
     let families: Vec<_> = config.families.iter().copied().take(2).collect();
@@ -60,15 +86,17 @@ pub fn exp_e5(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
                 let ce = crew.explain_clusters(matcher.as_ref(), &ex.pair)?;
                 r2.push(ce.group_r2);
                 sil.push(ce.silhouette);
-                let rep = metrics::interpretability(
-                    &ce.units(),
-                    &ce.word_level.words,
-                    &ctx.embeddings,
-                )?;
+                let rep =
+                    metrics::interpretability(&ce.units(), &ce.word_level.words, &ctx.embeddings)?;
                 units_n.push(rep.unit_count as f64);
                 coh.push(rep.semantic_coherence);
                 let tokenized = em_data::TokenizedPair::new(ex.pair.clone());
-                aopc.push(metrics::aopc_units(matcher.as_ref(), &tokenized, &ce.units(), 3)?);
+                aopc.push(metrics::aopc_units(
+                    matcher.as_ref(),
+                    &tokenized,
+                    &ce.units(),
+                    3,
+                )?);
             }
             let mean = em_linalg::stats::mean;
             table.push_row(vec![
@@ -92,7 +120,13 @@ pub fn exp_e6(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     let mut table = Table::new(
         "E6",
         "Inter-explainer agreement (mean Spearman over explained pairs)",
-        vec!["dataset", "explainer_a", "explainer_b", "mean_spearman", "mean_jaccard@5"],
+        vec![
+            "dataset",
+            "explainer_a",
+            "explainer_b",
+            "mean_spearman",
+            "mean_jaccard@5",
+        ],
     );
     let families: Vec<_> = config.families.iter().copied().take(2).collect();
     for family in families {

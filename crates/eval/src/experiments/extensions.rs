@@ -29,7 +29,13 @@ pub fn exp_e1(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     let mut table = Table::new(
         "E1",
         "Counterfactuals from CREW clusters (flip rate within 3 removals, mean cost)",
-        vec!["dataset", "flip@3", "mean_cost", "mean_robustness", "mean_prob_swing"],
+        vec![
+            "dataset",
+            "flip@3",
+            "mean_cost",
+            "mean_robustness",
+            "mean_prob_swing",
+        ],
     );
     for &family in &config.families {
         let ctx = EvalContext::prepare(family, config.generator(family))?;
@@ -75,15 +81,20 @@ pub fn exp_e2(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     let mut table = Table::new(
         "E2",
         "Global CREW explanations: attribute importance per dataset",
-        vec!["dataset", "attribute", "mean_abs_mass", "top_cluster_share", "rank"],
+        vec![
+            "dataset",
+            "attribute",
+            "mean_abs_mass",
+            "top_cluster_share",
+            "rank",
+        ],
     );
     for &family in &config.families {
         let ctx = EvalContext::prepare(family, config.generator(family))?;
         let matcher = ctx.matcher(config.matcher)?;
         let crew = build_crew(&ctx, config.budget(), CrewOptions::default());
         let sample = ctx.split.test.sample(config.explain_pairs, ctx.seed ^ 0x91);
-        let global =
-            explain_dataset(&crew, matcher.as_ref(), &sample, config.explain_pairs, 2)?;
+        let global = explain_dataset(&crew, matcher.as_ref(), &sample, config.explain_pairs, 2)?;
         for (rank, attr) in global.attributes.iter().enumerate() {
             table.push_row(vec![
                 ctx.dataset.name().into(),
@@ -103,7 +114,14 @@ pub fn exp_e3(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     let mut table = Table::new(
         "E3",
         "CREW across model families (model-agnosticity)",
-        vec!["dataset", "model", "model_f1", "aopc_unit@3", "units", "group_r2"],
+        vec![
+            "dataset",
+            "model",
+            "model_f1",
+            "aopc_unit@3",
+            "units",
+            "group_r2",
+        ],
     );
     let families: Vec<_> = config.families.iter().copied().take(2).collect();
     for family in families {
@@ -113,9 +131,8 @@ pub fn exp_e3(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
         for kind in MatcherKind::all() {
             models.push((kind.label().to_string(), ctx.matcher(kind)?));
         }
-        let mut ensemble = EnsembleMatcher::uniform(
-            models.iter().map(|(_, m)| Arc::clone(m)).collect(),
-        )?;
+        let mut ensemble =
+            EnsembleMatcher::uniform(models.iter().map(|(_, m)| Arc::clone(m)).collect())?;
         ensemble.calibrate(&ctx.split.validation);
         models.push(("ensemble".to_string(), Arc::new(ensemble)));
 
@@ -159,7 +176,14 @@ pub fn exp_e4(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     let mut table = Table::new(
         "E4",
         "Significance of CREW's unit-level fidelity advantage (paired per pair)",
-        vec!["dataset", "baseline", "mean_diff", "ci95_lo", "ci95_hi", "sign_p"],
+        vec![
+            "dataset",
+            "baseline",
+            "mean_diff",
+            "ci95_lo",
+            "ci95_hi",
+            "sign_p",
+        ],
     );
     for &family in &config.families {
         let ctx = EvalContext::prepare(family, config.generator(family))?;
@@ -171,10 +195,14 @@ pub fn exp_e4(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
         for kind in ExplainerKind::all() {
             let mut v = Vec::with_capacity(pairs.len());
             for ex in &pairs {
-                let out =
-                    explain_pair(kind, &ctx, config.budget(), matcher.as_ref(), &ex.pair)?;
+                let out = explain_pair(kind, &ctx, config.budget(), matcher.as_ref(), &ex.pair)?;
                 let tokenized = TokenizedPair::new(ex.pair.clone());
-                v.push(metrics::aopc_units(matcher.as_ref(), &tokenized, &out.units, 3)?);
+                v.push(metrics::aopc_units(
+                    matcher.as_ref(),
+                    &tokenized,
+                    &out.units,
+                    3,
+                )?);
             }
             scores.insert(kind, v);
         }
@@ -184,8 +212,7 @@ pub fn exp_e4(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
                 continue;
             }
             let base = &scores[&kind];
-            let diffs: Vec<f64> =
-                crew_scores.iter().zip(base).map(|(c, b)| c - b).collect();
+            let diffs: Vec<f64> = crew_scores.iter().zip(base).map(|(c, b)| c - b).collect();
             let (lo, hi) = em_linalg::stats::paired_bootstrap_ci(
                 &crew_scores,
                 base,
@@ -216,7 +243,14 @@ pub fn exp_e7(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     let mut table = Table::new(
         "E7",
         "Matcher calibration and CREW fidelity (raw vs Platt-scaled)",
-        vec!["dataset", "model", "ece_raw", "ece_platt", "crew_aopc_raw", "crew_aopc_platt"],
+        vec![
+            "dataset",
+            "model",
+            "ece_raw",
+            "ece_platt",
+            "crew_aopc_raw",
+            "crew_aopc_platt",
+        ],
     );
     let families: Vec<_> = config.families.iter().copied().take(2).collect();
     for family in families {
@@ -229,8 +263,7 @@ pub fn exp_e7(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
             )?;
             let ece_raw =
                 em_matchers::expected_calibration_error(raw.as_ref(), &ctx.split.test, 10)?;
-            let ece_platt =
-                em_matchers::expected_calibration_error(&platt, &ctx.split.test, 10)?;
+            let ece_platt = em_matchers::expected_calibration_error(&platt, &ctx.split.test, 10)?;
             let pairs = ctx.pairs_to_explain(config.explain_pairs);
             let crew = build_crew(&ctx, config.budget(), CrewOptions::default());
             let mut aopc_raw = Vec::new();
@@ -238,7 +271,12 @@ pub fn exp_e7(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
             for ex in &pairs {
                 let tokenized = em_data::TokenizedPair::new(ex.pair.clone());
                 let ce = crew.explain_clusters(raw.as_ref(), &ex.pair)?;
-                aopc_raw.push(metrics::aopc_units(raw.as_ref(), &tokenized, &ce.units(), 3)?);
+                aopc_raw.push(metrics::aopc_units(
+                    raw.as_ref(),
+                    &tokenized,
+                    &ce.units(),
+                    3,
+                )?);
                 let ce2 = crew.explain_clusters(&platt, &ex.pair)?;
                 aopc_platt.push(metrics::aopc_units(&platt, &tokenized, &ce2.units(), 3)?);
             }

@@ -27,15 +27,10 @@ pub fn exp_f1(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
             // drops[f] accumulates base - p(after removing top f).
             let mut drops = vec![0.0f64; fractions.len()];
             for ex in &pairs {
-                let out =
-                    explain_pair(kind, &ctx, config.budget(), matcher.as_ref(), &ex.pair)?;
+                let out = explain_pair(kind, &ctx, config.budget(), matcher.as_ref(), &ex.pair)?;
                 let tokenized = TokenizedPair::new(ex.pair.clone());
-                let curve = metrics::deletion_curve(
-                    matcher.as_ref(),
-                    &tokenized,
-                    &out.units,
-                    &fractions,
-                )?;
+                let curve =
+                    metrics::deletion_curve(matcher.as_ref(), &tokenized, &out.units, &fractions)?;
                 let base = curve[0].1;
                 for (d, &(_, p)) in drops.iter_mut().zip(&curve) {
                     *d += base - p;
@@ -60,7 +55,13 @@ pub fn exp_f2(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     let mut table = Table::new(
         "F2",
         "CREW fidelity and silhouette vs cluster count K",
-        vec!["dataset", "k", "mean_group_r2", "mean_silhouette", "mean_selected_k"],
+        vec![
+            "dataset",
+            "k",
+            "mean_group_r2",
+            "mean_silhouette",
+            "mean_selected_k",
+        ],
     );
     for &family in &config.families {
         let ctx = EvalContext::prepare(family, config.generator(family))?;
@@ -76,7 +77,10 @@ pub fn exp_f2(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
                 r2_by_k[k].push(r2);
                 sil_by_k[k].push(sil);
             }
-            selected.push(crew.explain_clusters(matcher.as_ref(), &ex.pair)?.selected_k as f64);
+            selected.push(
+                crew.explain_clusters(matcher.as_ref(), &ex.pair)?
+                    .selected_k as f64,
+            );
         }
         let mean_selected = em_linalg::stats::mean(&selected);
         for k in 1..=k_max {
@@ -107,7 +111,10 @@ pub fn exp_f3(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     );
     // A context is still needed for embeddings/support sets; use products
     // (the scaling pairs are product-shaped).
-    let ctx = EvalContext::prepare(em_synth::Family::Products, config.generator(em_synth::Family::Products))?;
+    let ctx = EvalContext::prepare(
+        em_synth::Family::Products,
+        config.generator(em_synth::Family::Products),
+    )?;
     let matcher = ctx.matcher(config.matcher)?;
     for &target in &sizes {
         if target > 40 && config.samples < 64 {
@@ -164,12 +171,10 @@ pub fn exp_f4(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
                         };
                         if kind == ExplainerKind::Crew {
                             let crew = build_crew(&ctx, budget, CrewOptions::default());
-                            views.push(flatten(
-                                &crew.explain_clusters(matcher.as_ref(), &ex.pair)?,
-                            ));
+                            views
+                                .push(flatten(&crew.explain_clusters(matcher.as_ref(), &ex.pair)?));
                         } else {
-                            let out =
-                                explain_pair(kind, &ctx, budget, matcher.as_ref(), &ex.pair)?;
+                            let out = explain_pair(kind, &ctx, budget, matcher.as_ref(), &ex.pair)?;
                             views.push(out.word_level);
                         }
                     }
@@ -206,6 +211,10 @@ mod tests {
     fn f2_sweeps_k() {
         let cfg = ExperimentConfig::smoke();
         let t = exp_f2(&cfg).unwrap();
-        assert!(t.rows.len() >= 5, "expected a K sweep, got {} rows", t.rows.len());
+        assert!(
+            t.rows.len() >= 5,
+            "expected a K sweep, got {} rows",
+            t.rows.len()
+        );
     }
 }

@@ -55,7 +55,10 @@ impl ExperimentConfig {
     /// The default configuration over all seven families (five core +
     /// electronics + scholar).
     pub fn extended() -> Self {
-        ExperimentConfig { families: Family::all_extended().to_vec(), ..Default::default() }
+        ExperimentConfig {
+            families: Family::all_extended().to_vec(),
+            ..Default::default()
+        }
     }
 
     /// A drastically reduced configuration for unit/integration tests.

@@ -13,7 +13,14 @@ pub fn exp_t1(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     let mut table = Table::new(
         "T1",
         "Synthetic benchmark statistics (ER-Magellan shaped)",
-        vec!["dataset", "pairs", "matches", "match_rate", "attributes", "avg_tokens/pair"],
+        vec![
+            "dataset",
+            "pairs",
+            "matches",
+            "match_rate",
+            "attributes",
+            "avg_tokens/pair",
+        ],
     );
     for &family in &config.families {
         let dataset = em_synth::generate(family, config.generator(family))?;
@@ -92,8 +99,7 @@ pub(crate) fn headline_metrics(
             let mut comp = Vec::new();
             let mut secs = Vec::new();
             for ex in &pairs {
-                let out =
-                    explain_pair(kind, &ctx, config.budget(), matcher.as_ref(), &ex.pair)?;
+                let out = explain_pair(kind, &ctx, config.budget(), matcher.as_ref(), &ex.pair)?;
                 let tokenized = TokenizedPair::new(ex.pair.clone());
                 aopc.push(metrics::aopc_deletion(
                     matcher.as_ref(),
@@ -101,19 +107,26 @@ pub(crate) fn headline_metrics(
                     &out.units,
                     &fractions,
                 )?);
-                aopc_u.push(metrics::aopc_units(matcher.as_ref(), &tokenized, &out.units, 3)?);
+                aopc_u.push(metrics::aopc_units(
+                    matcher.as_ref(),
+                    &tokenized,
+                    &out.units,
+                    3,
+                )?);
                 flips.push(f64::from(metrics::decision_flip(
                     matcher.as_ref(),
                     &tokenized,
                     &out.units,
                 )?));
-                suff.push(metrics::sufficiency(matcher.as_ref(), &tokenized, &out.units, 0.3)?);
-                r2.push(out.word_level.surrogate_r2);
-                let rep = metrics::interpretability(
+                suff.push(metrics::sufficiency(
+                    matcher.as_ref(),
+                    &tokenized,
                     &out.units,
-                    &out.word_level.words,
-                    &ctx.embeddings,
-                )?;
+                    0.3,
+                )?);
+                r2.push(out.word_level.surrogate_r2);
+                let rep =
+                    metrics::interpretability(&out.units, &out.word_level.words, &ctx.embeddings)?;
                 units_n.push(rep.unit_count as f64);
                 coh.push(rep.semantic_coherence);
                 pur.push(rep.attribute_purity);
@@ -147,8 +160,14 @@ pub fn exp_t3(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
         "T3",
         "Fidelity to the model (higher is better)",
         vec![
-            "dataset", "explainer", "aopc_del", "aopc_unit@3", "flip_rate", "sufficiency",
-            "surrogate_r2", "secs/pair",
+            "dataset",
+            "explainer",
+            "aopc_del",
+            "aopc_unit@3",
+            "flip_rate",
+            "sufficiency",
+            "surrogate_r2",
+            "secs/pair",
         ],
     );
     for row in headline_metrics(config)? {
@@ -172,7 +191,14 @@ pub fn exp_t4(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     let mut table = Table::new(
         "T4",
         "Interpretability proxies (fewer/more-coherent units are better)",
-        vec!["dataset", "explainer", "units", "coherence", "attr_purity", "compression"],
+        vec![
+            "dataset",
+            "explainer",
+            "units",
+            "coherence",
+            "attr_purity",
+            "compression",
+        ],
     );
     for row in headline_metrics(config)? {
         table.push_row(vec![
@@ -193,15 +219,44 @@ pub fn exp_t5(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
         ("semantic-only", KnowledgeWeights::only_semantic()),
         ("attribute-only", KnowledgeWeights::only_attribute()),
         ("importance-only", KnowledgeWeights::only_importance()),
-        ("sem+attr", KnowledgeWeights { semantic: 1.0, attribute: 1.0, importance: 0.0 }),
-        ("sem+imp", KnowledgeWeights { semantic: 1.0, attribute: 0.0, importance: 1.0 }),
-        ("attr+imp", KnowledgeWeights { semantic: 0.0, attribute: 1.0, importance: 1.0 }),
+        (
+            "sem+attr",
+            KnowledgeWeights {
+                semantic: 1.0,
+                attribute: 1.0,
+                importance: 0.0,
+            },
+        ),
+        (
+            "sem+imp",
+            KnowledgeWeights {
+                semantic: 1.0,
+                attribute: 0.0,
+                importance: 1.0,
+            },
+        ),
+        (
+            "attr+imp",
+            KnowledgeWeights {
+                semantic: 0.0,
+                attribute: 1.0,
+                importance: 1.0,
+            },
+        ),
         ("all (CREW)", KnowledgeWeights::default()),
     ];
     let mut table = Table::new(
         "T5",
         "Ablation of CREW's knowledge sources",
-        vec!["dataset", "variant", "group_r2", "silhouette", "units", "coherence", "attr_purity"],
+        vec![
+            "dataset",
+            "variant",
+            "group_r2",
+            "silhouette",
+            "units",
+            "coherence",
+            "attr_purity",
+        ],
     );
     for &family in &config.families {
         let ctx = EvalContext::prepare(family, config.generator(family))?;
@@ -211,7 +266,10 @@ pub fn exp_t5(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
             let crew = build_crew(
                 &ctx,
                 config.budget(),
-                CrewOptions { knowledge: *weights, ..Default::default() },
+                CrewOptions {
+                    knowledge: *weights,
+                    ..Default::default()
+                },
             );
             let mut r2 = Vec::new();
             let mut sil = Vec::new();
@@ -222,11 +280,8 @@ pub fn exp_t5(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
                 let ce = crew.explain_clusters(matcher.as_ref(), &ex.pair)?;
                 r2.push(ce.group_r2);
                 sil.push(ce.silhouette);
-                let rep = metrics::interpretability(
-                    &ce.units(),
-                    &ce.word_level.words,
-                    &ctx.embeddings,
-                )?;
+                let rep =
+                    metrics::interpretability(&ce.units(), &ce.word_level.words, &ctx.embeddings)?;
                 units_n.push(rep.unit_count as f64);
                 coh.push(rep.semantic_coherence);
                 pur.push(rep.attribute_purity);
@@ -252,7 +307,14 @@ pub fn exp_t6(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     let mut table = Table::new(
         "T6",
         "CREW sensitivity to the perturbation budget",
-        vec!["dataset", "samples", "aopc_del", "group_r2", "stability@10", "secs/pair"],
+        vec![
+            "dataset",
+            "samples",
+            "aopc_del",
+            "group_r2",
+            "stability@10",
+            "secs/pair",
+        ],
     );
     let fractions = metrics::standard_fractions();
     for &family in &config.families {

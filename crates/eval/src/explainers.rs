@@ -9,8 +9,8 @@ use crew_core::{
     Crew, CrewOptions, Explainer, ExplanationUnit, MaskStrategy, PerturbOptions, WordExplanation,
 };
 use em_baselines::{
-    Certa, CertaOptions, Landmark, LandmarkOptions, Lemon, LemonOptions, Lime, LimeOptions,
-    Mojito, MojitoOptions, Wym, WymOptions,
+    Certa, CertaOptions, Landmark, LandmarkOptions, Lemon, LemonOptions, Lime, LimeOptions, Mojito,
+    MojitoOptions, Wym, WymOptions,
 };
 use em_data::EntityPair;
 use em_matchers::Matcher;
@@ -83,7 +83,11 @@ pub struct ExplainBudget {
 
 impl Default for ExplainBudget {
     fn default() -> Self {
-        ExplainBudget { samples: 256, seed: 0xeb, threads: 4 }
+        ExplainBudget {
+            samples: 256,
+            seed: 0xeb,
+            threads: 4,
+        }
     }
 }
 
@@ -132,7 +136,10 @@ pub fn build_explainer(
         ExplainerKind::Certa => Box::new(Certa::from_dataset(
             &ctx.split.train,
             32,
-            CertaOptions { seed: budget.seed, ..Default::default() },
+            CertaOptions {
+                seed: budget.seed,
+                ..Default::default()
+            },
         )?),
         ExplainerKind::Wym => Box::new(Wym::new(WymOptions {
             samples: budget.samples,
@@ -213,7 +220,12 @@ mod tests {
     fn ctx() -> EvalContext {
         EvalContext::prepare(
             Family::Restaurants,
-            GeneratorConfig { entities: 60, pairs: 150, match_rate: 0.3, ..Default::default() },
+            GeneratorConfig {
+                entities: 60,
+                pairs: 150,
+                match_rate: 0.3,
+                ..Default::default()
+            },
         )
         .unwrap()
     }
@@ -223,7 +235,11 @@ mod tests {
         let ctx = ctx();
         let matcher = ctx.matcher(MatcherKind::Rules).unwrap();
         let pair = &ctx.pairs_to_explain(1)[0].pair;
-        let budget = ExplainBudget { samples: 64, seed: 3, threads: 1 };
+        let budget = ExplainBudget {
+            samples: 64,
+            seed: 3,
+            threads: 1,
+        };
         for kind in ExplainerKind::all() {
             let out = explain_pair(kind, &ctx, budget, matcher.as_ref(), pair)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", kind.label()));
@@ -241,14 +257,30 @@ mod tests {
     fn crew_units_are_fewer_than_lime_units_on_average() {
         let ctx = ctx();
         let matcher = ctx.matcher(MatcherKind::Rules).unwrap();
-        let budget = ExplainBudget { samples: 128, seed: 5, threads: 1 };
+        let budget = ExplainBudget {
+            samples: 128,
+            seed: 5,
+            threads: 1,
+        };
         let mut crew_units = 0usize;
         let mut lime_units = 0usize;
         for ex in ctx.pairs_to_explain(5) {
-            let c = explain_pair(ExplainerKind::Crew, &ctx, budget, matcher.as_ref(), &ex.pair)
-                .unwrap();
-            let l = explain_pair(ExplainerKind::Lime, &ctx, budget, matcher.as_ref(), &ex.pair)
-                .unwrap();
+            let c = explain_pair(
+                ExplainerKind::Crew,
+                &ctx,
+                budget,
+                matcher.as_ref(),
+                &ex.pair,
+            )
+            .unwrap();
+            let l = explain_pair(
+                ExplainerKind::Lime,
+                &ctx,
+                budget,
+                matcher.as_ref(),
+                &ex.pair,
+            )
+            .unwrap();
             crew_units += c.units.len();
             lime_units += l.units.len();
         }

@@ -77,7 +77,11 @@ impl Table {
     /// Panics if the row width differs from the header — experiment runners
     /// construct rows statically, so this is a programming error.
     pub fn push_row(&mut self, row: Vec<Cell>) {
-        assert_eq!(row.len(), self.columns.len(), "row width must match columns");
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
         self.rows.push(row);
     }
 

@@ -57,15 +57,23 @@ impl std::fmt::Display for LinalgError {
                 write!(f, "expected a square matrix, got {rows}x{cols}")
             }
             LinalgError::NotPositiveDefinite { pivot, value } => {
-                write!(f, "matrix is not positive definite (pivot {pivot} = {value})")
+                write!(
+                    f,
+                    "matrix is not positive definite (pivot {pivot} = {value})"
+                )
             }
             LinalgError::DimensionMismatch { expected, got } => {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
             LinalgError::InvalidWeights => {
-                write!(f, "sample weights must be non-negative, finite and not all zero")
+                write!(
+                    f,
+                    "sample weights must be non-negative, finite and not all zero"
+                )
             }
-            LinalgError::InvalidLambda(l) => write!(f, "ridge penalty must be non-negative, got {l}"),
+            LinalgError::InvalidLambda(l) => {
+                write!(f, "ridge penalty must be non-negative, got {l}")
+            }
             LinalgError::EmptyMatrix => write!(f, "operation requires a non-empty matrix"),
             LinalgError::InvalidRank(k) => write!(f, "invalid SVD rank {k}"),
         }
@@ -77,10 +85,10 @@ impl std::error::Error for LinalgError {}
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use propcheck::prelude::*;
 
     fn small_vec() -> impl Strategy<Value = Vec<f64>> {
-        proptest::collection::vec(-100.0f64..100.0, 2..20)
+        propcheck::collection::vec(-100.0f64..100.0, 2..20)
     }
 
     proptest! {
@@ -109,8 +117,8 @@ mod proptests {
 
         #[test]
         fn ridge_fit_is_finite(rows in 3usize..12, cols in 1usize..4, seed in 0u64..1000) {
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            use em_rngs::{Rng, SeedableRng};
+            let mut rng = em_rngs::rngs::StdRng::seed_from_u64(seed);
             let x = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0));
             let y: Vec<f64> = (0..rows).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let fit = ridge(&x, &y, 0.01).unwrap();
@@ -121,8 +129,8 @@ mod proptests {
 
         #[test]
         fn solve_spd_inverts_gram_systems(n in 1usize..6, seed in 0u64..500) {
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            use em_rngs::{Rng, SeedableRng};
+            let mut rng = em_rngs::rngs::StdRng::seed_from_u64(seed);
             let m = Matrix::from_fn(n + 2, n, |_, _| rng.gen_range(-1.0..1.0));
             let mut a = m.gram();
             for i in 0..n { a[(i, i)] += 1.0; } // ensure SPD

@@ -98,12 +98,17 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_input() {
-        let a = Matrix::from_fn(5, 3, |i, j| ((i * 3 + j) as f64 * 0.7).sin() + 0.1 * i as f64);
+        let a = Matrix::from_fn(5, 3, |i, j| {
+            ((i * 3 + j) as f64 * 0.7).sin() + 0.1 * i as f64
+        });
         let Qr { q, r } = qr(&a);
         let recon = q.matmul(&r);
         for i in 0..5 {
             for j in 0..3 {
-                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-10, "mismatch at {i},{j}");
+                assert!(
+                    (recon[(i, j)] - a[(i, j)]).abs() < 1e-10,
+                    "mismatch at {i},{j}"
+                );
             }
         }
     }

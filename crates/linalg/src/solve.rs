@@ -13,7 +13,10 @@ use crate::LinalgError;
 pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let mut l = Matrix::zeros(n, n);
     for i in 0..n {
@@ -24,7 +27,10 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
             }
             if i == j {
                 if sum <= 0.0 || !sum.is_finite() {
-                    return Err(LinalgError::NotPositiveDefinite { pivot: i, value: sum });
+                    return Err(LinalgError::NotPositiveDefinite {
+                        pivot: i,
+                        value: sum,
+                    });
                 }
                 l[(i, j)] = sum.sqrt();
             } else {
@@ -40,7 +46,10 @@ pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let l = cholesky(a)?;
     let n = a.rows();
     if b.len() != n {
-        return Err(LinalgError::DimensionMismatch { expected: n, got: b.len() });
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            got: b.len(),
+        });
     }
     // Forward substitution: L y = b
     let mut y = vec![0.0; n];
@@ -95,10 +104,16 @@ pub fn ridge_regression(
     let n = x.rows();
     let p = x.cols();
     if y.len() != n {
-        return Err(LinalgError::DimensionMismatch { expected: n, got: y.len() });
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            got: y.len(),
+        });
     }
     if weights.len() != n {
-        return Err(LinalgError::DimensionMismatch { expected: n, got: weights.len() });
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            got: weights.len(),
+        });
     }
     if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
         return Err(LinalgError::InvalidWeights);
@@ -152,7 +167,11 @@ pub fn ridge_regression(
         (1.0 - ss_res / ss_tot).clamp(-1.0, 1.0)
     };
 
-    Ok(RidgeFit { coefficients: beta, intercept, r_squared })
+    Ok(RidgeFit {
+        coefficients: beta,
+        intercept,
+        r_squared,
+    })
 }
 
 /// Ordinary (unweighted) ridge regression.
@@ -189,7 +208,10 @@ mod tests {
     #[test]
     fn cholesky_rejects_indefinite() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
-        assert!(matches!(cholesky(&a), Err(LinalgError::NotPositiveDefinite { .. })));
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
     }
 
     #[test]
@@ -200,7 +222,11 @@ mod tests {
 
     #[test]
     fn solve_spd_recovers_solution() {
-        let a = Matrix::from_rows(&[vec![4.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 2.0]]);
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
         let x_true = vec![1.0, -2.0, 3.0];
         let b = a.matvec(&x_true);
         let x = solve_spd(&a, &b).unwrap();
@@ -219,7 +245,9 @@ mod tests {
             vec![1.0, 1.0],
             vec![2.0, 1.0],
         ]);
-        let y: Vec<f64> = (0..5).map(|i| 2.0 * x[(i, 0)] - 3.0 * x[(i, 1)] + 5.0).collect();
+        let y: Vec<f64> = (0..5)
+            .map(|i| 2.0 * x[(i, 0)] - 3.0 * x[(i, 1)] + 5.0)
+            .collect();
         let fit = ridge(&x, &y, 1e-9).unwrap();
         assert!(approx(fit.coefficients[0], 2.0, 1e-5));
         assert!(approx(fit.coefficients[1], -3.0, 1e-5));
@@ -282,7 +310,11 @@ mod tests {
 
     #[test]
     fn ridge_prediction_matches_manual() {
-        let fit = RidgeFit { coefficients: vec![2.0, -1.0], intercept: 0.5, r_squared: 1.0 };
+        let fit = RidgeFit {
+            coefficients: vec![2.0, -1.0],
+            intercept: 0.5,
+            r_squared: 1.0,
+        };
         assert!(approx(fit.predict(&[1.0, 3.0]), -0.5, 1e-12));
     }
 }

@@ -223,9 +223,9 @@ pub fn paired_bootstrap_ci(
     assert_eq!(a.len(), b.len(), "paired_bootstrap_ci: length mismatch");
     assert!(!a.is_empty(), "paired_bootstrap_ci: empty input");
     assert!((0.0..1.0).contains(&confidence) && confidence > 0.0);
-    use rand::{Rng, SeedableRng};
+    use em_rngs::{Rng, SeedableRng};
     let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = em_rngs::rngs::StdRng::seed_from_u64(seed);
     let mut means = Vec::with_capacity(resamples);
     for _ in 0..resamples.max(1) {
         let mut sum = 0.0;
@@ -235,7 +235,10 @@ pub fn paired_bootstrap_ci(
         means.push(sum / diffs.len() as f64);
     }
     let alpha = (1.0 - confidence) / 2.0;
-    (percentile(&means, alpha * 100.0), percentile(&means, (1.0 - alpha) * 100.0))
+    (
+        percentile(&means, alpha * 100.0),
+        percentile(&means, (1.0 - alpha) * 100.0),
+    )
 }
 
 /// Logistic sigmoid.
@@ -367,7 +370,10 @@ mod tests {
         let b: Vec<f64> = (0..40).map(|i| 0.5 + 0.01 * i as f64).collect();
         let (lo, hi) = paired_bootstrap_ci(&a, &b, 0.95, 500, 7);
         assert!(lo <= 0.5 && 0.5 <= hi, "CI [{lo}, {hi}] must contain 0.5");
-        assert!(lo > 0.4 && hi < 0.6, "CI [{lo}, {hi}] too wide for zero-variance diffs");
+        assert!(
+            lo > 0.4 && hi < 0.6,
+            "CI [{lo}, {hi}] too wide for zero-variance diffs"
+        );
     }
 
     #[test]

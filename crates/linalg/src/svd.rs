@@ -4,8 +4,8 @@
 use crate::matrix::Matrix;
 use crate::qr::orthonormalize;
 use crate::LinalgError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use em_rngs::rngs::StdRng;
+use em_rngs::{Rng, SeedableRng};
 
 /// Truncated singular value decomposition `A ≈ U Σ V^T`.
 #[derive(Debug, Clone)]
@@ -31,7 +31,11 @@ pub struct SvdOptions {
 
 impl Default for SvdOptions {
     fn default() -> Self {
-        SvdOptions { oversample: 8, power_iterations: 2, seed: 0x5eed_cafe }
+        SvdOptions {
+            oversample: 8,
+            power_iterations: 2,
+            seed: 0x5eed_cafe,
+        }
     }
 }
 
@@ -191,8 +195,7 @@ mod tests {
         // [[2,1],[1,2]] has eigenvalues 3 and 1.
         let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
         let (eig, vecs) = symmetric_eigen(&a, 100, 1e-14);
-        let mut pairs: Vec<(f64, Vec<f64>)> =
-            (0..2).map(|j| (eig[j], vecs.col(j))).collect();
+        let mut pairs: Vec<(f64, Vec<f64>)> = (0..2).map(|j| (eig[j], vecs.col(j))).collect();
         pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
         assert!((pairs[0].0 - 3.0).abs() < 1e-10);
         assert!((pairs[1].0 - 1.0).abs() < 1e-10);

@@ -13,9 +13,9 @@ use crate::matcher::{best_f1_threshold, Matcher};
 use em_data::{Dataset, EntityPair, Side};
 use em_embed::{EmbeddingOptions, WordEmbeddings};
 use em_linalg::stats::{sigmoid, softmax};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use em_rngs::rngs::StdRng;
+use em_rngs::seq::SliceRandom;
+use em_rngs::SeedableRng;
 
 /// Options for the attention matcher.
 #[derive(Debug, Clone, Copy)]
@@ -103,7 +103,11 @@ impl AttentionMatcher {
             for &i in &order {
                 let z = em_linalg::dot(&w, &x[i]) + b;
                 let pred = sigmoid(z);
-                let weight = if y[i] > 0.5 { opts.positive_weight } else { 1.0 };
+                let weight = if y[i] > 0.5 {
+                    opts.positive_weight
+                } else {
+                    1.0
+                };
                 let err = weight * (pred - y[i]);
                 for (wj, &xj) in w.iter_mut().zip(&x[i]) {
                     *wj -= opts.learning_rate * (err * xj + opts.l2 * *wj);
@@ -124,7 +128,10 @@ impl AttentionMatcher {
         }
         let (_, w, b) = best;
         let (cx, cy) = if vx.is_empty() { (&x, &y) } else { (&vx, &vy) };
-        let scores: Vec<f64> = cx.iter().map(|f| sigmoid(em_linalg::dot(&w, f) + b)).collect();
+        let scores: Vec<f64> = cx
+            .iter()
+            .map(|f| sigmoid(em_linalg::dot(&w, f) + b))
+            .collect();
         let labels: Vec<bool> = cy.iter().map(|&v| v > 0.5).collect();
         let threshold = best_f1_threshold(&scores, &labels);
         Ok(AttentionMatcher {
@@ -205,7 +212,10 @@ fn direction_stats(queries: &[Vec<f64>], keys: &[Vec<f64>], temperature: f64) ->
     let mut sum = 0.0;
     let mut max = f64::NEG_INFINITY;
     for q in queries {
-        let sims: Vec<f64> = keys.iter().map(|k| em_linalg::cosine(q, k) * temperature).collect();
+        let sims: Vec<f64> = keys
+            .iter()
+            .map(|k| em_linalg::cosine(q, k) * temperature)
+            .collect();
         let attn = softmax(&sims);
         // Attention-weighted context vector.
         let mut ctx = vec![0.0; q.len()];
@@ -281,7 +291,10 @@ mod tests {
         let mut maimed = ex.pair.clone();
         maimed.record_mut(Side::Left).set_value(0, rest.join(" "));
         let after = m.predict_proba(&maimed);
-        assert_ne!(before, after, "token-level perturbation must change the score");
+        assert_ne!(
+            before, after,
+            "token-level perturbation must change the score"
+        );
     }
 
     #[test]

@@ -34,8 +34,11 @@ impl<M: Matcher> CalibratedMatcher<M> {
         if calibration.is_empty() {
             return Err(crate::MatcherError::EmptyTrainingSet);
         }
-        let scores: Vec<f64> =
-            calibration.examples().iter().map(|ex| logit(inner.predict_proba(&ex.pair))).collect();
+        let scores: Vec<f64> = calibration
+            .examples()
+            .iter()
+            .map(|ex| logit(inner.predict_proba(&ex.pair)))
+            .collect();
         let n_pos = calibration.match_count() as f64;
         let n_neg = calibration.len() as f64 - n_pos;
         // Platt's smoothed targets.
@@ -66,11 +69,20 @@ impl<M: Matcher> CalibratedMatcher<M> {
 
         // Re-derive the decision threshold on calibrated scores.
         let cal_scores: Vec<f64> = scores.iter().map(|&s| sigmoid(a * s + b)).collect();
-        let labels: Vec<bool> =
-            calibration.examples().iter().map(|ex| ex.label.is_match()).collect();
+        let labels: Vec<bool> = calibration
+            .examples()
+            .iter()
+            .map(|ex| ex.label.is_match())
+            .collect();
         let threshold = best_f1_threshold(&cal_scores, &labels);
         let name = format!("calibrated({})", inner.name());
-        Ok(CalibratedMatcher { inner, a, b, threshold, name })
+        Ok(CalibratedMatcher {
+            inner,
+            a,
+            b,
+            threshold,
+            name,
+        })
     }
 
     /// Fitted Platt parameters `(a, b)`.
@@ -171,7 +183,10 @@ mod tests {
                 Record::new(i as u64 * 2 + 1, vec![right]),
             )
             .unwrap();
-            examples.push(LabeledPair { pair, label: Label::from_bool(is_match) });
+            examples.push(LabeledPair {
+                pair,
+                label: Label::from_bool(is_match),
+            });
         }
         Dataset::new("cal", schema, examples).unwrap()
     }
@@ -212,7 +227,10 @@ mod tests {
         let split = data.split(0.5, 0.25, 2).unwrap();
         let calibrated = CalibratedMatcher::fit(Squashed, &split.train).unwrap();
         let report = crate::matcher::evaluate(&calibrated, &split.test);
-        assert!(report.f1 > 0.9, "calibrated matcher lost accuracy: {report:?}");
+        assert!(
+            report.f1 > 0.9,
+            "calibrated matcher lost accuracy: {report:?}"
+        );
         assert_eq!(calibrated.name(), "calibrated(squashed)");
     }
 

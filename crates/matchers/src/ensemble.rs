@@ -28,9 +28,17 @@ impl EnsembleMatcher {
         }
         let name = format!(
             "ensemble({})",
-            members.iter().map(|(m, _)| m.name()).collect::<Vec<_>>().join("+")
+            members
+                .iter()
+                .map(|(m, _)| m.name())
+                .collect::<Vec<_>>()
+                .join("+")
         );
-        Ok(EnsembleMatcher { members, threshold: 0.5, name })
+        Ok(EnsembleMatcher {
+            members,
+            threshold: 0.5,
+            name,
+        })
     }
 
     /// Uniform-weight ensemble.
@@ -43,10 +51,16 @@ impl EnsembleMatcher {
         if validation.is_empty() {
             return;
         }
-        let scores: Vec<f64> =
-            validation.examples().iter().map(|ex| self.predict_proba(&ex.pair)).collect();
-        let labels: Vec<bool> =
-            validation.examples().iter().map(|ex| ex.label.is_match()).collect();
+        let scores: Vec<f64> = validation
+            .examples()
+            .iter()
+            .map(|ex| self.predict_proba(&ex.pair))
+            .collect();
+        let labels: Vec<bool> = validation
+            .examples()
+            .iter()
+            .map(|ex| ex.label.is_match())
+            .collect();
         self.threshold = best_f1_threshold(&scores, &labels);
     }
 
@@ -67,8 +81,11 @@ impl Matcher for EnsembleMatcher {
 
     fn predict_proba(&self, pair: &EntityPair) -> f64 {
         let weight_sum: f64 = self.members.iter().map(|(_, w)| w).sum();
-        let score: f64 =
-            self.members.iter().map(|(m, w)| w * m.predict_proba(pair)).sum();
+        let score: f64 = self
+            .members
+            .iter()
+            .map(|(m, w)| w * m.predict_proba(pair))
+            .sum();
         score / weight_sum
     }
 
@@ -105,11 +122,8 @@ mod tests {
 
     #[test]
     fn uniform_ensemble_averages() {
-        let e = EnsembleMatcher::uniform(vec![
-            Arc::new(Constant(0.2)),
-            Arc::new(Constant(0.8)),
-        ])
-        .unwrap();
+        let e = EnsembleMatcher::uniform(vec![Arc::new(Constant(0.2)), Arc::new(Constant(0.8))])
+            .unwrap();
         assert!((e.predict_proba(&pair()) - 0.5).abs() < 1e-12);
         assert_eq!(e.len(), 2);
     }
@@ -127,11 +141,9 @@ mod tests {
     #[test]
     fn invalid_construction_rejected() {
         assert!(EnsembleMatcher::uniform(vec![]).is_err());
-        assert!(EnsembleMatcher::new(vec![(
-            Arc::new(Constant(0.5)) as Arc<dyn Matcher>,
-            0.0
-        )])
-        .is_err());
+        assert!(
+            EnsembleMatcher::new(vec![(Arc::new(Constant(0.5)) as Arc<dyn Matcher>, 0.0)]).is_err()
+        );
         assert!(EnsembleMatcher::new(vec![(
             Arc::new(Constant(0.5)) as Arc<dyn Matcher>,
             f64::NAN

@@ -48,7 +48,11 @@ impl FeatureExtractor {
     /// fitted one; in release the extra/missing attributes are truncated or
     /// zero-filled (defensive for perturbed pairs, which keep the schema).
     pub fn extract(&self, pair: &EntityPair) -> Vec<f64> {
-        debug_assert_eq!(pair.schema().len(), self.n_attributes, "schema size changed");
+        debug_assert_eq!(
+            pair.schema().len(),
+            self.n_attributes,
+            "schema size changed"
+        );
         let mut out = Vec::with_capacity(self.dimensions());
         for attr in 0..self.n_attributes.min(pair.schema().len()) {
             let l = pair.left().value(attr);
@@ -69,7 +73,11 @@ impl FeatureExtractor {
 
     /// Extract features for every pair of a dataset along with labels.
     pub fn extract_dataset(&self, data: &Dataset) -> (em_linalg::Matrix, Vec<f64>) {
-        let rows: Vec<Vec<f64>> = data.examples().iter().map(|ex| self.extract(&ex.pair)).collect();
+        let rows: Vec<Vec<f64>> = data
+            .examples()
+            .iter()
+            .map(|ex| self.extract(&ex.pair))
+            .collect();
         let y: Vec<f64> = data.examples().iter().map(|ex| ex.label.as_f64()).collect();
         (em_linalg::Matrix::from_rows(&rows), y)
     }
@@ -93,7 +101,11 @@ fn push_attribute_features(out: &mut Vec<f64>, l: &str, r: &str) {
     }
     out.push(em_text::jaccard(&lt, &rt));
     out.push(em_text::monge_elkan_sym(&lt, &rt));
-    out.push(em_text::qgram_jaccard(&l.to_lowercase(), &r.to_lowercase(), 3));
+    out.push(em_text::qgram_jaccard(
+        &l.to_lowercase(),
+        &r.to_lowercase(),
+        3,
+    ));
     out.push(em_text::numeric_or_string_similarity(l, r));
     out.push(0.0);
     out.push(0.0);
@@ -134,7 +146,10 @@ mod tests {
     #[test]
     fn dimensions_match_schema() {
         let fe = FeatureExtractor::fit(&dataset());
-        assert_eq!(fe.dimensions(), 2 * PER_ATTRIBUTE_FEATURES + GLOBAL_FEATURES);
+        assert_eq!(
+            fe.dimensions(),
+            2 * PER_ATTRIBUTE_FEATURES + GLOBAL_FEATURES
+        );
     }
 
     #[test]
@@ -198,7 +213,9 @@ mod tests {
         let pair = &d.examples()[0].pair;
         let full = fe.extract(pair);
         let mut perturbed = pair.clone();
-        perturbed.record_mut(em_data::Side::Left).set_value(0, "tv 55".into());
+        perturbed
+            .record_mut(em_data::Side::Left)
+            .set_value(0, "tv 55".into());
         let dropped = fe.extract(&perturbed);
         assert_ne!(full, dropped);
     }

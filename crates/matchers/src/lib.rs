@@ -56,7 +56,9 @@ impl std::fmt::Display for MatcherError {
         match self {
             MatcherError::EmptyTrainingSet => write!(f, "training set is empty"),
             MatcherError::NoRules => write!(f, "rule matcher needs at least one rule"),
-            MatcherError::InvalidRuleWeight => write!(f, "rule weights must be positive and finite"),
+            MatcherError::InvalidRuleWeight => {
+                write!(f, "rule weights must be positive and finite")
+            }
             MatcherError::InvalidThreshold(t) => write!(f, "threshold must be in [0,1], got {t}"),
             MatcherError::Embedding(e) => write!(f, "embedding training failed: {e}"),
         }

@@ -4,9 +4,9 @@ use crate::features::FeatureExtractor;
 use crate::matcher::{best_f1_threshold, Matcher};
 use em_data::{Dataset, EntityPair};
 use em_linalg::stats::sigmoid;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use em_rngs::rngs::StdRng;
+use em_rngs::seq::SliceRandom;
+use em_rngs::SeedableRng;
 
 /// Training hyper-parameters shared by the gradient-trained matchers.
 #[derive(Debug, Clone, Copy)]
@@ -79,7 +79,11 @@ impl LogisticMatcher {
                     let row = x.row(i);
                     let z = em_linalg::dot(&w, row) + b;
                     let pred = sigmoid(z);
-                    let weight = if y[i] > 0.5 { opts.positive_weight } else { 1.0 };
+                    let weight = if y[i] > 0.5 {
+                        opts.positive_weight
+                    } else {
+                        1.0
+                    };
                     let err = weight * (pred - y[i]);
                     for (g, &xi) in grad_w.iter_mut().zip(row) {
                         *g += err * xi;
@@ -97,7 +101,11 @@ impl LogisticMatcher {
             }
             // Early stopping on validation F1 (falls back to train if the
             // validation set is empty).
-            let (ex, ey) = if val_x.rows() > 0 { (&val_x, &val_y) } else { (&x, &y) };
+            let (ex, ey) = if val_x.rows() > 0 {
+                (&val_x, &val_y)
+            } else {
+                (&x, &y)
+            };
             let f1 = f1_of_linear(&w, b, ex, ey);
             if f1 > best.0 + 1e-9 {
                 best = (f1, w.clone(), b);
@@ -112,13 +120,23 @@ impl LogisticMatcher {
         let (_, w, b) = best;
 
         // Calibrate the threshold on validation scores.
-        let (cal_x, cal_y) = if val_x.rows() > 0 { (&val_x, &val_y) } else { (&x, &y) };
-        let scores: Vec<f64> =
-            (0..cal_x.rows()).map(|i| sigmoid(em_linalg::dot(&w, cal_x.row(i)) + b)).collect();
+        let (cal_x, cal_y) = if val_x.rows() > 0 {
+            (&val_x, &val_y)
+        } else {
+            (&x, &y)
+        };
+        let scores: Vec<f64> = (0..cal_x.rows())
+            .map(|i| sigmoid(em_linalg::dot(&w, cal_x.row(i)) + b))
+            .collect();
         let labels: Vec<bool> = cal_y.iter().map(|&v| v > 0.5).collect();
         let threshold = best_f1_threshold(&scores, &labels);
 
-        Ok(LogisticMatcher { extractor, weights: w, bias: b, threshold })
+        Ok(LogisticMatcher {
+            extractor,
+            weights: w,
+            bias: b,
+            threshold,
+        })
     }
 
     /// Learned feature weights (useful for sanity checks / docs).
@@ -226,7 +244,9 @@ mod tests {
             .expect("need a confident match");
         let before = m.predict_proba(&ex.pair);
         let mut maimed = ex.pair.clone();
-        maimed.record_mut(em_data::Side::Right).set_value(0, String::new());
+        maimed
+            .record_mut(em_data::Side::Right)
+            .set_value(0, String::new());
         let after = m.predict_proba(&maimed);
         assert!(after < before, "blanking the name should lower the score");
     }

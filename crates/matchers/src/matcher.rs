@@ -57,15 +57,27 @@ pub fn evaluate(matcher: &dyn Matcher, data: &Dataset) -> EvalReport {
 }
 
 pub(crate) fn report_from_counts(tp: usize, fp: usize, fn_: usize, tn: usize) -> EvalReport {
-    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
     let total = tp + fp + fn_ + tn;
-    let accuracy = if total == 0 { 0.0 } else { (tp + tn) as f64 / total as f64 };
+    let accuracy = if total == 0 {
+        0.0
+    } else {
+        (tp + tn) as f64 / total as f64
+    };
     EvalReport {
         true_positives: tp,
         false_positives: fp,

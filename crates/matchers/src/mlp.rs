@@ -9,9 +9,9 @@ use crate::logistic::TrainOptions;
 use crate::matcher::{best_f1_threshold, Matcher};
 use em_data::{Dataset, EntityPair};
 use em_linalg::stats::sigmoid;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use em_rngs::rngs::StdRng;
+use em_rngs::seq::SliceRandom;
+use em_rngs::{Rng, SeedableRng};
 
 /// Dense layer parameters.
 #[derive(Debug, Clone)]
@@ -27,8 +27,15 @@ impl Layer {
     fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
         // Xavier-uniform init.
         let limit = (6.0 / (n_in + n_out) as f64).sqrt();
-        let w = (0..n_in * n_out).map(|_| rng.gen_range(-limit..limit)).collect();
-        Layer { w, b: vec![0.0; n_out], n_in, n_out }
+        let w = (0..n_in * n_out)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Layer {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+        }
     }
 
     fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
@@ -58,7 +65,11 @@ struct Adam {
 
 impl Adam {
     fn new(n: usize) -> Self {
-        Adam { m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+        Adam {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
     }
 
     fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64) {
@@ -137,7 +148,11 @@ impl MlpMatcher {
                     relu(&mut a2);
                     l3.forward(&a2, &mut a3);
                     let pred = sigmoid(a3[0]);
-                    let weight = if y[i] > 0.5 { opts.positive_weight } else { 1.0 };
+                    let weight = if y[i] > 0.5 {
+                        opts.positive_weight
+                    } else {
+                        1.0
+                    };
                     // dL/dz3 for BCE+sigmoid.
                     let dz3 = weight * (pred - y[i]);
 
@@ -195,7 +210,11 @@ impl MlpMatcher {
                 step_layer(&mut l3, &mut adam.2, &g3, lr, opts.l2);
             }
 
-            let (ex, ey) = if val_x.rows() > 0 { (&val_x, &val_y) } else { (&x, &y) };
+            let (ex, ey) = if val_x.rows() > 0 {
+                (&val_x, &val_y)
+            } else {
+                (&x, &y)
+            };
             let f1 = f1_of(&l1, &l2, &l3, ex, ey);
             if f1 > best.0 + 1e-9 {
                 best = (f1, l1.clone(), l2.clone(), l3.clone());
@@ -209,13 +228,24 @@ impl MlpMatcher {
         }
         let (_, l1, l2, l3) = best;
 
-        let (cal_x, cal_y) = if val_x.rows() > 0 { (&val_x, &val_y) } else { (&x, &y) };
-        let scores: Vec<f64> =
-            (0..cal_x.rows()).map(|i| forward_proba(&l1, &l2, &l3, cal_x.row(i))).collect();
+        let (cal_x, cal_y) = if val_x.rows() > 0 {
+            (&val_x, &val_y)
+        } else {
+            (&x, &y)
+        };
+        let scores: Vec<f64> = (0..cal_x.rows())
+            .map(|i| forward_proba(&l1, &l2, &l3, cal_x.row(i)))
+            .collect();
         let labels: Vec<bool> = cal_y.iter().map(|&v| v > 0.5).collect();
         let threshold = best_f1_threshold(&scores, &labels);
 
-        Ok(MlpMatcher { extractor, l1, l2, l3, threshold })
+        Ok(MlpMatcher {
+            extractor,
+            l1,
+            l2,
+            l3,
+            threshold,
+        })
     }
 }
 

@@ -31,7 +31,10 @@ impl RuleMatcher {
         if rules.is_empty() {
             return Err(crate::MatcherError::NoRules);
         }
-        if rules.iter().any(|r| r.weight <= 0.0 || !r.weight.is_finite()) {
+        if rules
+            .iter()
+            .any(|r| r.weight <= 0.0 || !r.weight.is_finite())
+        {
             return Err(crate::MatcherError::InvalidRuleWeight);
         }
         if !(0.0..=1.0).contains(&threshold) {
@@ -42,7 +45,12 @@ impl RuleMatcher {
 
     /// Uniform rules over every attribute of a schema.
     pub fn uniform(n_attributes: usize, threshold: f64) -> Result<Self, crate::MatcherError> {
-        let rules = (0..n_attributes).map(|attribute| Rule { attribute, weight: 1.0 }).collect();
+        let rules = (0..n_attributes)
+            .map(|attribute| Rule {
+                attribute,
+                weight: 1.0,
+            })
+            .collect();
         RuleMatcher::new(rules, threshold)
     }
 }
@@ -68,8 +76,7 @@ impl Matcher for RuleMatcher {
             if lt.is_empty() || rt.is_empty() {
                 continue;
             }
-            let sim =
-                0.5 * em_text::jaccard(&lt, &rt) + 0.5 * em_text::monge_elkan_sym(&lt, &rt);
+            let sim = 0.5 * em_text::jaccard(&lt, &rt) + 0.5 * em_text::monge_elkan_sym(&lt, &rt);
             score += rule.weight * sim;
             weight_sum += rule.weight;
         }
@@ -129,12 +136,34 @@ mod tests {
 
     #[test]
     fn weights_shift_the_score() {
-        let heavy_a =
-            RuleMatcher::new(vec![Rule { attribute: 0, weight: 10.0 }, Rule { attribute: 1, weight: 1.0 }], 0.5)
-                .unwrap();
-        let heavy_b =
-            RuleMatcher::new(vec![Rule { attribute: 0, weight: 1.0 }, Rule { attribute: 1, weight: 10.0 }], 0.5)
-                .unwrap();
+        let heavy_a = RuleMatcher::new(
+            vec![
+                Rule {
+                    attribute: 0,
+                    weight: 10.0,
+                },
+                Rule {
+                    attribute: 1,
+                    weight: 1.0,
+                },
+            ],
+            0.5,
+        )
+        .unwrap();
+        let heavy_b = RuleMatcher::new(
+            vec![
+                Rule {
+                    attribute: 0,
+                    weight: 1.0,
+                },
+                Rule {
+                    attribute: 1,
+                    weight: 10.0,
+                },
+            ],
+            0.5,
+        )
+        .unwrap();
         let p = pair(&["match match", "zzz"], &["match match", "qqq"]);
         assert!(heavy_a.predict_proba(&p) > heavy_b.predict_proba(&p));
     }
@@ -142,16 +171,46 @@ mod tests {
     #[test]
     fn constructor_validation() {
         assert!(RuleMatcher::new(vec![], 0.5).is_err());
-        assert!(RuleMatcher::new(vec![Rule { attribute: 0, weight: 0.0 }], 0.5).is_err());
-        assert!(RuleMatcher::new(vec![Rule { attribute: 0, weight: -1.0 }], 0.5).is_err());
-        assert!(RuleMatcher::new(vec![Rule { attribute: 0, weight: 1.0 }], 1.5).is_err());
+        assert!(RuleMatcher::new(
+            vec![Rule {
+                attribute: 0,
+                weight: 0.0
+            }],
+            0.5
+        )
+        .is_err());
+        assert!(RuleMatcher::new(
+            vec![Rule {
+                attribute: 0,
+                weight: -1.0
+            }],
+            0.5
+        )
+        .is_err());
+        assert!(RuleMatcher::new(
+            vec![Rule {
+                attribute: 0,
+                weight: 1.0
+            }],
+            1.5
+        )
+        .is_err());
         assert!(RuleMatcher::uniform(0, 0.5).is_err());
     }
 
     #[test]
     fn out_of_range_attribute_is_ignored() {
         let m = RuleMatcher::new(
-            vec![Rule { attribute: 0, weight: 1.0 }, Rule { attribute: 9, weight: 1.0 }],
+            vec![
+                Rule {
+                    attribute: 0,
+                    weight: 1.0,
+                },
+                Rule {
+                    attribute: 9,
+                    weight: 1.0,
+                },
+            ],
             0.5,
         )
         .unwrap();

@@ -33,7 +33,9 @@ pub fn relevance_ranked_units(
     v.sort_by(|a, b| {
         let ra = if toward_match { a.weight } else { -a.weight };
         let rb = if toward_match { b.weight } else { -b.weight };
-        rb.partial_cmp(&ra).unwrap().then(a.member_indices.cmp(&b.member_indices))
+        rb.partial_cmp(&ra)
+            .unwrap()
+            .then(a.member_indices.cmp(&b.member_indices))
     });
     v
 }
@@ -323,7 +325,10 @@ mod tests {
     }
 
     fn unit(indices: &[usize], weight: f64) -> ExplanationUnit {
-        ExplanationUnit { member_indices: indices.to_vec(), weight }
+        ExplanationUnit {
+            member_indices: indices.to_vec(),
+            weight,
+        }
     }
 
     #[test]

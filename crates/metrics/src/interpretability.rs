@@ -49,14 +49,20 @@ pub fn interpretability(
         }
         for &i in &u.member_indices {
             if i >= words.len() {
-                return Err(crate::MetricError::UnitIndexOutOfRange { index: i, n: words.len() });
+                return Err(crate::MetricError::UnitIndexOutOfRange {
+                    index: i,
+                    n: words.len(),
+                });
             }
             covered.insert(i);
         }
         total_size += u.member_indices.len();
         coherence_sum += crew_core::semantic_coherence(words, &u.member_indices, embeddings);
         let first_attr = words[u.member_indices[0]].attribute;
-        if u.member_indices.iter().all(|&i| words[i].attribute == first_attr) {
+        if u.member_indices
+            .iter()
+            .all(|&i| words[i].attribute == first_attr)
+        {
             pure += 1;
         }
     }
@@ -89,17 +95,25 @@ mod tests {
     }
 
     fn embeddings() -> WordEmbeddings {
-        let corpus: Vec<Vec<String>> =
-            ["sonix tv black", "sonix tv white"].iter().map(|s| em_text::tokenize(s)).collect();
+        let corpus: Vec<Vec<String>> = ["sonix tv black", "sonix tv white"]
+            .iter()
+            .map(|s| em_text::tokenize(s))
+            .collect();
         WordEmbeddings::train(
             corpus.iter().map(|v| v.as_slice()),
-            EmbeddingOptions { dimensions: 8, ..Default::default() },
+            EmbeddingOptions {
+                dimensions: 8,
+                ..Default::default()
+            },
         )
         .unwrap()
     }
 
     fn unit(indices: &[usize], weight: f64) -> ExplanationUnit {
-        ExplanationUnit { member_indices: indices.to_vec(), weight }
+        ExplanationUnit {
+            member_indices: indices.to_vec(),
+            weight,
+        }
     }
 
     #[test]

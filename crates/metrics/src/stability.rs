@@ -21,10 +21,8 @@ pub fn topk_jaccard(
     if k == 0 {
         return Err(crate::MetricError::InvalidK(k));
     }
-    let ta: std::collections::HashSet<usize> =
-        a.ranked_indices().into_iter().take(k).collect();
-    let tb: std::collections::HashSet<usize> =
-        b.ranked_indices().into_iter().take(k).collect();
+    let ta: std::collections::HashSet<usize> = a.ranked_indices().into_iter().take(k).collect();
+    let tb: std::collections::HashSet<usize> = b.ranked_indices().into_iter().take(k).collect();
     let inter = ta.intersection(&tb).count() as f64;
     let union = ta.union(&tb).count() as f64;
     Ok(if union == 0.0 { 1.0 } else { inter / union })
@@ -72,7 +70,10 @@ mod tests {
 
     fn expl(weights: Vec<f64>) -> WordExplanation {
         let schema = Arc::new(Schema::new(vec!["t"]));
-        let text = (0..weights.len()).map(|i| format!("w{i}")).collect::<Vec<_>>().join(" ");
+        let text = (0..weights.len())
+            .map(|i| format!("w{i}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         let pair = EntityPair::new(
             schema,
             Record::new(0, vec![text]),
@@ -164,7 +165,10 @@ pub fn cluster_structure_ari(
         l
     };
     em_cluster::adjusted_rand_index(&labels(a), &labels(b)).map_err(|_| {
-        crate::MetricError::ExplanationMismatch { a: n, b: b.word_level.words.len() }
+        crate::MetricError::ExplanationMismatch {
+            a: n,
+            b: b.word_level.words.len(),
+        }
     })
 }
 

@@ -1,0 +1,99 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::source::ChoiceSource;
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Element count for a generated collection.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max: usize, // inclusive
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {r:?}");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range {r:?}");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// `Vec` strategy: draws a length from `size`, then each element.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, source: &mut ChoiceSource) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min + 1) as u64;
+        let len = self.size.min + source.below(span) as usize;
+        (0..len).map(|_| self.element.generate(source)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_and_elements_respect_strategies() {
+        for seed in 0..100 {
+            let mut src = ChoiceSource::random(seed);
+            let v = vec("[a-c]{1,3}", 0..8).generate(&mut src);
+            assert!(v.len() < 8);
+            for s in &v {
+                assert!((1..=3).contains(&s.chars().count()));
+            }
+        }
+    }
+
+    #[test]
+    fn vec_of_floats_with_inclusive_size() {
+        for seed in 0..50 {
+            let mut src = ChoiceSource::random(seed);
+            let v = vec(-100.0f64..100.0, 2..=20).generate(&mut src);
+            assert!((2..=20).contains(&v.len()));
+            assert!(v.iter().all(|x| (-100.0..100.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn zero_replay_gives_minimal_vec() {
+        let mut src = ChoiceSource::replay(Vec::new());
+        let v = vec(0u64..100, 1..5).generate(&mut src);
+        assert_eq!(v, std::vec![0]);
+    }
+}

@@ -1,0 +1,153 @@
+//! # propcheck
+//!
+//! A minimal in-tree property-testing harness for the hermetic CREW
+//! build, API-compatible with the subset of `proptest` the workspace
+//! uses: the [`proptest!`] macro, `&str` regex-lite string strategies,
+//! numeric range strategies, [`collection::vec`], tuples, `prop_map`,
+//! and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! ## How it works
+//!
+//! Generation is driven by a recorded **choice stream** ([`source::ChoiceSource`]):
+//! every random decision a strategy makes is one `u64` drawn from the
+//! stream. A failing case is therefore fully described by its stream,
+//! which enables two things:
+//!
+//! 1. **Shrinking** (Hypothesis-style): the runner mutates the recorded
+//!    stream — deleting draws, zeroing blocks, and reducing individual
+//!    values — and replays generation. Because every strategy maps
+//!    smaller draws to "smaller" values (shorter strings, smaller
+//!    numbers, shorter vectors), stream-level shrinking shrinks values
+//!    through any combinator, including `prop_map`.
+//! 2. **Persisted regressions**: the shrunk stream of a failure is
+//!    appended to `propcheck-regressions/<test>.txt` in the failing
+//!    crate and replayed before new cases on every subsequent run.
+//!
+//! Case seeds derive deterministically from the test name (override
+//! with `PROPCHECK_SEED`), so CI is hermetic; `PROPCHECK_CASES`
+//! overrides the per-property case count (default 64).
+
+pub mod collection;
+pub mod pattern;
+pub mod runner;
+pub mod source;
+pub mod strategy;
+
+pub use runner::{Config, TestCaseError};
+pub use strategy::Strategy;
+
+/// Name-compatible alias for the `proptest` config type.
+pub type ProptestConfig = Config;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Config, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Fails the current property with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current property unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Fails the current property unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left != right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (not counted as a run) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a normal `#[test]` that runs the body over generated
+/// inputs, shrinking and persisting failures.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        #[test]
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::Config = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::runner::run(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+                env!("CARGO_MANIFEST_DIR"),
+                &strategy,
+                |($($arg,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}

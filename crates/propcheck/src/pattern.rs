@@ -1,0 +1,253 @@
+//! Regex-lite string patterns: the subset of regex syntax `proptest`
+//! string strategies were used with in this workspace — sequences of
+//! character classes (`[a-z0-9 .,()-]`), the any-char dot, and literal
+//! characters, each with an optional `{m}`, `{m,n}`, `?`, `*` or `+`
+//! quantifier. Unsupported syntax panics at test definition time.
+
+use crate::source::ChoiceSource;
+
+/// Alphabet for `.`: printable ASCII plus a handful of multi-byte and
+/// no-lowercase-mapping code points so Unicode edge cases stay covered.
+const ANY_EXTRA: [char; 8] = ['é', 'ß', 'Ω', 'æ', 'ñ', '中', '𝘼', '€'];
+
+/// Unbounded quantifiers (`*`, `+`) cap their repetition here.
+const UNBOUNDED_MAX: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Explicit set of candidate characters.
+    Class(Vec<char>),
+    /// `.` — anything except a newline.
+    Any,
+}
+
+#[derive(Debug, Clone)]
+struct Rep {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// A parsed pattern: a sequence of repeated atoms.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    reps: Vec<Rep>,
+}
+
+impl Pattern {
+    pub fn parse(pattern: &str) -> Pattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut reps = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"))
+                        + i;
+                    let class = parse_class(&chars[i + 1..close], pattern);
+                    i = close + 1;
+                    Atom::Class(class)
+                }
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '(' | ')' | '|' | '^' | '$' => {
+                    panic!(
+                        "unsupported regex syntax {:?} in pattern {pattern:?}",
+                        chars[i]
+                    )
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    i += 1;
+                    Atom::Class(vec![c])
+                }
+                c => {
+                    i += 1;
+                    Atom::Class(vec![c])
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+            reps.push(Rep { atom, min, max });
+        }
+        Pattern { reps }
+    }
+
+    pub fn generate(&self, source: &mut ChoiceSource) -> String {
+        let mut out = String::new();
+        for rep in &self.reps {
+            let count = rep.min + source.below((rep.max - rep.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(match &rep.atom {
+                    Atom::Class(chars) => chars[source.below(chars.len() as u64) as usize],
+                    Atom::Any => {
+                        let ascii_len = 0x7Fusize - 0x20; // ' '..='~'
+                        let idx = source.below((ascii_len + ANY_EXTRA.len()) as u64) as usize;
+                        if idx < ascii_len {
+                            (0x20u8 + idx as u8) as char
+                        } else {
+                            ANY_EXTRA[idx - ascii_len]
+                        }
+                    }
+                });
+            }
+        }
+        out
+    }
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty class in pattern {pattern:?}");
+    assert!(
+        body[0] != '^',
+        "negated classes unsupported in pattern {pattern:?}"
+    );
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // `a-z` forms a range when '-' sits between two chars; a '-' that
+        // is first or last in the class is a literal.
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {pattern:?}");
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"))
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let parse = |s: &str| -> usize {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier {body:?} in pattern {pattern:?}"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => {
+                    let (lo, hi) = (parse(lo), parse(hi));
+                    assert!(
+                        lo <= hi,
+                        "inverted quantifier {body:?} in pattern {pattern:?}"
+                    );
+                    (lo, hi)
+                }
+                None => {
+                    let n = parse(&body);
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, UNBOUNDED_MAX)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, UNBOUNDED_MAX)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &str, seed: u64) -> String {
+        Pattern::parse(pattern).generate(&mut ChoiceSource::random(seed))
+    }
+
+    #[test]
+    fn class_with_ranges_literals_and_trailing_dash() {
+        for seed in 0..100 {
+            let s = sample("[ a-zA-Z0-9,.-]{0,40}", seed);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, ' ' | ',' | '.' | '-')));
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        for seed in 0..100 {
+            let s = sample("[ -~]{0,15}", seed);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_covers_unicode_and_never_newline() {
+        let mut saw_multibyte = false;
+        for seed in 0..500 {
+            let s = sample(".{0,40}", seed);
+            assert!(!s.contains('\n'));
+            saw_multibyte |= s.chars().any(|c| c.len_utf8() > 1);
+        }
+        assert!(
+            saw_multibyte,
+            "dot alphabet never produced a multi-byte char"
+        );
+    }
+
+    #[test]
+    fn exact_and_shorthand_quantifiers() {
+        for seed in 0..30 {
+            assert_eq!(sample("[ab]{3}", seed).chars().count(), 3);
+            assert!(sample("a?", seed).chars().count() <= 1);
+            let plus = sample("[xy]+", seed);
+            assert!((1..=UNBOUNDED_MAX).contains(&plus.chars().count()));
+            assert!(sample("[xy]*", seed).chars().count() <= UNBOUNDED_MAX);
+        }
+    }
+
+    #[test]
+    fn literal_sequences_and_escapes() {
+        assert_eq!(sample("abc", 1), "abc");
+        assert_eq!(sample(r"a\.b", 1), "a.b");
+    }
+
+    #[test]
+    fn length_range_is_reachable_at_both_ends() {
+        let (mut saw_min, mut saw_max) = (false, false);
+        for seed in 0..200 {
+            let n = sample("[a-c]{1,3}", seed).chars().count();
+            assert!((1..=3).contains(&n));
+            saw_min |= n == 1;
+            saw_max |= n == 3;
+        }
+        assert!(saw_min && saw_max);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn groups_are_rejected() {
+        Pattern::parse("(ab)+");
+    }
+}

@@ -1,0 +1,100 @@
+//! The choice stream: the single source of randomness for strategies,
+//! recording every draw so failing cases can be replayed and shrunk.
+
+use em_rngs::rngs::StdRng;
+use em_rngs::{RngCore, SeedableRng};
+
+/// A recorded source of `u64` choices. In random mode draws come from a
+/// seeded [`StdRng`]; in replay mode they come from a stored stream
+/// (zero once exhausted, which biases replay toward minimal values).
+pub struct ChoiceSource {
+    rng: Option<StdRng>,
+    replay: Vec<u64>,
+    pos: usize,
+    recorded: Vec<u64>,
+}
+
+impl ChoiceSource {
+    pub fn random(seed: u64) -> Self {
+        ChoiceSource {
+            rng: Some(StdRng::seed_from_u64(seed)),
+            replay: Vec::new(),
+            pos: 0,
+            recorded: Vec::new(),
+        }
+    }
+
+    pub fn replay(stream: Vec<u64>) -> Self {
+        ChoiceSource {
+            rng: None,
+            replay: stream,
+            pos: 0,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// The draws made so far (the replayable description of this case).
+    pub fn recorded(&self) -> &[u64] {
+        &self.recorded
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let v = match &mut self.rng {
+            Some(rng) => rng.next_u64(),
+            None => self.replay.get(self.pos).copied().unwrap_or(0),
+        };
+        self.pos += 1;
+        self.recorded.push(v);
+        v
+    }
+
+    /// Uniform-ish draw in `[0, n)`, mapping draw 0 to 0 so stream
+    /// shrinking moves values toward the low end of their range. The
+    /// modulo bias is irrelevant for test-case generation and, unlike
+    /// rejection sampling, keeps replayed streams aligned.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n <= 1 {
+            // Still consume a draw so stream positions stay stable.
+            self.next_u64();
+            return 0;
+        }
+        self.next_u64() % n
+    }
+
+    /// Draw in `[0, 1)`; draw 0 maps to 0.0 (shrinks toward the bottom).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replaying_the_record_reproduces_draws() {
+        let mut a = ChoiceSource::random(7);
+        let draws: Vec<u64> = (0..10).map(|_| a.below(100)).collect();
+        let mut b = ChoiceSource::replay(a.recorded().to_vec());
+        let replayed: Vec<u64> = (0..10).map(|_| b.below(100)).collect();
+        assert_eq!(draws, replayed);
+    }
+
+    #[test]
+    fn exhausted_replay_yields_zero() {
+        let mut s = ChoiceSource::replay(vec![42]);
+        assert_eq!(s.next_u64(), 42);
+        assert_eq!(s.next_u64(), 0);
+        assert_eq!(s.below(1000), 0);
+    }
+
+    #[test]
+    fn below_handles_degenerate_spans() {
+        let mut s = ChoiceSource::random(1);
+        assert_eq!(s.below(0), 0);
+        assert_eq!(s.below(1), 0);
+        for _ in 0..100 {
+            assert!(s.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The [`Strategy`] trait and the built-in strategies: regex-lite string
+//! patterns (`&str`), numeric ranges, tuples, and `prop_map`.
+
+use crate::pattern::Pattern;
+use crate::source::ChoiceSource;
+use std::fmt::Debug;
+
+/// A generator of test values, driven entirely by a [`ChoiceSource`] so
+/// cases can be replayed and shrunk at the stream level.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, source: &mut ChoiceSource) -> Self::Value;
+
+    /// Transform generated values (shrinking passes through for free,
+    /// because shrinking operates on the underlying choice stream).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, source: &mut ChoiceSource) -> Self::Value {
+        (**self).generate(source)
+    }
+}
+
+/// `&str` regex-lite patterns, e.g. `"[a-z0-9]{0,12}"` or `".{0,40}"`.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, source: &mut ChoiceSource) -> String {
+        Pattern::parse(self).generate(source)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, source: &mut ChoiceSource) -> $t {
+                assert!(self.start < self.end, "empty strategy range {:?}", self);
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + source.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, source: &mut ChoiceSource) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range {lo}..={hi}");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + source.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, source: &mut ChoiceSource) -> $t {
+                assert!(self.start < self.end, "empty strategy range {:?}", self);
+                let v = self.start + source.unit_f64() as $t * (self.end - self.start);
+                if v < self.end { v } else { self.start }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, source: &mut ChoiceSource) -> T {
+        (self.f)(self.inner.generate(source))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, source: &mut ChoiceSource) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(source),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F2)
+);
+
+/// A strategy that always yields clones of one value.
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut ChoiceSource) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen<S: Strategy>(s: &S, seed: u64) -> S::Value {
+        s.generate(&mut ChoiceSource::random(seed))
+    }
+
+    #[test]
+    fn string_pattern_respects_class_and_length() {
+        for seed in 0..50 {
+            let s: String = gen(&"[a-c]{1,3}", seed);
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn int_and_float_ranges_stay_in_bounds() {
+        for seed in 0..50 {
+            let a = gen(&(3usize..12), seed);
+            assert!((3..12).contains(&a));
+            let b = gen(&(0u64..1000), seed);
+            assert!(b < 1000);
+            let c = gen(&(-1.0f64..1.0), seed);
+            assert!((-1.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn replay_of_zero_stream_is_minimal() {
+        let mut s = ChoiceSource::replay(Vec::new());
+        assert_eq!((3usize..12).generate(&mut s), 3);
+        assert_eq!((-1.0f64..1.0).generate(&mut s), -1.0);
+        assert_eq!("[a-z]{0,5}".generate(&mut s), "");
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strat = ("[a-b]{1,2}".prop_map(|s| s.len()), 1usize..4);
+        for seed in 0..20 {
+            let (len, n) = gen(&strat, seed);
+            assert!((1..=2).contains(&len));
+            assert!((1..4).contains(&n));
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let strat = ("[a-z0-9]{0,12}", 0.0f64..1.0);
+        assert_eq!(gen(&strat, 9).0, gen(&strat, 9).0);
+        assert_eq!(gen(&strat, 9).1, gen(&strat, 9).1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Concrete generators. [`StdRng`] is the workspace-wide deterministic
+//! generator: xoshiro256++ (Blackman & Vigna 2019) with its 256-bit state
+//! expanded from a `u64` seed by SplitMix64, as the xoshiro authors
+//! recommend. Fast (one rotate-add per output), equidistributed in every
+//! 64-bit subsequence, and with a 2^256 − 1 period — far beyond anything
+//! the perturbation sampler can exhaust.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The standard deterministic generator (xoshiro256++).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = splitmix64(&mut sm);
+        }
+        // SplitMix64 never yields four zero outputs in a row, so the
+        // all-zero fixed point of xoshiro is unreachable; guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl StdRng {
+    /// Derive an independent child generator; used to give each worker or
+    /// property-test case its own stream without correlated prefixes.
+    pub fn fork(&mut self) -> StdRng {
+        let mut seed = self.next_u64();
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = splitmix64(&mut seed);
+        }
+        StdRng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_streams_are_uncorrelated_with_parent() {
+        let mut parent = StdRng::seed_from_u64(42);
+        let mut child = parent.fork();
+        let a: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clone_replays_identically() {
+        let mut a = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            a.next_u64();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,123 @@
+//! Sequence sampling: shuffles and random selection over slices, mirroring
+//! `rand::seq::SliceRandom`.
+
+use crate::{uniform_u64, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// One uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements in selection order (all of them, in
+    /// shuffled order, when `amount >= len`).
+    fn choose_multiple<R: RngCore + ?Sized>(&self, rng: &mut R, amount: usize) -> Vec<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_u64(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_u64(rng, self.len() as u64) as usize])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(&self, rng: &mut R, amount: usize) -> Vec<&T> {
+        index::sample(rng, self.len(), amount)
+            .into_iter()
+            .map(|i| &self[i])
+            .collect()
+    }
+}
+
+/// Index-level sampling without replacement.
+pub mod index {
+    use crate::{uniform_u64, RngCore};
+
+    /// `amount` distinct indices from `0..length`, uniformly without
+    /// replacement, via a partial Fisher–Yates over the index vector.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> Vec<usize> {
+        let amount = amount.min(length);
+        let mut indices: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = i + uniform_u64(rng, (length - i) as u64) as usize;
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        indices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v: Vec<usize> = (0..20).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn shuffle_visits_all_positions() {
+        // Each element must appear at position 0 at least once over many
+        // seeds — a smoke test against off-by-one bias.
+        let mut seen = [false; 5];
+        for seed in 0..200 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v = [0usize, 1, 2, 3, 4];
+            v.shuffle(&mut rng);
+            seen[v[0]] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn choose_and_choose_multiple() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let items = [10, 20, 30, 40];
+        assert!(items.contains(items.choose(&mut rng).unwrap()));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+
+        let picked = items.choose_multiple(&mut rng, 3);
+        assert_eq!(picked.len(), 3);
+        let mut vals: Vec<i32> = picked.into_iter().copied().collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 3, "choose_multiple returned duplicates");
+        assert_eq!(items.choose_multiple(&mut rng, 9).len(), 4);
+    }
+}

@@ -3,8 +3,8 @@
 //! ER-Magellan datasets exhibit: typos, abbreviations, dropped/reordered
 //! tokens, rewritten units, missing attributes.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use em_rngs::rngs::StdRng;
+use em_rngs::Rng;
 
 /// Intensity knobs for the corruption pipeline (all probabilities in [0,1]).
 #[derive(Debug, Clone, Copy)]
@@ -108,7 +108,7 @@ pub fn abbreviate(word: &str, rng: &mut StdRng) -> String {
 /// Jitter a numeric token by up to ±15% (keeps integer-ness).
 pub fn jitter_number(word: &str, rng: &mut StdRng) -> String {
     if let Ok(n) = word.parse::<f64>() {
-        let factor = 1.0 + rng.gen_range(-0.15..0.15);
+        let factor = 1.0 + rng.gen_range(-0.15f64..0.15);
         let jittered = n * factor;
         if word.contains('.') {
             format!("{jittered:.2}")
@@ -165,7 +165,7 @@ pub fn corrupt_value(value: &str, profile: &CorruptionProfile, rng: &mut StdRng)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use em_rngs::SeedableRng;
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
@@ -251,7 +251,10 @@ mod tests {
 
     #[test]
     fn null_attribute_probability_one_always_nulls() {
-        let p = CorruptionProfile { null_attribute: 1.0, ..CorruptionProfile::mild() };
+        let p = CorruptionProfile {
+            null_attribute: 1.0,
+            ..CorruptionProfile::mild()
+        };
         let mut r = rng(7);
         assert_eq!(corrupt_value("anything here", &p, &mut r), "");
     }
@@ -275,9 +278,15 @@ mod tests {
             let orig_tokens: Vec<&str> = original.split_whitespace().collect();
             let new_tokens: Vec<&str> = c.split_whitespace().collect();
             total += orig_tokens.len();
-            kept += orig_tokens.iter().filter(|t| new_tokens.contains(t)).count();
+            kept += orig_tokens
+                .iter()
+                .filter(|t| new_tokens.contains(t))
+                .count();
         }
-        assert!(kept as f64 / total as f64 > 0.75, "mild should keep >75% tokens");
+        assert!(
+            kept as f64 / total as f64 > 0.75,
+            "mild should keep >75% tokens"
+        );
     }
 
     #[test]
@@ -288,10 +297,7 @@ mod tests {
             let mut total = 0.0;
             for _ in 0..40 {
                 let c = corrupt_value(original, p, &mut r);
-                total += em_text::jaccard(
-                    &em_text::tokenize(original),
-                    &em_text::tokenize(&c),
-                );
+                total += em_text::jaccard(&em_text::tokenize(original), &em_text::tokenize(&c));
             }
             total / 40.0
         };

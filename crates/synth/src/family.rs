@@ -9,8 +9,8 @@
 use crate::corrupt::CorruptionProfile;
 use crate::pools::*;
 use em_data::Schema;
-use rand::rngs::StdRng;
-use rand::Rng;
+use em_rngs::rngs::StdRng;
+use em_rngs::Rng;
 
 /// The benchmark family a synthetic dataset mimics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,7 +36,13 @@ pub enum Family {
 impl Family {
     /// The five core families mirrored from the ER-Magellan benchmark.
     pub fn all() -> [Family; 5] {
-        [Family::Products, Family::Citations, Family::Restaurants, Family::Songs, Family::Beers]
+        [
+            Family::Products,
+            Family::Citations,
+            Family::Restaurants,
+            Family::Songs,
+            Family::Beers,
+        ]
     }
 
     /// All seven families including the extended ones.
@@ -141,7 +147,11 @@ fn sample_product(rng: &mut StdRng) -> Vec<String> {
     let title = format!("{brand} {model} {adj} {ptype} {size} {unit}");
     let mut description = format!("{adj} {ptype} by {brand} in {color}");
     if rng.gen_bool(0.6) {
-        description.push_str(&format!(" with {} {}", rng.gen_range(2..64), pick(rng, UNITS)));
+        description.push_str(&format!(
+            " with {} {}",
+            rng.gen_range(2..64),
+            pick(rng, UNITS)
+        ));
     }
     if rng.gen_bool(0.4) {
         description.push_str(&format!(" {} edition", pick(rng, PRODUCT_ADJECTIVES)));
@@ -163,16 +173,29 @@ fn sample_citation(rng: &mut StdRng) -> Vec<String> {
     let n_authors = rng.gen_range(1..=4);
     let mut authors = Vec::with_capacity(n_authors);
     for _ in 0..n_authors {
-        authors.push(format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES)));
+        authors.push(format!(
+            "{} {}",
+            pick(rng, FIRST_NAMES),
+            pick(rng, LAST_NAMES)
+        ));
     }
     let venue = pick(rng, VENUES).to_string();
-    let year = rng.gen_range(1995..2024).to_string();
+    let year = rng.gen_range(1995i32..2024).to_string();
     vec![title, authors.join(" , "), venue, year]
 }
 
 fn sample_restaurant(rng: &mut StdRng) -> Vec<String> {
-    let name = format!("{} {} {}", pick(rng, RESTAURANT_WORDS), pick(rng, RESTAURANT_WORDS), pick(rng, RESTAURANT_NOUNS));
-    let address = format!("{} {} street", rng.gen_range(1..999), pick(rng, STREET_WORDS));
+    let name = format!(
+        "{} {} {}",
+        pick(rng, RESTAURANT_WORDS),
+        pick(rng, RESTAURANT_WORDS),
+        pick(rng, RESTAURANT_NOUNS)
+    );
+    let address = format!(
+        "{} {} street",
+        rng.gen_range(1..999),
+        pick(rng, STREET_WORDS)
+    );
     let city = pick(rng, CITIES).to_string();
     let cuisine = pick(rng, CUISINES).to_string();
     vec![name, address, city, cuisine]
@@ -181,7 +204,12 @@ fn sample_restaurant(rng: &mut StdRng) -> Vec<String> {
 fn sample_song(rng: &mut StdRng) -> Vec<String> {
     let title = format!("{} {}", pick(rng, SONG_WORDS), pick(rng, SONG_OBJECTS));
     let artist = format!("{} {}", pick(rng, ARTIST_WORDS), pick(rng, ARTIST_NOUNS));
-    let album = format!("{} {} {}", pick(rng, ARTIST_WORDS), pick(rng, SONG_OBJECTS), if rng.gen_bool(0.3) { "deluxe" } else { "lp" });
+    let album = format!(
+        "{} {} {}",
+        pick(rng, ARTIST_WORDS),
+        pick(rng, SONG_OBJECTS),
+        if rng.gen_bool(0.3) { "deluxe" } else { "lp" }
+    );
     let genre = pick(rng, GENRES).to_string();
     vec![title, artist, album, genre]
 }
@@ -204,7 +232,14 @@ fn sample_electronics(rng: &mut StdRng) -> Vec<String> {
     let category = pick(rng, PRODUCT_CATEGORIES);
     let model = format!(
         "{}{}-{}",
-        pick(rng, BRANDS).chars().next().unwrap().to_uppercase().next().unwrap().to_lowercase(),
+        pick(rng, BRANDS)
+            .chars()
+            .next()
+            .unwrap()
+            .to_uppercase()
+            .next()
+            .unwrap()
+            .to_lowercase(),
         char::from(b'a' + rng.gen_range(0..26u8)),
         rng.gen_range(100..99999)
     );
@@ -246,15 +281,18 @@ fn sample_scholar(rng: &mut StdRng) -> Vec<String> {
     } else {
         pick(rng, JOURNALS).to_string()
     };
-    let year =
-        if rng.gen_bool(0.1) { String::new() } else { rng.gen_range(1990..2024).to_string() };
+    let year = if rng.gen_bool(0.1) {
+        String::new()
+    } else {
+        rng.gen_range(1990i32..2024).to_string()
+    };
     vec![title, authors.join(" , "), venue, year]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use em_rngs::SeedableRng;
 
     #[test]
     fn every_family_samples_schema_aligned_entities() {
@@ -288,8 +326,10 @@ mod tests {
 
     #[test]
     fn dataset_names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            Family::all_extended().iter().map(|f| f.dataset_name()).collect();
+        let names: std::collections::HashSet<_> = Family::all_extended()
+            .iter()
+            .map(|f| f.dataset_name())
+            .collect();
         assert_eq!(names.len(), 7);
     }
 

@@ -5,9 +5,9 @@
 use crate::corrupt::{corrupt_value, CorruptionProfile};
 use crate::family::Family;
 use em_data::{Dataset, EntityPair, Label, LabeledPair, Record};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use em_rngs::rngs::StdRng;
+use em_rngs::seq::SliceRandom;
+use em_rngs::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -48,10 +48,16 @@ pub fn generate(family: Family, config: GeneratorConfig) -> Result<Dataset, crat
         return Err(crate::SynthError::NoPairs);
     }
     if !(0.0..=1.0).contains(&config.match_rate) {
-        return Err(crate::SynthError::InvalidRate("match_rate", config.match_rate));
+        return Err(crate::SynthError::InvalidRate(
+            "match_rate",
+            config.match_rate,
+        ));
     }
     if !(0.0..=1.0).contains(&config.hard_negative_rate) {
-        return Err(crate::SynthError::InvalidRate("hard_negative_rate", config.hard_negative_rate));
+        return Err(crate::SynthError::InvalidRate(
+            "hard_negative_rate",
+            config.hard_negative_rate,
+        ));
     }
 
     let mut rng = StdRng::seed_from_u64(config.seed ^ family_salt(family));
@@ -60,8 +66,9 @@ pub fn generate(family: Family, config: GeneratorConfig) -> Result<Dataset, crat
 
     // Base entities. The "left" source keeps them clean; the "right" source
     // sees corrupted variants.
-    let entities: Vec<Vec<String>> =
-        (0..config.entities).map(|_| family.sample_entity(&mut rng)).collect();
+    let entities: Vec<Vec<String>> = (0..config.entities)
+        .map(|_| family.sample_entity(&mut rng))
+        .collect();
 
     // Group entity indices by blocking key for hard negatives.
     let block_attr = family.blocking_attribute();
@@ -102,7 +109,10 @@ pub fn generate(family: Family, config: GeneratorConfig) -> Result<Dataset, crat
             Record::new(fresh_id(), left_vals),
             Record::new(fresh_id(), right_vals),
         )?;
-        examples.push(LabeledPair { pair, label: Label::Match });
+        examples.push(LabeledPair {
+            pair,
+            label: Label::Match,
+        });
     }
 
     // Hard negatives: two distinct entities from the same block.
@@ -120,7 +130,10 @@ pub fn generate(family: Family, config: GeneratorConfig) -> Result<Dataset, crat
                 Record::new(fresh_id(), entities[a].clone()),
                 Record::new(fresh_id(), corrupt_entity(&entities[b], &profile, &mut rng)),
             )?;
-            examples.push(LabeledPair { pair, label: Label::NonMatch });
+            examples.push(LabeledPair {
+                pair,
+                label: Label::NonMatch,
+            });
             hard_made += 1;
         }
     }
@@ -137,7 +150,10 @@ pub fn generate(family: Family, config: GeneratorConfig) -> Result<Dataset, crat
             Record::new(fresh_id(), entities[a].clone()),
             Record::new(fresh_id(), corrupt_entity(&entities[b], &profile, &mut rng)),
         )?;
-        examples.push(LabeledPair { pair, label: Label::NonMatch });
+        examples.push(LabeledPair {
+            pair,
+            label: Label::NonMatch,
+        });
     }
 
     // Shuffle so label order carries no signal, then done.
@@ -146,7 +162,10 @@ pub fn generate(family: Family, config: GeneratorConfig) -> Result<Dataset, crat
 }
 
 fn corrupt_entity(values: &[String], profile: &CorruptionProfile, rng: &mut StdRng) -> Vec<String> {
-    values.iter().map(|v| corrupt_value(v, profile, rng)).collect()
+    values
+        .iter()
+        .map(|v| corrupt_value(v, profile, rng))
+        .collect()
 }
 
 fn family_salt(family: Family) -> u64 {
@@ -168,7 +187,11 @@ pub fn extended_benchmark(seed: u64) -> Result<Vec<Dataset>, crate::SynthError> 
     for (fam, match_rate) in [(Family::Electronics, 0.10), (Family::Scholar, 0.16)] {
         suite.push(generate(
             fam,
-            GeneratorConfig { match_rate, seed, ..GeneratorConfig::default() },
+            GeneratorConfig {
+                match_rate,
+                seed,
+                ..GeneratorConfig::default()
+            },
         )?);
     }
     Ok(suite)
@@ -189,7 +212,11 @@ pub fn standard_benchmark(seed: u64) -> Result<Vec<Dataset>, crate::SynthError> 
         .map(|&(fam, match_rate)| {
             generate(
                 fam,
-                GeneratorConfig { match_rate, seed, ..GeneratorConfig::default() },
+                GeneratorConfig {
+                    match_rate,
+                    seed,
+                    ..GeneratorConfig::default()
+                },
             )
         })
         .collect()
@@ -233,7 +260,13 @@ mod tests {
     use super::*;
 
     fn small_config(seed: u64) -> GeneratorConfig {
-        GeneratorConfig { entities: 50, pairs: 120, match_rate: 0.25, hard_negative_rate: 0.5, seed }
+        GeneratorConfig {
+            entities: 50,
+            pairs: 120,
+            match_rate: 0.25,
+            hard_negative_rate: 0.5,
+            seed,
+        }
     }
 
     #[test]
@@ -320,14 +353,36 @@ mod tests {
 
     #[test]
     fn rejects_invalid_configs() {
-        assert!(generate(Family::Beers, GeneratorConfig { entities: 1, ..small_config(0) }).is_err());
-        assert!(generate(Family::Beers, GeneratorConfig { pairs: 0, ..small_config(0) }).is_err());
-        assert!(
-            generate(Family::Beers, GeneratorConfig { match_rate: 1.5, ..small_config(0) }).is_err()
-        );
         assert!(generate(
             Family::Beers,
-            GeneratorConfig { hard_negative_rate: -0.1, ..small_config(0) }
+            GeneratorConfig {
+                entities: 1,
+                ..small_config(0)
+            }
+        )
+        .is_err());
+        assert!(generate(
+            Family::Beers,
+            GeneratorConfig {
+                pairs: 0,
+                ..small_config(0)
+            }
+        )
+        .is_err());
+        assert!(generate(
+            Family::Beers,
+            GeneratorConfig {
+                match_rate: 1.5,
+                ..small_config(0)
+            }
+        )
+        .is_err());
+        assert!(generate(
+            Family::Beers,
+            GeneratorConfig {
+                hard_negative_rate: -0.1,
+                ..small_config(0)
+            }
         )
         .is_err());
     }
@@ -353,7 +408,10 @@ mod tests {
         assert!(names.contains(&"synth-electronics"));
         assert!(names.contains(&"synth-scholar"));
         // Electronics has the 5-attribute schema.
-        let elec = suite.iter().find(|d| d.name() == "synth-electronics").unwrap();
+        let elec = suite
+            .iter()
+            .find(|d| d.name() == "synth-electronics")
+            .unwrap();
         assert_eq!(elec.schema().len(), 5);
     }
 

@@ -28,7 +28,9 @@ pub mod pools;
 
 pub use corrupt::{abbreviate, corrupt_value, jitter_number, typo, CorruptionProfile};
 pub use family::Family;
-pub use generator::{extended_benchmark, generate, scaling_pair, standard_benchmark, GeneratorConfig};
+pub use generator::{
+    extended_benchmark, generate, scaling_pair, standard_benchmark, GeneratorConfig,
+};
 
 /// Errors from dataset generation.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,7 +74,7 @@ impl From<em_data::DataError> for SynthError {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use propcheck::prelude::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
@@ -94,8 +96,8 @@ mod proptests {
 
         #[test]
         fn corruption_output_tokenizes(seed in 0u64..500) {
-            use rand::SeedableRng;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            use em_rngs::SeedableRng;
+            let mut rng = em_rngs::rngs::StdRng::seed_from_u64(seed);
             let c = corrupt_value(
                 "alpha beta 42 gamma delta",
                 &CorruptionProfile::heavy(),

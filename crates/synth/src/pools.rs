@@ -4,23 +4,67 @@
 //! ER-Magellan datasets have.
 
 pub const BRANDS: &[&str] = &[
-    "sonix", "panatech", "grundwald", "veltron", "koyama", "ashford", "lumetra", "brixton",
-    "danvers", "quorra", "zelmont", "harwick", "nordvik", "calyxo", "tremona", "ostrel",
-    "fenwick", "maruyama", "delacroix", "vantor",
+    "sonix",
+    "panatech",
+    "grundwald",
+    "veltron",
+    "koyama",
+    "ashford",
+    "lumetra",
+    "brixton",
+    "danvers",
+    "quorra",
+    "zelmont",
+    "harwick",
+    "nordvik",
+    "calyxo",
+    "tremona",
+    "ostrel",
+    "fenwick",
+    "maruyama",
+    "delacroix",
+    "vantor",
 ];
 
 pub const PRODUCT_TYPES: &[&str] = &[
-    "television", "headphones", "laptop", "camera", "speaker", "monitor", "printer", "router",
-    "keyboard", "microwave", "blender", "vacuum", "projector", "soundbar", "tablet", "drone",
+    "television",
+    "headphones",
+    "laptop",
+    "camera",
+    "speaker",
+    "monitor",
+    "printer",
+    "router",
+    "keyboard",
+    "microwave",
+    "blender",
+    "vacuum",
+    "projector",
+    "soundbar",
+    "tablet",
+    "drone",
 ];
 
 pub const PRODUCT_ADJECTIVES: &[&str] = &[
-    "wireless", "portable", "compact", "digital", "smart", "ultra", "premium", "professional",
-    "gaming", "bluetooth", "rechargeable", "waterproof", "foldable", "ergonomic",
+    "wireless",
+    "portable",
+    "compact",
+    "digital",
+    "smart",
+    "ultra",
+    "premium",
+    "professional",
+    "gaming",
+    "bluetooth",
+    "rechargeable",
+    "waterproof",
+    "foldable",
+    "ergonomic",
 ];
 
-pub const COLORS: &[&str] =
-    &["black", "white", "silver", "graphite", "navy", "red", "titanium", "green"];
+pub const COLORS: &[&str] = &[
+    "black", "white", "silver", "graphite", "navy", "red", "titanium", "green",
+];
 
 pub const UNITS: &[&str] = &["inch", "cm", "gb", "tb", "watt", "hz", "mah", "mp"];
 
@@ -30,23 +74,68 @@ pub const FIRST_NAMES: &[&str] = &[
 ];
 
 pub const LAST_NAMES: &[&str] = &[
-    "moretti", "vasquez", "lindqvist", "okafor", "petrov", "tanaka", "berger", "silva",
-    "novak", "eriksen", "delgado", "hoffmann", "kovacs", "yamada", "duarte", "weiss",
-    "marchetti", "solberg", "ivanova", "fontaine",
+    "moretti",
+    "vasquez",
+    "lindqvist",
+    "okafor",
+    "petrov",
+    "tanaka",
+    "berger",
+    "silva",
+    "novak",
+    "eriksen",
+    "delgado",
+    "hoffmann",
+    "kovacs",
+    "yamada",
+    "duarte",
+    "weiss",
+    "marchetti",
+    "solberg",
+    "ivanova",
+    "fontaine",
 ];
 
 pub const PAPER_TOPIC_WORDS: &[&str] = &[
-    "scalable", "distributed", "adaptive", "efficient", "incremental", "probabilistic",
-    "declarative", "approximate", "parallel", "streaming", "semantic", "relational",
+    "scalable",
+    "distributed",
+    "adaptive",
+    "efficient",
+    "incremental",
+    "probabilistic",
+    "declarative",
+    "approximate",
+    "parallel",
+    "streaming",
+    "semantic",
+    "relational",
 ];
 
 pub const PAPER_OBJECT_WORDS: &[&str] = &[
-    "query", "index", "join", "transaction", "schema", "matching", "clustering", "integration",
-    "provenance", "caching", "sampling", "optimization", "learning", "retrieval",
+    "query",
+    "index",
+    "join",
+    "transaction",
+    "schema",
+    "matching",
+    "clustering",
+    "integration",
+    "provenance",
+    "caching",
+    "sampling",
+    "optimization",
+    "learning",
+    "retrieval",
 ];
 
 pub const PAPER_SUFFIX_WORDS: &[&str] = &[
-    "databases", "systems", "networks", "warehouses", "graphs", "streams", "pipelines",
+    "databases",
+    "systems",
+    "networks",
+    "warehouses",
+    "graphs",
+    "streams",
+    "pipelines",
     "architectures",
 ];
 
@@ -55,13 +144,29 @@ pub const VENUES: &[&str] = &[
 ];
 
 pub const CUISINES: &[&str] = &[
-    "italian", "japanese", "mexican", "thai", "french", "indian", "korean", "lebanese",
-    "spanish", "vietnamese",
+    "italian",
+    "japanese",
+    "mexican",
+    "thai",
+    "french",
+    "indian",
+    "korean",
+    "lebanese",
+    "spanish",
+    "vietnamese",
 ];
 
 pub const CITIES: &[&str] = &[
-    "rivermouth", "eastvale", "cedarburg", "lakewood", "marlowe", "ashport", "northgate",
-    "willowbrook", "ferndale", "oakhurst",
+    "rivermouth",
+    "eastvale",
+    "cedarburg",
+    "lakewood",
+    "marlowe",
+    "ashport",
+    "northgate",
+    "willowbrook",
+    "ferndale",
+    "oakhurst",
 ];
 
 pub const STREET_WORDS: &[&str] = &[
@@ -69,59 +174,125 @@ pub const STREET_WORDS: &[&str] = &[
 ];
 
 pub const RESTAURANT_WORDS: &[&str] = &[
-    "golden", "garden", "villa", "corner", "royal", "little", "blue", "olive", "lotus",
-    "ember", "harvest", "copper", "jade", "rustic",
+    "golden", "garden", "villa", "corner", "royal", "little", "blue", "olive", "lotus", "ember",
+    "harvest", "copper", "jade", "rustic",
 ];
 
 pub const RESTAURANT_NOUNS: &[&str] = &[
-    "kitchen", "bistro", "grill", "table", "house", "cafe", "tavern", "trattoria", "cantina",
+    "kitchen",
+    "bistro",
+    "grill",
+    "table",
+    "house",
+    "cafe",
+    "tavern",
+    "trattoria",
+    "cantina",
     "brasserie",
 ];
 
 pub const ARTIST_WORDS: &[&str] = &[
-    "midnight", "velvet", "electric", "crimson", "golden", "silent", "wandering", "neon",
-    "hollow", "paper",
+    "midnight",
+    "velvet",
+    "electric",
+    "crimson",
+    "golden",
+    "silent",
+    "wandering",
+    "neon",
+    "hollow",
+    "paper",
 ];
 
 pub const ARTIST_NOUNS: &[&str] = &[
-    "foxes", "harbors", "engines", "sparrows", "mirrors", "tides", "lanterns", "arrows",
-    "rivers", "echoes",
+    "foxes", "harbors", "engines", "sparrows", "mirrors", "tides", "lanterns", "arrows", "rivers",
+    "echoes",
 ];
 
 pub const SONG_WORDS: &[&str] = &[
-    "dreaming", "falling", "running", "burning", "waiting", "breathing", "shining", "drifting",
-    "holding", "fading", "rising", "turning",
+    "dreaming",
+    "falling",
+    "running",
+    "burning",
+    "waiting",
+    "breathing",
+    "shining",
+    "drifting",
+    "holding",
+    "fading",
+    "rising",
+    "turning",
 ];
 
 pub const SONG_OBJECTS: &[&str] = &[
-    "lights", "hearts", "roads", "stars", "shadows", "oceans", "fires", "storms", "wires",
-    "wings",
+    "lights", "hearts", "roads", "stars", "shadows", "oceans", "fires", "storms", "wires", "wings",
 ];
 
-pub const GENRES: &[&str] =
-    &["indie", "electronic", "folk", "jazz", "ambient", "rock", "soul", "house"];
+pub const GENRES: &[&str] = &[
+    "indie",
+    "electronic",
+    "folk",
+    "jazz",
+    "ambient",
+    "rock",
+    "soul",
+    "house",
+];
 
 pub const BREWERIES: &[&str] = &[
-    "stonepine", "copperkettle", "wildmere", "foghollow", "ironbark", "driftwood", "halcyon",
-    "thornfield", "blackpeak", "summerline",
+    "stonepine",
+    "copperkettle",
+    "wildmere",
+    "foghollow",
+    "ironbark",
+    "driftwood",
+    "halcyon",
+    "thornfield",
+    "blackpeak",
+    "summerline",
 ];
 
 pub const BEER_STYLES: &[&str] = &[
-    "ipa", "stout", "porter", "pilsner", "saison", "lager", "witbier", "amber ale",
-    "pale ale", "barleywine",
+    "ipa",
+    "stout",
+    "porter",
+    "pilsner",
+    "saison",
+    "lager",
+    "witbier",
+    "amber ale",
+    "pale ale",
+    "barleywine",
 ];
 
 pub const BEER_ADJECTIVES: &[&str] = &[
-    "hazy", "imperial", "session", "barrel aged", "double", "dry hopped", "nitro", "sour",
+    "hazy",
+    "imperial",
+    "session",
+    "barrel aged",
+    "double",
+    "dry hopped",
+    "nitro",
+    "sour",
 ];
 
 pub const PRODUCT_CATEGORIES: &[&str] = &[
-    "electronics", "audio", "computers", "appliances", "photography", "networking",
-    "accessories", "office",
+    "electronics",
+    "audio",
+    "computers",
+    "appliances",
+    "photography",
+    "networking",
+    "accessories",
+    "office",
 ];
 
 pub const JOURNALS: &[&str] = &[
-    "tods", "tkde", "vldbj", "sigmod record", "information systems",
+    "tods",
+    "tkde",
+    "vldbj",
+    "sigmod record",
+    "information systems",
     "data engineering bulletin",
 ];
 
@@ -132,11 +303,32 @@ mod tests {
     #[test]
     fn pools_are_nonempty_and_lowercase() {
         let pools: &[&[&str]] = &[
-            BRANDS, PRODUCT_TYPES, PRODUCT_ADJECTIVES, COLORS, UNITS, FIRST_NAMES, LAST_NAMES,
-            PAPER_TOPIC_WORDS, PAPER_OBJECT_WORDS, PAPER_SUFFIX_WORDS, VENUES, CUISINES, CITIES,
-            STREET_WORDS, RESTAURANT_WORDS, RESTAURANT_NOUNS, ARTIST_WORDS, ARTIST_NOUNS,
-            SONG_WORDS, SONG_OBJECTS, GENRES, BREWERIES, BEER_STYLES, BEER_ADJECTIVES,
-            PRODUCT_CATEGORIES, JOURNALS,
+            BRANDS,
+            PRODUCT_TYPES,
+            PRODUCT_ADJECTIVES,
+            COLORS,
+            UNITS,
+            FIRST_NAMES,
+            LAST_NAMES,
+            PAPER_TOPIC_WORDS,
+            PAPER_OBJECT_WORDS,
+            PAPER_SUFFIX_WORDS,
+            VENUES,
+            CUISINES,
+            CITIES,
+            STREET_WORDS,
+            RESTAURANT_WORDS,
+            RESTAURANT_NOUNS,
+            ARTIST_WORDS,
+            ARTIST_NOUNS,
+            SONG_WORDS,
+            SONG_OBJECTS,
+            GENRES,
+            BREWERIES,
+            BEER_STYLES,
+            BEER_ADJECTIVES,
+            PRODUCT_CATEGORIES,
+            JOURNALS,
         ];
         for pool in pools {
             assert!(!pool.is_empty());

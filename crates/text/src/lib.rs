@@ -19,13 +19,11 @@ pub mod tfidf;
 pub mod tokenize;
 
 pub use normalize::{
-    canonical_number, canonical_unit, normalize_tokens, segment_letter_digit,
-    tokenize_normalized,
+    canonical_number, canonical_unit, normalize_tokens, segment_letter_digit, tokenize_normalized,
 };
 pub use similarity::{
-    dice, jaccard, jaro, jaro_winkler, lcs_len, levenshtein, levenshtein_similarity,
-    monge_elkan, monge_elkan_sym, numeric_or_string_similarity, overlap_coefficient,
-    qgram_jaccard,
+    dice, jaccard, jaro, jaro_winkler, lcs_len, levenshtein, levenshtein_similarity, monge_elkan,
+    monge_elkan_sym, numeric_or_string_similarity, overlap_coefficient, qgram_jaccard,
 };
 pub use tfidf::{sparse_dot, SparseVec, TfIdf};
 pub use tokenize::{qgrams, token_count, tokenize, tokenize_spans, Token, Vocabulary};
@@ -33,7 +31,7 @@ pub use tokenize::{qgrams, token_count, tokenize, tokenize_spans, Token, Vocabul
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use propcheck::prelude::*;
 
     fn word() -> impl Strategy<Value = String> {
         "[a-z0-9]{0,12}"
@@ -59,8 +57,8 @@ mod proptests {
 
         #[test]
         fn jaccard_bounded_and_symmetric(
-            a in proptest::collection::vec("[a-c]{1,3}", 0..8),
-            b in proptest::collection::vec("[a-c]{1,3}", 0..8),
+            a in propcheck::collection::vec("[a-c]{1,3}", 0..8),
+            b in propcheck::collection::vec("[a-c]{1,3}", 0..8),
         ) {
             let ab = jaccard(&a, &b);
             let ba = jaccard(&b, &a);
@@ -89,13 +87,30 @@ mod proptests {
 
         #[test]
         fn tfidf_cosine_bounded(
-            a in proptest::collection::vec("[a-d]{1,2}", 1..6),
-            b in proptest::collection::vec("[a-d]{1,2}", 1..6),
+            a in propcheck::collection::vec("[a-d]{1,2}", 1..6),
+            b in propcheck::collection::vec("[a-d]{1,2}", 1..6),
         ) {
             let docs = [a.clone(), b.clone()];
             let m = TfIdf::fit(docs.iter().map(|d| d.as_slice()));
             let c = m.cosine(&a, &b);
             prop_assert!((-1e-9..=1.0 + 1e-9).contains(&c));
+        }
+    }
+
+    /// Ported from the retired proptest regression file
+    /// (`proptest-regressions/lib.txt`), which shrank to `s = "𝘼"`: an
+    /// uppercase code point with no lowercase mapping must pass through
+    /// tokenization unchanged, still alphanumeric, and idempotent under
+    /// further lowercasing.
+    #[test]
+    fn tokenize_survives_unmappable_uppercase() {
+        assert_eq!(tokenize("𝘼"), vec!["𝘼".to_string()]);
+        for s in ["𝘼", "a𝘼b", "𝘼 𝘼", "x.𝘼.y"] {
+            for tok in tokenize(s) {
+                assert!(!tok.is_empty());
+                assert!(tok.chars().all(|c| c.is_alphanumeric()), "{s:?} -> {tok:?}");
+                assert_eq!(tok.to_lowercase(), tok, "{s:?} -> {tok:?}");
+            }
         }
     }
 }

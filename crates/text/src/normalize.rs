@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn segmentation_splits_mixed_tokens() {
-        assert_eq!(segment_letter_digit("wh1000xm4"), vec!["wh", "1000", "xm", "4"]);
+        assert_eq!(
+            segment_letter_digit("wh1000xm4"),
+            vec!["wh", "1000", "xm", "4"]
+        );
         assert_eq!(segment_letter_digit("55in"), vec!["55", "in"]);
         assert_eq!(segment_letter_digit("abc"), vec!["abc"]);
         assert_eq!(segment_letter_digit("1234"), vec!["1234"]);
@@ -139,11 +142,12 @@ mod tests {
         let raw_a = crate::tokenize::tokenize("wh1000xm4 headphones");
         let raw_b = crate::tokenize::tokenize("wh 1000 xm4 headphones");
         let raw_j = crate::similarity::jaccard(&raw_a, &raw_b);
-        let norm_j = crate::similarity::jaccard(
-            &normalize_tokens(&raw_a),
-            &normalize_tokens(&raw_b),
+        let norm_j =
+            crate::similarity::jaccard(&normalize_tokens(&raw_a), &normalize_tokens(&raw_b));
+        assert!(
+            norm_j > raw_j,
+            "normalized {norm_j} should beat raw {raw_j}"
         );
-        assert!(norm_j > raw_j, "normalized {norm_j} should beat raw {raw_j}");
         assert_eq!(norm_j, 1.0);
     }
 

@@ -115,7 +115,11 @@ pub fn jaccard<T: std::hash::Hash + Eq>(a: &[T], b: &[T]) -> f64 {
 /// Overlap coefficient `|A∩B| / min(|A|,|B|)`.
 pub fn overlap_coefficient<T: std::hash::Hash + Eq>(a: &[T], b: &[T]) -> f64 {
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+        return if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let sa: HashSet<&T> = a.iter().collect();
     let sb: HashSet<&T> = b.iter().collect();
@@ -180,7 +184,11 @@ pub fn lcs_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     let mut cur = vec![0usize; b.len() + 1];
     for ai in a {
         for (j, bj) in b.iter().enumerate() {
-            cur[j + 1] = if ai == bj { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
+            cur[j + 1] = if ai == bj {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
         }
         std::mem::swap(&mut prev, &mut cur);
         cur.iter_mut().for_each(|x| *x = 0);
@@ -276,8 +284,14 @@ mod tests {
 
     #[test]
     fn monge_elkan_favours_token_permutations() {
-        let a: Vec<String> = ["sony", "headphones"].iter().map(|s| s.to_string()).collect();
-        let b: Vec<String> = ["headphones", "sony"].iter().map(|s| s.to_string()).collect();
+        let a: Vec<String> = ["sony", "headphones"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let b: Vec<String> = ["headphones", "sony"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(approx(monge_elkan_sym(&a, &b), 1.0));
         let c: Vec<String> = ["bose", "speaker"].iter().map(|s| s.to_string()).collect();
         assert!(monge_elkan_sym(&a, &c) < 0.8);

@@ -35,11 +35,19 @@ pub fn tokenize_spans(s: &str) -> Vec<Token> {
                 cur.push(lc);
             }
         } else if !cur.is_empty() {
-            out.push(Token { text: std::mem::take(&mut cur), start, end: i });
+            out.push(Token {
+                text: std::mem::take(&mut cur),
+                start,
+                end: i,
+            });
         }
     }
     if !cur.is_empty() {
-        out.push(Token { text: cur, start, end: s.len() });
+        out.push(Token {
+            text: cur,
+            start,
+            end: s.len(),
+        });
     }
     out
 }
@@ -147,7 +155,10 @@ mod tests {
 
     #[test]
     fn tokenize_lowercases_and_splits() {
-        assert_eq!(tokenize("Sony WH-1000XM4 Headphones"), vec!["sony", "wh", "1000xm4", "headphones"]);
+        assert_eq!(
+            tokenize("Sony WH-1000XM4 Headphones"),
+            vec!["sony", "wh", "1000xm4", "headphones"]
+        );
     }
 
     #[test]

@@ -16,11 +16,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    blocking consumes.
     let ctx = examples_support::demo_context();
     let schema = ctx.dataset.schema_arc();
-    let left: Vec<Record> =
-        ctx.dataset.examples().iter().take(150).map(|e| e.pair.left().clone()).collect();
-    let right: Vec<Record> =
-        ctx.dataset.examples().iter().take(150).map(|e| e.pair.right().clone()).collect();
-    println!("sources: {} left records, {} right records", left.len(), right.len());
+    let left: Vec<Record> = ctx
+        .dataset
+        .examples()
+        .iter()
+        .take(150)
+        .map(|e| e.pair.left().clone())
+        .collect();
+    let right: Vec<Record> = ctx
+        .dataset
+        .examples()
+        .iter()
+        .take(150)
+        .map(|e| e.pair.right().clone())
+        .collect();
+    println!(
+        "sources: {} left records, {} right records",
+        left.len(),
+        right.len()
+    );
 
     // 2. Blocking: brand equality plus a token-overlap pass.
     let by_brand = block(
@@ -29,8 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &right,
         &BlockingStrategy::AttributeEquality { attribute: 1 },
     )?;
-    let by_tokens =
-        block(&schema, &left, &right, &BlockingStrategy::TokenOverlap { min_shared: 4 })?;
+    let by_tokens = block(
+        &schema,
+        &left,
+        &right,
+        &BlockingStrategy::TokenOverlap { min_shared: 4 },
+    )?;
     println!(
         "blocking: brand-equality {} candidates (reduction {:.3}), token-overlap {} candidates",
         by_brand.candidates.len(),
@@ -50,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let matcher = examples_support::demo_matcher(&ctx);
     let mut matches: Vec<&em_data::EntityPair> =
         pairs.iter().filter(|p| matcher.predict(p)).collect();
-    println!("matcher accepted {} of {} candidates\n", matches.len(), pairs.len());
+    println!(
+        "matcher accepted {} of {} candidates\n",
+        matches.len(),
+        pairs.len()
+    );
     matches.truncate(3);
 
     // 4. Explain the accepted matches with CREW.

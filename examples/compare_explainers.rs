@@ -16,10 +16,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pair = examples_support::interesting_pair(&ctx, matcher.as_ref());
     let tokenized = TokenizedPair::new(pair.clone());
 
-    println!("pair under explanation ({} words):\n{pair}", tokenized.len());
+    println!(
+        "pair under explanation ({} words):\n{pair}",
+        tokenized.len()
+    );
     println!("model probability: {:.3}\n", matcher.predict_proba(&pair));
 
-    let budget = ExplainBudget { samples: 256, seed: 11, threads: 4 };
+    let budget = ExplainBudget {
+        samples: 256,
+        seed: 11,
+        threads: 4,
+    };
     let fractions = metrics::standard_fractions();
 
     println!(
@@ -53,7 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .iter()
                 .map(|&i| out.word_level.words[i].label(pair.schema()))
                 .collect();
-            println!("  {:<10} {:+.4} {{{}}}", kind.label(), top.weight, words.join(", "));
+            println!(
+                "  {:<10} {:+.4} {{{}}}",
+                kind.label(),
+                top.weight,
+                words.join(", ")
+            );
         } else {
             println!("  {:<10} (empty explanation)", kind.label());
         }

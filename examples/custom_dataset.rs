@@ -77,7 +77,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let p = matcher.predict_proba(&ex.pair);
         println!(
             "--- pair (truth: {}, model: {:.3}) ---",
-            if ex.label.is_match() { "match" } else { "non-match" },
+            if ex.label.is_match() {
+                "match"
+            } else {
+                "non-match"
+            },
             p
         );
         let explanation = crew.explain_clusters(&matcher, &ex.pair)?;

@@ -13,7 +13,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    benchmark; real DeepMatcher CSVs load via
     //    em_data::dataset_from_joined_csv (see the custom_dataset example).
     let ctx = examples_support::demo_context();
-    println!("dataset: {} ({} pairs)", ctx.dataset.name(), ctx.dataset.len());
+    println!(
+        "dataset: {} ({} pairs)",
+        ctx.dataset.name(),
+        ctx.dataset.len()
+    );
 
     // 2. A matcher: the token-level soft-alignment model (the stand-in for
     //    the transformer EM models the paper explains).
@@ -30,11 +34,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. A pair worth explaining.
     let pair = examples_support::interesting_pair(&ctx, matcher.as_ref());
     println!("pair under explanation:\n{pair}");
-    println!("model says match probability = {:.3}\n", matcher.predict_proba(&pair));
+    println!(
+        "model says match probability = {:.3}\n",
+        matcher.predict_proba(&pair)
+    );
 
     // 4. CREW: clusters of words from three knowledge sources (semantic
     //    similarity, attribute arrangement, model importance).
-    let crew = Crew::new(std::sync::Arc::clone(&ctx.embeddings), CrewOptions::default());
+    let crew = Crew::new(
+        std::sync::Arc::clone(&ctx.embeddings),
+        CrewOptions::default(),
+    );
     let explanation = crew.explain_clusters(matcher.as_ref(), &pair)?;
     println!("{}", explanation.render(pair.schema()));
 

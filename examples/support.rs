@@ -21,7 +21,8 @@ pub fn demo_context() -> EvalContext {
 
 /// Train (cached) the matcher used across examples.
 pub fn demo_matcher(ctx: &EvalContext) -> std::sync::Arc<dyn em_matchers::Matcher> {
-    ctx.matcher(MatcherKind::Attention).expect("training on generated data succeeds")
+    ctx.matcher(MatcherKind::Attention)
+        .expect("training on generated data succeeds")
 }
 
 /// Pick an interesting test pair: a predicted match with enough words to

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("K sweep (tau = {:.2}):", crew.options().tau);
     println!("{:>4} {:>12} {:>12}", "K", "group_R2", "silhouette");
     for (k, r2, sil) in &sweep {
-        let marker = if *k == chosen.selected_k { "  <= selected" } else { "" };
+        let marker = if *k == chosen.selected_k {
+            "  <= selected"
+        } else {
+            ""
+        };
         println!("{k:>4} {r2:>12.4} {sil:>12.4}{marker}");
     }
     println!();
@@ -36,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let variant = Crew::new(
             Arc::clone(&ctx.embeddings),
-            CrewOptions { knowledge: weights, ..Default::default() },
+            CrewOptions {
+                knowledge: weights,
+                ..Default::default()
+            },
         );
         let ce = variant.explain_clusters(matcher.as_ref(), &pair)?;
         println!("=== {name} ===");

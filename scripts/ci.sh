@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Required pre-merge gate: the tier-1 build/test cycle, hermetically.
+#
+#   ./scripts/ci.sh           # fmt check + release build + full test suite
+#   ./scripts/ci.sh --bench   # additionally smoke-run the experiment driver
+#
+# Everything runs with --locked --offline: the workspace has no external
+# dependencies (see DESIGN.md, "Hermetic build substrate"), so any attempt
+# to reach a registry is a regression this script must catch.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release (locked, offline)"
+cargo build --release --locked --offline
+
+echo "==> cargo test -q (locked, offline)"
+cargo test -q --locked --offline
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "==> bench smoke (run_all --smoke)"
+    cargo run --release --locked --offline -p em-bench --bin run_all -- --smoke
+    python3 -c "import json; json.load(open('results/BENCH_run_all.json'))" \
+        && echo "BENCH_run_all.json is well-formed"
+fi
+
+echo "==> ci green"

@@ -8,7 +8,12 @@ use em_synth::{generate, Family, GeneratorConfig};
 fn synthetic_dataset_round_trips_through_csv_and_retrains() {
     let d = generate(
         Family::Citations,
-        GeneratorConfig { entities: 60, pairs: 150, match_rate: 0.3, ..Default::default() },
+        GeneratorConfig {
+            entities: 60,
+            pairs: 150,
+            match_rate: 0.3,
+            ..Default::default()
+        },
     )
     .unwrap();
     let csv = em_data::dataset_to_joined_csv(&d);
@@ -107,7 +112,14 @@ fn matcher_zoo_consistency_across_experiments() {
     let b = em_eval::EvalContext::prepare(family, cfg.generator(family)).unwrap();
     let ma = a.matcher(MatcherKind::Logistic).unwrap();
     let mb = b.matcher(MatcherKind::Logistic).unwrap();
-    for (ea, eb) in a.split.test.examples().iter().zip(b.split.test.examples()).take(10) {
+    for (ea, eb) in a
+        .split
+        .test
+        .examples()
+        .iter()
+        .zip(b.split.test.examples())
+        .take(10)
+    {
         assert_eq!(ma.predict_proba(&ea.pair), mb.predict_proba(&eb.pair));
     }
 }

@@ -1,0 +1,170 @@
+//! Determinism guarantees of the hermetic substrate: with a fixed seed,
+//! CREW and every baseline must produce bitwise-identical explanations
+//! across repeated runs, and the number of perturbation worker threads
+//! must not change any result (the mask stream is sampled up front by a
+//! single seeded RNG; threads only fan out model queries).
+
+use crew_core::{Crew, CrewOptions, Explainer, PerturbOptions, WordExplanation};
+use em_baselines::{
+    Certa, CertaOptions, Landmark, Lemon, Lime, LimeOptions, Mojito, MojitoOptions, Wym,
+};
+use em_data::{EntityPair, Record, Schema};
+use em_embed::{EmbeddingOptions, WordEmbeddings};
+use em_matchers::RuleMatcher;
+use std::sync::Arc;
+
+fn pair() -> EntityPair {
+    let schema = Arc::new(Schema::new(vec!["name", "addr"]));
+    EntityPair::new(
+        schema,
+        Record::new(
+            0,
+            vec![
+                "alpha beta gamma delta epsilon".into(),
+                "12 main street suite 4".into(),
+            ],
+        ),
+        Record::new(1, vec!["alpha beta gamma zeta".into(), "14 main st".into()]),
+    )
+    .unwrap()
+}
+
+fn embeddings() -> Arc<WordEmbeddings> {
+    let corpus: Vec<Vec<String>> = [
+        "alpha beta gamma delta epsilon zeta",
+        "12 main street suite 4",
+        "14 main st",
+    ]
+    .iter()
+    .map(|s| em_text::tokenize(s))
+    .collect();
+    Arc::new(
+        WordEmbeddings::train(
+            corpus.iter().map(|v| v.as_slice()),
+            EmbeddingOptions {
+                dimensions: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    )
+}
+
+/// Every explainer under test, built fresh with fixed seeds.
+fn all_explainers(threads: usize) -> Vec<Box<dyn Explainer>> {
+    vec![
+        Box::new(Lime::new(LimeOptions {
+            seed: 7,
+            samples: 96,
+            threads,
+            ..Default::default()
+        })),
+        Box::new(Mojito::new(MojitoOptions {
+            seed: 7,
+            samples: 96,
+            threads,
+            ..Default::default()
+        })),
+        Box::new(Landmark::default()),
+        Box::new(Lemon::default()),
+        Box::new(Wym::default()),
+        Box::new(
+            Certa::new(
+                vec![Record::new(
+                    9,
+                    vec!["spare record".into(), "5 side road".into()],
+                )],
+                CertaOptions::default(),
+            )
+            .unwrap(),
+        ),
+        Box::new(Crew::new(
+            embeddings(),
+            CrewOptions {
+                perturb: PerturbOptions {
+                    samples: 96,
+                    seed: 7,
+                    threads,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )),
+    ]
+}
+
+fn assert_identical(name: &str, a: &WordExplanation, b: &WordExplanation) {
+    assert_eq!(a.weights, b.weights, "{name}: weights differ between runs");
+    assert_eq!(
+        a.base_score.to_bits(),
+        b.base_score.to_bits(),
+        "{name}: base score differs"
+    );
+    assert_eq!(
+        a.intercept.to_bits(),
+        b.intercept.to_bits(),
+        "{name}: intercept differs"
+    );
+    assert_eq!(
+        a.surrogate_r2.to_bits(),
+        b.surrogate_r2.to_bits(),
+        "{name}: R² differs"
+    );
+    assert_eq!(a.words.len(), b.words.len(), "{name}: word count differs");
+}
+
+#[test]
+fn every_explainer_is_deterministic_across_runs() {
+    let matcher = RuleMatcher::uniform(2, 0.5).unwrap();
+    let p = pair();
+    for (ea, eb) in all_explainers(1).iter().zip(all_explainers(1).iter()) {
+        let a = ea.explain(&matcher, &p).unwrap();
+        let b = eb.explain(&matcher, &p).unwrap();
+        assert_identical(ea.name(), &a, &b);
+    }
+}
+
+#[test]
+fn explanations_do_not_depend_on_thread_count() {
+    let matcher = RuleMatcher::uniform(2, 0.5).unwrap();
+    let p = pair();
+    for (e1, e4) in all_explainers(1).iter().zip(all_explainers(4).iter()) {
+        let a = e1.explain(&matcher, &p).unwrap();
+        let b = e4.explain(&matcher, &p).unwrap();
+        assert_identical(e1.name(), &a, &b);
+    }
+}
+
+#[test]
+fn crew_cluster_explanations_are_deterministic() {
+    let matcher = RuleMatcher::uniform(2, 0.5).unwrap();
+    let p = pair();
+    let build = |threads: usize| {
+        Crew::new(
+            embeddings(),
+            CrewOptions {
+                perturb: PerturbOptions {
+                    samples: 96,
+                    seed: 7,
+                    threads,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+    };
+    let a = build(1).explain_clusters(&matcher, &p).unwrap();
+    let b = build(1).explain_clusters(&matcher, &p).unwrap();
+    let c = build(4).explain_clusters(&matcher, &p).unwrap();
+    for other in [&b, &c] {
+        assert_identical("crew(clusters)", &a.word_level, &other.word_level);
+        assert_eq!(a.selected_k, other.selected_k);
+        assert_eq!(a.group_r2.to_bits(), other.group_r2.to_bits());
+        assert_eq!(a.silhouette.to_bits(), other.silhouette.to_bits());
+        assert_eq!(a.clusters.len(), other.clusters.len());
+        for (ca, cb) in a.clusters.iter().zip(other.clusters.iter()) {
+            assert_eq!(ca.member_indices, cb.member_indices);
+            assert_eq!(ca.weight.to_bits(), cb.weight.to_bits());
+        }
+    }
+}

@@ -10,7 +10,13 @@ use std::sync::Arc;
 fn ctx(seed: u64) -> EvalContext {
     EvalContext::prepare(
         Family::Products,
-        GeneratorConfig { entities: 80, pairs: 200, match_rate: 0.25, seed, ..Default::default() },
+        GeneratorConfig {
+            entities: 80,
+            pairs: 200,
+            match_rate: 0.25,
+            seed,
+            ..Default::default()
+        },
     )
     .unwrap()
 }
@@ -71,7 +77,10 @@ fn whole_pipeline_is_deterministic() {
             ce.selected_k,
             ce.group_r2,
             ce.word_level.weights.clone(),
-            ce.clusters.iter().map(|c| c.member_indices.clone()).collect::<Vec<_>>(),
+            ce.clusters
+                .iter()
+                .map(|c| c.member_indices.clone())
+                .collect::<Vec<_>>(),
         )
     };
     let a = run();
@@ -91,7 +100,10 @@ fn every_matcher_kind_is_explainable() {
         let crew = Crew::new(
             Arc::clone(&ctx.embeddings),
             CrewOptions {
-                perturb: PerturbOptions { samples: 48, ..Default::default() },
+                perturb: PerturbOptions {
+                    samples: 48,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
@@ -110,15 +122,24 @@ fn crew_explanations_respect_cannot_link() {
     let matcher = ctx.matcher(MatcherKind::Logistic).unwrap();
     let crew = Crew::new(
         Arc::clone(&ctx.embeddings),
-        CrewOptions { cannot_link_quantile: 0.2, ..Default::default() },
+        CrewOptions {
+            cannot_link_quantile: 0.2,
+            ..Default::default()
+        },
     );
     for ex in ctx.pairs_to_explain(3) {
         let ce = crew.explain_clusters(matcher.as_ref(), &ex.pair).unwrap();
         let w = &ce.word_level.weights;
         let links = crew_core::opposite_sign_cannot_links(w, 0.2);
         for (a, b) in links {
-            let ca = ce.clusters.iter().position(|c| c.member_indices.contains(&a));
-            let cb = ce.clusters.iter().position(|c| c.member_indices.contains(&b));
+            let ca = ce
+                .clusters
+                .iter()
+                .position(|c| c.member_indices.contains(&a));
+            let cb = ce
+                .clusters
+                .iter()
+                .position(|c| c.member_indices.contains(&b));
             assert_ne!(ca, cb, "cannot-linked words {a},{b} share a cluster");
         }
     }

@@ -20,9 +20,7 @@ impl Matcher for PlantedMatcher {
     fn predict_proba(&self, pair: &EntityPair) -> f64 {
         let l = em_text::tokenize(&pair.left().full_text());
         let r = em_text::tokenize(&pair.right().full_text());
-        let both = |t: &str| {
-            l.iter().any(|x| x == t) && r.iter().any(|x| x == t)
-        };
+        let both = |t: &str| l.iter().any(|x| x == t) && r.iter().any(|x| x == t);
         let mut p: f64 = 0.1;
         if both("zenith") {
             p += 0.4;
@@ -38,8 +36,14 @@ fn planted_pair() -> EntityPair {
     let schema = Arc::new(Schema::new(vec!["title", "spec"]));
     EntityPair::new(
         schema,
-        Record::new(0, vec!["zenith ultra tower".into(), "krypton core v2".into()]),
-        Record::new(1, vec!["zenith compact tower".into(), "krypton core".into()]),
+        Record::new(
+            0,
+            vec!["zenith ultra tower".into(), "krypton core v2".into()],
+        ),
+        Record::new(
+            1,
+            vec!["zenith compact tower".into(), "krypton core".into()],
+        ),
     )
     .unwrap()
 }
@@ -48,7 +52,8 @@ fn embeddings() -> Arc<WordEmbeddings> {
     let corpus: Vec<Vec<String>> = [
         "zenith ultra tower krypton core v2",
         "zenith compact tower krypton core",
-        "zenith tower", "krypton core",
+        "zenith tower",
+        "krypton core",
     ]
     .iter()
     .map(|s| em_text::tokenize(s))
@@ -56,7 +61,10 @@ fn embeddings() -> Arc<WordEmbeddings> {
     Arc::new(
         WordEmbeddings::train(
             corpus.iter().map(|v| v.as_slice()),
-            EmbeddingOptions { dimensions: 12, ..Default::default() },
+            EmbeddingOptions {
+                dimensions: 12,
+                ..Default::default()
+            },
         )
         .unwrap(),
     )
@@ -138,7 +146,10 @@ fn crew_groups_cross_record_planted_words() {
             .iter()
             .position(|w| w.text == text && w.side == side)
             .unwrap_or_else(|| panic!("word {text} on {side} missing"));
-        ce.clusters.iter().position(|c| c.member_indices.contains(&idx)).unwrap()
+        ce.clusters
+            .iter()
+            .position(|c| c.member_indices.contains(&idx))
+            .unwrap()
     };
     // The two "zenith" occurrences co-cluster (same attribute, same word,
     // same importance profile); likewise "krypton".
@@ -168,7 +179,10 @@ fn crew_top_cluster_is_more_faithful_than_random_unit() {
         .iter()
         .enumerate()
         .filter(|(_, w)| w.text != "zenith" && w.text != "krypton")
-        .map(|(i, _)| crew_core::ExplanationUnit { member_indices: vec![i], weight: 1.0 })
+        .map(|(i, _)| crew_core::ExplanationUnit {
+            member_indices: vec![i],
+            weight: 1.0,
+        })
         .collect();
     let filler_aopc =
         em_metrics::aopc_deletion(&PlantedMatcher, &tokenized, &filler, &fractions).unwrap();

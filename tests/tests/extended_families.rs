@@ -7,7 +7,13 @@ use em_synth::{generate, Family, GeneratorConfig};
 use std::sync::Arc;
 
 fn config(seed: u64) -> GeneratorConfig {
-    GeneratorConfig { entities: 80, pairs: 200, match_rate: 0.25, seed, ..Default::default() }
+    GeneratorConfig {
+        entities: 80,
+        pairs: 200,
+        match_rate: 0.25,
+        seed,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -16,11 +22,17 @@ fn electronics_family_trains_and_explains() {
     assert_eq!(ctx.dataset.schema().len(), 5);
     let matcher = ctx.matcher(MatcherKind::Logistic).unwrap();
     let quality = em_matchers::evaluate(matcher.as_ref(), &ctx.split.test);
-    assert!(quality.f1 > 0.7, "electronics matcher too weak: {quality:?}");
+    assert!(
+        quality.f1 > 0.7,
+        "electronics matcher too weak: {quality:?}"
+    );
     let crew = Crew::new(
         Arc::clone(&ctx.embeddings),
         CrewOptions {
-            perturb: PerturbOptions { samples: 64, ..Default::default() },
+            perturb: PerturbOptions {
+                samples: 64,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
@@ -46,7 +58,10 @@ fn scholar_family_handles_missing_values_end_to_end() {
     let crew = Crew::new(
         Arc::clone(&ctx.embeddings),
         CrewOptions {
-            perturb: PerturbOptions { samples: 64, ..Default::default() },
+            perturb: PerturbOptions {
+                samples: 64,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
@@ -68,8 +83,7 @@ fn calibrated_matcher_is_explainable() {
         em_matchers::TrainOptions::default(),
     )
     .unwrap();
-    let calibrated =
-        em_matchers::CalibratedMatcher::fit(base, &split.validation).unwrap();
+    let calibrated = em_matchers::CalibratedMatcher::fit(base, &split.validation).unwrap();
     // ECE should be measurable and bounded.
     let ece = em_matchers::expected_calibration_error(&calibrated, &split.test, 10).unwrap();
     assert!((0.0..=1.0).contains(&ece));
@@ -84,7 +98,10 @@ fn calibrated_matcher_is_explainable() {
     let crew = Crew::new(
         embeddings,
         CrewOptions {
-            perturb: PerturbOptions { samples: 64, ..Default::default() },
+            perturb: PerturbOptions {
+                samples: 64,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );

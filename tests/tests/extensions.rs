@@ -2,8 +2,8 @@
 //! explain pipeline, counterfactuals, global explanations and JSON export.
 
 use crew_core::{
-    cluster_explanation_to_json, explain_dataset, find_counterfactual, Crew, CrewOptions,
-    CounterfactualOptions, PerturbOptions,
+    cluster_explanation_to_json, explain_dataset, find_counterfactual, CounterfactualOptions, Crew,
+    CrewOptions, PerturbOptions,
 };
 use em_data::{block, candidates_to_pairs, BlockingStrategy, Record};
 use em_eval::{EvalContext, MatcherKind};
@@ -13,7 +13,13 @@ use std::sync::Arc;
 fn ctx() -> EvalContext {
     EvalContext::prepare(
         Family::Products,
-        GeneratorConfig { entities: 80, pairs: 200, match_rate: 0.25, seed: 21, ..Default::default() },
+        GeneratorConfig {
+            entities: 80,
+            pairs: 200,
+            match_rate: 0.25,
+            seed: 21,
+            ..Default::default()
+        },
     )
     .unwrap()
 }
@@ -22,7 +28,10 @@ fn fast_crew(ctx: &EvalContext) -> Crew {
     Crew::new(
         Arc::clone(&ctx.embeddings),
         CrewOptions {
-            perturb: PerturbOptions { samples: 64, ..Default::default() },
+            perturb: PerturbOptions {
+                samples: 64,
+                ..Default::default()
+            },
             ..Default::default()
         },
     )
@@ -33,8 +42,13 @@ fn blocking_recovers_true_matches() {
     let ctx = ctx();
     // Build raw tables from the dataset's pairs; the i-th left and right
     // records of a match pair describe the same entity.
-    let matches: Vec<_> =
-        ctx.dataset.examples().iter().filter(|e| e.label.is_match()).take(30).collect();
+    let matches: Vec<_> = ctx
+        .dataset
+        .examples()
+        .iter()
+        .filter(|e| e.label.is_match())
+        .take(30)
+        .collect();
     let left: Vec<Record> = matches.iter().map(|e| e.pair.left().clone()).collect();
     let right: Vec<Record> = matches.iter().map(|e| e.pair.right().clone()).collect();
     let schema = ctx.dataset.schema_arc();
@@ -59,7 +73,13 @@ fn blocking_recovers_true_matches() {
     assert!(res.reduction_ratio(left.len(), right.len()) > 0.3);
 
     // Materialised candidates are explainable end to end.
-    let pairs = candidates_to_pairs(&schema, &left, &right, &res.candidates[..3.min(res.candidates.len())]).unwrap();
+    let pairs = candidates_to_pairs(
+        &schema,
+        &left,
+        &right,
+        &res.candidates[..3.min(res.candidates.len())],
+    )
+    .unwrap();
     let matcher = ctx.matcher(MatcherKind::Logistic).unwrap();
     let crew = fast_crew(&ctx);
     for p in &pairs {
@@ -81,7 +101,9 @@ fn counterfactuals_actually_flip_the_trained_matcher() {
             matcher.as_ref(),
             &ex.pair,
             &ce,
-            CounterfactualOptions { max_removals: ce.clusters.len() },
+            CounterfactualOptions {
+                max_removals: ce.clusters.len(),
+            },
         )
         .unwrap();
         tried += 1;
@@ -142,7 +164,10 @@ fn ensemble_is_explainable_and_calibrated() {
     let mut ensemble = em_matchers::EnsembleMatcher::uniform(members).unwrap();
     ensemble.calibrate(&ctx.split.validation);
     let quality = em_matchers::evaluate(&ensemble, &ctx.split.test);
-    assert!(quality.f1 > 0.5, "calibrated ensemble too weak: {quality:?}");
+    assert!(
+        quality.f1 > 0.5,
+        "calibrated ensemble too weak: {quality:?}"
+    );
     let crew = fast_crew(&ctx);
     let pair = &ctx.pairs_to_explain(1)[0].pair;
     let ce = crew.explain_clusters(&ensemble, pair).unwrap();

@@ -5,8 +5,8 @@ use crew_core::{Crew, CrewOptions, Explainer, PerturbOptions};
 use em_baselines::{Certa, CertaOptions, Landmark, Lemon, Lime, Mojito, Wym};
 use em_data::{EntityPair, Record, Schema, TokenizedPair};
 use em_embed::{EmbeddingOptions, WordEmbeddings};
-use em_matchers::{Matcher, RuleMatcher};
-use proptest::prelude::*;
+use em_matchers::RuleMatcher;
+use propcheck::prelude::*;
 use std::sync::Arc;
 
 fn embeddings() -> Arc<WordEmbeddings> {
@@ -17,7 +17,10 @@ fn embeddings() -> Arc<WordEmbeddings> {
     Arc::new(
         WordEmbeddings::train(
             corpus.iter().map(|v| v.as_slice()),
-            EmbeddingOptions { dimensions: 8, ..Default::default() },
+            EmbeddingOptions {
+                dimensions: 8,
+                ..Default::default()
+            },
         )
         .unwrap(),
     )
@@ -25,8 +28,13 @@ fn embeddings() -> Arc<WordEmbeddings> {
 
 fn arbitrary_pair() -> impl Strategy<Value = EntityPair> {
     let value = "[a-z0-9 .,()-]{0,30}";
-    (value.prop_map(|s| s), "[a-z ]{1,20}", "[a-z0-9 ]{0,25}", "[a-z ]{0,15}").prop_map(
-        |(a, b, c, d)| {
+    (
+        value.prop_map(|s| s),
+        "[a-z ]{1,20}",
+        "[a-z0-9 ]{0,25}",
+        "[a-z ]{0,15}",
+    )
+        .prop_map(|(a, b, c, d)| {
             let schema = Arc::new(Schema::new(vec!["x", "y"]));
             EntityPair::new(
                 schema,
@@ -34,12 +42,11 @@ fn arbitrary_pair() -> impl Strategy<Value = EntityPair> {
                 Record::new(1, vec![b, d]),
             )
             .unwrap()
-        },
-    )
+        })
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn all_explainers_handle_arbitrary_pairs(pair in arbitrary_pair()) {
@@ -78,13 +85,13 @@ proptest! {
 
     #[test]
     fn metrics_handle_arbitrary_units(pair in arbitrary_pair(), seed in 0u64..50) {
-        use rand::{Rng, SeedableRng};
+        use em_rngs::{Rng, SeedableRng};
         let matcher = RuleMatcher::uniform(2, 0.5).unwrap();
         let tokenized = TokenizedPair::new(pair);
         let n = tokenized.len();
         prop_assume!(n > 0);
         // Random unit partition with random weights.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = em_rngs::rngs::StdRng::seed_from_u64(seed);
         let units: Vec<crew_core::ExplanationUnit> = (0..n)
             .map(|i| crew_core::ExplanationUnit {
                 member_indices: vec![i],
