@@ -6,7 +6,7 @@
 //! signed by the effect of dropping the whole cell — giving CERTA its
 //! characteristic attribute-granular (coarse) explanations.
 
-use crew_core::{words_of, Explainer, WordExplanation};
+use crew_core::{query_pairs, words_of, Explainer, WordExplanation};
 use em_data::{Dataset, EntityPair, Record, Side, TokenizedPair};
 use em_matchers::Matcher;
 use em_rngs::rngs::StdRng;
@@ -19,6 +19,8 @@ pub struct CertaOptions {
     /// Counterfactual substitutions per cell.
     pub substitutions: usize,
     pub seed: u64,
+    /// Worker threads for model queries (1 = sequential).
+    pub threads: usize,
 }
 
 impl Default for CertaOptions {
@@ -26,6 +28,7 @@ impl Default for CertaOptions {
         CertaOptions {
             substitutions: 12,
             seed: 0xce47a,
+            threads: 1,
         }
     }
 }
@@ -100,10 +103,12 @@ impl Explainer for Certa {
                 if tokenized.cell_indices(side, attr).is_empty() {
                     continue;
                 }
-                // Counterfactual substitutions from the support set.
-                let mut deltas = Vec::with_capacity(self.options.substitutions);
+                // Counterfactual substitutions from the support set, plus
+                // the whole-cell drop, batched into one engine call.
                 let mut order: Vec<usize> = (0..self.support.len()).collect();
                 order.shuffle(&mut rng);
+                let mut probes: Vec<EntityPair> =
+                    Vec::with_capacity(self.options.substitutions + 1);
                 for &ri in order.iter().take(self.options.substitutions) {
                     let donor = &self.support[ri];
                     if donor.len() <= attr {
@@ -113,16 +118,20 @@ impl Explainer for Certa {
                     perturbed
                         .record_mut(side)
                         .set_value(attr, donor.value(attr).to_string());
-                    deltas.push((matcher.predict_proba(&perturbed) - base).abs());
+                    probes.push(perturbed);
                 }
-                if deltas.is_empty() {
+                if probes.is_empty() {
                     continue;
                 }
-                // Sign from dropping the whole cell: if removing the value
-                // lowers the score the cell supports the match.
                 let mut dropped = pair.clone();
                 dropped.record_mut(side).set_value(attr, String::new());
-                let drop_delta = base - matcher.predict_proba(&dropped);
+                probes.push(dropped);
+                let scores = query_pairs(&probes, matcher, self.options.threads);
+                let (drop_score, sub_scores) = scores.split_last().expect("probes non-empty");
+                let deltas: Vec<f64> = sub_scores.iter().map(|p| (p - base).abs()).collect();
+                // Sign from dropping the whole cell: if removing the value
+                // lowers the score the cell supports the match.
+                let drop_delta = base - drop_score;
                 let magnitude = deltas.iter().sum::<f64>() / deltas.len() as f64;
                 saliency[attr][s_idx] = magnitude * drop_delta.signum();
             }

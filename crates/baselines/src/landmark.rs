@@ -6,9 +6,10 @@
 //! the double-entity generation trick of the original system.
 
 use crew_core::{
-    fit_word_surrogate, words_of, Explainer, PerturbationSet, SurrogateOptions, WordExplanation,
+    fit_word_surrogate, query_pairs, words_of, Explainer, PerturbationSet, SurrogateOptions,
+    WordExplanation,
 };
-use em_data::{EntityPair, Side, TokenizedPair};
+use em_data::{EntityPair, MaskedPairBuffer, Side, TokenizedPair};
 use em_matchers::Matcher;
 use em_rngs::rngs::StdRng;
 use em_rngs::{Rng, SeedableRng};
@@ -24,6 +25,8 @@ pub struct LandmarkOptions {
     /// Augment perturbations with landmark-token injection when the model
     /// predicts non-match.
     pub injection: bool,
+    /// Worker threads for model queries (1 = sequential).
+    pub threads: usize,
 }
 
 impl Default for LandmarkOptions {
@@ -34,6 +37,7 @@ impl Default for LandmarkOptions {
             lambda: 1e-3,
             seed: 0x1a17d,
             injection: true,
+            threads: 1,
         }
     }
 }
@@ -93,22 +97,23 @@ impl Landmark {
             inject_flags.push(inject && s % 2 == 1);
         }
 
-        let responses: Vec<f64> = masks
+        let injections: Vec<(Side, usize, String)> = landmark_words
+            .iter()
+            .map(|(attr, text)| (side, *attr, text.clone()))
+            .collect();
+        let mut buffer = MaskedPairBuffer::new(tokenized);
+        let pairs: Vec<EntityPair> = masks
             .iter()
             .zip(&inject_flags)
             .map(|(mask, &inj)| {
-                let pair = if inj {
-                    let injections: Vec<(Side, usize, String)> = landmark_words
-                        .iter()
-                        .map(|(attr, text)| (side, *attr, text.clone()))
-                        .collect();
-                    tokenized.apply_mask_with_injections(mask, &injections)
+                if inj {
+                    buffer.apply_with_injections(mask, &injections).clone()
                 } else {
-                    tokenized.apply_mask(mask)
-                };
-                matcher.predict_proba(&pair)
+                    buffer.apply(mask).clone()
+                }
             })
             .collect();
+        let responses = query_pairs(&pairs, matcher, self.options.threads);
 
         // Restrict the design to this side's words.
         let sub_masks: Vec<Vec<bool>> = masks

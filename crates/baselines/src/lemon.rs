@@ -9,7 +9,8 @@
 //! per-token counterfactual injection probe.
 
 use crew_core::{
-    fit_word_surrogate, words_of, Explainer, PerturbationSet, SurrogateOptions, WordExplanation,
+    fit_word_surrogate, query_masks, query_pairs, words_of, Explainer, PerturbationSet,
+    SurrogateOptions, WordExplanation,
 };
 use em_data::{EntityPair, Side, TokenizedPair};
 use em_matchers::Matcher;
@@ -26,6 +27,8 @@ pub struct LemonOptions {
     pub seed: u64,
     /// Weight of the attribution-potential term in the final score.
     pub potential_weight: f64,
+    /// Worker threads for model queries (1 = sequential).
+    pub threads: usize,
 }
 
 impl Default for LemonOptions {
@@ -36,6 +39,7 @@ impl Default for LemonOptions {
             lambda: 1e-3,
             seed: 0x1e304,
             potential_weight: 0.5,
+            threads: 1,
         }
     }
 }
@@ -78,10 +82,7 @@ impl Lemon {
             }
             masks.push(mask);
         }
-        let responses: Vec<f64> = masks
-            .iter()
-            .map(|mask| matcher.predict_proba(&tokenized.apply_mask(mask)))
-            .collect();
+        let responses = query_masks(tokenized, &masks, matcher, self.options.threads);
         let sub_masks: Vec<Vec<bool>> = masks
             .iter()
             .map(|mask| side_indices.iter().map(|&i| mask[i]).collect())
@@ -114,16 +115,19 @@ impl Lemon {
         base: f64,
     ) -> Vec<f64> {
         let full_mask = vec![true; tokenized.len()];
-        tokenized
+        let pairs: Vec<EntityPair> = tokenized
             .words()
             .iter()
             .map(|w| {
-                let pair = tokenized.apply_mask_with_injections(
+                tokenized.apply_mask_with_injections(
                     &full_mask,
                     &[(w.side.other(), w.attribute, w.text.clone())],
-                );
-                (matcher.predict_proba(&pair) - base).max(0.0)
+                )
             })
+            .collect();
+        query_pairs(&pairs, matcher, self.options.threads)
+            .into_iter()
+            .map(|p| (p - base).max(0.0))
             .collect()
     }
 }

@@ -112,7 +112,7 @@ impl Mojito {
             copy_vectors.push(v);
         }
         let words = tokenized.words();
-        let responses: Vec<f64> = copy_vectors
+        let pairs: Vec<EntityPair> = copy_vectors
             .iter()
             .map(|v| {
                 let injections: Vec<(Side, usize, String)> = v
@@ -124,10 +124,10 @@ impl Mojito {
                         (w.side.other(), w.attribute, w.text.clone())
                     })
                     .collect();
-                let pair = tokenized.apply_mask_with_injections(&full_mask, &injections);
-                matcher.predict_proba(&pair)
+                tokenized.apply_mask_with_injections(&full_mask, &injections)
             })
             .collect();
+        let responses = crew_core::query_pairs(&pairs, matcher, self.options.threads);
         // Proximity: samples with fewer copies are closer to the original.
         let kept_fraction: Vec<f64> = copy_vectors
             .iter()

@@ -11,7 +11,8 @@
 //! emit word weights by distributing each unit's weight to its members.
 
 use crew_core::{
-    fit_word_surrogate, words_of, Explainer, PerturbationSet, SurrogateOptions, WordExplanation,
+    fit_word_surrogate, query_masks, words_of, Explainer, PerturbationSet, SurrogateOptions,
+    WordExplanation,
 };
 use em_data::{EntityPair, Side, TokenizedPair};
 use em_matchers::Matcher;
@@ -39,6 +40,8 @@ pub struct WymOptions {
     pub kernel_width: f64,
     pub lambda: f64,
     pub seed: u64,
+    /// Worker threads for model queries (1 = sequential).
+    pub threads: usize,
 }
 
 impl Default for WymOptions {
@@ -49,6 +52,7 @@ impl Default for WymOptions {
             kernel_width: 0.75,
             lambda: 1e-3,
             seed: 0x3713,
+            threads: 1,
         }
     }
 }
@@ -161,7 +165,9 @@ impl Explainer for Wym {
             }
             unit_masks.push(mask);
         }
-        let responses: Vec<f64> = unit_masks
+        // Expand unit masks to word masks, then query through the shared
+        // engine (dedup + buffered rebuild + batched prediction).
+        let word_masks: Vec<Vec<bool>> = unit_masks
             .iter()
             .map(|um| {
                 let mut word_mask = vec![true; n];
@@ -172,9 +178,10 @@ impl Explainer for Wym {
                         }
                     }
                 }
-                matcher.predict_proba(&tokenized.apply_mask(&word_mask))
+                word_mask
             })
             .collect();
+        let responses = query_masks(&tokenized, &word_masks, matcher, self.options.threads);
         let kept_fraction: Vec<f64> = unit_masks
             .iter()
             .map(|um| um.iter().filter(|&&b| b).count() as f64 / m as f64)

@@ -1,10 +1,10 @@
 //! Microbenchmarks of the perturbation engine: mask sampling and
 //! mask-apply/model-query throughput at several pair lengths.
 
-use crew_core::{sample_masks, MaskStrategy, PerturbOptions};
+use crew_core::{query_masks, sample_masks, MaskStrategy, PerturbOptions};
 use em_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use em_data::TokenizedPair;
-use em_matchers::{Matcher, RuleMatcher};
+use em_matchers::{LogisticMatcher, Matcher, MlpMatcher, RuleMatcher, TrainOptions};
 
 fn bench_mask_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("mask_sampling");
@@ -55,5 +55,55 @@ fn bench_mask_apply_and_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mask_sampling, bench_mask_apply_and_query);
+/// End-to-end perturbation throughput against trained matchers: the
+/// acceptance-criterion workload (256 samples, 4 threads) on the logistic
+/// and MLP models whose query cost dominates every experiment.
+fn bench_trained_matcher_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perturb_engine");
+    group.sample_size(10);
+    let cfg = em_synth::GeneratorConfig {
+        entities: 120,
+        pairs: 400,
+        match_rate: 0.25,
+        hard_negative_rate: 0.5,
+        seed: 11,
+    };
+    let dataset = em_synth::generate(em_synth::Family::Restaurants, cfg).unwrap();
+    let split = dataset.split(0.7, 0.15, 11).unwrap();
+    let logistic = LogisticMatcher::fit(&split.train, &split.validation, TrainOptions::default())
+        .expect("logistic training");
+    let mlp = MlpMatcher::fit(&split.train, &split.validation, TrainOptions::default())
+        .expect("mlp training");
+    // The longest test pair: a representative (not degenerate) workload.
+    let pair = split
+        .test
+        .examples()
+        .iter()
+        .max_by_key(|ex| ex.pair.token_count())
+        .unwrap()
+        .pair
+        .clone();
+    let tp = TokenizedPair::new(pair);
+    let opts = PerturbOptions {
+        samples: 256,
+        seed: 7,
+        threads: 4,
+        ..Default::default()
+    };
+    let masks = sample_masks(&tp, &opts).unwrap();
+    let matchers: [(&str, &dyn Matcher); 2] = [("logistic_256x4", &logistic), ("mlp_256x4", &mlp)];
+    for (name, matcher) in matchers {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &tp, |b, tp| {
+            b.iter(|| query_masks(tp, &masks, matcher, 4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mask_sampling,
+    bench_mask_apply_and_query,
+    bench_trained_matcher_query
+);
 criterion_main!(benches);

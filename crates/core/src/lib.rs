@@ -55,7 +55,7 @@ pub use knowledge::{
     semantic_coherence, semantic_distances, KnowledgeWeights,
 };
 pub use perturb::{
-    perturb, query_masks, sample_masks, MaskStrategy, PerturbOptions, PerturbationSet,
+    perturb, query_masks, query_pairs, sample_masks, MaskStrategy, PerturbOptions, PerturbationSet,
 };
 pub use report::{cluster_explanation_to_json, word_explanation_to_json};
 pub use surrogate::{

@@ -2,11 +2,22 @@
 //! and query the matcher — optionally in parallel. All perturbation-based
 //! explainers (CREW, LIME, Mojito, Landmark, LEMON) share this substrate,
 //! so score differences reflect algorithms rather than plumbing.
+//!
+//! Query execution is batched and cache-aware: identical masks are
+//! queried once (a dedup memo), pairs are rebuilt through a reusable
+//! [`MaskedPairBuffer`] instead of per-sample allocation, blocks of
+//! rebuilt pairs go through [`Matcher::predict_proba_batch`] so
+//! vectorisable models amortise feature extraction, and blocks are
+//! distributed over the shared `em-pool` worker pool. Each response
+//! depends only on its own mask, so results are bitwise-identical at any
+//! thread count, block size, and on the batched vs scalar matcher paths.
 
-use em_data::{EntityPair, Side, TokenizedPair};
+use em_data::{EntityPair, MaskedPairBuffer, Side, TokenizedPair};
 use em_matchers::Matcher;
 use em_rngs::rngs::StdRng;
 use em_rngs::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How drop masks are sampled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,35 +161,97 @@ fn partial_shuffle(items: &mut [usize], k: usize, rng: &mut StdRng) {
     }
 }
 
+/// Number of pairs handed to one [`Matcher::predict_proba_batch`] call
+/// when blocks are fanned out over pool workers. Large enough to
+/// amortise the per-batch feature caches, small enough that blocks
+/// load-balance across workers. On the inline path the whole query is a
+/// single block: masked cell values recur across the full mask set, so
+/// one batch maximises per-call cache hits. Block size never changes
+/// results — batch prediction is bitwise-identical to the scalar loop.
+const QUERY_BLOCK: usize = 32;
+
+/// Run `total` items in blocks: one block spanning everything when the
+/// query stays inline (no thread budget, no live pool workers, or too
+/// few items to split), [`QUERY_BLOCK`]-sized blocks over the shared
+/// pool otherwise. `run_block` receives `(start, end)` item ranges.
+fn run_blocked(total: usize, threads: usize, run_block: &(dyn Fn(usize, usize) + Sync)) {
+    let pool = em_pool::global();
+    if threads <= 1 || pool.workers() == 0 || total <= QUERY_BLOCK {
+        if total > 0 {
+            run_block(0, total);
+        }
+    } else {
+        let n_blocks = total.div_ceil(QUERY_BLOCK);
+        pool.run(n_blocks, threads, &|b| {
+            let start = b * QUERY_BLOCK;
+            run_block(start, (start + QUERY_BLOCK).min(total));
+        });
+    }
+}
+
 /// Query the matcher on every masked rebuild of the pair.
 ///
-/// `injections[i]` (if provided) is appended to the i-th masked pair —
-/// used by injection-augmented explainers. Uses `opts.threads` workers.
+/// Identical masks are queried once and their response is shared (drop
+/// sampling on short pairs repeats masks often). Unique masks are
+/// processed in blocks: each block rebuilds its pairs through one
+/// [`MaskedPairBuffer`] and issues a single batched prediction; blocks
+/// run on the shared worker pool when `threads > 1`. Responses land in
+/// per-mask slots, so the output is independent of scheduling.
 pub fn query_masks(
     tokenized: &TokenizedPair,
     masks: &[Vec<bool>],
     matcher: &dyn Matcher,
     threads: usize,
 ) -> Vec<f64> {
-    let run = |mask: &Vec<bool>| -> f64 {
-        let pair: EntityPair = tokenized.apply_mask(mask);
-        matcher.predict_proba(&pair)
-    };
-    if threads <= 1 || masks.len() < 32 {
-        return masks.iter().map(run).collect();
+    // Dedup memo: input index → unique slot, unique slot → first input.
+    let mut first_seen: HashMap<&[bool], usize> = HashMap::with_capacity(masks.len());
+    let mut slot_of: Vec<usize> = Vec::with_capacity(masks.len());
+    let mut unique: Vec<usize> = Vec::with_capacity(masks.len());
+    for (i, mask) in masks.iter().enumerate() {
+        let next = unique.len();
+        let slot = *first_seen.entry(mask.as_slice()).or_insert(next);
+        if slot == next {
+            unique.push(i);
+        }
+        slot_of.push(slot);
     }
-    let mut responses = vec![0.0; masks.len()];
-    let chunk = masks.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (mask_chunk, resp_chunk) in masks.chunks(chunk).zip(responses.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (m, r) in mask_chunk.iter().zip(resp_chunk.iter_mut()) {
-                    *r = run(m);
-                }
-            });
+
+    // f64 bit-patterns behind atomics: blocks write disjoint slots, and
+    // the atomic store keeps the fan-out free of unsafe aliasing.
+    let slots: Vec<AtomicU64> = (0..unique.len()).map(|_| AtomicU64::new(0)).collect();
+    run_blocked(unique.len(), threads, &|start, end| {
+        let mut buffer = MaskedPairBuffer::new(tokenized);
+        let pairs: Vec<EntityPair> = unique[start..end]
+            .iter()
+            .map(|&i| buffer.apply(&masks[i]).clone())
+            .collect();
+        for (slot, p) in (start..end).zip(matcher.predict_proba_batch(&pairs)) {
+            slots[slot].store(p.to_bits(), Ordering::SeqCst);
         }
     });
-    responses
+    slot_of
+        .iter()
+        .map(|&slot| f64::from_bits(slots[slot].load(Ordering::SeqCst)))
+        .collect()
+}
+
+/// Query the matcher on a slice of pre-built pairs, in batched blocks,
+/// on the shared pool when `threads > 1` — the substrate for explainers
+/// whose perturbations are not pure drop masks (injection and
+/// substitution loops in Landmark, LEMON, Mojito-COPY, CERTA).
+///
+/// Output order matches input order and is independent of scheduling.
+pub fn query_pairs(pairs: &[EntityPair], matcher: &dyn Matcher, threads: usize) -> Vec<f64> {
+    let slots: Vec<AtomicU64> = (0..pairs.len()).map(|_| AtomicU64::new(0)).collect();
+    run_blocked(pairs.len(), threads, &|start, end| {
+        for (slot, p) in (start..end).zip(matcher.predict_proba_batch(&pairs[start..end])) {
+            slots[slot].store(p.to_bits(), Ordering::SeqCst);
+        }
+    });
+    slots
+        .iter()
+        .map(|slot| f64::from_bits(slot.load(Ordering::SeqCst)))
+        .collect()
 }
 
 /// Sample masks and query the matcher in one step.
@@ -350,6 +423,56 @@ mod tests {
         let seq = query_masks(&tp, &masks, &CountingMatcher, 1);
         let par = query_masks(&tp, &masks, &CountingMatcher, 4);
         assert_eq!(seq, par);
+    }
+
+    /// Counts distinct model invocations through either prediction path.
+    struct InvocationCounter(std::sync::atomic::AtomicUsize);
+    impl Matcher for InvocationCounter {
+        fn name(&self) -> &str {
+            "invocation-counter"
+        }
+        fn predict_proba(&self, pair: &EntityPair) -> f64 {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            em_text::token_count(pair.left().value(0)) as f64 / 4.0
+        }
+    }
+
+    #[test]
+    fn duplicate_masks_are_queried_once() {
+        let tp = tokenized();
+        let n = tp.len();
+        let mut distinct = vec![vec![true; n]; 1];
+        let mut with_dup = vec![false; n];
+        with_dup[0] = true;
+        distinct.push(with_dup.clone());
+        // 64 copies of each distinct mask, interleaved.
+        let masks: Vec<Vec<bool>> = (0..128).map(|i| distinct[i % 2].clone()).collect();
+        let counter = InvocationCounter(std::sync::atomic::AtomicUsize::new(0));
+        let responses = query_masks(&tp, &masks, &counter, 1);
+        assert_eq!(counter.0.load(Ordering::SeqCst), 2, "dedup memo missed");
+        // Copies share their original's response.
+        for chunk in responses.chunks(2) {
+            assert_eq!(chunk[0], responses[0]);
+            assert_eq!(chunk[1], responses[1]);
+        }
+    }
+
+    #[test]
+    fn query_pairs_matches_scalar_loop_at_any_thread_count() {
+        let tp = tokenized();
+        let opts = PerturbOptions {
+            samples: 90,
+            ..Default::default()
+        };
+        let masks = sample_masks(&tp, &opts).unwrap();
+        let pairs: Vec<EntityPair> = masks.iter().map(|m| tp.apply_mask(m)).collect();
+        let want: Vec<f64> = pairs
+            .iter()
+            .map(|p| CountingMatcher.predict_proba(p))
+            .collect();
+        for threads in [1usize, 2, 8] {
+            assert_eq!(query_pairs(&pairs, &CountingMatcher, threads), want);
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub use csv::{
 };
 pub use dataset::{Dataset, DatasetStats, Label, LabeledPair, Split};
 pub use schema::{EntityPair, Record, Schema, Side};
-pub use tokens::{TokenizedPair, WordUnit};
+pub use tokens::{MaskedPairBuffer, TokenizedPair, WordUnit};
 
 /// Errors from dataset construction and loading.
 #[derive(Debug, Clone, PartialEq)]

@@ -91,6 +91,12 @@ impl Record {
         self.values[idx] = value;
     }
 
+    /// Mutable access to one attribute value, letting perturbation
+    /// engines rewrite cells in place without reallocating the string.
+    pub fn value_mut(&mut self, idx: usize) -> &mut String {
+        &mut self.values[idx]
+    }
+
     /// Number of attribute values.
     pub fn len(&self) -> usize {
         self.values.len()

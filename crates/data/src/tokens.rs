@@ -162,6 +162,152 @@ impl TokenizedPair {
     }
 }
 
+/// A reusable buffer for applying many masks to one [`TokenizedPair`]
+/// without reallocating per sample.
+///
+/// [`TokenizedPair::apply_mask`] clones the pair and rebuilds every
+/// attribute string from scratch on each call; over a 256-sample
+/// perturbation run that is hundreds of redundant allocations and
+/// re-joins. The buffer keeps one working pair and rewrites only the
+/// `(side, attribute)` cells whose kept-set actually changed:
+///
+/// - cells whose mask bits are all `true` and that already hold their
+///   full (normalised) value are skipped entirely — SingleSide and
+///   Landmark masks leave half the cells untouched every sample;
+/// - other cells are rewritten in place into their existing `String`
+///   capacity via [`Record::value_mut`].
+///
+/// The produced pair is bitwise-identical to `apply_mask`'s output (the
+/// same words joined by single spaces), so the scalar and buffered
+/// paths are interchangeable under the determinism contract.
+#[derive(Debug)]
+pub struct MaskedPairBuffer<'a> {
+    tokenized: &'a TokenizedPair,
+    /// Working pair, always holding the most recently applied mask.
+    pair: EntityPair,
+    /// `(side, attribute, word-index range)` per cell; ranges are
+    /// contiguous because words are emitted in (side, attribute,
+    /// position) order.
+    cells: Vec<(Side, usize, std::ops::Range<usize>)>,
+    /// The full normalised value of each cell (all words kept).
+    full_values: Vec<String>,
+    /// Whether the working pair currently holds the full value of the
+    /// cell (enables the all-kept skip).
+    is_full: Vec<bool>,
+}
+
+impl<'a> MaskedPairBuffer<'a> {
+    pub fn new(tokenized: &'a TokenizedPair) -> Self {
+        let schema = tokenized.pair().schema_arc();
+        let mut cells = Vec::with_capacity(schema.len() * 2);
+        let words = tokenized.words();
+        for side in [Side::Left, Side::Right] {
+            for attr in 0..schema.len() {
+                let start = words
+                    .iter()
+                    .position(|w| w.side == side && w.attribute == attr)
+                    .unwrap_or(words.len());
+                let end = start
+                    + words[start..]
+                        .iter()
+                        .take_while(|w| w.side == side && w.attribute == attr)
+                        .count();
+                cells.push((side, attr, start..end));
+            }
+        }
+        let full_values: Vec<String> = cells
+            .iter()
+            .map(|(_, _, range)| {
+                let mut value = String::new();
+                for w in &words[range.clone()] {
+                    if !value.is_empty() {
+                        value.push(' ');
+                    }
+                    value.push_str(&w.text);
+                }
+                value
+            })
+            .collect();
+        let mut pair = tokenized.pair().clone();
+        for ((side, attr, _), full) in cells.iter().zip(&full_values) {
+            pair.record_mut(*side).value_mut(*attr).clone_from(full);
+        }
+        let is_full = vec![true; cells.len()];
+        MaskedPairBuffer {
+            tokenized,
+            pair,
+            cells,
+            full_values,
+            is_full,
+        }
+    }
+
+    /// Apply `mask` and return the rebuilt pair (borrowed from the
+    /// buffer; clone it if an owned pair is needed).
+    ///
+    /// # Panics
+    /// Panics if `mask.len() != tokenized.len()`.
+    pub fn apply(&mut self, mask: &[bool]) -> &EntityPair {
+        assert_eq!(
+            mask.len(),
+            self.tokenized.len(),
+            "mask length must equal word count"
+        );
+        let words = self.tokenized.words();
+        for (cell, (side, attr, range)) in self.cells.iter().enumerate() {
+            let all_kept = mask[range.clone()].iter().all(|&b| b);
+            if all_kept {
+                if !self.is_full[cell] {
+                    self.pair
+                        .record_mut(*side)
+                        .value_mut(*attr)
+                        .clone_from(&self.full_values[cell]);
+                    self.is_full[cell] = true;
+                }
+                continue;
+            }
+            let value = self.pair.record_mut(*side).value_mut(*attr);
+            value.clear();
+            for i in range.clone() {
+                if mask[i] {
+                    if !value.is_empty() {
+                        value.push(' ');
+                    }
+                    value.push_str(&words[i].text);
+                }
+            }
+            self.is_full[cell] = false;
+        }
+        &self.pair
+    }
+
+    /// Apply `mask`, then append injected words to their cells —
+    /// the buffered counterpart of
+    /// [`TokenizedPair::apply_mask_with_injections`]. Injected cells
+    /// are marked dirty so the next [`Self::apply`] restores them.
+    pub fn apply_with_injections(
+        &mut self,
+        mask: &[bool],
+        injections: &[(Side, usize, String)],
+    ) -> &EntityPair {
+        self.apply(mask);
+        for (side, attr, text) in injections {
+            let value = self.pair.record_mut(*side).value_mut(*attr);
+            if !value.is_empty() {
+                value.push(' ');
+            }
+            value.push_str(text);
+            let cell = self
+                .cells
+                .iter()
+                .position(|(s, a, _)| s == side && a == attr)
+                .expect("injection cell exists in schema");
+            self.is_full[cell] = false;
+        }
+        &self.pair
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +412,54 @@ mod tests {
         let tp = TokenizedPair::new(pair());
         let label = tp.words()[0].label(tp.pair().schema());
         assert_eq!(label, "L.title:sony");
+    }
+
+    #[test]
+    fn buffer_matches_apply_mask_over_a_mask_stream() {
+        let tp = TokenizedPair::new(pair());
+        let mut buffer = MaskedPairBuffer::new(&tp);
+        // A stream exercising all-kept, all-dropped, and partial masks in
+        // sequence, including returns to the full mask (cache restore).
+        let n = tp.len();
+        let mut masks: Vec<Vec<bool>> = vec![vec![true; n], vec![false; n]];
+        for i in 0..n {
+            let mut m = vec![true; n];
+            m[i] = false;
+            masks.push(m);
+            masks.push(vec![true; n]);
+            let mut m2 = vec![false; n];
+            m2[i] = true;
+            masks.push(m2);
+        }
+        for mask in &masks {
+            assert_eq!(buffer.apply(mask), &tp.apply_mask(mask));
+        }
+    }
+
+    #[test]
+    fn buffer_matches_apply_mask_with_injections() {
+        let tp = TokenizedPair::new(pair());
+        let mut buffer = MaskedPairBuffer::new(&tp);
+        let mut mask = vec![true; tp.len()];
+        mask[1] = false;
+        let injections = vec![
+            (Side::Right, 1, "sony".to_string()),
+            (Side::Left, 0, "extra".to_string()),
+        ];
+        for _ in 0..3 {
+            assert_eq!(
+                buffer.apply_with_injections(&mask, &injections),
+                &tp.apply_mask_with_injections(&mask, &injections)
+            );
+            // Interleave a plain apply to check injected cells recover.
+            assert_eq!(buffer.apply(&mask), &tp.apply_mask(&mask));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn buffer_mask_length_mismatch_panics() {
+        let tp = TokenizedPair::new(pair());
+        MaskedPairBuffer::new(&tp).apply(&[true]);
     }
 }

@@ -78,6 +78,55 @@ pub(crate) struct HeadlineRow {
     pub seconds_per_pair: f64,
 }
 
+/// Per-pair measurements behind one [`HeadlineRow`].
+struct PairStats {
+    aopc: f64,
+    aopc_u: f64,
+    flip: f64,
+    r2: f64,
+    suff: f64,
+    units_n: f64,
+    coh: f64,
+    pur: f64,
+    comp: f64,
+    secs: f64,
+}
+
+/// Explain one pair with one system and measure everything T3/T4 report.
+/// The unperturbed base score is queried once and shared by all four
+/// fidelity metrics.
+fn pair_stats(
+    kind: ExplainerKind,
+    ctx: &EvalContext,
+    config: &ExperimentConfig,
+    matcher: &dyn em_matchers::Matcher,
+    pair: &em_data::EntityPair,
+    fractions: &[f64],
+) -> Result<PairStats, crate::EvalError> {
+    let out = explain_pair(kind, ctx, config.budget(), matcher, pair)?;
+    let tokenized = TokenizedPair::new(pair.clone());
+    let base = metrics::base_probability(matcher, &tokenized);
+    let aopc = metrics::aopc_deletion_with_base(matcher, &tokenized, &out.units, fractions, base)?;
+    let aopc_u = metrics::aopc_units_with_base(matcher, &tokenized, &out.units, 3, base)?;
+    let flip = f64::from(metrics::decision_flip_with_base(
+        matcher, &tokenized, &out.units, base,
+    )?);
+    let suff = metrics::sufficiency_with_base(matcher, &tokenized, &out.units, 0.3, base)?;
+    let rep = metrics::interpretability(&out.units, &out.word_level.words, &ctx.embeddings)?;
+    Ok(PairStats {
+        aopc,
+        aopc_u,
+        flip,
+        r2: out.word_level.surrogate_r2,
+        suff,
+        units_n: rep.unit_count as f64,
+        coh: rep.semantic_coherence,
+        pur: rep.attribute_purity,
+        comp: rep.compression,
+        secs: out.elapsed,
+    })
+}
+
 pub(crate) fn headline_metrics(
     config: &ExperimentConfig,
 ) -> Result<Vec<HeadlineRow>, crate::EvalError> {
@@ -88,6 +137,30 @@ pub(crate) fn headline_metrics(
         let matcher = ctx.matcher(config.matcher)?;
         let pairs = ctx.pairs_to_explain(config.explain_pairs);
         for kind in ExplainerKind::all() {
+            // Pair-level fan-out over the shared worker pool. Every pair's
+            // result lands in its own slot, and aggregation walks the slots
+            // in pair order, so the row is identical at any thread count
+            // (each explanation is deterministic on its own).
+            let slots: Vec<std::sync::Mutex<Option<Result<PairStats, crate::EvalError>>>> =
+                pairs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+            let run_pair = |i: usize| {
+                let r = pair_stats(
+                    kind,
+                    &ctx,
+                    config,
+                    matcher.as_ref(),
+                    &pairs[i].pair,
+                    &fractions,
+                );
+                *slots[i].lock().expect("slot lock") = Some(r);
+            };
+            if config.threads <= 1 {
+                for i in 0..pairs.len() {
+                    run_pair(i);
+                }
+            } else {
+                em_pool::global().run(pairs.len(), config.threads, &run_pair);
+            }
             let mut aopc = Vec::new();
             let mut aopc_u = Vec::new();
             let mut flips = Vec::new();
@@ -98,40 +171,21 @@ pub(crate) fn headline_metrics(
             let mut pur = Vec::new();
             let mut comp = Vec::new();
             let mut secs = Vec::new();
-            for ex in &pairs {
-                let out = explain_pair(kind, &ctx, config.budget(), matcher.as_ref(), &ex.pair)?;
-                let tokenized = TokenizedPair::new(ex.pair.clone());
-                aopc.push(metrics::aopc_deletion(
-                    matcher.as_ref(),
-                    &tokenized,
-                    &out.units,
-                    &fractions,
-                )?);
-                aopc_u.push(metrics::aopc_units(
-                    matcher.as_ref(),
-                    &tokenized,
-                    &out.units,
-                    3,
-                )?);
-                flips.push(f64::from(metrics::decision_flip(
-                    matcher.as_ref(),
-                    &tokenized,
-                    &out.units,
-                )?));
-                suff.push(metrics::sufficiency(
-                    matcher.as_ref(),
-                    &tokenized,
-                    &out.units,
-                    0.3,
-                )?);
-                r2.push(out.word_level.surrogate_r2);
-                let rep =
-                    metrics::interpretability(&out.units, &out.word_level.words, &ctx.embeddings)?;
-                units_n.push(rep.unit_count as f64);
-                coh.push(rep.semantic_coherence);
-                pur.push(rep.attribute_purity);
-                comp.push(rep.compression);
-                secs.push(out.elapsed);
+            for slot in slots {
+                let stats = slot
+                    .into_inner()
+                    .expect("slot lock")
+                    .expect("every pair processed")?;
+                aopc.push(stats.aopc);
+                aopc_u.push(stats.aopc_u);
+                flips.push(stats.flip);
+                r2.push(stats.r2);
+                suff.push(stats.suff);
+                units_n.push(stats.units_n);
+                coh.push(stats.coh);
+                pur.push(stats.pur);
+                comp.push(stats.comp);
+                secs.push(stats.secs);
             }
             let mean = em_linalg::stats::mean;
             rows.push(HeadlineRow {

@@ -126,11 +126,13 @@ pub fn build_explainer(
         ExplainerKind::Landmark => Box::new(Landmark::new(LandmarkOptions {
             samples_per_side: budget.samples / 2,
             seed: budget.seed,
+            threads: budget.threads,
             ..Default::default()
         })),
         ExplainerKind::Lemon => Box::new(Lemon::new(LemonOptions {
             samples_per_side: budget.samples / 2,
             seed: budget.seed,
+            threads: budget.threads,
             ..Default::default()
         })),
         ExplainerKind::Certa => Box::new(Certa::from_dataset(
@@ -138,12 +140,14 @@ pub fn build_explainer(
             32,
             CertaOptions {
                 seed: budget.seed,
+                threads: budget.threads,
                 ..Default::default()
             },
         )?),
         ExplainerKind::Wym => Box::new(Wym::new(WymOptions {
             samples: budget.samples,
             seed: budget.seed,
+            threads: budget.threads,
             ..Default::default()
         })),
     })
@@ -182,6 +186,7 @@ pub fn explain_pair(
         let wym = Wym::new(WymOptions {
             samples: budget.samples,
             seed: budget.seed,
+            threads: budget.threads,
             ..Default::default()
         });
         let we = wym.explain(matcher, pair)?;

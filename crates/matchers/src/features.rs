@@ -71,6 +71,65 @@ impl FeatureExtractor {
         out
     }
 
+    /// Extract the feature matrix of a batch of pairs (one row per pair),
+    /// bitwise-identical to stacking [`FeatureExtractor::extract`] rows.
+    ///
+    /// Perturbed batches are highly redundant — drop masks leave most
+    /// `(side, attribute)` cells untouched, and SingleSide/Landmark masks
+    /// keep one whole record constant — so the expensive per-cell
+    /// similarity bundles are cached per distinct `(attr, left, right)`
+    /// value pair, and cell tokenisations per distinct value. Record-level
+    /// token lists are assembled from the cached cell tokens: values are
+    /// space-joined in `full_text` and the tokenizer splits on
+    /// non-alphanumerics, so per-cell tokenisation concatenates to exactly
+    /// the full-record tokenisation. The caches live only for the call: no
+    /// invalidation, no locking, and hits return copies of values computed
+    /// by the exact same code as the scalar path.
+    pub fn extract_batch(&self, pairs: &[EntityPair]) -> em_linalg::Matrix {
+        use std::collections::HashMap;
+        let mut attr_cache: HashMap<(usize, &str, &str), [f64; PER_ATTRIBUTE_FEATURES]> =
+            HashMap::new();
+        let mut cell_tokens: HashMap<&str, Vec<String>> = HashMap::new();
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(pairs.len());
+        let mut lt: Vec<String> = Vec::new();
+        let mut rt: Vec<String> = Vec::new();
+        for pair in pairs {
+            debug_assert_eq!(
+                pair.schema().len(),
+                self.n_attributes,
+                "schema size changed"
+            );
+            let mut out = Vec::with_capacity(self.dimensions());
+            for attr in 0..self.n_attributes.min(pair.schema().len()) {
+                let l = pair.left().value(attr);
+                let r = pair.right().value(attr);
+                let feats = attr_cache
+                    .entry((attr, l, r))
+                    .or_insert_with(|| attribute_features(l, r));
+                out.extend_from_slice(&feats[..]);
+            }
+            while out.len() < self.n_attributes * PER_ATTRIBUTE_FEATURES {
+                out.push(0.0);
+            }
+            lt.clear();
+            rt.clear();
+            for (record, toks) in [(pair.left(), &mut lt), (pair.right(), &mut rt)] {
+                for idx in 0..record.len() {
+                    let value = record.value(idx);
+                    if !cell_tokens.contains_key(value) {
+                        cell_tokens.insert(value, em_text::tokenize(value));
+                    }
+                    toks.extend_from_slice(&cell_tokens[value]);
+                }
+            }
+            out.push(self.tfidf.cosine(&lt, &rt));
+            out.push(em_text::jaccard(&lt, &rt));
+            out.push(em_text::overlap_coefficient(&lt, &rt));
+            rows.push(out);
+        }
+        em_linalg::Matrix::from_rows(&rows)
+    }
+
     /// Extract features for every pair of a dataset along with labels.
     pub fn extract_dataset(&self, data: &Dataset) -> (em_linalg::Matrix, Vec<f64>) {
         let rows: Vec<Vec<f64>> = data
@@ -83,7 +142,9 @@ impl FeatureExtractor {
     }
 }
 
-fn push_attribute_features(out: &mut Vec<f64>, l: &str, r: &str) {
+/// The per-attribute similarity bundle; the single implementation both
+/// the scalar and batched extraction paths share.
+fn attribute_features(l: &str, r: &str) -> [f64; PER_ATTRIBUTE_FEATURES] {
     let lt = em_text::tokenize(l);
     let rt = em_text::tokenize(r);
     let both_empty = lt.is_empty() && rt.is_empty();
@@ -91,24 +152,27 @@ fn push_attribute_features(out: &mut Vec<f64>, l: &str, r: &str) {
     // Null indicators first: similarity features are forced to 0 when either
     // side is missing so "both null" is not mistaken for "identical".
     if both_empty || one_empty {
-        out.push(0.0); // jaccard
-        out.push(0.0); // monge-elkan
-        out.push(0.0); // qgram jaccard
-        out.push(0.0); // numeric/string sim
-        out.push(if one_empty { 1.0 } else { 0.0 });
-        out.push(if both_empty { 1.0 } else { 0.0 });
-        return;
+        return [
+            0.0, // jaccard
+            0.0, // monge-elkan
+            0.0, // qgram jaccard
+            0.0, // numeric/string sim
+            if one_empty { 1.0 } else { 0.0 },
+            if both_empty { 1.0 } else { 0.0 },
+        ];
     }
-    out.push(em_text::jaccard(&lt, &rt));
-    out.push(em_text::monge_elkan_sym(&lt, &rt));
-    out.push(em_text::qgram_jaccard(
-        &l.to_lowercase(),
-        &r.to_lowercase(),
-        3,
-    ));
-    out.push(em_text::numeric_or_string_similarity(l, r));
-    out.push(0.0);
-    out.push(0.0);
+    [
+        em_text::jaccard(&lt, &rt),
+        em_text::monge_elkan_sym(&lt, &rt),
+        em_text::qgram_jaccard(&l.to_lowercase(), &r.to_lowercase(), 3),
+        em_text::numeric_or_string_similarity(l, r),
+        0.0,
+        0.0,
+    ]
+}
+
+fn push_attribute_features(out: &mut Vec<f64>, l: &str, r: &str) {
+    out.extend_from_slice(&attribute_features(l, r));
 }
 
 #[cfg(test)]
@@ -218,6 +282,31 @@ mod tests {
             .set_value(0, "tv 55".into());
         let dropped = fe.extract(&perturbed);
         assert_ne!(full, dropped);
+    }
+
+    #[test]
+    fn extract_batch_matches_scalar_rows_bitwise() {
+        let d = dataset();
+        let fe = FeatureExtractor::fit(&d);
+        // Duplicates and a null-attribute pair exercise both caches.
+        let mut pairs: Vec<EntityPair> = d.examples().iter().map(|ex| ex.pair.clone()).collect();
+        pairs.push(pairs[0].clone());
+        pairs.push(
+            EntityPair::new(
+                d.schema_arc(),
+                Record::new(10, vec!["x".into(), "".into()]),
+                Record::new(11, vec!["x".into(), "5".into()]),
+            )
+            .unwrap(),
+        );
+        let x = fe.extract_batch(&pairs);
+        assert_eq!(x.rows(), pairs.len());
+        for (i, p) in pairs.iter().enumerate() {
+            let f = fe.extract(p);
+            let batch_bits: Vec<u64> = x.row(i).iter().map(|v| v.to_bits()).collect();
+            let scalar_bits: Vec<u64> = f.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(batch_bits, scalar_bits, "row {i} differs");
+        }
     }
 
     #[test]

@@ -172,6 +172,18 @@ impl Matcher for LogisticMatcher {
         sigmoid(em_linalg::dot(&self.weights, &f) + self.bias)
     }
 
+    /// One cached feature-extraction pass and a single matrix-vector
+    /// product. `matvec` computes `dot(row_i, weights)` per row in index
+    /// order — the same accumulation order as the scalar path's
+    /// `dot(weights, features)` — so the outputs are bitwise identical.
+    fn predict_proba_batch(&self, pairs: &[EntityPair]) -> Vec<f64> {
+        let x = self.extractor.extract_batch(pairs);
+        x.matvec(&self.weights)
+            .into_iter()
+            .map(|z| sigmoid(z + self.bias))
+            .collect()
+    }
+
     fn threshold(&self) -> f64 {
         self.threshold
     }
@@ -211,6 +223,22 @@ mod tests {
         for ex in test.examples().iter().take(30) {
             let p = m.predict_proba(&ex.pair);
             assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn batch_prediction_matches_scalar_bitwise() {
+        let (train, val, test) = splits(6);
+        let m = LogisticMatcher::fit(&train, &val, TrainOptions::default()).unwrap();
+        let pairs: Vec<em_data::EntityPair> = test
+            .examples()
+            .iter()
+            .take(40)
+            .map(|ex| ex.pair.clone())
+            .collect();
+        let batch = m.predict_proba_batch(&pairs);
+        for (p, pair) in batch.iter().zip(&pairs) {
+            assert_eq!(p.to_bits(), m.predict_proba(pair).to_bits());
         }
     }
 

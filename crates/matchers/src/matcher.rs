@@ -14,6 +14,18 @@ pub trait Matcher: Send + Sync {
     /// Match probability in `[0, 1]`.
     fn predict_proba(&self, pair: &EntityPair) -> f64;
 
+    /// Match probabilities for a batch of pairs.
+    ///
+    /// The default maps [`Matcher::predict_proba`] over the slice; models
+    /// with vectorisable inference (logistic, MLP) override it to extract
+    /// features into one matrix and predict in a single pass. Overrides
+    /// must return bitwise-identical values to the scalar path — the
+    /// perturbation engine treats the two as interchangeable under the
+    /// determinism contract.
+    fn predict_proba_batch(&self, pairs: &[EntityPair]) -> Vec<f64> {
+        pairs.iter().map(|p| self.predict_proba(p)).collect()
+    }
+
     /// Decision threshold (calibrated on validation data where available).
     fn threshold(&self) -> f64 {
         0.5

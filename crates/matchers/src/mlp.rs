@@ -301,6 +301,31 @@ impl Matcher for MlpMatcher {
         forward_proba(&self.l1, &self.l2, &self.l3, &f)
     }
 
+    /// One cached feature-extraction pass, then a row-major batched
+    /// forward reusing the activation buffers across rows.
+    ///
+    /// Deliberately NOT `Matrix::matmul`: its zero-skip optimisation can
+    /// flip a `-0.0` accumulator to `+0.0` relative to the dot-product
+    /// path (and ReLU produces exact zeros), which would break bitwise
+    /// equality with [`Matcher::predict_proba`]. Per-row `Layer::forward`
+    /// reproduces the scalar accumulation order exactly.
+    fn predict_proba_batch(&self, pairs: &[EntityPair]) -> Vec<f64> {
+        let x = self.extractor.extract_batch(pairs);
+        let mut a1 = Vec::new();
+        let mut a2 = Vec::new();
+        let mut a3 = Vec::new();
+        (0..x.rows())
+            .map(|i| {
+                self.l1.forward(x.row(i), &mut a1);
+                relu(&mut a1);
+                self.l2.forward(&a1, &mut a2);
+                relu(&mut a2);
+                self.l3.forward(&a2, &mut a3);
+                sigmoid(a3[0])
+            })
+            .collect()
+    }
+
     fn threshold(&self) -> f64 {
         self.threshold
     }
@@ -340,6 +365,22 @@ mod tests {
         for ex in test.examples().iter().take(20) {
             let p = m.predict_proba(&ex.pair);
             assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn batch_prediction_matches_scalar_bitwise() {
+        let (train, val, test) = splits(12);
+        let m = MlpMatcher::fit(&train, &val, TrainOptions::default()).unwrap();
+        let pairs: Vec<em_data::EntityPair> = test
+            .examples()
+            .iter()
+            .take(20)
+            .map(|ex| ex.pair.clone())
+            .collect();
+        let batch = m.predict_proba_batch(&pairs);
+        for (p, pair) in batch.iter().zip(&pairs) {
+            assert_eq!(p.to_bits(), m.predict_proba(pair).to_bits());
         }
     }
 

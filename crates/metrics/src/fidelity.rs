@@ -6,8 +6,17 @@
 //! explanations of non-matches (negative evidence) are scored correctly.
 
 use crew_core::ExplanationUnit;
-use em_data::TokenizedPair;
+use em_data::{EntityPair, TokenizedPair};
 use em_matchers::Matcher;
+
+/// Probability of the unperturbed pair — the base score every fidelity
+/// metric compares against. Each metric re-derives this when called through
+/// its plain form; an evaluation loop that computes several metrics for the
+/// same `(matcher, pair)` should call this once and use the `*_with_base`
+/// variants to avoid repeated identical model queries.
+pub fn base_probability(matcher: &dyn Matcher, tokenized: &TokenizedPair) -> f64 {
+    matcher.predict_proba(&tokenized.apply_mask(&vec![true; tokenized.len()]))
+}
 
 /// Rank units by |weight| descending (ties by first member index) — the
 /// display order.
@@ -72,14 +81,29 @@ pub fn deletion_curve(
     units: &[ExplanationUnit],
     fractions: &[f64],
 ) -> Result<Vec<(f64, f64)>, crate::MetricError> {
+    if tokenized.len() == 0 {
+        return Err(crate::MetricError::EmptyPair);
+    }
+    let base = base_probability(matcher, tokenized);
+    deletion_curve_with_base(matcher, tokenized, units, fractions, base)
+}
+
+/// [`deletion_curve`] with a precomputed base probability. All deletion
+/// counterfactuals go through one `predict_proba_batch` call.
+pub fn deletion_curve_with_base(
+    matcher: &dyn Matcher,
+    tokenized: &TokenizedPair,
+    units: &[ExplanationUnit],
+    fractions: &[f64],
+    base: f64,
+) -> Result<Vec<(f64, f64)>, crate::MetricError> {
     let n = tokenized.len();
     if n == 0 {
         return Err(crate::MetricError::EmptyPair);
     }
-    let base = matcher.predict_proba(&tokenized.apply_mask(&vec![true; n]));
     let toward_match = base >= matcher.threshold();
     let order = deletion_order(units, toward_match);
-    let mut out = Vec::with_capacity(fractions.len());
+    let mut probes: Vec<EntityPair> = Vec::with_capacity(fractions.len());
     for &f in fractions {
         if !(0.0..=1.0).contains(&f) {
             return Err(crate::MetricError::InvalidFraction(f));
@@ -89,10 +113,14 @@ pub fn deletion_curve(
         for &i in order.iter().take(k) {
             mask[i] = false;
         }
-        let prob = matcher.predict_proba(&tokenized.apply_mask(&mask));
-        out.push((f, class_score(prob, toward_match)));
+        probes.push(tokenized.apply_mask(&mask));
     }
-    Ok(out)
+    let probs = matcher.predict_proba_batch(&probes);
+    Ok(fractions
+        .iter()
+        .zip(probs)
+        .map(|(&f, prob)| (f, class_score(prob, toward_match)))
+        .collect())
 }
 
 /// AOPC (area over the MoRF curve) for deletion: the mean class-score drop
@@ -104,17 +132,30 @@ pub fn aopc_deletion(
     units: &[ExplanationUnit],
     fractions: &[f64],
 ) -> Result<f64, crate::MetricError> {
+    if tokenized.len() == 0 {
+        return Err(crate::MetricError::EmptyPair);
+    }
+    let base = base_probability(matcher, tokenized);
+    aopc_deletion_with_base(matcher, tokenized, units, fractions, base)
+}
+
+/// [`aopc_deletion`] with a precomputed base probability.
+pub fn aopc_deletion_with_base(
+    matcher: &dyn Matcher,
+    tokenized: &TokenizedPair,
+    units: &[ExplanationUnit],
+    fractions: &[f64],
+    base: f64,
+) -> Result<f64, crate::MetricError> {
     if fractions.is_empty() {
         return Err(crate::MetricError::EmptyFractionGrid);
     }
-    let n = tokenized.len();
-    if n == 0 {
+    if tokenized.len() == 0 {
         return Err(crate::MetricError::EmptyPair);
     }
-    let base = matcher.predict_proba(&tokenized.apply_mask(&vec![true; n]));
     let toward_match = base >= matcher.threshold();
     let base_cs = class_score(base, toward_match);
-    let curve = deletion_curve(matcher, tokenized, units, fractions)?;
+    let curve = deletion_curve_with_base(matcher, tokenized, units, fractions, base)?;
     Ok(curve.iter().map(|&(_, cs)| base_cs - cs).sum::<f64>() / curve.len() as f64)
 }
 
@@ -127,6 +168,21 @@ pub fn sufficiency(
     units: &[ExplanationUnit],
     fraction: f64,
 ) -> Result<f64, crate::MetricError> {
+    if tokenized.len() == 0 {
+        return Err(crate::MetricError::EmptyPair);
+    }
+    let base = base_probability(matcher, tokenized);
+    sufficiency_with_base(matcher, tokenized, units, fraction, base)
+}
+
+/// [`sufficiency`] with a precomputed base probability.
+pub fn sufficiency_with_base(
+    matcher: &dyn Matcher,
+    tokenized: &TokenizedPair,
+    units: &[ExplanationUnit],
+    fraction: f64,
+    base: f64,
+) -> Result<f64, crate::MetricError> {
     let n = tokenized.len();
     if n == 0 {
         return Err(crate::MetricError::EmptyPair);
@@ -134,7 +190,6 @@ pub fn sufficiency(
     if !(0.0..=1.0).contains(&fraction) {
         return Err(crate::MetricError::InvalidFraction(fraction));
     }
-    let base = matcher.predict_proba(&tokenized.apply_mask(&vec![true; n]));
     let toward_match = base >= matcher.threshold();
     let order = deletion_order(units, toward_match);
     let k = ((n as f64) * fraction).round().max(1.0) as usize;
@@ -157,13 +212,26 @@ pub fn comprehensiveness(
     units: &[ExplanationUnit],
     fraction: f64,
 ) -> Result<f64, crate::MetricError> {
-    let n = tokenized.len();
-    if n == 0 {
+    if tokenized.len() == 0 {
         return Err(crate::MetricError::EmptyPair);
     }
-    let base = matcher.predict_proba(&tokenized.apply_mask(&vec![true; n]));
+    let base = base_probability(matcher, tokenized);
+    comprehensiveness_with_base(matcher, tokenized, units, fraction, base)
+}
+
+/// [`comprehensiveness`] with a precomputed base probability.
+pub fn comprehensiveness_with_base(
+    matcher: &dyn Matcher,
+    tokenized: &TokenizedPair,
+    units: &[ExplanationUnit],
+    fraction: f64,
+    base: f64,
+) -> Result<f64, crate::MetricError> {
+    if tokenized.len() == 0 {
+        return Err(crate::MetricError::EmptyPair);
+    }
     let toward_match = base >= matcher.threshold();
-    let curve = deletion_curve(matcher, tokenized, units, &[fraction])?;
+    let curve = deletion_curve_with_base(matcher, tokenized, units, &[fraction], base)?;
     Ok(class_score(base, toward_match) - curve[0].1)
 }
 
@@ -173,12 +241,25 @@ pub fn decision_flip(
     tokenized: &TokenizedPair,
     units: &[ExplanationUnit],
 ) -> Result<bool, crate::MetricError> {
+    if tokenized.len() == 0 {
+        return Err(crate::MetricError::EmptyPair);
+    }
+    let base = base_probability(matcher, tokenized);
+    decision_flip_with_base(matcher, tokenized, units, base)
+}
+
+/// [`decision_flip`] with a precomputed base probability.
+pub fn decision_flip_with_base(
+    matcher: &dyn Matcher,
+    tokenized: &TokenizedPair,
+    units: &[ExplanationUnit],
+    base: f64,
+) -> Result<bool, crate::MetricError> {
     let n = tokenized.len();
     if n == 0 {
         return Err(crate::MetricError::EmptyPair);
     }
     let full = vec![true; n];
-    let base = matcher.predict_proba(&tokenized.apply_mask(&full));
     let before = base >= matcher.threshold();
     let ranked = relevance_ranked_units(units, before);
     let Some(top) = ranked.first() else {
@@ -210,16 +291,31 @@ pub fn unit_deletion_curve(
     units: &[ExplanationUnit],
     max_units: usize,
 ) -> Result<Vec<f64>, crate::MetricError> {
+    if tokenized.len() == 0 {
+        return Err(crate::MetricError::EmptyPair);
+    }
+    let base = base_probability(matcher, tokenized);
+    unit_deletion_curve_with_base(matcher, tokenized, units, max_units, base)
+}
+
+/// [`unit_deletion_curve`] with a precomputed base probability. The
+/// `max_units` deletion counterfactuals go through one
+/// `predict_proba_batch` call.
+pub fn unit_deletion_curve_with_base(
+    matcher: &dyn Matcher,
+    tokenized: &TokenizedPair,
+    units: &[ExplanationUnit],
+    max_units: usize,
+    base: f64,
+) -> Result<Vec<f64>, crate::MetricError> {
     let n = tokenized.len();
     if n == 0 {
         return Err(crate::MetricError::EmptyPair);
     }
-    let mut mask = vec![true; n];
-    let base = matcher.predict_proba(&tokenized.apply_mask(&mask));
     let toward_match = base >= matcher.threshold();
     let ranked = relevance_ranked_units(units, toward_match);
-    let mut out = Vec::with_capacity(max_units + 1);
-    out.push(class_score(base, toward_match));
+    let mut mask = vec![true; n];
+    let mut probes: Vec<EntityPair> = Vec::with_capacity(max_units);
     for u in 0..max_units {
         if let Some(unit) = ranked.get(u) {
             for &i in &unit.member_indices {
@@ -228,7 +324,11 @@ pub fn unit_deletion_curve(
                 }
             }
         }
-        let prob = matcher.predict_proba(&tokenized.apply_mask(&mask));
+        probes.push(tokenized.apply_mask(&mask));
+    }
+    let mut out = Vec::with_capacity(max_units + 1);
+    out.push(class_score(base, toward_match));
+    for prob in matcher.predict_proba_batch(&probes) {
         out.push(class_score(prob, toward_match));
     }
     Ok(out)
@@ -242,12 +342,27 @@ pub fn aopc_units(
     units: &[ExplanationUnit],
     max_units: usize,
 ) -> Result<f64, crate::MetricError> {
+    if tokenized.len() == 0 {
+        return Err(crate::MetricError::EmptyPair);
+    }
+    let base = base_probability(matcher, tokenized);
+    aopc_units_with_base(matcher, tokenized, units, max_units, base)
+}
+
+/// [`aopc_units`] with a precomputed base probability.
+pub fn aopc_units_with_base(
+    matcher: &dyn Matcher,
+    tokenized: &TokenizedPair,
+    units: &[ExplanationUnit],
+    max_units: usize,
+    base: f64,
+) -> Result<f64, crate::MetricError> {
     if max_units == 0 {
         return Err(crate::MetricError::InvalidK(0));
     }
-    let curve = unit_deletion_curve(matcher, tokenized, units, max_units)?;
-    let base = curve[0];
-    Ok(curve[1..].iter().map(|cs| base - cs).sum::<f64>() / max_units as f64)
+    let curve = unit_deletion_curve_with_base(matcher, tokenized, units, max_units, base)?;
+    let base_cs = curve[0];
+    Ok(curve[1..].iter().map(|cs| base_cs - cs).sum::<f64>() / max_units as f64)
 }
 
 #[cfg(test)]
@@ -493,5 +608,79 @@ mod tests {
     fn class_score_directions() {
         assert_eq!(class_score(0.8, true), 0.8);
         assert!((class_score(0.8, false) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_base_variants_match_plain_forms() {
+        let tp = tokenized();
+        let m = FractionMatcher { total: 10 };
+        let units: Vec<ExplanationUnit> =
+            (0..10).map(|i| unit(&[i], 1.0 - i as f64 * 0.05)).collect();
+        let base = base_probability(&m, &tp);
+        let grid = [0.0, 0.3, 0.6];
+        assert_eq!(
+            deletion_curve(&m, &tp, &units, &grid).unwrap(),
+            deletion_curve_with_base(&m, &tp, &units, &grid, base).unwrap()
+        );
+        assert_eq!(
+            aopc_deletion(&m, &tp, &units, &grid).unwrap(),
+            aopc_deletion_with_base(&m, &tp, &units, &grid, base).unwrap()
+        );
+        assert_eq!(
+            sufficiency(&m, &tp, &units, 0.2).unwrap(),
+            sufficiency_with_base(&m, &tp, &units, 0.2, base).unwrap()
+        );
+        assert_eq!(
+            comprehensiveness(&m, &tp, &units, 0.3).unwrap(),
+            comprehensiveness_with_base(&m, &tp, &units, 0.3, base).unwrap()
+        );
+        assert_eq!(
+            decision_flip(&m, &tp, &units).unwrap(),
+            decision_flip_with_base(&m, &tp, &units, base).unwrap()
+        );
+        assert_eq!(
+            unit_deletion_curve(&m, &tp, &units, 3).unwrap(),
+            unit_deletion_curve_with_base(&m, &tp, &units, 3, base).unwrap()
+        );
+        assert_eq!(
+            aopc_units(&m, &tp, &units, 3).unwrap(),
+            aopc_units_with_base(&m, &tp, &units, 3, base).unwrap()
+        );
+    }
+
+    #[test]
+    fn with_base_forms_skip_the_base_query() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct CountingMatcher {
+            calls: AtomicUsize,
+        }
+        impl Matcher for CountingMatcher {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn predict_proba(&self, _pair: &EntityPair) -> f64 {
+                self.calls.fetch_add(1, Ordering::SeqCst);
+                0.7
+            }
+        }
+        let tp = tokenized();
+        let units = vec![unit(&[0], 1.0)];
+        let m = CountingMatcher {
+            calls: AtomicUsize::new(0),
+        };
+        let base = base_probability(&m, &tp);
+        assert_eq!(m.calls.load(Ordering::SeqCst), 1);
+        deletion_curve_with_base(&m, &tp, &units, &[0.1, 0.2, 0.3], base).unwrap();
+        assert_eq!(
+            m.calls.load(Ordering::SeqCst),
+            4,
+            "3 probes, no base re-query"
+        );
+        sufficiency_with_base(&m, &tp, &units, 0.2, base).unwrap();
+        assert_eq!(m.calls.load(Ordering::SeqCst), 5);
+        decision_flip_with_base(&m, &tp, &units, base).unwrap();
+        assert_eq!(m.calls.load(Ordering::SeqCst), 6);
+        unit_deletion_curve_with_base(&m, &tp, &units, 2, base).unwrap();
+        assert_eq!(m.calls.load(Ordering::SeqCst), 8);
     }
 }

@@ -1,0 +1,355 @@
+//! # em-pool
+//!
+//! A shared worker pool for the perturbation engine: a dependency-free
+//! work queue over `std::thread`, consistent with the workspace's
+//! hermetic-substrate rule (no external crates).
+//!
+//! The pool exists because perturbation-based explainers issue the same
+//! shape of work over and over — "evaluate this closure for indices
+//! `0..n`" — and spawning scoped threads per call both pays thread
+//! start-up cost on every explanation and (with fixed equal-split
+//! chunking) load-imbalances whenever task costs are heterogeneous.
+//! Here, workers are started once and pull indices from a shared atomic
+//! counter, so fast tasks never wait on slow ones and the threads are
+//! reused across explainer calls.
+//!
+//! ## Determinism
+//!
+//! [`WorkerPool::run`] assigns each index exactly once and the task
+//! writes results keyed by index, so outputs are independent of which
+//! thread claims which index. Every caller in this workspace relies on
+//! that: same seed → bitwise-identical results at any worker count.
+//!
+//! ## Re-entrancy
+//!
+//! A task executing on the pool may itself call [`WorkerPool::run`]
+//! (pair-level parallelism in `em-eval` nests explainer query loops).
+//! Nested calls are detected via a thread-local flag and executed
+//! inline on the calling thread — never queued — so the pool cannot
+//! deadlock on itself.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+thread_local! {
+    /// True while this thread is executing pool tasks (worker threads
+    /// while claiming, and the submitting thread while participating).
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// One published batch of indexed tasks.
+///
+/// The closure pointer is lifetime-erased: [`WorkerPool::run`] does not
+/// return until every claimed index has finished, so the pointee (a
+/// closure on the submitter's stack) outlives every dereference.
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+    /// Next index to claim.
+    next: AtomicUsize,
+    total: usize,
+    /// Indices not yet completed; `run` returns when this hits zero.
+    pending: AtomicUsize,
+    /// Participant slots taken (the submitter holds slot 0).
+    participants: AtomicUsize,
+    /// Cap on participating threads (submitter included).
+    max_participants: usize,
+}
+
+// SAFETY: the raw closure pointer is only dereferenced between job
+// publication and completion, during which `run` keeps the closure
+// alive; the closure itself is `Sync` so shared calls are sound.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claim and execute indices until the queue is exhausted.
+    fn work(&self, shared: &Shared) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::SeqCst);
+            if i >= self.total {
+                return;
+            }
+            // SAFETY: see the Send/Sync justification above.
+            (unsafe { &*self.task })(i);
+            if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last task done: wake the submitter. Taking the lock
+                // before notifying closes the lost-wakeup race with a
+                // submitter that has checked `pending` but not yet
+                // parked on the condvar.
+                let _guard = shared.state.lock().unwrap();
+                shared.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Condvar-protected pool state.
+struct State {
+    job: Option<Arc<Job>>,
+    /// Bumped on every publication so a worker never re-enters a job it
+    /// has already drained.
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled on publication and shutdown.
+    wake: Condvar,
+    /// Signalled when a job's last task completes.
+    done: Condvar,
+}
+
+/// A fixed set of worker threads executing indexed task batches.
+///
+/// `run` is the only entry point; batches are serialized internally, so
+/// a pool can be shared freely (e.g. the process-wide [`global`] pool).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes job publication across submitting threads.
+    issue: Mutex<()>,
+}
+
+impl WorkerPool {
+    /// Start a pool with `workers` helper threads. The submitting
+    /// thread always participates in `run`, so total parallelism is
+    /// `workers + 1`. `workers == 0` is valid: every `run` executes
+    /// inline.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                epoch: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("em-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: handles,
+            issue: Mutex::new(()),
+        }
+    }
+
+    /// Number of helper threads (not counting submitters).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Execute `task(i)` for every `i in 0..total`, using at most
+    /// `max_threads` threads (submitter included), and return once all
+    /// indices have completed.
+    ///
+    /// Falls back to an inline sequential loop when parallelism is
+    /// unavailable or pointless: `max_threads <= 1`, no workers, tiny
+    /// batches, or a nested call from inside a pool task.
+    pub fn run(&self, total: usize, max_threads: usize, task: &(dyn Fn(usize) + Sync)) {
+        if total == 0 {
+            return;
+        }
+        let nested = IN_POOL.with(|f| f.get());
+        if max_threads <= 1 || self.workers.is_empty() || nested || total < 2 {
+            for i in 0..total {
+                task(i);
+            }
+            return;
+        }
+
+        let _issue = self.issue.lock().unwrap();
+        // SAFETY: erases the borrow's lifetime. `run` does not return
+        // until `pending` reaches zero, i.e. after the last dereference,
+        // and the trailing `state.job = None` drop of the published Arc
+        // means no worker can observe this job afterwards.
+        let task_erased: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        };
+        let job = Arc::new(Job {
+            task: task_erased as *const (dyn Fn(usize) + Sync),
+            next: AtomicUsize::new(0),
+            total,
+            pending: AtomicUsize::new(total),
+            participants: AtomicUsize::new(1),
+            max_participants: max_threads.max(1),
+        });
+
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.job = Some(Arc::clone(&job));
+            state.epoch = state.epoch.wrapping_add(1);
+            self.shared.wake.notify_all();
+        }
+
+        // Participate: the submitter is participant 0.
+        IN_POOL.with(|f| f.set(true));
+        job.work(&self.shared);
+        IN_POOL.with(|f| f.set(false));
+
+        // Wait for workers still finishing claimed indices.
+        let mut state = self.shared.state.lock().unwrap();
+        while job.pending.load(Ordering::SeqCst) != 0 {
+            state = self.shared.done.wait(state).unwrap();
+        }
+        state.job = None;
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            self.shared.wake.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IN_POOL.with(|f| f.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(job) = &state.job {
+                    if state.epoch != seen_epoch {
+                        seen_epoch = state.epoch;
+                        break Arc::clone(job);
+                    }
+                }
+                state = shared.wake.wait(state).unwrap();
+            }
+        };
+        // Respect the job's thread cap: claim a participant slot or
+        // skip the job entirely (the epoch is already marked seen).
+        if job.participants.fetch_add(1, Ordering::SeqCst) < job.max_participants {
+            job.work(shared);
+        }
+    }
+}
+
+/// The process-wide pool, sized to the machine (`available_parallelism
+/// - 1` helper threads; the submitting thread supplies the last lane).
+/// Callers pass their own `max_threads` to [`WorkerPool::run`], so a
+/// budget of 1 still executes inline regardless of pool size.
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let lanes = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        WorkerPool::new(lanes.saturating_sub(1))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn collect_squares(pool: &WorkerPool, n: usize, threads: usize) -> Vec<u64> {
+        let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        pool.run(n, threads, &|i| {
+            out[i].store((i as u64) * (i as u64) + 1, Ordering::SeqCst);
+        });
+        out.into_iter().map(|a| a.into_inner()).collect()
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let pool = WorkerPool::new(3);
+        for n in [1usize, 2, 7, 64, 257] {
+            let got = collect_squares(&pool, n, 4);
+            let want: Vec<u64> = (0..n as u64).map(|i| i * i + 1).collect();
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 0);
+        assert_eq!(collect_squares(&pool, 10, 8), collect_squares(&pool, 10, 1));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_batches() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(17, 3, &|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50 * 17);
+    }
+
+    #[test]
+    fn nested_runs_execute_inline_without_deadlock() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        pool.run(8, 4, &|_| {
+            pool.run(5, 4, &|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8 * 5);
+    }
+
+    #[test]
+    fn thread_cap_is_respected() {
+        let pool = WorkerPool::new(7);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        pool.run(64, 2, &|_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "peak concurrency {} exceeded cap 2",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_alive() {
+        let a = global() as *const WorkerPool;
+        let b = global() as *const WorkerPool;
+        assert_eq!(a, b);
+        let counter = AtomicUsize::new(0);
+        global().run(9, 4, &|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 9);
+    }
+
+    #[test]
+    fn results_do_not_depend_on_worker_count() {
+        let want: Vec<u64> = (0..199u64).map(|i| i * i + 1).collect();
+        for workers in [0usize, 1, 2, 7] {
+            let pool = WorkerPool::new(workers);
+            assert_eq!(collect_squares(&pool, 199, 8), want, "workers={workers}");
+        }
+    }
+}

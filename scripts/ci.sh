@@ -20,10 +20,42 @@ echo "==> cargo test -q (locked, offline)"
 cargo test -q --locked --offline
 
 if [[ "${1:-}" == "--bench" ]]; then
-    echo "==> bench smoke (run_all --smoke)"
+    echo "==> bench smoke (run_all --smoke) + regression gate"
+    baseline=$(mktemp)
+    cp results/BENCH_run_all_smoke.json "$baseline"
     cargo run --release --locked --offline -p em-bench --bin run_all -- --smoke
-    python3 -c "import json; json.load(open('results/BENCH_run_all.json'))" \
-        && echo "BENCH_run_all.json is well-formed"
+    python3 - "$baseline" results/BENCH_run_all_smoke.json <<'EOF'
+import json, sys
+
+# Fail on >2x per-experiment regression vs the committed smoke baseline.
+# Smoke medians are single-shot and noisy; 2x catches algorithmic
+# blow-ups (accidental O(n^2), lost cache, lost batching) without
+# flaking on scheduler jitter.
+THRESHOLD = 2.0
+base = {(r["group"], r["id"]): r["median_ns"]
+        for r in json.load(open(sys.argv[1]))["results"]}
+cur = {(r["group"], r["id"]): r["median_ns"]
+       for r in json.load(open(sys.argv[2]))["results"]}
+failures = []
+for key, b_ns in sorted(base.items()):
+    c_ns = cur.get(key)
+    if c_ns is None:
+        failures.append(f"{key[0]}/{key[1]}: missing from current run")
+        continue
+    ratio = c_ns / b_ns if b_ns > 0 else 1.0
+    flag = " REGRESSION" if ratio > THRESHOLD else ""
+    print(f"  {key[0]}/{key[1]:<4} {b_ns/1e6:9.1f}ms -> {c_ns/1e6:9.1f}ms"
+          f"  {ratio:5.2f}x{flag}")
+    if ratio > THRESHOLD:
+        failures.append(f"{key[0]}/{key[1]}: {ratio:.2f}x slower")
+if failures:
+    print("bench regression gate FAILED:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench regression gate passed")
+EOF
+    rm -f "$baseline"
 fi
 
 echo "==> ci green"

@@ -1,0 +1,193 @@
+//! Property tests for the batched perturbation engine.
+//!
+//! Two contracts keep the engine safe to use everywhere:
+//!
+//! 1. **Batch ≡ scalar, bitwise.** `Matcher::predict_proba_batch` must
+//!    return exactly what a scalar `predict_proba` loop returns, for every
+//!    matcher in the zoo — including the logistic and MLP models that
+//!    override the default with cached-feature batch paths.
+//! 2. **Scheduling independence.** Queries fanned out over a shared worker
+//!    pool land in per-index slots, so the result vector is bitwise
+//!    identical to the sequential loop at any worker count.
+
+use crew_core::{query_masks, sample_masks, PerturbOptions};
+use em_data::{EntityPair, TokenizedPair};
+use em_matchers::{
+    AttentionMatcher, AttentionOptions, CalibratedMatcher, EnsembleMatcher, LogisticMatcher,
+    Matcher, MlpMatcher, RuleMatcher, TrainOptions,
+};
+use em_pool::WorkerPool;
+use em_rngs::rngs::StdRng;
+use em_rngs::{Rng, SeedableRng};
+use em_synth::{generate, Family, GeneratorConfig};
+use propcheck::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+struct Zoo {
+    matchers: Vec<(&'static str, Arc<dyn Matcher>)>,
+    test_pairs: Vec<EntityPair>,
+}
+
+/// Train the full matcher zoo once; every property case reuses it.
+fn zoo() -> &'static Zoo {
+    static ZOO: OnceLock<Zoo> = OnceLock::new();
+    ZOO.get_or_init(|| {
+        let dataset = generate(
+            Family::Restaurants,
+            GeneratorConfig {
+                entities: 60,
+                pairs: 160,
+                match_rate: 0.25,
+                hard_negative_rate: 0.5,
+                seed: 23,
+            },
+        )
+        .expect("synth dataset");
+        let split = dataset.split(0.7, 0.15, 23).expect("split");
+        let n_attrs = split.train.examples()[0].pair.schema().len();
+        let logistic: Arc<dyn Matcher> = Arc::new(
+            LogisticMatcher::fit(&split.train, &split.validation, TrainOptions::default())
+                .expect("logistic"),
+        );
+        let mlp: Arc<dyn Matcher> = Arc::new(
+            MlpMatcher::fit(&split.train, &split.validation, TrainOptions::default()).expect("mlp"),
+        );
+        let attention: Arc<dyn Matcher> = Arc::new(
+            AttentionMatcher::fit(&split.train, &split.validation, AttentionOptions::default())
+                .expect("attention"),
+        );
+        let rules: Arc<dyn Matcher> = Arc::new(RuleMatcher::uniform(n_attrs, 0.5).expect("rules"));
+        let calibrated: Arc<dyn Matcher> = Arc::new(
+            CalibratedMatcher::fit(
+                LogisticMatcher::fit(&split.train, &split.validation, TrainOptions::default())
+                    .expect("logistic for calibration"),
+                &split.validation,
+            )
+            .expect("platt calibration"),
+        );
+        let ensemble: Arc<dyn Matcher> = Arc::new(
+            EnsembleMatcher::uniform(vec![
+                Arc::clone(&logistic),
+                Arc::clone(&mlp),
+                Arc::clone(&rules),
+            ])
+            .expect("ensemble"),
+        );
+        let test_pairs: Vec<EntityPair> = split
+            .test
+            .examples()
+            .iter()
+            .map(|ex| ex.pair.clone())
+            .filter(|p| TokenizedPair::new(p.clone()).len() > 0)
+            .collect();
+        assert!(!test_pairs.is_empty(), "need non-empty test pairs");
+        Zoo {
+            matchers: vec![
+                ("logistic", logistic),
+                ("mlp", mlp),
+                ("attention", attention),
+                ("rules", rules),
+                ("calibrated", calibrated),
+                ("ensemble", ensemble),
+            ],
+            test_pairs,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Batch prediction is bitwise-identical to the scalar loop for every
+    // matcher in the zoo, over random batches of masked real pairs
+    // (duplicates included — the engine dedups upstream, the matcher
+    // contract must not rely on it).
+    #[test]
+    fn batch_prediction_is_bitwise_scalar_for_every_matcher(
+        seed in 0u64..500,
+        count in 1usize..8,
+    ) {
+        let zoo = zoo();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pairs: Vec<EntityPair> = Vec::with_capacity(count + 1);
+        for _ in 0..count {
+            let pair = &zoo.test_pairs[rng.gen_range(0..zoo.test_pairs.len())];
+            let tp = TokenizedPair::new(pair.clone());
+            let mask: Vec<bool> = (0..tp.len()).map(|_| rng.gen_bool(0.7)).collect();
+            pairs.push(tp.apply_mask(&mask));
+        }
+        // Force a duplicate into every batch.
+        pairs.push(pairs[0].clone());
+        for (name, matcher) in &zoo.matchers {
+            let batch = matcher.predict_proba_batch(&pairs);
+            prop_assert_eq!(batch.len(), pairs.len());
+            for (b, p) in batch.iter().zip(&pairs) {
+                let s = matcher.predict_proba(p);
+                prop_assert!(
+                    b.to_bits() == s.to_bits(),
+                    "matcher {} diverges: batch {} vs scalar {}",
+                    name, b, s
+                );
+            }
+        }
+    }
+
+    // `query_masks` returns the same bits whatever thread budget it is
+    // given (1 = inline loop, >1 = shared-pool fan-out).
+    #[test]
+    fn query_masks_is_thread_count_invariant(seed in 0u64..200) {
+        let zoo = zoo();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7ead);
+        let pair = &zoo.test_pairs[rng.gen_range(0..zoo.test_pairs.len())];
+        let tp = TokenizedPair::new(pair.clone());
+        let masks = sample_masks(
+            &tp,
+            &PerturbOptions { samples: 96, seed, threads: 1, ..Default::default() },
+        ).expect("masks");
+        let matcher = &zoo.matchers[0].1;
+        let sequential = query_masks(&tp, &masks, matcher.as_ref(), 1);
+        for threads in [2usize, 8] {
+            let parallel = query_masks(&tp, &masks, matcher.as_ref(), threads);
+            prop_assert_eq!(sequential.len(), parallel.len());
+            for (a, b) in sequential.iter().zip(&parallel) {
+                prop_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "threads={} diverges: {} vs {}",
+                    threads, a, b
+                );
+            }
+        }
+    }
+
+    // Explicit pools of 1, 2 and 8 workers produce the same per-mask
+    // responses as the sequential engine — dynamic scheduling never leaks
+    // into results because each index owns its slot.
+    #[test]
+    fn explicit_pools_match_sequential_query(seed in 0u64..200, workers in 1usize..9) {
+        let zoo = zoo();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9001);
+        let pair = &zoo.test_pairs[rng.gen_range(0..zoo.test_pairs.len())];
+        let tp = TokenizedPair::new(pair.clone());
+        let masks = sample_masks(
+            &tp,
+            &PerturbOptions { samples: 48, seed, threads: 1, ..Default::default() },
+        ).expect("masks");
+        let matcher = &zoo.matchers[0].1;
+        let sequential = query_masks(&tp, &masks, matcher.as_ref(), 1);
+        let pool = WorkerPool::new(workers);
+        let slots: Vec<AtomicU64> = (0..masks.len()).map(|_| AtomicU64::new(0)).collect();
+        pool.run(masks.len(), workers, &|i| {
+            let p = matcher.predict_proba(&tp.apply_mask(&masks[i]));
+            slots[i].store(p.to_bits(), Ordering::SeqCst);
+        });
+        for (i, s) in sequential.iter().enumerate() {
+            let p = f64::from_bits(slots[i].load(Ordering::SeqCst));
+            prop_assert!(
+                s.to_bits() == p.to_bits(),
+                "workers={} slot {} diverges: {} vs {}",
+                workers, i, s, p
+            );
+        }
+    }
+}
