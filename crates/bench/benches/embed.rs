@@ -1,0 +1,78 @@
+//! Microbenchmarks of the offline (corpus) stage: co-occurrence counting,
+//! the PPMI + truncated-SVD factorisation, and end-to-end embedding
+//! training on the standard synthetic corpus — the dataset-preparation tax
+//! every experiment pays before the first pair is explained.
+
+use em_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_embed::{CoocOptions, Cooccurrence, EmbeddingOptions, WordEmbeddings};
+
+/// The training corpus of the standard synthetic benchmark: one sentence
+/// per record of the train split (the same corpus `train_on_dataset`
+/// consumes inside every experiment).
+fn standard_corpus() -> Vec<Vec<String>> {
+    let dataset = em_synth::generate(
+        em_synth::Family::Products,
+        em_synth::GeneratorConfig::default(),
+    )
+    .expect("standard synthetic dataset");
+    let split = dataset.split(0.7, 0.15, 7).expect("split");
+    let mut sentences = Vec::with_capacity(split.train.len() * 2);
+    for ex in split.train.examples() {
+        for rec in [ex.pair.left(), ex.pair.right()] {
+            sentences.push(em_text::tokenize(&rec.full_text()));
+        }
+    }
+    sentences
+}
+
+fn bench_cooc(c: &mut Criterion) {
+    let corpus = standard_corpus();
+    let mut group = c.benchmark_group("cooc");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("standard"), &corpus, |b, s| {
+        b.iter(|| Cooccurrence::build(s.iter().map(|v| v.as_slice()), CoocOptions::default()));
+    });
+    group.finish();
+}
+
+fn bench_ppmi_svd(c: &mut Criterion) {
+    let corpus = standard_corpus();
+    let cooc = Cooccurrence::build(corpus.iter().map(|v| v.as_slice()), CoocOptions::default());
+    eprintln!(
+        "  (standard corpus vocabulary: {} words)",
+        cooc.vocab().len()
+    );
+    let mut group = c.benchmark_group("ppmi_svd");
+    group.sample_size(5);
+    group.bench_with_input(BenchmarkId::from_parameter("standard"), &cooc, |b, cooc| {
+        b.iter(|| {
+            let ppmi = cooc.ppmi_matrix(0.75);
+            em_linalg::randomized_svd(
+                &ppmi,
+                48.min(cooc.vocab().len()),
+                em_linalg::SvdOptions {
+                    seed: 0xe4bed,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_train(c: &mut Criterion) {
+    let corpus = standard_corpus();
+    let mut group = c.benchmark_group("embed_train");
+    group.sample_size(5);
+    group.bench_with_input(BenchmarkId::from_parameter("standard"), &corpus, |b, s| {
+        b.iter(|| {
+            WordEmbeddings::train(s.iter().map(|v| v.as_slice()), EmbeddingOptions::default())
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cooc, bench_ppmi_svd, bench_train);
+criterion_main!(benches);

@@ -64,10 +64,17 @@ impl BenchReport {
         out
     }
 
-    /// Write `results/BENCH_<name>.json`, creating the directory.
+    /// Write `results/BENCH_<name>.json` under the *workspace* root,
+    /// creating the directory. Resolved from this crate's manifest dir
+    /// rather than the CWD: `cargo bench` runs targets with the package
+    /// directory as CWD, which would otherwise scatter JSONs under
+    /// `crates/bench/results/`.
     pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
-        let dir = std::path::Path::new("results");
-        std::fs::create_dir_all(dir)?;
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join("results");
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("BENCH_{}.json", self.name));
         std::fs::write(&path, self.to_json())?;
         Ok(path)
@@ -132,8 +139,15 @@ pub fn smoke_requested() -> bool {
 impl Criterion {
     pub fn new(name: &str) -> Self {
         let smoke = smoke_requested();
+        // Smoke runs get their own report file (`BENCH_<name>_smoke.json`)
+        // so a CI sanity pass never clobbers a full-precision baseline.
+        let name = if smoke {
+            format!("{name}_smoke")
+        } else {
+            name.to_string()
+        };
         Criterion {
-            report: BenchReport::new(name, smoke),
+            report: BenchReport::new(&name, smoke),
             timing: Timing::standard(smoke),
         }
     }

@@ -81,6 +81,16 @@ impl Dendrogram {
         self.n_initial
     }
 
+    /// Per-item initial (must-link) cluster ids — the leaves of `merges`.
+    pub(crate) fn initial(&self) -> &[usize] {
+        &self.initial
+    }
+
+    /// Number of distinct initial clusters.
+    pub(crate) fn n_initial(&self) -> usize {
+        self.n_initial
+    }
+
     /// Cut into exactly `k` clusters. Returns per-item cluster labels in
     /// `0..k` (renumbered compactly in first-appearance order).
     pub fn cut(&self, k: usize) -> Result<Vec<usize>, ClusterError> {
@@ -108,17 +118,22 @@ impl Dendrogram {
             parent[ra] = new_id;
             parent[rb] = new_id;
         }
-        // Label items through their initial cluster's root.
-        let mut label_of_root: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
+        // Label items through their initial cluster's root. Root ids are
+        // dense (`0..n_initial + n_merges`), so a Vec-indexed table beats
+        // a HashMap here — this renumbering runs once per K in the model
+        // selection sweep.
+        let mut label_of_root = vec![usize::MAX; self.n_initial + self.merges.len()];
+        let mut next = 0usize;
         let mut labels = Vec::with_capacity(self.n_items);
         for item in 0..self.n_items {
             let root = find(&mut parent, self.initial[item]);
-            let next = label_of_root.len();
-            let label = *label_of_root.entry(root).or_insert(next);
-            labels.push(label);
+            if label_of_root[root] == usize::MAX {
+                label_of_root[root] = next;
+                next += 1;
+            }
+            labels.push(label_of_root[root]);
         }
-        debug_assert_eq!(label_of_root.len(), k);
+        debug_assert_eq!(next, k);
         Ok(labels)
     }
 }

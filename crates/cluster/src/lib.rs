@@ -23,6 +23,7 @@ pub mod agglomerative;
 pub mod cophenetic;
 pub mod kmedoids;
 pub mod quality;
+pub mod sweep;
 
 pub use agglomerative::{agglomerative, Constraints, Dendrogram, Linkage, Merge};
 pub use cophenetic::{cophenetic_correlation, cophenetic_distances};
@@ -30,6 +31,7 @@ pub use kmedoids::{kmedoids, KMedoids};
 pub use quality::{
     adjusted_rand_index, groups_from_labels, mean_intra_cluster_distance, silhouette,
 };
+pub use sweep::{sweep_cuts, KCut};
 
 /// Errors from the clustering substrate.
 #[derive(Debug, Clone, PartialEq)]

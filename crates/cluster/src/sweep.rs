@@ -1,0 +1,300 @@
+//! Incremental K-sweep over one dendrogram.
+//!
+//! CREW's model selection cuts the same dendrogram at every K in
+//! `[k_lo, k_hi]` and scores each cut's silhouette. Done naively that is
+//! one union-find replay plus one O(n²·k) silhouette recomputation per K.
+//! This module replays the merge sequence **once**, from the finest cut
+//! downward: consecutive cuts differ by exactly one merge, so the
+//! per-item per-cluster distance sums that silhouette needs can be
+//! maintained by folding two columns together — O(n) per K after a
+//! single O(n²) initialisation.
+//!
+//! Labels are extracted with the same first-appearance renumbering as
+//! [`Dendrogram::cut`], so `sweep_cuts(..)[k - k_lo].labels ==
+//! dendrogram.cut(k)` exactly; silhouettes match the reference
+//! [`silhouette`](crate::quality::silhouette) up to float associativity
+//! (the accumulators are partial sums folded in merge order).
+
+use crate::agglomerative::{validate_distances, Dendrogram};
+use crate::ClusterError;
+
+/// One cut of the sweep: the partition at `k` and its silhouette score.
+#[derive(Debug, Clone)]
+pub struct KCut {
+    pub k: usize,
+    /// Per-item labels in `0..k`, first-appearance renumbered — identical
+    /// to `Dendrogram::cut(k)`.
+    pub labels: Vec<usize>,
+    /// Mean silhouette of this partition (0.0 where undefined).
+    pub silhouette: f64,
+}
+
+/// Cut `dendrogram` at every `k` in `[k_lo, k_hi]`, scoring each cut's
+/// silhouette incrementally. Returns cuts in ascending-`k` order.
+///
+/// # Errors
+/// Rejects malformed distance matrices, a matrix whose size differs from
+/// the dendrogram's item count, and `k` bounds outside
+/// `[dendrogram.min_clusters(), dendrogram.max_clusters()]`.
+pub fn sweep_cuts(
+    dendrogram: &Dendrogram,
+    distances: &em_linalg::Matrix,
+    k_lo: usize,
+    k_hi: usize,
+) -> Result<Vec<KCut>, ClusterError> {
+    validate_distances(distances)?;
+    let n = dendrogram.n_items();
+    if distances.rows() != n {
+        return Err(ClusterError::LabelLengthMismatch {
+            expected: n,
+            got: distances.rows(),
+        });
+    }
+    let (min_k, max_k) = (dendrogram.min_clusters(), dendrogram.max_clusters());
+    for k in [k_lo, k_hi] {
+        if k == 0 || k < min_k || k > max_k {
+            return Err(ClusterError::InvalidK {
+                k,
+                min: min_k,
+                max: max_k,
+            });
+        }
+    }
+    if k_lo > k_hi {
+        return Err(ClusterError::InvalidK {
+            k: k_lo,
+            min: min_k,
+            max: k_hi,
+        });
+    }
+
+    let n_initial = dendrogram.n_initial();
+    let merges = dendrogram.merges();
+
+    // Member lists per merge-tree node (leaves `0..n_initial`, internal
+    // nodes `n_initial + step`). Nodes are emptied as they merge.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_initial + merges.len()];
+    for (item, &c) in dendrogram.initial().iter().enumerate() {
+        members[c].push(item);
+    }
+    let mut alive = vec![false; n_initial + merges.len()];
+    alive[..n_initial].iter_mut().for_each(|a| *a = true);
+
+    // Fast-forward to the finest requested cut: k_hi clusters remain
+    // after the first `n_initial - k_hi` merges.
+    let pre_applied = n_initial - k_hi;
+    for (step, m) in merges.iter().take(pre_applied).enumerate() {
+        let mut merged = std::mem::take(&mut members[m.a]);
+        merged.append(&mut std::mem::take(&mut members[m.b]));
+        let new_id = n_initial + step;
+        members[new_id] = merged;
+        alive[m.a] = false;
+        alive[m.b] = false;
+        alive[new_id] = true;
+    }
+
+    // Assign each of the k_hi live clusters a fixed column slot.
+    let stride = k_hi;
+    let mut slot_of_node = vec![usize::MAX; n_initial + merges.len()];
+    let mut slot_size = Vec::with_capacity(stride);
+    let mut slot_alive = Vec::with_capacity(stride);
+    let mut item_slot = vec![usize::MAX; n];
+    for node in 0..n_initial + merges.len() {
+        if !alive[node] {
+            continue;
+        }
+        let slot = slot_size.len();
+        slot_of_node[node] = slot;
+        slot_size.push(members[node].len());
+        slot_alive.push(true);
+        for &item in &members[node] {
+            item_slot[item] = slot;
+        }
+    }
+    debug_assert_eq!(slot_size.len(), k_hi);
+
+    // Silhouette accumulators: sums[i*stride + s] = Σ_{j in slot s, j≠i}
+    // d(i, j), built once at the finest cut in ascending-j order.
+    let mut sums = vec![0.0f64; n * stride];
+    for i in 0..n {
+        let row = distances.row(i);
+        let acc = &mut sums[i * stride..(i + 1) * stride];
+        for (j, &d) in row.iter().enumerate() {
+            if j != i {
+                acc[item_slot[j]] += d;
+            }
+        }
+    }
+
+    let silhouette_now = |item_slot: &[usize],
+                          slot_size: &[usize],
+                          slot_alive: &[bool],
+                          sums: &[f64],
+                          k: usize|
+     -> f64 {
+        // Mirrors `quality::silhouette` exactly: degenerate partitions
+        // score 0, singletons count with s = 0, and a zero max(a, b)
+        // contributes nothing.
+        if k <= 1 || k >= n {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut counted = 0usize;
+        for i in 0..n {
+            let li = item_slot[i];
+            if slot_size[li] <= 1 {
+                counted += 1;
+                continue;
+            }
+            let row = &sums[i * stride..(i + 1) * stride];
+            let a = row[li] / (slot_size[li] - 1) as f64;
+            let mut b = f64::INFINITY;
+            for s in 0..stride {
+                if s == li || !slot_alive[s] || slot_size[s] == 0 {
+                    continue;
+                }
+                b = b.min(row[s] / slot_size[s] as f64);
+            }
+            let denom = a.max(b);
+            if denom > 0.0 {
+                total += (b - a) / denom;
+            }
+            counted += 1;
+        }
+        if counted == 0 {
+            0.0
+        } else {
+            total / counted as f64
+        }
+    };
+
+    let labels_now = |item_slot: &[usize]| -> Vec<usize> {
+        // First-appearance renumbering in item order — the same rule
+        // `Dendrogram::cut` applies to union-find roots.
+        let mut label_of_slot = vec![usize::MAX; stride];
+        let mut next = 0usize;
+        let mut labels = Vec::with_capacity(n);
+        for &s in item_slot {
+            if label_of_slot[s] == usize::MAX {
+                label_of_slot[s] = next;
+                next += 1;
+            }
+            labels.push(label_of_slot[s]);
+        }
+        labels
+    };
+
+    // Walk K downward, applying one merge between consecutive cuts.
+    let mut cuts = Vec::with_capacity(k_hi - k_lo + 1);
+    for k in (k_lo..=k_hi).rev() {
+        cuts.push(KCut {
+            k,
+            labels: labels_now(&item_slot),
+            silhouette: silhouette_now(&item_slot, &slot_size, &slot_alive, &sums, k),
+        });
+        if k == k_lo {
+            break;
+        }
+        let m = &merges[n_initial - k];
+        let (sa, sb) = (slot_of_node[m.a], slot_of_node[m.b]);
+        let new_id = n_initial + (n_initial - k);
+        slot_of_node[new_id] = sa;
+        // Fold slot sb's distance-sum column into sa for every item.
+        for i in 0..n {
+            let acc = &mut sums[i * stride..(i + 1) * stride];
+            acc[sa] += acc[sb];
+            acc[sb] = 0.0;
+        }
+        slot_size[sa] += slot_size[sb];
+        slot_size[sb] = 0;
+        slot_alive[sb] = false;
+        let mut merged = std::mem::take(&mut members[m.a]);
+        let moved = std::mem::take(&mut members[m.b]);
+        for &item in &moved {
+            item_slot[item] = sa;
+        }
+        merged.extend(moved);
+        members[new_id] = merged;
+    }
+    cuts.reverse();
+    Ok(cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agglomerative::{agglomerative, Constraints, Linkage};
+    use crate::quality::silhouette;
+    use em_linalg::Matrix;
+
+    fn line_distances(pts: &[f64]) -> Matrix {
+        Matrix::from_fn(pts.len(), pts.len(), |i, j| (pts[i] - pts[j]).abs())
+    }
+
+    #[test]
+    fn sweep_matches_per_k_cuts_and_silhouettes() {
+        let d = line_distances(&[0.0, 0.1, 0.2, 5.0, 5.1, 9.0, 9.2, 9.4]);
+        let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        let cuts = sweep_cuts(&dg, &d, 1, 8).unwrap();
+        assert_eq!(cuts.len(), 8);
+        for cut in &cuts {
+            assert_eq!(cut.labels, dg.cut(cut.k).unwrap(), "labels at k={}", cut.k);
+            let reference = silhouette(&d, &cut.labels).unwrap();
+            assert!(
+                (cut.silhouette - reference).abs() < 1e-9,
+                "silhouette at k={}: sweep {} vs reference {}",
+                cut.k,
+                cut.silhouette,
+                reference
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_respects_constraints() {
+        let d = line_distances(&[0.0, 0.1, 5.0, 5.1, 9.0]);
+        let constraints = Constraints {
+            must_link: vec![(0, 4)],
+            cannot_link: vec![(1, 2)],
+        };
+        let dg = agglomerative(&d, Linkage::Average, &constraints).unwrap();
+        let (lo, hi) = (dg.min_clusters(), dg.max_clusters());
+        let cuts = sweep_cuts(&dg, &d, lo, hi).unwrap();
+        for cut in &cuts {
+            assert_eq!(cut.labels, dg.cut(cut.k).unwrap());
+            assert_eq!(cut.labels[0], cut.labels[4], "must-link at k={}", cut.k);
+            assert_ne!(cut.labels[1], cut.labels[2], "cannot-link at k={}", cut.k);
+        }
+    }
+
+    #[test]
+    fn sub_range_sweeps_work() {
+        let d = line_distances(&[0.0, 1.0, 2.0, 6.0, 7.0, 8.0]);
+        let dg = agglomerative(&d, Linkage::Complete, &Constraints::none()).unwrap();
+        let cuts = sweep_cuts(&dg, &d, 2, 4).unwrap();
+        assert_eq!(cuts.iter().map(|c| c.k).collect::<Vec<_>>(), vec![2, 3, 4]);
+        for cut in &cuts {
+            assert_eq!(cut.labels, dg.cut(cut.k).unwrap());
+        }
+    }
+
+    #[test]
+    fn invalid_ranges_are_rejected() {
+        let d = line_distances(&[0.0, 1.0, 2.0]);
+        let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        assert!(sweep_cuts(&dg, &d, 0, 2).is_err());
+        assert!(sweep_cuts(&dg, &d, 1, 4).is_err());
+        assert!(sweep_cuts(&dg, &d, 3, 2).is_err());
+        let wrong_size = line_distances(&[0.0, 1.0]);
+        assert!(sweep_cuts(&dg, &wrong_size, 1, 2).is_err());
+    }
+
+    #[test]
+    fn single_k_sweep_is_one_cut() {
+        let d = line_distances(&[0.0, 0.1, 4.0, 4.1]);
+        let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        let cuts = sweep_cuts(&dg, &d, 2, 2).unwrap();
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].labels, dg.cut(2).unwrap());
+    }
+}

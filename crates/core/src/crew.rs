@@ -21,7 +21,7 @@ use crate::knowledge::{
 };
 use crate::perturb::{perturb, PerturbOptions};
 use crate::surrogate::{fit_group_surrogate, fit_word_surrogate, SurrogateOptions};
-use em_cluster::{agglomerative, silhouette, Constraints, Linkage};
+use em_cluster::{agglomerative, silhouette, sweep_cuts, Constraints, Linkage};
 use em_data::{EntityPair, TokenizedPair};
 use em_embed::WordEmbeddings;
 use em_matchers::Matcher;
@@ -100,14 +100,19 @@ impl Crew {
         &self.options
     }
 
-    /// Produce `(k, labels)` candidate partitions for every K in the model
-    /// selection range, using the configured clustering driver.
+    /// Produce `(k, labels, silhouette)` candidate partitions for every K in
+    /// the model selection range, using the configured clustering driver.
+    ///
+    /// On the agglomerative path consecutive cuts come from one incremental
+    /// merge replay ([`sweep_cuts`]) that also scores each cut's silhouette
+    /// from shared accumulators, instead of re-running union-find and an
+    /// O(n²·k) silhouette per K.
     fn candidate_partitions(
         &self,
         distances: &em_linalg::Matrix,
         word_weights: &[f64],
         n: usize,
-    ) -> Result<Vec<(usize, Vec<usize>)>, crate::ExplainError> {
+    ) -> Result<Vec<(usize, Vec<usize>, f64)>, crate::ExplainError> {
         match self.options.algorithm {
             ClusterAlgorithm::Agglomerative => {
                 let constraints = if self.options.cannot_link_quantile > 0.0 {
@@ -129,22 +134,27 @@ impl Crew {
                     .max_clusters
                     .min(dendrogram.max_clusters())
                     .max(k_lo);
-                (k_lo..=k_hi)
-                    .map(|k| {
-                        dendrogram
-                            .cut(k)
-                            .map(|labels| (k, labels))
-                            .map_err(crate::ExplainError::Cluster)
-                    })
-                    .collect()
+                let cuts = sweep_cuts(&dendrogram, distances, k_lo, k_hi)
+                    .map_err(crate::ExplainError::Cluster)?;
+                Ok(cuts
+                    .into_iter()
+                    .map(|cut| (cut.k, cut.labels, cut.silhouette))
+                    .collect())
             }
             ClusterAlgorithm::KMedoids => {
                 let k_hi = self.options.max_clusters.min(n).max(1);
                 (1..=k_hi)
                     .map(|k| {
-                        em_cluster::kmedoids(distances, k, self.options.perturb.seed ^ k as u64, 40)
-                            .map(|r| (k, r.labels))
-                            .map_err(crate::ExplainError::Cluster)
+                        let r = em_cluster::kmedoids(
+                            distances,
+                            k,
+                            self.options.perturb.seed ^ k as u64,
+                            40,
+                        )
+                        .map_err(crate::ExplainError::Cluster)?;
+                        let sil = silhouette(distances, &r.labels)
+                            .map_err(crate::ExplainError::Cluster)?;
+                        Ok((k, r.labels, sil))
                     })
                     .collect()
             }
@@ -217,10 +227,9 @@ impl Crew {
         let mut cuts: Vec<(usize, Vec<usize>, crate::surrogate::SurrogateFit, f64)> =
             Vec::with_capacity(partitions.len());
         let mut best_r2 = f64::NEG_INFINITY;
-        for (k, labels) in partitions {
+        for (k, labels, sil) in partitions {
             let groups = em_cluster::groups_from_labels(&labels);
             let fit = fit_group_surrogate(&set, &groups, &self.options.surrogate)?;
-            let sil = silhouette(&distances, &labels).map_err(crate::ExplainError::Cluster)?;
             best_r2 = best_r2.max(fit.r_squared);
             cuts.push((k, labels, fit, sil));
         }
@@ -303,10 +312,9 @@ impl Crew {
         let partitions =
             self.candidate_partitions(&distances, &word_fit.weights, tokenized.len())?;
         let mut out = Vec::new();
-        for (k, labels) in partitions {
+        for (k, labels, sil) in partitions {
             let groups = em_cluster::groups_from_labels(&labels);
             let fit = fit_group_surrogate(&set, &groups, &self.options.surrogate)?;
-            let sil = silhouette(&distances, &labels).map_err(crate::ExplainError::Cluster)?;
             out.push((k, fit.r_squared, sil));
         }
         Ok(out)

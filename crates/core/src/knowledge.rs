@@ -71,7 +71,7 @@ impl KnowledgeWeights {
 
 /// Semantic distance matrix over the pair's words (embedding cosine).
 pub fn semantic_distances(tokenized: &TokenizedPair, embeddings: &WordEmbeddings) -> Matrix {
-    let words: Vec<String> = tokenized.words().iter().map(|w| w.text.clone()).collect();
+    let words: Vec<&str> = tokenized.words().iter().map(|w| w.text.as_str()).collect();
     em_embed::semantic_distance_matrix(embeddings, &words)
 }
 

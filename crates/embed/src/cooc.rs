@@ -7,6 +7,13 @@
 
 use em_text::Vocabulary;
 use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Sentences per parallel counting chunk. Fixed — never derived from the
+/// thread budget — so the chunk partial sums, and therefore every float
+/// merge order, are identical at any thread count (1 thread and 16
+/// threads produce bitwise-equal counts, marginals and totals).
+const CHUNK_SENTS: usize = 256;
 
 /// Sparse symmetric co-occurrence counts over a corpus.
 #[derive(Debug, Clone)]
@@ -28,6 +35,9 @@ pub struct CoocOptions {
     pub distance_weighting: bool,
     /// Drop tokens occurring fewer than this many times in the corpus.
     pub min_count: u64,
+    /// Thread budget for the counting pass (`0` = auto-size to the
+    /// shared pool). Counts are bitwise-identical at any value.
+    pub threads: usize,
 }
 
 impl Default for CoocOptions {
@@ -36,66 +46,121 @@ impl Default for CoocOptions {
             window: 4,
             distance_weighting: true,
             min_count: 1,
+            threads: 0,
         }
     }
 }
 
+/// Partial counts from one sentence chunk, merged in chunk order.
+struct ChunkCounts {
+    counts: HashMap<(u32, u32), f64>,
+    row_sums: Vec<f64>,
+    total: f64,
+}
+
 impl Cooccurrence {
     /// Count co-occurrences over sentences (token slices).
+    ///
+    /// The windowed counting pass is parallelised over fixed-size
+    /// sentence chunks on the shared worker pool; each chunk accumulates
+    /// a local map that is merged in chunk order afterwards. Chunking is
+    /// independent of the thread budget, per-key merge order is chunk
+    /// order, and float marginals are sums of chunk partials in chunk
+    /// order — so the result is bitwise-identical at any thread count,
+    /// and retraining never sees hash-iteration-order noise.
     pub fn build<'a, I>(sentences: I, opts: CoocOptions) -> Self
     where
         I: IntoIterator<Item = &'a [String]> + Clone,
     {
-        // First pass: frequencies for min-count filtering.
+        // Pass 1 (serial): frequencies for min-count filtering.
         let mut freq: HashMap<&str, u64> = HashMap::new();
         for sent in sentences.clone() {
             for tok in sent {
                 *freq.entry(tok.as_str()).or_insert(0) += 1;
             }
         }
+        // Pass 2 (serial): assign vocabulary ids in first-appearance
+        // order and materialise id sentences for the counting pass.
         let mut vocab = Vocabulary::new();
-        let mut counts: HashMap<(u32, u32), f64> = HashMap::new();
-        let mut total = 0.0;
-        // Row sums are accumulated during the (deterministic) corpus
-        // traversal rather than by iterating the HashMap afterwards: float
-        // summation order must not depend on hash iteration order, or
-        // retraining would produce last-bit differences.
-        let mut row_sums: Vec<f64> = Vec::new();
-        for sent in sentences {
-            // Map to ids, skipping rare tokens.
-            let ids: Vec<Option<u32>> = sent
-                .iter()
-                .map(|t| {
-                    if freq[t.as_str()] >= opts.min_count {
-                        Some(vocab.add(t))
-                    } else {
-                        None
+        let id_sents: Vec<Vec<Option<u32>>> = sentences
+            .into_iter()
+            .map(|sent| {
+                sent.iter()
+                    .map(|t| {
+                        if freq[t.as_str()] >= opts.min_count {
+                            Some(vocab.add(t))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let n_vocab = vocab.len();
+
+        // Pass 3 (parallel): windowed pair counting per chunk.
+        let count_chunk = |b: usize| -> ChunkCounts {
+            let mut local = ChunkCounts {
+                counts: HashMap::new(),
+                row_sums: vec![0.0; n_vocab],
+                total: 0.0,
+            };
+            let lo = b * CHUNK_SENTS;
+            let hi = (lo + CHUNK_SENTS).min(id_sents.len());
+            for ids in &id_sents[lo..hi] {
+                for (i, a) in ids.iter().enumerate() {
+                    let Some(a) = *a else { continue };
+                    let win_hi = (i + opts.window + 1).min(ids.len());
+                    for (dist0, b) in ids[i + 1..win_hi].iter().enumerate() {
+                        let Some(b) = *b else { continue };
+                        let w = if opts.distance_weighting {
+                            1.0 / (dist0 as f64 + 1.0)
+                        } else {
+                            1.0
+                        };
+                        *local.counts.entry((a, b)).or_insert(0.0) += w;
+                        *local.counts.entry((b, a)).or_insert(0.0) += w;
+                        local.total += 2.0 * w;
+                        local.row_sums[a as usize] += w;
+                        local.row_sums[b as usize] += w;
                     }
-                })
-                .collect();
-            for (i, a) in ids.iter().enumerate() {
-                let Some(a) = *a else { continue };
-                let hi = (i + opts.window + 1).min(ids.len());
-                for (dist0, b) in ids[i + 1..hi].iter().enumerate() {
-                    let Some(b) = *b else { continue };
-                    let w = if opts.distance_weighting {
-                        1.0 / (dist0 as f64 + 1.0)
-                    } else {
-                        1.0
-                    };
-                    *counts.entry((a, b)).or_insert(0.0) += w;
-                    *counts.entry((b, a)).or_insert(0.0) += w;
-                    total += 2.0 * w;
-                    let need = (a.max(b) as usize) + 1;
-                    if row_sums.len() < need {
-                        row_sums.resize(need, 0.0);
-                    }
-                    row_sums[a as usize] += w;
-                    row_sums[b as usize] += w;
                 }
             }
+            local
+        };
+        let n_chunks = id_sents.len().div_ceil(CHUNK_SENTS);
+        let slots: Vec<Mutex<Option<ChunkCounts>>> =
+            (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        let threads = if opts.threads == 0 {
+            em_pool::default_threads()
+        } else {
+            opts.threads
+        };
+        em_pool::global().run(n_chunks, threads, &|b| {
+            // Each slot is written exactly once, by the task owning
+            // chunk `b`; the mutex only carries the value across threads.
+            *slots[b].lock().unwrap() = Some(count_chunk(b));
+        });
+
+        // Merge in chunk order. Per-key values only ever combine with the
+        // same key, so hash iteration order inside a chunk cannot change
+        // any sum; the cross-chunk order is fixed by the loop.
+        let mut counts: HashMap<(u32, u32), f64> = HashMap::new();
+        let mut row_sums = vec![0.0; n_vocab];
+        let mut total = 0.0;
+        for slot in slots {
+            let local = slot
+                .into_inner()
+                .expect("chunk slot mutex poisoned")
+                .expect("chunk slot not filled");
+            for (key, w) in local.counts {
+                *counts.entry(key).or_insert(0.0) += w;
+            }
+            for (r, w) in local.row_sums.into_iter().enumerate() {
+                row_sums[r] += w;
+            }
+            total += local.total;
         }
-        row_sums.resize(vocab.len(), 0.0);
         Cooccurrence {
             vocab,
             counts,
@@ -158,6 +223,34 @@ impl Cooccurrence {
         }
         m
     }
+
+    /// PPMI matrix in CSR form: the same cells as [`Self::ppmi_matrix`]
+    /// computed with the same arithmetic (the property suite pins
+    /// pointwise equality), but storing only the positive entries —
+    /// O(nnz) instead of O(V²). Triplet order is irrelevant:
+    /// `SparseMatrix::from_triplets` sorts, so the layout is
+    /// deterministic even though `counts` is iterated in hash order.
+    pub fn ppmi_csr(&self, smoothing: f64) -> em_linalg::SparseMatrix {
+        let n = self.vocab.len();
+        if self.total <= 0.0 {
+            return em_linalg::SparseMatrix::from_triplets(n, n, Vec::new());
+        }
+        let smoothed_total: f64 = self.row_sums.iter().map(|s| s.powf(smoothing)).sum();
+        let mut entries = Vec::with_capacity(self.counts.len());
+        for (&(a, b), &c) in &self.counts {
+            if c <= 0.0 {
+                continue;
+            }
+            let pa = self.row_sums[a as usize] / self.total;
+            let pb = self.row_sums[b as usize].powf(smoothing) / smoothed_total;
+            let pab = c / self.total;
+            let v = (pab / (pa * pb)).ln();
+            if v > 0.0 {
+                entries.push((a, b, v));
+            }
+        }
+        em_linalg::SparseMatrix::from_triplets(n, n, entries)
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +281,7 @@ mod tests {
             window: 1,
             distance_weighting: false,
             min_count: 1,
+            threads: 0,
         };
         let c = build(&["a b c d"], opts);
         let a = c.vocab().get("a").unwrap();
@@ -203,6 +297,7 @@ mod tests {
             window: 3,
             distance_weighting: true,
             min_count: 1,
+            threads: 0,
         };
         let c = build(&["a b c"], opts);
         let a = c.vocab().get("a").unwrap();
@@ -218,6 +313,7 @@ mod tests {
             window: 2,
             distance_weighting: false,
             min_count: 2,
+            threads: 0,
         };
         let c = build(&["common rare1 common", "common rare2"], opts);
         assert!(c.vocab().get("common").is_some());
@@ -249,6 +345,7 @@ mod tests {
                 window: 1,
                 distance_weighting: false,
                 min_count: 1,
+                threads: 0,
             },
         );
         let sony = c.vocab().get("sony").unwrap();
@@ -280,5 +377,67 @@ mod tests {
         assert_eq!(c.vocab().len(), 0);
         assert_eq!(c.total(), 0.0);
         assert_eq!(c.ppmi_matrix(0.75).rows(), 0);
+        assert_eq!(c.ppmi_csr(0.75).rows(), 0);
+    }
+
+    /// A corpus spanning several counting chunks, with enough repetition
+    /// that every chunk contributes to shared keys.
+    fn multi_chunk_corpus() -> Vec<Vec<String>> {
+        let phrases = [
+            "sony bravia tv black",
+            "samsung qled tv silver",
+            "bose qc45 headphones",
+            "lg oled monitor white",
+            "apple ipad tablet grey",
+        ];
+        (0..3 * super::CHUNK_SENTS + 41)
+            .map(|i| em_text::tokenize(phrases[i % phrases.len()]))
+            .collect()
+    }
+
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let s = multi_chunk_corpus();
+        let opts_for = |threads| CoocOptions {
+            threads,
+            ..Default::default()
+        };
+        let c1 = Cooccurrence::build(s.iter().map(|v| v.as_slice()), opts_for(1));
+        let c4 = Cooccurrence::build(s.iter().map(|v| v.as_slice()), opts_for(4));
+        assert_eq!(c1.total().to_bits(), c4.total().to_bits());
+        assert_eq!(c1.vocab().len(), c4.vocab().len());
+        for a in 0..c1.vocab().len() as u32 {
+            for b in 0..c1.vocab().len() as u32 {
+                assert_eq!(
+                    c1.count(a, b).to_bits(),
+                    c4.count(a, b).to_bits(),
+                    "count mismatch at ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ppmi_csr_matches_dense_matrix_bitwise() {
+        for corpus in [
+            sents(&["a b c a b", "b c a", "d a d b"]),
+            multi_chunk_corpus(),
+        ] {
+            let c =
+                Cooccurrence::build(corpus.iter().map(|v| v.as_slice()), CoocOptions::default());
+            let dense = c.ppmi_matrix(0.75);
+            let sparse = c.ppmi_csr(0.75);
+            assert_eq!(sparse.rows(), dense.rows());
+            assert_eq!(sparse.cols(), dense.cols());
+            for i in 0..dense.rows() {
+                for j in 0..dense.cols() {
+                    assert_eq!(
+                        sparse.get(i, j).to_bits(),
+                        dense[(i, j)].to_bits(),
+                        "PPMI mismatch at ({i},{j})"
+                    );
+                }
+            }
+        }
     }
 }

@@ -4,7 +4,7 @@
 //! brands included).
 
 use crate::cooc::{CoocOptions, Cooccurrence};
-use em_linalg::{randomized_svd, Matrix, SvdOptions};
+use em_linalg::{randomized_svd, randomized_svd_sparse, Matrix, SvdOptions};
 use std::collections::HashMap;
 
 /// Options for embedding training.
@@ -20,6 +20,13 @@ pub struct EmbeddingOptions {
     pub sigma_power: f64,
     /// Seed for the randomized SVD.
     pub seed: u64,
+    /// Factorise the PPMI matrix through the CSR path (default). The
+    /// sparse and dense paths are bitwise-equivalent; the flag exists so
+    /// the dense path stays reachable as the property-tested reference.
+    pub sparse: bool,
+    /// Thread budget for the sparse matvecs (`0` = auto-size to the
+    /// shared pool). Embeddings are bitwise-identical at any value.
+    pub threads: usize,
 }
 
 impl Default for EmbeddingOptions {
@@ -30,6 +37,8 @@ impl Default for EmbeddingOptions {
             smoothing: 0.75,
             sigma_power: 0.5,
             seed: 0xe4bed,
+            sparse: true,
+            threads: 0,
         }
     }
 }
@@ -57,16 +66,17 @@ impl WordEmbeddings {
         let n = cooc.vocab().len();
         let mut by_word = HashMap::with_capacity(n);
         if n >= 2 {
-            let ppmi = cooc.ppmi_matrix(opts.smoothing);
             let k = opts.dimensions.min(n);
-            let svd = randomized_svd(
-                &ppmi,
-                k,
-                SvdOptions {
-                    seed: opts.seed,
-                    ..Default::default()
-                },
-            )
+            let svd_opts = SvdOptions {
+                seed: opts.seed,
+                threads: opts.threads,
+                ..Default::default()
+            };
+            let svd = if opts.sparse {
+                randomized_svd_sparse(&cooc.ppmi_csr(opts.smoothing), k, svd_opts)
+            } else {
+                randomized_svd(&cooc.ppmi_matrix(opts.smoothing), k, svd_opts)
+            }
             .map_err(crate::EmbedError::Linalg)?;
             let kk = svd.sigma.len();
             for (id, word, _) in cooc.vocab().iter() {
@@ -199,17 +209,44 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Build a pairwise cosine-distance matrix (`1 - cos`) over a word list.
-pub fn semantic_distance_matrix(emb: &WordEmbeddings, words: &[String]) -> Matrix {
+///
+/// Duplicate surface forms are interned once: each distinct word's vector
+/// and norm are computed a single time and every pair is then one dot
+/// product — the same arithmetic `em_linalg::cosine` performs, so the
+/// distances are bitwise-unchanged, just without the per-pair norm
+/// recomputation (this matrix is rebuilt for every explained pair).
+pub fn semantic_distance_matrix<S: AsRef<str>>(emb: &WordEmbeddings, words: &[S]) -> Matrix {
     let n = words.len();
-    let vecs: Vec<Vec<f64>> = words.iter().map(|w| emb.vector(w)).collect();
+    // Intern distinct surface forms in first-appearance order.
+    let mut id_of: HashMap<&str, usize> = HashMap::with_capacity(n);
+    let mut ids = Vec::with_capacity(n);
+    let mut vecs: Vec<Vec<f64>> = Vec::new();
+    let mut norms: Vec<f64> = Vec::new();
+    for w in words {
+        let w = w.as_ref();
+        let next = vecs.len();
+        let id = *id_of.entry(w).or_insert(next);
+        if id == vecs.len() {
+            let v = emb.vector(w);
+            norms.push(em_linalg::norm2(&v));
+            vecs.push(v);
+        }
+        ids.push(id);
+    }
     let mut d = Matrix::zeros(n, n);
     for i in 0..n {
         for j in i + 1..n {
-            let dist = if words[i] == words[j] {
+            let (a, b) = (ids[i], ids[j]);
+            let dist = if a == b {
                 0.0
+            } else if norms[a] == 0.0 || norms[b] == 0.0 {
+                // cosine() reports 0 on zero norms -> distance 1/2.
+                0.5
             } else {
                 // Cosine in [-1,1] -> distance in [0,1].
-                (1.0 - em_linalg::cosine(&vecs[i], &vecs[j])) / 2.0
+                let c =
+                    (em_linalg::dot(&vecs[a], &vecs[b]) / (norms[a] * norms[b])).clamp(-1.0, 1.0);
+                (1.0 - c) / 2.0
             };
             d[(i, j)] = dist;
             d[(j, i)] = dist;
@@ -315,6 +352,30 @@ mod tests {
         let e1 = train();
         let e2 = train();
         assert_eq!(e1.vector("tv"), e2.vector("tv"));
+    }
+
+    #[test]
+    fn sparse_and_dense_training_agree_bitwise() {
+        let c = corpus();
+        let mk = |sparse| {
+            WordEmbeddings::train(
+                c.iter().map(|v| v.as_slice()),
+                EmbeddingOptions {
+                    dimensions: 16,
+                    sparse,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let sp = mk(true);
+        let dn = mk(false);
+        assert_eq!(sp.vocab_size(), dn.vocab_size());
+        for w in dn.words() {
+            for (x, y) in sp.vector(w).iter().zip(dn.vector(w)) {
+                assert_eq!(x.to_bits(), y.to_bits(), "vector mismatch for {w:?}");
+            }
+        }
     }
 
     #[test]

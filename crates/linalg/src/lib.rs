@@ -24,12 +24,14 @@
 pub mod matrix;
 pub mod qr;
 pub mod solve;
+pub mod sparse;
 pub mod stats;
 pub mod svd;
 
 pub use matrix::{cosine, dot, norm2, sq_dist, Matrix};
 pub use solve::{cholesky, ridge, ridge_regression, solve_spd, RidgeFit};
-pub use svd::{randomized_svd, symmetric_eigen, SvdOptions, TruncatedSvd};
+pub use sparse::SparseMatrix;
+pub use svd::{randomized_svd, randomized_svd_sparse, symmetric_eigen, SvdOptions, TruncatedSvd};
 
 /// Errors surfaced by the numeric kernels.
 #[derive(Debug, Clone, PartialEq)]

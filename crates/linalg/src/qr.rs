@@ -39,14 +39,22 @@ pub fn qr(a: &Matrix) -> Qr {
         for x in &mut v {
             *x /= vnorm;
         }
-        // Apply H = I - 2 v v^T to the trailing submatrix of R.
-        for c in j..n {
-            let mut dot = 0.0;
-            for i in j..m {
-                dot += v[i - j] * r[(i, c)];
+        // Apply H = I - 2 v v^T to the trailing submatrix of R. The two
+        // sweeps run row-major (i outer) so the memory access is
+        // sequential, but each column's dot product still accumulates in
+        // ascending-row order — bitwise the same as the textbook
+        // column-at-a-time formulation, just cache-friendly.
+        let mut dots = vec![0.0; n - j];
+        for i in j..m {
+            let vi = v[i - j];
+            for (d, &x) in dots.iter_mut().zip(&r.row(i)[j..]) {
+                *d += vi * x;
             }
-            for i in j..m {
-                r[(i, c)] -= 2.0 * v[i - j] * dot;
+        }
+        for i in j..m {
+            let t = 2.0 * v[i - j];
+            for (x, &d) in r.row_mut(i)[j..].iter_mut().zip(&dots) {
+                *x -= t * d;
             }
         }
         vs.push(v);
@@ -62,13 +70,18 @@ pub fn qr(a: &Matrix) -> Qr {
         if v.iter().all(|&x| x == 0.0) {
             continue;
         }
-        for c in 0..k {
-            let mut dot = 0.0;
-            for i in j..m {
-                dot += v[i - j] * q[(i, c)];
+        // Row-major application, same accumulation orders as above.
+        let mut dots = vec![0.0; k];
+        for i in j..m {
+            let vi = v[i - j];
+            for (d, &x) in dots.iter_mut().zip(q.row(i)) {
+                *d += vi * x;
             }
-            for i in j..m {
-                q[(i, c)] -= 2.0 * v[i - j] * dot;
+        }
+        for i in j..m {
+            let t = 2.0 * v[i - j];
+            for (x, &d) in q.row_mut(i).iter_mut().zip(&dots) {
+                *x -= t * d;
             }
         }
     }

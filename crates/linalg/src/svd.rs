@@ -3,6 +3,7 @@
 
 use crate::matrix::Matrix;
 use crate::qr::orthonormalize;
+use crate::sparse::SparseMatrix;
 use crate::LinalgError;
 use em_rngs::rngs::StdRng;
 use em_rngs::{Rng, SeedableRng};
@@ -27,6 +28,10 @@ pub struct SvdOptions {
     pub power_iterations: usize,
     /// RNG seed for the Gaussian test matrix.
     pub seed: u64,
+    /// Thread budget for the sparse-operand matvecs (`0` = auto-size to
+    /// the shared pool). Results are bitwise-identical at any value; the
+    /// dense path is always single-threaded.
+    pub threads: usize,
 }
 
 impl Default for SvdOptions {
@@ -35,6 +40,7 @@ impl Default for SvdOptions {
             oversample: 8,
             power_iterations: 2,
             seed: 0x5eed_cafe,
+            threads: 0,
         }
     }
 }
@@ -72,6 +78,63 @@ pub fn randomized_svd(a: &Matrix, k: usize, opts: SvdOptions) -> Result<Truncate
     // Stage B: B = Q^T A is small (sketch x n); take its exact SVD via the
     // eigendecomposition of B B^T (sketch x sketch, symmetric PSD).
     let b = q.transpose().matmul(a);
+    Ok(finish_from_range(&b, &q, target, n))
+}
+
+/// Rank-`k` randomized SVD of a CSR matrix.
+///
+/// Same algorithm, seed schedule and accumulation orders as
+/// [`randomized_svd`], so for any sparse operand the result is
+/// bitwise-identical to densifying and calling the dense path — the
+/// property suite pins this. The sparse·dense products are parallelised
+/// over row blocks on the shared `em-pool` (budget `opts.threads`, `0` =
+/// auto), which does not change a single bit of output because each
+/// output row is owned by one task.
+pub fn randomized_svd_sparse(
+    a: &SparseMatrix,
+    k: usize,
+    opts: SvdOptions,
+) -> Result<TruncatedSvd, LinalgError> {
+    let m = a.rows();
+    let n = a.cols();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::EmptyMatrix);
+    }
+    if k == 0 {
+        return Err(LinalgError::InvalidRank(k));
+    }
+    let threads = if opts.threads == 0 {
+        em_pool::default_threads()
+    } else {
+        opts.threads
+    };
+    let target = k.min(m).min(n);
+    let sketch = (target + opts.oversample).min(m).min(n);
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let omega = Matrix::from_fn(n, sketch, |_, _| gaussian(&mut rng));
+    let mut y = a.matmul_dense(&omega, threads);
+    let mut q = orthonormalize(&y);
+    let at = a.transpose();
+    for _ in 0..opts.power_iterations {
+        let z = orthonormalize(&at.matmul_dense(&q, threads));
+        y = a.matmul_dense(&z, threads);
+        q = orthonormalize(&y);
+    }
+
+    // B = Q^T A computed as (A^T Q)^T: the CSR transpose kernel visits
+    // the same nonzero products in the same ascending-k order the dense
+    // `q.transpose().matmul(a)` uses (zero-operand terms it skips are
+    // exact no-op additions), so B — and everything downstream — matches
+    // the dense path bitwise.
+    let b = at.matmul_dense(&q, threads).transpose();
+    Ok(finish_from_range(&b, &q, target, n))
+}
+
+/// Shared tail of both SVD paths: exact SVD of the small projected
+/// matrix `B = Q^T A` via the eigendecomposition of `B B^T`
+/// (sketch x sketch, symmetric PSD), lifted back through `Q`.
+fn finish_from_range(b: &Matrix, q: &Matrix, target: usize, n: usize) -> TruncatedSvd {
     let bbt = b.matmul(&b.transpose());
     let (eigvals, eigvecs) = symmetric_eigen(&bbt, 200, 1e-12);
 
@@ -100,7 +163,7 @@ pub fn randomized_svd(a: &Matrix, k: usize, opts: SvdOptions) -> Result<Truncate
             v[(r, c)] = if s > 1e-12 { bt_us[(r, c)] / s } else { 0.0 };
         }
     }
-    Ok(TruncatedSvd { u, sigma, v })
+    TruncatedSvd { u, sigma, v }
 }
 
 /// Jacobi eigendecomposition of a symmetric matrix.
@@ -267,6 +330,62 @@ mod tests {
         for &s in &svd.sigma {
             assert!((s - 1.0).abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn sparse_svd_matches_dense_bitwise() {
+        // A low-rank matrix with structural zeros sprinkled in, so the
+        // sparse layout is exercised for real.
+        let mut a = low_rank_matrix(40, 26, 5, 11);
+        for i in 0..40 {
+            for j in 0..26 {
+                if (i * 7 + j * 3) % 4 == 0 {
+                    a[(i, j)] = 0.0;
+                }
+            }
+        }
+        let sp = SparseMatrix::from_dense(&a);
+        assert!(sp.nnz() < 40 * 26);
+        for threads in [1usize, 4] {
+            let dense = randomized_svd(&a, 5, SvdOptions::default()).unwrap();
+            let sparse = randomized_svd_sparse(
+                &sp,
+                5,
+                SvdOptions {
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(dense.sigma.len(), sparse.sigma.len());
+            for (x, y) in dense.sigma.iter().zip(&sparse.sigma) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "sigma mismatch (threads={threads})"
+                );
+            }
+            for (x, y) in dense.u.as_slice().iter().zip(sparse.u.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "U mismatch (threads={threads})");
+            }
+            for (x, y) in dense.v.as_slice().iter().zip(sparse.v.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "V mismatch (threads={threads})");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_svd_rejects_empty_and_zero_rank() {
+        let empty = SparseMatrix::from_triplets(0, 0, vec![]);
+        assert!(matches!(
+            randomized_svd_sparse(&empty, 2, SvdOptions::default()),
+            Err(LinalgError::EmptyMatrix)
+        ));
+        let id = SparseMatrix::from_dense(&Matrix::identity(3));
+        assert!(matches!(
+            randomized_svd_sparse(&id, 0, SvdOptions::default()),
+            Err(LinalgError::InvalidRank(0))
+        ));
     }
 
     #[test]

@@ -260,6 +260,12 @@ pub fn global() -> &'static WorkerPool {
     })
 }
 
+/// The thread budget a `threads: 0` ("auto") option resolves to: every
+/// helper thread of the [`global`] pool plus the submitting thread.
+pub fn default_threads() -> usize {
+    global().workers() + 1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

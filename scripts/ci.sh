@@ -19,18 +19,15 @@ cargo build --release --locked --offline
 echo "==> cargo test -q (locked, offline)"
 cargo test -q --locked --offline
 
-if [[ "${1:-}" == "--bench" ]]; then
-    echo "==> bench smoke (run_all --smoke) + regression gate"
-    baseline=$(mktemp)
-    cp results/BENCH_run_all_smoke.json "$baseline"
-    cargo run --release --locked --offline -p em-bench --bin run_all -- --smoke
-    python3 - "$baseline" results/BENCH_run_all_smoke.json <<'EOF'
+# Compare a fresh smoke run against its committed baseline, failing on
+# >2x per-entry regressions. Smoke medians are single-shot and noisy; 2x
+# catches algorithmic blow-ups (accidental O(n^2), lost cache, lost
+# batching) without flaking on scheduler jitter.
+bench_gate() {
+    local baseline_json="$1" current_json="$2"
+    python3 - "$baseline_json" "$current_json" <<'EOF'
 import json, sys
 
-# Fail on >2x per-experiment regression vs the committed smoke baseline.
-# Smoke medians are single-shot and noisy; 2x catches algorithmic
-# blow-ups (accidental O(n^2), lost cache, lost batching) without
-# flaking on scheduler jitter.
 THRESHOLD = 2.0
 base = {(r["group"], r["id"]): r["median_ns"]
         for r in json.load(open(sys.argv[1]))["results"]}
@@ -55,6 +52,21 @@ if failures:
     sys.exit(1)
 print("bench regression gate passed")
 EOF
+}
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "==> bench smoke (run_all --smoke) + regression gate"
+    baseline=$(mktemp)
+    cp results/BENCH_run_all_smoke.json "$baseline"
+    cargo run --release --locked --offline -p em-bench --bin run_all -- --smoke
+    bench_gate "$baseline" results/BENCH_run_all_smoke.json
+    rm -f "$baseline"
+
+    echo "==> bench smoke (embed --smoke) + regression gate"
+    baseline=$(mktemp)
+    cp results/BENCH_embed_smoke.json "$baseline"
+    cargo bench --locked --offline -p em-bench --bench embed -- --smoke
+    bench_gate "$baseline" results/BENCH_embed_smoke.json
     rm -f "$baseline"
 fi
 

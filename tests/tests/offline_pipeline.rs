@@ -1,0 +1,164 @@
+//! Property tests of the offline (corpus → embeddings → K-sweep) pipeline:
+//! the sparse CSR path must be a bitwise drop-in for the dense reference,
+//! co-occurrence counting must not depend on the thread budget, and the
+//! incremental K-sweep must reproduce per-K dendrogram cuts exactly.
+
+use em_cluster::{agglomerative, silhouette, sweep_cuts, Constraints, Linkage};
+use em_embed::{CoocOptions, Cooccurrence, EmbeddingOptions, WordEmbeddings};
+use em_linalg::{randomized_svd, randomized_svd_sparse, Matrix, SparseMatrix, SvdOptions};
+use em_rngs::{Rng, SeedableRng};
+use propcheck::prelude::*;
+
+/// A random synthetic corpus: `n_sents` sentences drawn from a small
+/// vocabulary so words actually co-occur.
+fn random_corpus(n_sents: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = em_rngs::rngs::StdRng::seed_from_u64(seed);
+    let vocab = [
+        "sonix",
+        "veltron",
+        "bravia",
+        "qled",
+        "tv",
+        "television",
+        "black",
+        "white",
+        "hdmi",
+        "remote",
+        "stand",
+        "4k",
+    ];
+    (0..n_sents)
+        .map(|_| {
+            let len = rng.gen_range(2..9usize);
+            (0..len)
+                .map(|_| vocab[rng.gen_range(0..vocab.len())].to_string())
+                .collect()
+        })
+        .collect()
+}
+
+fn build(corpus: &[Vec<String>], threads: usize) -> Cooccurrence {
+    Cooccurrence::build(
+        corpus.iter().map(|v| v.as_slice()),
+        CoocOptions {
+            threads,
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The CSR PPMI holds exactly the positive entries of the dense PPMI,
+    // bitwise, and nothing else.
+    #[test]
+    fn sparse_ppmi_equals_dense_pointwise(n_sents in 1usize..40, seed in 0u64..500) {
+        let corpus = random_corpus(n_sents, seed);
+        let cooc = build(&corpus, 0);
+        let dense = cooc.ppmi_matrix(0.75);
+        let csr = cooc.ppmi_csr(0.75);
+        prop_assert_eq!(csr.rows(), dense.rows());
+        prop_assert_eq!(csr.cols(), dense.cols());
+        for i in 0..dense.rows() {
+            for j in 0..dense.cols() {
+                prop_assert_eq!(csr.get(i, j).to_bits(), dense[(i, j)].to_bits());
+            }
+        }
+    }
+
+    // The sparse-operand randomized SVD is bitwise the dense one, at any
+    // thread budget.
+    #[test]
+    fn sparse_svd_equals_dense_bitwise(n_sents in 4usize..40, seed in 0u64..500) {
+        let corpus = random_corpus(n_sents, seed);
+        let cooc = build(&corpus, 0);
+        let dense = cooc.ppmi_matrix(0.75);
+        let k = 4.min(dense.rows());
+        let opts = |threads| SvdOptions { seed: 0xcafe ^ seed, threads, ..Default::default() };
+        let reference = randomized_svd(&dense, k, opts(1)).unwrap();
+        for threads in [1usize, 4] {
+            let sparse = randomized_svd_sparse(
+                &SparseMatrix::from_dense(&dense),
+                k,
+                opts(threads),
+            )
+            .unwrap();
+            prop_assert_eq!(sparse.sigma.len(), reference.sigma.len());
+            for (a, b) in sparse.sigma.iter().zip(&reference.sigma) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            prop_assert_eq!(sparse.u.as_slice(), reference.u.as_slice());
+            prop_assert_eq!(sparse.v.as_slice(), reference.v.as_slice());
+        }
+    }
+
+    // Co-occurrence counting is invariant to the thread budget: marginals
+    // and every pair count are bitwise identical, so trained embeddings
+    // are too.
+    #[test]
+    fn cooc_is_thread_count_invariant(n_sents in 1usize..60, seed in 0u64..500) {
+        let corpus = random_corpus(n_sents, seed);
+        let one = build(&corpus, 1);
+        for threads in [2usize, 4] {
+            let many = build(&corpus, threads);
+            prop_assert_eq!(one.vocab().len(), many.vocab().len());
+            prop_assert_eq!(one.total().to_bits(), many.total().to_bits());
+            let n = one.vocab().len() as u32;
+            for a in 0..n {
+                for b in 0..n {
+                    prop_assert_eq!(one.count(a, b).to_bits(), many.count(a, b).to_bits());
+                }
+            }
+        }
+    }
+
+    // The incremental K-sweep reproduces `Dendrogram::cut` labels exactly
+    // and the reference silhouette up to float associativity, at every K.
+    #[test]
+    fn sweep_matches_cut_and_silhouette(n in 2usize..14, seed in 0u64..500) {
+        let mut rng = em_rngs::rngs::StdRng::seed_from_u64(seed);
+        let pts: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let d = Matrix::from_fn(n, n, |i, j| (pts[i] - pts[j]).abs());
+        let dg = agglomerative(&d, Linkage::Average, &Constraints::none()).unwrap();
+        let cuts = sweep_cuts(&dg, &d, 1, n).unwrap();
+        prop_assert_eq!(cuts.len(), n);
+        for cut in &cuts {
+            prop_assert_eq!(&cut.labels, &dg.cut(cut.k).unwrap());
+            let reference = silhouette(&d, &cut.labels).unwrap();
+            prop_assert!(
+                (cut.silhouette - reference).abs() < 1e-9,
+                "silhouette at k={}: sweep {} vs reference {}",
+                cut.k, cut.silhouette, reference
+            );
+        }
+    }
+}
+
+/// End to end: training with the sparse default and the dense reference
+/// path yields bitwise-identical embeddings, at any thread budget.
+#[test]
+fn embedding_training_sparse_dense_and_threads_agree_bitwise() {
+    let corpus = random_corpus(80, 42);
+    let opts = |sparse, threads| EmbeddingOptions {
+        dimensions: 12,
+        sparse,
+        threads,
+        ..Default::default()
+    };
+    let reference =
+        WordEmbeddings::train(corpus.iter().map(|v| v.as_slice()), opts(false, 1)).unwrap();
+    for threads in [1usize, 4] {
+        let sparse =
+            WordEmbeddings::train(corpus.iter().map(|v| v.as_slice()), opts(true, threads))
+                .unwrap();
+        assert_eq!(sparse.vocab_size(), reference.vocab_size());
+        for word in reference.words() {
+            assert_eq!(
+                sparse.vector(word),
+                reference.vector(word),
+                "embedding drift for {word:?}: sparse/threads={threads} vs dense/serial"
+            );
+        }
+    }
+}
