@@ -16,25 +16,48 @@
 //! Tables are printed as markdown on stdout and written as CSV under
 //! `results/` for plotting.
 
-use em_eval::{ExperimentConfig, Table};
+use em_eval::{EvalSession, ExperimentConfig, Table};
 
 pub mod harness;
 
 pub use harness::{BenchReport, BenchResult, BenchmarkId, Criterion};
 
 /// Parse the common CLI convention of the experiment binaries
-/// (`smoke`/`--smoke`, `quick`/`--quick`, `extended`/`--extended`).
+/// (`smoke`/`--smoke`, `quick`/`--quick`, `extended`/`--extended`, in any
+/// argument position).
 pub fn config_from_args() -> ExperimentConfig {
-    match std::env::args()
-        .nth(1)
-        .as_deref()
-        .map(|a| a.trim_start_matches('-').to_string())
-    {
-        Some(a) if a == "smoke" => ExperimentConfig::smoke(),
-        Some(a) if a == "quick" => quick_config(),
-        Some(a) if a == "extended" => ExperimentConfig::extended(),
-        _ => ExperimentConfig::default(),
+    let mut config = ExperimentConfig::default();
+    for arg in std::env::args().skip(1) {
+        match arg.trim_start_matches('-') {
+            "smoke" => config = ExperimentConfig::smoke(),
+            "quick" => config = quick_config(),
+            "extended" => config = ExperimentConfig::extended(),
+            _ => {}
+        }
     }
+    config
+}
+
+/// Parse `--jobs N` (concurrent experiments in `run_all`). Defaults to the
+/// shared pool's thread budget; `--sequential` forces 1.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--sequential" {
+            return 1;
+        }
+        if arg == "--jobs" || arg == "-j" {
+            if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        }
+        if let Some(v) = arg.strip_prefix("--jobs=") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    em_pool::default_threads().max(1)
 }
 
 /// A mid-scale configuration: all five families but fewer explained pairs —
@@ -62,8 +85,10 @@ pub fn emit(table: &Table) {
     }
 }
 
-/// Run an experiment function with standard error handling.
-pub fn run(name: &str, f: impl FnOnce(&ExperimentConfig) -> Result<Table, em_eval::EvalError>) {
+/// Run an experiment function with standard error handling. Each binary
+/// gets a fresh [`EvalSession`] (the stores only pay off across
+/// experiments — see `run_all`).
+pub fn run(name: &str, f: impl FnOnce(&EvalSession) -> Result<Table, em_eval::EvalError>) {
     let config = config_from_args();
     eprintln!(
         "running {name} (families={}, pairs={}, explained={}, samples={})",
@@ -72,8 +97,9 @@ pub fn run(name: &str, f: impl FnOnce(&ExperimentConfig) -> Result<Table, em_eva
         config.explain_pairs,
         config.samples
     );
+    let session = EvalSession::new(config);
     let start = std::time::Instant::now();
-    match f(&config) {
+    match f(&session) {
         Ok(table) => {
             emit(&table);
             eprintln!("{name} finished in {:.1}s", start.elapsed().as_secs_f64());

@@ -19,7 +19,7 @@ use crate::explanation::{words_of, ClusterExplanation, WordCluster, WordExplanat
 use crate::knowledge::{
     combined_distances, opposite_sign_cannot_links, semantic_coherence, KnowledgeWeights,
 };
-use crate::perturb::{perturb, PerturbOptions};
+use crate::perturb::{perturb, PerturbOptions, PerturbationSet};
 use crate::surrogate::{fit_group_surrogate, fit_word_surrogate, SurrogateOptions};
 use em_cluster::{agglomerative, silhouette, sweep_cuts, Constraints, Linkage};
 use em_data::{EntityPair, TokenizedPair};
@@ -168,8 +168,7 @@ impl Crew {
         pair: &EntityPair,
     ) -> Result<ClusterExplanation, crate::ExplainError> {
         let tokenized = TokenizedPair::new(pair.clone());
-        let n = tokenized.len();
-        if n == 0 {
+        if tokenized.len() == 0 {
             return Err(crate::ExplainError::EmptyPair);
         }
         if self.options.tau <= 0.0 || self.options.tau > 1.0 {
@@ -179,10 +178,42 @@ impl Crew {
         // 1. Importance knowledge: one perturbation sample reused by both
         //    the word-level and every group-level surrogate.
         let set = perturb(&tokenized, matcher, &self.options.perturb)?;
-        let word_fit = fit_word_surrogate(&set, &self.options.surrogate)?;
+        self.explain_clusters_with_set(&tokenized, &set)
+    }
+
+    /// Build the perturbation sample behind an explanation of `tokenized` —
+    /// the only stage of the pipeline that queries the matcher. Explaining
+    /// from a precomputed set via [`Crew::explain_clusters_with_set`] is
+    /// bitwise-identical to [`Crew::explain_clusters`], which lets callers
+    /// (the evaluation substrate, option ablations) pay the model queries
+    /// once and reuse them across clustering variants.
+    pub fn perturbation_set(
+        &self,
+        matcher: &dyn Matcher,
+        tokenized: &TokenizedPair,
+    ) -> Result<PerturbationSet, crate::ExplainError> {
+        perturb(tokenized, matcher, &self.options.perturb)
+    }
+
+    /// The matcher-query-free tail of [`Crew::explain_clusters`]: surrogate
+    /// fits, knowledge distances, clustering and model selection, all from
+    /// an existing perturbation sample of the same pair and budget.
+    pub fn explain_clusters_with_set(
+        &self,
+        tokenized: &TokenizedPair,
+        set: &PerturbationSet,
+    ) -> Result<ClusterExplanation, crate::ExplainError> {
+        let n = tokenized.len();
+        if n == 0 {
+            return Err(crate::ExplainError::EmptyPair);
+        }
+        if self.options.tau <= 0.0 || self.options.tau > 1.0 {
+            return Err(crate::ExplainError::InvalidTau(self.options.tau));
+        }
+        let word_fit = fit_word_surrogate(set, &self.options.surrogate)?;
         let word_level = WordExplanation {
             explainer: "crew".to_string(),
-            words: words_of(&tokenized),
+            words: words_of(tokenized),
             weights: word_fit.weights.clone(),
             base_score: set.base_score(),
             intercept: word_fit.intercept,
@@ -206,7 +237,7 @@ impl Crew {
 
         // 2. Combined distance over the three knowledge sources.
         let distances = combined_distances(
-            &tokenized,
+            tokenized,
             &self.embeddings,
             &word_fit.weights,
             self.options.knowledge,
@@ -229,7 +260,7 @@ impl Crew {
         let mut best_r2 = f64::NEG_INFINITY;
         for (k, labels, sil) in partitions {
             let groups = em_cluster::groups_from_labels(&labels);
-            let fit = fit_group_surrogate(&set, &groups, &self.options.surrogate)?;
+            let fit = fit_group_surrogate(set, &groups, &self.options.surrogate)?;
             best_r2 = best_r2.max(fit.r_squared);
             cuts.push((k, labels, fit, sil));
         }
@@ -299,9 +330,22 @@ impl Crew {
             return Err(crate::ExplainError::EmptyPair);
         }
         let set = perturb(&tokenized, matcher, &self.options.perturb)?;
-        let word_fit = fit_word_surrogate(&set, &self.options.surrogate)?;
+        self.k_sweep_with_set(&tokenized, &set)
+    }
+
+    /// The matcher-query-free tail of [`Crew::k_sweep`], from an existing
+    /// perturbation sample of the same pair and budget.
+    pub fn k_sweep_with_set(
+        &self,
+        tokenized: &TokenizedPair,
+        set: &PerturbationSet,
+    ) -> Result<Vec<(usize, f64, f64)>, crate::ExplainError> {
+        if tokenized.is_empty() {
+            return Err(crate::ExplainError::EmptyPair);
+        }
+        let word_fit = fit_word_surrogate(set, &self.options.surrogate)?;
         let distances = combined_distances(
-            &tokenized,
+            tokenized,
             &self.embeddings,
             &word_fit.weights,
             self.options.knowledge,
@@ -314,7 +358,7 @@ impl Crew {
         let mut out = Vec::new();
         for (k, labels, sil) in partitions {
             let groups = em_cluster::groups_from_labels(&labels);
-            let fit = fit_group_surrogate(&set, &groups, &self.options.surrogate)?;
+            let fit = fit_group_surrogate(set, &groups, &self.options.surrogate)?;
             out.push((k, fit.r_squared, sil));
         }
         Ok(out)

@@ -45,6 +45,9 @@ impl MatcherKind {
 /// A prepared dataset with cached trained models.
 pub struct EvalContext {
     pub family: Family,
+    /// The generator configuration this context was prepared from (the
+    /// identity the [`crate::store::ContextStore`] caches under).
+    pub config: GeneratorConfig,
     pub dataset: Dataset,
     pub split: Split,
     pub embeddings: Arc<WordEmbeddings>,
@@ -64,6 +67,7 @@ impl EvalContext {
         )?);
         Ok(EvalContext {
             family,
+            config,
             dataset,
             split,
             embeddings,
@@ -74,19 +78,10 @@ impl EvalContext {
 
     /// Prepare with the standard benchmark sizing.
     pub fn prepare_standard(family: Family, seed: u64) -> Result<Self, crate::EvalError> {
-        let match_rate = match family {
-            Family::Products => 0.12,
-            Family::Citations => 0.18,
-            Family::Restaurants => 0.22,
-            Family::Songs => 0.15,
-            Family::Beers => 0.20,
-            Family::Electronics => 0.10,
-            Family::Scholar => 0.16,
-        };
         EvalContext::prepare(
             family,
             GeneratorConfig {
-                match_rate,
+                match_rate: family.standard_match_rate(),
                 seed,
                 ..Default::default()
             },

@@ -8,16 +8,16 @@
 //!   the word attributions of every pair of systems (do the explainers
 //!   even agree on what matters?).
 
-use super::ExperimentConfig;
-use crate::context::EvalContext;
-use crate::explainers::{build_crew, explain_pair, ExplainerKind};
+use crate::explainers::ExplainerKind;
+use crate::store::EvalSession;
 use crate::table::{Cell, Table};
 use crew_core::{ClusterAlgorithm, CrewOptions};
 use em_cluster::Linkage;
 use em_metrics as metrics;
 
 /// E5 — clustering design ablation.
-pub fn exp_e5(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+pub fn exp_e5(session: &EvalSession) -> Result<Table, crate::EvalError> {
+    let config = session.config();
     let variants: Vec<(&str, CrewOptions)> = vec![
         ("average+cl (CREW)", CrewOptions::default()),
         (
@@ -72,29 +72,32 @@ pub fn exp_e5(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     // Two representative families keep the runtime in minutes.
     let families: Vec<_> = config.families.iter().copied().take(2).collect();
     for family in families {
-        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let ctx = session.context(family)?;
         let matcher = ctx.matcher(config.matcher)?;
         let pairs = ctx.pairs_to_explain(config.explain_pairs);
         for (name, options) in &variants {
-            let crew = build_crew(&ctx, config.budget(), options.clone());
+            // Each variant reshapes only the clustering tail, so all six
+            // share one cached perturbation set per pair (and the default
+            // variant is a full hit after the headline experiments).
             let mut r2 = Vec::new();
             let mut sil = Vec::new();
             let mut units_n = Vec::new();
             let mut coh = Vec::new();
             let mut aopc = Vec::new();
             for ex in &pairs {
-                let ce = crew.explain_clusters(matcher.as_ref(), &ex.pair)?;
-                r2.push(ce.group_r2);
-                sil.push(ce.silhouette);
+                let out = session.explain_crew_with(&ctx, config.matcher, &ex.pair, options)?;
+                let (_, group_r2, silhouette) = out.cluster_info.expect("crew output");
+                r2.push(group_r2);
+                sil.push(silhouette);
                 let rep =
-                    metrics::interpretability(&ce.units(), &ce.word_level.words, &ctx.embeddings)?;
+                    metrics::interpretability(&out.units, &out.word_level.words, &ctx.embeddings)?;
                 units_n.push(rep.unit_count as f64);
                 coh.push(rep.semantic_coherence);
                 let tokenized = em_data::TokenizedPair::new(ex.pair.clone());
                 aopc.push(metrics::aopc_units(
                     matcher.as_ref(),
                     &tokenized,
-                    &ce.units(),
+                    &out.units,
                     3,
                 )?);
             }
@@ -116,7 +119,8 @@ pub fn exp_e5(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
 /// E6 — inter-explainer agreement: mean Spearman correlation of word
 /// attributions over the explained pairs, for every ordered pair of
 /// systems (upper triangle reported).
-pub fn exp_e6(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+pub fn exp_e6(session: &EvalSession) -> Result<Table, crate::EvalError> {
+    let config = session.config();
     let mut table = Table::new(
         "E6",
         "Inter-explainer agreement (mean Spearman over explained pairs)",
@@ -130,19 +134,17 @@ pub fn exp_e6(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     );
     let families: Vec<_> = config.families.iter().copied().take(2).collect();
     for family in families {
-        let ctx = EvalContext::prepare(family, config.generator(family))?;
-        let matcher = ctx.matcher(config.matcher)?;
+        let ctx = session.context(family)?;
         let pairs = ctx.pairs_to_explain(config.explain_pairs);
-        // Collect every system's word-level explanation per pair.
+        // Collect every system's explanation per pair (store hits after
+        // the headline experiments: same tuples).
         let kinds = ExplainerKind::all();
-        let mut per_kind: Vec<Vec<crew_core::WordExplanation>> = Vec::with_capacity(kinds.len());
+        let mut per_kind: Vec<Vec<std::sync::Arc<crate::explainers::ExplanationOutput>>> =
+            Vec::with_capacity(kinds.len());
         for kind in kinds {
             let mut v = Vec::with_capacity(pairs.len());
             for ex in &pairs {
-                v.push(
-                    explain_pair(kind, &ctx, config.budget(), matcher.as_ref(), &ex.pair)?
-                        .word_level,
-                );
+                v.push(session.explain(kind, &ctx, &ex.pair)?);
             }
             per_kind.push(v);
         }
@@ -150,7 +152,8 @@ pub fn exp_e6(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
             for b in a + 1..kinds.len() {
                 let mut rho = Vec::new();
                 let mut jac = Vec::new();
-                for (ea, eb) in per_kind[a].iter().zip(&per_kind[b]) {
+                for (oa, ob) in per_kind[a].iter().zip(&per_kind[b]) {
+                    let (ea, eb) = (&oa.word_level, &ob.word_level);
                     rho.push(metrics::weight_rank_correlation(ea, eb)?);
                     let k = 5.min(ea.weights.len().max(1));
                     jac.push(metrics::topk_jaccard(ea, eb, k)?);
@@ -171,10 +174,11 @@ pub fn exp_e6(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::ExperimentConfig;
 
     #[test]
     fn e5_covers_all_variants() {
-        let cfg = ExperimentConfig::smoke();
+        let cfg = EvalSession::new(ExperimentConfig::smoke());
         let t = exp_e5(&cfg).unwrap();
         assert_eq!(t.rows.len(), 6); // 1 family × 6 variants
         let md = t.to_markdown();
@@ -184,7 +188,7 @@ mod tests {
 
     #[test]
     fn e6_reports_upper_triangle() {
-        let cfg = ExperimentConfig::smoke();
+        let cfg = EvalSession::new(ExperimentConfig::smoke());
         let t = exp_e6(&cfg).unwrap();
         // 7 systems → 21 unordered pairs × 1 family.
         assert_eq!(t.rows.len(), 21);

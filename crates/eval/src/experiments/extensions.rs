@@ -11,9 +11,9 @@
 //! - **E7** — matcher calibration (ECE, Platt scaling) and its effect on
 //!   CREW's fidelity.
 
-use super::ExperimentConfig;
-use crate::context::{EvalContext, MatcherKind};
-use crate::explainers::{build_crew, explain_pair, ExplainerKind};
+use crate::context::MatcherKind;
+use crate::explainers::{build_crew, ExplainerKind};
+use crate::store::EvalSession;
 use crate::table::{Cell, Table};
 use crew_core::{
     explain_dataset, explanation_robustness, find_counterfactual, CounterfactualOptions,
@@ -25,7 +25,8 @@ use em_metrics as metrics;
 use std::sync::Arc;
 
 /// E1 — counterfactual quality of CREW cluster explanations.
-pub fn exp_e1(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+pub fn exp_e1(session: &EvalSession) -> Result<Table, crate::EvalError> {
+    let config = session.config();
     let mut table = Table::new(
         "E1",
         "Counterfactuals from CREW clusters (flip rate within 3 removals, mean cost)",
@@ -38,20 +39,23 @@ pub fn exp_e1(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
         ],
     );
     for &family in &config.families {
-        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let ctx = session.context(family)?;
         let matcher = ctx.matcher(config.matcher)?;
-        let crew = build_crew(&ctx, config.budget(), CrewOptions::default());
         let pairs = ctx.pairs_to_explain(config.explain_pairs);
         let mut flips = 0usize;
         let mut costs = Vec::new();
         let mut robustness = Vec::new();
         let mut swings = Vec::new();
         for ex in &pairs {
-            let ce = crew.explain_clusters(matcher.as_ref(), &ex.pair)?;
+            let out = session.explain(ExplainerKind::Crew, &ctx, &ex.pair)?;
+            let ce = out
+                .cluster_explanation
+                .as_ref()
+                .expect("crew output carries the cluster explanation");
             let cf = find_counterfactual(
                 matcher.as_ref(),
                 &ex.pair,
-                &ce,
+                ce,
                 CounterfactualOptions { max_removals: 3 },
             )?;
             if let Some(cf) = cf {
@@ -59,7 +63,7 @@ pub fn exp_e1(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
                 costs.push(cf.cost() as f64);
                 swings.push((cf.probability_before - cf.probability_after).abs());
             }
-            if let Some(r) = explanation_robustness(matcher.as_ref(), &ex.pair, &ce)? {
+            if let Some(r) = explanation_robustness(matcher.as_ref(), &ex.pair, ce)? {
                 robustness.push(r);
             }
         }
@@ -77,7 +81,8 @@ pub fn exp_e1(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
 
 /// E2 — global explanations: per dataset, the attribute ranking CREW's
 /// aggregated clusters assign to the trained matcher.
-pub fn exp_e2(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+pub fn exp_e2(session: &EvalSession) -> Result<Table, crate::EvalError> {
+    let config = session.config();
     let mut table = Table::new(
         "E2",
         "Global CREW explanations: attribute importance per dataset",
@@ -90,8 +95,10 @@ pub fn exp_e2(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
         ],
     );
     for &family in &config.families {
-        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let ctx = session.context(family)?;
         let matcher = ctx.matcher(config.matcher)?;
+        // Aggregates over a different pair sample than the headline
+        // experiments, so the explanations are computed directly.
         let crew = build_crew(&ctx, config.budget(), CrewOptions::default());
         let sample = ctx.split.test.sample(config.explain_pairs, ctx.seed ^ 0x91);
         let global = explain_dataset(&crew, matcher.as_ref(), &sample, config.explain_pairs, 2)?;
@@ -110,7 +117,8 @@ pub fn exp_e2(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
 
 /// E3 — model-agnosticity: CREW fidelity and size across matcher families
 /// (logistic, MLP, attention, rules, ensemble of all four).
-pub fn exp_e3(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+pub fn exp_e3(session: &EvalSession) -> Result<Table, crate::EvalError> {
+    let config = session.config();
     let mut table = Table::new(
         "E3",
         "CREW across model families (model-agnosticity)",
@@ -123,48 +131,69 @@ pub fn exp_e3(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
             "group_r2",
         ],
     );
+    let mean = em_linalg::stats::mean;
     let families: Vec<_> = config.families.iter().copied().take(2).collect();
     for family in families {
-        let ctx = EvalContext::prepare(family, config.generator(family))?;
-        // The four base models plus their ensemble.
-        let mut models: Vec<(String, Arc<dyn em_matchers::Matcher>)> = Vec::new();
-        for kind in MatcherKind::all() {
-            models.push((kind.label().to_string(), ctx.matcher(kind)?));
-        }
-        let mut ensemble =
-            EnsembleMatcher::uniform(models.iter().map(|(_, m)| Arc::clone(m)).collect())?;
-        ensemble.calibrate(&ctx.split.validation);
-        models.push(("ensemble".to_string(), Arc::new(ensemble)));
-
+        let ctx = session.context(family)?;
         let pairs = ctx.pairs_to_explain(config.explain_pairs);
-        for (label, matcher) in &models {
+        // The four zoo models route through the explanation store (the
+        // attention rows are the same tuples the headline experiments
+        // explain); the ensemble is not a `MatcherKind`, so its rows are
+        // computed directly below.
+        for kind in MatcherKind::all() {
+            let matcher = ctx.matcher(kind)?;
             let f1 = em_matchers::evaluate(matcher.as_ref(), &ctx.split.test).f1;
-            let crew = build_crew(&ctx, config.budget(), CrewOptions::default());
             let mut aopc_u = Vec::new();
             let mut units = Vec::new();
             let mut r2 = Vec::new();
             for ex in &pairs {
-                let ce = crew.explain_clusters(matcher.as_ref(), &ex.pair)?;
+                let out = session.explain_for(kind, ExplainerKind::Crew, &ctx, &ex.pair)?;
                 let tokenized = TokenizedPair::new(ex.pair.clone());
                 aopc_u.push(metrics::aopc_units(
                     matcher.as_ref(),
                     &tokenized,
-                    &ce.units(),
+                    &out.units,
                     3,
                 )?);
-                units.push(ce.selected_k as f64);
-                r2.push(ce.group_r2);
+                let (selected_k, group_r2, _) = out.cluster_info.expect("crew output");
+                units.push(selected_k as f64);
+                r2.push(group_r2);
             }
-            let mean = em_linalg::stats::mean;
             table.push_row(vec![
                 ctx.dataset.name().into(),
-                Cell::text(label.clone()),
+                Cell::text(kind.label()),
                 f1.into(),
                 mean(&aopc_u).into(),
                 mean(&units).into(),
                 mean(&r2).into(),
             ]);
         }
+        let mut zoo: Vec<Arc<dyn em_matchers::Matcher>> = Vec::new();
+        for kind in MatcherKind::all() {
+            zoo.push(ctx.matcher(kind)?);
+        }
+        let mut ensemble = EnsembleMatcher::uniform(zoo)?;
+        ensemble.calibrate(&ctx.split.validation);
+        let f1 = em_matchers::evaluate(&ensemble, &ctx.split.test).f1;
+        let crew = build_crew(&ctx, config.budget(), CrewOptions::default());
+        let mut aopc_u = Vec::new();
+        let mut units = Vec::new();
+        let mut r2 = Vec::new();
+        for ex in &pairs {
+            let ce = crew.explain_clusters(&ensemble, &ex.pair)?;
+            let tokenized = TokenizedPair::new(ex.pair.clone());
+            aopc_u.push(metrics::aopc_units(&ensemble, &tokenized, &ce.units(), 3)?);
+            units.push(ce.selected_k as f64);
+            r2.push(ce.group_r2);
+        }
+        table.push_row(vec![
+            ctx.dataset.name().into(),
+            Cell::text("ensemble"),
+            f1.into(),
+            mean(&aopc_u).into(),
+            mean(&units).into(),
+            mean(&r2).into(),
+        ]);
     }
     Ok(table)
 }
@@ -172,7 +201,8 @@ pub fn exp_e3(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
 /// E4 — significance of the unit-level fidelity gap: per dataset and
 /// baseline, the paired per-pair difference `aopc_unit@3(CREW) −
 /// aopc_unit@3(baseline)` with a sign-test p-value and a 95% bootstrap CI.
-pub fn exp_e4(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+pub fn exp_e4(session: &EvalSession) -> Result<Table, crate::EvalError> {
+    let config = session.config();
     let mut table = Table::new(
         "E4",
         "Significance of CREW's unit-level fidelity advantage (paired per pair)",
@@ -186,16 +216,17 @@ pub fn exp_e4(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
         ],
     );
     for &family in &config.families {
-        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let ctx = session.context(family)?;
         let matcher = ctx.matcher(config.matcher)?;
         let pairs = ctx.pairs_to_explain(config.explain_pairs);
-        // Per-pair unit-level AOPC for every system.
+        // Per-pair unit-level AOPC for every system (store hits after the
+        // headline experiments: same tuples).
         let mut scores: std::collections::HashMap<ExplainerKind, Vec<f64>> =
             std::collections::HashMap::new();
         for kind in ExplainerKind::all() {
             let mut v = Vec::with_capacity(pairs.len());
             for ex in &pairs {
-                let out = explain_pair(kind, &ctx, config.budget(), matcher.as_ref(), &ex.pair)?;
+                let out = session.explain(kind, &ctx, &ex.pair)?;
                 let tokenized = TokenizedPair::new(ex.pair.clone());
                 v.push(metrics::aopc_units(
                     matcher.as_ref(),
@@ -239,7 +270,8 @@ pub fn exp_e4(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
 /// scaling, and CREW's unit-level AOPC against both versions. Perturbation
 /// surrogates regress on probabilities, so a saturated model compresses
 /// the attribution signal — calibration is the cheap fix.
-pub fn exp_e7(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+pub fn exp_e7(session: &EvalSession) -> Result<Table, crate::EvalError> {
+    let config = session.config();
     let mut table = Table::new(
         "E7",
         "Matcher calibration and CREW fidelity (raw vs Platt-scaled)",
@@ -254,7 +286,7 @@ pub fn exp_e7(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     );
     let families: Vec<_> = config.families.iter().copied().take(2).collect();
     for family in families {
-        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let ctx = session.context(family)?;
         for kind in [MatcherKind::Logistic, MatcherKind::Attention] {
             let raw = ctx.matcher(kind)?;
             let platt = em_matchers::CalibratedMatcher::fit(
@@ -265,16 +297,19 @@ pub fn exp_e7(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
                 em_matchers::expected_calibration_error(raw.as_ref(), &ctx.split.test, 10)?;
             let ece_platt = em_matchers::expected_calibration_error(&platt, &ctx.split.test, 10)?;
             let pairs = ctx.pairs_to_explain(config.explain_pairs);
+            // Raw-model explanations come from the store (E3 explains the
+            // same tuples); the Platt-scaled model is not in the zoo, so
+            // its explanations are computed directly.
             let crew = build_crew(&ctx, config.budget(), CrewOptions::default());
             let mut aopc_raw = Vec::new();
             let mut aopc_platt = Vec::new();
             for ex in &pairs {
                 let tokenized = em_data::TokenizedPair::new(ex.pair.clone());
-                let ce = crew.explain_clusters(raw.as_ref(), &ex.pair)?;
+                let out = session.explain_for(kind, ExplainerKind::Crew, &ctx, &ex.pair)?;
                 aopc_raw.push(metrics::aopc_units(
                     raw.as_ref(),
                     &tokenized,
-                    &ce.units(),
+                    &out.units,
                     3,
                 )?);
                 let ce2 = crew.explain_clusters(&platt, &ex.pair)?;
@@ -312,10 +347,11 @@ impl em_matchers::Matcher for ArcMatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::ExperimentConfig;
 
     #[test]
     fn e1_reports_counterfactual_stats() {
-        let cfg = ExperimentConfig::smoke();
+        let cfg = EvalSession::new(ExperimentConfig::smoke());
         let t = exp_e1(&cfg).unwrap();
         assert_eq!(t.rows.len(), 1);
         let csv = t.to_csv();
@@ -327,7 +363,7 @@ mod tests {
 
     #[test]
     fn e2_ranks_every_attribute() {
-        let cfg = ExperimentConfig::smoke();
+        let cfg = EvalSession::new(ExperimentConfig::smoke());
         let t = exp_e2(&cfg).unwrap();
         // restaurants schema has 4 attributes.
         assert_eq!(t.rows.len(), 4);
@@ -336,7 +372,7 @@ mod tests {
 
     #[test]
     fn e4_compares_crew_to_every_other_system() {
-        let cfg = ExperimentConfig::smoke();
+        let cfg = EvalSession::new(ExperimentConfig::smoke());
         let t = exp_e4(&cfg).unwrap();
         assert_eq!(t.rows.len(), 6); // 1 family × 6 non-CREW systems
         let csv = t.to_csv();
@@ -350,7 +386,7 @@ mod tests {
 
     #[test]
     fn e7_reports_calibration_effect() {
-        let cfg = ExperimentConfig::smoke();
+        let cfg = EvalSession::new(ExperimentConfig::smoke());
         let t = exp_e7(&cfg).unwrap();
         assert_eq!(t.rows.len(), 2); // 1 family × 2 models
         let csv = t.to_csv();
@@ -366,7 +402,7 @@ mod tests {
 
     #[test]
     fn e3_covers_five_models() {
-        let cfg = ExperimentConfig::smoke();
+        let cfg = EvalSession::new(ExperimentConfig::smoke());
         let t = exp_e3(&cfg).unwrap();
         assert_eq!(t.rows.len(), 5);
         assert!(t.to_markdown().contains("ensemble"));

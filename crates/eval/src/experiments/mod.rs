@@ -13,6 +13,8 @@ pub use figures::{exp_f1, exp_f2, exp_f3, exp_f4};
 pub use tables::{exp_t1, exp_t2, exp_t3, exp_t4, exp_t5, exp_t6};
 
 use crate::context::MatcherKind;
+use crate::store::EvalSession;
+use crate::table::Table;
 use em_synth::Family;
 
 /// Scale/seed knobs shared by all experiments.
@@ -77,19 +79,10 @@ impl ExperimentConfig {
 
     /// Generator settings for one family under this configuration.
     pub fn generator(&self, family: Family) -> em_synth::GeneratorConfig {
-        let match_rate = match family {
-            Family::Products => 0.12,
-            Family::Citations => 0.18,
-            Family::Restaurants => 0.22,
-            Family::Songs => 0.15,
-            Family::Beers => 0.20,
-            Family::Electronics => 0.10,
-            Family::Scholar => 0.16,
-        };
         em_synth::GeneratorConfig {
             entities: self.entities,
             pairs: self.pairs,
-            match_rate,
+            match_rate: family.standard_match_rate(),
             hard_negative_rate: 0.6,
             seed: self.seed,
         }
@@ -103,4 +96,80 @@ impl ExperimentConfig {
             threads: self.threads,
         }
     }
+}
+
+/// One experiment runner: every table/figure draws from the session's
+/// shared stores.
+pub type ExperimentFn = fn(&EvalSession) -> Result<Table, crate::EvalError>;
+
+/// The full experiment roster in report order.
+pub fn suite() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("T1", exp_t1 as ExperimentFn),
+        ("T2", exp_t2),
+        ("T3", exp_t3),
+        ("T4", exp_t4),
+        ("T5", exp_t5),
+        ("T6", exp_t6),
+        ("F1", exp_f1),
+        ("F2", exp_f2),
+        ("F3", exp_f3),
+        ("F4", exp_f4),
+        ("E1", exp_e1),
+        ("E2", exp_e2),
+        ("E3", exp_e3),
+        ("E4", exp_e4),
+        ("E5", exp_e5),
+        ("E6", exp_e6),
+        ("E7", exp_e7),
+    ]
+}
+
+/// Outcome of one suite entry.
+pub struct SuiteResult {
+    pub name: &'static str,
+    pub result: Result<Table, crate::EvalError>,
+    /// Wall-clock seconds this runner spent (including any store misses it
+    /// paid for; hits it enjoys were paid for by an earlier runner).
+    pub secs: f64,
+}
+
+/// Run the whole suite over the shared worker pool with `jobs` concurrent
+/// experiments (1 = sequential). Every runner writes into its own slot and
+/// the slots are drained in suite order, so the returned tables — and any
+/// CSVs derived from them — are identical at every `jobs` value: each
+/// runner is deterministic given the session, and the stores guarantee a
+/// key's value is computed once and shared regardless of which runner gets
+/// there first.
+pub fn run_suite(session: &EvalSession, jobs: usize) -> Vec<SuiteResult> {
+    let entries = suite();
+    let slots: Vec<std::sync::Mutex<Option<SuiteResult>>> = entries
+        .iter()
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    let run_one = |i: usize| {
+        let (name, f) = entries[i];
+        let t0 = std::time::Instant::now();
+        let result = f(session);
+        *slots[i].lock().expect("suite slot lock") = Some(SuiteResult {
+            name,
+            result,
+            secs: t0.elapsed().as_secs_f64(),
+        });
+    };
+    if jobs <= 1 {
+        for i in 0..entries.len() {
+            run_one(i);
+        }
+    } else {
+        em_pool::global().run(entries.len(), jobs, &run_one);
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("suite slot lock")
+                .expect("every experiment ran")
+        })
+        .collect()
 }

@@ -1,15 +1,17 @@
 //! Table experiments T1-T6 (see DESIGN.md for the reconstruction notes).
 
-use super::ExperimentConfig;
 use crate::context::{EvalContext, MatcherKind};
-use crate::explainers::{build_crew, explain_pair, ExplainerKind};
+use crate::explainers::{build_crew, ExplainerKind};
+use crate::store::EvalSession;
 use crate::table::{Cell, Table};
 use crew_core::{CrewOptions, KnowledgeWeights};
 use em_data::TokenizedPair;
 use em_metrics as metrics;
+use std::sync::Arc;
 
 /// T1 — dataset statistics (pairs, match rate, attributes, tokens).
-pub fn exp_t1(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+pub fn exp_t1(session: &EvalSession) -> Result<Table, crate::EvalError> {
+    let config = session.config();
     let mut table = Table::new(
         "T1",
         "Synthetic benchmark statistics (ER-Magellan shaped)",
@@ -23,8 +25,8 @@ pub fn exp_t1(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
         ],
     );
     for &family in &config.families {
-        let dataset = em_synth::generate(family, config.generator(family))?;
-        let s = dataset.stats();
+        let ctx = session.context(family)?;
+        let s = ctx.dataset.stats();
         table.push_row(vec![
             s.name.into(),
             s.pairs.into(),
@@ -39,14 +41,14 @@ pub fn exp_t1(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
 
 /// T2 — matcher quality (precision/recall/F1) per dataset: validates that
 /// the substrate models are competent enough to be worth explaining.
-pub fn exp_t2(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+pub fn exp_t2(session: &EvalSession) -> Result<Table, crate::EvalError> {
     let mut table = Table::new(
         "T2",
         "Matcher quality on held-out test pairs",
         vec!["dataset", "matcher", "precision", "recall", "f1"],
     );
-    for &family in &config.families {
-        let ctx = EvalContext::prepare(family, config.generator(family))?;
+    for &family in &session.config().families {
+        let ctx = session.context(family)?;
         for kind in MatcherKind::all() {
             let matcher = ctx.matcher(kind)?;
             let report = em_matchers::evaluate(matcher.as_ref(), &ctx.split.test);
@@ -97,13 +99,13 @@ struct PairStats {
 /// fidelity metrics.
 fn pair_stats(
     kind: ExplainerKind,
-    ctx: &EvalContext,
-    config: &ExperimentConfig,
+    ctx: &Arc<EvalContext>,
+    session: &EvalSession,
     matcher: &dyn em_matchers::Matcher,
     pair: &em_data::EntityPair,
     fractions: &[f64],
 ) -> Result<PairStats, crate::EvalError> {
-    let out = explain_pair(kind, ctx, config.budget(), matcher, pair)?;
+    let out = session.explain(kind, ctx, pair)?;
     let tokenized = TokenizedPair::new(pair.clone());
     let base = metrics::base_probability(matcher, &tokenized);
     let aopc = metrics::aopc_deletion_with_base(matcher, &tokenized, &out.units, fractions, base)?;
@@ -127,13 +129,23 @@ fn pair_stats(
     })
 }
 
+/// The T3/T4 shared aggregation, memoized on the session (T3 and T4 both
+/// read it; whichever runs first pays for it once).
 pub(crate) fn headline_metrics(
-    config: &ExperimentConfig,
-) -> Result<Vec<HeadlineRow>, crate::EvalError> {
+    session: &EvalSession,
+) -> Result<Arc<Vec<HeadlineRow>>, crate::EvalError> {
+    let (rows, _hit) = session
+        .headline
+        .get_or_try_init(|| compute_headline(session))?;
+    Ok(rows)
+}
+
+fn compute_headline(session: &EvalSession) -> Result<Vec<HeadlineRow>, crate::EvalError> {
+    let config = session.config();
     let mut rows = Vec::new();
     let fractions = metrics::standard_fractions();
     for &family in &config.families {
-        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let ctx = session.context(family)?;
         let matcher = ctx.matcher(config.matcher)?;
         let pairs = ctx.pairs_to_explain(config.explain_pairs);
         for kind in ExplainerKind::all() {
@@ -147,7 +159,7 @@ pub(crate) fn headline_metrics(
                 let r = pair_stats(
                     kind,
                     &ctx,
-                    config,
+                    session,
                     matcher.as_ref(),
                     &pairs[i].pair,
                     &fractions,
@@ -209,7 +221,7 @@ pub(crate) fn headline_metrics(
 
 /// T3 — headline fidelity: AOPC-deletion, decision-flip rate, sufficiency
 /// and surrogate R² per explainer × dataset.
-pub fn exp_t3(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+pub fn exp_t3(session: &EvalSession) -> Result<Table, crate::EvalError> {
     let mut table = Table::new(
         "T3",
         "Fidelity to the model (higher is better)",
@@ -224,9 +236,9 @@ pub fn exp_t3(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
             "secs/pair",
         ],
     );
-    for row in headline_metrics(config)? {
+    for row in headline_metrics(session)?.iter() {
         table.push_row(vec![
-            row.dataset.into(),
+            row.dataset.clone().into(),
             row.explainer.label().into(),
             row.aopc.into(),
             row.aopc_units.into(),
@@ -241,7 +253,7 @@ pub fn exp_t3(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
 
 /// T4 — headline interpretability: unit count, coherence, purity,
 /// compression per explainer × dataset.
-pub fn exp_t4(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+pub fn exp_t4(session: &EvalSession) -> Result<Table, crate::EvalError> {
     let mut table = Table::new(
         "T4",
         "Interpretability proxies (fewer/more-coherent units are better)",
@@ -254,9 +266,9 @@ pub fn exp_t4(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
             "compression",
         ],
     );
-    for row in headline_metrics(config)? {
+    for row in headline_metrics(session)?.iter() {
         table.push_row(vec![
-            row.dataset.into(),
+            row.dataset.clone().into(),
             row.explainer.label().into(),
             row.units.into(),
             row.coherence.into(),
@@ -268,7 +280,8 @@ pub fn exp_t4(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
 }
 
 /// T5 — ablation of CREW's three knowledge sources.
-pub fn exp_t5(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+pub fn exp_t5(session: &EvalSession) -> Result<Table, crate::EvalError> {
+    let config = session.config();
     let variants: Vec<(&str, KnowledgeWeights)> = vec![
         ("semantic-only", KnowledgeWeights::only_semantic()),
         ("attribute-only", KnowledgeWeights::only_attribute()),
@@ -313,29 +326,27 @@ pub fn exp_t5(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
         ],
     );
     for &family in &config.families {
-        let ctx = EvalContext::prepare(family, config.generator(family))?;
-        let matcher = ctx.matcher(config.matcher)?;
+        let ctx = session.context(family)?;
         let pairs = ctx.pairs_to_explain(config.explain_pairs);
         for (name, weights) in &variants {
-            let crew = build_crew(
-                &ctx,
-                config.budget(),
-                CrewOptions {
-                    knowledge: *weights,
-                    ..Default::default()
-                },
-            );
+            // All variants share the cached perturbation set of each pair
+            // (the budget is identical); only the clustering tail differs.
+            let options = CrewOptions {
+                knowledge: *weights,
+                ..Default::default()
+            };
             let mut r2 = Vec::new();
             let mut sil = Vec::new();
             let mut units_n = Vec::new();
             let mut coh = Vec::new();
             let mut pur = Vec::new();
             for ex in &pairs {
-                let ce = crew.explain_clusters(matcher.as_ref(), &ex.pair)?;
-                r2.push(ce.group_r2);
-                sil.push(ce.silhouette);
+                let out = session.explain_crew_with(&ctx, config.matcher, &ex.pair, &options)?;
+                let (_, group_r2, silhouette) = out.cluster_info.expect("crew output");
+                r2.push(group_r2);
+                sil.push(silhouette);
                 let rep =
-                    metrics::interpretability(&ce.units(), &ce.word_level.words, &ctx.embeddings)?;
+                    metrics::interpretability(&out.units, &out.word_level.words, &ctx.embeddings)?;
                 units_n.push(rep.unit_count as f64);
                 coh.push(rep.semantic_coherence);
                 pur.push(rep.attribute_purity);
@@ -356,7 +367,8 @@ pub fn exp_t5(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
 }
 
 /// T6 — sensitivity of CREW to the perturbation budget S.
-pub fn exp_t6(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
+pub fn exp_t6(session: &EvalSession) -> Result<Table, crate::EvalError> {
+    let config = session.config();
     let budgets = [32usize, 64, 128, 256, 512];
     let mut table = Table::new(
         "T6",
@@ -372,9 +384,12 @@ pub fn exp_t6(config: &ExperimentConfig) -> Result<Table, crate::EvalError> {
     );
     let fractions = metrics::standard_fractions();
     for &family in &config.families {
-        let ctx = EvalContext::prepare(family, config.generator(family))?;
+        let ctx = session.context(family)?;
         let matcher = ctx.matcher(config.matcher)?;
         let pairs = ctx.pairs_to_explain(config.explain_pairs.min(8));
+        // T6 measures explanation wall-clock across budgets and seeds, so
+        // it deliberately bypasses the explanation store: every (sample,
+        // seed) combination here is timed fresh with its own stopwatch.
         for &samples in &budgets {
             if samples > config.samples * 2 {
                 continue; // respect the configured ceiling in smoke runs
@@ -453,32 +468,34 @@ pub(crate) fn flatten(ce: &crew_core::ClusterExplanation) -> crew_core::WordExpl
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::ExperimentConfig;
 
     #[test]
     fn t1_reports_every_family() {
-        let cfg = ExperimentConfig::smoke();
-        let t = exp_t1(&cfg).unwrap();
+        let s = EvalSession::new(ExperimentConfig::smoke());
+        let t = exp_t1(&s).unwrap();
         assert_eq!(t.rows.len(), 1);
         assert!(t.to_markdown().contains("synth-restaurants"));
     }
 
     #[test]
     fn t3_and_t4_cover_all_explainers() {
-        let cfg = ExperimentConfig::smoke();
-        let t3 = exp_t3(&cfg).unwrap();
+        let s = EvalSession::new(ExperimentConfig::smoke());
+        let t3 = exp_t3(&s).unwrap();
         assert_eq!(t3.rows.len(), 7); // 1 family × 7 explainers (incl. WYM ext.)
         let md = t3.to_markdown();
         for kind in ExplainerKind::all() {
             assert!(md.contains(kind.label()), "missing {}", kind.label());
         }
-        let t4 = exp_t4(&cfg).unwrap();
+        // T4 reads the memoized aggregation T3 just computed.
+        let t4 = exp_t4(&s).unwrap();
         assert_eq!(t4.rows.len(), 7);
     }
 
     #[test]
     fn t5_has_seven_variants() {
-        let cfg = ExperimentConfig::smoke();
-        let t = exp_t5(&cfg).unwrap();
+        let s = EvalSession::new(ExperimentConfig::smoke());
+        let t = exp_t5(&s).unwrap();
         assert_eq!(t.rows.len(), 7);
         assert!(t.to_markdown().contains("all (CREW)"));
     }

@@ -99,7 +99,13 @@ pub struct ExplanationOutput {
     pub units: Vec<ExplanationUnit>,
     /// CREW-only extras (selected K, group R², silhouette).
     pub cluster_info: Option<(usize, f64, f64)>,
-    /// Wall-clock seconds spent producing the explanation.
+    /// CREW-only: the full cluster explanation (counterfactual and
+    /// robustness analyses consume the cluster structure directly).
+    pub cluster_explanation: Option<crew_core::ClusterExplanation>,
+    /// Wall-clock seconds spent producing the explanation. Entries served
+    /// by the [`crate::store::ExplanationStore`] keep the elapsed of their
+    /// first (cold) computation, so latency columns never report
+    /// cache-hit time.
     pub elapsed: f64,
 }
 
@@ -173,14 +179,26 @@ pub fn explain_pair(
     matcher: &dyn Matcher,
     pair: &EntityPair,
 ) -> Result<ExplanationOutput, crate::EvalError> {
+    explain_pair_opts(kind, ctx, budget, matcher, pair, &CrewOptions::default())
+}
+
+/// [`explain_pair`] with explicit CREW options (the ablations tweak them;
+/// `options` is ignored by the non-CREW kinds).
+pub fn explain_pair_opts(
+    kind: ExplainerKind,
+    ctx: &EvalContext,
+    budget: ExplainBudget,
+    matcher: &dyn Matcher,
+    pair: &EntityPair,
+    options: &CrewOptions,
+) -> Result<ExplanationOutput, crate::EvalError> {
     let start = std::time::Instant::now();
-    let (word_level, units, cluster_info) = if kind == ExplainerKind::Crew {
-        let crew = build_crew(ctx, budget, CrewOptions::default());
+    if kind == ExplainerKind::Crew {
+        let crew = build_crew(ctx, budget, options.clone());
         let ce = crew.explain_clusters(matcher, pair)?;
-        let units = ce.units();
-        let info = (ce.selected_k, ce.group_r2, ce.silhouette);
-        (ce.word_level, units, Some(info))
-    } else if kind == ExplainerKind::Wym {
+        return Ok(crew_output(ce, start.elapsed().as_secs_f64()));
+    }
+    let (word_level, units) = if kind == ExplainerKind::Wym {
         // WYM's native units are its decision units; reconstruct them so
         // the metrics see word pairs rather than flattened singletons.
         let wym = Wym::new(WymOptions {
@@ -200,20 +218,35 @@ pub fn explain_pair(
             })
             .filter(|u| u.weight.abs() > f64::EPSILON)
             .collect();
-        (we, units, None)
+        (we, units)
     } else {
         let explainer = build_explainer(kind, ctx, budget)?;
         let we = explainer.explain(matcher, pair)?;
         let units = we.units(UNIT_MASS_THRESHOLD);
-        (we, units, None)
+        (we, units)
     };
     Ok(ExplanationOutput {
         kind,
         word_level,
         units,
-        cluster_info,
+        cluster_info: None,
+        cluster_explanation: None,
         elapsed: start.elapsed().as_secs_f64(),
     })
+}
+
+/// Wrap a CREW cluster explanation into the uniform output with a given
+/// cold-run elapsed (the store composes elapsed from the perturbation-set
+/// cold time plus the clustering tail).
+pub(crate) fn crew_output(ce: crew_core::ClusterExplanation, elapsed: f64) -> ExplanationOutput {
+    ExplanationOutput {
+        kind: ExplainerKind::Crew,
+        word_level: ce.word_level.clone(),
+        units: ce.units(),
+        cluster_info: Some((ce.selected_k, ce.group_r2, ce.silhouette)),
+        cluster_explanation: Some(ce),
+        elapsed,
+    }
 }
 
 #[cfg(test)]

@@ -9,17 +9,20 @@
 pub mod context;
 pub mod experiments;
 pub mod explainers;
+pub mod store;
 pub mod table;
 
 pub use context::{EvalContext, MatcherKind};
 pub use experiments::{
     exp_e1, exp_e2, exp_e3, exp_e4, exp_e5, exp_e6, exp_e7, exp_f1, exp_f2, exp_f3, exp_f4, exp_t1,
-    exp_t2, exp_t3, exp_t4, exp_t5, exp_t6, ExperimentConfig,
+    exp_t2, exp_t3, exp_t4, exp_t5, exp_t6, run_suite, suite, ExperimentConfig, ExperimentFn,
+    SuiteResult,
 };
 pub use explainers::{
-    build_crew, build_explainer, explain_pair, ExplainBudget, ExplainerKind, ExplanationOutput,
-    UNIT_MASS_THRESHOLD,
+    build_crew, build_explainer, explain_pair, explain_pair_opts, ExplainBudget, ExplainerKind,
+    ExplanationOutput, UNIT_MASS_THRESHOLD,
 };
+pub use store::{ContextStore, EvalSession, ExplanationStore, StoreStats};
 pub use table::{Cell, Table};
 
 /// Errors from the evaluation harness (wraps every layer below).

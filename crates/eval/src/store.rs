@@ -1,0 +1,600 @@
+//! Memoized evaluation substrate: shared stores that let the seventeen
+//! experiment runners reuse each other's work instead of re-deriving it.
+//!
+//! Two stores back one [`EvalSession`]:
+//!
+//! * [`ContextStore`] caches prepared [`EvalContext`]s keyed by
+//!   `(family, GeneratorConfig)`. Dataset generation, splitting, embedding
+//!   training and (lazily) matcher-zoo training happen once per distinct
+//!   configuration, no matter how many experiments ask.
+//! * [`ExplanationStore`] caches [`ExplanationOutput`]s keyed by
+//!   `(context, matcher kind, explainer kind, pair content, budget,
+//!   CREW-options fingerprint)`. A cached explanation is bitwise identical
+//!   to a fresh run, and its `elapsed` field records the *cold* (first
+//!   computation) wall-clock, so latency columns report first-computation
+//!   time even when served from the store. Runtime experiments either read
+//!   that recorded cold time or bypass the store explicitly.
+//!
+//! The explanation store additionally caches CREW perturbation sets (the
+//! only stage that queries the matcher) separately from the clustering
+//! tail, so ablation variants that differ only in clustering options share
+//! one set of matcher queries. A cached CREW explanation reports
+//! `elapsed = set cold time + own clustering tail time`, i.e. what a fresh
+//! end-to-end run would have cost.
+//!
+//! Both stores coalesce concurrent misses: each key owns a slot with an
+//! init lock, so two experiments racing on the same key compute it once
+//! and the loser blocks until the value lands. Errors are never cached —
+//! a failed computation is retried by the next caller.
+
+use crate::context::{EvalContext, MatcherKind};
+use crate::experiments::ExperimentConfig;
+use crate::explainers::{
+    build_crew, crew_output, explain_pair_opts, ExplainBudget, ExplainerKind, ExplanationOutput,
+};
+use crew_core::{ClusterAlgorithm, CrewOptions, PerturbationSet};
+use em_cluster::Linkage;
+use em_data::{EntityPair, TokenizedPair};
+use em_synth::{Family, GeneratorConfig};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Hit/miss counters of one store (reported by `run_all`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    pub hits: usize,
+    pub misses: usize,
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} hits / {} misses", self.hits, self.misses)
+    }
+}
+
+/// One cache slot: a per-key init lock plus a write-once cell. Concurrent
+/// misses on the same key serialize on the lock and all but the first see
+/// the freshly written value; errors leave the cell empty for retry.
+pub(crate) struct Slot<T> {
+    init: Mutex<()>,
+    cell: OnceLock<Arc<T>>,
+}
+
+impl<T> Slot<T> {
+    pub(crate) fn new() -> Self {
+        Slot {
+            init: Mutex::new(()),
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Fetch the cached value or compute it. The second tuple field is
+    /// `true` when the value was already present (a hit).
+    pub(crate) fn get_or_try_init(
+        &self,
+        compute: impl FnOnce() -> Result<T, crate::EvalError>,
+    ) -> Result<(Arc<T>, bool), crate::EvalError> {
+        if let Some(v) = self.cell.get() {
+            return Ok((Arc::clone(v), true));
+        }
+        let _guard = self.init.lock().expect("slot init lock poisoned");
+        if let Some(v) = self.cell.get() {
+            return Ok((Arc::clone(v), true));
+        }
+        let v = Arc::new(compute()?);
+        let _ = self.cell.set(Arc::clone(&v));
+        Ok((v, false))
+    }
+}
+
+/// Fetch (or insert) the slot of `key`; the outer map lock is held only
+/// for the lookup, never during a computation.
+fn slot_for<K: Eq + Hash + Clone, V>(
+    slots: &Mutex<HashMap<K, Arc<Slot<V>>>>,
+    key: &K,
+) -> Arc<Slot<V>> {
+    let mut map = slots.lock().expect("store map lock poisoned");
+    Arc::clone(
+        map.entry(key.clone())
+            .or_insert_with(|| Arc::new(Slot::new())),
+    )
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn mix_u64(h: u64, v: u64) -> u64 {
+    fnv1a(h, &v.to_le_bytes())
+}
+
+/// Content fingerprint of a pair. Record ids alone are not an identity:
+/// the scaling experiments reuse ids 0/1 for pairs of different sizes, so
+/// the fingerprint folds in every attribute value of both records.
+pub fn pair_fingerprint(pair: &EntityPair) -> u64 {
+    let mut h = FNV_OFFSET;
+    for record in [pair.left(), pair.right()] {
+        h = mix_u64(h, record.id);
+        h = mix_u64(h, record.values().len() as u64);
+        for value in record.values() {
+            h = mix_u64(h, value.len() as u64);
+            h = fnv1a(h, value.as_bytes());
+        }
+    }
+    h
+}
+
+/// Fingerprint of the CREW options that shape the clustering tail. The
+/// perturbation options are deliberately excluded — the explain keys carry
+/// the budget separately, and the perturbation sub-cache is shared by all
+/// variants that only differ in tail options.
+pub fn crew_options_fingerprint(o: &CrewOptions) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = mix_u64(h, o.surrogate.kernel_width.to_bits());
+    h = mix_u64(h, o.surrogate.lambda.to_bits());
+    h = mix_u64(h, o.knowledge.semantic.to_bits());
+    h = mix_u64(h, o.knowledge.attribute.to_bits());
+    h = mix_u64(h, o.knowledge.importance.to_bits());
+    h = mix_u64(
+        h,
+        match o.algorithm {
+            ClusterAlgorithm::Agglomerative => 0,
+            ClusterAlgorithm::KMedoids => 1,
+        },
+    );
+    h = mix_u64(
+        h,
+        match o.linkage {
+            Linkage::Single => 0,
+            Linkage::Complete => 1,
+            Linkage::Average => 2,
+            Linkage::Ward => 3,
+        },
+    );
+    h = mix_u64(h, o.max_clusters as u64);
+    h = mix_u64(h, o.tau.to_bits());
+    h = mix_u64(h, o.cannot_link_quantile.to_bits());
+    h
+}
+
+/// Cache identity of a prepared context. Float knobs are keyed by their
+/// bit patterns (`GeneratorConfig` carries `f64`s and derives neither `Eq`
+/// nor `Hash`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContextKey {
+    family: Family,
+    entities: usize,
+    pairs: usize,
+    match_rate_bits: u64,
+    hard_negative_rate_bits: u64,
+    seed: u64,
+}
+
+impl ContextKey {
+    pub fn new(family: Family, config: &GeneratorConfig) -> Self {
+        ContextKey {
+            family,
+            entities: config.entities,
+            pairs: config.pairs,
+            match_rate_bits: config.match_rate.to_bits(),
+            hard_negative_rate_bits: config.hard_negative_rate.to_bits(),
+            seed: config.seed,
+        }
+    }
+}
+
+/// Shared store of prepared evaluation contexts.
+#[derive(Default)]
+pub struct ContextStore {
+    slots: Mutex<HashMap<ContextKey, Arc<Slot<EvalContext>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ContextStore {
+    pub fn new() -> Self {
+        ContextStore::default()
+    }
+
+    /// Fetch (or prepare once) the context of `(family, config)`.
+    pub fn get(
+        &self,
+        family: Family,
+        config: GeneratorConfig,
+    ) -> Result<Arc<EvalContext>, crate::EvalError> {
+        let key = ContextKey::new(family, &config);
+        let slot = slot_for(&self.slots, &key);
+        let (ctx, hit) = slot.get_or_try_init(|| EvalContext::prepare(family, config))?;
+        count(hit, &self.hits, &self.misses);
+        Ok(ctx)
+    }
+
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn count(hit: bool, hits: &AtomicUsize, misses: &AtomicUsize) {
+    if hit {
+        hits.fetch_add(1, Ordering::Relaxed);
+    } else {
+        misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A CREW perturbation set together with its cold-computation wall-clock.
+pub struct TimedSet {
+    pub set: PerturbationSet,
+    /// Seconds the first computation of this set took.
+    pub elapsed: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PerturbKey {
+    context: ContextKey,
+    matcher: MatcherKind,
+    pair: u64,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ExplainKey {
+    context: ContextKey,
+    matcher: MatcherKind,
+    explainer: ExplainerKind,
+    pair: u64,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+    /// [`crew_options_fingerprint`] for CREW, 0 for every other kind
+    /// (their options are fully determined by the budget).
+    options: u64,
+}
+
+/// Shared store of explanation outputs (plus the CREW perturbation-set
+/// sub-cache).
+#[derive(Default)]
+pub struct ExplanationStore {
+    explanations: Mutex<HashMap<ExplainKey, Arc<Slot<ExplanationOutput>>>>,
+    perturbations: Mutex<HashMap<PerturbKey, Arc<Slot<TimedSet>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    perturb_hits: AtomicUsize,
+    perturb_misses: AtomicUsize,
+}
+
+impl ExplanationStore {
+    pub fn new() -> Self {
+        ExplanationStore::default()
+    }
+
+    /// Explain `pair` with default CREW options (the common case).
+    pub fn explain(
+        &self,
+        ctx: &Arc<EvalContext>,
+        matcher: MatcherKind,
+        kind: ExplainerKind,
+        budget: ExplainBudget,
+        pair: &EntityPair,
+    ) -> Result<Arc<ExplanationOutput>, crate::EvalError> {
+        self.explain_with_options(ctx, matcher, kind, budget, pair, &CrewOptions::default())
+    }
+
+    /// Explain `pair`, caching under the full key. Cached entries are
+    /// bitwise identical to a fresh [`explain_pair_opts`] run; their
+    /// `elapsed` is the recorded cold time (for CREW: perturbation-set
+    /// cold time plus this variant's clustering tail).
+    pub fn explain_with_options(
+        &self,
+        ctx: &Arc<EvalContext>,
+        matcher: MatcherKind,
+        kind: ExplainerKind,
+        budget: ExplainBudget,
+        pair: &EntityPair,
+        options: &CrewOptions,
+    ) -> Result<Arc<ExplanationOutput>, crate::EvalError> {
+        let context = ContextKey::new(ctx.family, &ctx.config);
+        let key = ExplainKey {
+            context,
+            matcher,
+            explainer: kind,
+            pair: pair_fingerprint(pair),
+            samples: budget.samples,
+            seed: budget.seed,
+            threads: budget.threads,
+            options: if kind == ExplainerKind::Crew {
+                crew_options_fingerprint(options)
+            } else {
+                0
+            },
+        };
+        let slot = slot_for(&self.explanations, &key);
+        let (out, hit) = slot.get_or_try_init(|| {
+            if kind == ExplainerKind::Crew {
+                let timed = self.perturbation_set(ctx, matcher, budget, pair)?;
+                let crew = build_crew(ctx, budget, options.clone());
+                let tokenized = TokenizedPair::new(pair.clone());
+                let t0 = Instant::now();
+                let ce = crew.explain_clusters_with_set(&tokenized, &timed.set)?;
+                Ok(crew_output(ce, timed.elapsed + t0.elapsed().as_secs_f64()))
+            } else {
+                let trained = ctx.matcher(matcher)?;
+                explain_pair_opts(kind, ctx, budget, trained.as_ref(), pair, options)
+            }
+        })?;
+        count(hit, &self.hits, &self.misses);
+        Ok(out)
+    }
+
+    /// Fetch (or compute once) the CREW perturbation set of
+    /// `(context, matcher, budget, pair)` — the only stage that queries
+    /// the matcher. Shared by every CREW variant on the same budget.
+    pub fn perturbation_set(
+        &self,
+        ctx: &Arc<EvalContext>,
+        matcher: MatcherKind,
+        budget: ExplainBudget,
+        pair: &EntityPair,
+    ) -> Result<Arc<TimedSet>, crate::EvalError> {
+        let key = PerturbKey {
+            context: ContextKey::new(ctx.family, &ctx.config),
+            matcher,
+            pair: pair_fingerprint(pair),
+            samples: budget.samples,
+            seed: budget.seed,
+            threads: budget.threads,
+        };
+        let slot = slot_for(&self.perturbations, &key);
+        let (timed, hit) = slot.get_or_try_init(|| {
+            let trained = ctx.matcher(matcher)?;
+            let crew = build_crew(ctx, budget, CrewOptions::default());
+            let tokenized = TokenizedPair::new(pair.clone());
+            let t0 = Instant::now();
+            let set = crew.perturbation_set(trained.as_ref(), &tokenized)?;
+            Ok(TimedSet {
+                set,
+                elapsed: t0.elapsed().as_secs_f64(),
+            })
+        })?;
+        count(hit, &self.perturb_hits, &self.perturb_misses);
+        Ok(timed)
+    }
+
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn perturbation_stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.perturb_hits.load(Ordering::Relaxed),
+            misses: self.perturb_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One evaluation session: the experiment configuration plus the shared
+/// stores every runner draws from. All seventeen experiments take a
+/// session, so a full `run_all` sweep prepares each context once and
+/// explains each distinct (matcher, explainer, pair, budget) tuple once.
+pub struct EvalSession {
+    config: ExperimentConfig,
+    contexts: ContextStore,
+    explanations: ExplanationStore,
+    /// Memo of the T3/T4 shared headline aggregation.
+    pub(crate) headline: Slot<Vec<crate::experiments::tables::HeadlineRow>>,
+}
+
+impl EvalSession {
+    pub fn new(config: ExperimentConfig) -> Self {
+        EvalSession {
+            config,
+            contexts: ContextStore::new(),
+            explanations: ExplanationStore::new(),
+            headline: Slot::new(),
+        }
+    }
+
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    pub fn contexts(&self) -> &ContextStore {
+        &self.contexts
+    }
+
+    pub fn explanations(&self) -> &ExplanationStore {
+        &self.explanations
+    }
+
+    /// The shared context of `family` under this session's configuration.
+    pub fn context(&self, family: Family) -> Result<Arc<EvalContext>, crate::EvalError> {
+        self.contexts.get(family, self.config.generator(family))
+    }
+
+    /// Explain `pair` with the session's configured matcher and budget.
+    pub fn explain(
+        &self,
+        kind: ExplainerKind,
+        ctx: &Arc<EvalContext>,
+        pair: &EntityPair,
+    ) -> Result<Arc<ExplanationOutput>, crate::EvalError> {
+        self.explanations
+            .explain(ctx, self.config.matcher, kind, self.config.budget(), pair)
+    }
+
+    /// Explain `pair` with an explicit matcher kind (model-zoo sweeps).
+    pub fn explain_for(
+        &self,
+        matcher: MatcherKind,
+        kind: ExplainerKind,
+        ctx: &Arc<EvalContext>,
+        pair: &EntityPair,
+    ) -> Result<Arc<ExplanationOutput>, crate::EvalError> {
+        self.explanations
+            .explain(ctx, matcher, kind, self.config.budget(), pair)
+    }
+
+    /// CREW with explicit options (ablations), on the session budget.
+    pub fn explain_crew_with(
+        &self,
+        ctx: &Arc<EvalContext>,
+        matcher: MatcherKind,
+        pair: &EntityPair,
+        options: &CrewOptions,
+    ) -> Result<Arc<ExplanationOutput>, crate::EvalError> {
+        self.explanations.explain_with_options(
+            ctx,
+            matcher,
+            ExplainerKind::Crew,
+            self.config.budget(),
+            pair,
+            options,
+        )
+    }
+
+    /// The shared CREW perturbation set of `pair` on the session budget.
+    pub fn perturbation_set(
+        &self,
+        ctx: &Arc<EvalContext>,
+        matcher: MatcherKind,
+        pair: &EntityPair,
+    ) -> Result<Arc<TimedSet>, crate::EvalError> {
+        self.explanations
+            .perturbation_set(ctx, matcher, self.config.budget(), pair)
+    }
+
+    /// One-line hit/miss summary across all stores (logged by `run_all`).
+    pub fn stats_summary(&self) -> String {
+        format!(
+            "store stats: contexts {}, explanations {}, perturbation sets {}",
+            self.contexts.stats(),
+            self.explanations.stats(),
+            self.explanations.perturbation_stats(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explainers::explain_pair;
+
+    fn session() -> EvalSession {
+        EvalSession::new(ExperimentConfig::smoke())
+    }
+
+    #[test]
+    fn context_store_reuses_instances() {
+        let s = session();
+        let a = s.context(Family::Restaurants).unwrap();
+        let b = s.context(Family::Restaurants).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = s.contexts().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn distinct_generator_configs_get_distinct_contexts() {
+        let s = session();
+        let a = s.context(Family::Restaurants).unwrap();
+        let mut other = s.config().generator(Family::Restaurants);
+        other.seed ^= 1;
+        let b = s.contexts().get(Family::Restaurants, other).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn explanation_store_hits_are_the_same_arc() {
+        let s = session();
+        let ctx = s.context(Family::Restaurants).unwrap();
+        let pair = &ctx.pairs_to_explain(1)[0].pair;
+        let a = s.explain(ExplainerKind::Lime, &ctx, pair).unwrap();
+        let b = s.explain(ExplainerKind::Lime, &ctx, pair).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(b.elapsed, a.elapsed, "hits keep the recorded cold time");
+    }
+
+    #[test]
+    fn stored_crew_explanation_matches_fresh_run() {
+        let s = session();
+        let ctx = s.context(Family::Restaurants).unwrap();
+        let pair = &ctx.pairs_to_explain(1)[0].pair;
+        let matcher = ctx.matcher(s.config().matcher).unwrap();
+        let stored = s.explain(ExplainerKind::Crew, &ctx, pair).unwrap();
+        let fresh = explain_pair(
+            ExplainerKind::Crew,
+            &ctx,
+            s.config().budget(),
+            matcher.as_ref(),
+            pair,
+        )
+        .unwrap();
+        assert_eq!(stored.word_level.weights, fresh.word_level.weights);
+        assert_eq!(stored.cluster_info, fresh.cluster_info);
+        let su: Vec<_> = stored.units.iter().map(|u| &u.member_indices).collect();
+        let fu: Vec<_> = fresh.units.iter().map(|u| &u.member_indices).collect();
+        assert_eq!(su, fu);
+    }
+
+    #[test]
+    fn crew_variants_share_one_perturbation_set() {
+        let s = session();
+        let ctx = s.context(Family::Restaurants).unwrap();
+        let pair = &ctx.pairs_to_explain(1)[0].pair;
+        let matcher = s.config().matcher;
+        s.explain(ExplainerKind::Crew, &ctx, pair).unwrap();
+        let ablated = CrewOptions {
+            knowledge: crew_core::KnowledgeWeights::only_semantic(),
+            ..Default::default()
+        };
+        s.explain_crew_with(&ctx, matcher, pair, &ablated).unwrap();
+        let p = s.explanations().perturbation_stats();
+        assert_eq!((p.hits, p.misses), (1, 1));
+        let e = s.explanations().stats();
+        assert_eq!((e.hits, e.misses), (0, 2), "distinct option fingerprints");
+    }
+
+    #[test]
+    fn pair_fingerprint_distinguishes_content_not_just_ids() {
+        let a = em_synth::scaling_pair(40, 7);
+        let b = em_synth::scaling_pair(80, 7);
+        assert_ne!(pair_fingerprint(&a), pair_fingerprint(&b));
+        assert_eq!(pair_fingerprint(&a), pair_fingerprint(&a));
+    }
+
+    #[test]
+    fn options_fingerprint_separates_variants() {
+        let base = CrewOptions::default();
+        let mut tweaked = CrewOptions::default();
+        tweaked.tau = 0.8;
+        assert_ne!(
+            crew_options_fingerprint(&base),
+            crew_options_fingerprint(&tweaked)
+        );
+        // The perturbation options are not part of the fingerprint.
+        let mut budget_only = CrewOptions::default();
+        budget_only.perturb.samples = 9999;
+        assert_eq!(
+            crew_options_fingerprint(&base),
+            crew_options_fingerprint(&budget_only)
+        );
+    }
+}

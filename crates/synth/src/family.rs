@@ -58,6 +58,23 @@ impl Family {
         ]
     }
 
+    /// The class imbalance the standard benchmark assigns this family
+    /// (fraction of labelled pairs that are matches, mirroring the
+    /// ER-Magellan spread). Single source of truth: both the evaluation
+    /// context and the experiment configurations consume this table, so
+    /// the datasets of the whole suite shift together or not at all.
+    pub fn standard_match_rate(self) -> f64 {
+        match self {
+            Family::Products => 0.12,
+            Family::Citations => 0.18,
+            Family::Restaurants => 0.22,
+            Family::Songs => 0.15,
+            Family::Beers => 0.20,
+            Family::Electronics => 0.10,
+            Family::Scholar => 0.16,
+        }
+    }
+
     /// Stable dataset name ("synth-products" etc.).
     pub fn dataset_name(self) -> &'static str {
         match self {

@@ -14,7 +14,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Two "sources": the demo context's dataset supplies clean left
     //    records and corrupted right records — exactly the two-table shape
     //    blocking consumes.
-    let ctx = examples_support::demo_context();
+    let session = examples_support::demo_session();
+    let ctx = examples_support::demo_context(&session);
     let schema = ctx.dataset.schema_arc();
     let left: Vec<Record> = ctx
         .dataset

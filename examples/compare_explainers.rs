@@ -7,11 +7,12 @@
 //! ```
 
 use em_data::TokenizedPair;
-use em_eval::{explain_pair, ExplainBudget, ExplainerKind};
+use em_eval::{ExplainBudget, ExplainerKind, MatcherKind};
 use em_metrics as metrics;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let ctx = examples_support::demo_context();
+    let session = examples_support::demo_session();
+    let ctx = examples_support::demo_context(&session);
     let matcher = examples_support::demo_matcher(&ctx);
     let pair = examples_support::interesting_pair(&ctx, matcher.as_ref());
     let tokenized = TokenizedPair::new(pair.clone());
@@ -34,7 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "explainer", "units", "aopc_del", "suff@30%", "flip?", "secs"
     );
     for kind in ExplainerKind::all() {
-        let out = explain_pair(kind, &ctx, budget, matcher.as_ref(), &pair)?;
+        // The session's explanation store computes each explanation once;
+        // the second loop below re-requests the same keys as pure hits.
+        let out =
+            session
+                .explanations()
+                .explain(&ctx, MatcherKind::Attention, kind, budget, &pair)?;
         let aopc = metrics::aopc_deletion(matcher.as_ref(), &tokenized, &out.units, &fractions)?;
         let suff = metrics::sufficiency(matcher.as_ref(), &tokenized, &out.units, 0.3)?;
         let flip = metrics::decision_flip(matcher.as_ref(), &tokenized, &out.units)?;
@@ -49,10 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // Show what the top unit of each system actually contains.
+    // Show what the top unit of each system actually contains. These are
+    // store hits — no explanation is recomputed.
     println!("\ntop unit per explainer:");
     for kind in ExplainerKind::all() {
-        let out = explain_pair(kind, &ctx, budget, matcher.as_ref(), &pair)?;
+        let out =
+            session
+                .explanations()
+                .explain(&ctx, MatcherKind::Attention, kind, budget, &pair)?;
         let ranked = metrics::ranked_units(&out.units);
         if let Some(top) = ranked.first() {
             let words: Vec<String> = top
@@ -70,5 +80,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  {:<10} (empty explanation)", kind.label());
         }
     }
+    println!("\n{}", session.stats_summary());
     Ok(())
 }

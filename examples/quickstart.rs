@@ -12,7 +12,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A dataset: five seeded synthetic families mirror the ER-Magellan
     //    benchmark; real DeepMatcher CSVs load via
     //    em_data::dataset_from_joined_csv (see the custom_dataset example).
-    let ctx = examples_support::demo_context();
+    let session = examples_support::demo_session();
+    let ctx = examples_support::demo_context(&session);
     println!(
         "dataset: {} ({} pairs)",
         ctx.dataset.name(),

@@ -1,25 +1,45 @@
-//! Shared helpers for the runnable examples: a small prepared context so
-//! each example stays focused on the API it demonstrates.
+//! Shared helpers for the runnable examples: a small evaluation session
+//! (with its memoizing context/explanation stores) so each example stays
+//! focused on the API it demonstrates.
 
-use em_eval::{EvalContext, MatcherKind};
+use em_eval::{EvalContext, EvalSession, ExperimentConfig, MatcherKind};
 use em_synth::{Family, GeneratorConfig};
+use std::sync::Arc;
 
-/// Prepare a small products context (fast enough for interactive runs).
-pub fn demo_context() -> EvalContext {
-    EvalContext::prepare(
-        Family::Products,
-        GeneratorConfig {
-            entities: 150,
-            pairs: 400,
-            match_rate: 0.2,
-            hard_negative_rate: 0.6,
-            seed: 42,
-        },
-    )
-    .expect("synthetic generation is infallible for valid configs")
+/// A session scaled for interactive runs. Its stores make repeated
+/// context preparation and explanation calls free.
+pub fn demo_session() -> EvalSession {
+    EvalSession::new(ExperimentConfig {
+        seed: 42,
+        entities: 150,
+        pairs: 400,
+        explain_pairs: 8,
+        samples: 256,
+        threads: 4,
+        families: vec![Family::Products],
+        matcher: MatcherKind::Attention,
+    })
 }
 
-/// Train (cached) the matcher used across examples.
+/// Fetch (or prepare once, via the session's context store) the small
+/// products context the examples share.
+pub fn demo_context(session: &EvalSession) -> Arc<EvalContext> {
+    session
+        .contexts()
+        .get(
+            Family::Products,
+            GeneratorConfig {
+                entities: 150,
+                pairs: 400,
+                match_rate: 0.2,
+                hard_negative_rate: 0.6,
+                seed: 42,
+            },
+        )
+        .expect("synthetic generation is infallible for valid configs")
+}
+
+/// Train (cached on the context) the matcher used across examples.
 pub fn demo_matcher(ctx: &EvalContext) -> std::sync::Arc<dyn em_matchers::Matcher> {
     ctx.matcher(MatcherKind::Attention)
         .expect("training on generated data succeeds")

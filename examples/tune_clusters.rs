@@ -10,7 +10,8 @@ use crew_core::{Crew, CrewOptions, KnowledgeWeights};
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let ctx = examples_support::demo_context();
+    let session = examples_support::demo_session();
+    let ctx = examples_support::demo_context(&session);
     let matcher = examples_support::demo_matcher(&ctx);
     let pair = examples_support::interesting_pair(&ctx, matcher.as_ref());
     println!("pair:\n{pair}");

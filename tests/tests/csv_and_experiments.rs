@@ -1,7 +1,7 @@
 //! CSV round-trip through the full pipeline, and smoke runs of every
 //! experiment runner (table-shape validation).
 
-use em_eval::{ExperimentConfig, MatcherKind};
+use em_eval::{EvalSession, ExperimentConfig, MatcherKind};
 use em_synth::{generate, Family, GeneratorConfig};
 
 #[test]
@@ -38,13 +38,14 @@ fn synthetic_dataset_round_trips_through_csv_and_retrains() {
 
 #[test]
 fn experiment_t1_t2_shapes() {
-    let cfg = ExperimentConfig::smoke();
-    let t1 = em_eval::exp_t1(&cfg).unwrap();
+    let session = EvalSession::new(ExperimentConfig::smoke());
+    let families = session.config().families.len();
+    let t1 = em_eval::exp_t1(&session).unwrap();
     assert_eq!(t1.columns.len(), 6);
-    assert_eq!(t1.rows.len(), cfg.families.len());
+    assert_eq!(t1.rows.len(), families);
 
-    let t2 = em_eval::exp_t2(&cfg).unwrap();
-    assert_eq!(t2.rows.len(), cfg.families.len() * 4);
+    let t2 = em_eval::exp_t2(&session).unwrap();
+    assert_eq!(t2.rows.len(), families * 4);
     // Trained matchers should comfortably beat zero F1 on synthetic data.
     let csv = t2.to_csv();
     let rows = em_data::parse_csv(&csv).unwrap();
@@ -64,7 +65,8 @@ fn experiment_t1_t2_shapes() {
 fn experiment_t6_and_f4_budget_tables() {
     let mut cfg = ExperimentConfig::smoke();
     cfg.explain_pairs = 2;
-    let t6 = em_eval::exp_t6(&cfg).unwrap();
+    let session = EvalSession::new(cfg);
+    let t6 = em_eval::exp_t6(&session).unwrap();
     assert!(!t6.rows.is_empty());
     // Budgets respected the smoke ceiling (samples <= 2*48=96).
     let csv = t6.to_csv();
@@ -75,7 +77,7 @@ fn experiment_t6_and_f4_budget_tables() {
         assert!(s <= 96, "budget {s} exceeded smoke ceiling");
     }
 
-    let f4 = em_eval::exp_f4(&cfg).unwrap();
+    let f4 = em_eval::exp_f4(&session).unwrap();
     assert!(!f4.rows.is_empty());
     let csv = f4.to_csv();
     let rows = em_data::parse_csv(&csv).unwrap();
@@ -90,7 +92,7 @@ fn experiment_t6_and_f4_budget_tables() {
 fn experiment_f3_runtime_table() {
     let mut cfg = ExperimentConfig::smoke();
     cfg.samples = 32;
-    let f3 = em_eval::exp_f3(&cfg).unwrap();
+    let f3 = em_eval::exp_f3(&EvalSession::new(cfg)).unwrap();
     assert!(!f3.rows.is_empty());
     let csv = f3.to_csv();
     let rows = em_data::parse_csv(&csv).unwrap();

@@ -1,0 +1,188 @@
+//! Equivalence properties of the memoized evaluation substrate
+//! (`em_eval::store`): explanations served by the store must be bitwise
+//! identical to fresh runs, the concurrent suite scheduler must emit the
+//! same artifacts as a sequential sweep, and cache hits must report the
+//! recorded cold-run latency instead of their (near-zero) lookup time.
+
+use em_eval::{
+    explain_pair_opts, EvalSession, ExperimentConfig, ExplainBudget, ExplainerKind,
+    ExplanationOutput,
+};
+use propcheck::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// One shared session for the property cases: context preparation and
+/// matcher training are the expensive parts, and sharing them is exactly
+/// the deployment shape of the store under test.
+fn shared_session() -> &'static EvalSession {
+    static SESSION: OnceLock<EvalSession> = OnceLock::new();
+    SESSION.get_or_init(|| EvalSession::new(ExperimentConfig::smoke()))
+}
+
+fn assert_bitwise_equal(
+    kind: ExplainerKind,
+    stored: &ExplanationOutput,
+    fresh: &ExplanationOutput,
+) {
+    let name = kind.label();
+    assert_eq!(stored.kind, fresh.kind, "{name}: kind");
+    let (sw, fw) = (&stored.word_level, &fresh.word_level);
+    assert_eq!(sw.words.len(), fw.words.len(), "{name}: word count");
+    let bits = |ws: &[f64]| ws.iter().map(|w| w.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&sw.weights), bits(&fw.weights), "{name}: weights");
+    assert_eq!(
+        sw.base_score.to_bits(),
+        fw.base_score.to_bits(),
+        "{name}: base score"
+    );
+    assert_eq!(
+        sw.intercept.to_bits(),
+        fw.intercept.to_bits(),
+        "{name}: intercept"
+    );
+    assert_eq!(
+        sw.surrogate_r2.to_bits(),
+        fw.surrogate_r2.to_bits(),
+        "{name}: surrogate R²"
+    );
+    assert_eq!(stored.units.len(), fresh.units.len(), "{name}: unit count");
+    for (su, fu) in stored.units.iter().zip(&fresh.units) {
+        assert_eq!(su.member_indices, fu.member_indices, "{name}: unit members");
+        assert_eq!(
+            su.weight.to_bits(),
+            fu.weight.to_bits(),
+            "{name}: unit weight"
+        );
+    }
+    match (&stored.cluster_info, &fresh.cluster_info) {
+        (None, None) => {}
+        (Some((sk, sr, ss)), Some((fk, fr, fs))) => {
+            assert_eq!(sk, fk, "{name}: selected K");
+            assert_eq!(sr.to_bits(), fr.to_bits(), "{name}: group R²");
+            assert_eq!(ss.to_bits(), fs.to_bits(), "{name}: silhouette");
+        }
+        _ => panic!("{name}: cluster_info presence differs"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Any (explainer, pair, budget) the store serves is bitwise identical
+    // to a fresh, uncached `explain_pair_opts` run with the same inputs.
+    #[test]
+    fn store_matches_fresh_run(
+        kind_idx in 0usize..7,
+        pair_idx in 0usize..3,
+        samples in 16usize..48,
+        seed in 0u64..4,
+        threads in 1usize..3,
+    ) {
+        let session = shared_session();
+        let kind = ExplainerKind::all()[kind_idx];
+        let ctx = session.context(session.config().families[0]).unwrap();
+        let pair = ctx.pairs_to_explain(3)[pair_idx].pair.clone();
+        let budget = ExplainBudget { samples, seed, threads };
+        let matcher = session.config().matcher;
+
+        let stored = session
+            .explanations()
+            .explain(&ctx, matcher, kind, budget, &pair)
+            .unwrap();
+        let trained = ctx.matcher(matcher).unwrap();
+        let fresh = explain_pair_opts(
+            kind,
+            &ctx,
+            budget,
+            trained.as_ref(),
+            &pair,
+            &crew_core::CrewOptions::default(),
+        )
+        .unwrap();
+        assert_bitwise_equal(kind, &stored, &fresh);
+    }
+
+    // A hit returns the same entry as the miss that created it, and its
+    // latency field still reports the recorded cold-run time (never the
+    // near-zero lookup time).
+    #[test]
+    fn hits_report_recorded_cold_latency(
+        kind_idx in 0usize..7,
+        pair_idx in 0usize..3,
+        seed in 4u64..8,
+    ) {
+        let session = shared_session();
+        let kind = ExplainerKind::all()[kind_idx];
+        let ctx = session.context(session.config().families[0]).unwrap();
+        let pair = ctx.pairs_to_explain(3)[pair_idx].pair.clone();
+        let budget = ExplainBudget { samples: 24, seed, threads: 1 };
+        let matcher = session.config().matcher;
+        let explain = || {
+            session
+                .explanations()
+                .explain(&ctx, matcher, kind, budget, &pair)
+                .unwrap()
+        };
+
+        let cold = explain();
+        let hit = explain();
+        prop_assert!(Arc::ptr_eq(&cold, &hit), "hit must return the cached entry");
+        // A hit's latency must equal the recorded cold run, bit for bit.
+        prop_assert_eq!(hit.elapsed.to_bits(), cold.elapsed.to_bits());
+        prop_assert!(cold.elapsed > 0.0, "cold run records a real wall-clock");
+    }
+}
+
+/// Columns whose values are wall-clock measurements; everything else in
+/// every artifact must match byte for byte across schedules.
+const TIMING_COLUMNS: [&str; 2] = ["secs/pair", "seconds"];
+
+/// A CSV with its timing columns blanked (wall-clock is the one quantity
+/// that legitimately varies between two executions of the same work).
+fn mask_timing(csv: &str) -> String {
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().unwrap_or("").split(',').collect();
+    let timing: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| TIMING_COLUMNS.contains(h))
+        .map(|(i, _)| i)
+        .collect();
+    let mut out = vec![header.join(",")];
+    for line in lines {
+        let mut fields: Vec<&str> = line.split(',').collect();
+        for &i in &timing {
+            if i < fields.len() {
+                fields[i] = "-";
+            }
+        }
+        out.push(fields.join(","));
+    }
+    out.join("\n")
+}
+
+/// The concurrent scheduler must be a pure wall-clock optimization: a
+/// 4-job run emits the experiments in the same order with byte-identical
+/// tables (timing columns aside) as a sequential run.
+#[test]
+fn concurrent_suite_matches_sequential() {
+    let sequential = em_eval::run_suite(&EvalSession::new(ExperimentConfig::smoke()), 1);
+    let concurrent = em_eval::run_suite(&EvalSession::new(ExperimentConfig::smoke()), 4);
+    assert_eq!(sequential.len(), concurrent.len());
+    assert_eq!(sequential.len(), em_eval::suite().len());
+    for (s, c) in sequential.iter().zip(&concurrent) {
+        assert_eq!(s.name, c.name, "suite order must not depend on jobs");
+        let (st, ct) = (
+            s.result.as_ref().expect("sequential run failed"),
+            c.result.as_ref().expect("concurrent run failed"),
+        );
+        // The markdown report renders the same table, so CSV equality
+        // covers both artifacts.
+        assert_eq!(
+            mask_timing(&st.to_csv()),
+            mask_timing(&ct.to_csv()),
+            "{}: concurrent CSV differs from sequential",
+            s.name
+        );
+    }
+}
