@@ -72,6 +72,59 @@ pub fn quick_config() -> ExperimentConfig {
     }
 }
 
+/// `--trace` on the command line or `EM_BENCH_TRACE=1`: record the
+/// observability spans/counters of this run and emit `TRACE_*.json`.
+pub fn trace_requested() -> bool {
+    std::env::args().any(|a| a == "--trace" || a == "trace")
+        || std::env::var_os("EM_BENCH_TRACE").is_some_and(|v| v != "0")
+}
+
+/// Write `results/TRACE_<name>.json` under the workspace root (same
+/// manifest-dir resolution as [`BenchReport::write`], so `cargo bench`
+/// CWDs don't scatter files).
+pub fn write_trace(
+    name: &str,
+    report: &em_obs::TraceReport,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("TRACE_{name}.json"));
+    std::fs::write(&path, report.to_json(name))?;
+    Ok(path)
+}
+
+/// Start recording if `--trace` was requested; returns whether it was.
+pub fn trace_start() -> bool {
+    let on = trace_requested();
+    if on {
+        em_obs::reset();
+        em_obs::set_enabled(true);
+    }
+    on
+}
+
+/// Stop recording, write `TRACE_<name>[_smoke].json` and print the
+/// per-stage table. Pair with a `trace_start()` that returned true.
+pub fn trace_finish(name: &str) -> em_obs::TraceReport {
+    em_obs::set_enabled(false);
+    let report = em_obs::collect();
+    let file = if harness::smoke_requested() {
+        format!("{name}_smoke")
+    } else {
+        name.to_string()
+    };
+    match write_trace(&file, &report) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write trace JSON: {e}"),
+    }
+    println!("\n## Stage timings ({name})\n");
+    println!("{}", report.to_markdown(0));
+    report
+}
+
 /// Print the table and persist its CSV under `results/<id>.csv`.
 pub fn emit(table: &Table) {
     println!("{}", table.to_markdown());
@@ -98,9 +151,13 @@ pub fn run(name: &str, f: impl FnOnce(&EvalSession) -> Result<Table, em_eval::Ev
         config.samples
     );
     let session = EvalSession::new(config);
+    let traced = trace_start();
     let start = std::time::Instant::now();
     match f(&session) {
         Ok(table) => {
+            if traced {
+                trace_finish(name);
+            }
             emit(&table);
             eprintln!("{name} finished in {:.1}s", start.elapsed().as_secs_f64());
         }

@@ -177,7 +177,10 @@ impl Crew {
 
         // 1. Importance knowledge: one perturbation sample reused by both
         //    the word-level and every group-level surrogate.
-        let set = perturb(&tokenized, matcher, &self.options.perturb)?;
+        let set = {
+            let _span = em_obs::span!("crew/perturb");
+            perturb(&tokenized, matcher, &self.options.perturb)?
+        };
         self.explain_clusters_with_set(&tokenized, &set)
     }
 
@@ -192,6 +195,7 @@ impl Crew {
         matcher: &dyn Matcher,
         tokenized: &TokenizedPair,
     ) -> Result<PerturbationSet, crate::ExplainError> {
+        let _span = em_obs::span!("crew/perturb");
         perturb(tokenized, matcher, &self.options.perturb)
     }
 
@@ -210,7 +214,11 @@ impl Crew {
         if self.options.tau <= 0.0 || self.options.tau > 1.0 {
             return Err(crate::ExplainError::InvalidTau(self.options.tau));
         }
-        let word_fit = fit_word_surrogate(set, &self.options.surrogate)?;
+        em_obs::counter!("crew/explanations", 1);
+        let word_fit = {
+            let _span = em_obs::span!("crew/word_surrogate");
+            fit_word_surrogate(set, &self.options.surrogate)?
+        };
         let word_level = WordExplanation {
             explainer: "crew".to_string(),
             words: words_of(tokenized),
@@ -236,17 +244,23 @@ impl Crew {
         }
 
         // 2. Combined distance over the three knowledge sources.
-        let distances = combined_distances(
-            tokenized,
-            &self.embeddings,
-            &word_fit.weights,
-            self.options.knowledge,
-        )?;
+        let distances = {
+            let _span = em_obs::span!("crew/distances");
+            combined_distances(
+                tokenized,
+                &self.embeddings,
+                &word_fit.weights,
+                self.options.knowledge,
+            )?
+        };
 
         // 3. Candidate partitions at every K, from the configured driver.
         //    (Agglomerative: one constrained dendrogram cut at each K;
         //    k-medoids ablation: an independent run per K.)
-        let partitions = self.candidate_partitions(&distances, &word_fit.weights, n)?;
+        let partitions = {
+            let _span = em_obs::span!("crew/cluster");
+            self.candidate_partitions(&distances, &word_fit.weights, n)?
+        };
 
         // 4. Model selection over K: evaluate the group surrogate at every
         //    candidate partition, then pick the smallest K retaining at
@@ -255,21 +269,24 @@ impl Crew {
         //    relative-to-word-level: the word surrogate has more degrees of
         //    freedom and its R² may be unreachable by any grouping, which
         //    would otherwise push K to the ceiling.)
-        let mut cuts: Vec<(usize, Vec<usize>, crate::surrogate::SurrogateFit, f64)> =
-            Vec::with_capacity(partitions.len());
-        let mut best_r2 = f64::NEG_INFINITY;
-        for (k, labels, sil) in partitions {
-            let groups = em_cluster::groups_from_labels(&labels);
-            let fit = fit_group_surrogate(set, &groups, &self.options.surrogate)?;
-            best_r2 = best_r2.max(fit.r_squared);
-            cuts.push((k, labels, fit, sil));
-        }
-        let target_r2 = self.options.tau * best_r2.max(0.0);
-        let chosen = cuts
-            .iter()
-            .position(|(_, _, fit, _)| fit.r_squared >= target_r2)
-            .unwrap_or(cuts.len() - 1);
-        let (selected_k, labels, group_fit, sil) = cuts.swap_remove(chosen);
+        let (selected_k, labels, group_fit, sil) = {
+            let _span = em_obs::span!("crew/model_select");
+            let mut cuts: Vec<(usize, Vec<usize>, crate::surrogate::SurrogateFit, f64)> =
+                Vec::with_capacity(partitions.len());
+            let mut best_r2 = f64::NEG_INFINITY;
+            for (k, labels, sil) in partitions {
+                let groups = em_cluster::groups_from_labels(&labels);
+                let fit = fit_group_surrogate(set, &groups, &self.options.surrogate)?;
+                best_r2 = best_r2.max(fit.r_squared);
+                cuts.push((k, labels, fit, sil));
+            }
+            let target_r2 = self.options.tau * best_r2.max(0.0);
+            let chosen = cuts
+                .iter()
+                .position(|(_, _, fit, _)| fit.r_squared >= target_r2)
+                .unwrap_or(cuts.len() - 1);
+            cuts.swap_remove(chosen)
+        };
 
         // 5. Build ranked clusters with coherence.
         let mut groups = em_cluster::groups_from_labels(&labels);

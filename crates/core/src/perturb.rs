@@ -178,13 +178,16 @@ fn run_blocked(total: usize, threads: usize, run_block: &(dyn Fn(usize, usize) +
     let pool = em_pool::global();
     if threads <= 1 || pool.workers() == 0 || total <= QUERY_BLOCK {
         if total > 0 {
+            em_obs::gauge!("perturb/batch_size", total as u64);
             run_block(0, total);
         }
     } else {
         let n_blocks = total.div_ceil(QUERY_BLOCK);
         pool.run(n_blocks, threads, &|b| {
             let start = b * QUERY_BLOCK;
-            run_block(start, (start + QUERY_BLOCK).min(total));
+            let end = (start + QUERY_BLOCK).min(total);
+            em_obs::gauge!("perturb/batch_size", (end - start) as u64);
+            run_block(start, end);
         });
     }
 }
@@ -203,6 +206,7 @@ pub fn query_masks(
     matcher: &dyn Matcher,
     threads: usize,
 ) -> Vec<f64> {
+    let _span = em_obs::span!("perturb/query");
     // Dedup memo: input index → unique slot, unique slot → first input.
     let mut first_seen: HashMap<&[bool], usize> = HashMap::with_capacity(masks.len());
     let mut slot_of: Vec<usize> = Vec::with_capacity(masks.len());
@@ -215,6 +219,10 @@ pub fn query_masks(
         }
         slot_of.push(slot);
     }
+
+    em_obs::counter!("perturb/masks", masks.len() as u64);
+    em_obs::counter!("perturb/unique_masks", unique.len() as u64);
+    em_obs::counter!("perturb/pairs_queried", unique.len() as u64);
 
     // f64 bit-patterns behind atomics: blocks write disjoint slots, and
     // the atomic store keeps the fan-out free of unsafe aliasing.
@@ -242,6 +250,8 @@ pub fn query_masks(
 ///
 /// Output order matches input order and is independent of scheduling.
 pub fn query_pairs(pairs: &[EntityPair], matcher: &dyn Matcher, threads: usize) -> Vec<f64> {
+    let _span = em_obs::span!("perturb/query");
+    em_obs::counter!("perturb/pairs_queried", pairs.len() as u64);
     let slots: Vec<AtomicU64> = (0..pairs.len()).map(|_| AtomicU64::new(0)).collect();
     run_blocked(pairs.len(), threads, &|start, end| {
         for (slot, p) in (start..end).zip(matcher.predict_proba_batch(&pairs[start..end])) {
@@ -265,7 +275,10 @@ pub fn perturb(
     matcher: &dyn Matcher,
     opts: &PerturbOptions,
 ) -> Result<PerturbationSet, crate::ExplainError> {
-    let masks = sample_masks(tokenized, opts)?;
+    let masks = {
+        let _span = em_obs::span!("perturb/sample");
+        sample_masks(tokenized, opts)?
+    };
     let mut responses = query_masks(tokenized, &masks, matcher, opts.threads);
     for (i, r) in responses.iter_mut().enumerate() {
         if !r.is_finite() {

@@ -62,7 +62,12 @@ impl WordEmbeddings {
         if opts.dimensions == 0 {
             return Err(crate::EmbedError::InvalidDimensions(0));
         }
-        let cooc = Cooccurrence::build(sentences, opts.cooc);
+        let _train = em_obs::span!("embed/train");
+        em_obs::counter!("embed/trainings", 1);
+        let cooc = {
+            let _span = em_obs::span!("cooc");
+            Cooccurrence::build(sentences, opts.cooc)
+        };
         let n = cooc.vocab().len();
         let mut by_word = HashMap::with_capacity(n);
         if n >= 2 {
@@ -72,12 +77,25 @@ impl WordEmbeddings {
                 threads: opts.threads,
                 ..Default::default()
             };
-            let svd = if opts.sparse {
-                randomized_svd_sparse(&cooc.ppmi_csr(opts.smoothing), k, svd_opts)
-            } else {
-                randomized_svd(&cooc.ppmi_matrix(opts.smoothing), k, svd_opts)
-            }
-            .map_err(crate::EmbedError::Linalg)?;
+            let svd = {
+                if opts.sparse {
+                    let ppmi = {
+                        let _span = em_obs::span!("ppmi");
+                        cooc.ppmi_csr(opts.smoothing)
+                    };
+                    let _span = em_obs::span!("svd");
+                    randomized_svd_sparse(&ppmi, k, svd_opts)
+                } else {
+                    let ppmi = {
+                        let _span = em_obs::span!("ppmi");
+                        cooc.ppmi_matrix(opts.smoothing)
+                    };
+                    let _span = em_obs::span!("svd");
+                    randomized_svd(&ppmi, k, svd_opts)
+                }
+                .map_err(crate::EmbedError::Linalg)?
+            };
+            let _span = em_obs::span!("vectors");
             let kk = svd.sigma.len();
             for (id, word, _) in cooc.vocab().iter() {
                 let mut v = Vec::with_capacity(kk);

@@ -52,7 +52,11 @@ pub struct EvalContext {
     pub split: Split,
     pub embeddings: Arc<WordEmbeddings>,
     pub seed: u64,
-    zoo: Mutex<HashMap<MatcherKind, Arc<dyn Matcher>>>,
+    /// Lazily trained model zoo. Each kind owns a coalescing slot, so
+    /// concurrent first requests train the model exactly once (the old
+    /// check-unlock-train-insert sequence could train twice under
+    /// concurrency, wasting work and making the trace schedule-dependent).
+    zoo: Mutex<HashMap<MatcherKind, Arc<crate::store::Slot<Arc<dyn Matcher>>>>>,
 }
 
 impl EvalContext {
@@ -89,47 +93,52 @@ impl EvalContext {
     }
 
     /// Train (or fetch from cache) a matcher of the requested kind.
+    /// Concurrent first requests coalesce on the kind's slot: the model
+    /// is trained exactly once and the losers block for the result.
     pub fn matcher(&self, kind: MatcherKind) -> Result<Arc<dyn Matcher>, crate::EvalError> {
-        if let Some(m) = self
-            .zoo
-            .lock()
-            .expect("matcher zoo lock poisoned")
-            .get(&kind)
-        {
-            return Ok(Arc::clone(m));
-        }
-        let trained: Arc<dyn Matcher> = match kind {
-            MatcherKind::Logistic => Arc::new(LogisticMatcher::fit(
-                &self.split.train,
-                &self.split.validation,
-                TrainOptions {
-                    seed: self.seed,
-                    ..Default::default()
-                },
-            )?),
-            MatcherKind::Mlp => Arc::new(MlpMatcher::fit(
-                &self.split.train,
-                &self.split.validation,
-                TrainOptions {
-                    seed: self.seed,
-                    ..Default::default()
-                },
-            )?),
-            MatcherKind::Attention => Arc::new(AttentionMatcher::fit(
-                &self.split.train,
-                &self.split.validation,
-                AttentionOptions {
-                    seed: self.seed,
-                    ..Default::default()
-                },
-            )?),
-            MatcherKind::Rules => Arc::new(RuleMatcher::uniform(self.dataset.schema().len(), 0.5)?),
+        let slot = {
+            let mut zoo = self.zoo.lock().expect("matcher zoo lock poisoned");
+            Arc::clone(
+                zoo.entry(kind)
+                    .or_insert_with(|| Arc::new(crate::store::Slot::new())),
+            )
         };
-        self.zoo
-            .lock()
-            .expect("matcher zoo lock poisoned")
-            .insert(kind, Arc::clone(&trained));
-        Ok(trained)
+        let (trained, _) = slot.get_or_try_init(|| {
+            // Root-anchored like the store computes: whichever caller
+            // trains first is schedule-dependent.
+            let _span = em_obs::root_span!("matcher/train");
+            em_obs::counter!("matcher/trained", 1);
+            Ok(match kind {
+                MatcherKind::Logistic => Arc::new(LogisticMatcher::fit(
+                    &self.split.train,
+                    &self.split.validation,
+                    TrainOptions {
+                        seed: self.seed,
+                        ..Default::default()
+                    },
+                )?) as Arc<dyn Matcher>,
+                MatcherKind::Mlp => Arc::new(MlpMatcher::fit(
+                    &self.split.train,
+                    &self.split.validation,
+                    TrainOptions {
+                        seed: self.seed,
+                        ..Default::default()
+                    },
+                )?),
+                MatcherKind::Attention => Arc::new(AttentionMatcher::fit(
+                    &self.split.train,
+                    &self.split.validation,
+                    AttentionOptions {
+                        seed: self.seed,
+                        ..Default::default()
+                    },
+                )?),
+                MatcherKind::Rules => {
+                    Arc::new(RuleMatcher::uniform(self.dataset.schema().len(), 0.5)?)
+                }
+            })
+        })?;
+        Ok(Arc::clone(&trained))
     }
 
     /// Deterministic sample of test pairs to explain (stratified).

@@ -149,6 +149,10 @@ pub fn run_suite(session: &EvalSession, jobs: usize) -> Vec<SuiteResult> {
         .collect();
     let run_one = |i: usize| {
         let (name, f) = entries[i];
+        // One span per experiment. Direct (store-bypassing) work nests
+        // here; shared store computes anchor themselves at the root, so
+        // the aggregated tree is identical at every `jobs` value.
+        let _span = em_obs::span!(&format!("suite/{name}"));
         let t0 = std::time::Instant::now();
         let result = f(session);
         *slots[i].lock().expect("suite slot lock") = Some(SuiteResult {
@@ -157,13 +161,10 @@ pub fn run_suite(session: &EvalSession, jobs: usize) -> Vec<SuiteResult> {
             secs: t0.elapsed().as_secs_f64(),
         });
     };
-    if jobs <= 1 {
-        for i in 0..entries.len() {
-            run_one(i);
-        }
-    } else {
-        em_pool::global().run(entries.len(), jobs, &run_one);
-    }
+    // Always submit through the pool: a budget of 1 executes inline and
+    // in suite order, and the batch is counted identically either way, so
+    // the obs counters match across `--jobs` values.
+    em_pool::global().run(entries.len(), jobs.max(1), &run_one);
     slots
         .into_iter()
         .map(|slot| {

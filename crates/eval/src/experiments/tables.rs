@@ -134,9 +134,10 @@ fn pair_stats(
 pub(crate) fn headline_metrics(
     session: &EvalSession,
 ) -> Result<Arc<Vec<HeadlineRow>>, crate::EvalError> {
-    let (rows, _hit) = session
-        .headline
-        .get_or_try_init(|| compute_headline(session))?;
+    let (rows, _outcome) = session.headline.get_or_try_init(|| {
+        let _span = em_obs::root_span!("store/headline");
+        compute_headline(session)
+    })?;
     Ok(rows)
 }
 

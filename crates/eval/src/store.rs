@@ -42,17 +42,42 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-/// Hit/miss counters of one store (reported by `run_all`).
+/// Hit/miss counters of one store (reported by `run_all` and mirrored
+/// into the `em-obs` counters `store/<name>/hit|miss`).
+///
+/// `hits` and `misses` depend only on the workload, never on scheduling:
+/// a request either finds the value (hit) or is the one computation of it
+/// (miss), so the pair is asserted jobs-invariant in `eval_store.rs`.
+/// `coalesced` counts the hits that blocked on a concurrent in-flight
+/// miss — a subset of `hits` that exists only under concurrency, so it is
+/// schedule-dependent and excluded from the obs counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     pub hits: usize,
     pub misses: usize,
+    pub coalesced: usize,
 }
 
 impl std::fmt::Display for StoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} hits / {} misses", self.hits, self.misses)
+        write!(
+            f,
+            "{} hits / {} misses ({} coalesced)",
+            self.hits, self.misses, self.coalesced
+        )
     }
+}
+
+/// How a slot request was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Outcome {
+    /// The value was already present.
+    Hit,
+    /// This request computed the value.
+    Miss,
+    /// A concurrent request was computing; this one blocked and received
+    /// the freshly written value (a hit that paid latency).
+    Coalesced,
 }
 
 /// One cache slot: a per-key init lock plus a write-once cell. Concurrent
@@ -71,22 +96,22 @@ impl<T> Slot<T> {
         }
     }
 
-    /// Fetch the cached value or compute it. The second tuple field is
-    /// `true` when the value was already present (a hit).
+    /// Fetch the cached value or compute it, reporting how the request
+    /// was served.
     pub(crate) fn get_or_try_init(
         &self,
         compute: impl FnOnce() -> Result<T, crate::EvalError>,
-    ) -> Result<(Arc<T>, bool), crate::EvalError> {
+    ) -> Result<(Arc<T>, Outcome), crate::EvalError> {
         if let Some(v) = self.cell.get() {
-            return Ok((Arc::clone(v), true));
+            return Ok((Arc::clone(v), Outcome::Hit));
         }
         let _guard = self.init.lock().expect("slot init lock poisoned");
         if let Some(v) = self.cell.get() {
-            return Ok((Arc::clone(v), true));
+            return Ok((Arc::clone(v), Outcome::Coalesced));
         }
         let v = Arc::new(compute()?);
         let _ = self.cell.set(Arc::clone(&v));
-        Ok((v, false))
+        Ok((v, Outcome::Miss))
     }
 }
 
@@ -193,12 +218,51 @@ impl ContextKey {
     }
 }
 
+/// Per-store counter triple, mirrored into the obs counters.
+#[derive(Default)]
+struct Counts {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    coalesced: AtomicUsize,
+}
+
+impl Counts {
+    /// Record one served request. Obs sees `store/<name>/hit` and
+    /// `store/<name>/miss` (coalesced counts as a hit there: whether a
+    /// hit blocked on an in-flight miss is schedule-dependent, and the
+    /// obs structure must stay identical across `--jobs` values).
+    fn record(&self, name: &str, outcome: Outcome) {
+        match outcome {
+            Outcome::Hit => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                em_obs::counter!(&format!("store/{name}/hit"), 1);
+            }
+            Outcome::Coalesced => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                em_obs::counter!(&format!("store/{name}/hit"), 1);
+            }
+            Outcome::Miss => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                em_obs::counter!(&format!("store/{name}/miss"), 1);
+            }
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Shared store of prepared evaluation contexts.
 #[derive(Default)]
 pub struct ContextStore {
     slots: Mutex<HashMap<ContextKey, Arc<Slot<EvalContext>>>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    counts: Counts,
 }
 
 impl ContextStore {
@@ -214,24 +278,19 @@ impl ContextStore {
     ) -> Result<Arc<EvalContext>, crate::EvalError> {
         let key = ContextKey::new(family, &config);
         let slot = slot_for(&self.slots, &key);
-        let (ctx, hit) = slot.get_or_try_init(|| EvalContext::prepare(family, config))?;
-        count(hit, &self.hits, &self.misses);
+        let (ctx, outcome) = slot.get_or_try_init(|| {
+            // Root-anchored: which experiment pays a shared miss is
+            // schedule-dependent, so nesting under the caller would make
+            // the aggregated trace vary across `--jobs` values.
+            let _span = em_obs::root_span!("store/context");
+            EvalContext::prepare(family, config)
+        })?;
+        self.counts.record("context", outcome);
         Ok(ctx)
     }
 
     pub fn stats(&self) -> StoreStats {
-        StoreStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
-    }
-}
-
-fn count(hit: bool, hits: &AtomicUsize, misses: &AtomicUsize) {
-    if hit {
-        hits.fetch_add(1, Ordering::Relaxed);
-    } else {
-        misses.fetch_add(1, Ordering::Relaxed);
+        self.counts.stats()
     }
 }
 
@@ -272,10 +331,8 @@ struct ExplainKey {
 pub struct ExplanationStore {
     explanations: Mutex<HashMap<ExplainKey, Arc<Slot<ExplanationOutput>>>>,
     perturbations: Mutex<HashMap<PerturbKey, Arc<Slot<TimedSet>>>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
-    perturb_hits: AtomicUsize,
-    perturb_misses: AtomicUsize,
+    counts: Counts,
+    perturb_counts: Counts,
 }
 
 impl ExplanationStore {
@@ -324,7 +381,11 @@ impl ExplanationStore {
             },
         };
         let slot = slot_for(&self.explanations, &key);
-        let (out, hit) = slot.get_or_try_init(|| {
+        let (out, outcome) = slot.get_or_try_init(|| {
+            // Root-anchored for the same reason as `store/context`: the
+            // payer of a shared miss is schedule-dependent. Stage spans
+            // of the explainer run nest under this anchor.
+            let _span = em_obs::root_span!("store/explain");
             if kind == ExplainerKind::Crew {
                 let timed = self.perturbation_set(ctx, matcher, budget, pair)?;
                 let crew = build_crew(ctx, budget, options.clone());
@@ -337,7 +398,7 @@ impl ExplanationStore {
                 explain_pair_opts(kind, ctx, budget, trained.as_ref(), pair, options)
             }
         })?;
-        count(hit, &self.hits, &self.misses);
+        self.counts.record("explain", outcome);
         Ok(out)
     }
 
@@ -360,7 +421,8 @@ impl ExplanationStore {
             threads: budget.threads,
         };
         let slot = slot_for(&self.perturbations, &key);
-        let (timed, hit) = slot.get_or_try_init(|| {
+        let (timed, outcome) = slot.get_or_try_init(|| {
+            let _span = em_obs::root_span!("store/perturb_set");
             let trained = ctx.matcher(matcher)?;
             let crew = build_crew(ctx, budget, CrewOptions::default());
             let tokenized = TokenizedPair::new(pair.clone());
@@ -371,22 +433,16 @@ impl ExplanationStore {
                 elapsed: t0.elapsed().as_secs_f64(),
             })
         })?;
-        count(hit, &self.perturb_hits, &self.perturb_misses);
+        self.perturb_counts.record("perturb_set", outcome);
         Ok(timed)
     }
 
     pub fn stats(&self) -> StoreStats {
-        StoreStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
+        self.counts.stats()
     }
 
     pub fn perturbation_stats(&self) -> StoreStats {
-        StoreStats {
-            hits: self.perturb_hits.load(Ordering::Relaxed),
-            misses: self.perturb_misses.load(Ordering::Relaxed),
-        }
+        self.perturb_counts.stats()
     }
 }
 

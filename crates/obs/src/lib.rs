@@ -1,0 +1,589 @@
+//! # em-obs
+//!
+//! A zero-external-dep observability layer for the CREW workspace:
+//! thread-aware hierarchical spans ([`span!`] RAII guards), monotonic
+//! [`counter!`]s and max-[`gauge!`]s, and a deterministic [`TraceReport`]
+//! aggregator that rolls per-thread buffers into a stable parent/child
+//! timing tree with call counts.
+//!
+//! ## Cost model
+//!
+//! Observation is off on two independent axes:
+//!
+//! * **Runtime**: recording is gated by a process-wide flag
+//!   ([`set_enabled`]), off by default. A disabled probe is one relaxed
+//!   atomic load — tier-1 builds carry the probes but pay nothing
+//!   measurable for them.
+//! * **Compile time**: building `em-obs` with the `noop` feature swaps
+//!   every probe for an empty inline stub with the identical API, so the
+//!   whole layer compiles to true no-ops (the `obs-noop` passthrough
+//!   feature on `em-bench` applies this to the full workspace).
+//!
+//! ## Span model
+//!
+//! A span is entered with [`span!`] (child of the thread's current span)
+//! or [`root_span!`] (forced to the root). Guards restore the previous
+//! span on drop, so trees are balanced by construction. Names are interned
+//! into a global node table keyed by `(parent, name)`: the same name under
+//! two parents is two nodes, and recursion folds into one node per path.
+//!
+//! Spans cross threads explicitly: a scheduler captures
+//! [`current_context`] at submission and wraps task execution in
+//! [`enter_context`], so work fanned out over `em-pool` keeps accumulating
+//! under the submitting span's path. Work whose *scheduling* is
+//! nondeterministic (e.g. which experiment pays a shared store miss) uses
+//! [`root_span!`] at the boundary so the aggregated tree stays
+//! schedule-independent.
+//!
+//! ## Determinism
+//!
+//! Per-thread buffers record `(node → count, total_ns)`; [`collect`]
+//! merges them by node and sorts by path. Counts, paths, counter sums and
+//! gauge maxima depend only on the work performed — the
+//! [`TraceReport::structure`] projection is bitwise-identical across
+//! thread and job counts for the same seeded workload. Only `*_ns`
+//! columns vary between runs.
+
+pub mod report;
+
+pub use report::{format_ns, SpanStat, TraceReport};
+
+#[cfg(not(feature = "noop"))]
+mod record {
+    use crate::report::{SpanStat, TraceReport};
+    use std::cell::{Cell, OnceCell};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+    use std::time::Instant;
+
+    /// Sentinel node id of the (implicit, unnamed) root.
+    const ROOT: u32 = 0;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+
+    /// Turn recording on or off process-wide. Flip only at quiescent
+    /// points (no open spans) — guards opened while enabled still record
+    /// on drop.
+    pub fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether probes currently record.
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Interned span tree: node ids are 1-based indices into `nodes`;
+    /// parent `ROOT` marks a top-level span.
+    #[derive(Default)]
+    struct NodeTable {
+        nodes: Vec<(u32, String)>,
+        index: HashMap<(u32, String), u32>,
+    }
+
+    fn nodes() -> &'static Mutex<NodeTable> {
+        static NODES: OnceLock<Mutex<NodeTable>> = OnceLock::new();
+        NODES.get_or_init(|| Mutex::new(NodeTable::default()))
+    }
+
+    fn intern(parent: u32, name: &str) -> u32 {
+        let mut table = nodes().lock().expect("obs node table poisoned");
+        if let Some(&id) = table.index.get(&(parent, name.to_string())) {
+            return id;
+        }
+        table.nodes.push((parent, name.to_string()));
+        let id = table.nodes.len() as u32; // 1-based
+        table.index.insert((parent, name.to_string()), id);
+        id
+    }
+
+    #[derive(Debug, Clone, Copy, Default)]
+    struct Stat {
+        count: u64,
+        total_ns: u64,
+    }
+
+    /// One thread's span accumulator. The owner locks it briefly per span
+    /// exit (uncontended); [`collect`] locks all registered buffers.
+    type Buf = Arc<Mutex<HashMap<u32, Stat>>>;
+
+    fn buffers() -> &'static Mutex<Vec<Buf>> {
+        static BUFFERS: OnceLock<Mutex<Vec<Buf>>> = OnceLock::new();
+        BUFFERS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    thread_local! {
+        static CURRENT: Cell<u32> = const { Cell::new(ROOT) };
+        static LOCAL: OnceCell<Buf> = const { OnceCell::new() };
+    }
+
+    fn local_buf() -> Buf {
+        LOCAL.with(|cell| {
+            Arc::clone(cell.get_or_init(|| {
+                let buf: Buf = Arc::new(Mutex::new(HashMap::new()));
+                buffers()
+                    .lock()
+                    .expect("obs buffer registry poisoned")
+                    .push(Arc::clone(&buf));
+                buf
+            }))
+        })
+    }
+
+    fn counters() -> &'static Mutex<HashMap<String, u64>> {
+        static COUNTERS: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+        COUNTERS.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn gauges() -> &'static Mutex<HashMap<String, u64>> {
+        static GAUGES: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+        GAUGES.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// RAII span guard: records elapsed time on drop and restores the
+    /// thread's previous span. Inert when recording is disabled.
+    pub struct SpanGuard {
+        active: Option<(u32, u32, Instant)>,
+    }
+
+    fn enter(parent: u32, name: &str) -> SpanGuard {
+        let prev = CURRENT.with(|c| c.get());
+        let node = intern(parent, name);
+        CURRENT.with(|c| c.set(node));
+        SpanGuard {
+            active: Some((node, prev, Instant::now())),
+        }
+    }
+
+    /// Enter a span as a child of the thread's current span.
+    pub fn span(name: &str) -> SpanGuard {
+        if !is_enabled() {
+            return SpanGuard { active: None };
+        }
+        let parent = CURRENT.with(|c| c.get());
+        enter(parent, name)
+    }
+
+    /// Enter a span at the root, regardless of the current span — for
+    /// boundaries where the *caller* is schedule-dependent (shared-store
+    /// misses) and nesting under it would make the tree nondeterministic.
+    pub fn span_root(name: &str) -> SpanGuard {
+        if !is_enabled() {
+            return SpanGuard { active: None };
+        }
+        enter(ROOT, name)
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            if let Some((node, prev, start)) = self.active.take() {
+                let ns = start.elapsed().as_nanos() as u64;
+                {
+                    let buf = local_buf();
+                    let mut map = buf.lock().expect("obs thread buffer poisoned");
+                    let stat = map.entry(node).or_default();
+                    stat.count += 1;
+                    stat.total_ns += ns;
+                }
+                CURRENT.with(|c| c.set(prev));
+            }
+        }
+    }
+
+    /// A capture of the current span position, for crossing threads.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SpanContext(u32);
+
+    /// The calling thread's current span position (cheap; valid even when
+    /// recording is disabled, where it is simply the root).
+    pub fn current_context() -> SpanContext {
+        SpanContext(CURRENT.with(|c| c.get()))
+    }
+
+    /// Guard restoring the previous span position on drop.
+    pub struct ContextGuard {
+        prev: u32,
+    }
+
+    /// Adopt `ctx` as this thread's span position until the guard drops —
+    /// schedulers wrap task execution in this so fanned-out work keeps
+    /// accumulating under the submitting span.
+    pub fn enter_context(ctx: SpanContext) -> ContextGuard {
+        let prev = CURRENT.with(|c| c.get());
+        CURRENT.with(|c| c.set(ctx.0));
+        ContextGuard { prev }
+    }
+
+    impl Drop for ContextGuard {
+        fn drop(&mut self) {
+            CURRENT.with(|c| c.set(self.prev));
+        }
+    }
+
+    /// Add `n` to the monotonic counter `name`.
+    pub fn counter_add(name: &str, n: u64) {
+        if !is_enabled() {
+            return;
+        }
+        let mut map = counters().lock().expect("obs counters poisoned");
+        match map.get_mut(name) {
+            Some(v) => *v += n,
+            None => {
+                map.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Raise the gauge `name` to at least `v` (max-aggregation: the only
+    /// last-value-free combine that is deterministic across threads).
+    pub fn gauge_max(name: &str, v: u64) {
+        if !is_enabled() {
+            return;
+        }
+        let mut map = gauges().lock().expect("obs gauges poisoned");
+        match map.get_mut(name) {
+            Some(old) => *old = (*old).max(v),
+            None => {
+                map.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Clear all recorded statistics (span stats, counters, gauges). The
+    /// node table survives so ids held by open guards stay valid; nodes
+    /// with no post-reset activity simply drop out of the next report.
+    /// Call at quiescent points only.
+    pub fn reset() {
+        for buf in buffers()
+            .lock()
+            .expect("obs buffer registry poisoned")
+            .iter()
+        {
+            buf.lock().expect("obs thread buffer poisoned").clear();
+        }
+        counters().lock().expect("obs counters poisoned").clear();
+        gauges().lock().expect("obs gauges poisoned").clear();
+    }
+
+    /// Roll every thread's buffer into one [`TraceReport`]. Call after the
+    /// traced workload has quiesced (open spans have not yet recorded).
+    pub fn collect() -> TraceReport {
+        // Merge per-thread stats by node.
+        let mut merged: HashMap<u32, Stat> = HashMap::new();
+        for buf in buffers()
+            .lock()
+            .expect("obs buffer registry poisoned")
+            .iter()
+        {
+            for (&node, stat) in buf.lock().expect("obs thread buffer poisoned").iter() {
+                let m = merged.entry(node).or_default();
+                m.count += stat.count;
+                m.total_ns += stat.total_ns;
+            }
+        }
+        let table = nodes().lock().expect("obs node table poisoned");
+        // Resolve each active node's full path and depth.
+        let path_of = |mut id: u32| -> (String, usize) {
+            let mut parts: Vec<&str> = Vec::new();
+            while id != ROOT {
+                let (parent, ref name) = table.nodes[(id - 1) as usize];
+                parts.push(name);
+                id = parent;
+            }
+            parts.reverse();
+            (parts.join("/"), parts.len().saturating_sub(1))
+        };
+        let mut spans: Vec<(u32, SpanStat)> = merged
+            .iter()
+            .map(|(&id, stat)| {
+                let (path, depth) = path_of(id);
+                (
+                    id,
+                    SpanStat {
+                        path,
+                        depth,
+                        count: stat.count,
+                        total_ns: stat.total_ns,
+                        self_ns: stat.total_ns,
+                    },
+                )
+            })
+            .collect();
+        spans.sort_by(|a, b| a.1.path.cmp(&b.1.path));
+        // Subtract each node's children from its self time.
+        let child_sum: HashMap<u32, u64> = {
+            let mut sums: HashMap<u32, u64> = HashMap::new();
+            for (id, stat) in &spans {
+                let parent = table.nodes[(*id - 1) as usize].0;
+                if parent != ROOT {
+                    *sums.entry(parent).or_default() += stat.total_ns;
+                }
+            }
+            sums
+        };
+        let spans = spans
+            .into_iter()
+            .map(|(id, mut stat)| {
+                stat.self_ns = stat
+                    .total_ns
+                    .saturating_sub(child_sum.get(&id).copied().unwrap_or(0));
+                stat
+            })
+            .collect();
+
+        let mut counters: Vec<(String, u64)> = counters()
+            .lock()
+            .expect("obs counters poisoned")
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, u64)> = gauges()
+            .lock()
+            .expect("obs gauges poisoned")
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        gauges.sort();
+        TraceReport {
+            spans,
+            counters,
+            gauges,
+        }
+    }
+}
+
+#[cfg(feature = "noop")]
+mod record {
+    //! The compile-time-disabled probe set: every entry point exists with
+    //! the same signature and an empty inline body, so instrumented crates
+    //! build unchanged and the optimiser erases the layer entirely.
+    use crate::report::TraceReport;
+
+    #[inline(always)]
+    pub fn set_enabled(_on: bool) {}
+
+    #[inline(always)]
+    pub fn is_enabled() -> bool {
+        false
+    }
+
+    pub struct SpanGuard;
+
+    #[inline(always)]
+    pub fn span(_name: &str) -> SpanGuard {
+        SpanGuard
+    }
+
+    #[inline(always)]
+    pub fn span_root(_name: &str) -> SpanGuard {
+        SpanGuard
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct SpanContext;
+
+    #[inline(always)]
+    pub fn current_context() -> SpanContext {
+        SpanContext
+    }
+
+    pub struct ContextGuard;
+
+    #[inline(always)]
+    pub fn enter_context(_ctx: SpanContext) -> ContextGuard {
+        ContextGuard
+    }
+
+    #[inline(always)]
+    pub fn counter_add(_name: &str, _n: u64) {}
+
+    #[inline(always)]
+    pub fn gauge_max(_name: &str, _v: u64) {}
+
+    #[inline(always)]
+    pub fn reset() {}
+
+    #[inline(always)]
+    pub fn collect() -> TraceReport {
+        TraceReport::default()
+    }
+}
+
+pub use record::{
+    collect, counter_add, current_context, enter_context, gauge_max, is_enabled, reset,
+    set_enabled, span, span_root, ContextGuard, SpanContext, SpanGuard,
+};
+
+/// Enter a span as a child of the thread's current span:
+/// `let _g = em_obs::span!("crew/perturb");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+/// Enter a span at the root of the trace tree (schedule-independent
+/// anchor for work whose caller varies between runs).
+#[macro_export]
+macro_rules! root_span {
+    ($name:expr) => {
+        $crate::span_root($name)
+    };
+}
+
+/// Add to a monotonic counter: `em_obs::counter!("perturb/pairs", n)`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $n:expr) => {
+        $crate::counter_add($name, $n)
+    };
+}
+
+/// Raise a max-gauge: `em_obs::gauge!("perturb/batch", size)`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $v:expr) => {
+        $crate::gauge_max($name, $v)
+    };
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Obs state is process-global; unit tests serialize on this lock and
+    /// reset around each body.
+    fn guard() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = LOCK
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        set_enabled(true);
+        reset();
+        guard
+    }
+
+    fn finish() -> TraceReport {
+        let report = collect();
+        set_enabled(false);
+        report
+    }
+
+    #[test]
+    fn nested_spans_build_a_path_tree() {
+        let _g = guard();
+        {
+            let _a = span!("outer");
+            {
+                let _b = span!("inner");
+            }
+            {
+                let _b = span!("inner");
+            }
+        }
+        let report = finish();
+        let outer = report.span("outer").expect("outer span recorded");
+        let inner = report.span("outer/inner").expect("inner span nested");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 2);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(outer.total_ns >= inner.total_ns);
+        assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns);
+    }
+
+    #[test]
+    fn root_span_ignores_ambient_parent() {
+        let _g = guard();
+        {
+            let _a = span!("ambient");
+            let _b = root_span!("anchored");
+        }
+        let report = finish();
+        assert!(report.span("anchored").is_some());
+        assert!(report.span("ambient/anchored").is_none());
+    }
+
+    #[test]
+    fn same_name_under_distinct_parents_is_distinct_nodes() {
+        let _g = guard();
+        {
+            let _a = span!("left");
+            let _c = span!("shared");
+        }
+        {
+            let _b = span!("right");
+            let _c = span!("shared");
+        }
+        let report = finish();
+        assert!(report.span("left/shared").is_some());
+        assert!(report.span("right/shared").is_some());
+    }
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        let _g = guard();
+        set_enabled(false);
+        {
+            let _a = span!("ghost");
+            counter!("ghost/count", 5);
+            gauge!("ghost/gauge", 5);
+        }
+        set_enabled(true);
+        let report = finish();
+        assert!(report.is_empty(), "disabled probes must not record");
+    }
+
+    #[test]
+    fn counters_sum_and_gauges_max() {
+        let _g = guard();
+        counter!("c", 3);
+        counter!("c", 4);
+        gauge!("g", 9);
+        gauge!("g", 2);
+        let report = finish();
+        assert_eq!(report.counters, vec![("c".to_string(), 7)]);
+        assert_eq!(report.gauges, vec![("g".to_string(), 9)]);
+    }
+
+    #[test]
+    fn context_propagation_carries_spans_across_threads() {
+        let _g = guard();
+        {
+            let _a = span!("submit");
+            let ctx = current_context();
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        let _adopt = enter_context(ctx);
+                        let _task = span!("task");
+                    });
+                }
+            });
+        }
+        let report = finish();
+        let task = report.span("submit/task").expect("tasks nest under submit");
+        assert_eq!(task.count, 2);
+        assert!(report.span("task").is_none());
+    }
+
+    #[test]
+    fn reset_clears_stats_but_keeps_paths_valid() {
+        let _g = guard();
+        {
+            let _a = span!("before");
+        }
+        reset();
+        {
+            let _a = span!("after");
+        }
+        let report = finish();
+        assert!(report.span("before").is_none());
+        assert!(report.span("after").is_some());
+    }
+}

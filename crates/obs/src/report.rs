@@ -1,0 +1,251 @@
+//! The aggregated trace: a stable parent/child timing tree plus counter
+//! and gauge tables, with JSON / markdown / deterministic-structure views.
+//!
+//! A [`TraceReport`] is produced by [`crate::collect`] from the per-thread
+//! span buffers. Aggregation is *deterministic by construction* for the
+//! fields that do not measure wall-clock: span paths, call counts,
+//! counter sums and gauge maxima depend only on the work performed, never
+//! on which thread performed it or in which order, so two runs of the
+//! same seeded workload at different thread or job counts produce
+//! bitwise-identical [`TraceReport::structure`] strings. Nanosecond
+//! totals are the one legitimately nondeterministic column.
+
+/// One aggregated span node (all threads merged), identified by its path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Slash-joined path from the root, e.g. `store/explain/crew/cluster`.
+    pub path: String,
+    /// Nesting depth (number of ancestors).
+    pub depth: usize,
+    /// Number of times a span at this path was entered.
+    pub count: u64,
+    /// Total wall-clock nanoseconds spent inside spans at this path.
+    pub total_ns: u64,
+    /// `total_ns` minus the children's `total_ns`, saturating at zero
+    /// (children running concurrently on pool workers can accumulate more
+    /// wall-clock than their parent).
+    pub self_ns: u64,
+}
+
+/// The rolled-up observation state of a traced run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Aggregated spans sorted by path (children immediately follow their
+    /// parent in depth-first order).
+    pub spans: Vec<SpanStat>,
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Max-aggregated gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl TraceReport {
+    /// True when nothing was recorded (obs disabled or no probes hit).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// The schedule-independent projection: every path with its call
+    /// count, plus counters and gauges — everything except wall-clock.
+    /// Two runs of the same seeded workload must produce identical
+    /// structure strings at any thread or job count.
+    pub fn structure(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            out.push_str(&format!("span {} x{}\n", s.path, s.count));
+        }
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter {name} = {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge {name} = {v}\n"));
+        }
+        out
+    }
+
+    /// Total nanoseconds across root spans whose path starts with
+    /// `prefix` (pass `""` for all roots).
+    pub fn root_total_ns(&self, prefix: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.depth == 0 && s.path.starts_with(prefix))
+            .map(|s| s.total_ns)
+            .sum()
+    }
+
+    /// Look up one aggregated span by exact path.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Serialise to the `TRACE_*.json` schema (hand-rolled; the workspace
+    /// is dependency-free).
+    pub fn to_json(&self, name: &str) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"name\": {},\n", json_string(name)));
+        out.push_str("  \"spans\": [\n");
+        for (i, s) in self.spans.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"path\": {}, \"depth\": {}, \"count\": {}, \
+                 \"total_ns\": {}, \"self_ns\": {}}}{}\n",
+                json_string(&s.path),
+                s.depth,
+                s.count,
+                s.total_ns,
+                s.self_ns,
+                if i + 1 == self.spans.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n  \"counters\": [\n");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"value\": {}}}{}\n",
+                json_string(name),
+                v,
+                if i + 1 == self.counters.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  ],\n  \"gauges\": [\n");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"value\": {}}}{}\n",
+                json_string(name),
+                v,
+                if i + 1 == self.gauges.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Render the per-stage timing table (markdown), indenting children
+    /// under their parents. `min_ns` hides stages below the floor.
+    pub fn to_markdown(&self, min_ns: u64) -> String {
+        let mut out = String::from("| stage | calls | total | self |\n|---|---:|---:|---:|\n");
+        for s in &self.spans {
+            if s.total_ns < min_ns {
+                continue;
+            }
+            let label = format!(
+                "{}{}",
+                "&nbsp;&nbsp;".repeat(s.depth),
+                s.path.rsplit('/').next().unwrap_or(&s.path)
+            );
+            out.push_str(&format!(
+                "| {} | {} | {} | {} |\n",
+                label,
+                s.count,
+                format_ns(s.total_ns),
+                format_ns(s.self_ns)
+            ));
+        }
+        out
+    }
+}
+
+/// Human-readable nanoseconds.
+pub fn format_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.1} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceReport {
+        TraceReport {
+            spans: vec![
+                SpanStat {
+                    path: "a".into(),
+                    depth: 0,
+                    count: 2,
+                    total_ns: 1_000_000,
+                    self_ns: 400_000,
+                },
+                SpanStat {
+                    path: "a/b \"q\"".into(),
+                    depth: 1,
+                    count: 4,
+                    total_ns: 600_000,
+                    self_ns: 600_000,
+                },
+            ],
+            counters: vec![("hits".into(), 7)],
+            gauges: vec![("batch".into(), 32)],
+        }
+    }
+
+    #[test]
+    fn structure_covers_counts_not_times() {
+        let r = sample();
+        let s = r.structure();
+        assert!(s.contains("span a x2"));
+        assert!(s.contains("counter hits = 7"));
+        assert!(s.contains("gauge batch = 32"));
+        assert!(!s.contains("1000000"), "structure must exclude wall-clock");
+    }
+
+    #[test]
+    fn json_is_balanced_and_escaped() {
+        let json = sample().to_json("unit");
+        assert!(json.contains("\"name\": \"unit\""));
+        assert!(json.contains("\\\"q\\\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn markdown_indents_children_and_filters() {
+        let md = sample().to_markdown(0);
+        assert!(md.contains("| a | 2 |"));
+        assert!(md.contains("&nbsp;&nbsp;b \"q\""));
+        let filtered = sample().to_markdown(700_000);
+        assert!(!filtered.contains("b \"q\""));
+    }
+
+    #[test]
+    fn root_totals_sum_roots_only() {
+        let r = sample();
+        assert_eq!(r.root_total_ns(""), 1_000_000);
+        assert_eq!(r.root_total_ns("a"), 1_000_000);
+        assert_eq!(r.root_total_ns("z"), 0);
+    }
+
+    #[test]
+    fn format_ns_picks_sane_units() {
+        assert_eq!(format_ns(12), "12 ns");
+        assert_eq!(format_ns(1_500), "1.5 µs");
+        assert_eq!(format_ns(2_500_000), "2.50 ms");
+        assert_eq!(format_ns(3_200_000_000), "3.20 s");
+    }
+}

@@ -46,6 +46,9 @@ thread_local! {
 /// closure on the submitter's stack) outlives every dereference.
 struct Job {
     task: *const (dyn Fn(usize) + Sync),
+    /// The submitter's span position at publication; workers adopt it so
+    /// fanned-out work keeps accumulating under the submitting span.
+    ctx: em_obs::SpanContext,
     /// Next index to claim.
     next: AtomicUsize,
     total: usize,
@@ -66,6 +69,7 @@ unsafe impl Sync for Job {}
 impl Job {
     /// Claim and execute indices until the queue is exhausted.
     fn work(&self, shared: &Shared) {
+        let _ctx = em_obs::enter_context(self.ctx);
         loop {
             let i = self.next.fetch_add(1, Ordering::SeqCst);
             if i >= self.total {
@@ -160,6 +164,11 @@ impl WorkerPool {
         if total == 0 {
             return;
         }
+        // Counted before the inline-vs-pooled branch: the branch taken
+        // depends on nesting (schedule-dependent under concurrent
+        // submitters), but the number of batches and tasks does not.
+        em_obs::counter!("pool/runs", 1);
+        em_obs::counter!("pool/tasks", total as u64);
         let nested = IN_POOL.with(|f| f.get());
         if max_threads <= 1 || self.workers.is_empty() || nested || total < 2 {
             for i in 0..total {
@@ -178,6 +187,7 @@ impl WorkerPool {
         };
         let job = Arc::new(Job {
             task: task_erased as *const (dyn Fn(usize) + Sync),
+            ctx: em_obs::current_context(),
             next: AtomicUsize::new(0),
             total,
             pending: AtomicUsize::new(total),

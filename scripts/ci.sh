@@ -19,6 +19,37 @@ cargo build --release --locked --offline
 echo "==> cargo test -q (locked, offline)"
 cargo test -q --locked --offline
 
+echo "==> obs no-op build (probes compile away with em-obs/noop)"
+cargo check -q -p em-bench --features obs-noop --locked --offline
+
+echo "==> trace smoke (exp_t1 --smoke --trace) + schema check"
+cargo run --release --locked --offline -p em-bench --bin exp_t1 -- --smoke --trace
+python3 - results/TRACE_exp_t1_smoke.json <<'EOF'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+for field in ("name", "spans", "counters", "gauges"):
+    assert field in trace, f"missing field {field!r}"
+assert trace["spans"], "traced run recorded no spans"
+paths = [s["path"] for s in trace["spans"]]
+assert paths == sorted(paths), "spans must be sorted by path"
+all_paths = set(paths)
+for s in trace["spans"]:
+    for field in ("path", "depth", "count", "total_ns", "self_ns"):
+        assert field in s, f"span missing {field!r}: {s}"
+    assert s["count"] > 0, f"zero-count span emitted: {s}"
+    assert s["self_ns"] <= s["total_ns"], f"self > total: {s}"
+    if s["depth"] > 0:
+        # Every child's parent node must appear in the tree too.
+        assert any(s["path"].startswith(p + "/") for p in all_paths), \
+            f"orphan child span: {s['path']}"
+for table in ("counters", "gauges"):
+    for entry in trace[table]:
+        assert "name" in entry and "value" in entry, f"bad {table} entry: {entry}"
+print(f"trace schema ok: {len(trace['spans'])} spans, "
+      f"{len(trace['counters'])} counters, {len(trace['gauges'])} gauges")
+EOF
+
 # Compare a fresh smoke run against its committed baseline, failing on
 # >2x per-entry regressions. Smoke medians are single-shot and noisy; 2x
 # catches algorithmic blow-ups (accidental O(n^2), lost cache, lost
@@ -62,18 +93,45 @@ print("bench regression gate passed")
 EOF
 }
 
+# On a bench-gate failure, attribute the regression: print the top-5
+# per-stage deltas of the fresh trace against the committed trace
+# baseline, so "run_all/total regressed 2x" comes with "perturbation
+# stage regressed 2x, clustering flat".
+trace_deltas() {
+    local baseline_json="$1" current_json="$2"
+    python3 - "$baseline_json" "$current_json" <<'EOF'
+import json, sys
+
+base = {s["path"]: s["total_ns"] for s in json.load(open(sys.argv[1]))["spans"]}
+cur = {s["path"]: s["total_ns"] for s in json.load(open(sys.argv[2]))["spans"]}
+deltas = []
+for path in sorted(set(base) | set(cur)):
+    b, c = base.get(path, 0), cur.get(path, 0)
+    ratio = c / b if b > 0 else float("inf") if c > 0 else 1.0
+    deltas.append((abs(c - b), ratio, path, b, c))
+deltas.sort(reverse=True)
+print("top stage deltas vs committed trace baseline:", file=sys.stderr)
+for _, ratio, path, b, c in deltas[:5]:
+    print(f"  {path:<40} {b/1e6:9.1f}ms -> {c/1e6:9.1f}ms  {ratio:5.2f}x",
+          file=sys.stderr)
+EOF
+}
+
 if [[ "${1:-}" == "--bench" ]]; then
-    echo "==> bench smoke (run_all --smoke) + regression gate"
+    echo "==> bench smoke (run_all --smoke --trace) + regression gate"
     baseline=$(mktemp)
+    trace_baseline=$(mktemp)
     cp results/BENCH_run_all_smoke.json "$baseline"
-    cargo run --release --locked --offline -p em-bench --bin run_all -- --smoke
+    cp results/TRACE_run_all_smoke.json "$trace_baseline"
+    cargo run --release --locked --offline -p em-bench --bin run_all -- --smoke --trace
     # The gate covers the per-experiment rows AND the run_all/total
     # wall-clock row (the memoized-substrate headline number); fail
     # loudly if the driver ever stops emitting the total.
     grep -q '"group": "run_all", "id": "total"' results/BENCH_run_all_smoke.json \
         || { echo "run_all/total row missing from bench JSON" >&2; exit 1; }
-    bench_gate "$baseline" results/BENCH_run_all_smoke.json
-    rm -f "$baseline"
+    bench_gate "$baseline" results/BENCH_run_all_smoke.json \
+        || { trace_deltas "$trace_baseline" results/TRACE_run_all_smoke.json; exit 1; }
+    rm -f "$baseline" "$trace_baseline"
 
     echo "==> bench smoke (embed --smoke) + regression gate"
     baseline=$(mktemp)

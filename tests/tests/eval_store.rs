@@ -163,11 +163,17 @@ fn mask_timing(csv: &str) -> String {
 
 /// The concurrent scheduler must be a pure wall-clock optimization: a
 /// 4-job run emits the experiments in the same order with byte-identical
-/// tables (timing columns aside) as a sequential run.
+/// tables (timing columns aside) as a sequential run, and serves every
+/// store with the same hit/miss counts (a request either finds a value
+/// or is its one computation, regardless of which runner gets there
+/// first). Only the `coalesced` split — hits that blocked on an
+/// in-flight miss — may differ, since it exists only under concurrency.
 #[test]
 fn concurrent_suite_matches_sequential() {
-    let sequential = em_eval::run_suite(&EvalSession::new(ExperimentConfig::smoke()), 1);
-    let concurrent = em_eval::run_suite(&EvalSession::new(ExperimentConfig::smoke()), 4);
+    let seq_session = EvalSession::new(ExperimentConfig::smoke());
+    let con_session = EvalSession::new(ExperimentConfig::smoke());
+    let sequential = em_eval::run_suite(&seq_session, 1);
+    let concurrent = em_eval::run_suite(&con_session, 4);
     assert_eq!(sequential.len(), concurrent.len());
     assert_eq!(sequential.len(), em_eval::suite().len());
     for (s, c) in sequential.iter().zip(&concurrent) {
@@ -185,4 +191,25 @@ fn concurrent_suite_matches_sequential() {
             s.name
         );
     }
+    let hit_miss = |s: em_eval::store::StoreStats| (s.hits, s.misses);
+    assert_eq!(
+        hit_miss(seq_session.contexts().stats()),
+        hit_miss(con_session.contexts().stats()),
+        "context store hit/miss counts must not depend on jobs"
+    );
+    assert_eq!(
+        hit_miss(seq_session.explanations().stats()),
+        hit_miss(con_session.explanations().stats()),
+        "explanation store hit/miss counts must not depend on jobs"
+    );
+    assert_eq!(
+        hit_miss(seq_session.explanations().perturbation_stats()),
+        hit_miss(con_session.explanations().perturbation_stats()),
+        "perturbation store hit/miss counts must not depend on jobs"
+    );
+    assert_eq!(
+        seq_session.contexts().stats().coalesced,
+        0,
+        "a sequential run cannot coalesce"
+    );
 }
