@@ -1,0 +1,236 @@
+//! End-to-end streaming pipeline benchmark: blocking → matching →
+//! explaining over two synthetic record collections (`em-stream`).
+//!
+//! Reports pairs/sec over the candidate set, the candidate-reduction
+//! ratio, and peak RSS, and enforces the pipeline's memory discipline:
+//! the run fails if the bounded stores exceed their byte budget or the
+//! process exceeds the RSS cap.
+//!
+//! ```text
+//! cargo run --release -p em-bench --bin run_stream              # full
+//! cargo run --release -p em-bench --bin run_stream -- --smoke   # seconds
+//! cargo run --release -p em-bench --bin run_stream -- --trace   # + spans
+//! cargo run --release -p em-bench --bin run_stream -- --entities 8000
+//! ```
+
+/// `--flag N` or `--flag=N`, any position.
+fn arg_usize(flag: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for (i, arg) in args.iter().enumerate() {
+        if arg == flag {
+            return args.get(i + 1).and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+/// `--flag X.Y` or `--flag=X.Y`, any position.
+fn arg_f64(flag: &str) -> Option<f64> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for (i, arg) in args.iter().enumerate() {
+        if arg == flag {
+            return args.get(i + 1).and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("run_stream: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    // Bench rows land in `BENCH_stream[_smoke].json` (the CI gate's
+    // baseline); traces follow the binary-name convention like run_all.
+    let (name, smoke) = em_bench::run_name("stream");
+    let jobs = em_bench::jobs_from_args();
+    // Full scale targets ≥10⁵ candidate pairs out of blocking (asserted
+    // below); smoke is a seconds-scale sanity pass of the same path.
+    let entities = arg_usize("--entities").unwrap_or(if smoke { 90 } else { 18_000 });
+    let min_candidates = arg_usize("--min-candidates").unwrap_or(if smoke { 50 } else { 100_000 });
+    // The store budget bounds cache growth; the RSS cap is the
+    // whole-process ceiling the flat-memory claim is checked against.
+    // Unbounded full-scale demand is ~630 MB, so the 512 MiB cap only
+    // holds *because* eviction does its job (observed peak: ~270 MB =
+    // records + matcher + budget-clamped stores).
+    let budget_mb = arg_usize("--budget-mb").unwrap_or(if smoke { 32 } else { 192 });
+    let rss_cap_mb = arg_usize("--rss-cap-mb").unwrap_or(if smoke { 128 } else { 512 });
+
+    let collections = em_synth::record_collections(
+        em_synth::Family::Restaurants,
+        em_synth::CollectionsConfig {
+            entities,
+            duplicate_rate: 0.35,
+            extra_right: entities / 4,
+            seed: 11,
+        },
+    )
+    .unwrap_or_else(|e| fail(&format!("workload generation failed: {e}")));
+    eprintln!(
+        "run_stream: {} left × {} right records ({} true duplicate pairs), {jobs} jobs",
+        collections.left.len(),
+        collections.right.len(),
+        collections.true_matches.len(),
+    );
+
+    // Matcher + embeddings come from separate labelled history, as in a
+    // deployment; the streamed collections themselves are unlabelled.
+    let train = em_synth::GeneratorConfig {
+        entities: if smoke { 60 } else { 200 },
+        pairs: if smoke { 150 } else { 500 },
+        ..Default::default()
+    };
+    let ctx = em_eval::EvalContext::prepare(em_synth::Family::Restaurants, train)
+        .unwrap_or_else(|e| fail(&format!("matcher training failed: {e}")));
+    let matcher = ctx
+        .matcher(em_eval::MatcherKind::Logistic)
+        .unwrap_or_else(|e| fail(&format!("matcher training failed: {e}")));
+
+    let budget = em_eval::StoreBudget::total(budget_mb << 20);
+    let budget_total = budget.explanation_bytes + budget.perturbation_bytes;
+    // The synthetic families draw from finite vocab pools, so their
+    // pool-token blocks saturate far past any sane cap while name-token
+    // blocks stay small; the default cap excludes exactly the former.
+    let mut blocking = em_stream::BlockingConfig::default();
+    if let Some(cap) = arg_usize("--max-block") {
+        blocking.max_block_size = cap;
+    }
+    let options = em_stream::StreamOptions {
+        blocking,
+        jobs,
+        store_budget: Some(budget),
+        // `--threshold X` overrides the matcher's own cut (e.g. `2.0`
+        // benchmarks block+match alone by matching nothing).
+        threshold: arg_f64("--threshold"),
+        ..Default::default()
+    };
+
+    let traced = em_bench::trace_start();
+    let start = std::time::Instant::now();
+    let out = em_stream::run_stream(
+        &collections.schema,
+        &collections.left,
+        &collections.right,
+        matcher.as_ref(),
+        ctx.embeddings.clone(),
+        &options,
+    )
+    .unwrap_or_else(|e| fail(&format!("pipeline failed: {e}")));
+    let total_secs = start.elapsed().as_secs_f64();
+    let trace = traced.then(|| em_bench::trace_finish("run_stream"));
+
+    let peak_rss = em_obs::peak_rss_bytes();
+    let pairs_per_sec = out.candidates as f64 / total_secs.max(1e-9);
+    eprintln!(
+        "run_stream: {} candidates of {} comparisons (reduction {:.4}, {} blocks, \
+         {} oversized), {} matches, {} entity clusters in {total_secs:.1}s \
+         ({pairs_per_sec:.0} pairs/s)",
+        out.candidates,
+        out.comparisons,
+        out.reduction_ratio,
+        out.blocks,
+        out.oversized_blocks,
+        out.matches.len(),
+        out.entity_clusters.len(),
+    );
+    em_bench::log_store_stats(
+        "run_stream",
+        &[
+            ("perturbation sets", out.perturb_stats),
+            ("explanations", out.explain_stats),
+        ],
+    );
+    eprintln!(
+        "run_stream: store peak {} of {budget_total} budget bytes, process peak RSS {} bytes",
+        out.peak_store_bytes, peak_rss,
+    );
+
+    // Ratios are scaled into median_ns so one flat schema carries every
+    // row; only total and peak_rss_bytes clear the CI gate's floor — the
+    // rest are reported for the record, not gated.
+    let mut bench = em_bench::BenchReport::new(&name, smoke);
+    let mut row = |id: &str, value: f64| {
+        bench.results.push(em_bench::BenchResult {
+            group: "stream".to_string(),
+            id: id.to_string(),
+            median_ns: value,
+            samples: 1,
+            iterations_per_sample: 1,
+        });
+    };
+    row("total", total_secs * 1e9);
+    row("peak_rss_bytes", peak_rss as f64);
+    row("pairs_per_sec", pairs_per_sec);
+    row("reduction_ratio_ppm", out.reduction_ratio * 1e6);
+    row("candidates", out.candidates as f64);
+    row("matches", out.matches.len() as f64);
+    match bench.write() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench JSON: {e}"),
+    }
+
+    if !smoke {
+        let mut report = String::from(
+            "# Streaming pipeline report\n\nGenerated by `run_stream`; see DESIGN.md \
+             \"Streaming pipeline\".\n\n| metric | value |\n|---|---|\n",
+        );
+        for (metric, value) in [
+            (
+                "left × right records",
+                format!("{} × {}", collections.left.len(), collections.right.len()),
+            ),
+            ("candidate pairs", out.candidates.to_string()),
+            ("cross-product comparisons", out.comparisons.to_string()),
+            ("reduction ratio", format!("{:.4}", out.reduction_ratio)),
+            (
+                "blocks (oversized skipped)",
+                format!("{} ({})", out.blocks, out.oversized_blocks),
+            ),
+            ("matches explained", out.matches.len().to_string()),
+            ("entity clusters", out.entity_clusters.len().to_string()),
+            ("wall clock", format!("{total_secs:.1} s")),
+            ("candidate pairs/sec", format!("{pairs_per_sec:.0}")),
+            ("store budget", format!("{budget_total} B")),
+            ("store peak resident", format!("{} B", out.peak_store_bytes)),
+            ("process peak RSS", format!("{peak_rss} B")),
+        ] {
+            report.push_str(&format!("| {metric} | {value} |\n"));
+        }
+        if let Some(trace) = &trace {
+            report.push_str(
+                "\n## Stage timings\n\nFrom `run_stream --trace` \
+                 (`results/TRACE_run_stream.json`).\n\n",
+            );
+            report.push_str(&trace.to_markdown(1_000_000));
+        }
+        em_bench::write_report("REPORT_stream.md", &report);
+    }
+
+    // Hard acceptance checks — a bench row nobody reads must not be the
+    // only witness of a broken memory bound.
+    if out.candidates < min_candidates {
+        fail(&format!(
+            "candidate workload too small: {} < {min_candidates} (raise --entities)",
+            out.candidates
+        ));
+    }
+    if out.peak_store_bytes > budget_total {
+        fail(&format!(
+            "store budget exceeded: peak {} > {budget_total} bytes",
+            out.peak_store_bytes
+        ));
+    }
+    if peak_rss > 0 && peak_rss > (rss_cap_mb as u64) << 20 {
+        fail(&format!(
+            "peak RSS {peak_rss} bytes exceeds cap {rss_cap_mb} MiB",
+        ));
+    }
+    eprintln!("run_stream: memory bounds held (budget {budget_mb} MiB, RSS cap {rss_cap_mb} MiB)");
+}

@@ -138,14 +138,9 @@ pub fn smoke_requested() -> bool {
 
 impl Criterion {
     pub fn new(name: &str) -> Self {
-        let smoke = smoke_requested();
         // Smoke runs get their own report file (`BENCH_<name>_smoke.json`)
         // so a CI sanity pass never clobbers a full-precision baseline.
-        let name = if smoke {
-            format!("{name}_smoke")
-        } else {
-            name.to_string()
-        };
+        let (name, smoke) = crate::run_name(name);
         Criterion {
             report: BenchReport::new(&name, smoke),
             timing: Timing::standard(smoke),

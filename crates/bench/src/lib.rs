@@ -72,6 +72,53 @@ pub fn quick_config() -> ExperimentConfig {
     }
 }
 
+/// Smoke-aware artifact base name: `(name, smoke)` where `name` is
+/// `<base>` for full runs and `<base>_smoke` for smoke runs. The single
+/// source of the `_smoke` suffix convention — `run_all`, `run_stream`,
+/// [`harness::Criterion`] and [`trace_finish`] all derive their
+/// `BENCH_*/TRACE_*` file names from it, so the CI gates can rely on a
+/// sanity pass never clobbering a full-precision baseline.
+pub fn run_name(base: &str) -> (String, bool) {
+    let smoke = harness::smoke_requested();
+    let name = if smoke {
+        format!("{base}_smoke")
+    } else {
+        base.to_string()
+    };
+    (name, smoke)
+}
+
+/// Write a markdown report section file under `results/` (workspace
+/// root, same resolution as [`BenchReport::write`]). Callers gate on
+/// smoke themselves — smoke runs must not clobber committed full-run
+/// reports.
+pub fn write_report(file: &str, body: &str) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create results/: {e}");
+        return;
+    }
+    let path = dir.join(file);
+    match std::fs::write(&path, body) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Log the hit/miss/evict counters of a run's stores — one consistent
+/// line regardless of which driver ran (run_all's session stores,
+/// run_stream's content-keyed stores).
+pub fn log_store_stats(label: &str, stores: &[(&str, em_eval::StoreStats)]) {
+    let rendered: Vec<String> = stores
+        .iter()
+        .map(|(name, stats)| format!("{name} {stats}"))
+        .collect();
+    eprintln!("{label} store stats: {}", rendered.join(", "));
+}
+
 /// `--trace` on the command line or `EM_BENCH_TRACE=1`: record the
 /// observability spans/counters of this run and emit `TRACE_*.json`.
 pub fn trace_requested() -> bool {
@@ -111,11 +158,7 @@ pub fn trace_start() -> bool {
 pub fn trace_finish(name: &str) -> em_obs::TraceReport {
     em_obs::set_enabled(false);
     let report = em_obs::collect();
-    let file = if harness::smoke_requested() {
-        format!("{name}_smoke")
-    } else {
-        name.to_string()
-    };
+    let (file, _) = run_name(name);
     match write_trace(&file, &report) {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write trace JSON: {e}"),

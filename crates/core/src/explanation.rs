@@ -87,6 +87,18 @@ impl WordExplanation {
         }
         out
     }
+
+    /// Approximate resident heap bytes of this explanation — the accounting
+    /// unit of the byte-budgeted stores. An estimate, not an exact
+    /// allocation count: it must only be monotone in the real footprint.
+    pub fn approx_bytes(&self) -> usize {
+        let words: usize = self
+            .words
+            .iter()
+            .map(|w| w.text.len() + std::mem::size_of::<WordUnit>())
+            .sum();
+        words + self.weights.len() * 8 + self.explainer.len() + 64
+    }
 }
 
 /// One cluster of a CREW explanation.
@@ -118,6 +130,17 @@ pub struct ClusterExplanation {
 }
 
 impl ClusterExplanation {
+    /// Approximate resident heap bytes (see
+    /// [`WordExplanation::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        let clusters: usize = self
+            .clusters
+            .iter()
+            .map(|c| c.member_indices.len() * 8 + std::mem::size_of::<WordCluster>())
+            .sum();
+        self.word_level.approx_bytes() + clusters + 64
+    }
+
     /// Units view (one unit per cluster).
     pub fn units(&self) -> Vec<ExplanationUnit> {
         self.clusters

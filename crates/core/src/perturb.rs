@@ -81,6 +81,14 @@ impl PerturbationSet {
     pub fn base_score(&self) -> f64 {
         self.responses[0]
     }
+
+    /// Approximate resident heap bytes of this set — the accounting unit
+    /// of the byte-budgeted stores (masks dominate: one byte per word per
+    /// sample the way `Vec<bool>` stores them).
+    pub fn approx_bytes(&self) -> usize {
+        let masks: usize = self.masks.iter().map(|m| m.len() + 24).sum();
+        masks + (self.responses.len() + self.kept_fraction.len()) * 8 + 64
+    }
 }
 
 /// Generate drop masks for a tokenized pair (without querying any model).

@@ -401,6 +401,78 @@ pub fn dataset_from_magellan(
     Dataset::new(name, schema, examples)
 }
 
+/// A record table loaded from an ER-Magellan `tableA.csv` / `tableB.csv`
+/// export: the attribute names plus the records **in file order** (the
+/// streaming pipeline relies on that order for deterministic candidate
+/// enumeration, so this deliberately does not round-trip through a map).
+#[derive(Debug, Clone)]
+pub struct RecordTable {
+    pub attributes: Vec<String>,
+    pub records: Vec<Record>,
+}
+
+/// Load one record table CSV (an `id` column plus attribute columns) as
+/// a [`RecordTable`]. This is the collection-level entry point the
+/// streaming pipeline consumes; [`dataset_from_magellan`] remains the
+/// loader for pre-labelled pair files.
+pub fn record_table_from_csv(text: &str) -> Result<RecordTable, crate::DataError> {
+    let rows = parse_csv(text)?;
+    if rows.is_empty() {
+        return Err(crate::DataError::CsvParse {
+            line: 0,
+            message: "empty record table".into(),
+        });
+    }
+    let header = &rows[0];
+    let id_col = header
+        .iter()
+        .position(|h| h.eq_ignore_ascii_case("id"))
+        .ok_or_else(|| crate::DataError::CsvParse {
+            line: 1,
+            message: "record table missing 'id' column".into(),
+        })?;
+    let attributes: Vec<String> = header
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != id_col)
+        .map(|(_, h)| h.clone())
+        .collect();
+    let mut seen = std::collections::HashSet::with_capacity(rows.len() - 1);
+    let mut records = Vec::with_capacity(rows.len() - 1);
+    for (line_no, row) in rows.iter().enumerate().skip(1) {
+        if row.len() != header.len() {
+            return Err(crate::DataError::CsvParse {
+                line: line_no + 1,
+                message: format!("expected {} fields, got {}", header.len(), row.len()),
+            });
+        }
+        let id: u64 = row[id_col]
+            .trim()
+            .parse()
+            .map_err(|_| crate::DataError::CsvParse {
+                line: line_no + 1,
+                message: format!("bad id {:?}", row[id_col]),
+            })?;
+        if !seen.insert(id) {
+            return Err(crate::DataError::CsvParse {
+                line: line_no + 1,
+                message: format!("duplicate record id {id}"),
+            });
+        }
+        let values: Vec<String> = row
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != id_col)
+            .map(|(_, v)| v.clone())
+            .collect();
+        records.push(Record::new(id, values));
+    }
+    Ok(RecordTable {
+        attributes,
+        records,
+    })
+}
+
 /// Parse a record table CSV: returns `(attribute names, id → values)`.
 fn parse_record_table(
     text: &str,
@@ -517,6 +589,23 @@ id,title,brand,price,shipping
         let pairs = "ltable_id,rtable_id,label\n0,10,1\n";
         let d = dataset_from_magellan("x", TABLE_A, table_b_extra, pairs).unwrap();
         assert_eq!(d.schema().len(), 3);
+    }
+
+    #[test]
+    fn record_table_loads_in_file_order() {
+        let t = record_table_from_csv(TABLE_B).unwrap();
+        assert_eq!(t.attributes, vec!["title", "brand", "price"]);
+        let ids: Vec<u64> = t.records.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![10, 11, 12]);
+        assert_eq!(t.records[0].value(0), "sonix television 55in");
+    }
+
+    #[test]
+    fn record_table_rejects_duplicates_and_missing_id() {
+        let dup = "id,title\n3,a\n3,b\n";
+        assert!(record_table_from_csv(dup).is_err());
+        assert!(record_table_from_csv("title\nfoo\n").is_err());
+        assert!(record_table_from_csv("").is_err());
     }
 
     #[test]

@@ -26,7 +26,8 @@ pub mod tokens;
 
 pub use blocking::{block, candidates_to_pairs, BlockingResult, BlockingStrategy};
 pub use csv::{
-    dataset_from_joined_csv, dataset_from_magellan, dataset_to_joined_csv, parse_csv, write_csv,
+    dataset_from_joined_csv, dataset_from_magellan, dataset_to_joined_csv, parse_csv,
+    record_table_from_csv, write_csv, RecordTable,
 };
 pub use dataset::{Dataset, DatasetStats, Label, LabeledPair, Split};
 pub use schema::{EntityPair, Record, Schema, Side};

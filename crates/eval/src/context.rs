@@ -108,7 +108,7 @@ impl EvalContext {
             // trains first is schedule-dependent.
             let _span = em_obs::root_span!("matcher/train");
             em_obs::counter!("matcher/trained", 1);
-            Ok(match kind {
+            Ok::<_, crate::EvalError>(match kind {
                 MatcherKind::Logistic => Arc::new(LogisticMatcher::fit(
                     &self.split.train,
                     &self.split.validation,

@@ -109,6 +109,24 @@ pub struct ExplanationOutput {
     pub elapsed: f64,
 }
 
+impl ExplanationOutput {
+    /// Approximate resident heap bytes — the accounting unit of the
+    /// byte-budgeted stores (see [`crew_core::WordExplanation::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        let units: usize = self
+            .units
+            .iter()
+            .map(|u| u.member_indices.len() * 8 + 32)
+            .sum();
+        let cluster = self
+            .cluster_explanation
+            .as_ref()
+            .map(|ce| ce.approx_bytes())
+            .unwrap_or(0);
+        self.word_level.approx_bytes() + units + cluster + 64
+    }
+}
+
 /// Build one explainer of the requested kind.
 pub fn build_explainer(
     kind: ExplainerKind,

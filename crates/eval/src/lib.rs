@@ -22,7 +22,10 @@ pub use explainers::{
     build_crew, build_explainer, explain_pair, explain_pair_opts, ExplainBudget, ExplainerKind,
     ExplanationOutput, UNIT_MASS_THRESHOLD,
 };
-pub use store::{ContextStore, EvalSession, ExplanationStore, StoreStats};
+pub use store::{
+    crew_options_fingerprint, pair_content_fingerprint, pair_fingerprint, ContextStore,
+    EvalSession, ExplanationStore, SlotMap, StoreBudget, StoreStats, TimedSet,
+};
 pub use table::{Cell, Table};
 
 /// Errors from the evaluation harness (wraps every layer below).

@@ -26,6 +26,23 @@
 //! init lock, so two experiments racing on the same key compute it once
 //! and the loser blocks until the value lands. Errors are never cached —
 //! a failed computation is retried by the next caller.
+//!
+//! ## Memory-bounded variants
+//!
+//! The grow-only maps are the right trade for the seventeen-experiment
+//! suite (every entry is re-read), but the streaming pipeline (`em-stream`)
+//! visits 10⁵–10⁶ candidate pairs and would OOM long before the end. The
+//! generic [`SlotMap`] underneath both stores therefore takes an optional
+//! **byte budget**: every cached value is accounted by an approximate
+//! byte size, and inserting past the budget evicts victims chosen by the
+//! clock (second-chance FIFO) policy *before* the insert, so resident
+//! cache bytes never exceed the budget. Evictions only discard reuse —
+//! an evicted key is recomputed on its next request and, because every
+//! computation here is deterministic, the recomputed value is bitwise
+//! identical to the first one. Counters `store/<name>/hit|miss|evict`
+//! and the max-gauge `store/<name>/bytes_peak` (via `em-obs`) make the
+//! policy observable; [`ExplanationStore::bounded`] is the user-facing
+//! constructor.
 
 use crate::context::{EvalContext, MatcherKind};
 use crate::experiments::ExperimentConfig;
@@ -36,18 +53,21 @@ use crew_core::{ClusterAlgorithm, CrewOptions, PerturbationSet};
 use em_cluster::Linkage;
 use em_data::{EntityPair, TokenizedPair};
 use em_synth::{Family, GeneratorConfig};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Hit/miss counters of one store (reported by `run_all` and mirrored
-/// into the `em-obs` counters `store/<name>/hit|miss`).
+/// into the `em-obs` counters `store/<name>/hit|miss|evict`).
 ///
 /// `hits` and `misses` depend only on the workload, never on scheduling:
 /// a request either finds the value (hit) or is the one computation of it
-/// (miss), so the pair is asserted jobs-invariant in `eval_store.rs`.
+/// (miss), so the pair is asserted jobs-invariant in `eval_store.rs` —
+/// *for unbounded stores*. With a byte budget, eviction timing depends on
+/// completion order, so `misses` (recomputations) and `evictions` are
+/// schedule-dependent; only the served values stay bitwise invariant.
 /// `coalesced` counts the hits that blocked on a concurrent in-flight
 /// miss — a subset of `hits` that exists only under concurrency, so it is
 /// schedule-dependent and excluded from the obs counters.
@@ -56,6 +76,9 @@ pub struct StoreStats {
     pub hits: usize,
     pub misses: usize,
     pub coalesced: usize,
+    /// Entries discarded by the byte-budget clock policy (always 0 for
+    /// unbounded stores).
+    pub evictions: usize,
 }
 
 impl std::fmt::Display for StoreStats {
@@ -64,7 +87,11 @@ impl std::fmt::Display for StoreStats {
             f,
             "{} hits / {} misses ({} coalesced)",
             self.hits, self.misses, self.coalesced
-        )
+        )?;
+        if self.evictions > 0 {
+            write!(f, " [{} evicted]", self.evictions)?;
+        }
+        Ok(())
     }
 }
 
@@ -98,10 +125,10 @@ impl<T> Slot<T> {
 
     /// Fetch the cached value or compute it, reporting how the request
     /// was served.
-    pub(crate) fn get_or_try_init(
+    pub(crate) fn get_or_try_init<E>(
         &self,
-        compute: impl FnOnce() -> Result<T, crate::EvalError>,
-    ) -> Result<(Arc<T>, Outcome), crate::EvalError> {
+        compute: impl FnOnce() -> Result<T, E>,
+    ) -> Result<(Arc<T>, Outcome), E> {
         if let Some(v) = self.cell.get() {
             return Ok((Arc::clone(v), Outcome::Hit));
         }
@@ -115,17 +142,242 @@ impl<T> Slot<T> {
     }
 }
 
-/// Fetch (or insert) the slot of `key`; the outer map lock is held only
-/// for the lookup, never during a computation.
-fn slot_for<K: Eq + Hash + Clone, V>(
-    slots: &Mutex<HashMap<K, Arc<Slot<V>>>>,
-    key: &K,
-) -> Arc<Slot<V>> {
-    let mut map = slots.lock().expect("store map lock poisoned");
-    Arc::clone(
-        map.entry(key.clone())
-            .or_insert_with(|| Arc::new(Slot::new())),
-    )
+/// Per-store counter quad, mirrored into the obs counters.
+#[derive(Default)]
+struct Counts {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    coalesced: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl Counts {
+    /// Record one served request. Obs sees `store/<name>/hit` and
+    /// `store/<name>/miss` (coalesced counts as a hit there: whether a
+    /// hit blocked on an in-flight miss is schedule-dependent, and the
+    /// obs structure must stay identical across `--jobs` values).
+    fn record(&self, name: &str, outcome: Outcome) {
+        match outcome {
+            Outcome::Hit => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                em_obs::counter!(&format!("store/{name}/hit"), 1);
+            }
+            Outcome::Coalesced => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                em_obs::counter!(&format!("store/{name}/hit"), 1);
+            }
+            Outcome::Miss => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                em_obs::counter!(&format!("store/{name}/miss"), 1);
+            }
+        }
+    }
+
+    fn record_evict(&self, name: &str, n: usize) {
+        if n > 0 {
+            self.evictions.fetch_add(n, Ordering::Relaxed);
+            em_obs::counter!(&format!("store/{name}/evict"), n as u64);
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Clock (second-chance FIFO) bookkeeping of one bounded [`SlotMap`].
+///
+/// `queue` holds each cached key once in insertion order; `entries` maps
+/// a key to its byte cost and referenced bit. A hit sets the bit; an
+/// eviction scan pops the front, re-queueing referenced keys with the bit
+/// cleared and discarding the first unreferenced one.
+struct Clock<K> {
+    budget: usize,
+    resident: usize,
+    peak: usize,
+    queue: VecDeque<K>,
+    entries: HashMap<K, (usize, bool)>,
+}
+
+impl<K: Eq + Hash + Clone> Clock<K> {
+    fn new(budget: usize) -> Self {
+        Clock {
+            budget,
+            resident: 0,
+            peak: 0,
+            queue: VecDeque::new(),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Mark a key recently used (no-op if it was already evicted).
+    fn touch(&mut self, key: &K) {
+        if let Some((_, referenced)) = self.entries.get_mut(key) {
+            *referenced = true;
+        }
+    }
+
+    /// Pick victims until `incoming` more bytes fit. Returns the evicted
+    /// keys; the caller removes them from the slot map (under the clock
+    /// lock, so the budget invariant holds across threads).
+    fn make_room(&mut self, incoming: usize) -> Vec<K> {
+        let mut evicted = Vec::new();
+        while self.resident + incoming > self.budget && !self.queue.is_empty() {
+            let key = self.queue.pop_front().expect("non-empty queue");
+            let entry = self.entries.get_mut(&key).expect("queued key has entry");
+            if entry.1 {
+                entry.1 = false;
+                self.queue.push_back(key);
+            } else {
+                let (bytes, _) = self.entries.remove(&key).expect("entry exists");
+                self.resident -= bytes;
+                evicted.push(key);
+            }
+        }
+        evicted
+    }
+
+    /// Account an inserted value. Returns false if the value alone busts
+    /// the budget and must not be retained.
+    fn insert(&mut self, key: K, bytes: usize) -> bool {
+        if self.resident + bytes > self.budget {
+            return false;
+        }
+        if let Some((old, _)) = self.entries.insert(key.clone(), (bytes, false)) {
+            // Key re-inserted after a concurrent recompute: replace the
+            // accounting, keep its existing queue position.
+            self.resident -= old;
+        } else {
+            self.queue.push_back(key);
+        }
+        self.resident += bytes;
+        self.peak = self.peak.max(self.resident);
+        true
+    }
+}
+
+/// A keyed map of coalescing [`Slot`]s with hit/miss accounting and an
+/// optional byte budget (see the module docs). This is the shared
+/// machinery of [`ContextStore`] and [`ExplanationStore`]; `em-stream`
+/// builds its content-fingerprint stores on it directly.
+pub struct SlotMap<K, V> {
+    name: &'static str,
+    slots: Mutex<HashMap<K, Arc<Slot<V>>>>,
+    counts: Counts,
+    clock: Option<Mutex<Clock<K>>>,
+    bytes_of: fn(&V) -> usize,
+}
+
+impl<K: Eq + Hash + Clone, V> SlotMap<K, V> {
+    /// An unbounded (grow-only) map. `name` labels the obs counters
+    /// (`store/<name>/hit` …).
+    pub fn new(name: &'static str, bytes_of: fn(&V) -> usize) -> Self {
+        SlotMap {
+            name,
+            slots: Mutex::new(HashMap::new()),
+            counts: Counts::default(),
+            clock: None,
+            bytes_of,
+        }
+    }
+
+    /// A byte-budgeted map: resident cached bytes (as measured by
+    /// `bytes_of`) never exceed `budget_bytes`; victims are chosen by the
+    /// clock policy. Values larger than the whole budget are computed and
+    /// returned but never retained.
+    pub fn bounded(name: &'static str, bytes_of: fn(&V) -> usize, budget_bytes: usize) -> Self {
+        SlotMap {
+            clock: Some(Mutex::new(Clock::new(budget_bytes))),
+            ..SlotMap::new(name, bytes_of)
+        }
+    }
+
+    /// Fetch the slot of `key`; the map lock is held only for the lookup,
+    /// never during a computation.
+    fn slot_for(&self, key: &K) -> Arc<Slot<V>> {
+        let mut map = self.slots.lock().expect("store map lock poisoned");
+        Arc::clone(
+            map.entry(key.clone())
+                .or_insert_with(|| Arc::new(Slot::new())),
+        )
+    }
+
+    /// Fetch the cached value of `key` or compute it (coalescing
+    /// concurrent misses). Under a byte budget this is where victims are
+    /// evicted and the freshly computed value is accounted.
+    pub fn get_or_compute<E>(
+        &self,
+        key: &K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        let slot = self.slot_for(key);
+        let (value, outcome) = slot.get_or_try_init(compute)?;
+        self.counts.record(self.name, outcome);
+        if let Some(clock) = &self.clock {
+            // Lock order is clock → slots (eviction removes slots while
+            // holding the clock); the hit path above touched slots only
+            // before taking the clock, so the order is acyclic.
+            let mut clock = clock.lock().expect("store clock lock poisoned");
+            match outcome {
+                Outcome::Hit | Outcome::Coalesced => clock.touch(key),
+                Outcome::Miss => {
+                    let bytes = (self.bytes_of)(&value);
+                    let victims = clock.make_room(bytes);
+                    let retained = clock.insert(key.clone(), bytes);
+                    let mut evicted = victims.len();
+                    {
+                        let mut map = self.slots.lock().expect("store map lock poisoned");
+                        for victim in &victims {
+                            map.remove(victim);
+                        }
+                        if !retained {
+                            map.remove(key);
+                            evicted += 1;
+                        }
+                    }
+                    self.counts.record_evict(self.name, evicted);
+                    em_obs::gauge!(
+                        &format!("store/{}/bytes_peak", self.name),
+                        clock.peak as u64
+                    );
+                }
+            }
+        }
+        Ok(value)
+    }
+
+    pub fn stats(&self) -> StoreStats {
+        self.counts.stats()
+    }
+
+    /// Bytes currently retained by the budgeted cache (0 when unbounded).
+    pub fn resident_bytes(&self) -> usize {
+        self.clock
+            .as_ref()
+            .map(|c| c.lock().expect("store clock lock poisoned").resident)
+            .unwrap_or(0)
+    }
+
+    /// High-water mark of [`Self::resident_bytes`] (0 when unbounded).
+    pub fn peak_bytes(&self) -> usize {
+        self.clock
+            .as_ref()
+            .map(|c| c.lock().expect("store clock lock poisoned").peak)
+            .unwrap_or(0)
+    }
+
+    /// The configured byte budget, if any.
+    pub fn budget_bytes(&self) -> Option<usize> {
+        self.clock
+            .as_ref()
+            .map(|c| c.lock().expect("store clock lock poisoned").budget)
+    }
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -150,6 +402,23 @@ pub fn pair_fingerprint(pair: &EntityPair) -> u64 {
     let mut h = FNV_OFFSET;
     for record in [pair.left(), pair.right()] {
         h = mix_u64(h, record.id);
+        h = mix_u64(h, record.values().len() as u64);
+        for value in record.values() {
+            h = mix_u64(h, value.len() as u64);
+            h = fnv1a(h, value.as_bytes());
+        }
+    }
+    h
+}
+
+/// [`pair_fingerprint`] without the record ids: two pairs whose attribute
+/// values agree byte-for-byte share this fingerprint even when the records
+/// came from different collection rows. The streaming pipeline keys its
+/// perturbation and explanation stores on it, so exact-duplicate listings
+/// (ubiquitous in raw product feeds) pay for matcher queries once.
+pub fn pair_content_fingerprint(pair: &EntityPair) -> u64 {
+    let mut h = FNV_OFFSET;
+    for record in [pair.left(), pair.right()] {
         h = mix_u64(h, record.values().len() as u64);
         for value in record.values() {
             h = mix_u64(h, value.len() as u64);
@@ -218,56 +487,24 @@ impl ContextKey {
     }
 }
 
-/// Per-store counter triple, mirrored into the obs counters.
-#[derive(Default)]
-struct Counts {
-    hits: AtomicUsize,
-    misses: AtomicUsize,
-    coalesced: AtomicUsize,
-}
-
-impl Counts {
-    /// Record one served request. Obs sees `store/<name>/hit` and
-    /// `store/<name>/miss` (coalesced counts as a hit there: whether a
-    /// hit blocked on an in-flight miss is schedule-dependent, and the
-    /// obs structure must stay identical across `--jobs` values).
-    fn record(&self, name: &str, outcome: Outcome) {
-        match outcome {
-            Outcome::Hit => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                em_obs::counter!(&format!("store/{name}/hit"), 1);
-            }
-            Outcome::Coalesced => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.coalesced.fetch_add(1, Ordering::Relaxed);
-                em_obs::counter!(&format!("store/{name}/hit"), 1);
-            }
-            Outcome::Miss => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                em_obs::counter!(&format!("store/{name}/miss"), 1);
-            }
-        }
-    }
-
-    fn stats(&self) -> StoreStats {
-        StoreStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-        }
-    }
-}
-
 /// Shared store of prepared evaluation contexts.
-#[derive(Default)]
 pub struct ContextStore {
-    slots: Mutex<HashMap<ContextKey, Arc<Slot<EvalContext>>>>,
-    counts: Counts,
+    map: SlotMap<ContextKey, EvalContext>,
+}
+
+impl Default for ContextStore {
+    fn default() -> Self {
+        ContextStore::new()
+    }
 }
 
 impl ContextStore {
     pub fn new() -> Self {
-        ContextStore::default()
+        // Contexts are never byte-budgeted: a handful exist per run and
+        // every one is re-read by later experiments.
+        ContextStore {
+            map: SlotMap::new("context", |_| 0),
+        }
     }
 
     /// Fetch (or prepare once) the context of `(family, config)`.
@@ -277,20 +514,17 @@ impl ContextStore {
         config: GeneratorConfig,
     ) -> Result<Arc<EvalContext>, crate::EvalError> {
         let key = ContextKey::new(family, &config);
-        let slot = slot_for(&self.slots, &key);
-        let (ctx, outcome) = slot.get_or_try_init(|| {
+        self.map.get_or_compute(&key, || {
             // Root-anchored: which experiment pays a shared miss is
             // schedule-dependent, so nesting under the caller would make
             // the aggregated trace vary across `--jobs` values.
             let _span = em_obs::root_span!("store/context");
             EvalContext::prepare(family, config)
-        })?;
-        self.counts.record("context", outcome);
-        Ok(ctx)
+        })
     }
 
     pub fn stats(&self) -> StoreStats {
-        self.counts.stats()
+        self.map.stats()
     }
 }
 
@@ -299,6 +533,13 @@ pub struct TimedSet {
     pub set: PerturbationSet,
     /// Seconds the first computation of this set took.
     pub elapsed: f64,
+}
+
+impl TimedSet {
+    /// Accounting size under a store byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.set.approx_bytes() + 16
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -325,19 +566,63 @@ struct ExplainKey {
     options: u64,
 }
 
+/// Byte budgets of a bounded [`ExplanationStore`], split per sub-store
+/// (the perturbation sets and the finished explanations have very
+/// different sizes, so one shared number would starve one of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreBudget {
+    pub explanation_bytes: usize,
+    pub perturbation_bytes: usize,
+}
+
+impl StoreBudget {
+    /// Split one total budget: perturbation sets dominate (masks ×
+    /// samples), so they get three quarters of it.
+    pub fn total(bytes: usize) -> Self {
+        StoreBudget {
+            explanation_bytes: bytes / 4,
+            perturbation_bytes: bytes - bytes / 4,
+        }
+    }
+}
+
 /// Shared store of explanation outputs (plus the CREW perturbation-set
 /// sub-cache).
-#[derive(Default)]
 pub struct ExplanationStore {
-    explanations: Mutex<HashMap<ExplainKey, Arc<Slot<ExplanationOutput>>>>,
-    perturbations: Mutex<HashMap<PerturbKey, Arc<Slot<TimedSet>>>>,
-    counts: Counts,
-    perturb_counts: Counts,
+    explanations: SlotMap<ExplainKey, ExplanationOutput>,
+    perturbations: SlotMap<PerturbKey, TimedSet>,
+}
+
+impl Default for ExplanationStore {
+    fn default() -> Self {
+        ExplanationStore::new()
+    }
 }
 
 impl ExplanationStore {
     pub fn new() -> Self {
-        ExplanationStore::default()
+        ExplanationStore {
+            explanations: SlotMap::new("explain", |o| o.approx_bytes()),
+            perturbations: SlotMap::new("perturb_set", |t| t.approx_bytes()),
+        }
+    }
+
+    /// A memory-bounded store: cached bytes never exceed the budget;
+    /// entries evicted by the clock policy are recomputed (bitwise
+    /// identically) if requested again.
+    pub fn bounded(budget: StoreBudget) -> Self {
+        ExplanationStore {
+            explanations: SlotMap::bounded(
+                "explain",
+                |o| o.approx_bytes(),
+                budget.explanation_bytes,
+            ),
+            perturbations: SlotMap::bounded(
+                "perturb_set",
+                |t| t.approx_bytes(),
+                budget.perturbation_bytes,
+            ),
+        }
     }
 
     /// Explain `pair` with default CREW options (the common case).
@@ -380,8 +665,7 @@ impl ExplanationStore {
                 0
             },
         };
-        let slot = slot_for(&self.explanations, &key);
-        let (out, outcome) = slot.get_or_try_init(|| {
+        self.explanations.get_or_compute(&key, || {
             // Root-anchored for the same reason as `store/context`: the
             // payer of a shared miss is schedule-dependent. Stage spans
             // of the explainer run nest under this anchor.
@@ -397,9 +681,7 @@ impl ExplanationStore {
                 let trained = ctx.matcher(matcher)?;
                 explain_pair_opts(kind, ctx, budget, trained.as_ref(), pair, options)
             }
-        })?;
-        self.counts.record("explain", outcome);
-        Ok(out)
+        })
     }
 
     /// Fetch (or compute once) the CREW perturbation set of
@@ -420,8 +702,7 @@ impl ExplanationStore {
             seed: budget.seed,
             threads: budget.threads,
         };
-        let slot = slot_for(&self.perturbations, &key);
-        let (timed, outcome) = slot.get_or_try_init(|| {
+        self.perturbations.get_or_compute(&key, || {
             let _span = em_obs::root_span!("store/perturb_set");
             let trained = ctx.matcher(matcher)?;
             let crew = build_crew(ctx, budget, CrewOptions::default());
@@ -432,17 +713,21 @@ impl ExplanationStore {
                 set,
                 elapsed: t0.elapsed().as_secs_f64(),
             })
-        })?;
-        self.perturb_counts.record("perturb_set", outcome);
-        Ok(timed)
+        })
     }
 
     pub fn stats(&self) -> StoreStats {
-        self.counts.stats()
+        self.explanations.stats()
     }
 
     pub fn perturbation_stats(&self) -> StoreStats {
-        self.perturb_counts.stats()
+        self.perturbations.stats()
+    }
+
+    /// Peak resident bytes across both budgeted sub-stores (0 when
+    /// unbounded).
+    pub fn peak_bytes(&self) -> usize {
+        self.explanations.peak_bytes() + self.perturbations.peak_bytes()
     }
 }
 
@@ -465,6 +750,15 @@ impl EvalSession {
             contexts: ContextStore::new(),
             explanations: ExplanationStore::new(),
             headline: Slot::new(),
+        }
+    }
+
+    /// A session whose explanation store is byte-budgeted (the context
+    /// store stays unbounded — see [`ContextStore::new`]).
+    pub fn with_budget(config: ExperimentConfig, budget: StoreBudget) -> Self {
+        EvalSession {
+            explanations: ExplanationStore::bounded(budget),
+            ..EvalSession::new(config)
         }
     }
 
@@ -637,6 +931,39 @@ mod tests {
     }
 
     #[test]
+    fn content_fingerprint_ignores_record_ids() {
+        use em_data::{Record, Schema};
+        let schema = Arc::new(Schema::new(vec!["title"]));
+        let pair_a = EntityPair::new(
+            Arc::clone(&schema),
+            Record::new(1, vec!["sonix tv".into()]),
+            Record::new(2, vec!["sonix television".into()]),
+        )
+        .unwrap();
+        let pair_b = EntityPair::new(
+            Arc::clone(&schema),
+            Record::new(77, vec!["sonix tv".into()]),
+            Record::new(99, vec!["sonix television".into()]),
+        )
+        .unwrap();
+        assert_ne!(pair_fingerprint(&pair_a), pair_fingerprint(&pair_b));
+        assert_eq!(
+            pair_content_fingerprint(&pair_a),
+            pair_content_fingerprint(&pair_b)
+        );
+        let different = EntityPair::new(
+            schema,
+            Record::new(1, vec!["sonix tv".into()]),
+            Record::new(2, vec!["ashford kettle".into()]),
+        )
+        .unwrap();
+        assert_ne!(
+            pair_content_fingerprint(&pair_a),
+            pair_content_fingerprint(&different)
+        );
+    }
+
+    #[test]
     fn options_fingerprint_separates_variants() {
         let base = CrewOptions::default();
         let mut tweaked = CrewOptions::default();
@@ -652,5 +979,57 @@ mod tests {
             crew_options_fingerprint(&base),
             crew_options_fingerprint(&budget_only)
         );
+    }
+
+    #[test]
+    fn slot_map_respects_byte_budget_and_evicts_clockwise() {
+        // Values of 100 "bytes" each under a 250-byte budget: at most two
+        // fit; the third insert evicts the least-recently-touched.
+        let map: SlotMap<u32, Vec<u8>> = SlotMap::bounded("unit_test", |v| v.len(), 250);
+        let compute = |k: u32| move || Ok::<_, ()>(vec![k as u8; 100]);
+        map.get_or_compute(&1, compute(1)).unwrap();
+        map.get_or_compute(&2, compute(2)).unwrap();
+        assert_eq!(map.resident_bytes(), 200);
+        // Touch 1 so the clock grants it a second chance over 2.
+        map.get_or_compute(&1, compute(1)).unwrap();
+        map.get_or_compute(&3, compute(3)).unwrap();
+        assert!(map.resident_bytes() <= 250);
+        let stats = map.stats();
+        assert_eq!(stats.evictions, 1);
+        // Key 2 was the victim: asking again recomputes (a miss), while 1
+        // is still a hit.
+        let before = map.stats().misses;
+        map.get_or_compute(&1, compute(1)).unwrap();
+        assert_eq!(map.stats().misses, before);
+        map.get_or_compute(&2, compute(2)).unwrap();
+        assert_eq!(map.stats().misses, before + 1);
+        assert!(map.peak_bytes() <= 250);
+        assert_eq!(map.budget_bytes(), Some(250));
+    }
+
+    #[test]
+    fn slot_map_never_retains_oversized_values() {
+        let map: SlotMap<u32, Vec<u8>> = SlotMap::bounded("unit_test_big", |v| v.len(), 50);
+        map.get_or_compute(&1, || Ok::<_, ()>(vec![0u8; 500]))
+            .unwrap();
+        assert_eq!(map.resident_bytes(), 0);
+        assert_eq!(map.stats().evictions, 1);
+        assert!(map.peak_bytes() <= 50);
+        // The value is still served to the caller and a re-request
+        // recomputes instead of hitting.
+        map.get_or_compute(&1, || Ok::<_, ()>(vec![0u8; 500]))
+            .unwrap();
+        assert_eq!(map.stats().misses, 2);
+    }
+
+    #[test]
+    fn unbounded_slot_map_reports_zero_budget_metrics() {
+        let map: SlotMap<u32, Vec<u8>> = SlotMap::new("unit_unbounded", |v| v.len());
+        map.get_or_compute(&1, || Ok::<_, ()>(vec![0u8; 500]))
+            .unwrap();
+        assert_eq!(map.resident_bytes(), 0);
+        assert_eq!(map.peak_bytes(), 0);
+        assert_eq!(map.budget_bytes(), None);
+        assert_eq!(map.stats().evictions, 0);
     }
 }

@@ -416,6 +416,29 @@ pub use record::{
     set_enabled, span, span_root, ContextGuard, SpanContext, SpanGuard,
 };
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where the proc filesystem is unavailable.
+/// A measurement utility rather than a recording probe, so it is live
+/// even under the `noop` feature.
+pub fn peak_rss_bytes() -> u64 {
+    let status = match std::fs::read_to_string("/proc/self/status") {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
 /// Enter a span as a child of the thread's current span:
 /// `let _g = em_obs::span!("crew/perturb");`
 #[macro_export]

@@ -214,6 +214,32 @@ impl WorkerPool {
         }
         state.job = None;
     }
+
+    /// Execute `task(i)` for every `i in 0..total` in consecutive
+    /// bounded batches of at most `batch` indices, with a barrier
+    /// between batches. The streaming pipeline shards its candidate
+    /// stream this way so at most `batch` tasks' worth of intermediate
+    /// state is ever live at once — the memory bound that keeps peak
+    /// RSS flat regardless of `total`.
+    ///
+    /// Index assignment is identical to `total/batch` successive
+    /// [`WorkerPool::run`] calls, so the determinism contract (outputs
+    /// keyed by index, independent of thread count) carries over.
+    pub fn run_batched(
+        &self,
+        total: usize,
+        batch: usize,
+        max_threads: usize,
+        task: &(dyn Fn(usize) + Sync),
+    ) {
+        let batch = batch.max(1);
+        let mut start = 0;
+        while start < total {
+            let len = batch.min(total - start);
+            self.run(len, max_threads, &|i| task(start + i));
+            start += len;
+        }
+    }
 }
 
 impl Drop for WorkerPool {
@@ -346,6 +372,20 @@ mod tests {
             "peak concurrency {} exceeded cap 2",
             peak.load(Ordering::SeqCst)
         );
+    }
+
+    #[test]
+    fn batched_run_covers_every_index_once() {
+        let pool = WorkerPool::new(3);
+        for (n, batch) in [(0usize, 4usize), (1, 4), (10, 3), (12, 4), (257, 64)] {
+            let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            pool.run_batched(n, batch, 4, &|i| {
+                out[i].fetch_add(i as u64 + 1, Ordering::SeqCst);
+            });
+            let got: Vec<u64> = out.into_iter().map(|a| a.into_inner()).collect();
+            let want: Vec<u64> = (1..=n as u64).collect();
+            assert_eq!(got, want, "n={n} batch={batch}");
+        }
     }
 
     #[test]

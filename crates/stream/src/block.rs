@@ -1,0 +1,307 @@
+//! Blocking: turn two record collections into a deduplicated candidate
+//! pair set without scoring the full cross product.
+//!
+//! Every record is mapped to a set of **block keys** (its tokens, or
+//! character n-grams of its tokens); records sharing a key land in one
+//! block and each left×right pair inside a block becomes a candidate.
+//! Blocks bigger than `max_block_size` are skipped — these are
+//! stop-token blocks ("the", a ubiquitous brand) whose cross products
+//! would resurrect the quadratic blow-up blocking exists to avoid; the
+//! count of skipped blocks is reported, never silently dropped.
+//!
+//! Candidates are deduplicated globally (a pair sharing five tokens
+//! appears in five blocks but once in the output) by a final sort+dedup,
+//! which also makes the output independent of block iteration order and
+//! thread schedule: the parallel phases write into index-keyed slots and
+//! the merged list is sorted before being returned.
+//!
+//! The same co-membership edges feed a [`UnionFind`] over all records
+//! (left record `i` is node `i`, right record `j` is node
+//! `left.len() + j`), whose canonical connected components are exposed
+//! for cluster-level analyses and for the order/thread-invariance
+//! property tests.
+
+use crate::unionfind::UnionFind;
+use em_data::Record;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// How block keys are derived from a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKeyScheme {
+    /// One key per distinct token of the record's joined text.
+    Tokens,
+    /// One key per distinct character n-gram of each token (more
+    /// typo-tolerant, more keys per record).
+    NGrams(usize),
+}
+
+/// Blocking configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockingConfig {
+    pub scheme: BlockKeyScheme,
+    /// Tokens shorter than this produce no keys.
+    pub min_token_len: usize,
+    /// Skip blocks whose total membership (left + right) exceeds this.
+    pub max_block_size: usize,
+    /// Thread cap for the parallel phases (0 = auto).
+    pub jobs: usize,
+}
+
+impl Default for BlockingConfig {
+    fn default() -> Self {
+        BlockingConfig {
+            scheme: BlockKeyScheme::Tokens,
+            min_token_len: 2,
+            max_block_size: 64,
+            jobs: 0,
+        }
+    }
+}
+
+/// The blocking output: deduplicated candidates plus accounting.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// `(left index, right index)` pairs, sorted ascending, deduplicated.
+    pub pairs: Vec<(u32, u32)>,
+    /// Size of the avoided cross product (`left.len() * right.len()`).
+    pub comparisons: u64,
+    /// Blocks that contributed candidates.
+    pub blocks: usize,
+    /// Blocks skipped for exceeding `max_block_size`.
+    pub oversized: usize,
+    /// Canonical connected components of the block co-membership graph
+    /// (node `i < left_len` is left record `i`, node `left_len + j` is
+    /// right record `j`). See [`UnionFind::components`].
+    pub components: Vec<Vec<usize>>,
+    pub left_len: usize,
+    pub right_len: usize,
+}
+
+impl CandidateSet {
+    /// Fraction of the cross product that blocking eliminated.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.comparisons == 0 {
+            return 0.0;
+        }
+        1.0 - self.pairs.len() as f64 / self.comparisons as f64
+    }
+}
+
+/// Distinct block keys of one record under `config`, sorted.
+fn block_keys(record: &Record, config: &BlockingConfig) -> Vec<String> {
+    let mut keys = Vec::new();
+    for token in em_text::tokenize(&record.full_text()) {
+        if token.len() < config.min_token_len {
+            continue;
+        }
+        match config.scheme {
+            BlockKeyScheme::Tokens => keys.push(token),
+            BlockKeyScheme::NGrams(n) => {
+                let n = n.max(1);
+                let chars: Vec<char> = token.chars().collect();
+                if chars.len() <= n {
+                    keys.push(token);
+                } else {
+                    for w in chars.windows(n) {
+                        keys.push(w.iter().collect());
+                    }
+                }
+            }
+        }
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Map every record of `records` to its block keys, in parallel
+/// (index-keyed writes, so the output is schedule-independent).
+fn keys_of(records: &[Record], config: &BlockingConfig, threads: usize) -> Vec<Vec<String>> {
+    let slots: Vec<OnceLock<Vec<String>>> = (0..records.len()).map(|_| OnceLock::new()).collect();
+    em_pool::global().run(records.len(), threads, &|i| {
+        let _ = slots[i].set(block_keys(&records[i], config));
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("pool ran every index"))
+        .collect()
+}
+
+/// Block two collections into a deduplicated candidate set.
+pub fn block_candidates(
+    left: &[Record],
+    right: &[Record],
+    config: &BlockingConfig,
+) -> CandidateSet {
+    let threads = if config.jobs == 0 {
+        em_pool::default_threads()
+    } else {
+        config.jobs
+    };
+    let left_keys = keys_of(left, config, threads);
+    let right_keys = keys_of(right, config, threads);
+
+    // Inverted index: key → (left members, right members). Built
+    // sequentially (hash-map construction does not parallelize without
+    // sharding, and it is a small fraction of blocking time); members
+    // arrive in record order, so block contents are deterministic.
+    let mut index: HashMap<&str, (Vec<u32>, Vec<u32>)> = HashMap::new();
+    for (i, keys) in left_keys.iter().enumerate() {
+        for k in keys {
+            index.entry(k.as_str()).or_default().0.push(i as u32);
+        }
+    }
+    for (j, keys) in right_keys.iter().enumerate() {
+        for k in keys {
+            index.entry(k.as_str()).or_default().1.push(j as u32);
+        }
+    }
+
+    // Keep blocks with members on both sides, in sorted-key order so
+    // every later phase iterates deterministically.
+    let mut kept: Vec<(&str, &(Vec<u32>, Vec<u32>))> = Vec::new();
+    let mut oversized = 0usize;
+    let mut keys_sorted: Vec<&str> = index.keys().copied().collect();
+    keys_sorted.sort_unstable();
+    for key in keys_sorted {
+        let members = &index[key];
+        if members.0.is_empty() || members.1.is_empty() {
+            continue;
+        }
+        if members.0.len() + members.1.len() > config.max_block_size {
+            oversized += 1;
+            continue;
+        }
+        kept.push((key, members));
+    }
+
+    // Cross products per block in parallel, then merge in block order
+    // and sort+dedup globally.
+    let block_pairs: Vec<OnceLock<Vec<(u32, u32)>>> =
+        (0..kept.len()).map(|_| OnceLock::new()).collect();
+    em_pool::global().run(kept.len(), threads, &|b| {
+        let (lm, rm) = kept[b].1;
+        let mut out = Vec::with_capacity(lm.len() * rm.len());
+        for &i in lm {
+            for &j in rm {
+                out.push((i, j));
+            }
+        }
+        let _ = block_pairs[b].set(out);
+    });
+    let mut pairs: Vec<(u32, u32)> = block_pairs
+        .into_iter()
+        .flat_map(|s| s.into_inner().expect("pool ran every block"))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+
+    // Union-find over block co-membership (cheap: one union per member
+    // beyond the first, thanks to transitivity).
+    let mut uf = UnionFind::new(left.len() + right.len());
+    for (_, (lm, rm)) in &kept {
+        let anchor = lm[0] as usize;
+        for &i in lm.iter().skip(1) {
+            uf.union(anchor, i as usize);
+        }
+        for &j in rm.iter() {
+            uf.union(anchor, left.len() + j as usize);
+        }
+    }
+
+    em_obs::counter!("stream/blocks", kept.len() as u64);
+    em_obs::counter!("stream/candidates", pairs.len() as u64);
+
+    CandidateSet {
+        pairs,
+        comparisons: left.len() as u64 * right.len() as u64,
+        blocks: kept.len(),
+        oversized,
+        components: uf.components(),
+        left_len: left.len(),
+        right_len: right.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, text: &str) -> Record {
+        Record::new(id, vec![text.to_string()])
+    }
+
+    fn demo() -> (Vec<Record>, Vec<Record>) {
+        let left = vec![
+            rec(0, "sonix tv 55"),
+            rec(1, "veltron laptop x2"),
+            rec(2, "koyama blender pro"),
+        ];
+        let right = vec![
+            rec(10, "sonix television 55"),
+            rec(11, "veltron x2 laptop pro"),
+            rec(12, "ashford kettle"),
+        ];
+        (left, right)
+    }
+
+    #[test]
+    fn token_blocking_finds_shared_token_pairs_once() {
+        let (left, right) = demo();
+        let c = block_candidates(&left, &right, &BlockingConfig::default());
+        // (1, 11) share three tokens but appear once; (2, 11) share "pro".
+        assert_eq!(c.pairs, vec![(0, 0), (1, 1), (2, 1)]);
+        assert_eq!(c.comparisons, 9);
+        assert!(c.reduction_ratio() > 0.6);
+        assert_eq!(c.oversized, 0);
+    }
+
+    #[test]
+    fn oversized_blocks_are_skipped_and_counted() {
+        let left: Vec<Record> = (0..30).map(|i| rec(i, "common alpha")).collect();
+        let right: Vec<Record> = (0..30).map(|i| rec(100 + i, "common beta")).collect();
+        let config = BlockingConfig {
+            max_block_size: 16,
+            ..Default::default()
+        };
+        let c = block_candidates(&left, &right, &config);
+        assert!(c.pairs.is_empty());
+        assert_eq!(c.oversized, 1, "the 'common' block busts the cap");
+        assert_eq!(c.reduction_ratio(), 1.0);
+    }
+
+    #[test]
+    fn ngram_scheme_tolerates_typos_tokens_miss() {
+        let left = vec![rec(0, "veltron")];
+        let right = vec![rec(1, "veltrom")];
+        let miss = block_candidates(&left, &right, &BlockingConfig::default());
+        assert!(miss.pairs.is_empty());
+        let hit = block_candidates(
+            &left,
+            &right,
+            &BlockingConfig {
+                scheme: BlockKeyScheme::NGrams(3),
+                ..Default::default()
+            },
+        );
+        assert_eq!(hit.pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn components_connect_across_blocks() {
+        let (left, right) = demo();
+        let c = block_candidates(&left, &right, &BlockingConfig::default());
+        // Nodes: left 0..3, right 3..6. "pro" links records 1, 2, 11.
+        let with_one = c.components.iter().find(|comp| comp.contains(&1)).unwrap();
+        assert!(with_one.contains(&2) && with_one.contains(&4));
+    }
+
+    #[test]
+    fn empty_collections_block_to_nothing() {
+        let c = block_candidates(&[], &[], &BlockingConfig::default());
+        assert!(c.pairs.is_empty());
+        assert_eq!(c.reduction_ratio(), 0.0);
+        assert!(c.components.is_empty());
+    }
+}

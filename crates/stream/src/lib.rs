@@ -1,0 +1,89 @@
+//! # em-stream
+//!
+//! The production-scale entry point: take two raw record collections,
+//! generate candidate pairs by blocking, score them with a trained
+//! matcher, and CREW-explain every match — streaming, in bounded
+//! batches, with memory-bounded explanation stores, so a 10⁵–10⁶
+//! candidate workload runs in flat memory.
+//!
+//! The paper's evaluation (and the `em-eval` harness reproducing it)
+//! starts from curated labelled pair lists; this crate adds the stage a
+//! deployment needs *before* that — candidate generation — and the
+//! memory discipline explaining the matched set at scale requires.
+//! See DESIGN.md, "Streaming pipeline" for the blocking-key, eviction
+//! and determinism arguments.
+//!
+//! ```
+//! use em_stream::{run_stream, StreamOptions};
+//! use em_synth::{record_collections, CollectionsConfig, Family};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let c = record_collections(
+//!     Family::Restaurants,
+//!     CollectionsConfig { entities: 40, duplicate_rate: 0.5, extra_right: 10, seed: 3 },
+//! )?;
+//! // Train matcher + embeddings on synthetic labelled history.
+//! let ctx = em_eval::EvalContext::prepare(
+//!     em_synth::Family::Restaurants,
+//!     em_synth::GeneratorConfig { entities: 40, pairs: 120, ..Default::default() },
+//! )?;
+//! let matcher = ctx.matcher(em_eval::MatcherKind::Logistic)?;
+//! let out = run_stream(
+//!     &c.schema, &c.left, &c.right,
+//!     matcher.as_ref(), ctx.embeddings.clone(),
+//!     &StreamOptions { batch: 64, ..Default::default() },
+//! )?;
+//! assert!(out.candidates > 0);
+//! # Ok(()) }
+//! ```
+
+pub mod block;
+pub mod pipeline;
+pub mod store;
+pub mod unionfind;
+
+pub use block::{block_candidates, BlockKeyScheme, BlockingConfig, CandidateSet};
+pub use pipeline::{
+    candidates_only, explanation_fingerprint, run_stream, ExplainedMatch, StreamOptions,
+    StreamOutcome,
+};
+pub use store::StreamStores;
+pub use unionfind::UnionFind;
+
+/// Errors a stream run can surface.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Record shape disagreed with the schema while materializing a pair.
+    Data(em_data::DataError),
+    /// CREW failed on a pair (empty content, invalid options).
+    Explain(crew_core::ExplainError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Data(e) => write!(f, "data error: {e}"),
+            StreamError::Explain(e) => write!(f, "explain error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Data(e) => Some(e),
+            StreamError::Explain(e) => Some(e),
+        }
+    }
+}
+
+impl From<em_data::DataError> for StreamError {
+    fn from(e: em_data::DataError) -> Self {
+        StreamError::Data(e)
+    }
+}
+
+impl From<crew_core::ExplainError> for StreamError {
+    fn from(e: crew_core::ExplainError) -> Self {
+        StreamError::Explain(e)
+    }
+}

@@ -1,0 +1,93 @@
+//! Content-keyed explanation stores for the streaming pipeline.
+//!
+//! Unlike the evaluation substrate's stores (keyed by `(context,
+//! matcher, explainer, pair, budget, options)` — see `em-eval`), a
+//! stream run fixes the matcher and the CREW options once, so the only
+//! varying key component is the **pair content fingerprint**
+//! ([`em_eval::pair_content_fingerprint`]): a hash of both records'
+//! attribute values with the record ids deliberately excluded. Raw
+//! feeds are full of exact-duplicate listings under different ids;
+//! keying on content makes every such near-duplicate family pay for
+//! its matcher queries (the perturbation set) and its clustering tail
+//! exactly once.
+//!
+//! Both sub-stores ride on [`em_eval::SlotMap`], so a byte budget
+//! ([`em_eval::StoreBudget`]) bounds resident bytes via clock eviction
+//! while keeping served values bitwise deterministic (the compute
+//! closures are pure functions of the content key).
+
+use crew_core::{ClusterExplanation, Crew, PerturbationSet};
+use em_data::TokenizedPair;
+use em_eval::{SlotMap, StoreBudget, StoreStats};
+use em_matchers::Matcher;
+use std::sync::Arc;
+
+/// The two content-keyed sub-stores of one stream run.
+pub struct StreamStores {
+    perturbations: SlotMap<u64, PerturbationSet>,
+    explanations: SlotMap<u64, ClusterExplanation>,
+}
+
+impl Default for StreamStores {
+    fn default() -> Self {
+        StreamStores::unbounded()
+    }
+}
+
+impl StreamStores {
+    /// Grow-only stores (small workloads, tests).
+    pub fn unbounded() -> Self {
+        StreamStores {
+            perturbations: SlotMap::new("stream_perturb", |s| s.approx_bytes()),
+            explanations: SlotMap::new("stream_explain", |e| e.approx_bytes()),
+        }
+    }
+
+    /// Byte-budgeted stores — the production configuration; resident
+    /// cache bytes never exceed the budget regardless of pair count.
+    pub fn bounded(budget: StoreBudget) -> Self {
+        StreamStores {
+            perturbations: SlotMap::bounded(
+                "stream_perturb",
+                |s| s.approx_bytes(),
+                budget.perturbation_bytes,
+            ),
+            explanations: SlotMap::bounded(
+                "stream_explain",
+                |e| e.approx_bytes(),
+                budget.explanation_bytes,
+            ),
+        }
+    }
+
+    /// Explain one pair through the stores: fetch-or-compute the
+    /// perturbation set, then fetch-or-compute the clustering tail.
+    /// `fingerprint` must be the pair's content fingerprint.
+    pub fn explain(
+        &self,
+        crew: &Crew,
+        matcher: &dyn Matcher,
+        tokenized: &TokenizedPair,
+        fingerprint: u64,
+    ) -> Result<Arc<ClusterExplanation>, crew_core::ExplainError> {
+        let set = self
+            .perturbations
+            .get_or_compute(&fingerprint, || crew.perturbation_set(matcher, tokenized))?;
+        self.explanations.get_or_compute(&fingerprint, || {
+            crew.explain_clusters_with_set(tokenized, &set)
+        })
+    }
+
+    pub fn perturbation_stats(&self) -> StoreStats {
+        self.perturbations.stats()
+    }
+
+    pub fn explanation_stats(&self) -> StoreStats {
+        self.explanations.stats()
+    }
+
+    /// Combined peak resident bytes of both sub-stores (0 if unbounded).
+    pub fn peak_bytes(&self) -> usize {
+        self.perturbations.peak_bytes() + self.explanations.peak_bytes()
+    }
+}

@@ -1,0 +1,124 @@
+//! Union-find (disjoint-set) with path halving and union by size, used
+//! twice by the pipeline: over block co-membership during blocking, and
+//! over the matched pairs to report entity clusters (the match-cluster
+//! merge of the ODIBEL/ER-pipeline exemplars, without the per-merge set
+//! copies).
+
+/// Disjoint sets over `0..len`.
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "union-find node space exceeded");
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x as usize
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        // Union by size keeps the trees shallow; ties attach the larger
+        // index under the smaller. (Root choice still depends on merge
+        // order — only the canonicalized [`Self::components`] view is
+        // order-invariant.)
+        let (big, small) =
+            if self.size[ra] > self.size[rb] || (self.size[ra] == self.size[rb] && ra < rb) {
+                (ra, rb)
+            } else {
+                (rb, ra)
+            };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        true
+    }
+
+    /// The partition in canonical form: every component sorted
+    /// ascending, components ordered by their smallest member. Two
+    /// union-finds over the same edge set — regardless of edge order or
+    /// which thread discovered which edge — render identically here,
+    /// which is what the order/thread-invariance properties assert.
+    pub fn components(&mut self) -> Vec<Vec<usize>> {
+        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for x in 0..self.parent.len() {
+            by_root.entry(self.find(x)).or_default().push(x);
+        }
+        // `0..len` iteration already fills each component ascending.
+        let mut components: Vec<Vec<usize>> = by_root.into_values().collect();
+        components.sort_by_key(|c| c[0]);
+        components
+    }
+
+    /// Like [`Self::components`], but dropping singletons (isolated
+    /// nodes are noise when reporting entity clusters).
+    pub fn clusters(&mut self) -> Vec<Vec<usize>> {
+        self.components()
+            .into_iter()
+            .filter(|c| c.len() > 1)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_until_united() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.components(), vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert!(uf.clusters().is_empty());
+    }
+
+    #[test]
+    fn union_merges_and_reports_canonical_components() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 3));
+        assert!(uf.union(4, 5));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(0, 5), "already connected");
+        assert_eq!(uf.components(), vec![vec![0, 3, 4, 5], vec![1], vec![2]]);
+        assert_eq!(uf.clusters(), vec![vec![0, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn components_invariant_under_edge_order() {
+        let edges = [(0usize, 1usize), (1, 2), (3, 4), (2, 3), (5, 6)];
+        let mut forward = UnionFind::new(8);
+        for &(a, b) in &edges {
+            forward.union(a, b);
+        }
+        let mut backward = UnionFind::new(8);
+        for &(a, b) in edges.iter().rev() {
+            backward.union(b, a);
+        }
+        assert_eq!(forward.components(), backward.components());
+    }
+}

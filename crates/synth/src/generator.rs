@@ -161,7 +161,11 @@ pub fn generate(family: Family, config: GeneratorConfig) -> Result<Dataset, crat
     Ok(Dataset::new(family.dataset_name(), schema, examples)?)
 }
 
-fn corrupt_entity(values: &[String], profile: &CorruptionProfile, rng: &mut StdRng) -> Vec<String> {
+pub(crate) fn corrupt_entity(
+    values: &[String],
+    profile: &CorruptionProfile,
+    rng: &mut StdRng,
+) -> Vec<String> {
     values
         .iter()
         .map(|v| corrupt_value(v, profile, rng))

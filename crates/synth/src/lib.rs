@@ -21,11 +21,13 @@
 //! assert_eq!(generate(Family::Restaurants, config).unwrap().stats(), dataset.stats());
 //! ```
 
+pub mod collections;
 pub mod corrupt;
 pub mod family;
 pub mod generator;
 pub mod pools;
 
+pub use collections::{record_collections, CollectionsConfig, RecordCollections};
 pub use corrupt::{abbreviate, corrupt_value, jitter_number, typo, CorruptionProfile};
 pub use family::Family;
 pub use generator::{

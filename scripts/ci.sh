@@ -50,6 +50,32 @@ print(f"trace schema ok: {len(trace['spans'])} spans, "
       f"{len(trace['counters'])} counters, {len(trace['gauges'])} gauges")
 EOF
 
+# The plain leg below overwrites the stream smoke artifacts, so snapshot
+# the committed baselines first for the --bench regression gate.
+if [[ "${1:-}" == "--bench" ]]; then
+    stream_baseline=$(mktemp)
+    stream_trace_baseline=$(mktemp)
+    cp results/BENCH_stream_smoke.json "$stream_baseline"
+    cp results/TRACE_run_stream_smoke.json "$stream_trace_baseline"
+fi
+
+echo "==> stream smoke (run_stream --smoke --trace) + stage schema check"
+cargo run --release --locked --offline -p em-bench --bin run_stream -- --smoke --trace
+python3 - results/TRACE_run_stream_smoke.json <<'EOF'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+paths = {s["path"] for s in trace["spans"]}
+for stage in ("stream", "stream/block", "stream/match", "stream/explain"):
+    assert stage in paths, f"missing pipeline stage span {stage!r}"
+counters = {c["name"]: c["value"] for c in trace["counters"]}
+for name in ("stream/blocks", "stream/candidates", "stream/matches"):
+    assert counters.get(name, 0) > 0, f"counter {name!r} missing or zero"
+print(f"stream trace ok: {len(paths)} spans, "
+      f"{counters['stream/candidates']} candidates, "
+      f"{counters['stream/matches']} matches")
+EOF
+
 # Compare a fresh smoke run against its committed baseline, failing on
 # >2x per-entry regressions. Smoke medians are single-shot and noisy; 2x
 # catches algorithmic blow-ups (accidental O(n^2), lost cache, lost
@@ -131,6 +157,41 @@ if [[ "${1:-}" == "--bench" ]]; then
         || { echo "run_all/total row missing from bench JSON" >&2; exit 1; }
     bench_gate "$baseline" results/BENCH_run_all_smoke.json \
         || { trace_deltas "$trace_baseline" results/TRACE_run_all_smoke.json; exit 1; }
+    rm -f "$baseline" "$trace_baseline"
+
+    echo "==> stream regression gate (vs committed baseline)"
+    # Gates the fresh artifacts from the plain stream leg above against
+    # the pre-run snapshot of the committed baselines.
+    baseline="$stream_baseline"
+    trace_baseline="$stream_trace_baseline"
+    # The wall-clock total and the memory-discipline row must both be
+    # present; the bin additionally hard-fails if the store budget or
+    # the RSS cap is exceeded, so this gate is about *regressions*.
+    grep -q '"group": "stream", "id": "total"' results/BENCH_stream_smoke.json \
+        || { echo "stream/total row missing from bench JSON" >&2; exit 1; }
+    grep -q '"group": "stream", "id": "peak_rss_bytes"' results/BENCH_stream_smoke.json \
+        || { echo "stream/peak_rss_bytes row missing from bench JSON" >&2; exit 1; }
+    bench_gate "$baseline" results/BENCH_stream_smoke.json \
+        || { trace_deltas "$trace_baseline" results/TRACE_run_stream_smoke.json; exit 1; }
+    # peak_rss_bytes sits below bench_gate's ns floor at smoke scale, so
+    # gate it explicitly: 2x + 32 MiB slack flags a lost memory bound
+    # (store budget ignored, digests ballooning) without flaking on
+    # allocator arena noise at a ~10 MB baseline.
+    python3 - "$baseline" results/BENCH_stream_smoke.json <<'EOF'
+import json, sys
+
+def rss(path):
+    for r in json.load(open(path))["results"]:
+        if (r["group"], r["id"]) == ("stream", "peak_rss_bytes"):
+            return r["median_ns"]
+    sys.exit(f"stream/peak_rss_bytes missing from {path}")
+
+b, c = rss(sys.argv[1]), rss(sys.argv[2])
+if c > 2.0 * b + (32 << 20):
+    print(f"peak RSS regressed: {b/1e6:.1f}MB -> {c/1e6:.1f}MB", file=sys.stderr)
+    sys.exit(1)
+print(f"peak RSS gate ok: {b/1e6:.1f}MB -> {c/1e6:.1f}MB")
+EOF
     rm -f "$baseline" "$trace_baseline"
 
     echo "==> bench smoke (embed --smoke) + regression gate"

@@ -1,0 +1,220 @@
+//! Properties of the byte-budgeted explanation stores: with eviction
+//! enabled, served explanations are bitwise identical to the unbounded
+//! store; the byte budget is never exceeded (asserted both on the store
+//! accessors and on the `em-obs` evict/peak instrumentation); and an
+//! evicted-then-recomputed entry equals its first computation exactly.
+
+use crew_core::{Crew, CrewOptions};
+use em_data::{EntityPair, TokenizedPair};
+use em_eval::{pair_content_fingerprint, EvalContext, MatcherKind, SlotMap, StoreBudget};
+use em_matchers::Matcher;
+use em_stream::{explanation_fingerprint, StreamStores};
+use em_synth::{record_collections, CollectionsConfig, Family, GeneratorConfig};
+use propcheck::prelude::*;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The two explanation tests share the global obs registry and the
+/// `stream_*` store names; serialize them so the gauge/counter
+/// assertions see only their own run.
+fn obs_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Shared context: matcher training is the expensive part, and one
+/// trained matcher serves every case.
+fn shared() -> &'static (EvalContext, Arc<dyn Matcher>) {
+    static SHARED: OnceLock<(EvalContext, Arc<dyn Matcher>)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let ctx = EvalContext::prepare(
+            Family::Restaurants,
+            GeneratorConfig {
+                entities: 60,
+                pairs: 150,
+                ..Default::default()
+            },
+        )
+        .expect("context prepares");
+        let matcher = ctx.matcher(MatcherKind::Logistic).expect("matcher trains");
+        (ctx, matcher)
+    })
+}
+
+/// Distinct-content pairs drawn from a synthetic collection's true
+/// duplicates (matched content, so explanations are non-degenerate).
+fn workload(n: usize) -> Vec<EntityPair> {
+    let c = record_collections(
+        Family::Restaurants,
+        CollectionsConfig {
+            entities: n.max(8) * 2,
+            duplicate_rate: 0.9,
+            extra_right: 0,
+            seed: 23,
+        },
+    )
+    .expect("collections generate");
+    c.true_matches
+        .iter()
+        .take(n)
+        .map(|&(lid, rid)| {
+            let left = c.left.iter().find(|r| r.id == lid).unwrap().clone();
+            let right = c.right.iter().find(|r| r.id == rid).unwrap().clone();
+            EntityPair::new(Arc::clone(&c.schema), left, right).expect("schema matches")
+        })
+        .collect()
+}
+
+fn crew() -> Crew {
+    let (ctx, _) = shared();
+    Crew::new(
+        ctx.embeddings.clone(),
+        CrewOptions {
+            perturb: crew_core::PerturbOptions {
+                samples: 32,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+}
+
+fn explain_all(stores: &StreamStores, pairs: &[EntityPair]) -> Vec<u64> {
+    let (_, matcher) = shared();
+    let crew = crew();
+    pairs
+        .iter()
+        .map(|pair| {
+            let tokenized = TokenizedPair::new(pair.clone());
+            let ce = stores
+                .explain(
+                    &crew,
+                    matcher.as_ref(),
+                    &tokenized,
+                    pair_content_fingerprint(pair),
+                )
+                .expect("explanation succeeds");
+            explanation_fingerprint(&ce)
+        })
+        .collect()
+}
+
+/// A budget sized from a probe explanation so roughly `keep` perturbation
+/// sets fit — small enough to force eviction on a ~10-pair workload.
+fn tiny_budget(pairs: &[EntityPair], keep: usize) -> StoreBudget {
+    let probe = StreamStores::unbounded();
+    let _ = explain_all(&probe, &pairs[..1]);
+    let (_, matcher) = shared();
+    let crew = crew();
+    let tokenized = TokenizedPair::new(pairs[0].clone());
+    let set = crew
+        .perturbation_set(matcher.as_ref(), &tokenized)
+        .expect("probe set");
+    let per_set = set.approx_bytes();
+    // explanation_bytes is 1/4 of the total, perturbation_bytes 3/4.
+    StoreBudget::total(per_set * keep * 4 / 3)
+}
+
+#[test]
+fn bounded_store_serves_bitwise_identical_explanations() {
+    let _guard = obs_lock().lock().unwrap();
+    let pairs = workload(10);
+    let unbounded = StreamStores::unbounded();
+    let expected = explain_all(&unbounded, &pairs);
+
+    let budget = tiny_budget(&pairs, 3);
+    let bounded = StreamStores::bounded(budget);
+    // Two passes: the second revisits keys whose entries were evicted by
+    // the first, exercising the recompute path.
+    let first = explain_all(&bounded, &pairs);
+    let second = explain_all(&bounded, &pairs);
+
+    assert_eq!(expected, first, "bounded pass 1 diverged from unbounded");
+    assert_eq!(expected, second, "evicted-then-recomputed entries diverged");
+    let stats = bounded.perturbation_stats();
+    assert!(
+        stats.evictions > 0,
+        "budget was meant to force evictions, got {stats}"
+    );
+    let total = budget.explanation_bytes + budget.perturbation_bytes;
+    assert!(
+        bounded.peak_bytes() <= total,
+        "peak {} exceeded budget {total}",
+        bounded.peak_bytes()
+    );
+}
+
+#[test]
+fn bounded_store_reports_budget_through_obs_gauges() {
+    let _guard = obs_lock().lock().unwrap();
+    let pairs = workload(8);
+    let budget = tiny_budget(&pairs, 2);
+    let bounded = StreamStores::bounded(budget);
+
+    em_obs::reset();
+    em_obs::set_enabled(true);
+    let _ = explain_all(&bounded, &pairs);
+    em_obs::set_enabled(false);
+    let report = em_obs::collect();
+
+    let gauge = |name: &str| {
+        report
+            .gauges
+            .iter()
+            .find(|(g, _)| g == name)
+            .map(|&(_, v)| v)
+    };
+    let counter = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|(c, _)| c == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    let peak =
+        gauge("store/stream_perturb/bytes_peak").expect("bounded store publishes its peak gauge");
+    assert!(
+        peak <= budget.perturbation_bytes as u64,
+        "gauged peak {peak} exceeds budget {}",
+        budget.perturbation_bytes
+    );
+    assert!(
+        counter("store/stream_perturb/evict") > 0,
+        "expected evictions on a two-set budget"
+    );
+    assert_eq!(
+        counter("store/stream_perturb/miss"),
+        pairs.len() as u64,
+        "every distinct-content pair misses once in a single pass"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Pure SlotMap property: under an arbitrary access sequence the
+    // resident size never exceeds the budget, values served equal fresh
+    // computation, and oversized values are computed but not retained.
+    #[test]
+    fn slot_map_budget_holds_under_arbitrary_access(
+        budget in 64usize..2048,
+        keys in propcheck::collection::vec(0u64..32, 1..120),
+    ) {
+        let map: SlotMap<u64, Vec<u8>> =
+            SlotMap::bounded("bounded_prop", |v| v.len(), budget);
+        for &k in &keys {
+            // Value size is a pure function of the key, so recomputation
+            // after eviction must reproduce it exactly.
+            let size = (k as usize * 37) % 512;
+            let value = map
+                .get_or_compute::<std::convert::Infallible>(&k, || Ok(vec![k as u8; size]))
+                .unwrap();
+            let fresh = vec![k as u8; size];
+            prop_assert_eq!(value.as_slice(), fresh.as_slice());
+            prop_assert!(map.resident_bytes() <= budget);
+        }
+        prop_assert!(map.peak_bytes() <= budget);
+        let stats = map.stats();
+        prop_assert_eq!(stats.hits + stats.misses, keys.len());
+    }
+}

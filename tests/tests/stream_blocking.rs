@@ -1,0 +1,189 @@
+//! Property tests of the `em-stream` blocking stage: the canonical
+//! connected components are invariant under record order and thread
+//! count, every true synthetic duplicate pair survives blocking
+//! (recall = 1.0 — the generator guarantees duplicates share at least
+//! two qualifying tokens), and the candidate set is deduplicated and
+//! left/right symmetric.
+
+use em_data::Record;
+use em_stream::{block_candidates, BlockingConfig};
+use em_synth::{record_collections, CollectionsConfig, Family, RecordCollections};
+use propcheck::prelude::*;
+
+fn family_of(idx: usize) -> Family {
+    [
+        Family::Products,
+        Family::Citations,
+        Family::Restaurants,
+        Family::Songs,
+        Family::Beers,
+    ][idx % 5]
+}
+
+fn collections(family: Family, entities: usize, seed: u64) -> RecordCollections {
+    record_collections(
+        family,
+        CollectionsConfig {
+            entities,
+            duplicate_rate: 0.5,
+            extra_right: entities / 5,
+            seed,
+        },
+    )
+    .expect("synthetic collections generate")
+}
+
+/// A huge cap so no block is skipped: the recall guarantee is about key
+/// overlap, and stop-token skipping is a separate precision/cost knob.
+fn keep_all() -> BlockingConfig {
+    BlockingConfig {
+        max_block_size: usize::MAX,
+        ..Default::default()
+    }
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` from a seed.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+fn canonicalize(mut components: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    for c in &mut components {
+        c.sort_unstable();
+    }
+    components.sort();
+    components
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Recall = 1.0: every true duplicate pair is in the candidate set.
+    #[test]
+    fn blocking_keeps_every_true_duplicate(
+        family_idx in 0usize..5,
+        entities in 20usize..70,
+        seed in 0u64..1000,
+    ) {
+        let c = collections(family_of(family_idx), entities, seed);
+        let out = block_candidates(&c.left, &c.right, &keep_all());
+        prop_assert_eq!(out.oversized, 0);
+        for &(lid, rid) in &c.true_matches {
+            let i = c.left.iter().position(|r| r.id == lid).unwrap() as u32;
+            let j = c.right.iter().position(|r| r.id == rid).unwrap() as u32;
+            prop_assert!(
+                out.pairs.binary_search(&(i, j)).is_ok(),
+                "true pair ({lid}, {rid}) lost by blocking"
+            );
+        }
+    }
+
+    // The candidate list is strictly increasing (sorted + deduplicated),
+    // and swapping the collections yields exactly the mirrored set.
+    #[test]
+    fn candidates_are_deduped_and_symmetric(
+        family_idx in 0usize..5,
+        entities in 20usize..60,
+        seed in 0u64..1000,
+    ) {
+        let c = collections(family_of(family_idx), entities, seed);
+        let config = BlockingConfig::default();
+        let out = block_candidates(&c.left, &c.right, &config);
+        prop_assert!(out.pairs.windows(2).all(|w| w[0] < w[1]));
+
+        let swapped = block_candidates(&c.right, &c.left, &config);
+        let mut mirrored: Vec<(u32, u32)> =
+            swapped.pairs.iter().map(|&(j, i)| (i, j)).collect();
+        mirrored.sort_unstable();
+        prop_assert_eq!(&out.pairs, &mirrored);
+        prop_assert_eq!(out.blocks, swapped.blocks);
+        prop_assert_eq!(out.oversized, swapped.oversized);
+    }
+
+    // Permuting the records permutes indices but leaves the candidate
+    // set and the canonical components unchanged.
+    #[test]
+    fn blocking_is_invariant_under_record_order(
+        family_idx in 0usize..5,
+        entities in 20usize..60,
+        seed in 0u64..1000,
+        shuffle_seed in 1u64..1_000_000,
+    ) {
+        let c = collections(family_of(family_idx), entities, seed);
+        let config = BlockingConfig::default();
+        let base = block_candidates(&c.left, &c.right, &config);
+
+        let pl = permutation(c.left.len(), shuffle_seed);
+        let pr = permutation(c.right.len(), shuffle_seed.wrapping_mul(3));
+        let left: Vec<Record> = pl.iter().map(|&i| c.left[i].clone()).collect();
+        let right: Vec<Record> = pr.iter().map(|&j| c.right[j].clone()).collect();
+        let shuffled = block_candidates(&left, &right, &config);
+
+        // Map shuffled indices back to the original positions.
+        let mut pairs: Vec<(u32, u32)> = shuffled
+            .pairs
+            .iter()
+            .map(|&(i, j)| (pl[i as usize] as u32, pr[j as usize] as u32))
+            .collect();
+        pairs.sort_unstable();
+        prop_assert_eq!(&base.pairs, &pairs);
+
+        let remapped = shuffled
+            .components
+            .iter()
+            .map(|comp| {
+                comp.iter()
+                    .map(|&n| {
+                        if n < left.len() {
+                            pl[n]
+                        } else {
+                            c.left.len() + pr[n - left.len()]
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        prop_assert_eq!(
+            canonicalize(base.components.clone()),
+            canonicalize(remapped)
+        );
+    }
+
+    // The parallel phases write index-keyed slots, so any thread count
+    // produces the identical candidate set and components.
+    #[test]
+    fn blocking_is_invariant_under_thread_count(
+        family_idx in 0usize..5,
+        entities in 20usize..60,
+        seed in 0u64..1000,
+        threads in 2usize..5,
+    ) {
+        let c = collections(family_of(family_idx), entities, seed);
+        let sequential = block_candidates(
+            &c.left,
+            &c.right,
+            &BlockingConfig { jobs: 1, ..Default::default() },
+        );
+        let parallel = block_candidates(
+            &c.left,
+            &c.right,
+            &BlockingConfig { jobs: threads, ..Default::default() },
+        );
+        prop_assert_eq!(&sequential.pairs, &parallel.pairs);
+        prop_assert_eq!(&sequential.components, &parallel.components);
+        prop_assert_eq!(sequential.blocks, parallel.blocks);
+        prop_assert_eq!(sequential.oversized, parallel.oversized);
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end `em-stream` pipeline tests: the explained matched set is
+//! bitwise identical at any `--jobs` count (with the bounded stores
+//! active), and the previously dormant CSV record loader drives the
+//! pipeline from two ER-Magellan-shaped files to explained matches.
+
+use em_data::{record_table_from_csv, Schema};
+use em_eval::{EvalContext, MatcherKind, StoreBudget};
+use em_stream::{run_stream, StreamOptions, StreamOutcome};
+use em_synth::{record_collections, CollectionsConfig, Family, GeneratorConfig};
+use std::sync::{Arc, OnceLock};
+
+fn shared_ctx() -> &'static EvalContext {
+    static CTX: OnceLock<EvalContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        EvalContext::prepare(
+            Family::Restaurants,
+            GeneratorConfig {
+                entities: 60,
+                pairs: 150,
+                ..Default::default()
+            },
+        )
+        .expect("context prepares")
+    })
+}
+
+fn assert_same_artifacts(a: &StreamOutcome, b: &StreamOutcome) {
+    assert_eq!(a.candidates, b.candidates, "candidate count");
+    assert_eq!(a.matches, b.matches, "explained matched set");
+    assert_eq!(a.entity_clusters, b.entity_clusters, "entity clusters");
+}
+
+#[test]
+fn synthetic_stream_is_deterministic_across_jobs() {
+    let c = record_collections(
+        Family::Restaurants,
+        CollectionsConfig {
+            entities: 60,
+            duplicate_rate: 0.5,
+            extra_right: 15,
+            seed: 5,
+        },
+    )
+    .expect("collections generate");
+    let ctx = shared_ctx();
+    let matcher = ctx.matcher(MatcherKind::Logistic).expect("matcher trains");
+
+    let run = |jobs: usize| {
+        run_stream(
+            &c.schema,
+            &c.left,
+            &c.right,
+            matcher.as_ref(),
+            ctx.embeddings.clone(),
+            &StreamOptions {
+                jobs,
+                batch: 16,
+                // Tight budget so the jobs-invariance claim is tested
+                // *with eviction racing the schedule*, not only on the
+                // easy unbounded path.
+                store_budget: Some(StoreBudget::total(2 << 20)),
+                ..Default::default()
+            },
+        )
+        .expect("pipeline runs")
+    };
+    let sequential = run(1);
+    assert!(
+        !sequential.matches.is_empty(),
+        "workload must produce matches for the invariance to mean anything"
+    );
+    for jobs in [2, 4] {
+        assert_same_artifacts(&sequential, &run(jobs));
+    }
+}
+
+const LEFT_CSV: &str = "\
+id,name,addr,city,phone
+0,olive garden trattoria,12 elm street,springfield,555-0101
+1,golden dragon noodles,88 canal road,riverton,555-0134
+2,casa miguel cantina,7 mission plaza,riverton,555-0177
+3,blue harbor oysters,1 wharf lane,porthaven,555-0190
+4,maple diner,340 birch avenue,springfield,555-0122
+";
+
+const RIGHT_CSV: &str = "\
+id,name,addr,city,phone
+100,olive garden trattoria,12 elm st,springfield,555-0101
+101,golden dragon noodle house,88 canal road,riverton,555-0134
+102,casa miguel,7 mission plaza suite b,riverton,555-0177
+103,harborview grill,19 dock street,porthaven,555-0260
+104,mapel diner,340 birch avenue,springfield,555-0122
+";
+
+#[test]
+fn csv_collections_stream_deterministically() {
+    let left = record_table_from_csv(LEFT_CSV).expect("left CSV loads");
+    let right = record_table_from_csv(RIGHT_CSV).expect("right CSV loads");
+    assert_eq!(left.attributes, right.attributes, "tables must agree");
+    let schema = Arc::new(Schema::new(left.attributes.clone()));
+
+    let ctx = shared_ctx();
+    let matcher = ctx.matcher(MatcherKind::Logistic).expect("matcher trains");
+    let run = |jobs: usize| {
+        run_stream(
+            &schema,
+            &left.records,
+            &right.records,
+            matcher.as_ref(),
+            ctx.embeddings.clone(),
+            &StreamOptions {
+                jobs,
+                batch: 3,
+                // Explain every candidate: a threshold of 0 keeps the
+                // test independent of where a synthetically trained
+                // matcher happens to score these hand-written rows.
+                threshold: Some(0.0),
+                ..Default::default()
+            },
+        )
+        .expect("pipeline runs")
+    };
+
+    let sequential = run(1);
+    // Blocking must at least pair up the verbatim-named duplicates.
+    assert!(sequential.candidates >= 4, "shared tokens must block");
+    assert_eq!(sequential.matches.len(), sequential.candidates);
+    for m in &sequential.matches {
+        assert!(!m.top_words.is_empty(), "digests carry top words");
+    }
+    assert_same_artifacts(&sequential, &run(4));
+}
