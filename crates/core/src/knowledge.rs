@@ -99,13 +99,19 @@ pub fn importance_distances(weights: &[f64]) -> Matrix {
     if n == 0 {
         return Matrix::zeros(0, 0);
     }
-    let ranks = em_linalg::stats::ranks(weights);
-    let normalised: Vec<f64> = if n == 1 {
-        vec![0.5]
-    } else {
-        ranks.iter().map(|r| (r - 1.0) / (n as f64 - 1.0)).collect()
-    };
+    let normalised = rank_normalised(weights);
     Matrix::from_fn(n, n, |i, j| (normalised[i] - normalised[j]).abs())
+}
+
+/// Fractional ranks mapped to [0,1] (the shared normalisation of
+/// [`importance_distances`] and the fused [`combined_distances`] pass).
+fn rank_normalised(weights: &[f64]) -> Vec<f64> {
+    let n = weights.len();
+    if n == 1 {
+        return vec![0.5];
+    }
+    let ranks = em_linalg::stats::ranks(weights);
+    ranks.iter().map(|r| (r - 1.0) / (n as f64 - 1.0)).collect()
 }
 
 /// The combined CREW distance.
@@ -126,17 +132,36 @@ pub fn combined_distances(
         });
     }
     let (ws, wa, wi) = mix.normalised()?;
-    let mut combined = Matrix::zeros(n, n);
-    if ws > 0.0 {
-        combined.axpy(ws, &semantic_distances(tokenized, embeddings));
-    }
-    if wa > 0.0 {
-        combined.axpy(wa, &attribute_distances(tokenized));
-    }
-    if wi > 0.0 {
-        combined.axpy(wi, &importance_distances(word_weights));
-    }
-    Ok(combined)
+    // Single fused pass over the n×n cells. Per cell this accumulates
+    // `0 + ws·sem + wa·attr + wi·imp` with only the active sources, in
+    // the same source order the previous `axpy` sequence applied — so
+    // the result is bitwise-unchanged, without materialising the
+    // attribute/importance matrices or re-walking the output per source.
+    let sem = if ws > 0.0 {
+        Some(semantic_distances(tokenized, embeddings))
+    } else {
+        None
+    };
+    let imp = if wi > 0.0 {
+        Some(rank_normalised(word_weights))
+    } else {
+        None
+    };
+    let words = tokenized.words();
+    Ok(Matrix::from_fn(n, n, |i, j| {
+        let mut c = 0.0;
+        if let Some(sem) = &sem {
+            c += ws * sem[(i, j)];
+        }
+        if wa > 0.0 {
+            let same = words[i].attribute == words[j].attribute;
+            c += wa * if same { 0.0 } else { 1.0 };
+        }
+        if let Some(imp) = &imp {
+            c += wi * (imp[i] - imp[j]).abs();
+        }
+        c
+    }))
 }
 
 /// Cannot-link constraints CREW derives from the importance knowledge: a

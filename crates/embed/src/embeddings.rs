@@ -251,13 +251,16 @@ pub fn semantic_distance_matrix<S: AsRef<str>>(emb: &WordEmbeddings, words: &[S]
         }
         ids.push(id);
     }
-    let mut d = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in i + 1..n {
-            let (a, b) = (ids[i], ids[j]);
-            let dist = if a == b {
-                0.0
-            } else if norms[a] == 0.0 || norms[b] == 0.0 {
+    // One distance per distinct-id pair: words repeat across a record's
+    // attributes and its perturbed variants, so the number of distinct
+    // forms `k` is usually well below `n` and the expensive dot products
+    // collapse from n²/2 to k²/2. Scattering the cached value into the
+    // n×n matrix is bitwise-identical to recomputing it per position.
+    let k = vecs.len();
+    let mut pair_dist = vec![0.0; k * k];
+    for a in 0..k {
+        for b in a + 1..k {
+            let dist = if norms[a] == 0.0 || norms[b] == 0.0 {
                 // cosine() reports 0 on zero norms -> distance 1/2.
                 0.5
             } else {
@@ -266,6 +269,15 @@ pub fn semantic_distance_matrix<S: AsRef<str>>(emb: &WordEmbeddings, words: &[S]
                     (em_linalg::dot(&vecs[a], &vecs[b]) / (norms[a] * norms[b])).clamp(-1.0, 1.0);
                 (1.0 - c) / 2.0
             };
+            pair_dist[a * k + b] = dist;
+            pair_dist[b * k + a] = dist;
+        }
+    }
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i + 1..n {
+            // Same-id pairs hit the zero diagonal of `pair_dist`.
+            let dist = pair_dist[ids[i] * k + ids[j]];
             d[(i, j)] = dist;
             d[(j, i)] = dist;
         }

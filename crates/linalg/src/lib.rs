@@ -93,7 +93,72 @@ mod proptests {
         propcheck::collection::vec(-100.0f64..100.0, 2..20)
     }
 
+    /// The naive sequential reduction the accumulation-order policy in
+    /// [`matrix::dot`] is measured against.
+    fn naive_dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
     proptest! {
+        #[test]
+        fn unrolled_dot_within_documented_tolerance(a in small_vec(), b in small_vec()) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            let fast = dot(a, b);
+            let slow = naive_dot(a, b);
+            let mag: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x * y).abs()).sum();
+            let tol = 4.0 * n as f64 * f64::EPSILON * mag;
+            prop_assert!(
+                (fast - slow).abs() <= tol,
+                "dot reassociation out of tolerance: {fast} vs {slow} (tol {tol})"
+            );
+            // The lane order is fixed: repeated calls are bitwise stable.
+            prop_assert_eq!(fast.to_bits(), dot(a, b).to_bits());
+        }
+
+        #[test]
+        fn unrolled_cosine_tracks_naive_reference(a in small_vec(), b in small_vec()) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            let fast = cosine(a, b);
+            let (na, nb) = (naive_dot(a, a).sqrt(), naive_dot(b, b).sqrt());
+            let slow = if na == 0.0 || nb == 0.0 {
+                0.0
+            } else {
+                (naive_dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+            };
+            // Cosine is normalised, so the reassociation error collapses
+            // to a few ulps regardless of input magnitude.
+            prop_assert!((fast - slow).abs() < 1e-12, "{fast} vs {slow}");
+        }
+
+        #[test]
+        fn matvec_into_matches_matvec_bitwise(
+            rows in 1usize..8,
+            cols in 1usize..10,
+            seed in 0u64..1000,
+        ) {
+            use em_rngs::{Rng, SeedableRng};
+            let mut rng = em_rngs::rngs::StdRng::seed_from_u64(seed);
+            let m = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-10.0..10.0));
+            let v: Vec<f64> = (0..cols).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            let fresh = m.matvec(&v);
+            // A dirty, wrongly-sized buffer must be fully overwritten.
+            let mut buf = vec![f64::NAN; 3];
+            m.matvec_into(&v, &mut buf);
+            prop_assert_eq!(buf.len(), rows);
+            for (x, y) in buf.iter().zip(&fresh) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            // And each entry obeys the documented dot tolerance.
+            for (i, y) in fresh.iter().enumerate() {
+                let slow = naive_dot(m.row(i), &v);
+                let mag: f64 = m.row(i).iter().zip(&v).map(|(x, y)| (x * y).abs()).sum();
+                let tol = 4.0 * cols as f64 * f64::EPSILON * mag;
+                prop_assert!((y - slow).abs() <= tol);
+            }
+        }
+
         #[test]
         fn cosine_is_bounded(a in small_vec(), b in small_vec()) {
             let n = a.len().min(b.len());

@@ -153,8 +153,25 @@ impl Matrix {
     /// # Panics
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.rows);
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// Matrix-vector product into a caller-provided buffer — the
+    /// allocation-free core of [`Matrix::matvec`] (which is now a thin
+    /// wrapper). `out` is cleared and refilled with one [`dot`] per row,
+    /// so both entry points produce identical bits.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.cols, "vector length must equal cols");
-        (0..self.rows).map(|i| dot(self.row(i), v)).collect()
+        out.clear();
+        out.reserve(self.rows);
+        for i in 0..self.rows {
+            out.push(dot(self.row(i), v));
+        }
     }
 
     /// `self^T * v` without materialising the transpose.
@@ -301,23 +318,52 @@ impl fmt::Debug for Matrix {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, manually unrolled into four
+/// independent accumulator lanes.
+///
+/// Accumulation-order policy (the workspace-wide contract; DESIGN.md
+/// "Hot kernels"): lane `l` accumulates `Σ_k a[4k+l]·b[4k+l]`, the lanes
+/// combine as `(s0+s2)+(s1+s3)`, and the `len % 4` tail is added
+/// sequentially. This order is **fixed and deterministic** — the same
+/// inputs give the same bits on every call and thread count — but it
+/// reassociates the sum relative to a naive sequential loop, so results
+/// may differ from a textbook reference by `O(n · ε · Σ|aᵢbᵢ|)` (the
+/// property suite pins this bound). Every dot-shaped reduction in the
+/// workspace (matvec, cosine, logistic/MLP forward passes, ridge) goes
+/// through this one kernel, so internal bitwise contracts — batch ≡
+/// scalar prediction, thread invariance, store ≡ fresh — are unaffected
+/// by the reassociation.
 ///
 /// # Panics
 /// Panics if lengths differ.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        s0 += x[0] * y[0];
+        s1 += x[1] * y[1];
+        s2 += x[2] * y[2];
+        s3 += x[3] * y[3];
+    }
+    let mut sum = (s0 + s2) + (s1 + s3);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += x * y;
+    }
+    sum
 }
 
-/// Euclidean norm of a slice.
+/// Euclidean norm of a slice (inherits [`dot`]'s lane order).
 #[inline]
 pub fn norm2(v: &[f64]) -> f64 {
     dot(v, v).sqrt()
 }
 
 /// Cosine similarity; returns 0.0 when either vector has zero norm.
+/// Built on the unrolled [`dot`], so it follows the same
+/// accumulation-order policy.
 pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
     let na = norm2(a);
     let nb = norm2(b);

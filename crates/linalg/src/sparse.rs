@@ -33,6 +33,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// per-task overhead stays invisible next to the row dot products.
 const ROW_BLOCK: usize = 64;
 
+/// Output-column tile width of the sparse·dense product. A row's stored
+/// entries are replayed once per tile, so the out-row strip plus the hot
+/// strips of `other` stay cache-resident when `other` is wide. Tiling
+/// reorders nothing: each output cell still accumulates its products in
+/// ascending stored-entry order, preserving the bitwise agreement with
+/// the dense [`Matrix::matmul`] documented above.
+const COL_BLOCK: usize = 128;
+
 /// Dense-row-free CSR matrix of `f64` values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SparseMatrix {
@@ -213,11 +221,16 @@ impl SparseMatrix {
         let out_cols = other.cols();
         let fill_row = |i: usize, out_row: &mut [f64]| {
             let (cols, vals) = self.row(i);
-            for (&c, &v) in cols.iter().zip(vals) {
-                let orow = other.row(c as usize);
-                for (o, &x) in out_row.iter_mut().zip(orow) {
-                    *o += v * x;
+            let mut c0 = 0;
+            while c0 < out_cols {
+                let c1 = (c0 + COL_BLOCK).min(out_cols);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let orow = &other.row(c as usize)[c0..c1];
+                    for (o, &x) in out_row[c0..c1].iter_mut().zip(orow) {
+                        *o += v * x;
+                    }
                 }
+                c0 = c1;
             }
         };
         let pool = em_pool::global();

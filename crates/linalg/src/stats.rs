@@ -161,13 +161,26 @@ pub fn min_max_normalize(xs: &[f64]) -> Vec<f64> {
 
 /// Softmax with max-subtraction for numerical stability.
 pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    softmax_into(xs, &mut out);
+    out
+}
+
+/// [`softmax`] into a caller-provided buffer (cleared first), for hot
+/// loops that evaluate many distributions without reallocating.
+/// Identical arithmetic and accumulation order to the allocating form,
+/// so the two are bitwise-interchangeable.
+pub fn softmax_into(xs: &[f64], out: &mut Vec<f64>) {
+    out.clear();
     if xs.is_empty() {
-        return Vec::new();
+        return;
     }
     let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = xs.iter().map(|x| (x - m).exp()).collect();
-    let s: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / s).collect()
+    out.extend(xs.iter().map(|x| (x - m).exp()));
+    let s: f64 = out.iter().sum();
+    for e in out.iter_mut() {
+        *e /= s;
+    }
 }
 
 /// Two-sided paired sign test p-value: under H0 (no difference), the

@@ -12,10 +12,13 @@
 use crate::matcher::{best_f1_threshold, Matcher};
 use em_data::{Dataset, EntityPair, Side};
 use em_embed::{EmbeddingOptions, WordEmbeddings};
-use em_linalg::stats::{sigmoid, softmax};
+use em_linalg::stats::{sigmoid, softmax, softmax_into};
 use em_rngs::rngs::StdRng;
 use em_rngs::seq::SliceRandom;
 use em_rngs::SeedableRng;
+use em_text::TokenArena;
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Options for the attention matcher.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +65,266 @@ pub struct AttentionMatcher {
     weights: Vec<f64>,
     bias: f64,
     threshold: f64,
+    scratch: Mutex<AlignScratch>,
+}
+
+/// Per-batch caches for the interned alignment path.
+///
+/// Perturbation batches are highly redundant — a drop mask leaves most
+/// cells untouched and reuses the same tokens — so the batch path
+/// interns every cell once per call ([`TokenArena`]), memoizes each
+/// token's embedding vector and norm, and caches whole per-attribute
+/// feature blocks keyed by the interned `(left cell, right cell)` ids.
+/// Every cached value is a pure function of the cell text (and the
+/// fixed temperature), so hits are bitwise-identical to recomputation;
+/// the whole-record coverage features change with every unique mask and
+/// are recomputed per pair, but through the cached vectors/norms and
+/// reused softmax/context buffers.
+#[derive(Debug)]
+struct AlignScratch {
+    /// Gram-free arena — the alignment path only reads token sequences.
+    arena: TokenArena,
+    /// Arena token id → embedding vector (incl. trigram OOV fallback).
+    vectors: Vec<Vec<f64>>,
+    /// Arena token id → Euclidean norm of its vector.
+    norms: Vec<f64>,
+    /// (left cell id, right cell id) → per-attribute feature block.
+    attr_cache: HashMap<(u32, u32), [f64; PER_ATTR]>,
+    /// Dense token-pair cosine memo, `NAN` = unfilled; row stride
+    /// `cos_dim`, disabled (`cos_dim == 0`) once the batch interns more
+    /// than [`COS_MEMO_MAX`] tokens. `cosine` is bitwise-symmetric
+    /// (lane-wise multiply commutes), so one computation fills both
+    /// triangles and L→R / R→L directions share hits.
+    cos_cache: Vec<f64>,
+    cos_dim: usize,
+    all_l: Vec<u32>,
+    all_r: Vec<u32>,
+    feats: Vec<f64>,
+    sims: Vec<f64>,
+    attn: Vec<f64>,
+    ctx: Vec<f64>,
+}
+
+/// Token-count ceiling for the dense cosine memo: perturbation batches
+/// and scaling pairs stay well below it, while distinct-pair workloads
+/// (training, test-set evaluation) cross it early and fall back to
+/// computing cosines directly rather than holding an O(n²) table.
+const COS_MEMO_MAX: usize = 512;
+
+impl Default for AlignScratch {
+    fn default() -> Self {
+        AlignScratch {
+            arena: TokenArena::without_grams(),
+            vectors: Vec::new(),
+            norms: Vec::new(),
+            attr_cache: HashMap::new(),
+            cos_cache: Vec::new(),
+            cos_dim: 0,
+            all_l: Vec::new(),
+            all_r: Vec::new(),
+            feats: Vec::new(),
+            sims: Vec::new(),
+            attn: Vec::new(),
+            ctx: Vec::new(),
+        }
+    }
+}
+
+impl AlignScratch {
+    fn clear(&mut self) {
+        self.arena.clear();
+        self.vectors.clear();
+        self.norms.clear();
+        self.attr_cache.clear();
+        self.cos_cache.clear();
+        self.cos_dim = 0;
+    }
+
+    /// Extend the vector/norm memo to cover every token interned so far.
+    fn ensure_vectors(&mut self, emb: &WordEmbeddings) {
+        while self.vectors.len() < self.arena.n_tokens() {
+            let v = emb.vector(self.arena.token_text(self.vectors.len() as u32));
+            self.norms.push(em_linalg::norm2(&v));
+            self.vectors.push(v);
+        }
+        let n = self.arena.n_tokens();
+        if n <= COS_MEMO_MAX {
+            if self.cos_dim < n {
+                // Grow in powers of two to amortise stride rebuilds.
+                let nd = n.next_power_of_two().clamp(64, COS_MEMO_MAX);
+                let mut fresh = vec![f64::NAN; nd * nd];
+                for i in 0..self.cos_dim {
+                    let (o, f) = (i * self.cos_dim, i * nd);
+                    fresh[f..f + self.cos_dim]
+                        .copy_from_slice(&self.cos_cache[o..o + self.cos_dim]);
+                }
+                self.cos_cache = fresh;
+                self.cos_dim = nd;
+            }
+        } else if self.cos_dim != 0 {
+            self.cos_cache = Vec::new();
+            self.cos_dim = 0;
+        }
+    }
+}
+
+/// [`alignment_features`] through the interned caches: fills
+/// `s.feats` with the same values (bitwise) the string path produces,
+/// reusing `s`'s token vectors, norms and per-attribute blocks across
+/// calls. Callers own the cache lifecycle (`s.clear()` per batch).
+fn alignment_features_cached(
+    emb: &WordEmbeddings,
+    temperature: f64,
+    n_attributes: usize,
+    pair: &EntityPair,
+    s: &mut AlignScratch,
+) {
+    s.feats.clear();
+    s.all_l.clear();
+    s.all_r.clear();
+    for attr in 0..n_attributes {
+        let lc = s.arena.intern_cell(pair.record(Side::Left).value(attr));
+        let rc = s.arena.intern_cell(pair.record(Side::Right).value(attr));
+        s.ensure_vectors(emb);
+        let block = if let Some(&b) = s.attr_cache.get(&(lc, rc)) {
+            b
+        } else {
+            let lt = s.arena.tokens(lc);
+            let rt = s.arena.tokens(rc);
+            let (mean_lr, max_lr) = direction_stats_ids(
+                &s.vectors,
+                &s.norms,
+                lt,
+                rt,
+                temperature,
+                &mut s.cos_cache,
+                s.cos_dim,
+                &mut s.sims,
+                &mut s.attn,
+                &mut s.ctx,
+            );
+            let (mean_rl, max_rl) = direction_stats_ids(
+                &s.vectors,
+                &s.norms,
+                rt,
+                lt,
+                temperature,
+                &mut s.cos_cache,
+                s.cos_dim,
+                &mut s.sims,
+                &mut s.attn,
+                &mut s.ctx,
+            );
+            let b = [mean_lr, max_lr, mean_rl, max_rl];
+            s.attr_cache.insert((lc, rc), b);
+            b
+        };
+        s.feats.extend_from_slice(&block);
+        let tl = s.arena.tokens(lc);
+        s.all_l.extend_from_slice(tl);
+        let tr = s.arena.tokens(rc);
+        s.all_r.extend_from_slice(tr);
+    }
+    let (cov_lr, _) = direction_stats_ids(
+        &s.vectors,
+        &s.norms,
+        &s.all_l,
+        &s.all_r,
+        temperature,
+        &mut s.cos_cache,
+        s.cos_dim,
+        &mut s.sims,
+        &mut s.attn,
+        &mut s.ctx,
+    );
+    let (cov_rl, _) = direction_stats_ids(
+        &s.vectors,
+        &s.norms,
+        &s.all_r,
+        &s.all_l,
+        temperature,
+        &mut s.cos_cache,
+        s.cos_dim,
+        &mut s.sims,
+        &mut s.attn,
+        &mut s.ctx,
+    );
+    s.feats.push(cov_lr);
+    s.feats.push(cov_rl);
+}
+
+/// [`direction_stats`] over interned token ids with memoized vectors
+/// and norms. Bitwise-identical: `cosine(q, k)` is replayed as
+/// `dot(q, k) / (nq · nk)` with the cached `nq = norm2(q)` — the same
+/// value the scalar path recomputes per call — and softmax/context use
+/// the same accumulation order through reused buffers.
+#[allow(clippy::too_many_arguments)]
+fn direction_stats_ids(
+    vectors: &[Vec<f64>],
+    norms: &[f64],
+    queries: &[u32],
+    keys: &[u32],
+    temperature: f64,
+    cos_cache: &mut [f64],
+    cos_dim: usize,
+    sims: &mut Vec<f64>,
+    attn: &mut Vec<f64>,
+    ctx: &mut Vec<f64>,
+) -> (f64, f64) {
+    if queries.is_empty() || keys.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sum = 0.0;
+    let mut max = f64::NEG_INFINITY;
+    for &q in queries {
+        let qv = &vectors[q as usize];
+        let nq = norms[q as usize];
+        sims.clear();
+        for &k in keys {
+            let fresh = |nk: f64| {
+                if nq == 0.0 || nk == 0.0 {
+                    0.0
+                } else {
+                    (em_linalg::dot(qv, &vectors[k as usize]) / (nq * nk)).clamp(-1.0, 1.0)
+                }
+            };
+            let cos = if cos_dim > 0 {
+                let idx = q as usize * cos_dim + k as usize;
+                let hit = cos_cache[idx];
+                if hit.is_nan() {
+                    let c = fresh(norms[k as usize]);
+                    cos_cache[idx] = c;
+                    cos_cache[k as usize * cos_dim + q as usize] = c;
+                    c
+                } else {
+                    hit
+                }
+            } else {
+                fresh(norms[k as usize])
+            };
+            sims.push(cos * temperature);
+        }
+        softmax_into(sims, attn);
+        ctx.clear();
+        ctx.resize(qv.len(), 0.0);
+        for (a, &k) in attn.iter().zip(keys) {
+            for (c, &kv) in ctx.iter_mut().zip(&vectors[k as usize]) {
+                *c += a * kv;
+            }
+        }
+        let nctx = em_linalg::norm2(ctx);
+        let score = if nq == 0.0 || nctx == 0.0 {
+            0.0
+        } else {
+            (em_linalg::dot(qv, ctx) / (nq * nctx)).clamp(-1.0, 1.0)
+        }
+        .max(0.0);
+        sum += score;
+        if score > max {
+            max = score;
+        }
+    }
+    (sum / queries.len() as f64, max)
 }
 
 impl AttentionMatcher {
@@ -80,11 +343,25 @@ impl AttentionMatcher {
         let n_attributes = train.schema().len();
         let dims = n_attributes * PER_ATTR + GLOBAL;
 
-        let feats = |d: &Dataset| -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Cached feature extraction: token vectors/norms are memoized
+        // across the whole split (bitwise ≡ `alignment_features`; see
+        // `features_cached_match_string_path`).
+        let mut scratch = AlignScratch::default();
+        let mut feats = |d: &Dataset| -> (Vec<Vec<f64>>, Vec<f64>) {
+            scratch.clear();
             let x: Vec<Vec<f64>> = d
                 .examples()
                 .iter()
-                .map(|ex| alignment_features(&embeddings, opts.temperature, n_attributes, &ex.pair))
+                .map(|ex| {
+                    alignment_features_cached(
+                        &embeddings,
+                        opts.temperature,
+                        n_attributes,
+                        &ex.pair,
+                        &mut scratch,
+                    );
+                    scratch.feats.clone()
+                })
                 .collect();
             let y: Vec<f64> = d.examples().iter().map(|ex| ex.label.as_f64()).collect();
             (x, y)
@@ -141,7 +418,28 @@ impl AttentionMatcher {
             weights: w,
             bias: b,
             threshold,
+            scratch: Mutex::new(AlignScratch::default()),
         })
+    }
+
+    /// Batch prediction through the interned per-batch caches. Bitwise
+    /// equal to the scalar loop (each cached value is a pure function
+    /// of cell text; see [`AlignScratch`]), which
+    /// `tests/tests/batch_equivalence.rs` pins.
+    fn batch_with_scratch(&self, pairs: &[EntityPair], s: &mut AlignScratch) -> Vec<f64> {
+        s.clear();
+        let mut out = Vec::with_capacity(pairs.len());
+        for pair in pairs {
+            alignment_features_cached(
+                &self.embeddings,
+                self.temperature,
+                self.n_attributes,
+                pair,
+                s,
+            );
+            out.push(sigmoid(em_linalg::dot(&self.weights, &s.feats) + self.bias));
+        }
+        out
     }
 
     /// The trained word embeddings (shared with CREW's semantic knowledge
@@ -243,6 +541,16 @@ impl Matcher for AttentionMatcher {
         sigmoid(em_linalg::dot(&self.weights, &f) + self.bias)
     }
 
+    fn predict_proba_batch(&self, pairs: &[EntityPair]) -> Vec<f64> {
+        // The scratch is a pure allocation/memo cache cleared per call,
+        // so a contended lock can fall back to a fresh local without
+        // changing any value.
+        match self.scratch.try_lock() {
+            Ok(mut s) => self.batch_with_scratch(pairs, &mut s),
+            Err(_) => self.batch_with_scratch(pairs, &mut AlignScratch::default()),
+        }
+    }
+
     fn threshold(&self) -> f64 {
         self.threshold
     }
@@ -320,6 +628,47 @@ mod tests {
             let pa = a.predict_proba(&ex.pair);
             assert!((0.0..=1.0).contains(&pa));
             assert_eq!(pa, b.predict_proba(&ex.pair));
+        }
+    }
+
+    #[test]
+    fn features_cached_match_string_path() {
+        let (train, _, test) = splits(36);
+        let emb = WordEmbeddings::train_on_dataset(&train, EmbeddingOptions::default()).unwrap();
+        let n_attributes = train.schema().len();
+        // One scratch across all pairs: memo persistence must not move bits.
+        let mut s = AlignScratch::default();
+        for ex in test.examples().iter().take(12) {
+            let want = alignment_features(&emb, 6.0, n_attributes, &ex.pair);
+            alignment_features_cached(&emb, 6.0, n_attributes, &ex.pair, &mut s);
+            assert_eq!(want.len(), s.feats.len());
+            for (a, b) in want.iter().zip(&s.feats) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_prediction_matches_scalar_bitwise() {
+        let (train, val, test) = splits(35);
+        let m = AttentionMatcher::fit(&train, &val, AttentionOptions::default()).unwrap();
+        let mut pairs: Vec<EntityPair> = test
+            .examples()
+            .iter()
+            .take(16)
+            .map(|e| e.pair.clone())
+            .collect();
+        // Duplicates exercise the per-attribute cache hit path.
+        pairs.push(pairs[0].clone());
+        pairs.push(pairs[3].clone());
+        let batch = m.predict_proba_batch(&pairs);
+        for (pair, &b) in pairs.iter().zip(&batch) {
+            assert_eq!(m.predict_proba(pair).to_bits(), b.to_bits());
+        }
+        // A second call runs on the dirtied scratch; values must not move.
+        let again = m.predict_proba_batch(&pairs);
+        for (&a, &b) in batch.iter().zip(&again) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -8,13 +8,80 @@
 //! remaining fully word-sensitive: dropping a word changes the features.
 
 use em_data::{Dataset, EntityPair};
-use em_text::TfIdf;
+use em_text::{SparseVec, TfIdf, TokenArena};
+use std::collections::HashMap;
 
 /// A fitted feature extractor (holds the TF-IDF vocabulary of the corpus).
 #[derive(Debug, Clone)]
 pub struct FeatureExtractor {
     tfidf: TfIdf,
     n_attributes: usize,
+}
+
+/// Reusable scratch state for [`FeatureExtractor::extract_batch_into`].
+///
+/// Everything in here is a per-*call* cache, not cross-call state: the
+/// scratch is cleared (capacity retained) at the top of every
+/// `extract_batch_into` call, so results never depend on what a previous
+/// batch interned. Reusing the struct across calls only recycles
+/// allocations — which is the whole point on the perturbation hot path,
+/// where one explanation issues hundreds of highly redundant batches.
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    arena: TokenArena,
+    /// Arena token id → TF-IDF vocabulary column (`-1` = out of
+    /// vocabulary); extended lazily as the arena interns new tokens.
+    tfidf_col: Vec<i32>,
+    /// `(left cell, right cell)` → the six per-attribute features.
+    /// `attribute_features` depends only on the two cell values, not on
+    /// the attribute index, so the key omits it.
+    attr_cache: HashMap<(u32, u32), [f64; PER_ATTRIBUTE_FEATURES]>,
+    /// Directional `(token a, token b)` → `jaro_winkler(a, b)`; jaro's
+    /// scan order differs between `(a, b)` and `(b, a)`, so the key is
+    /// deliberately not symmetrised.
+    jw_cache: HashMap<(u32, u32), f64>,
+    /// Record view (tuple of interned cell ids) → index into `records`.
+    record_ids: HashMap<Vec<u32>, u32>,
+    records: Vec<RecordFeatures>,
+    key_l: Vec<u32>,
+    key_r: Vec<u32>,
+    cols_scratch: Vec<u32>,
+    ids_scratch: Vec<u32>,
+    counts_scratch: Vec<(usize, f64)>,
+}
+
+impl ExtractScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop cached content but keep allocated capacity.
+    fn clear(&mut self) {
+        self.arena.clear();
+        self.tfidf_col.clear();
+        self.attr_cache.clear();
+        self.jw_cache.clear();
+        self.record_ids.clear();
+        self.records.clear();
+    }
+}
+
+/// Whole-record derived data, computed once per distinct record view.
+#[derive(Debug)]
+struct RecordFeatures {
+    /// L2-normalised TF-IDF vector over vocabulary columns.
+    tfidf: SparseVec,
+    /// Sorted distinct token ids of the whole record.
+    distinct: Vec<u32>,
+}
+
+/// Everything a matcher needs to serve `predict_proba_batch`
+/// allocation-free: the extraction caches plus the row-major buffer the
+/// feature rows are written into.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    pub extract: ExtractScratch,
+    pub features: Vec<f64>,
 }
 
 /// Number of per-attribute features.
@@ -74,60 +141,139 @@ impl FeatureExtractor {
     /// Extract the feature matrix of a batch of pairs (one row per pair),
     /// bitwise-identical to stacking [`FeatureExtractor::extract`] rows.
     ///
+    /// Thin wrapper over [`FeatureExtractor::extract_batch_into`] with a
+    /// fresh scratch; hot callers (the matchers' `predict_proba_batch`)
+    /// hold a reusable [`ExtractScratch`] instead.
+    pub fn extract_batch(&self, pairs: &[EntityPair]) -> em_linalg::Matrix {
+        let mut scratch = ExtractScratch::default();
+        let mut buf = Vec::new();
+        self.extract_batch_into(pairs, &mut scratch, &mut buf);
+        em_linalg::Matrix::from_vec(pairs.len(), self.dimensions(), buf)
+    }
+
+    /// Extract a batch of pairs into a caller-provided row-major buffer
+    /// (`pairs.len() × dimensions()`, fully overwritten), bitwise-identical
+    /// to stacking [`FeatureExtractor::extract`] rows.
+    ///
     /// Perturbed batches are highly redundant — drop masks leave most
     /// `(side, attribute)` cells untouched, and SingleSide/Landmark masks
-    /// keep one whole record constant — so the expensive per-cell
-    /// similarity bundles are cached per distinct `(attr, left, right)`
-    /// value pair, and cell tokenisations per distinct value. Record-level
-    /// token lists are assembled from the cached cell tokens: values are
-    /// space-joined in `full_text` and the tokenizer splits on
-    /// non-alphanumerics, so per-cell tokenisation concatenates to exactly
-    /// the full-record tokenisation. The caches live only for the call: no
-    /// invalidation, no locking, and hits return copies of values computed
-    /// by the exact same code as the scalar path.
-    pub fn extract_batch(&self, pairs: &[EntityPair]) -> em_linalg::Matrix {
-        use std::collections::HashMap;
-        let mut attr_cache: HashMap<(usize, &str, &str), [f64; PER_ATTRIBUTE_FEATURES]> =
-            HashMap::new();
-        let mut cell_tokens: HashMap<&str, Vec<String>> = HashMap::new();
-        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(pairs.len());
-        let mut lt: Vec<String> = Vec::new();
-        let mut rt: Vec<String> = Vec::new();
+    /// keep one whole record constant — so cell values are interned once
+    /// into a [`TokenArena`] and every expensive kernel runs on integer id
+    /// slices: per-cell similarity bundles are cached per distinct
+    /// `(left, right)` cell-id pair, Jaro-Winkler per directional token-id
+    /// pair, and whole-record TF-IDF vectors / distinct-token sets per
+    /// distinct tuple of cell ids. Values are space-joined in `full_text`
+    /// and the tokenizer splits on non-alphanumerics, so per-cell token
+    /// sequences concatenate to exactly the full-record tokenisation. The
+    /// caches live only for the call (the scratch is cleared on entry):
+    /// no invalidation, no locking, and every cached value is computed by
+    /// kernels proven bitwise-equal to the scalar string path.
+    pub fn extract_batch_into(
+        &self,
+        pairs: &[EntityPair],
+        scratch: &mut ExtractScratch,
+        out: &mut Vec<f64>,
+    ) {
+        scratch.clear();
+        out.clear();
+        out.reserve(pairs.len() * self.dimensions());
         for pair in pairs {
             debug_assert_eq!(
                 pair.schema().len(),
                 self.n_attributes,
                 "schema size changed"
             );
-            let mut out = Vec::with_capacity(self.dimensions());
-            for attr in 0..self.n_attributes.min(pair.schema().len()) {
-                let l = pair.left().value(attr);
-                let r = pair.right().value(attr);
-                let feats = attr_cache
-                    .entry((attr, l, r))
-                    .or_insert_with(|| attribute_features(l, r));
-                out.extend_from_slice(&feats[..]);
+            let row_start = out.len();
+            // Intern each record's cells exactly once; the attribute loop
+            // and the record-level features both read the cached ids
+            // (EntityPair guarantees record length == schema length).
+            scratch.key_l.clear();
+            scratch.key_r.clear();
+            for idx in 0..pair.left().len() {
+                let cid = scratch.arena.intern_cell(pair.left().value(idx));
+                scratch.key_l.push(cid);
             }
-            while out.len() < self.n_attributes * PER_ATTRIBUTE_FEATURES {
+            for idx in 0..pair.right().len() {
+                let cid = scratch.arena.intern_cell(pair.right().value(idx));
+                scratch.key_r.push(cid);
+            }
+            for attr in 0..self.n_attributes.min(pair.schema().len()) {
+                let l = scratch.key_l[attr];
+                let r = scratch.key_r[attr];
+                let feats = if let Some(&f) = scratch.attr_cache.get(&(l, r)) {
+                    f
+                } else {
+                    let f =
+                        interned_attribute_features(&scratch.arena, &mut scratch.jw_cache, l, r);
+                    scratch.attr_cache.insert((l, r), f);
+                    f
+                };
+                out.extend_from_slice(&feats);
+            }
+            while out.len() - row_start < self.n_attributes * PER_ATTRIBUTE_FEATURES {
                 out.push(0.0);
             }
-            lt.clear();
-            rt.clear();
-            for (record, toks) in [(pair.left(), &mut lt), (pair.right(), &mut rt)] {
-                for idx in 0..record.len() {
-                    let value = record.value(idx);
-                    if !cell_tokens.contains_key(value) {
-                        cell_tokens.insert(value, em_text::tokenize(value));
-                    }
-                    toks.extend_from_slice(&cell_tokens[value]);
+            let li = self.record_index(scratch, true);
+            let ri = self.record_index(scratch, false);
+            let (lrec, rrec) = (&scratch.records[li], &scratch.records[ri]);
+            out.push(em_text::sparse_dot(&lrec.tfidf, &rrec.tfidf));
+            out.push(em_text::jaccard_sorted_ids(&lrec.distinct, &rrec.distinct));
+            out.push(em_text::overlap_sorted_ids(&lrec.distinct, &rrec.distinct));
+        }
+    }
+
+    /// Return the index of a record's cached whole-record features,
+    /// computing them on first sight. The record is identified by its
+    /// already-interned cell-id key (`key_l`/`key_r` in the scratch).
+    fn record_index(&self, scratch: &mut ExtractScratch, left: bool) -> usize {
+        let key = if left { &scratch.key_l } else { &scratch.key_r };
+        if let Some(&i) = scratch.record_ids.get(key.as_slice()) {
+            return i as usize;
+        }
+        // Extend the token → vocabulary-column memo over newly interned
+        // tokens (ids are dense, so the memo is a flat vector).
+        while scratch.tfidf_col.len() < scratch.arena.n_tokens() {
+            let tid = scratch.tfidf_col.len() as u32;
+            let col = self
+                .tfidf
+                .column(scratch.arena.token_text(tid))
+                .map_or(-1, |c| c as i32);
+            scratch.tfidf_col.push(col);
+        }
+        // Gather in-vocabulary columns (with multiplicity) and all token
+        // ids across the record's cells.
+        scratch.cols_scratch.clear();
+        scratch.ids_scratch.clear();
+        for &cid in key {
+            for &tid in scratch.arena.tokens(cid) {
+                scratch.ids_scratch.push(tid);
+                let col = scratch.tfidf_col[tid as usize];
+                if col >= 0 {
+                    scratch.cols_scratch.push(col as u32);
                 }
             }
-            out.push(self.tfidf.cosine(&lt, &rt));
-            out.push(em_text::jaccard(&lt, &rt));
-            out.push(em_text::overlap_coefficient(&lt, &rt));
-            rows.push(out);
         }
-        em_linalg::Matrix::from_rows(&rows)
+        // Run-length encode the sorted columns into (column, count); the
+        // counts are exact small integers, so accumulating them here is
+        // bitwise-equal to `transform`'s `+= 1.0` hash-map counting.
+        scratch.cols_scratch.sort_unstable();
+        scratch.counts_scratch.clear();
+        for &c in &scratch.cols_scratch {
+            match scratch.counts_scratch.last_mut() {
+                Some(last) if last.0 == c as usize => last.1 += 1.0,
+                _ => scratch.counts_scratch.push((c as usize, 1.0)),
+            }
+        }
+        let tfidf = self.tfidf.transform_sorted_counts(&scratch.counts_scratch);
+        scratch.ids_scratch.sort_unstable();
+        scratch.ids_scratch.dedup();
+        let idx = scratch.records.len();
+        scratch.records.push(RecordFeatures {
+            tfidf,
+            distinct: scratch.ids_scratch.clone(),
+        });
+        scratch.record_ids.insert(key.clone(), idx as u32);
+        idx
     }
 
     /// Extract features for every pair of a dataset along with labels.
@@ -173,6 +319,136 @@ fn attribute_features(l: &str, r: &str) -> [f64; PER_ATTRIBUTE_FEATURES] {
 
 fn push_attribute_features(out: &mut Vec<f64>, l: &str, r: &str) {
     out.extend_from_slice(&attribute_features(l, r));
+}
+
+/// Interned twin of [`attribute_features`]: identical rules in identical
+/// order, operating on arena id slices. Bitwise-equal to the string path
+/// because every kernel either reduces to integer set counts
+/// ([`em_text::jaccard_sorted_ids`] over token/gram ids) or consumes the
+/// exact same strings (Jaro-Winkler on interned token text, numeric
+/// similarity on the raw cell text).
+fn interned_attribute_features(
+    arena: &TokenArena,
+    jw_cache: &mut HashMap<(u32, u32), f64>,
+    l: u32,
+    r: u32,
+) -> [f64; PER_ATTRIBUTE_FEATURES] {
+    let lt = arena.tokens(l);
+    let rt = arena.tokens(r);
+    let both_empty = lt.is_empty() && rt.is_empty();
+    let one_empty = lt.is_empty() != rt.is_empty();
+    if both_empty || one_empty {
+        return [
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+            if one_empty { 1.0 } else { 0.0 },
+            if both_empty { 1.0 } else { 0.0 },
+        ];
+    }
+    [
+        em_text::jaccard_sorted_ids(arena.sorted_tokens(l), arena.sorted_tokens(r)),
+        0.5 * (monge_elkan_ids(arena, jw_cache, lt, rt) + monge_elkan_ids(arena, jw_cache, rt, lt)),
+        em_text::jaccard_sorted_ids(arena.grams(l), arena.grams(r)),
+        em_text::numeric_or_string_similarity(arena.cell_text(l), arena.cell_text(r)),
+        0.0,
+        0.0,
+    ]
+}
+
+/// [`em_text::monge_elkan`] over arena token-id sequences with a
+/// directional Jaro-Winkler memo. Same accumulation: per `a`-token best
+/// via `f64::max` in `b` sequence order, summed in `a` sequence order.
+/// Both sides are known non-empty here.
+fn monge_elkan_ids(
+    arena: &TokenArena,
+    jw_cache: &mut HashMap<(u32, u32), f64>,
+    a: &[u32],
+    b: &[u32],
+) -> f64 {
+    let mut sum = 0.0;
+    for &ta in a {
+        let mut best = 0.0f64;
+        for &tb in b {
+            let jw = match jw_cache.get(&(ta, tb)) {
+                Some(&v) => v,
+                None => {
+                    let v = em_text::jaro_winkler(arena.token_text(ta), arena.token_text(tb));
+                    jw_cache.insert((ta, tb), v);
+                    v
+                }
+            };
+            best = best.max(jw);
+        }
+        sum += best;
+    }
+    sum / a.len() as f64
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use em_data::{Label, LabeledPair, Record, Schema};
+    use propcheck::prelude::*;
+    use std::sync::Arc;
+
+    proptest! {
+        // The interned batch path is bitwise-equal to the scalar string
+        // path on arbitrary cell content (empty, whitespace, non-ASCII,
+        // duplicates), and reusing one scratch across batches — or
+        // handing it a dirty output buffer — changes nothing.
+        #[test]
+        fn interned_batch_matches_scalar_extract_bitwise(
+            cells in propcheck::collection::vec(".{0,12}", 8..16),
+        ) {
+            let schema = Arc::new(Schema::new(vec!["name", "info"]));
+            let rec =
+                |id: u64, a: &str, b: &str| Record::new(id, vec![a.to_string(), b.to_string()]);
+            let mut pairs: Vec<EntityPair> = Vec::new();
+            for chunk in cells.chunks_exact(4) {
+                pairs.push(
+                    EntityPair::new(
+                        Arc::clone(&schema),
+                        rec(pairs.len() as u64 * 2, &chunk[0], &chunk[1]),
+                        rec(pairs.len() as u64 * 2 + 1, &chunk[2], &chunk[3]),
+                    )
+                    .unwrap(),
+                );
+            }
+            let examples: Vec<LabeledPair> = pairs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| LabeledPair {
+                    pair: p.clone(),
+                    label: if i % 2 == 0 { Label::Match } else { Label::NonMatch },
+                })
+                .collect();
+            let data = Dataset::new("prop", Arc::clone(&schema), examples).unwrap();
+            let fe = FeatureExtractor::fit(&data);
+            // Duplicate pairs exercise every cache level.
+            pairs.push(pairs[0].clone());
+
+            let mut scratch = ExtractScratch::new();
+            let mut buf = Vec::new();
+            fe.extract_batch_into(&pairs, &mut scratch, &mut buf);
+            prop_assert_eq!(buf.len(), pairs.len() * fe.dimensions());
+            for (i, pair) in pairs.iter().enumerate() {
+                let scalar = fe.extract(pair);
+                let row = &buf[i * fe.dimensions()..(i + 1) * fe.dimensions()];
+                for (a, b) in row.iter().zip(&scalar) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            // Second pass with the now-dirty scratch and a poisoned buffer.
+            let mut buf2 = vec![f64::NAN; 3];
+            fe.extract_batch_into(&pairs, &mut scratch, &mut buf2);
+            prop_assert_eq!(buf.len(), buf2.len());
+            for (a, b) in buf.iter().zip(&buf2) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,9 @@ pub mod rules;
 pub use attention::{AttentionMatcher, AttentionOptions};
 pub use calibration::{expected_calibration_error, CalibratedMatcher};
 pub use ensemble::EnsembleMatcher;
-pub use features::{FeatureExtractor, GLOBAL_FEATURES, PER_ATTRIBUTE_FEATURES};
+pub use features::{
+    BatchScratch, ExtractScratch, FeatureExtractor, GLOBAL_FEATURES, PER_ATTRIBUTE_FEATURES,
+};
 pub use logistic::{LogisticMatcher, TrainOptions};
 pub use matcher::{best_f1_threshold, evaluate, EvalReport, Matcher};
 pub use mlp::MlpMatcher;

@@ -1,12 +1,13 @@
 //! Logistic-regression matcher over the Magellan-style feature table.
 
-use crate::features::FeatureExtractor;
+use crate::features::{BatchScratch, FeatureExtractor};
 use crate::matcher::{best_f1_threshold, Matcher};
 use em_data::{Dataset, EntityPair};
 use em_linalg::stats::sigmoid;
 use em_rngs::rngs::StdRng;
 use em_rngs::seq::SliceRandom;
 use em_rngs::SeedableRng;
+use std::sync::Mutex;
 
 /// Training hyper-parameters shared by the gradient-trained matchers.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +43,10 @@ pub struct LogisticMatcher {
     weights: Vec<f64>,
     bias: f64,
     threshold: f64,
+    /// Reusable extraction scratch for `predict_proba_batch`. Purely an
+    /// allocation cache (cleared per call), so contended callers can fall
+    /// back to a fresh local scratch with identical results.
+    scratch: Mutex<BatchScratch>,
 }
 
 impl LogisticMatcher {
@@ -136,12 +141,23 @@ impl LogisticMatcher {
             weights: w,
             bias: b,
             threshold,
+            scratch: Mutex::new(BatchScratch::default()),
         })
     }
 
     /// Learned feature weights (useful for sanity checks / docs).
     pub fn weights(&self) -> &[f64] {
         &self.weights
+    }
+
+    fn batch_with_scratch(&self, pairs: &[EntityPair], scratch: &mut BatchScratch) -> Vec<f64> {
+        self.extractor
+            .extract_batch_into(pairs, &mut scratch.extract, &mut scratch.features);
+        scratch
+            .features
+            .chunks_exact(self.extractor.dimensions())
+            .map(|row| sigmoid(em_linalg::dot(&self.weights, row) + self.bias))
+            .collect()
     }
 }
 
@@ -172,16 +188,17 @@ impl Matcher for LogisticMatcher {
         sigmoid(em_linalg::dot(&self.weights, &f) + self.bias)
     }
 
-    /// One cached feature-extraction pass and a single matrix-vector
-    /// product. `matvec` computes `dot(row_i, weights)` per row in index
-    /// order — the same accumulation order as the scalar path's
-    /// `dot(weights, features)` — so the outputs are bitwise identical.
+    /// One interned feature-extraction pass into a reused row-major
+    /// buffer, then `sigmoid(dot(weights, row) + bias)` per row — the
+    /// same kernel and accumulation order as the scalar path, so the
+    /// outputs are bitwise identical. The scratch only caches
+    /// allocations; under lock contention a fresh local scratch produces
+    /// the same values.
     fn predict_proba_batch(&self, pairs: &[EntityPair]) -> Vec<f64> {
-        let x = self.extractor.extract_batch(pairs);
-        x.matvec(&self.weights)
-            .into_iter()
-            .map(|z| sigmoid(z + self.bias))
-            .collect()
+        match self.scratch.try_lock() {
+            Ok(mut s) => self.batch_with_scratch(pairs, &mut s),
+            Err(_) => self.batch_with_scratch(pairs, &mut BatchScratch::default()),
+        }
     }
 
     fn threshold(&self) -> f64 {

@@ -56,8 +56,13 @@ pub fn evaluate(matcher: &dyn Matcher, data: &Dataset) -> EvalReport {
     let mut fp = 0;
     let mut fn_ = 0;
     let mut tn = 0;
-    for ex in data.examples() {
-        let pred = matcher.predict(&ex.pair);
+    // One batched query instead of a scalar loop: overrides are pinned
+    // bitwise-identical to `predict_proba`, so thresholded decisions
+    // cannot differ.
+    let pairs: Vec<EntityPair> = data.examples().iter().map(|ex| ex.pair.clone()).collect();
+    let probs = matcher.predict_proba_batch(&pairs);
+    for (ex, &p) in data.examples().iter().zip(&probs) {
+        let pred = p >= matcher.threshold();
         match (pred, ex.label) {
             (true, Label::Match) => tp += 1,
             (true, Label::NonMatch) => fp += 1,

@@ -4,7 +4,7 @@
 //! the logistic model, non-linear decision surface. Its role in the
 //! reproduction is to be a second, less linear black box for the explainers.
 
-use crate::features::FeatureExtractor;
+use crate::features::{BatchScratch, FeatureExtractor};
 use crate::logistic::TrainOptions;
 use crate::matcher::{best_f1_threshold, Matcher};
 use em_data::{Dataset, EntityPair};
@@ -12,6 +12,7 @@ use em_linalg::stats::sigmoid;
 use em_rngs::rngs::StdRng;
 use em_rngs::seq::SliceRandom;
 use em_rngs::{Rng, SeedableRng};
+use std::sync::Mutex;
 
 /// Dense layer parameters.
 #[derive(Debug, Clone)]
@@ -96,6 +97,10 @@ pub struct MlpMatcher {
     l2: Layer,
     l3: Layer,
     threshold: f64,
+    /// Reusable extraction scratch for `predict_proba_batch`. Purely an
+    /// allocation cache (cleared per call), so contended callers can fall
+    /// back to a fresh local scratch with identical results.
+    scratch: Mutex<BatchScratch>,
 }
 
 /// Hidden layer widths.
@@ -245,7 +250,28 @@ impl MlpMatcher {
             l2,
             l3,
             threshold,
+            scratch: Mutex::new(BatchScratch::default()),
         })
+    }
+
+    fn batch_with_scratch(&self, pairs: &[EntityPair], scratch: &mut BatchScratch) -> Vec<f64> {
+        self.extractor
+            .extract_batch_into(pairs, &mut scratch.extract, &mut scratch.features);
+        let mut a1 = Vec::new();
+        let mut a2 = Vec::new();
+        let mut a3 = Vec::new();
+        scratch
+            .features
+            .chunks_exact(self.extractor.dimensions())
+            .map(|row| {
+                self.l1.forward(row, &mut a1);
+                relu(&mut a1);
+                self.l2.forward(&a1, &mut a2);
+                relu(&mut a2);
+                self.l3.forward(&a2, &mut a3);
+                sigmoid(a3[0])
+            })
+            .collect()
     }
 }
 
@@ -301,8 +327,9 @@ impl Matcher for MlpMatcher {
         forward_proba(&self.l1, &self.l2, &self.l3, &f)
     }
 
-    /// One cached feature-extraction pass, then a row-major batched
-    /// forward reusing the activation buffers across rows.
+    /// One interned feature-extraction pass into a reused row-major
+    /// buffer, then a batched forward reusing the activation buffers
+    /// across rows.
     ///
     /// Deliberately NOT `Matrix::matmul`: its zero-skip optimisation can
     /// flip a `-0.0` accumulator to `+0.0` relative to the dot-product
@@ -310,20 +337,10 @@ impl Matcher for MlpMatcher {
     /// equality with [`Matcher::predict_proba`]. Per-row `Layer::forward`
     /// reproduces the scalar accumulation order exactly.
     fn predict_proba_batch(&self, pairs: &[EntityPair]) -> Vec<f64> {
-        let x = self.extractor.extract_batch(pairs);
-        let mut a1 = Vec::new();
-        let mut a2 = Vec::new();
-        let mut a3 = Vec::new();
-        (0..x.rows())
-            .map(|i| {
-                self.l1.forward(x.row(i), &mut a1);
-                relu(&mut a1);
-                self.l2.forward(&a1, &mut a2);
-                relu(&mut a2);
-                self.l3.forward(&a2, &mut a3);
-                sigmoid(a3[0])
-            })
-            .collect()
+        match self.scratch.try_lock() {
+            Ok(mut s) => self.batch_with_scratch(pairs, &mut s),
+            Err(_) => self.batch_with_scratch(pairs, &mut BatchScratch::default()),
+        }
     }
 
     fn threshold(&self) -> f64 {

@@ -13,17 +13,20 @@
 //! assert!(jaro_winkler("panasonic", "panasonik") > 0.9);
 //! ```
 
+pub mod intern;
 pub mod normalize;
 pub mod similarity;
 pub mod tfidf;
 pub mod tokenize;
 
+pub use intern::TokenArena;
 pub use normalize::{
     canonical_number, canonical_unit, normalize_tokens, segment_letter_digit, tokenize_normalized,
 };
 pub use similarity::{
-    dice, jaccard, jaro, jaro_winkler, lcs_len, levenshtein, levenshtein_similarity, monge_elkan,
-    monge_elkan_sym, numeric_or_string_similarity, overlap_coefficient, qgram_jaccard,
+    dice, jaccard, jaccard_sorted_ids, jaro, jaro_winkler, lcs_len, levenshtein,
+    levenshtein_similarity, monge_elkan, monge_elkan_sym, numeric_or_string_similarity,
+    overlap_coefficient, overlap_sorted_ids, qgram_jaccard,
 };
 pub use tfidf::{sparse_dot, SparseVec, TfIdf};
 pub use tokenize::{qgrams, token_count, tokenize, tokenize_spans, Token, Vocabulary};
@@ -83,6 +86,43 @@ mod proptests {
                 let src = &s[t.start..t.end];
                 prop_assert_eq!(src.to_lowercase(), t.text);
             }
+        }
+
+        #[test]
+        fn arena_tokens_match_string_tokenizer(
+            cells in propcheck::collection::vec(".{0,24}", 0..6),
+        ) {
+            let mut arena = TokenArena::new();
+            for cell in &cells {
+                let id = arena.intern_cell(cell);
+                let via_arena: Vec<String> = arena
+                    .tokens(id)
+                    .iter()
+                    .map(|&t| arena.token_text(t).to_string())
+                    .collect();
+                prop_assert_eq!(via_arena, tokenize(cell));
+            }
+        }
+
+        #[test]
+        fn sorted_id_kernels_match_hashset_kernels(
+            a in propcheck::collection::vec(0u32..16, 0..12),
+            b in propcheck::collection::vec(0u32..16, 0..12),
+        ) {
+            let mut sa = a.clone();
+            sa.sort_unstable();
+            sa.dedup();
+            let mut sb = b.clone();
+            sb.sort_unstable();
+            sb.dedup();
+            prop_assert_eq!(
+                jaccard_sorted_ids(&sa, &sb).to_bits(),
+                jaccard(&sa, &sb).to_bits()
+            );
+            prop_assert_eq!(
+                overlap_sorted_ids(&sa, &sb).to_bits(),
+                overlap_coefficient(&sa, &sb).to_bits()
+            );
         }
 
         #[test]

@@ -127,6 +127,54 @@ pub fn overlap_coefficient<T: std::hash::Hash + Eq>(a: &[T], b: &[T]) -> f64 {
     inter / sa.len().min(sb.len()) as f64
 }
 
+/// Intersection size of two sorted, deduplicated slices (linear merge).
+fn sorted_intersection_len(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+/// [`jaccard`] over sorted, deduplicated id slices (the interned-token
+/// hot path). Bitwise-identical to the `HashSet` version: intersection
+/// and union sizes are exact integers, and the only float operation is
+/// the final division.
+pub fn jaccard_sorted_ids(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = sorted_intersection_len(a, b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// [`overlap_coefficient`] over sorted, deduplicated id slices;
+/// bitwise-identical for the same reason as [`jaccard_sorted_ids`].
+pub fn overlap_sorted_ids(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    let inter = sorted_intersection_len(a, b) as f64;
+    inter / a.len().min(b.len()) as f64
+}
+
 /// Dice coefficient `2|A∩B| / (|A|+|B|)` on sets.
 pub fn dice<T: std::hash::Hash + Eq>(a: &[T], b: &[T]) -> f64 {
     if a.is_empty() && b.is_empty() {
@@ -261,6 +309,30 @@ mod tests {
         assert!(approx(jaccard(&a, &b), 0.5)); // {a,b,c} vs {b,c,d}: 2/4
         assert_eq!(jaccard::<&str>(&[], &[]), 1.0);
         assert_eq!(jaccard(&["x"], &[]), 0.0);
+    }
+
+    #[test]
+    fn sorted_id_kernels_match_hashset_kernels_bitwise() {
+        let cases: [(&[u32], &[u32]); 6] = [
+            (&[], &[]),
+            (&[1], &[]),
+            (&[0, 1, 2], &[1, 2, 3]),
+            (&[0, 1, 2], &[0, 1, 2]),
+            (&[5, 9], &[1, 2, 3, 4]),
+            (&[2], &[0, 1, 2, 3, 4, 5]),
+        ];
+        for (a, b) in cases {
+            assert_eq!(
+                jaccard_sorted_ids(a, b).to_bits(),
+                jaccard(a, b).to_bits(),
+                "jaccard {a:?} vs {b:?}"
+            );
+            assert_eq!(
+                overlap_sorted_ids(a, b).to_bits(),
+                overlap_coefficient(a, b).to_bits(),
+                "overlap {a:?} vs {b:?}"
+            );
+        }
     }
 
     #[test]

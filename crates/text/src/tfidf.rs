@@ -64,6 +64,37 @@ impl TfIdf {
         self.vocab.get(token).map(|&i| self.idf[i])
     }
 
+    /// Vocabulary column of a token, if fitted.
+    pub fn column(&self, token: &str) -> Option<usize> {
+        self.vocab.get(token).copied()
+    }
+
+    /// IDF weight of a vocabulary column (panics if out of range).
+    pub fn idf_of_column(&self, column: usize) -> f64 {
+        self.idf[column]
+    }
+
+    /// [`TfIdf::transform`] from a pre-aggregated term-frequency list:
+    /// `counts` holds `(column, term_count)` sorted ascending by column
+    /// with no duplicates, out-of-vocabulary tokens already dropped.
+    /// Bitwise-identical to `transform`: that path also multiplies
+    /// `tf * idf` per entry, sorts by column, and only then accumulates
+    /// the norm in ascending-column order.
+    pub fn transform_sorted_counts(&self, counts: &[(usize, f64)]) -> SparseVec {
+        debug_assert!(counts.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut vec: SparseVec = counts
+            .iter()
+            .map(|&(id, tf)| (id, tf * self.idf[id]))
+            .collect();
+        let norm: f64 = vec.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, v) in &mut vec {
+                *v /= norm;
+            }
+        }
+        vec
+    }
+
     /// Transform a document into an L2-normalised sparse TF-IDF vector.
     /// Out-of-vocabulary tokens are dropped.
     pub fn transform(&self, doc: &[String]) -> SparseVec {
@@ -162,6 +193,31 @@ mod tests {
         assert!((norm - 1.0).abs() < 1e-12);
         for w in v.windows(2) {
             assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn transform_sorted_counts_matches_transform_bitwise() {
+        let d = docs();
+        let m = TfIdf::fit(d.iter().map(|x| x.as_slice()));
+        let doc = owned(&["sony", "tv", "sony", "zzz", "black"]);
+        // Build the (column, count) view the interned path would supply.
+        let mut counts: Vec<(usize, f64)> = Vec::new();
+        for tok in &doc {
+            if let Some(col) = m.column(tok) {
+                match counts.iter_mut().find(|(c, _)| *c == col) {
+                    Some((_, n)) => *n += 1.0,
+                    None => counts.push((col, 1.0)),
+                }
+            }
+        }
+        counts.sort_by_key(|&(c, _)| c);
+        let fast = m.transform_sorted_counts(&counts);
+        let slow = m.transform(&doc);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
         }
     }
 

@@ -16,6 +16,39 @@ pub struct Token {
     pub end: usize,
 }
 
+/// Shared scanner behind every tokenization entry point: invokes `emit`
+/// with the byte range of each Unicode-alphanumeric run. `tokenize_spans`,
+/// `tokenize`, `token_count` and `intern::TokenArena` all delegate here,
+/// so the token-boundary rules live in exactly one place.
+pub(crate) fn scan_runs(s: &str, mut emit: impl FnMut(usize, usize)) {
+    let mut start: Option<usize> = None;
+    for (i, ch) in s.char_indices() {
+        if ch.is_alphanumeric() {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(st) = start.take() {
+            emit(st, i);
+        }
+    }
+    if let Some(st) = start {
+        emit(st, s.len());
+    }
+}
+
+/// Lowercase one token run into `out`, char-by-char via
+/// `char::to_lowercase`. Deliberately NOT `str::to_lowercase`: the str
+/// version applies the Greek final-sigma rule (word-final Σ → ς), and
+/// token identity must not depend on position within the source string.
+pub(crate) fn lowercase_run_into(run: &str, out: &mut String) {
+    out.reserve(run.len());
+    for ch in run.chars() {
+        for lc in ch.to_lowercase() {
+            out.push(lc);
+        }
+    }
+}
+
 /// Tokenize a string into lowercase alphanumeric tokens with spans.
 ///
 /// Rules:
@@ -24,53 +57,29 @@ pub struct Token {
 ///   (lowercased via `char::to_lowercase` when single-mapped).
 pub fn tokenize_spans(s: &str) -> Vec<Token> {
     let mut out = Vec::new();
-    let mut cur = String::new();
-    let mut start = 0usize;
-    for (i, ch) in s.char_indices() {
-        if ch.is_alphanumeric() {
-            if cur.is_empty() {
-                start = i;
-            }
-            for lc in ch.to_lowercase() {
-                cur.push(lc);
-            }
-        } else if !cur.is_empty() {
-            out.push(Token {
-                text: std::mem::take(&mut cur),
-                start,
-                end: i,
-            });
-        }
-    }
-    if !cur.is_empty() {
-        out.push(Token {
-            text: cur,
-            start,
-            end: s.len(),
-        });
-    }
+    scan_runs(s, |start, end| {
+        let mut text = String::with_capacity(end - start);
+        lowercase_run_into(&s[start..end], &mut text);
+        out.push(Token { text, start, end });
+    });
     out
 }
 
 /// Tokenize into plain lowercase strings (no spans).
 pub fn tokenize(s: &str) -> Vec<String> {
-    tokenize_spans(s).into_iter().map(|t| t.text).collect()
+    let mut out = Vec::new();
+    scan_runs(s, |start, end| {
+        let mut text = String::with_capacity(end - start);
+        lowercase_run_into(&s[start..end], &mut text);
+        out.push(text);
+    });
+    out
 }
 
-/// Number of tokens a string produces.
+/// Number of tokens a string produces (no allocation).
 pub fn token_count(s: &str) -> usize {
     let mut n = 0;
-    let mut in_tok = false;
-    for ch in s.chars() {
-        if ch.is_alphanumeric() {
-            if !in_tok {
-                n += 1;
-                in_tok = true;
-            }
-        } else {
-            in_tok = false;
-        }
-    }
+    scan_runs(s, |_, _| n += 1);
     n
 }
 

@@ -85,13 +85,19 @@ EOF
 # is schedule-dependent anyway (whichever runner goes first pays the
 # shared store misses). The run_all/total wall-clock row is what the
 # substrate is accountable for, and it always clears the floor.
+#
+# Optional args 3/4 override the ratio threshold and the ns floor: the
+# kernels microbench gates at (3.0, 1e6) because its rows are µs-to-ms
+# scale — a 50 ms floor would exempt every row, and at smoke sample
+# counts sub-ms medians can legitimately wobble ~2x.
 bench_gate() {
     local baseline_json="$1" current_json="$2"
-    python3 - "$baseline_json" "$current_json" <<'EOF'
+    local threshold="${3:-2.0}" min_ns="${4:-50e6}"
+    python3 - "$baseline_json" "$current_json" "$threshold" "$min_ns" <<'EOF'
 import json, sys
 
-THRESHOLD = 2.0
-MIN_NS = 50e6
+THRESHOLD = float(sys.argv[3])
+MIN_NS = float(sys.argv[4])
 base = {(r["group"], r["id"]): r["median_ns"]
         for r in json.load(open(sys.argv[1]))["results"]}
 cur = {(r["group"], r["id"]): r["median_ns"]
@@ -157,6 +163,31 @@ if [[ "${1:-}" == "--bench" ]]; then
         || { echo "run_all/total row missing from bench JSON" >&2; exit 1; }
     bench_gate "$baseline" results/BENCH_run_all_smoke.json \
         || { trace_deltas "$trace_baseline" results/TRACE_run_all_smoke.json; exit 1; }
+    # The perturbation-query stage is the hot path the interned-token /
+    # unrolled-kernel work optimises; gate its self-time explicitly so a
+    # regression there can't hide inside a flat run_all/total (the
+    # memoized substrate spends most of the wall clock elsewhere).
+    echo "==> perturb/query self-time gate (vs committed trace baseline)"
+    python3 - "$trace_baseline" results/TRACE_run_all_smoke.json <<'EOF'
+import json, sys
+
+PATH = "store/explain/perturb/query"
+
+def self_ns(path):
+    for s in json.load(open(path))["spans"]:
+        if s["path"] == PATH:
+            return s["self_ns"], s["count"]
+    sys.exit(f"span {PATH!r} missing from {path}")
+
+(b, bc), (c, cc) = self_ns(sys.argv[1]), self_ns(sys.argv[2])
+ratio = c / b if b > 0 else 1.0
+print(f"  {PATH}: {b/1e6:.1f}ms/{bc} calls -> {c/1e6:.1f}ms/{cc} calls"
+      f"  {ratio:5.2f}x")
+if ratio > 2.0:
+    print(f"perturb/query self-time regressed {ratio:.2f}x", file=sys.stderr)
+    sys.exit(1)
+print("perturb/query self-time gate passed")
+EOF
     rm -f "$baseline" "$trace_baseline"
 
     echo "==> stream regression gate (vs committed baseline)"
@@ -199,6 +230,13 @@ EOF
     cp results/BENCH_embed_smoke.json "$baseline"
     cargo bench --locked --offline -p em-bench --bench embed -- --smoke
     bench_gate "$baseline" results/BENCH_embed_smoke.json
+    rm -f "$baseline"
+
+    echo "==> bench smoke (kernels --smoke) + regression gate"
+    baseline=$(mktemp)
+    cp results/BENCH_kernels_smoke.json "$baseline"
+    cargo bench --locked --offline -p em-bench --bench kernels -- --smoke
+    bench_gate "$baseline" results/BENCH_kernels_smoke.json 3.0 1e6
     rm -f "$baseline"
 fi
 
