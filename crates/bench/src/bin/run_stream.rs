@@ -27,6 +27,11 @@ fn arg_usize(flag: &str) -> Option<usize> {
     None
 }
 
+/// Bare `--flag`, any position.
+fn arg_flag(flag: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == flag)
+}
+
 /// `--flag X.Y` or `--flag=X.Y`, any position.
 fn arg_f64(flag: &str) -> Option<f64> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,10 +56,12 @@ fn main() {
     // baseline); traces follow the binary-name convention like run_all.
     let (name, smoke) = em_bench::run_name("stream");
     let jobs = em_bench::jobs_from_args();
-    // Full scale targets ≥10⁵ candidate pairs out of blocking (asserted
-    // below); smoke is a seconds-scale sanity pass of the same path.
+    // Full scale targets ≥10⁶ candidate pairs out of hybrid token+LSH
+    // blocking (asserted below); smoke is a seconds-scale sanity pass of
+    // the same path.
     let entities = arg_usize("--entities").unwrap_or(if smoke { 90 } else { 18_000 });
-    let min_candidates = arg_usize("--min-candidates").unwrap_or(if smoke { 50 } else { 100_000 });
+    let min_candidates =
+        arg_usize("--min-candidates").unwrap_or(if smoke { 50 } else { 1_000_000 });
     // The store budget bounds cache growth; the RSS cap is the
     // whole-process ceiling the flat-memory claim is checked against.
     // Unbounded full-scale demand is ~630 MB, so the 512 MiB cap only
@@ -98,9 +105,25 @@ fn main() {
     // The synthetic families draw from finite vocab pools, so their
     // pool-token blocks saturate far past any sane cap while name-token
     // blocks stay small; the default cap excludes exactly the former.
+    // LSH signature blocking rides on top (off with `--no-lsh`): it adds
+    // embedding-neighbourhood candidates token keys never see, and it is
+    // what pushes the full-scale workload past 10⁶ candidate pairs.
     let mut blocking = em_stream::BlockingConfig::default();
     if let Some(cap) = arg_usize("--max-block") {
         blocking.max_block_size = cap;
+    }
+    if !arg_flag("--no-lsh") {
+        let mut lsh = em_stream::LshBlocking::default();
+        if let Some(tables) = arg_usize("--lsh-tables") {
+            lsh.tables = tables;
+        }
+        if let Some(bits) = arg_usize("--lsh-bits") {
+            lsh.bits = bits as u32;
+        }
+        if let Some(cap) = arg_usize("--lsh-max-block") {
+            lsh.max_block_size = cap;
+        }
+        blocking.lsh = Some(lsh);
     }
     let options = em_stream::StreamOptions {
         blocking,
@@ -130,13 +153,16 @@ fn main() {
     let pairs_per_sec = out.candidates as f64 / total_secs.max(1e-9);
     eprintln!(
         "run_stream: {} candidates of {} comparisons (reduction {:.4}, {} blocks, \
-         {} oversized), {} matches, {} entity clusters in {total_secs:.1}s \
-         ({pairs_per_sec:.0} pairs/s)",
+         {} oversized, {} stop-token skipped, {} lsh blocks / {} lsh skipped), \
+         {} matches, {} entity clusters in {total_secs:.1}s ({pairs_per_sec:.0} pairs/s)",
         out.candidates,
         out.comparisons,
         out.reduction_ratio,
         out.blocks,
         out.oversized_blocks,
+        out.skipped_stop_tokens,
+        out.lsh_blocks,
+        out.lsh_skipped,
         out.matches.len(),
         out.entity_clusters.len(),
     );
@@ -193,6 +219,14 @@ fn main() {
                 "blocks (oversized skipped)",
                 format!("{} ({})", out.blocks, out.oversized_blocks),
             ),
+            (
+                "stop-token blocks skipped",
+                out.skipped_stop_tokens.to_string(),
+            ),
+            (
+                "LSH blocks (oversized skipped)",
+                format!("{} ({})", out.lsh_blocks, out.lsh_skipped),
+            ),
             ("matches explained", out.matches.len().to_string()),
             ("entity clusters", out.entity_clusters.len().to_string()),
             ("wall clock", format!("{total_secs:.1} s")),
@@ -209,6 +243,17 @@ fn main() {
                  (`results/TRACE_run_stream.json`).\n\n",
             );
             report.push_str(&trace.to_markdown(1_000_000));
+            if !trace.counters.is_empty() {
+                report.push_str(
+                    "\n## Counters\n\nMonotonic counters from the same trace — \
+                     `stream/block/*` accounts for every skipped block family and \
+                     `ann/*` for the LSH signature work behind the hybrid blocker.\n\n\
+                     | counter | value |\n|---|---:|\n",
+                );
+                for (name, value) in &trace.counters {
+                    report.push_str(&format!("| {name} | {value} |\n"));
+                }
+            }
         }
         em_bench::write_report("REPORT_stream.md", &report);
     }

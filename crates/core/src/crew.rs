@@ -17,7 +17,7 @@
 use crate::explainer::Explainer;
 use crate::explanation::{words_of, ClusterExplanation, WordCluster, WordExplanation};
 use crate::knowledge::{
-    combined_distances, opposite_sign_cannot_links, semantic_coherence, KnowledgeWeights,
+    combined_distances_with, opposite_sign_cannot_links, semantic_coherence, KnowledgeWeights,
 };
 use crate::perturb::{perturb, PerturbOptions, PerturbationSet};
 use crate::surrogate::{fit_group_surrogate, fit_word_surrogate, SurrogateOptions};
@@ -59,6 +59,10 @@ pub struct CrewOptions {
     /// Quantile of extreme-importance words receiving cannot-link
     /// constraints (0 disables constraints).
     pub cannot_link_quantile: f64,
+    /// Semantic distance backend: exact all-pairs (the default, pinned
+    /// bitwise to the original behaviour), the LSH ANN index, or the
+    /// distinct-word-count auto switch.
+    pub semantic: em_embed::SemanticMatrixOptions,
 }
 
 impl Default for CrewOptions {
@@ -72,6 +76,9 @@ impl Default for CrewOptions {
             max_clusters: 10,
             tau: 0.9,
             cannot_link_quantile: 0.15,
+            // Auto is bitwise-identical to exact below the distinct-word
+            // threshold, which per-pair word lists never approach.
+            semantic: em_embed::SemanticMatrixOptions::default(),
         }
     }
 }
@@ -246,11 +253,12 @@ impl Crew {
         // 2. Combined distance over the three knowledge sources.
         let distances = {
             let _span = em_obs::span!("crew/distances");
-            combined_distances(
+            combined_distances_with(
                 tokenized,
                 &self.embeddings,
                 &word_fit.weights,
                 self.options.knowledge,
+                &self.options.semantic,
             )?
         };
 
@@ -361,11 +369,12 @@ impl Crew {
             return Err(crate::ExplainError::EmptyPair);
         }
         let word_fit = fit_word_surrogate(set, &self.options.surrogate)?;
-        let distances = combined_distances(
+        let distances = combined_distances_with(
             tokenized,
             &self.embeddings,
             &word_fit.weights,
             self.options.knowledge,
+            &self.options.semantic,
         )?;
         // Same candidate partitions as the main pipeline (configured
         // algorithm, linkage and constraints), so the sweep shows exactly

@@ -11,7 +11,7 @@
 //! The combined CREW distance is their convex combination.
 
 use em_data::{TokenizedPair, WordUnit};
-use em_embed::WordEmbeddings;
+use em_embed::{SemanticMatrixOptions, WordEmbeddings};
 use em_linalg::Matrix;
 
 /// Mixing weights of the combined distance (normalised at use time).
@@ -71,8 +71,19 @@ impl KnowledgeWeights {
 
 /// Semantic distance matrix over the pair's words (embedding cosine).
 pub fn semantic_distances(tokenized: &TokenizedPair, embeddings: &WordEmbeddings) -> Matrix {
+    semantic_distances_with(tokenized, embeddings, &SemanticMatrixOptions::exact())
+}
+
+/// [`semantic_distances`] with an explicit backend choice: exact all
+/// pairs, the LSH-index neighbour-limited variant, or the distinct-word
+/// auto switch (see [`em_embed::SemanticBackend`]).
+pub fn semantic_distances_with(
+    tokenized: &TokenizedPair,
+    embeddings: &WordEmbeddings,
+    semantic: &SemanticMatrixOptions,
+) -> Matrix {
     let words: Vec<&str> = tokenized.words().iter().map(|w| w.text.as_str()).collect();
-    em_embed::semantic_distance_matrix(embeddings, &words)
+    em_embed::semantic_distance_matrix_with(embeddings, &words, semantic)
 }
 
 /// Attribute-arrangement distance: 0 for words in the same (aligned)
@@ -124,6 +135,23 @@ pub fn combined_distances(
     word_weights: &[f64],
     mix: KnowledgeWeights,
 ) -> Result<Matrix, crate::ExplainError> {
+    combined_distances_with(
+        tokenized,
+        embeddings,
+        word_weights,
+        mix,
+        &SemanticMatrixOptions::exact(),
+    )
+}
+
+/// [`combined_distances`] with an explicit semantic-backend choice.
+pub fn combined_distances_with(
+    tokenized: &TokenizedPair,
+    embeddings: &WordEmbeddings,
+    word_weights: &[f64],
+    mix: KnowledgeWeights,
+    semantic: &SemanticMatrixOptions,
+) -> Result<Matrix, crate::ExplainError> {
     let n = tokenized.len();
     if word_weights.len() != n {
         return Err(crate::ExplainError::WeightLengthMismatch {
@@ -138,7 +166,7 @@ pub fn combined_distances(
     // the result is bitwise-unchanged, without materialising the
     // attribute/importance matrices or re-walking the output per source.
     let sem = if ws > 0.0 {
-        Some(semantic_distances(tokenized, embeddings))
+        Some(semantic_distances_with(tokenized, embeddings, semantic))
     } else {
         None
     };

@@ -51,8 +51,9 @@ pub use global::{
     aggregate_explanations, explain_dataset, AttributeImportance, GlobalExplanation, RecurringWord,
 };
 pub use knowledge::{
-    attribute_distances, combined_distances, importance_distances, opposite_sign_cannot_links,
-    semantic_coherence, semantic_distances, KnowledgeWeights,
+    attribute_distances, combined_distances, combined_distances_with, importance_distances,
+    opposite_sign_cannot_links, semantic_coherence, semantic_distances, semantic_distances_with,
+    KnowledgeWeights,
 };
 pub use perturb::{
     perturb, query_masks, query_pairs, sample_masks, MaskStrategy, PerturbOptions, PerturbationSet,

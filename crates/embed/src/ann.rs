@@ -1,0 +1,496 @@
+//! Deterministic LSH (random-hyperplane) approximate-nearest-neighbour
+//! index over embedding vectors.
+//!
+//! The full pairwise cosine-distance matrix CREW's semantic knowledge
+//! source builds is O(n²·d) in vocabulary size; this index replaces the
+//! all-pairs scan for large vocabularies with signature lookups plus an
+//! exact re-rank of a bounded candidate set.
+//!
+//! ## Signature scheme
+//!
+//! Every vector is sign-hashed against `tables × bits` random
+//! hyperplanes drawn from the workspace PRNG ([`em_rngs::rngs::StdRng`],
+//! seeded from [`AnnOptions::seed`]): bit `b` of the table-`t` signature
+//! is set iff `dot(planes[t][b], v) >= 0`. Two vectors at cosine angle
+//! `θ` agree on one bit with probability `1 − θ/π`, so each table is an
+//! AND over `bits` bits (precision) and the index is an OR over `tables`
+//! tables (recall) — the classic banding construction.
+//!
+//! ## Determinism anchors
+//!
+//! - Hyperplanes come from one sequential PRNG stream: same seed ⇒ same
+//!   planes, independent of thread count.
+//! - Signatures are computed in parallel into index-keyed slots and
+//!   bucketed by ascending vector id, so every bucket's member list is
+//!   id-sorted and identical at any thread count.
+//! - Queries gather candidates, sort+dedup them by id, cap the re-rank
+//!   set by (collision count desc, id asc), and rank by
+//!   `(distance bits, id)` — no HashMap iteration order ever reaches the
+//!   output.
+//! - The re-rank distance is the exact pair distance of the dense path
+//!   (unrolled [`em_linalg::dot`] + cached norms), so a pair scored by
+//!   both paths gets bitwise-identical distances.
+
+use em_linalg::{dot, norm2};
+use em_rngs::rngs::StdRng;
+use em_rngs::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Options of one LSH index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnOptions {
+    /// Independent hash tables (OR stage): more tables, more recall.
+    pub tables: usize,
+    /// Hyperplane bits per table (AND stage): more bits, smaller buckets.
+    pub bits: u32,
+    /// Seed of the hyperplane draw.
+    pub seed: u64,
+    /// Cap on exactly re-ranked candidates per query (the top by table
+    /// collision count are kept). Raised to `k` if smaller.
+    pub rerank: usize,
+    /// Thread budget for the build phase (0 = auto). Output is bitwise
+    /// identical at any value.
+    pub threads: usize,
+}
+
+impl Default for AnnOptions {
+    fn default() -> Self {
+        AnnOptions {
+            tables: 16,
+            bits: 8,
+            seed: 0xa11ce,
+            rerank: 512,
+            threads: 0,
+        }
+    }
+}
+
+/// The shared random-hyperplane family: `tables × bits` hyperplanes of
+/// dimensionality `dims`, drawn once from a seed. Exposed so other
+/// signature consumers (the `em-stream` LSH blocker) hash with exactly
+/// the same scheme.
+#[derive(Debug, Clone)]
+pub struct Hyperplanes {
+    dims: usize,
+    tables: usize,
+    bits: u32,
+    /// Flat `[table][bit][dim]` layout.
+    planes: Vec<f64>,
+}
+
+impl Hyperplanes {
+    /// Draw the family. One sequential PRNG stream: deterministic for a
+    /// seed, independent of the caller's threading.
+    pub fn generate(dims: usize, tables: usize, bits: u32, seed: u64) -> Hyperplanes {
+        assert!(
+            bits as usize <= 64,
+            "signatures are u64: bits must be <= 64"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4c53_485f_616e_6e5f);
+        let planes = (0..tables * bits as usize * dims)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        Hyperplanes {
+            dims,
+            tables,
+            bits,
+            planes,
+        }
+    }
+
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    pub fn tables(&self) -> usize {
+        self.tables
+    }
+
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Sign signature of `v` under table `t`. Scale-invariant: `v` and
+    /// `c·v` (c > 0) hash identically, so callers may pass unnormalised
+    /// sums.
+    pub fn signature(&self, table: usize, v: &[f64]) -> u64 {
+        assert_eq!(v.len(), self.dims, "signature: dimension mismatch");
+        em_obs::counter!("ann/signatures", 1);
+        let mut sig = 0u64;
+        let stride = self.bits as usize * self.dims;
+        for b in 0..self.bits as usize {
+            let plane = &self.planes[table * stride + b * self.dims..][..self.dims];
+            if dot(plane, v) >= 0.0 {
+                sig |= 1 << b;
+            }
+        }
+        sig
+    }
+}
+
+/// The exact pair distance both the dense matrix path and the ANN
+/// re-rank use: cosine mapped to `[0, 1]`, with the zero-norm convention
+/// of `em_linalg::cosine` (similarity 0 ⇒ distance 1/2).
+#[inline]
+pub fn pair_distance(d: f64, na: f64, nb: f64) -> f64 {
+    if na == 0.0 || nb == 0.0 {
+        0.5
+    } else {
+        let c = (d / (na * nb)).clamp(-1.0, 1.0);
+        (1.0 - c) / 2.0
+    }
+}
+
+/// A built LSH index over `n` vectors of shared dimensionality.
+#[derive(Debug, Clone)]
+pub struct AnnIndex {
+    dims: usize,
+    rerank: usize,
+    hyperplanes: Hyperplanes,
+    /// Flat `n × dims` vector storage (cache-friendly re-rank scans).
+    data: Vec<f64>,
+    norms: Vec<f64>,
+    /// Per table: signature → id-sorted member list.
+    buckets: Vec<HashMap<u64, Vec<u32>>>,
+}
+
+impl AnnIndex {
+    /// Build the index. Signatures are computed in parallel over the
+    /// shared pool; buckets are filled in ascending id order, so the
+    /// built index is bitwise-identical at any thread count.
+    pub fn build(vectors: &[Vec<f64>], opts: &AnnOptions) -> AnnIndex {
+        let _span = em_obs::span!("ann/build");
+        let n = vectors.len();
+        let dims = vectors.first().map_or(0, |v| v.len());
+        let hyperplanes = Hyperplanes::generate(dims, opts.tables, opts.bits, opts.seed);
+
+        let mut data = Vec::with_capacity(n * dims);
+        let mut norms = Vec::with_capacity(n);
+        for v in vectors {
+            assert_eq!(v.len(), dims, "AnnIndex::build: ragged vector set");
+            data.extend_from_slice(v);
+            norms.push(norm2(v));
+        }
+
+        let threads = if opts.threads == 0 {
+            em_pool::default_threads()
+        } else {
+            opts.threads
+        };
+        let sig_slots: Vec<OnceLock<Vec<u64>>> = (0..n).map(|_| OnceLock::new()).collect();
+        {
+            let planes = &hyperplanes;
+            let data = &data;
+            em_pool::global().run(n, threads, &|i| {
+                let v = &data[i * dims..][..dims];
+                let sigs: Vec<u64> = (0..planes.tables())
+                    .map(|t| planes.signature(t, v))
+                    .collect();
+                let _ = sig_slots[i].set(sigs);
+            });
+        }
+
+        let mut buckets: Vec<HashMap<u64, Vec<u32>>> = vec![HashMap::new(); opts.tables];
+        for (i, slot) in sig_slots.into_iter().enumerate() {
+            let sigs = slot.into_inner().expect("pool ran every vector");
+            for (t, sig) in sigs.into_iter().enumerate() {
+                buckets[t].entry(sig).or_default().push(i as u32);
+            }
+        }
+        em_obs::counter!("ann/indexed", n as u64);
+
+        AnnIndex {
+            dims,
+            rerank: opts.rerank,
+            hyperplanes,
+            data,
+            norms,
+            buckets,
+        }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.norms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.norms.is_empty()
+    }
+
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The stored vector of id `i`.
+    pub fn vector(&self, i: u32) -> &[f64] {
+        &self.data[i as usize * self.dims..][..self.dims]
+    }
+
+    /// One table's buckets in ascending signature order (the determinism
+    /// tests compare these across seeds and thread counts).
+    pub fn table_buckets(&self, table: usize) -> Vec<(u64, &[u32])> {
+        let mut out: Vec<(u64, &[u32])> = self.buckets[table]
+            .iter()
+            .map(|(sig, members)| (*sig, members.as_slice()))
+            .collect();
+        out.sort_unstable_by_key(|(sig, _)| *sig);
+        out
+    }
+
+    /// Approximate `k` nearest neighbours of an external query vector,
+    /// as `(id, distance)` ranked by `(distance, id)`.
+    pub fn top_k(&self, query: &[f64], k: usize) -> Vec<(u32, f64)> {
+        self.query(query, norm2(query), None, |scored| scored.truncate(k), k)
+    }
+
+    /// Approximate `k` nearest neighbours of indexed vector `id`
+    /// (excluding itself).
+    pub fn top_k_of(&self, id: u32, k: usize) -> Vec<(u32, f64)> {
+        let q: &[f64] = self.vector(id);
+        // Borrow juggling: the closure below must not borrow `self`.
+        let qn = self.norms[id as usize];
+        self.query(q, qn, Some(id), |scored| scored.truncate(k), k)
+    }
+
+    /// Every gathered neighbour within `max_dist` of the query, ranked
+    /// by `(distance, id)`. Approximate like [`AnnIndex::top_k`]: only
+    /// bucket collisions are considered.
+    pub fn radius(&self, query: &[f64], max_dist: f64) -> Vec<(u32, f64)> {
+        self.query(
+            query,
+            norm2(query),
+            None,
+            |scored| scored.retain(|&(_, d)| d <= max_dist),
+            usize::MAX,
+        )
+    }
+
+    fn query(
+        &self,
+        q: &[f64],
+        qnorm: f64,
+        exclude: Option<u32>,
+        finish: impl FnOnce(&mut Vec<(u32, f64)>),
+        k: usize,
+    ) -> Vec<(u32, f64)> {
+        assert_eq!(q.len(), self.dims, "query: dimension mismatch");
+        let _span = em_obs::span!("ann/query");
+        em_obs::counter!("ann/queries", 1);
+
+        // Gather bucket hits across tables; run-length encode into
+        // (id, collision count) after an id sort.
+        let mut hits: Vec<u32> = Vec::new();
+        for (t, table) in self.buckets.iter().enumerate() {
+            let sig = self.hyperplanes.signature(t, q);
+            if let Some(members) = table.get(&sig) {
+                hits.extend_from_slice(members);
+            }
+        }
+        hits.sort_unstable();
+        let mut candidates: Vec<(u32, u32)> = Vec::new();
+        for id in hits {
+            if Some(id) == exclude {
+                continue;
+            }
+            match candidates.last_mut() {
+                Some((last, count)) if *last == id => *count += 1,
+                _ => candidates.push((id, 1)),
+            }
+        }
+        em_obs::counter!("ann/candidates", candidates.len() as u64);
+
+        // Cap the exact re-rank set, keeping the candidates most tables
+        // agree on (deterministic tie-break by id).
+        let cap = self.rerank.max(k.min(self.len()));
+        if candidates.len() > cap {
+            candidates.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            candidates.truncate(cap);
+        }
+        em_obs::counter!("ann/reranked", candidates.len() as u64);
+
+        // Exact re-rank through the shared unrolled-dot pair distance.
+        let mut scored: Vec<(u32, f64)> = candidates
+            .into_iter()
+            .map(|(id, _)| {
+                let v = self.vector(id);
+                let d = pair_distance(dot(q, v), qnorm, self.norms[id as usize]);
+                (id, d)
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("pair distances are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        finish(&mut scored);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Clustered vector set: `centers` well-separated directions, each
+    /// with `per` members jittered a little — the structure embeddings
+    /// actually have, and the regime LSH is built for.
+    fn clustered(centers: usize, per: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base: Vec<Vec<f64>> = (0..centers)
+            .map(|_| (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let mut out = Vec::with_capacity(centers * per);
+        for c in &base {
+            for _ in 0..per {
+                out.push(
+                    c.iter()
+                        .map(|x| x + rng.gen_range(-0.05..0.05))
+                        .collect::<Vec<f64>>(),
+                );
+            }
+        }
+        out
+    }
+
+    fn exact_top_k(vectors: &[Vec<f64>], i: usize, k: usize) -> Vec<u32> {
+        let ni = norm2(&vectors[i]);
+        let mut scored: Vec<(u32, f64)> = vectors
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(j, v)| (j as u32, pair_distance(dot(&vectors[i], v), ni, norm2(v))))
+            .collect();
+        scored.sort_unstable_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored.into_iter().map(|(j, _)| j).collect()
+    }
+
+    #[test]
+    fn finds_cluster_neighbours() {
+        let vectors = clustered(8, 10, 24, 5);
+        let index = AnnIndex::build(&vectors, &AnnOptions::default());
+        // Every vector's nearest approximate neighbours are in its own
+        // cluster of ten.
+        for i in [0usize, 15, 42, 79] {
+            let nn = index.top_k_of(i as u32, 5);
+            assert_eq!(nn.len(), 5, "vector {i} got {} neighbours", nn.len());
+            for (id, d) in &nn {
+                assert_eq!(*id as usize / 10, i / 10, "cross-cluster neighbour");
+                assert!(*d < 0.1, "cluster member at distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn recall_on_clustered_set_is_high() {
+        let vectors = clustered(12, 12, 32, 9);
+        let index = AnnIndex::build(&vectors, &AnnOptions::default());
+        let k = 8;
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for i in 0..vectors.len() {
+            let exact = exact_top_k(&vectors, i, k);
+            let approx: Vec<u32> = index
+                .top_k_of(i as u32, k)
+                .into_iter()
+                .map(|(j, _)| j)
+                .collect();
+            hit += exact.iter().filter(|e| approx.contains(e)).count();
+            total += exact.len();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall >= 0.95, "recall {recall}");
+    }
+
+    #[test]
+    fn same_seed_same_buckets_any_thread_count() {
+        let vectors = clustered(6, 8, 16, 3);
+        let mk = |threads| {
+            AnnIndex::build(
+                &vectors,
+                &AnnOptions {
+                    threads,
+                    ..Default::default()
+                },
+            )
+        };
+        let a = mk(1);
+        let b = mk(4);
+        for t in 0..16 {
+            assert_eq!(a.table_buckets(t), b.table_buckets(t));
+        }
+        let qa = a.top_k_of(7, 4);
+        let qb = b.top_k_of(7, 4);
+        assert_eq!(qa.len(), qb.len());
+        for ((ia, da), (ib, db)) in qa.iter().zip(&qb) {
+            assert_eq!(ia, ib);
+            assert_eq!(da.to_bits(), db.to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let vectors = clustered(4, 6, 16, 3);
+        let a = AnnIndex::build(&vectors, &AnnOptions::default());
+        let b = AnnIndex::build(
+            &vectors,
+            &AnnOptions {
+                seed: 99,
+                ..Default::default()
+            },
+        );
+        assert!((0..16).any(|t| a.table_buckets(t) != b.table_buckets(t)));
+    }
+
+    #[test]
+    fn radius_filters_by_distance() {
+        let vectors = clustered(5, 8, 16, 11);
+        let index = AnnIndex::build(&vectors, &AnnOptions::default());
+        let within = index.radius(&vectors[0], 0.1);
+        assert!(within.iter().all(|&(_, d)| d <= 0.1));
+        assert!(within.iter().any(|&(id, _)| id != 0));
+        // The query vector itself is in the index and at distance 0.
+        assert_eq!(within[0].0, 0);
+        assert_eq!(within[0].1, 0.0);
+    }
+
+    #[test]
+    fn rerank_cap_bounds_candidates_deterministically() {
+        let vectors = clustered(2, 40, 16, 17);
+        let opts = AnnOptions {
+            bits: 2, // huge buckets: everything collides
+            rerank: 10,
+            ..Default::default()
+        };
+        let index = AnnIndex::build(&vectors, &opts);
+        let a = index.top_k_of(0, 5);
+        let b = index.top_k_of(0, 5);
+        assert_eq!(a, b);
+        assert!(a.len() <= 5);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty = AnnIndex::build(&[], &AnnOptions::default());
+        assert!(empty.is_empty());
+        let one = AnnIndex::build(&[vec![1.0, 0.0]], &AnnOptions::default());
+        assert_eq!(one.len(), 1);
+        assert!(one.top_k_of(0, 3).is_empty());
+        let zero_norm = AnnIndex::build(&[vec![0.0; 4], vec![1.0; 4]], &AnnOptions::default());
+        for (_, d) in zero_norm.top_k(&[0.0; 4], 2) {
+            assert_eq!(d, 0.5, "zero-norm convention");
+        }
+    }
+
+    #[test]
+    fn signature_is_scale_invariant() {
+        let planes = Hyperplanes::generate(8, 2, 16, 7);
+        let v: Vec<f64> = (0..8).map(|i| (i as f64) - 3.5).collect();
+        let scaled: Vec<f64> = v.iter().map(|x| x * 17.0).collect();
+        for t in 0..2 {
+            assert_eq!(planes.signature(t, &v), planes.signature(t, &scaled));
+        }
+    }
+}

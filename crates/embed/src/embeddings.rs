@@ -3,9 +3,11 @@
 //! word of a pair gets a semantic position (model numbers, typos, rare
 //! brands included).
 
+use crate::ann::{pair_distance, AnnIndex, AnnOptions};
 use crate::cooc::{CoocOptions, Cooccurrence};
 use em_linalg::{randomized_svd, randomized_svd_sparse, Matrix, SvdOptions};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Options for embedding training.
 #[derive(Debug, Clone, Copy)]
@@ -44,10 +46,15 @@ impl Default for EmbeddingOptions {
 }
 
 /// Trained word embeddings with trigram back-off.
+///
+/// Each entry stores the vector alongside its L2 norm, computed once at
+/// construction: every cosine consumer (similarity, the distance
+/// matrices, the ANN re-rank) divides by the same train-time bits
+/// instead of re-normalising per call.
 #[derive(Debug, Clone)]
 pub struct WordEmbeddings {
     dims: usize,
-    by_word: HashMap<String, Vec<f64>>,
+    by_word: HashMap<String, (Vec<f64>, f64)>,
 }
 
 impl WordEmbeddings {
@@ -104,11 +111,14 @@ impl WordEmbeddings {
                 }
                 // Pad to the requested dimensionality so all vectors align.
                 v.resize(opts.dimensions, 0.0);
-                by_word.insert(word.to_string(), v);
+                let norm = em_linalg::norm2(&v);
+                by_word.insert(word.to_string(), (v, norm));
             }
         } else {
             for (_, word, _) in cooc.vocab().iter() {
-                by_word.insert(word.to_string(), trigram_vector(word, opts.dimensions));
+                let v = trigram_vector(word, opts.dimensions);
+                let norm = em_linalg::norm2(&v);
+                by_word.insert(word.to_string(), (v, norm));
             }
         }
         Ok(WordEmbeddings {
@@ -134,7 +144,35 @@ impl WordEmbeddings {
 
     /// Rebuild from parts (used by the text-format loader).
     pub(crate) fn from_parts(dims: usize, by_word: HashMap<String, Vec<f64>>) -> Self {
+        let by_word = by_word
+            .into_iter()
+            .map(|(w, v)| {
+                let norm = em_linalg::norm2(&v);
+                (w, (v, norm))
+            })
+            .collect();
         WordEmbeddings { dims, by_word }
+    }
+
+    /// Build embeddings directly from externally supplied vectors (for
+    /// synthetic vocabularies in benchmarks and property tests). All
+    /// vectors must have length `dims`.
+    pub fn from_vectors<I>(dims: usize, vectors: I) -> Result<Self, crate::EmbedError>
+    where
+        I: IntoIterator<Item = (String, Vec<f64>)>,
+    {
+        if dims == 0 {
+            return Err(crate::EmbedError::InvalidDimensions(0));
+        }
+        let mut by_word = HashMap::new();
+        for (w, v) in vectors {
+            if v.len() != dims {
+                return Err(crate::EmbedError::InvalidDimensions(v.len()));
+            }
+            let norm = em_linalg::norm2(&v);
+            by_word.insert(w, (v, norm));
+        }
+        Ok(WordEmbeddings { dims, by_word })
     }
 
     /// Iterate the in-vocabulary words (arbitrary order).
@@ -161,10 +199,23 @@ impl WordEmbeddings {
     /// deterministic hashed character-trigram vector (so similar surface
     /// forms like "panasonic"/"panasonik" stay close).
     pub fn vector(&self, word: &str) -> Vec<f64> {
-        if let Some(v) = self.by_word.get(word) {
+        if let Some((v, _)) = self.by_word.get(word) {
             return v.clone();
         }
         trigram_vector(word, self.dims)
+    }
+
+    /// Vector plus its L2 norm. In-vocabulary words return the norm
+    /// cached at construction (`norm2` of the same bits, so identical to
+    /// recomputing); out-of-vocabulary words get a fresh trigram vector
+    /// and its norm.
+    pub fn vector_norm(&self, word: &str) -> (Vec<f64>, f64) {
+        if let Some((v, n)) = self.by_word.get(word) {
+            return (v.clone(), *n);
+        }
+        let v = trigram_vector(word, self.dims);
+        let n = em_linalg::norm2(&v);
+        (v, n)
     }
 
     /// Cosine similarity between two words' vectors.
@@ -176,19 +227,34 @@ impl WordEmbeddings {
             return 1.0;
         }
         match (self.by_word.get(a), self.by_word.get(b)) {
-            (Some(va), Some(vb)) => em_linalg::cosine(va, vb),
+            // Same arithmetic as `em_linalg::cosine`, with the norms
+            // taken from the train-time cache.
+            (Some((va, na)), Some((vb, nb))) => {
+                if *na == 0.0 || *nb == 0.0 {
+                    0.0
+                } else {
+                    (em_linalg::dot(va, vb) / (na * nb)).clamp(-1.0, 1.0)
+                }
+            }
             _ => em_linalg::cosine(&trigram_vector(a, self.dims), &trigram_vector(b, self.dims)),
         }
     }
 
     /// `k` nearest in-vocabulary neighbours of a word by cosine.
     pub fn nearest(&self, word: &str, k: usize) -> Vec<(String, f64)> {
-        let q = self.vector(word);
+        let (q, qn) = self.vector_norm(word);
         let mut scored: Vec<(String, f64)> = self
             .by_word
             .iter()
             .filter(|(w, _)| w.as_str() != word)
-            .map(|(w, v)| (w.clone(), em_linalg::cosine(&q, v)))
+            .map(|(w, (v, n))| {
+                let s = if qn == 0.0 || *n == 0.0 {
+                    0.0
+                } else {
+                    (em_linalg::dot(&q, v) / (qn * n)).clamp(-1.0, 1.0)
+                };
+                (w.clone(), s)
+            })
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         scored.truncate(k);
@@ -226,18 +292,66 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Build a pairwise cosine-distance matrix (`1 - cos`) over a word list.
-///
-/// Duplicate surface forms are interned once: each distinct word's vector
-/// and norm are computed a single time and every pair is then one dot
-/// product — the same arithmetic `em_linalg::cosine` performs, so the
-/// distances are bitwise-unchanged, just without the per-pair norm
-/// recomputation (this matrix is rebuilt for every explained pair).
-pub fn semantic_distance_matrix<S: AsRef<str>>(emb: &WordEmbeddings, words: &[S]) -> Matrix {
-    let n = words.len();
-    // Intern distinct surface forms in first-appearance order.
-    let mut id_of: HashMap<&str, usize> = HashMap::with_capacity(n);
-    let mut ids = Vec::with_capacity(n);
+/// Backend selection for [`semantic_distance_matrix_with`] and
+/// [`semantic_topk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemanticBackend {
+    /// All-pairs exact distances — the original behaviour, O(k²·d) in
+    /// the distinct-word count.
+    Exact,
+    /// Exact below [`SemanticMatrixOptions::auto_threshold`] distinct
+    /// words (bitwise-identical to [`SemanticBackend::Exact`] there),
+    /// ANN at or above it.
+    Auto,
+    /// Always the LSH index, regardless of vocabulary size.
+    Ann,
+}
+
+/// Options of the semantic distance computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SemanticMatrixOptions {
+    pub backend: SemanticBackend,
+    /// LSH index parameters for the ANN backend.
+    pub ann: AnnOptions,
+    /// Neighbours kept per distinct word by the ANN matrix / top-k paths.
+    pub neighbors: usize,
+    /// `Auto` switches from exact to ANN at this many distinct words.
+    pub auto_threshold: usize,
+}
+
+impl Default for SemanticMatrixOptions {
+    fn default() -> Self {
+        SemanticMatrixOptions {
+            backend: SemanticBackend::Auto,
+            ann: AnnOptions::default(),
+            neighbors: 32,
+            auto_threshold: 512,
+        }
+    }
+}
+
+impl SemanticMatrixOptions {
+    /// The always-exact configuration (the pinned seed behaviour).
+    pub fn exact() -> Self {
+        SemanticMatrixOptions {
+            backend: SemanticBackend::Exact,
+            ..Default::default()
+        }
+    }
+}
+
+/// Distinct surface forms of a word list, in first-appearance order,
+/// with their vectors and cached norms.
+struct Interned {
+    /// Distinct-form id of each input position.
+    ids: Vec<usize>,
+    vecs: Vec<Vec<f64>>,
+    norms: Vec<f64>,
+}
+
+fn intern<S: AsRef<str>>(emb: &WordEmbeddings, words: &[S]) -> Interned {
+    let mut id_of: HashMap<&str, usize> = HashMap::with_capacity(words.len());
+    let mut ids = Vec::with_capacity(words.len());
     let mut vecs: Vec<Vec<f64>> = Vec::new();
     let mut norms: Vec<f64> = Vec::new();
     for w in words {
@@ -245,17 +359,75 @@ pub fn semantic_distance_matrix<S: AsRef<str>>(emb: &WordEmbeddings, words: &[S]
         let next = vecs.len();
         let id = *id_of.entry(w).or_insert(next);
         if id == vecs.len() {
-            let v = emb.vector(w);
-            norms.push(em_linalg::norm2(&v));
+            let (v, n) = emb.vector_norm(w);
+            norms.push(n);
             vecs.push(v);
         }
         ids.push(id);
     }
-    // One distance per distinct-id pair: words repeat across a record's
-    // attributes and its perturbed variants, so the number of distinct
-    // forms `k` is usually well below `n` and the expensive dot products
-    // collapse from n²/2 to k²/2. Scattering the cached value into the
-    // n×n matrix is bitwise-identical to recomputing it per position.
+    Interned { ids, vecs, norms }
+}
+
+/// Build a pairwise cosine-distance matrix (`1 - cos`) over a word list.
+///
+/// Duplicate surface forms are interned once: each distinct word's vector
+/// and norm are fetched a single time and every pair is then one dot
+/// product — the same arithmetic `em_linalg::cosine` performs, so the
+/// distances are bitwise-unchanged, just without the per-pair norm
+/// recomputation (this matrix is rebuilt for every explained pair).
+pub fn semantic_distance_matrix<S: AsRef<str>>(emb: &WordEmbeddings, words: &[S]) -> Matrix {
+    semantic_distance_matrix_with(emb, words, &SemanticMatrixOptions::exact())
+}
+
+/// [`semantic_distance_matrix`] with an explicit backend choice.
+///
+/// The exact path is the seed implementation verbatim. The ANN path
+/// builds an [`AnnIndex`] over the distinct vectors, keeps each word's
+/// `opts.neighbors` nearest distances (exact, bitwise equal to the
+/// dense path's values for those pairs), and fills every non-neighbour
+/// pair with a per-row horizon — the distance past each word's k-th
+/// neighbour — so far pairs stay far without being computed.
+pub fn semantic_distance_matrix_with<S: AsRef<str>>(
+    emb: &WordEmbeddings,
+    words: &[S],
+    opts: &SemanticMatrixOptions,
+) -> Matrix {
+    let n = words.len();
+    let interned = intern(emb, words);
+    let k = interned.vecs.len();
+    let pair_dist = if use_ann(opts, k) {
+        ann_pair_distances(&interned, opts)
+    } else {
+        exact_pair_distances(&interned)
+    };
+    let ids = &interned.ids;
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i + 1..n {
+            // Same-id pairs hit the zero diagonal of `pair_dist`.
+            let dist = pair_dist[ids[i] * k + ids[j]];
+            d[(i, j)] = dist;
+            d[(j, i)] = dist;
+        }
+    }
+    d
+}
+
+fn use_ann(opts: &SemanticMatrixOptions, distinct: usize) -> bool {
+    match opts.backend {
+        SemanticBackend::Exact => false,
+        SemanticBackend::Ann => true,
+        SemanticBackend::Auto => distinct >= opts.auto_threshold,
+    }
+}
+
+/// One distance per distinct-id pair: words repeat across a record's
+/// attributes and its perturbed variants, so the number of distinct
+/// forms `k` is usually well below `n` and the expensive dot products
+/// collapse from n²/2 to k²/2. Scattering the cached value into the
+/// n×n matrix is bitwise-identical to recomputing it per position.
+fn exact_pair_distances(interned: &Interned) -> Vec<f64> {
+    let (vecs, norms) = (&interned.vecs, &interned.norms);
     let k = vecs.len();
     let mut pair_dist = vec![0.0; k * k];
     for a in 0..k {
@@ -273,16 +445,155 @@ pub fn semantic_distance_matrix<S: AsRef<str>>(emb: &WordEmbeddings, words: &[S]
             pair_dist[b * k + a] = dist;
         }
     }
-    let mut d = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in i + 1..n {
-            // Same-id pairs hit the zero diagonal of `pair_dist`.
-            let dist = pair_dist[ids[i] * k + ids[j]];
-            d[(i, j)] = dist;
-            d[(j, i)] = dist;
+    pair_dist
+}
+
+fn ann_pair_distances(interned: &Interned, opts: &SemanticMatrixOptions) -> Vec<f64> {
+    let k = interned.vecs.len();
+    let kn = opts.neighbors.max(1);
+    let rows = ann_neighbor_rows(&interned.vecs, kn, &opts.ann);
+    // Per-row horizon: anything past a word's k-th neighbour is at least
+    // this far; a row with fewer than `kn` gathered neighbours has no
+    // evidence and defaults to the maximum distance.
+    let far: Vec<f64> = rows
+        .iter()
+        .map(|r| {
+            if r.len() >= kn {
+                r.last().map_or(1.0, |&(_, d)| d)
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let mut pair_dist = vec![0.0; k * k];
+    for a in 0..k {
+        for b in a + 1..k {
+            let d = far[a].max(far[b]);
+            pair_dist[a * k + b] = d;
+            pair_dist[b * k + a] = d;
         }
     }
-    d
+    // Neighbour entries overwrite the horizon with exact re-ranked
+    // distances. The symmetric scatter is safe: `dot` is bitwise
+    // symmetric, so when both rows list the pair they carry identical
+    // bits and overwrite order cannot matter.
+    for (i, row) in rows.iter().enumerate() {
+        for &(j, d) in row {
+            pair_dist[i * k + j as usize] = d;
+            pair_dist[j as usize * k + i] = d;
+        }
+    }
+    pair_dist
+}
+
+/// Build the LSH index over `vecs` and query every vector's `k` nearest
+/// (self excluded), in parallel over rows with index-keyed slots so the
+/// output is identical at any thread count.
+fn ann_neighbor_rows(vecs: &[Vec<f64>], k: usize, ann: &AnnOptions) -> Vec<Vec<(u32, f64)>> {
+    let n = vecs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let index = AnnIndex::build(vecs, ann);
+    let threads = if ann.threads == 0 {
+        em_pool::default_threads()
+    } else {
+        ann.threads
+    };
+    let slots: Vec<OnceLock<Vec<(u32, f64)>>> = (0..n).map(|_| OnceLock::new()).collect();
+    {
+        let index = &index;
+        em_pool::global().run(n, threads, &|i| {
+            let _ = slots[i].set(index.top_k_of(i as u32, k));
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("pool ran every row"))
+        .collect()
+}
+
+/// Per-word nearest-neighbour lists over a word list's distinct forms.
+#[derive(Debug, Clone)]
+pub struct SemanticNeighbors {
+    /// Distinct-form id of each input position.
+    pub word_of: Vec<usize>,
+    /// Per distinct form: up to `k` `(distinct id, distance)` pairs
+    /// ranked by `(distance, id)`, self excluded.
+    pub neighbors: Vec<Vec<(u32, f64)>>,
+}
+
+/// Top-`k` semantic neighbours of every distinct word in `words`.
+///
+/// This is the sparse replacement for the full distance matrix when the
+/// consumer only needs each word's nearest context. The exact backend
+/// brute-forces each row with an O(k) selection; the ANN backend routes
+/// through the LSH index. Both parallelise over rows deterministically.
+pub fn semantic_topk<S: AsRef<str>>(
+    emb: &WordEmbeddings,
+    words: &[S],
+    k: usize,
+    opts: &SemanticMatrixOptions,
+) -> SemanticNeighbors {
+    let interned = intern(emb, words);
+    let distinct = interned.vecs.len();
+    let neighbors = if use_ann(opts, distinct) {
+        ann_neighbor_rows(&interned.vecs, k.max(1), &opts.ann)
+            .into_iter()
+            .map(|mut r| {
+                r.truncate(k);
+                r
+            })
+            .collect()
+    } else {
+        exact_neighbor_rows(&interned, k, opts)
+    };
+    SemanticNeighbors {
+        word_of: interned.ids,
+        neighbors,
+    }
+}
+
+fn exact_neighbor_rows(
+    interned: &Interned,
+    k: usize,
+    opts: &SemanticMatrixOptions,
+) -> Vec<Vec<(u32, f64)>> {
+    let n = interned.vecs.len();
+    let threads = if opts.ann.threads == 0 {
+        em_pool::default_threads()
+    } else {
+        opts.ann.threads
+    };
+    let cmp = |a: &(u32, f64), b: &(u32, f64)| {
+        a.1.partial_cmp(&b.1)
+            .expect("pair distances are finite")
+            .then(a.0.cmp(&b.0))
+    };
+    let slots: Vec<OnceLock<Vec<(u32, f64)>>> = (0..n).map(|_| OnceLock::new()).collect();
+    {
+        let (vecs, norms) = (&interned.vecs, &interned.norms);
+        em_pool::global().run(n, threads, &|i| {
+            let mut scored: Vec<(u32, f64)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    let d = pair_distance(em_linalg::dot(&vecs[i], &vecs[j]), norms[i], norms[j]);
+                    (j as u32, d)
+                })
+                .collect();
+            if k > 0 && scored.len() > k {
+                scored.select_nth_unstable_by(k - 1, cmp);
+                scored.truncate(k);
+            }
+            scored.sort_unstable_by(cmp);
+            scored.truncate(k);
+            let _ = slots[i].set(scored);
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("pool ran every row"))
+        .collect()
 }
 
 #[cfg(test)]

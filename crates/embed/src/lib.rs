@@ -25,12 +25,17 @@
 //! assert_eq!(emb.similarity("tv", "tv"), 1.0);
 //! ```
 
+pub mod ann;
 pub mod cooc;
 pub mod embeddings;
 pub mod io;
 
+pub use ann::{pair_distance, AnnIndex, AnnOptions, Hyperplanes};
 pub use cooc::{CoocOptions, Cooccurrence};
-pub use embeddings::{semantic_distance_matrix, trigram_vector, EmbeddingOptions, WordEmbeddings};
+pub use embeddings::{
+    semantic_distance_matrix, semantic_distance_matrix_with, semantic_topk, trigram_vector,
+    EmbeddingOptions, SemanticBackend, SemanticMatrixOptions, SemanticNeighbors, WordEmbeddings,
+};
 pub use io::{from_text, to_text};
 
 /// Errors from embedding training.

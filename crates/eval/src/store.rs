@@ -458,6 +458,23 @@ pub fn crew_options_fingerprint(o: &CrewOptions) -> u64 {
     h = mix_u64(h, o.max_clusters as u64);
     h = mix_u64(h, o.tau.to_bits());
     h = mix_u64(h, o.cannot_link_quantile.to_bits());
+    // Semantic backend selection changes the distance matrix for large
+    // vocabularies, so it is part of the cache identity (thread budget
+    // excluded: output is thread-invariant by construction).
+    h = mix_u64(
+        h,
+        match o.semantic.backend {
+            em_embed::SemanticBackend::Exact => 0,
+            em_embed::SemanticBackend::Auto => 1,
+            em_embed::SemanticBackend::Ann => 2,
+        },
+    );
+    h = mix_u64(h, o.semantic.neighbors as u64);
+    h = mix_u64(h, o.semantic.auto_threshold as u64);
+    h = mix_u64(h, o.semantic.ann.tables as u64);
+    h = mix_u64(h, o.semantic.ann.bits as u64);
+    h = mix_u64(h, o.semantic.ann.seed);
+    h = mix_u64(h, o.semantic.ann.rerank as u64);
     h
 }
 

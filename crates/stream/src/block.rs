@@ -9,11 +9,20 @@
 //! would resurrect the quadratic blow-up blocking exists to avoid; the
 //! count of skipped blocks is reported, never silently dropped.
 //!
+//! An optional **LSH key family** ([`LshBlocking`]) runs alongside the
+//! token/n-gram keys: each record's distinct-token embedding vectors are
+//! summed and sign-hashed against the shared random-hyperplane family of
+//! [`em_embed::Hyperplanes`], one key per hash table. Records that share
+//! no surface token but are semantically close land in the same
+//! signature bucket, so the LSH candidates are a strict addition on top
+//! of token blocking (recall can only go up).
+//!
 //! Candidates are deduplicated globally (a pair sharing five tokens
-//! appears in five blocks but once in the output) by a final sort+dedup,
-//! which also makes the output independent of block iteration order and
-//! thread schedule: the parallel phases write into index-keyed slots and
-//! the merged list is sorted before being returned.
+//! appears in five blocks but once in the output). [`block_candidates`]
+//! materializes the sorted deduplicated list; [`Blocks::stream`] yields
+//! the identical sequence lazily through a k-way merge over the
+//! per-block cross products, so the candidate list itself never has to
+//! exist in memory (the pipeline consumes it in batches).
 //!
 //! The same co-membership edges feed a [`UnionFind`] over all records
 //! (left record `i` is node `i`, right record `j` is node
@@ -23,8 +32,14 @@
 
 use crate::unionfind::UnionFind;
 use em_data::Record;
-use std::collections::HashMap;
+use em_embed::{Hyperplanes, WordEmbeddings};
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::OnceLock;
+
+/// Prefix of every LSH-derived block key. `em_text::tokenize` never
+/// emits control characters, so these keys cannot collide with token or
+/// n-gram keys in the shared inverted index.
+const LSH_KEY_PREFIX: char = '\u{1}';
 
 /// How block keys are derived from a record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +49,33 @@ pub enum BlockKeyScheme {
     /// One key per distinct character n-gram of each token (more
     /// typo-tolerant, more keys per record).
     NGrams(usize),
+}
+
+/// LSH-signature blocking parameters (see [`em_embed::Hyperplanes`] for
+/// the signature scheme).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LshBlocking {
+    /// Hash tables — each contributes one key per record (OR stage).
+    pub tables: usize,
+    /// Hyperplane bits per table (AND stage): more bits, finer buckets.
+    pub bits: u32,
+    /// Seed of the hyperplane draw.
+    pub seed: u64,
+    /// Size cap for LSH blocks, separate from the token cap: signature
+    /// buckets are coarser than tokens by design, so they earn a larger
+    /// budget before being dropped as over-broad.
+    pub max_block_size: usize,
+}
+
+impl Default for LshBlocking {
+    fn default() -> Self {
+        LshBlocking {
+            tables: 4,
+            bits: 10,
+            seed: 0x15_4b10c,
+            max_block_size: 512,
+        }
+    }
 }
 
 /// Blocking configuration.
@@ -46,6 +88,9 @@ pub struct BlockingConfig {
     pub max_block_size: usize,
     /// Thread cap for the parallel phases (0 = auto).
     pub jobs: usize,
+    /// Add LSH-signature keys alongside the token/n-gram keys. Requires
+    /// embeddings at blocking time ([`block_candidates_with`]).
+    pub lsh: Option<LshBlocking>,
 }
 
 impl Default for BlockingConfig {
@@ -55,6 +100,7 @@ impl Default for BlockingConfig {
             min_token_len: 2,
             max_block_size: 64,
             jobs: 0,
+            lsh: None,
         }
     }
 }
@@ -68,8 +114,16 @@ pub struct CandidateSet {
     pub comparisons: u64,
     /// Blocks that contributed candidates.
     pub blocks: usize,
-    /// Blocks skipped for exceeding `max_block_size`.
+    /// Blocks skipped for exceeding their size cap (token + LSH).
     pub oversized: usize,
+    /// Token/n-gram blocks skipped for exceeding `max_block_size` —
+    /// these are stop-token blocks whose recall loss would otherwise be
+    /// silent.
+    pub skipped_stop_tokens: usize,
+    /// LSH-signature blocks that contributed candidates.
+    pub lsh_blocks: usize,
+    /// LSH-signature blocks skipped for exceeding the LSH size cap.
+    pub lsh_skipped: usize,
     /// Canonical connected components of the block co-membership graph
     /// (node `i < left_len` is left record `i`, node `left_len + j` is
     /// right record `j`). See [`UnionFind::components`].
@@ -128,12 +182,103 @@ fn keys_of(records: &[Record], config: &BlockingConfig, threads: usize) -> Vec<V
         .collect()
 }
 
-/// Block two collections into a deduplicated candidate set.
-pub fn block_candidates(
+/// LSH block keys of every record: the record's distinct qualifying
+/// tokens are embedded, summed (the sign hash is scale-invariant, so the
+/// unnormalised sum hashes like the mean), and signed against each
+/// table's hyperplanes — one key per table, computed in parallel with
+/// index-keyed writes.
+fn lsh_keys_of(
+    records: &[Record],
+    config: &BlockingConfig,
+    lsh: &LshBlocking,
+    planes: &Hyperplanes,
+    embeddings: &WordEmbeddings,
+    threads: usize,
+) -> Vec<Vec<String>> {
+    let slots: Vec<OnceLock<Vec<String>>> = (0..records.len()).map(|_| OnceLock::new()).collect();
+    em_pool::global().run(records.len(), threads, &|i| {
+        let mut tokens = em_text::tokenize(&records[i].full_text());
+        tokens.retain(|t| t.len() >= config.min_token_len);
+        tokens.sort_unstable();
+        tokens.dedup();
+        let keys = if tokens.is_empty() {
+            Vec::new()
+        } else {
+            let mut sum = vec![0.0; embeddings.dimensions()];
+            for t in &tokens {
+                for (acc, x) in sum.iter_mut().zip(embeddings.vector(t)) {
+                    *acc += x;
+                }
+            }
+            (0..lsh.tables)
+                .map(|t| format!("{LSH_KEY_PREFIX}{t}:{:x}", planes.signature(t, &sum)))
+                .collect()
+        };
+        let _ = slots[i].set(keys);
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("pool ran every index"))
+        .collect()
+}
+
+/// The built block structure: every kept block's member lists, the
+/// co-membership components, and the skip accounting. Candidates are
+/// *not* materialized here — drain them with [`Blocks::stream`] (sorted
+/// batches) or collect them via [`block_candidates_with`].
+#[derive(Debug, Clone)]
+pub struct Blocks {
+    /// Kept blocks' `(left members, right members)`, each list ascending,
+    /// in deterministic sorted-key order.
+    members: Vec<(Vec<u32>, Vec<u32>)>,
+    /// Blocks skipped for exceeding their size cap (token + LSH).
+    pub oversized: usize,
+    /// Token/n-gram blocks skipped for exceeding `max_block_size`.
+    pub skipped_stop_tokens: usize,
+    /// LSH blocks that were kept.
+    pub lsh_blocks: usize,
+    /// LSH blocks skipped for exceeding the LSH size cap.
+    pub lsh_skipped: usize,
+    /// Size of the avoided cross product.
+    pub comparisons: u64,
+    pub left_len: usize,
+    pub right_len: usize,
+    components: Vec<Vec<usize>>,
+}
+
+impl Blocks {
+    /// Blocks that will contribute candidates.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Canonical connected components of the block co-membership graph.
+    pub fn components(&self) -> &[Vec<usize>] {
+        &self.components
+    }
+
+    pub fn into_components(self) -> Vec<Vec<usize>> {
+        self.components
+    }
+
+    /// Lazily yield the sorted deduplicated candidate sequence.
+    pub fn stream(&self) -> CandidateStream<'_> {
+        CandidateStream::new(&self.members)
+    }
+}
+
+/// Build the block structure for two collections. `embeddings` is
+/// required iff `config.lsh` is set.
+pub fn build_blocks(
     left: &[Record],
     right: &[Record],
     config: &BlockingConfig,
-) -> CandidateSet {
+    embeddings: Option<&WordEmbeddings>,
+) -> Blocks {
     let threads = if config.jobs == 0 {
         em_pool::default_threads()
     } else {
@@ -141,66 +286,84 @@ pub fn block_candidates(
     };
     let left_keys = keys_of(left, config, threads);
     let right_keys = keys_of(right, config, threads);
+    let (left_lsh, right_lsh) = match &config.lsh {
+        Some(lsh) => {
+            let _g = em_obs::span!("lsh");
+            let emb = embeddings.expect("BlockingConfig.lsh requires embeddings at blocking time");
+            let planes = Hyperplanes::generate(emb.dimensions(), lsh.tables, lsh.bits, lsh.seed);
+            (
+                lsh_keys_of(left, config, lsh, &planes, emb, threads),
+                lsh_keys_of(right, config, lsh, &planes, emb, threads),
+            )
+        }
+        None => (Vec::new(), Vec::new()),
+    };
 
     // Inverted index: key → (left members, right members). Built
     // sequentially (hash-map construction does not parallelize without
     // sharding, and it is a small fraction of blocking time); members
-    // arrive in record order, so block contents are deterministic.
+    // arrive in record order, so every block's member lists ascend.
     let mut index: HashMap<&str, (Vec<u32>, Vec<u32>)> = HashMap::new();
-    for (i, keys) in left_keys.iter().enumerate() {
-        for k in keys {
-            index.entry(k.as_str()).or_default().0.push(i as u32);
-        }
-    }
-    for (j, keys) in right_keys.iter().enumerate() {
-        for k in keys {
-            index.entry(k.as_str()).or_default().1.push(j as u32);
+    for (keys, side) in [
+        (&left_keys, 0),
+        (&left_lsh, 0),
+        (&right_keys, 1),
+        (&right_lsh, 1),
+    ] {
+        for (r, record_keys) in keys.iter().enumerate() {
+            for k in record_keys {
+                let members = index.entry(k.as_str()).or_default();
+                if side == 0 {
+                    members.0.push(r as u32);
+                } else {
+                    members.1.push(r as u32);
+                }
+            }
         }
     }
 
     // Keep blocks with members on both sides, in sorted-key order so
-    // every later phase iterates deterministically.
-    let mut kept: Vec<(&str, &(Vec<u32>, Vec<u32>))> = Vec::new();
+    // every later phase iterates deterministically. LSH keys carry a
+    // control-character prefix and their own (larger) size cap.
+    let mut kept: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
     let mut oversized = 0usize;
+    let mut skipped_stop_tokens = 0usize;
+    let mut lsh_blocks = 0usize;
+    let mut lsh_skipped = 0usize;
     let mut keys_sorted: Vec<&str> = index.keys().copied().collect();
     keys_sorted.sort_unstable();
     for key in keys_sorted {
-        let members = &index[key];
+        let is_lsh = key.starts_with(LSH_KEY_PREFIX);
+        let cap = if is_lsh {
+            config.lsh.map_or(usize::MAX, |l| l.max_block_size)
+        } else {
+            config.max_block_size
+        };
+        let members = index
+            .remove(key)
+            .expect("sorted key list mirrors the index");
         if members.0.is_empty() || members.1.is_empty() {
             continue;
         }
-        if members.0.len() + members.1.len() > config.max_block_size {
+        if members.0.len() + members.1.len() > cap {
             oversized += 1;
+            if is_lsh {
+                lsh_skipped += 1;
+            } else {
+                skipped_stop_tokens += 1;
+            }
             continue;
         }
-        kept.push((key, members));
-    }
-
-    // Cross products per block in parallel, then merge in block order
-    // and sort+dedup globally.
-    let block_pairs: Vec<OnceLock<Vec<(u32, u32)>>> =
-        (0..kept.len()).map(|_| OnceLock::new()).collect();
-    em_pool::global().run(kept.len(), threads, &|b| {
-        let (lm, rm) = kept[b].1;
-        let mut out = Vec::with_capacity(lm.len() * rm.len());
-        for &i in lm {
-            for &j in rm {
-                out.push((i, j));
-            }
+        if is_lsh {
+            lsh_blocks += 1;
         }
-        let _ = block_pairs[b].set(out);
-    });
-    let mut pairs: Vec<(u32, u32)> = block_pairs
-        .into_iter()
-        .flat_map(|s| s.into_inner().expect("pool ran every block"))
-        .collect();
-    pairs.sort_unstable();
-    pairs.dedup();
+        kept.push(members);
+    }
 
     // Union-find over block co-membership (cheap: one union per member
     // beyond the first, thanks to transitivity).
     let mut uf = UnionFind::new(left.len() + right.len());
-    for (_, (lm, rm)) in &kept {
+    for (lm, rm) in &kept {
         let anchor = lm[0] as usize;
         for &i in lm.iter().skip(1) {
             uf.union(anchor, i as usize);
@@ -211,16 +374,129 @@ pub fn block_candidates(
     }
 
     em_obs::counter!("stream/blocks", kept.len() as u64);
-    em_obs::counter!("stream/candidates", pairs.len() as u64);
+    em_obs::counter!(
+        "stream/block/skipped_stop_tokens",
+        skipped_stop_tokens as u64
+    );
+    if config.lsh.is_some() {
+        em_obs::counter!("stream/block/lsh_blocks", lsh_blocks as u64);
+        em_obs::counter!("stream/block/lsh_skipped", lsh_skipped as u64);
+    }
 
-    CandidateSet {
-        pairs,
-        comparisons: left.len() as u64 * right.len() as u64,
-        blocks: kept.len(),
+    Blocks {
+        members: kept,
         oversized,
-        components: uf.components(),
+        skipped_stop_tokens,
+        lsh_blocks,
+        lsh_skipped,
+        comparisons: left.len() as u64 * right.len() as u64,
         left_len: left.len(),
         right_len: right.len(),
+        components: uf.components(),
+    }
+}
+
+/// A lazy, memory-flat iterator over the sorted deduplicated candidate
+/// sequence: a k-way merge over the per-block cross products (each block
+/// yields its pairs in ascending order because member lists ascend, so a
+/// binary heap of one cursor per block restores the global order and a
+/// one-element history deduplicates). State is O(blocks), independent of
+/// the candidate count.
+pub struct CandidateStream<'a> {
+    blocks: &'a [(Vec<u32>, Vec<u32>)],
+    /// Per-block `(i, j)` cursor into the cross product, for the *next*
+    /// pair after the one currently in the heap.
+    cursors: Vec<(usize, usize)>,
+    heap: BinaryHeap<std::cmp::Reverse<((u32, u32), usize)>>,
+    last: Option<(u32, u32)>,
+}
+
+impl<'a> CandidateStream<'a> {
+    fn new(blocks: &'a [(Vec<u32>, Vec<u32>)]) -> Self {
+        let mut heap = BinaryHeap::with_capacity(blocks.len());
+        for (b, (lm, rm)) in blocks.iter().enumerate() {
+            if !lm.is_empty() && !rm.is_empty() {
+                heap.push(std::cmp::Reverse(((lm[0], rm[0]), b)));
+            }
+        }
+        CandidateStream {
+            blocks,
+            // The heap seeds hold each block's (0, 0) pair; cursors
+            // point at the following one.
+            cursors: vec![(0usize, 1usize); blocks.len()],
+            heap,
+            last: None,
+        }
+    }
+
+    /// Advance block `b`'s cursor and push its next pair, if any.
+    fn refill(&mut self, b: usize) {
+        let (lm, rm) = &self.blocks[b];
+        let (mut i, mut j) = self.cursors[b];
+        if j >= rm.len() {
+            i += 1;
+            j = 0;
+        }
+        if i < lm.len() {
+            self.heap.push(std::cmp::Reverse(((lm[i], rm[j]), b)));
+            self.cursors[b] = (i, j + 1);
+        }
+    }
+
+    /// Up to `n` next candidates, ascending, deduplicated.
+    pub fn next_batch(&mut self, n: usize) -> Vec<(u32, u32)> {
+        self.by_ref().take(n).collect()
+    }
+}
+
+impl Iterator for CandidateStream<'_> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        while let Some(std::cmp::Reverse((pair, b))) = self.heap.pop() {
+            self.refill(b);
+            if self.last != Some(pair) {
+                self.last = Some(pair);
+                return Some(pair);
+            }
+        }
+        None
+    }
+}
+
+/// Block two collections into a deduplicated candidate set (token and
+/// n-gram schemes only — LSH needs embeddings, see
+/// [`block_candidates_with`]).
+pub fn block_candidates(
+    left: &[Record],
+    right: &[Record],
+    config: &BlockingConfig,
+) -> CandidateSet {
+    block_candidates_with(left, right, config, None)
+}
+
+/// Block two collections into a deduplicated candidate set, with
+/// embeddings available for the optional LSH key family.
+pub fn block_candidates_with(
+    left: &[Record],
+    right: &[Record],
+    config: &BlockingConfig,
+    embeddings: Option<&WordEmbeddings>,
+) -> CandidateSet {
+    let blocks = build_blocks(left, right, config, embeddings);
+    let pairs: Vec<(u32, u32)> = blocks.stream().collect();
+    em_obs::counter!("stream/candidates", pairs.len() as u64);
+    CandidateSet {
+        pairs,
+        comparisons: blocks.comparisons,
+        blocks: blocks.len(),
+        oversized: blocks.oversized,
+        skipped_stop_tokens: blocks.skipped_stop_tokens,
+        lsh_blocks: blocks.lsh_blocks,
+        lsh_skipped: blocks.lsh_skipped,
+        left_len: blocks.left_len,
+        right_len: blocks.right_len,
+        components: blocks.into_components(),
     }
 }
 
@@ -303,5 +579,98 @@ mod tests {
         assert!(c.pairs.is_empty());
         assert_eq!(c.reduction_ratio(), 0.0);
         assert!(c.components.is_empty());
+    }
+
+    #[test]
+    fn stream_yields_the_collected_sequence_in_batches() {
+        let (left, right) = demo();
+        let config = BlockingConfig::default();
+        let collected = block_candidates(&left, &right, &config).pairs;
+        let blocks = build_blocks(&left, &right, &config, None);
+        let mut stream = blocks.stream();
+        let mut batched = Vec::new();
+        loop {
+            let batch = stream.next_batch(2);
+            if batch.is_empty() {
+                break;
+            }
+            assert!(batch.len() <= 2);
+            batched.extend(batch);
+        }
+        assert_eq!(batched, collected);
+        // Sorted ascending, deduplicated.
+        for w in batched.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    fn toy_embeddings() -> WordEmbeddings {
+        // Two tight semantic groups with zero token overlap between the
+        // paired surface forms.
+        let vecs = [
+            ("sonix", vec![1.0, 0.1, 0.0, 0.0]),
+            ("sonics", vec![1.0, 0.12, 0.0, 0.0]),
+            ("kettle", vec![0.0, 0.0, 1.0, 0.1]),
+            ("boiler", vec![0.0, 0.0, 1.0, 0.15]),
+        ];
+        WordEmbeddings::from_vectors(4, vecs.iter().map(|(w, v)| (w.to_string(), v.clone())))
+            .unwrap()
+    }
+
+    #[test]
+    fn lsh_blocks_semantically_close_token_disjoint_records() {
+        let left = vec![rec(0, "sonix"), rec(1, "kettle")];
+        let right = vec![rec(10, "sonics"), rec(11, "boiler")];
+        let emb = toy_embeddings();
+        let token_only = block_candidates(&left, &right, &BlockingConfig::default());
+        assert!(token_only.pairs.is_empty(), "no shared surface tokens");
+        let config = BlockingConfig {
+            lsh: Some(LshBlocking {
+                tables: 8,
+                bits: 4,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let with_lsh = block_candidates_with(&left, &right, &config, Some(&emb));
+        assert!(with_lsh.pairs.contains(&(0, 0)), "sonix~sonics missed");
+        assert!(with_lsh.pairs.contains(&(1, 1)), "kettle~boiler missed");
+        assert!(with_lsh.lsh_blocks > 0);
+    }
+
+    #[test]
+    fn lsh_candidates_are_a_superset_of_token_candidates() {
+        let (left, right) = demo();
+        let emb = toy_embeddings();
+        let token_only = block_candidates(&left, &right, &BlockingConfig::default());
+        let config = BlockingConfig {
+            lsh: Some(LshBlocking::default()),
+            ..Default::default()
+        };
+        let with_lsh = block_candidates_with(&left, &right, &config, Some(&emb));
+        for p in &token_only.pairs {
+            assert!(with_lsh.pairs.contains(p), "token candidate {p:?} lost");
+        }
+    }
+
+    #[test]
+    fn oversized_lsh_blocks_are_skipped_under_their_own_cap() {
+        let left: Vec<Record> = (0..20).map(|i| rec(i, "sonix")).collect();
+        let right: Vec<Record> = (0..20).map(|i| rec(100 + i, "sonics")).collect();
+        let emb = toy_embeddings();
+        let config = BlockingConfig {
+            lsh: Some(LshBlocking {
+                tables: 8,
+                bits: 4,
+                max_block_size: 8,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let c = block_candidates_with(&left, &right, &config, Some(&emb));
+        assert!(c.pairs.is_empty());
+        assert!(c.lsh_skipped > 0);
+        assert_eq!(c.lsh_blocks, 0);
+        assert_eq!(c.skipped_stop_tokens, 0, "token blocks are one-sided here");
     }
 }

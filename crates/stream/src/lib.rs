@@ -41,10 +41,13 @@ pub mod pipeline;
 pub mod store;
 pub mod unionfind;
 
-pub use block::{block_candidates, BlockKeyScheme, BlockingConfig, CandidateSet};
+pub use block::{
+    block_candidates, block_candidates_with, build_blocks, BlockKeyScheme, BlockingConfig, Blocks,
+    CandidateSet, CandidateStream, LshBlocking,
+};
 pub use pipeline::{
-    candidates_only, explanation_fingerprint, run_stream, ExplainedMatch, StreamOptions,
-    StreamOutcome,
+    candidates_only, candidates_only_with, explanation_fingerprint, run_stream, ExplainedMatch,
+    StreamOptions, StreamOutcome,
 };
 pub use store::StreamStores;
 pub use unionfind::UnionFind;

@@ -3,17 +3,20 @@
 //!
 //! ## Memory bound
 //!
-//! Only one batch of [`em_data::EntityPair`]s is ever materialized
-//! (candidates are `(u32, u32)` index pairs until their batch comes up),
-//! explanation outputs are compacted to [`ExplainedMatch`] digests, and
-//! the perturbation/explanation caches are byte-budgeted
+//! The candidate list is never materialized: [`crate::Blocks`] holds the
+//! per-block member lists and [`crate::CandidateStream`] k-way-merges
+//! them into sorted deduplicated batches on demand, so candidate memory
+//! is O(blocks), not O(candidates). Only one batch of
+//! [`em_data::EntityPair`]s is ever materialized, explanation outputs
+//! are compacted to [`ExplainedMatch`] digests, and the
+//! perturbation/explanation caches are byte-budgeted
 //! ([`crate::StreamStores`]). Peak memory therefore depends on the
 //! record collections, the batch size and the store budget — not on the
 //! candidate count.
 //!
 //! ## Determinism
 //!
-//! The candidate list is sorted (see [`crate::block_candidates`]),
+//! The candidate sequence is sorted (see [`crate::Blocks::stream`]),
 //! batches are processed in order, matching is a pure per-pair function,
 //! and explanations are pure functions of pair content under a fixed
 //! seed, computed into index-keyed slots. Cache hits return values
@@ -22,7 +25,7 @@
 //! are identical at any `jobs` count — the property the `em-stream`
 //! integration tests assert.
 
-use crate::block::{block_candidates, BlockingConfig, CandidateSet};
+use crate::block::{block_candidates_with, build_blocks, BlockingConfig, CandidateSet};
 use crate::store::StreamStores;
 use crate::unionfind::UnionFind;
 use crate::StreamError;
@@ -96,6 +99,11 @@ pub struct StreamOutcome {
     pub reduction_ratio: f64,
     pub blocks: usize,
     pub oversized_blocks: usize,
+    /// Token blocks skipped as stop-token blocks (recall-loss visibility).
+    pub skipped_stop_tokens: usize,
+    /// LSH-signature blocks kept / skipped (0 when LSH is disabled).
+    pub lsh_blocks: usize,
+    pub lsh_skipped: usize,
     /// Explained matches, in candidate (sorted-pair) order.
     pub matches: Vec<ExplainedMatch>,
     /// Entity clusters: connected components of the match graph over
@@ -121,9 +129,9 @@ pub fn run_stream(
     options: &StreamOptions,
 ) -> Result<StreamOutcome, StreamError> {
     let _stream = em_obs::span!("stream");
-    let candidates = {
+    let blocks = {
         let _g = em_obs::span!("block");
-        block_candidates(left, right, &options.blocking)
+        build_blocks(left, right, &options.blocking, Some(&embeddings))
     };
 
     let crew = Crew::new(embeddings, options.crew.clone());
@@ -140,7 +148,15 @@ pub fn run_stream(
 
     let mut matches: Vec<ExplainedMatch> = Vec::new();
     let mut matched_idx: Vec<(u32, u32)> = Vec::new();
-    for batch in candidates.pairs.chunks(options.batch.max(1)) {
+    let mut candidate_count = 0usize;
+    let mut stream = blocks.stream();
+    loop {
+        // Pull only this batch's candidates out of the merge.
+        let batch = stream.next_batch(options.batch.max(1));
+        if batch.is_empty() {
+            break;
+        }
+        candidate_count += batch.len();
         // Materialize only this batch's pairs.
         let pairs: Vec<EntityPair> = batch
             .iter()
@@ -189,12 +205,14 @@ pub fn run_stream(
             matched_idx.push(batch[hits[t]]);
         }
     }
+    drop(stream);
+    em_obs::counter!("stream/candidates", candidate_count as u64);
     em_obs::counter!("stream/matches", matches.len() as u64);
 
     // Entity clusters: connected components of the match graph.
-    let mut uf = UnionFind::new(candidates.left_len + candidates.right_len);
+    let mut uf = UnionFind::new(blocks.left_len + blocks.right_len);
     for &(i, j) in &matched_idx {
-        uf.union(i as usize, candidates.left_len + j as usize);
+        uf.union(i as usize, blocks.left_len + j as usize);
     }
     let entity_clusters: Vec<Vec<u64>> = uf
         .clusters()
@@ -203,22 +221,30 @@ pub fn run_stream(
             component
                 .into_iter()
                 .map(|node| {
-                    if node < candidates.left_len {
+                    if node < blocks.left_len {
                         left[node].id
                     } else {
-                        right[node - candidates.left_len].id
+                        right[node - blocks.left_len].id
                     }
                 })
                 .collect()
         })
         .collect();
 
+    let reduction_ratio = if blocks.comparisons == 0 {
+        0.0
+    } else {
+        1.0 - candidate_count as f64 / blocks.comparisons as f64
+    };
     Ok(StreamOutcome {
-        candidates: candidates.pairs.len(),
-        comparisons: candidates.comparisons,
-        reduction_ratio: candidates.reduction_ratio(),
-        blocks: candidates.blocks,
-        oversized_blocks: candidates.oversized,
+        candidates: candidate_count,
+        comparisons: blocks.comparisons,
+        reduction_ratio,
+        blocks: blocks.len(),
+        oversized_blocks: blocks.oversized,
+        skipped_stop_tokens: blocks.skipped_stop_tokens,
+        lsh_blocks: blocks.lsh_blocks,
+        lsh_skipped: blocks.lsh_skipped,
         matches,
         entity_clusters,
         perturb_stats: stores.perturbation_stats(),
@@ -230,7 +256,17 @@ pub fn run_stream(
 /// Blocking only — exposed for callers that want the candidate set
 /// without scoring (the property tests, candidate-count sizing).
 pub fn candidates_only(left: &[Record], right: &[Record], config: &BlockingConfig) -> CandidateSet {
-    block_candidates(left, right, config)
+    block_candidates_with(left, right, config, None)
+}
+
+/// [`candidates_only`] with embeddings available for LSH blocking.
+pub fn candidates_only_with(
+    left: &[Record],
+    right: &[Record],
+    config: &BlockingConfig,
+    embeddings: Option<&WordEmbeddings>,
+) -> CandidateSet {
+    block_candidates_with(left, right, config, embeddings)
 }
 
 fn explain_one(

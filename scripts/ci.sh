@@ -66,14 +66,22 @@ import json, sys
 
 trace = json.load(open(sys.argv[1]))
 paths = {s["path"] for s in trace["spans"]}
-for stage in ("stream", "stream/block", "stream/match", "stream/explain"):
+for stage in ("stream", "stream/block", "stream/block/lsh",
+              "stream/match", "stream/explain"):
     assert stage in paths, f"missing pipeline stage span {stage!r}"
 counters = {c["name"]: c["value"] for c in trace["counters"]}
-for name in ("stream/blocks", "stream/candidates", "stream/matches"):
+for name in ("stream/blocks", "stream/candidates", "stream/matches",
+             "ann/signatures"):
     assert counters.get(name, 0) > 0, f"counter {name!r} missing or zero"
+# Accounting counters may legitimately read zero at smoke scale, but
+# they must be reported.
+for name in ("stream/block/skipped_stop_tokens", "stream/block/lsh_blocks",
+             "stream/block/lsh_skipped"):
+    assert name in counters, f"counter {name!r} missing"
 print(f"stream trace ok: {len(paths)} spans, "
       f"{counters['stream/candidates']} candidates, "
-      f"{counters['stream/matches']} matches")
+      f"{counters['stream/matches']} matches, "
+      f"{counters['ann/signatures']} lsh signatures")
 EOF
 
 # Compare a fresh smoke run against its committed baseline, failing on
@@ -237,6 +245,16 @@ EOF
     cp results/BENCH_kernels_smoke.json "$baseline"
     cargo bench --locked --offline -p em-bench --bench kernels -- --smoke
     bench_gate "$baseline" results/BENCH_kernels_smoke.json 3.0 1e6
+    rm -f "$baseline"
+
+    echo "==> bench smoke (ann --smoke) + regression gate"
+    # The ann bench aborts itself if the benchmarked index drops below
+    # 0.95 recall against exact top-k, so this leg also gates quality.
+    # Rows are ms-scale at smoke sizes — gate like the kernels bench.
+    baseline=$(mktemp)
+    cp results/BENCH_ann_smoke.json "$baseline"
+    cargo bench --locked --offline -p em-bench --bench ann -- --smoke
+    bench_gate "$baseline" results/BENCH_ann_smoke.json 3.0 1e6
     rm -f "$baseline"
 fi
 

@@ -1,0 +1,316 @@
+//! Property tests of the `em_embed::ann` subsystem and its consumers:
+//! ANN recall against exact brute force across vocabulary sizes and
+//! seeds, index determinism (same seed ⇒ identical buckets at any
+//! thread count), bitwise pinning of the exact distance-matrix path,
+//! bitwise agreement of ANN neighbour entries with the dense values,
+//! LSH-blocker recall against the token blocker on the synthetic
+//! families, and the streaming candidate iterator's equivalence to the
+//! materialized candidate list.
+
+use em_embed::{
+    semantic_distance_matrix, semantic_distance_matrix_with, semantic_topk, AnnIndex, AnnOptions,
+    SemanticBackend, SemanticMatrixOptions, WordEmbeddings,
+};
+use em_rngs::rngs::StdRng;
+use em_rngs::{Rng, SeedableRng};
+use em_stream::{
+    block_candidates, block_candidates_with, build_blocks, BlockingConfig, LshBlocking,
+};
+use em_synth::{record_collections, CollectionsConfig, Family, RecordCollections};
+use propcheck::prelude::*;
+
+const DIMS: usize = 24;
+
+/// Clustered synthetic vocabulary: `clusters` well-separated directions
+/// with `per` jittered members each — the neighbourhood structure real
+/// embeddings have, and the regime LSH is designed for.
+fn clustered_vocab(clusters: usize, per: usize, seed: u64) -> Vec<(String, Vec<f64>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..clusters)
+        .map(|_| (0..DIMS).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let mut vocab = Vec::with_capacity(clusters * per);
+    for (c, center) in centers.iter().enumerate() {
+        for m in 0..per {
+            let v: Vec<f64> = center
+                .iter()
+                .map(|x| x + rng.gen_range(-0.05..0.05))
+                .collect();
+            vocab.push((format!("w{c}_{m}"), v));
+        }
+    }
+    vocab
+}
+
+fn embeddings_of(vocab: &[(String, Vec<f64>)]) -> WordEmbeddings {
+    WordEmbeddings::from_vectors(DIMS, vocab.iter().cloned()).expect("consistent dims")
+}
+
+fn words_of(vocab: &[(String, Vec<f64>)]) -> Vec<String> {
+    vocab.iter().map(|(w, _)| w.clone()).collect()
+}
+
+fn opts_with(backend: SemanticBackend, neighbors: usize) -> SemanticMatrixOptions {
+    SemanticMatrixOptions {
+        backend,
+        neighbors,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The headline recall property: across vocabulary sizes and seeds,
+    // the ANN top-k finds at least 95% of the exact top-k.
+    #[test]
+    fn ann_recall_at_least_095_vs_exact_top_k(
+        clusters in 4usize..12,
+        per in 6usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let vocab = clustered_vocab(clusters, per, seed);
+        let emb = embeddings_of(&vocab);
+        let words = words_of(&vocab);
+        let k = 5usize;
+        let exact = semantic_topk(&emb, &words, k, &opts_with(SemanticBackend::Exact, k));
+        let ann = semantic_topk(&emb, &words, k, &opts_with(SemanticBackend::Ann, k));
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for (er, ar) in exact.neighbors.iter().zip(&ann.neighbors) {
+            let approx: Vec<u32> = ar.iter().map(|&(j, _)| j).collect();
+            hit += er.iter().filter(|&&(j, _)| approx.contains(&j)).count();
+            total += er.len();
+        }
+        let recall = hit as f64 / total.max(1) as f64;
+        prop_assert!(
+            recall >= 0.95,
+            "recall {recall} over {} words ({clusters}x{per}, seed {seed})",
+            words.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Same seed ⇒ identical buckets and identical queries, whether the
+    // index was built on 1 thread or 4.
+    #[test]
+    fn index_is_deterministic_and_thread_invariant(
+        clusters in 3usize..8,
+        per in 4usize..12,
+        seed in 0u64..10_000,
+        index_seed in 0u64..1_000,
+    ) {
+        let vocab = clustered_vocab(clusters, per, seed);
+        let vectors: Vec<Vec<f64>> = vocab.iter().map(|(_, v)| v.clone()).collect();
+        let build = |threads| {
+            AnnIndex::build(&vectors, &AnnOptions {
+                seed: index_seed,
+                threads,
+                ..Default::default()
+            })
+        };
+        let one = build(1);
+        let four = build(4);
+        for t in 0..AnnOptions::default().tables {
+            prop_assert_eq!(one.table_buckets(t), four.table_buckets(t));
+        }
+        for probe in [0usize, vectors.len() / 2, vectors.len() - 1] {
+            let a = one.top_k_of(probe as u32, 4);
+            let b = four.top_k_of(probe as u32, 4);
+            prop_assert_eq!(a.len(), b.len());
+            for ((ia, da), (ib, db)) in a.iter().zip(&b) {
+                prop_assert_eq!(ia, ib);
+                prop_assert_eq!(da.to_bits(), db.to_bits());
+            }
+        }
+    }
+
+    // The exact path of the routed entry point is bitwise-identical to
+    // the original `semantic_distance_matrix`, and `Auto` below its
+    // threshold is bitwise-identical to `Exact`.
+    #[test]
+    fn exact_and_auto_paths_are_bitwise_pinned(
+        clusters in 2usize..6,
+        per in 2usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let vocab = clustered_vocab(clusters, per, seed);
+        let emb = embeddings_of(&vocab);
+        // Repeat words (and an OOV form) to exercise the interning.
+        let mut words = words_of(&vocab);
+        words.push(vocab[0].0.clone());
+        words.push("oov_form".to_string());
+        let plain = semantic_distance_matrix(&emb, &words);
+        let exact = semantic_distance_matrix_with(&emb, &words, &SemanticMatrixOptions::exact());
+        let auto = semantic_distance_matrix_with(
+            &emb,
+            &words,
+            &opts_with(SemanticBackend::Auto, 8),
+        );
+        for i in 0..words.len() {
+            for j in 0..words.len() {
+                prop_assert_eq!(plain[(i, j)].to_bits(), exact[(i, j)].to_bits());
+                prop_assert_eq!(plain[(i, j)].to_bits(), auto[(i, j)].to_bits());
+            }
+        }
+    }
+
+    // ANN matrix invariants: zero diagonal, bitwise symmetry, [0,1]
+    // range, thread-count invariance, and — the re-rank pinning — every
+    // ANN neighbour entry carries the exact dense-path distance bitwise.
+    #[test]
+    fn ann_matrix_neighbor_entries_match_dense_bitwise(
+        clusters in 3usize..8,
+        per in 4usize..10,
+        seed in 0u64..10_000,
+    ) {
+        let vocab = clustered_vocab(clusters, per, seed);
+        let emb = embeddings_of(&vocab);
+        let words = words_of(&vocab);
+        let kn = 6usize;
+        let opts = opts_with(SemanticBackend::Ann, kn);
+        let ann = semantic_distance_matrix_with(&emb, &words, &opts);
+        let exact = semantic_distance_matrix(&emb, &words);
+        let topk = semantic_topk(&emb, &words, kn, &opts);
+        let n = words.len();
+        for i in 0..n {
+            prop_assert_eq!(ann[(i, i)], 0.0);
+            for j in 0..n {
+                prop_assert_eq!(ann[(i, j)].to_bits(), ann[(j, i)].to_bits());
+                prop_assert!((0.0..=1.0).contains(&ann[(i, j)]));
+            }
+        }
+        // Distinct ids equal positions here (no repeated words), so the
+        // top-k rows address matrix rows directly.
+        for (i, row) in topk.neighbors.iter().enumerate() {
+            for &(j, d) in row {
+                prop_assert_eq!(ann[(i, j as usize)].to_bits(), d.to_bits());
+                prop_assert_eq!(exact[(i, j as usize)].to_bits(), d.to_bits());
+            }
+        }
+        let mut threaded = opts;
+        threaded.ann.threads = 4;
+        let again = semantic_distance_matrix_with(&emb, &words, &threaded);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(ann[(i, j)].to_bits(), again[(i, j)].to_bits());
+            }
+        }
+    }
+}
+
+fn collections(family: Family, entities: usize, seed: u64) -> RecordCollections {
+    record_collections(
+        family,
+        CollectionsConfig {
+            entities,
+            duplicate_rate: 0.5,
+            extra_right: entities / 5,
+            seed,
+        },
+    )
+    .expect("synthetic collections generate")
+}
+
+fn family_of(idx: usize) -> Family {
+    [
+        Family::Products,
+        Family::Citations,
+        Family::Restaurants,
+        Family::Songs,
+        Family::Beers,
+    ][idx % 5]
+}
+
+fn train_on(c: &RecordCollections) -> WordEmbeddings {
+    let sentences: Vec<Vec<String>> = c
+        .left
+        .iter()
+        .chain(&c.right)
+        .map(|r| em_text::tokenize(&r.full_text()))
+        .collect();
+    WordEmbeddings::train(
+        sentences.iter().map(|v| v.as_slice()),
+        em_embed::EmbeddingOptions {
+            dimensions: 16,
+            ..Default::default()
+        },
+    )
+    .expect("embeddings train")
+}
+
+fn recall(c: &RecordCollections, pairs: &[(u32, u32)]) -> f64 {
+    if c.true_matches.is_empty() {
+        return 1.0;
+    }
+    let mut found = 0usize;
+    for &(lid, rid) in &c.true_matches {
+        let i = c.left.iter().position(|r| r.id == lid).unwrap() as u32;
+        let j = c.right.iter().position(|r| r.id == rid).unwrap() as u32;
+        if pairs.binary_search(&(i, j)).is_ok() {
+            found += 1;
+        }
+    }
+    found as f64 / c.true_matches.len() as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Adding the LSH key family can only add candidates, so its recall
+    // dominates the token blocker's on every synthetic family.
+    #[test]
+    fn lsh_blocker_recall_dominates_token_blocker(
+        family_idx in 0usize..5,
+        entities in 20usize..50,
+        seed in 0u64..1000,
+    ) {
+        let c = collections(family_of(family_idx), entities, seed);
+        let emb = train_on(&c);
+        let token_config = BlockingConfig::default();
+        let hybrid_config = BlockingConfig {
+            lsh: Some(LshBlocking::default()),
+            ..Default::default()
+        };
+        let token = block_candidates(&c.left, &c.right, &token_config);
+        let hybrid = block_candidates_with(&c.left, &c.right, &hybrid_config, Some(&emb));
+        for p in &token.pairs {
+            prop_assert!(
+                hybrid.pairs.binary_search(p).is_ok(),
+                "token candidate {p:?} lost by the hybrid blocker"
+            );
+        }
+        prop_assert!(recall(&c, &hybrid.pairs) >= recall(&c, &token.pairs));
+    }
+
+    // The streaming iterator yields exactly the materialized candidate
+    // sequence, whatever the batch size.
+    #[test]
+    fn candidate_stream_equals_collected_candidates(
+        family_idx in 0usize..5,
+        entities in 20usize..50,
+        seed in 0u64..1000,
+        batch in 1usize..97,
+    ) {
+        let c = collections(family_of(family_idx), entities, seed);
+        let config = BlockingConfig::default();
+        let collected = block_candidates(&c.left, &c.right, &config);
+        let blocks = build_blocks(&c.left, &c.right, &config, None);
+        let mut stream = blocks.stream();
+        let mut streamed = Vec::new();
+        loop {
+            let b = stream.next_batch(batch);
+            if b.is_empty() {
+                break;
+            }
+            prop_assert!(b.len() <= batch);
+            streamed.extend(b);
+        }
+        prop_assert_eq!(&collected.pairs, &streamed);
+        prop_assert_eq!(blocks.len(), collected.blocks);
+        prop_assert_eq!(blocks.oversized, collected.oversized);
+    }
+}

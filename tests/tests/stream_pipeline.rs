@@ -130,3 +130,45 @@ fn csv_collections_stream_deterministically() {
     }
     assert_same_artifacts(&sequential, &run(4));
 }
+
+#[test]
+fn lsh_blocked_stream_is_deterministic_across_jobs() {
+    let c = record_collections(
+        Family::Restaurants,
+        CollectionsConfig {
+            entities: 40,
+            duplicate_rate: 0.5,
+            extra_right: 10,
+            seed: 11,
+        },
+    )
+    .expect("collections generate");
+    let ctx = shared_ctx();
+    let matcher = ctx.matcher(MatcherKind::Logistic).expect("matcher trains");
+
+    let run = |jobs: usize| {
+        run_stream(
+            &c.schema,
+            &c.left,
+            &c.right,
+            matcher.as_ref(),
+            ctx.embeddings.clone(),
+            &StreamOptions {
+                jobs,
+                batch: 16,
+                blocking: em_stream::BlockingConfig {
+                    lsh: Some(em_stream::LshBlocking::default()),
+                    ..Default::default()
+                },
+                store_budget: Some(StoreBudget::total(2 << 20)),
+                ..Default::default()
+            },
+        )
+        .expect("pipeline runs")
+    };
+    let sequential = run(1);
+    assert!(!sequential.matches.is_empty(), "workload produces matches");
+    for jobs in [2, 4] {
+        assert_same_artifacts(&sequential, &run(jobs));
+    }
+}
