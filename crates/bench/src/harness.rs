@@ -128,12 +128,29 @@ impl Timing {
 pub struct Criterion {
     report: BenchReport,
     timing: Timing,
+    filter: Option<String>,
 }
 
 /// `--smoke` on the command line or `EM_BENCH_SMOKE=1`.
 pub fn smoke_requested() -> bool {
     std::env::args().any(|a| a == "--smoke" || a == "smoke")
         || std::env::var_os("EM_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// `--filter <name>` / `--filter=<name>` on the command line: run only
+/// the benchmark groups whose name contains `<name>` (substring match),
+/// e.g. `cargo bench --bench kernels -- --filter simd`.
+pub fn filter_requested() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--filter" {
+            return args.next();
+        }
+        if let Some(f) = a.strip_prefix("--filter=") {
+            return Some(f.to_string());
+        }
+    }
+    None
 }
 
 impl Criterion {
@@ -144,20 +161,36 @@ impl Criterion {
         Criterion {
             report: BenchReport::new(&name, smoke),
             timing: Timing::standard(smoke),
+            filter: filter_requested(),
         }
     }
 
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        eprintln!("group {name}");
+        let active = match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        };
+        if active {
+            eprintln!("group {name}");
+        } else {
+            eprintln!("group {name} (skipped by --filter)");
+        }
         BenchmarkGroup {
             criterion: self,
             name: name.to_string(),
             sample_size: None,
+            active,
         }
     }
 
     /// Print the table and persist the JSON; called by `criterion_main!`.
+    /// Filtered runs never write JSON — a partial result set must not
+    /// clobber a committed full baseline.
     pub fn finalize(self) {
+        if self.filter.is_some() {
+            eprintln!("filtered run: JSON not written");
+            return;
+        }
         match self.report.write() {
             Ok(path) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("warning: could not write bench JSON: {e}"),
@@ -188,6 +221,7 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    active: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -215,6 +249,9 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
+        if !self.active {
+            return;
+        }
         let mut timing = self.criterion.timing;
         if let Some(n) = self.sample_size {
             if !self.criterion.report.smoke {

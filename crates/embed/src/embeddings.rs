@@ -421,26 +421,60 @@ fn use_ann(opts: &SemanticMatrixOptions, distinct: usize) -> bool {
     }
 }
 
+/// Square tile edge of the batched [`exact_pair_distances`] fill. Tiles
+/// of 32×32 pairs keep both bands of vectors (32 × dim `f64`s each) hot
+/// in cache while the upper triangle is swept.
+const DIST_TILE: usize = 32;
+
 /// One distance per distinct-id pair: words repeat across a record's
 /// attributes and its perturbed variants, so the number of distinct
 /// forms `k` is usually well below `n` and the expensive dot products
 /// collapse from n²/2 to k²/2. Scattering the cached value into the
 /// n×n matrix is bitwise-identical to recomputing it per position.
+///
+/// The upper triangle is filled in [`DIST_TILE`]-square tiles rather
+/// than entry-at-a-time so each band of vectors is reused across a whole
+/// tile of SIMD-dispatched dots (see `em_linalg::kernels`). Every entry
+/// is an independent `dot` + scalar post-processing — no cross-entry
+/// accumulation — so the tile traversal order is bitwise-irrelevant; the
+/// in-module property test pins tiled ≡ per-entry.
 fn exact_pair_distances(interned: &Interned) -> Vec<f64> {
+    let (vecs, norms) = (&interned.vecs, &interned.norms);
+    let k = vecs.len();
+    let mut pair_dist = vec![0.0; k * k];
+    let mut ta = 0usize;
+    while ta < k {
+        let ta1 = (ta + DIST_TILE).min(k);
+        let mut tb = ta;
+        while tb < k {
+            let tb1 = (tb + DIST_TILE).min(k);
+            for a in ta..ta1 {
+                // Diagonal tiles only fill above the diagonal.
+                let b_start = if tb <= a { a + 1 } else { tb };
+                for b in b_start..tb1 {
+                    let d = em_linalg::dot(&vecs[a], &vecs[b]);
+                    let dist = pair_distance(d, norms[a], norms[b]);
+                    pair_dist[a * k + b] = dist;
+                    pair_dist[b * k + a] = dist;
+                }
+            }
+            tb = tb1;
+        }
+        ta = ta1;
+    }
+    pair_dist
+}
+
+/// Entry-at-a-time reference fill the tiled builder is tested against.
+#[cfg(test)]
+fn exact_pair_distances_reference(interned: &Interned) -> Vec<f64> {
     let (vecs, norms) = (&interned.vecs, &interned.norms);
     let k = vecs.len();
     let mut pair_dist = vec![0.0; k * k];
     for a in 0..k {
         for b in a + 1..k {
-            let dist = if norms[a] == 0.0 || norms[b] == 0.0 {
-                // cosine() reports 0 on zero norms -> distance 1/2.
-                0.5
-            } else {
-                // Cosine in [-1,1] -> distance in [0,1].
-                let c =
-                    (em_linalg::dot(&vecs[a], &vecs[b]) / (norms[a] * norms[b])).clamp(-1.0, 1.0);
-                (1.0 - c) / 2.0
-            };
+            let d = em_linalg::dot(&vecs[a], &vecs[b]);
+            let dist = pair_distance(d, norms[a], norms[b]);
             pair_dist[a * k + b] = dist;
             pair_dist[b * k + a] = dist;
         }
@@ -765,5 +799,37 @@ mod tests {
         }
         // Duplicate words have zero distance.
         assert_eq!(d[(0, 3)], 0.0);
+    }
+
+    use propcheck::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tiled_distance_fill_matches_per_entry_bitwise(
+            k in 0usize..80,
+            dims in 1usize..12,
+            seed in 0u64..1000,
+        ) {
+            use em_rngs::{Rng, SeedableRng};
+            let mut rng = em_rngs::rngs::StdRng::seed_from_u64(seed);
+            let vecs: Vec<Vec<f64>> = (0..k)
+                .map(|i| {
+                    if i % 7 == 3 {
+                        // Exercise the zero-norm convention inside tiles.
+                        vec![0.0; dims]
+                    } else {
+                        (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect()
+                    }
+                })
+                .collect();
+            let norms: Vec<f64> = vecs.iter().map(|v| em_linalg::norm2(v)).collect();
+            let interned = Interned { ids: (0..k).collect(), vecs, norms };
+            let tiled = exact_pair_distances(&interned);
+            let reference = exact_pair_distances_reference(&interned);
+            prop_assert_eq!(tiled.len(), reference.len());
+            for (x, y) in tiled.iter().zip(&reference) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 }

@@ -95,8 +95,10 @@ struct PairStats {
 }
 
 /// Explain one pair with one system and measure everything T3/T4 report.
-/// The unperturbed base score is queried once and shared by all four
-/// fidelity metrics.
+/// The unperturbed base score is queried once, and the four fidelity
+/// metrics share a single batched model query
+/// ([`metrics::fidelity_probes_with_base`]) — identical values to the
+/// individual `*_with_base` forms at a fraction of the dispatches.
 fn pair_stats(
     kind: ExplainerKind,
     ctx: &Arc<EvalContext>,
@@ -108,19 +110,16 @@ fn pair_stats(
     let out = session.explain(kind, ctx, pair)?;
     let tokenized = TokenizedPair::new(pair.clone());
     let base = metrics::base_probability(matcher, &tokenized);
-    let aopc = metrics::aopc_deletion_with_base(matcher, &tokenized, &out.units, fractions, base)?;
-    let aopc_u = metrics::aopc_units_with_base(matcher, &tokenized, &out.units, 3, base)?;
-    let flip = f64::from(metrics::decision_flip_with_base(
-        matcher, &tokenized, &out.units, base,
-    )?);
-    let suff = metrics::sufficiency_with_base(matcher, &tokenized, &out.units, 0.3, base)?;
+    let probes = metrics::fidelity_probes_with_base(
+        matcher, &tokenized, &out.units, fractions, 3, 0.3, base,
+    )?;
     let rep = metrics::interpretability(&out.units, &out.word_level.words, &ctx.embeddings)?;
     Ok(PairStats {
-        aopc,
-        aopc_u,
-        flip,
+        aopc: probes.aopc_deletion,
+        aopc_u: probes.aopc_units,
+        flip: f64::from(probes.decision_flip),
         r2: out.word_level.surrogate_r2,
-        suff,
+        suff: probes.sufficiency,
         units_n: rep.unit_count as f64,
         coh: rep.semantic_coherence,
         pur: rep.attribute_purity,

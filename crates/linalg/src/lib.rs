@@ -21,6 +21,7 @@
 // Index-based loops are kept where they mirror the textbook formulation
 // of the numeric kernels; iterator rewrites obscure the math.
 #![allow(clippy::needless_range_loop)]
+pub mod kernels;
 pub mod matrix;
 pub mod qr;
 pub mod solve;
@@ -28,6 +29,7 @@ pub mod sparse;
 pub mod stats;
 pub mod svd;
 
+pub use kernels::{active_backend, axpy, KernelBackend};
 pub use matrix::{cosine, dot, norm2, sq_dist, Matrix};
 pub use solve::{cholesky, ridge, ridge_regression, solve_spd, RidgeFit};
 pub use sparse::SparseMatrix;

@@ -131,18 +131,16 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, other.cols);
         // ikj loop order: the innermost loop walks contiguous memory in both
         // `other` and `out`, which matters for the perturbation design
-        // matrices (hundreds of rows).
+        // matrices (hundreds of rows). The zero-skip must stay: dropping it
+        // would turn stored -0.0 outputs into +0.0 and break the bitwise
+        // agreement with the sparse kernels.
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
                 if a == 0.0 {
                     continue;
                 }
-                let orow = other.row(k);
-                let crow = out.row_mut(i);
-                for (c, &o) in crow.iter_mut().zip(orow.iter()) {
-                    *c += a * o;
-                }
+                crate::kernels::axpy(a, other.row(k), out.row_mut(i));
             }
         }
         out
@@ -167,11 +165,7 @@ impl Matrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.cols, "vector length must equal cols");
-        out.clear();
-        out.reserve(self.rows);
-        for i in 0..self.rows {
-            out.push(dot(self.row(i), v));
-        }
+        crate::kernels::matvec_into(self.rows, self.cols, &self.data, v, out);
     }
 
     /// `self^T * v` without materialising the transpose.
@@ -183,9 +177,7 @@ impl Matrix {
             if w == 0.0 {
                 continue;
             }
-            for (o, &x) in out.iter_mut().zip(self.row(i)) {
-                *o += w * x;
-            }
+            crate::kernels::axpy(w, self.row(i), &mut out);
         }
         out
     }
@@ -201,9 +193,7 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                for j in i..n {
-                    g[(i, j)] += a * row[j];
-                }
+                crate::kernels::axpy(a, &row[i..], &mut g.row_mut(i)[i..]);
             }
         }
         for i in 0..n {
@@ -233,9 +223,7 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                for j in i..n {
-                    g[(i, j)] += a * row[j];
-                }
+                crate::kernels::axpy(a, &row[i..], &mut g.row_mut(i)[i..]);
             }
         }
         for i in 0..n {
@@ -263,9 +251,7 @@ impl Matrix {
             (other.rows, other.cols),
             "shape mismatch"
         );
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += s * b;
-        }
+        crate::kernels::axpy(s, &other.data, &mut self.data);
     }
 
     /// Frobenius norm.
@@ -318,41 +304,27 @@ impl fmt::Debug for Matrix {
     }
 }
 
-/// Dot product of two equal-length slices, manually unrolled into four
-/// independent accumulator lanes.
+/// Dot product of two equal-length slices, in four accumulator lanes.
 ///
 /// Accumulation-order policy (the workspace-wide contract; DESIGN.md
 /// "Hot kernels"): lane `l` accumulates `Σ_k a[4k+l]·b[4k+l]`, the lanes
 /// combine as `(s0+s2)+(s1+s3)`, and the `len % 4` tail is added
 /// sequentially. This order is **fixed and deterministic** — the same
-/// inputs give the same bits on every call and thread count — but it
-/// reassociates the sum relative to a naive sequential loop, so results
-/// may differ from a textbook reference by `O(n · ε · Σ|aᵢbᵢ|)` (the
-/// property suite pins this bound). Every dot-shaped reduction in the
-/// workspace (matvec, cosine, logistic/MLP forward passes, ridge) goes
-/// through this one kernel, so internal bitwise contracts — batch ≡
-/// scalar prediction, thread invariance, store ≡ fresh — are unaffected
-/// by the reassociation.
+/// inputs give the same bits on every call, thread count, and kernel
+/// backend (the AVX2 path maps vector lane `l` onto accumulator `s_l`;
+/// see [`crate::kernels`]) — but it reassociates the sum relative to a
+/// naive sequential loop, so results may differ from a textbook reference
+/// by `O(n · ε · Σ|aᵢbᵢ|)` (the property suite pins this bound). Every
+/// dot-shaped reduction in the workspace (matvec, cosine, logistic/MLP
+/// forward passes, ridge) goes through this one kernel, so internal
+/// bitwise contracts — batch ≡ scalar prediction, thread invariance,
+/// store ≡ fresh — are unaffected by the reassociation.
 ///
 /// # Panics
 /// Panics if lengths differ.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    let mut ca = a.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    for (x, y) in (&mut ca).zip(&mut cb) {
-        s0 += x[0] * y[0];
-        s1 += x[1] * y[1];
-        s2 += x[2] * y[2];
-        s3 += x[3] * y[3];
-    }
-    let mut sum = (s0 + s2) + (s1 + s3);
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        sum += x * y;
-    }
-    sum
+    crate::kernels::dot(a, b)
 }
 
 /// Euclidean norm of a slice (inherits [`dot`]'s lane order).
@@ -362,15 +334,11 @@ pub fn norm2(v: &[f64]) -> f64 {
 }
 
 /// Cosine similarity; returns 0.0 when either vector has zero norm.
-/// Built on the unrolled [`dot`], so it follows the same
-/// accumulation-order policy.
+/// Built on the [`dot`] lane policy, so backend choice cannot change its
+/// bits (the AVX2 path fuses the three reductions into one memory pass;
+/// see [`crate::kernels::cosine`]).
 pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
-    let na = norm2(a);
-    let nb = norm2(b);
-    if na == 0.0 || nb == 0.0 {
-        return 0.0;
-    }
-    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    crate::kernels::cosine(a, b)
 }
 
 /// Squared Euclidean distance.

@@ -169,18 +169,12 @@ pub fn softmax(xs: &[f64]) -> Vec<f64> {
 /// [`softmax`] into a caller-provided buffer (cleared first), for hot
 /// loops that evaluate many distributions without reallocating.
 /// Identical arithmetic and accumulation order to the allocating form,
-/// so the two are bitwise-interchangeable.
+/// so the two are bitwise-interchangeable. Delegates to the dispatched
+/// kernel layer ([`crate::kernels::softmax_into`]), whose shared
+/// four-lane max/sum policy makes the scalar and AVX2 backends
+/// bitwise-identical.
 pub fn softmax_into(xs: &[f64], out: &mut Vec<f64>) {
-    out.clear();
-    if xs.is_empty() {
-        return;
-    }
-    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    out.extend(xs.iter().map(|x| (x - m).exp()));
-    let s: f64 = out.iter().sum();
-    for e in out.iter_mut() {
-        *e /= s;
-    }
+    crate::kernels::softmax_into(xs, out);
 }
 
 /// Two-sided paired sign test p-value: under H0 (no difference), the

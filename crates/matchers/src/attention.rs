@@ -10,6 +10,7 @@
 //! exercise.
 
 use crate::matcher::{best_f1_threshold, Matcher};
+use crate::scratch::ScratchPool;
 use em_data::{Dataset, EntityPair, Side};
 use em_embed::{EmbeddingOptions, WordEmbeddings};
 use em_linalg::stats::{sigmoid, softmax, softmax_into};
@@ -18,7 +19,6 @@ use em_rngs::seq::SliceRandom;
 use em_rngs::SeedableRng;
 use em_text::TokenArena;
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// Options for the attention matcher.
 #[derive(Debug, Clone, Copy)]
@@ -65,7 +65,7 @@ pub struct AttentionMatcher {
     weights: Vec<f64>,
     bias: f64,
     threshold: f64,
-    scratch: Mutex<AlignScratch>,
+    scratch: ScratchPool<AlignScratch>,
 }
 
 /// Per-batch caches for the interned alignment path.
@@ -307,10 +307,8 @@ fn direction_stats_ids(
         softmax_into(sims, attn);
         ctx.clear();
         ctx.resize(qv.len(), 0.0);
-        for (a, &k) in attn.iter().zip(keys) {
-            for (c, &kv) in ctx.iter_mut().zip(&vectors[k as usize]) {
-                *c += a * kv;
-            }
+        for (&a, &k) in attn.iter().zip(keys) {
+            em_linalg::axpy(a, &vectors[k as usize], ctx);
         }
         let nctx = em_linalg::norm2(ctx);
         let score = if nq == 0.0 || nctx == 0.0 {
@@ -418,7 +416,7 @@ impl AttentionMatcher {
             weights: w,
             bias: b,
             threshold,
-            scratch: Mutex::new(AlignScratch::default()),
+            scratch: ScratchPool::new(),
         })
     }
 
@@ -515,12 +513,11 @@ fn direction_stats(queries: &[Vec<f64>], keys: &[Vec<f64>], temperature: f64) ->
             .map(|k| em_linalg::cosine(q, k) * temperature)
             .collect();
         let attn = softmax(&sims);
-        // Attention-weighted context vector.
+        // Attention-weighted context vector (same SIMD-routed axpy as the
+        // cached path, keeping the two paths bitwise in sync).
         let mut ctx = vec![0.0; q.len()];
-        for (a, k) in attn.iter().zip(keys) {
-            for (c, &kv) in ctx.iter_mut().zip(k) {
-                *c += a * kv;
-            }
+        for (&a, k) in attn.iter().zip(keys) {
+            em_linalg::axpy(a, k, &mut ctx);
         }
         let score = em_linalg::cosine(q, &ctx).max(0.0);
         sum += score;
@@ -543,12 +540,11 @@ impl Matcher for AttentionMatcher {
 
     fn predict_proba_batch(&self, pairs: &[EntityPair]) -> Vec<f64> {
         // The scratch is a pure allocation/memo cache cleared per call,
-        // so a contended lock can fall back to a fresh local without
-        // changing any value.
-        match self.scratch.try_lock() {
-            Ok(mut s) => self.batch_with_scratch(pairs, &mut s),
-            Err(_) => self.batch_with_scratch(pairs, &mut AlignScratch::default()),
-        }
+        // so which pooled scratch a batch draws cannot change any value.
+        let mut s = self.scratch.take();
+        let out = self.batch_with_scratch(pairs, &mut s);
+        self.scratch.put(s);
+        out
     }
 
     fn threshold(&self) -> f64 {

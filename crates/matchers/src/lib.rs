@@ -26,6 +26,7 @@ pub mod logistic;
 pub mod matcher;
 pub mod mlp;
 pub mod rules;
+pub mod scratch;
 
 pub use attention::{AttentionMatcher, AttentionOptions};
 pub use calibration::{expected_calibration_error, CalibratedMatcher};
@@ -37,6 +38,7 @@ pub use logistic::{LogisticMatcher, TrainOptions};
 pub use matcher::{best_f1_threshold, evaluate, EvalReport, Matcher};
 pub use mlp::MlpMatcher;
 pub use rules::{Rule, RuleMatcher};
+pub use scratch::ScratchPool;
 
 /// Errors from model construction and training.
 #[derive(Debug, Clone, PartialEq)]

@@ -2,12 +2,12 @@
 
 use crate::features::{BatchScratch, FeatureExtractor};
 use crate::matcher::{best_f1_threshold, Matcher};
+use crate::scratch::ScratchPool;
 use em_data::{Dataset, EntityPair};
 use em_linalg::stats::sigmoid;
 use em_rngs::rngs::StdRng;
 use em_rngs::seq::SliceRandom;
 use em_rngs::SeedableRng;
-use std::sync::Mutex;
 
 /// Training hyper-parameters shared by the gradient-trained matchers.
 #[derive(Debug, Clone, Copy)]
@@ -46,7 +46,7 @@ pub struct LogisticMatcher {
     /// Reusable extraction scratch for `predict_proba_batch`. Purely an
     /// allocation cache (cleared per call), so contended callers can fall
     /// back to a fresh local scratch with identical results.
-    scratch: Mutex<BatchScratch>,
+    scratch: ScratchPool<BatchScratch>,
 }
 
 impl LogisticMatcher {
@@ -141,7 +141,7 @@ impl LogisticMatcher {
             weights: w,
             bias: b,
             threshold,
-            scratch: Mutex::new(BatchScratch::default()),
+            scratch: ScratchPool::new(),
         })
     }
 
@@ -195,10 +195,10 @@ impl Matcher for LogisticMatcher {
     /// allocations; under lock contention a fresh local scratch produces
     /// the same values.
     fn predict_proba_batch(&self, pairs: &[EntityPair]) -> Vec<f64> {
-        match self.scratch.try_lock() {
-            Ok(mut s) => self.batch_with_scratch(pairs, &mut s),
-            Err(_) => self.batch_with_scratch(pairs, &mut BatchScratch::default()),
-        }
+        let mut s = self.scratch.take();
+        let out = self.batch_with_scratch(pairs, &mut s);
+        self.scratch.put(s);
+        out
     }
 
     fn threshold(&self) -> f64 {

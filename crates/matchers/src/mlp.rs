@@ -7,12 +7,12 @@
 use crate::features::{BatchScratch, FeatureExtractor};
 use crate::logistic::TrainOptions;
 use crate::matcher::{best_f1_threshold, Matcher};
+use crate::scratch::ScratchPool;
 use em_data::{Dataset, EntityPair};
 use em_linalg::stats::sigmoid;
 use em_rngs::rngs::StdRng;
 use em_rngs::seq::SliceRandom;
 use em_rngs::{Rng, SeedableRng};
-use std::sync::Mutex;
 
 /// Dense layer parameters.
 #[derive(Debug, Clone)]
@@ -100,7 +100,7 @@ pub struct MlpMatcher {
     /// Reusable extraction scratch for `predict_proba_batch`. Purely an
     /// allocation cache (cleared per call), so contended callers can fall
     /// back to a fresh local scratch with identical results.
-    scratch: Mutex<BatchScratch>,
+    scratch: ScratchPool<BatchScratch>,
 }
 
 /// Hidden layer widths.
@@ -250,7 +250,7 @@ impl MlpMatcher {
             l2,
             l3,
             threshold,
-            scratch: Mutex::new(BatchScratch::default()),
+            scratch: ScratchPool::new(),
         })
     }
 
@@ -337,10 +337,10 @@ impl Matcher for MlpMatcher {
     /// equality with [`Matcher::predict_proba`]. Per-row `Layer::forward`
     /// reproduces the scalar accumulation order exactly.
     fn predict_proba_batch(&self, pairs: &[EntityPair]) -> Vec<f64> {
-        match self.scratch.try_lock() {
-            Ok(mut s) => self.batch_with_scratch(pairs, &mut s),
-            Err(_) => self.batch_with_scratch(pairs, &mut BatchScratch::default()),
-        }
+        let mut s = self.scratch.take();
+        let out = self.batch_with_scratch(pairs, &mut s);
+        self.scratch.put(s);
+        out
     }
 
     fn threshold(&self) -> f64 {

@@ -365,6 +365,152 @@ pub fn aopc_units_with_base(
     Ok(curve[1..].iter().map(|cs| base_cs - cs).sum::<f64>() / max_units as f64)
 }
 
+/// The four headline fidelity metrics of one explained pair, as computed
+/// by [`fidelity_probes_with_base`] in a single batched model query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelityProbes {
+    /// [`aopc_deletion_with_base`] over the fraction grid.
+    pub aopc_deletion: f64,
+    /// [`aopc_units_with_base`] over the first `max_units` units.
+    pub aopc_units: f64,
+    /// [`decision_flip_with_base`] of the top-ranked unit.
+    pub decision_flip: bool,
+    /// [`sufficiency_with_base`] at the sufficiency fraction.
+    pub sufficiency: f64,
+}
+
+/// All four headline fidelity metrics through **one**
+/// `predict_proba_batch` call.
+///
+/// The individual `*_with_base` forms issue one batch (or scalar) model
+/// query each, so an evaluation loop scoring a pair pays four dispatches
+/// — which is where `store/headline` spent most of its self-time. This
+/// entry point builds every probe mask up front — the deletion-fraction
+/// masks, the cumulative unit-deletion masks, the top-unit flip mask
+/// (when a unit exists) and the sufficiency mask — and queries them in a
+/// single batch.
+///
+/// Values are identical to the individual forms: each probe's
+/// probability depends only on its own masked pair (batch ≡ scalar is
+/// pinned by the matcher test suites, at any batch composition), and the
+/// per-metric aggregations here are verbatim copies. Validation order
+/// also matches a sequential aopc → units → flip → sufficiency call
+/// chain, so callers see the same first error.
+pub fn fidelity_probes_with_base(
+    matcher: &dyn Matcher,
+    tokenized: &TokenizedPair,
+    units: &[ExplanationUnit],
+    fractions: &[f64],
+    max_units: usize,
+    suff_fraction: f64,
+    base: f64,
+) -> Result<FidelityProbes, crate::MetricError> {
+    let n = tokenized.len();
+    if fractions.is_empty() {
+        return Err(crate::MetricError::EmptyFractionGrid);
+    }
+    if n == 0 {
+        return Err(crate::MetricError::EmptyPair);
+    }
+    if max_units == 0 {
+        return Err(crate::MetricError::InvalidK(0));
+    }
+    if !(0.0..=1.0).contains(&suff_fraction) {
+        return Err(crate::MetricError::InvalidFraction(suff_fraction));
+    }
+    let toward_match = base >= matcher.threshold();
+    let base_cs = class_score(base, toward_match);
+    let order = deletion_order(units, toward_match);
+    let ranked = relevance_ranked_units(units, toward_match);
+
+    let mut probes: Vec<EntityPair> = Vec::with_capacity(fractions.len() + max_units + 2);
+    // Deletion-curve probes, one per fraction (same masks as
+    // `deletion_curve_with_base`).
+    for &f in fractions {
+        if !(0.0..=1.0).contains(&f) {
+            return Err(crate::MetricError::InvalidFraction(f));
+        }
+        let k = ((n as f64) * f).round() as usize;
+        let mut mask = vec![true; n];
+        for &i in order.iter().take(k) {
+            mask[i] = false;
+        }
+        probes.push(tokenized.apply_mask(&mask));
+    }
+    // Cumulative unit-deletion probes (same masks as
+    // `unit_deletion_curve_with_base`).
+    {
+        let mut mask = vec![true; n];
+        for u in 0..max_units {
+            if let Some(unit) = ranked.get(u) {
+                for &i in &unit.member_indices {
+                    if i < n {
+                        mask[i] = false;
+                    }
+                }
+            }
+            probes.push(tokenized.apply_mask(&mask));
+        }
+    }
+    // Top-unit flip probe — absent when there are no units, in which
+    // case the flip answer is `false` without a query.
+    let has_flip_probe = if let Some(top) = ranked.first() {
+        let mut mask = vec![true; n];
+        for &i in &top.member_indices {
+            if i < n {
+                mask[i] = false;
+            }
+        }
+        probes.push(tokenized.apply_mask(&mask));
+        true
+    } else {
+        false
+    };
+    // Sufficiency probe (keep-only mask of `sufficiency_with_base`).
+    {
+        let k = ((n as f64) * suff_fraction).round().max(1.0) as usize;
+        let mut mask = vec![false; n];
+        for &i in order.iter().take(k) {
+            mask[i] = true;
+        }
+        if mask.iter().all(|&b| !b) {
+            mask[0] = true;
+        }
+        probes.push(tokenized.apply_mask(&mask));
+    }
+
+    let probs = matcher.predict_proba_batch(&probes);
+    let (del, rest) = probs.split_at(fractions.len());
+    let (unit_probs, rest) = rest.split_at(max_units);
+    let aopc_deletion = del
+        .iter()
+        .map(|&p| base_cs - class_score(p, toward_match))
+        .sum::<f64>()
+        / fractions.len() as f64;
+    let aopc_units = unit_probs
+        .iter()
+        .map(|&p| base_cs - class_score(p, toward_match))
+        .sum::<f64>()
+        / max_units as f64;
+    let mut tail = rest.iter();
+    let decision_flip = if has_flip_probe {
+        let after = *tail.next().expect("flip probe present") >= matcher.threshold();
+        toward_match != after
+    } else {
+        false
+    };
+    let sufficiency = class_score(
+        *tail.next().expect("sufficiency probe present"),
+        toward_match,
+    );
+    Ok(FidelityProbes {
+        aopc_deletion,
+        aopc_units,
+        decision_flip,
+        sufficiency,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,6 +792,88 @@ mod tests {
             aopc_units(&m, &tp, &units, 3).unwrap(),
             aopc_units_with_base(&m, &tp, &units, 3, base).unwrap()
         );
+    }
+
+    #[test]
+    fn combined_probes_match_individual_forms_bitwise() {
+        let grid = [0.1, 0.2, 0.3];
+        for (m, tp) in [
+            (&FractionMatcher { total: 10 } as &dyn Matcher, tokenized()),
+            (&OnlyA as &dyn Matcher, tokenized()),
+            (&BadToken as &dyn Matcher, bad_tokenized()),
+        ] {
+            let units = vec![unit(&[0, 1], 0.9), unit(&[2], -0.4), unit(&[3], 0.2)];
+            let base = base_probability(m, &tp);
+            let combined = fidelity_probes_with_base(m, &tp, &units, &grid, 3, 0.3, base).unwrap();
+            let aopc = aopc_deletion_with_base(m, &tp, &units, &grid, base).unwrap();
+            let aopc_u = aopc_units_with_base(m, &tp, &units, 3, base).unwrap();
+            let flip = decision_flip_with_base(m, &tp, &units, base).unwrap();
+            let suff = sufficiency_with_base(m, &tp, &units, 0.3, base).unwrap();
+            assert_eq!(combined.aopc_deletion.to_bits(), aopc.to_bits());
+            assert_eq!(combined.aopc_units.to_bits(), aopc_u.to_bits());
+            assert_eq!(combined.decision_flip, flip);
+            assert_eq!(combined.sufficiency.to_bits(), suff.to_bits());
+        }
+    }
+
+    #[test]
+    fn combined_probes_with_no_units_report_no_flip() {
+        let tp = tokenized();
+        let m = FractionMatcher { total: 10 };
+        let base = base_probability(&m, &tp);
+        let combined = fidelity_probes_with_base(&m, &tp, &[], &[0.2, 0.4], 2, 0.3, base).unwrap();
+        assert!(!combined.decision_flip);
+        assert_eq!(
+            combined.sufficiency,
+            sufficiency_with_base(&m, &tp, &[], 0.3, base).unwrap()
+        );
+    }
+
+    #[test]
+    fn combined_probes_validate_like_the_individual_forms() {
+        let tp = tokenized();
+        let m = FractionMatcher { total: 10 };
+        let units = vec![unit(&[0], 1.0)];
+        let base = base_probability(&m, &tp);
+        assert!(fidelity_probes_with_base(&m, &tp, &units, &[], 3, 0.3, base).is_err());
+        assert!(fidelity_probes_with_base(&m, &tp, &units, &[1.5], 3, 0.3, base).is_err());
+        assert!(fidelity_probes_with_base(&m, &tp, &units, &[0.1], 0, 0.3, base).is_err());
+        assert!(fidelity_probes_with_base(&m, &tp, &units, &[0.1], 3, 2.0, base).is_err());
+    }
+
+    #[test]
+    fn combined_probes_use_one_batch_query() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct BatchCounting {
+            batches: AtomicUsize,
+            queries: AtomicUsize,
+        }
+        impl Matcher for BatchCounting {
+            fn name(&self) -> &str {
+                "batch-counting"
+            }
+            fn predict_proba(&self, _pair: &EntityPair) -> f64 {
+                self.queries.fetch_add(1, Ordering::SeqCst);
+                0.7
+            }
+            fn predict_proba_batch(&self, pairs: &[EntityPair]) -> Vec<f64> {
+                self.batches.fetch_add(1, Ordering::SeqCst);
+                self.queries.fetch_add(pairs.len(), Ordering::SeqCst);
+                vec![0.7; pairs.len()]
+            }
+        }
+        let tp = tokenized();
+        let units = vec![unit(&[0], 1.0), unit(&[1], 0.5)];
+        let m = BatchCounting {
+            batches: AtomicUsize::new(0),
+            queries: AtomicUsize::new(0),
+        };
+        let base = base_probability(&m, &tp);
+        assert_eq!(m.queries.load(Ordering::SeqCst), 1);
+        fidelity_probes_with_base(&m, &tp, &units, &[0.1, 0.2, 0.3], 3, 0.3, base).unwrap();
+        assert_eq!(m.batches.load(Ordering::SeqCst), 1, "one batched dispatch");
+        // 3 fraction probes + 3 unit probes + flip + sufficiency.
+        assert_eq!(m.queries.load(Ordering::SeqCst), 1 + 8);
     }
 
     #[test]

@@ -29,8 +29,9 @@ pub use fidelity::{
     aopc_deletion, aopc_deletion_with_base, aopc_units, aopc_units_with_base, base_probability,
     class_score, comprehensiveness, comprehensiveness_with_base, decision_flip,
     decision_flip_with_base, deletion_curve, deletion_curve_with_base, deletion_order,
-    ranked_units, relevance_ranked_units, standard_fractions, sufficiency, sufficiency_with_base,
-    unit_deletion_curve, unit_deletion_curve_with_base,
+    fidelity_probes_with_base, ranked_units, relevance_ranked_units, standard_fractions,
+    sufficiency, sufficiency_with_base, unit_deletion_curve, unit_deletion_curve_with_base,
+    FidelityProbes,
 };
 pub use interpretability::{interpretability, InterpretabilityReport};
 pub use stability::{
