@@ -149,7 +149,12 @@ fn main() {
     let total_secs = start.elapsed().as_secs_f64();
     let trace = traced.then(|| em_bench::trace_finish("run_stream"));
 
+    // `None` means /proc lacks VmHWM (non-Linux, restricted mounts):
+    // report and gate RSS only when a real measurement exists.
     let peak_rss = em_obs::peak_rss_bytes();
+    if peak_rss.is_none() {
+        eprintln!("run_stream: warning: peak RSS unavailable (no VmHWM); skipping RSS rows");
+    }
     let pairs_per_sec = out.candidates as f64 / total_secs.max(1e-9);
     eprintln!(
         "run_stream: {} candidates of {} comparisons (reduction {:.4}, {} blocks, \
@@ -174,8 +179,9 @@ fn main() {
         ],
     );
     eprintln!(
-        "run_stream: store peak {} of {budget_total} budget bytes, process peak RSS {} bytes",
-        out.peak_store_bytes, peak_rss,
+        "run_stream: store peak {} of {budget_total} budget bytes, process peak RSS {}",
+        out.peak_store_bytes,
+        peak_rss.map_or("unavailable".to_string(), |b| format!("{b} bytes")),
     );
 
     // Ratios are scaled into median_ns so one flat schema carries every
@@ -192,7 +198,9 @@ fn main() {
         });
     };
     row("total", total_secs * 1e9);
-    row("peak_rss_bytes", peak_rss as f64);
+    if let Some(rss) = peak_rss {
+        row("peak_rss_bytes", rss as f64);
+    }
     row("pairs_per_sec", pairs_per_sec);
     row("reduction_ratio_ppm", out.reduction_ratio * 1e6);
     row("candidates", out.candidates as f64);
@@ -233,7 +241,10 @@ fn main() {
             ("candidate pairs/sec", format!("{pairs_per_sec:.0}")),
             ("store budget", format!("{budget_total} B")),
             ("store peak resident", format!("{} B", out.peak_store_bytes)),
-            ("process peak RSS", format!("{peak_rss} B")),
+            (
+                "process peak RSS",
+                peak_rss.map_or("unavailable".to_string(), |b| format!("{b} B")),
+            ),
         ] {
             report.push_str(&format!("| {metric} | {value} |\n"));
         }
@@ -272,9 +283,9 @@ fn main() {
             out.peak_store_bytes
         ));
     }
-    if peak_rss > 0 && peak_rss > (rss_cap_mb as u64) << 20 {
+    if let Some(rss) = peak_rss.filter(|&rss| rss > (rss_cap_mb as u64) << 20) {
         fail(&format!(
-            "peak RSS {peak_rss} bytes exceeds cap {rss_cap_mb} MiB",
+            "peak RSS {rss} bytes exceeds cap {rss_cap_mb} MiB"
         ));
     }
     eprintln!("run_stream: memory bounds held (budget {budget_mb} MiB, RSS cap {rss_cap_mb} MiB)");

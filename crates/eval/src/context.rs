@@ -141,6 +141,22 @@ impl EvalContext {
         Ok(Arc::clone(&trained))
     }
 
+    /// Build an [`em_data::EntityPair`] from raw attribute values against
+    /// this context's schema — the boundary where a served request's JSON
+    /// payload becomes a typed pair. Fails (length mismatch) map to a
+    /// client error, not a panic.
+    pub fn pair_from_values(
+        &self,
+        left: Vec<String>,
+        right: Vec<String>,
+    ) -> Result<em_data::EntityPair, em_data::DataError> {
+        em_data::EntityPair::new(
+            self.dataset.schema_arc(),
+            em_data::Record::new(0, left),
+            em_data::Record::new(1, right),
+        )
+    }
+
     /// Deterministic sample of test pairs to explain (stratified).
     pub fn pairs_to_explain(&self, n: usize) -> Vec<em_data::LabeledPair> {
         self.split

@@ -417,26 +417,27 @@ pub use record::{
 };
 
 /// Peak resident set size of this process in bytes (`VmHWM` from
-/// `/proc/self/status`), or 0 where the proc filesystem is unavailable.
+/// `/proc/self/status`), or `None` where the proc filesystem is
+/// unavailable or lacks the field (non-Linux, restricted mounts). The
+/// `None` is deliberate: a long-lived server reporting RSS must be able
+/// to tell "no measurement" apart from "0 bytes", so callers decide
+/// whether to skip the row or warn instead of gating on a bogus zero.
 /// A measurement utility rather than a recording probe, so it is live
 /// even under the `noop` feature.
-pub fn peak_rss_bytes() -> u64 {
-    let status = match std::fs::read_to_string("/proc/self/status") {
-        Ok(s) => s,
-        Err(_) => return 0,
-    };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: u64 = rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0);
-            return kb * 1024;
-        }
-    }
-    0
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+/// Extract `VmHWM` (in bytes) from `/proc/self/status`-formatted text.
+/// Missing field, empty value, or a malformed number all yield `None` —
+/// never a panic, never a silent 0.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let rest = status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))?;
+    let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+    Some(kb * 1024)
 }
 
 /// Enter a span as a child of the thread's current span:
@@ -608,5 +609,38 @@ mod tests {
         let report = finish();
         assert!(report.span("before").is_none());
         assert!(report.span("after").is_some());
+    }
+
+    #[test]
+    fn parse_vm_hwm_reads_a_normal_status_file() {
+        let status = "Name:\tem-serve\nVmPeak:\t  123456 kB\nVmHWM:\t   2048 kB\nThreads:\t4\n";
+        assert_eq!(parse_vm_hwm(status), Some(2048 * 1024));
+    }
+
+    #[test]
+    fn parse_vm_hwm_degrades_to_none_not_zero() {
+        // Status files without VmHWM (non-Linux shims, restricted proc
+        // mounts) and malformed values must be distinguishable from a
+        // genuine 0-byte measurement.
+        for bad in [
+            "",
+            "Name:\tx\nThreads:\t1\n",
+            "VmHWM:\n",
+            "VmHWM:\t not-a-number kB\n",
+            "VmHWM:\t kB\n",
+            " VmHWM:\t12 kB\n",
+        ] {
+            assert_eq!(parse_vm_hwm(bad), None, "{bad:?} should yield None");
+        }
+        assert_eq!(parse_vm_hwm("VmHWM:\t0 kB\n"), Some(0));
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        // On this CI platform /proc exists: a live process has touched
+        // at least a megabyte.
+        if let Some(rss) = peak_rss_bytes() {
+            assert!(rss > 1 << 20, "implausibly small peak RSS: {rss}");
+        }
     }
 }

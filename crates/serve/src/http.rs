@@ -1,0 +1,564 @@
+//! In-tree HTTP/1.1: a defensive request/response parser over any
+//! [`Read`] stream, plus the response writer.
+//!
+//! The parser is the server's exposure to arbitrary network bytes, so it
+//! is written to a strict contract (property-tested in
+//! `tests/tests/serve_protocol.rs`):
+//!
+//! * **Never panics, never hangs** on any byte sequence. Reads are
+//!   bounded by [`Limits`] (head and body caps) and the underlying
+//!   stream's read timeout; every failure mode maps to a typed
+//!   [`ParseError`] the server turns into a clean 4xx close.
+//! * **Fragmentation-invariant**: the result of parsing a byte stream is
+//!   identical whether the transport delivers it in one read or one byte
+//!   at a time (TCP makes no framing promises).
+//! * **Keep-alive safe**: bytes beyond the current request (pipelined
+//!   requests) stay buffered for the next [`Connection::read_request`]
+//!   call.
+//!
+//! Scope: `GET`/`POST` with `Content-Length` bodies — exactly what the
+//! explanation service speaks. `Transfer-Encoding` is rejected rather
+//! than half-implemented.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Byte caps enforced while parsing one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (including terminator).
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` accepted.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Why a message could not be parsed. Every variant is a *clean* outcome:
+/// the server maps it to a 4xx response and/or a connection close, never
+/// a panic or a wedged thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Syntactically invalid message (400).
+    Malformed(&'static str),
+    /// Head or declared body size exceeds [`Limits`] (413).
+    TooLarge(&'static str),
+    /// Peer closed the stream mid-message.
+    Truncated,
+    /// The read timed out after the message started arriving (408).
+    TimedOut,
+    /// The read timed out with no bytes of a new message — an idle
+    /// keep-alive connection, closed without a response.
+    TimedOutIdle,
+    /// Transport error; the connection is unusable.
+    Io(ErrorKind),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed(what) => write!(f, "malformed message: {what}"),
+            ParseError::TooLarge(what) => write!(f, "{what} exceeds limit"),
+            ParseError::Truncated => write!(f, "peer closed mid-message"),
+            ParseError::TimedOut => write!(f, "read timed out mid-message"),
+            ParseError::TimedOutIdle => write!(f, "idle timeout"),
+            ParseError::Io(kind) => write!(f, "transport error: {kind:?}"),
+        }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    /// `HTTP/1.0` or `HTTP/1.1` (anything else is [`ParseError::Malformed`]).
+    pub version: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value of `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after responding:
+    /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an
+    /// explicit `Connection` header overrides either default.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v == "close" => false,
+            Some(v) if v == "keep-alive" => true,
+            _ => self.version == "HTTP/1.1",
+        }
+    }
+}
+
+/// One parsed HTTP response (the client side — `load_gen` and the
+/// integration tests read server responses through this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A buffered HTTP connection over any [`Read`] transport. Owns the
+/// unconsumed byte backlog so pipelined messages survive across calls.
+pub struct Connection<S> {
+    stream: S,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl<S> Connection<S> {
+    pub fn new(stream: S) -> Self {
+        Connection {
+            stream,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// The underlying transport (for writing responses/requests).
+    pub fn stream_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+impl<S: Read> Connection<S> {
+    /// Pull more bytes from the transport into the backlog. `Ok(0)`
+    /// means EOF; timeouts and transport failures map to [`ParseError`]
+    /// (idle-vs-mid-message is decided by the caller).
+    fn fill(&mut self) -> Result<usize, ParseError> {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Err(ParseError::TimedOut)
+                }
+                Err(e) => return Err(ParseError::Io(e.kind())),
+            }
+        }
+    }
+
+    /// Accumulate bytes until a blank line ends the head; returns the
+    /// head text (terminator included in the consumed range). `Ok(None)`
+    /// is a clean EOF before any byte of a new message.
+    fn read_head(&mut self, limits: &Limits) -> Result<Option<String>, ParseError> {
+        loop {
+            if let Some(end) = find_head_end(&self.buf[self.pos..]) {
+                if end > limits.max_head_bytes {
+                    return Err(ParseError::TooLarge("message head"));
+                }
+                let head = &self.buf[self.pos..self.pos + end];
+                let text = std::str::from_utf8(head)
+                    .map_err(|_| ParseError::Malformed("non-UTF-8 head"))?
+                    .to_string();
+                self.pos += end;
+                return Ok(Some(text));
+            }
+            if self.buffered() > limits.max_head_bytes {
+                return Err(ParseError::TooLarge("message head"));
+            }
+            match self.fill() {
+                Ok(0) => {
+                    return if self.buffered() == 0 {
+                        Ok(None)
+                    } else {
+                        Err(ParseError::Truncated)
+                    }
+                }
+                Ok(_) => continue,
+                Err(ParseError::TimedOut) if self.buffered() == 0 => {
+                    return Err(ParseError::TimedOutIdle)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Read exactly `len` body bytes (already capped by the caller).
+    fn read_body(&mut self, len: usize) -> Result<Vec<u8>, ParseError> {
+        while self.buffered() < len {
+            match self.fill() {
+                Ok(0) => return Err(ParseError::Truncated),
+                Ok(_) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let body = self.buf[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Ok(body)
+    }
+
+    /// Parse one request from the stream. `Ok(None)` is a clean close
+    /// between requests (keep-alive peer went away).
+    pub fn read_request(&mut self, limits: &Limits) -> Result<Option<Request>, ParseError> {
+        let Some(head) = self.read_head(limits)? else {
+            return Ok(None);
+        };
+        let mut lines = head_lines(&head);
+        let request_line = lines
+            .next()
+            .ok_or(ParseError::Malformed("empty request line"))?;
+        let (method, path, version) = parse_request_line(request_line)?;
+        let headers = parse_headers(lines)?;
+        let body_len = content_length(&headers, limits)?;
+        let body = self.read_body(body_len)?;
+        Ok(Some(Request {
+            method,
+            path,
+            version,
+            headers,
+            body,
+        }))
+    }
+
+    /// Parse one response from the stream (client side).
+    pub fn read_response(&mut self, limits: &Limits) -> Result<Response, ParseError> {
+        let Some(head) = self.read_head(limits)? else {
+            return Err(ParseError::Truncated);
+        };
+        let mut lines = head_lines(&head);
+        let status_line = lines
+            .next()
+            .ok_or(ParseError::Malformed("empty status line"))?;
+        let status = parse_status_line(status_line)?;
+        let headers = parse_headers(lines)?;
+        let body_len = content_length(&headers, limits)?;
+        let body = self.read_body(body_len)?;
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Index one past the head terminator (`\r\n\r\n`, `\n\n`, or the mixed
+/// `\n\r\n`), or `None` if the head is still incomplete.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    for i in 0..buf.len() {
+        if buf[i] != b'\n' {
+            continue;
+        }
+        if buf.get(i + 1) == Some(&b'\n') {
+            return Some(i + 2);
+        }
+        if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+            return Some(i + 3);
+        }
+    }
+    None
+}
+
+/// Head lines without their terminators, blank terminator lines dropped.
+fn head_lines(head: &str) -> impl Iterator<Item = &str> {
+    head.split('\n')
+        .map(|l| l.strip_suffix('\r').unwrap_or(l))
+        .filter(|l| !l.is_empty())
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String, String), ParseError> {
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (Some(method), Some(path), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed(
+            "request line is not METHOD SP PATH SP VERSION",
+        ));
+    };
+    if method.is_empty() || method.len() > 16 || !method.chars().all(|c| c.is_ascii_uppercase()) {
+        return Err(ParseError::Malformed("bad method token"));
+    }
+    if !path.starts_with('/') || path.chars().any(|c| c.is_ascii_control()) {
+        return Err(ParseError::Malformed("bad request path"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+    Ok((method.to_string(), path.to_string(), version.to_string()))
+}
+
+fn parse_status_line(line: &str) -> Result<u16, ParseError> {
+    let mut parts = line.splitn(3, ' ');
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(ParseError::Malformed("status line is not VERSION SP CODE"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+    code.parse::<u16>()
+        .ok()
+        .filter(|c| (100..600).contains(c))
+        .ok_or(ParseError::Malformed("bad status code"))
+}
+
+const MAX_HEADERS: usize = 100;
+
+fn parse_headers<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<Vec<(String, String)>, ParseError> {
+    let mut headers = Vec::new();
+    for line in lines {
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::TooLarge("header count"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed("header line without a colon"));
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(ParseError::Malformed("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+/// Resolve the body length: absent → 0, duplicated-and-conflicting or
+/// non-numeric → malformed, past the cap → too large. `Transfer-Encoding`
+/// is rejected outright (this parser only frames by `Content-Length`).
+fn content_length(headers: &[(String, String)], limits: &Limits) -> Result<usize, ParseError> {
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(ParseError::Malformed("transfer-encoding unsupported"));
+    }
+    let mut declared: Option<usize> = None;
+    for (name, value) in headers {
+        if name != "content-length" {
+            continue;
+        }
+        let n: usize = value
+            .parse()
+            .map_err(|_| ParseError::Malformed("bad content-length"))?;
+        if declared.is_some_and(|prev| prev != n) {
+            return Err(ParseError::Malformed("conflicting content-length"));
+        }
+        declared = Some(n);
+    }
+    let len = declared.unwrap_or(0);
+    if len > limits.max_body_bytes {
+        return Err(ParseError::TooLarge("request body"));
+    }
+    Ok(len)
+}
+
+/// Canonical reason phrase of the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one complete response (`Content-Length` framing; `Connection:
+/// close` advertised when `close`).
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Serialise one request (the client side of the protocol).
+pub fn write_request(
+    w: &mut impl Write,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len(),
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+        Connection::new(Cursor::new(bytes.to_vec())).read_request(&Limits::default())
+    }
+
+    #[test]
+    fn parses_a_simple_post() {
+        let req = parse(b"POST /predict HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        let req = parse(b"GET /health HTTP/1.1\nHost: x\n\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/health");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn clean_eof_before_any_byte_is_none() {
+        assert_eq!(parse(b""), Ok(None));
+    }
+
+    #[test]
+    fn eof_mid_head_is_truncated() {
+        assert_eq!(parse(b"POST /x HTT"), Err(ParseError::Truncated));
+    }
+
+    #[test]
+    fn eof_mid_body_is_truncated() {
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nab"),
+            Err(ParseError::Truncated)
+        );
+    }
+
+    #[test]
+    fn oversized_declared_body_is_too_large() {
+        let limits = Limits {
+            max_body_bytes: 8,
+            ..Limits::default()
+        };
+        let err = Connection::new(Cursor::new(
+            b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n".to_vec(),
+        ))
+        .read_request(&limits)
+        .unwrap_err();
+        assert_eq!(err, ParseError::TooLarge("request body"));
+    }
+
+    #[test]
+    fn unterminated_head_past_cap_is_too_large() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            ..Limits::default()
+        };
+        let bytes = vec![b'A'; 200];
+        let err = Connection::new(Cursor::new(bytes))
+            .read_request(&limits)
+            .unwrap_err();
+        assert_eq!(err, ParseError::TooLarge("message head"));
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_not_panicked() {
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"get /lower HTTP/1.1\r\n\r\n",
+            b"POST nopath HTTP/1.1\r\n\r\n",
+            b"POST /x HTTP/2.0\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: moo\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"POST /x HTTP/1.1 extra\r\n\r\n",
+            b"\xff\xfe\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(ParseError::Malformed(_))),
+                "{bad:?} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_stay_buffered() {
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut conn = Connection::new(Cursor::new(two.to_vec()));
+        let a = conn.read_request(&Limits::default()).unwrap().unwrap();
+        let b = conn.read_request(&Limits::default()).unwrap().unwrap();
+        assert_eq!((a.path.as_str(), b.path.as_str()), ("/a", "/b"));
+        assert_eq!(conn.read_request(&Limits::default()), Ok(None));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "application/json", b"{\"ok\":true}", false).unwrap();
+        let resp = Connection::new(Cursor::new(wire))
+            .read_response(&Limits::default())
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"ok\":true}");
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive());
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+    }
+}

@@ -1,0 +1,247 @@
+//! The coalescing front queue: the piece that turns N concurrent
+//! requests into one batched pass through the matcher and the
+//! `EvalSession` stores.
+//!
+//! Connection threads [`submit`](Coalescer::submit) jobs; a single
+//! dispatcher thread blocks in [`next_batch`](Coalescer::next_batch),
+//! which waits for the first job, then keeps collecting until the
+//! batching window closes (or the batch cap is hit). Everything the
+//! window caught is answered by one `predict_proba_batch` call and one
+//! store pass — concurrent requests for the *same* pair collapse to a
+//! single matcher query (visible as explanation-store hits and the
+//! `serve/coalesced` counter).
+
+use em_data::EntityPair;
+use em_eval::{ExplainerKind, ExplanationOutput};
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a queued job asks of the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// One `predict_proba` answer (batched across the window).
+    Predict,
+    /// One explanation of the given explainer.
+    Explain(ExplainerKind),
+}
+
+/// A successful answer.
+#[derive(Clone)]
+pub enum Reply {
+    Probability(f64),
+    Explanation(Arc<ExplanationOutput>),
+}
+
+/// Service-level failure. `Clone` on purpose: one backend error fans out
+/// to every coalesced duplicate of the failing job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Body is not the protocol shape (400).
+    BadRequest(String),
+    /// Unknown path (404).
+    NotFound,
+    /// Path exists, method wrong (405).
+    MethodNotAllowed,
+    /// Well-formed but semantically unusable — wrong attribute count,
+    /// unknown explainer label (422).
+    Unprocessable(String),
+    /// The server is draining and no longer accepts new work (503).
+    ShuttingDown,
+    /// Backend failure (500).
+    Internal(String),
+}
+
+impl ServeError {
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::NotFound => 404,
+            ServeError::MethodNotAllowed => 405,
+            ServeError::Unprocessable(_) => 422,
+            ServeError::ShuttingDown => 503,
+            ServeError::Internal(_) => 500,
+        }
+    }
+
+    pub fn message(&self) -> String {
+        match self {
+            ServeError::BadRequest(m) => m.clone(),
+            ServeError::NotFound => "no such endpoint".to_string(),
+            ServeError::MethodNotAllowed => "method not allowed".to_string(),
+            ServeError::Unprocessable(m) => m.clone(),
+            ServeError::ShuttingDown => "server is shutting down".to_string(),
+            ServeError::Internal(m) => m.clone(),
+        }
+    }
+}
+
+/// One unit of queued work: a pair plus where to send the answer. The
+/// `index` threads the answer back to its slot in the originating
+/// request (one request may enqueue many pairs).
+pub struct Job {
+    pub kind: JobKind,
+    pub pair: EntityPair,
+    /// `em_eval::pair_fingerprint` of `pair` — the coalescing identity.
+    pub fingerprint: u64,
+    /// Position within the originating request.
+    pub index: usize,
+    pub reply: Sender<(usize, Result<Reply, ServeError>)>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    draining: bool,
+}
+
+/// The window-batching queue between connection threads and the
+/// dispatcher.
+pub struct Coalescer {
+    inner: Mutex<QueueState>,
+    arrived: Condvar,
+    window: Duration,
+    max_batch: usize,
+}
+
+impl Coalescer {
+    pub fn new(window: Duration, max_batch: usize) -> Self {
+        Coalescer {
+            inner: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                draining: false,
+            }),
+            arrived: Condvar::new(),
+            window,
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// Enqueue a job. After [`drain`](Coalescer::drain) the job is
+    /// handed back so the caller can answer 503 itself (shutdown
+    /// ordering means no accepted request should ever hit this path).
+    pub fn submit(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.inner.lock().expect("queue lock poisoned");
+        if state.draining {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.arrived.notify_all();
+        Ok(())
+    }
+
+    /// Block until work is available, hold the batching window open to
+    /// catch concurrent arrivals, then return everything caught (capped
+    /// at `max_batch`). `None` means the queue is drained *and* empty —
+    /// the dispatcher's signal to exit.
+    pub fn next_batch(&self) -> Option<Vec<Job>> {
+        let mut state = self.inner.lock().expect("queue lock poisoned");
+        while state.jobs.is_empty() {
+            if state.draining {
+                return None;
+            }
+            state = self.arrived.wait(state).expect("queue lock poisoned");
+        }
+        // First job is in: keep the window open for stragglers so they
+        // share the batch (draining skips the wait — flush immediately).
+        let deadline = Instant::now() + self.window;
+        while state.jobs.len() < self.max_batch && !state.draining {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (s, _) = self
+                .arrived
+                .wait_timeout(state, deadline - now)
+                .expect("queue lock poisoned");
+            state = s;
+        }
+        let take = state.jobs.len().min(self.max_batch);
+        Some(state.jobs.drain(..take).collect())
+    }
+
+    /// Flip the queue into drain mode: `submit` starts refusing, and
+    /// `next_batch` returns any leftovers immediately, then `None`.
+    pub fn drain(&self) {
+        self.inner.lock().expect("queue lock poisoned").draining = true;
+        self.arrived.notify_all();
+    }
+
+    /// Jobs currently waiting (diagnostics).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::{Record, Schema};
+    use std::sync::mpsc::channel;
+
+    fn test_job(tx: &Sender<(usize, Result<Reply, ServeError>)>, index: usize) -> Job {
+        let schema = Arc::new(Schema::new(vec!["a"]));
+        let pair = EntityPair::new(
+            schema,
+            Record::new(0, vec!["x".into()]),
+            Record::new(1, vec!["y".into()]),
+        )
+        .unwrap();
+        Job {
+            kind: JobKind::Predict,
+            fingerprint: em_eval::pair_fingerprint(&pair),
+            pair,
+            index,
+            reply: tx.clone(),
+        }
+    }
+
+    #[test]
+    fn window_batches_concurrent_submissions() {
+        let q = Coalescer::new(Duration::from_millis(50), 16);
+        let (tx, _rx) = channel();
+        assert!(q.submit(test_job(&tx, 0)).is_ok());
+        assert!(q.submit(test_job(&tx, 1)).is_ok());
+        assert!(q.submit(test_job(&tx, 2)).is_ok());
+        let batch = q.next_batch().unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[2].index, 2);
+    }
+
+    #[test]
+    fn max_batch_caps_one_flush() {
+        let q = Coalescer::new(Duration::from_millis(1), 2);
+        let (tx, _rx) = channel();
+        for i in 0..5 {
+            assert!(q.submit(test_job(&tx, i)).is_ok());
+        }
+        assert_eq!(q.next_batch().unwrap().len(), 2);
+        assert_eq!(q.next_batch().unwrap().len(), 2);
+        assert_eq!(q.next_batch().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn drain_flushes_leftovers_then_ends() {
+        let q = Coalescer::new(Duration::from_secs(10), 16);
+        let (tx, _rx) = channel();
+        assert!(q.submit(test_job(&tx, 0)).is_ok());
+        q.drain();
+        // Long window must NOT hold the flush open once draining.
+        let t0 = Instant::now();
+        assert_eq!(q.next_batch().unwrap().len(), 1);
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert!(q.next_batch().is_none());
+        assert!(q.submit(test_job(&tx, 1)).is_err());
+    }
+
+    #[test]
+    fn next_batch_wakes_on_drain_while_blocked() {
+        let q = Arc::new(Coalescer::new(Duration::from_millis(1), 4));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.next_batch());
+        std::thread::sleep(Duration::from_millis(20));
+        q.drain();
+        assert!(waiter.join().unwrap().is_none());
+    }
+}

@@ -58,13 +58,16 @@ print(f"trace schema ok: {len(trace['spans'])} spans, "
       f"{len(trace['counters'])} counters, {len(trace['gauges'])} gauges")
 EOF
 
-# The plain leg below overwrites the stream smoke artifacts, so snapshot
-# the committed baselines first for the --bench regression gate.
+# The plain legs below overwrite the stream and serve smoke artifacts,
+# so snapshot the committed baselines first for the --bench regression
+# gates.
 if [[ "${1:-}" == "--bench" ]]; then
     stream_baseline=$(mktemp)
     stream_trace_baseline=$(mktemp)
     cp results/BENCH_stream_smoke.json "$stream_baseline"
     cp results/TRACE_run_stream_smoke.json "$stream_trace_baseline"
+    serve_baseline=$(mktemp)
+    cp results/BENCH_serve_smoke.json "$serve_baseline"
 fi
 
 echo "==> stream smoke (run_stream --smoke --trace) + stage schema check"
@@ -90,6 +93,32 @@ print(f"stream trace ok: {len(paths)} spans, "
       f"{counters['stream/candidates']} candidates, "
       f"{counters['stream/matches']} matches, "
       f"{counters['ann/signatures']} lsh signatures")
+EOF
+
+echo "==> serve smoke (load_gen --smoke --trace) + coalescing schema check"
+# The bin itself hard-fails unless the session stores prove query
+# sharing (hits + coalesced > 0 under concurrent identical pairs); this
+# leg additionally checks the serve span tree and its counters.
+cargo run --release --locked --offline -p em-bench --bin load_gen -- --smoke --trace
+python3 - results/TRACE_serve_smoke.json <<'EOF'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+paths = {s["path"]: s for s in trace["spans"]}
+for root in ("serve/accept", "serve/parse", "serve/coalesce", "serve/query"):
+    assert root in paths, f"missing serve root span {root!r}"
+    assert paths[root]["depth"] == 0, f"{root!r} is not a root span"
+    assert paths[root]["count"] > 0, f"{root!r} never fired"
+counters = {c["name"]: c["value"] for c in trace["counters"]}
+for name in ("serve/requests", "serve/batches", "serve/connections"):
+    assert counters.get(name, 0) > 0, f"counter {name!r} missing or zero"
+# Reported even when nothing merged in a window; at load_gen's
+# clients > pairs ratio something always does.
+assert "serve/coalesced" in counters, "counter 'serve/coalesced' missing"
+print(f"serve trace ok: {counters['serve/requests']} requests in "
+      f"{counters['serve/batches']} batches, "
+      f"{counters['serve/coalesced']} coalesced duplicates, "
+      f"{counters['serve/connections']} connections")
 EOF
 
 # Compare a fresh smoke run against its committed baseline, failing on
@@ -281,6 +310,17 @@ if c > 2.0 * b + (32 << 20):
 print(f"peak RSS gate ok: {b/1e6:.1f}MB -> {c/1e6:.1f}MB")
 EOF
     rm -f "$baseline" "$trace_baseline"
+
+    echo "==> serve regression gate (vs committed baseline)"
+    # Gates the fresh artifacts from the plain serve leg above against
+    # the pre-run snapshot of the committed baseline. Latency rows are
+    # ms-scale single-shot percentiles — gate like the kernels bench.
+    for row in explain_p99 predict_p99 ns_per_request shared_queries; do
+        grep -q "\"group\": \"serve\", \"id\": \"$row\"" results/BENCH_serve_smoke.json \
+            || { echo "serve/$row row missing from bench JSON" >&2; exit 1; }
+    done
+    bench_gate "$serve_baseline" results/BENCH_serve_smoke.json 3.0 1e6
+    rm -f "$serve_baseline"
 
     echo "==> bench smoke (embed --smoke) + regression gate"
     baseline=$(mktemp)

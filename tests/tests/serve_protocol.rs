@@ -1,0 +1,222 @@
+//! Property-test sweep over the `em-serve` wire layer: the HTTP/1.1
+//! request parser and the in-tree JSON parser against adversarial byte
+//! streams.
+//!
+//! The contract under test (see `crates/serve/src/http.rs`):
+//! * any byte sequence yields a typed `ParseError` or a parsed request —
+//!   never a panic, never an unbounded read;
+//! * parsing is fragmentation-invariant: a stream delivered one byte at
+//!   a time parses identically to the same bytes in one buffer;
+//! * oversized heads/bodies fail `TooLarge`, truncated messages fail
+//!   `Truncated`, malformed syntax fails `Malformed` — each mapping to a
+//!   clean 4xx/close in the server.
+//!
+//! Shrunk counterexamples persist under `tests/propcheck-regressions/`
+//! like the rest of the fuzz suites.
+
+use em_serve::{escape_json, parse_json, Connection, Limits, ParseError, Request};
+use propcheck::prelude::*;
+use std::io::Read;
+
+/// A transport that delivers at most `chunk` bytes per read — the
+/// adversarial-fragmentation stand-in for TCP's lack of framing.
+struct Chunked {
+    data: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+}
+
+impl Chunked {
+    fn new(data: Vec<u8>, chunk: usize) -> Self {
+        Chunked {
+            data,
+            pos: 0,
+            chunk: chunk.max(1),
+        }
+    }
+}
+
+impl Read for Chunked {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(self.data.len() - self.pos).min(buf.len());
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn parse_whole(bytes: &[u8], limits: &Limits) -> Result<Option<Request>, ParseError> {
+    Connection::new(std::io::Cursor::new(bytes.to_vec())).read_request(limits)
+}
+
+fn parse_chunked(
+    bytes: &[u8],
+    chunk: usize,
+    limits: &Limits,
+) -> Result<Option<Request>, ParseError> {
+    Connection::new(Chunked::new(bytes.to_vec(), chunk)).read_request(limits)
+}
+
+/// A syntactically valid request assembled from generated parts; returns
+/// the wire bytes plus the expected (method, path, body).
+fn valid_request() -> impl Strategy<Value = (Vec<u8>, String, String, Vec<u8>)> {
+    const METHODS: [&str; 4] = ["GET", "POST", "PUT", "DELETE"];
+    (
+        (0usize..4).prop_map(|i| METHODS[i].to_string()),
+        "/[a-z0-9/_-]{0,20}",
+        propcheck::collection::vec(0u8..=255u8, 0..64),
+        propcheck::collection::vec(("[a-z][a-z0-9-]{0,10}", "[ -~]{0,20}"), 0..4),
+    )
+        .prop_map(|(method, path, body, extra_headers)| {
+            let mut wire = format!("{method} {path} HTTP/1.1\r\n").into_bytes();
+            for (name, value) in &extra_headers {
+                // Generated names could collide with framing headers and
+                // change the parse; prefix them out of the way.
+                wire.extend_from_slice(format!("x-{name}: {value}\r\n").as_bytes());
+            }
+            wire.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+            wire.extend_from_slice(&body);
+            (wire, method, path, body)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Arbitrary bytes: no panic, no hang, and fragmentation-invariant
+    // behaviour (1-byte chunks give the same outcome as one buffer).
+    #[test]
+    fn arbitrary_bytes_never_panic_and_fragmentation_is_invisible(
+        bytes in propcheck::collection::vec(0u8..=255u8, 0..300),
+        chunk in 1usize..7,
+    ) {
+        let limits = Limits { max_head_bytes: 128, max_body_bytes: 128 };
+        let whole = parse_whole(&bytes, &limits);
+        let one_byte = parse_chunked(&bytes, 1, &limits);
+        let chunked = parse_chunked(&bytes, chunk, &limits);
+        prop_assert_eq!(&whole, &one_byte);
+        prop_assert_eq!(&whole, &chunked);
+    }
+
+    // ASCII-biased garbage reaches deeper parser states (request lines,
+    // header splits) than uniform bytes; same no-panic contract.
+    #[test]
+    fn ascii_garbage_never_panics(
+        text in "[ -~\r\n]{0,200}",
+        chunk in 1usize..5,
+    ) {
+        let limits = Limits::default();
+        let whole = parse_whole(text.as_bytes(), &limits);
+        let chunked = parse_chunked(text.as_bytes(), chunk, &limits);
+        prop_assert_eq!(whole, chunked);
+    }
+
+    // Well-formed requests parse back to their parts, at any
+    // fragmentation.
+    #[test]
+    fn valid_requests_roundtrip_under_fragmentation(
+        (wire, method, path, body) in valid_request(),
+        chunk in 1usize..9,
+    ) {
+        let limits = Limits::default();
+        for req in [
+            parse_whole(&wire, &limits),
+            parse_chunked(&wire, chunk, &limits),
+        ] {
+            let req = req.expect("valid request must parse").expect("not EOF");
+            prop_assert_eq!(&req.method, &method);
+            prop_assert_eq!(&req.path, &path);
+            prop_assert_eq!(&req.body, &body);
+        }
+    }
+
+    // Any strict prefix of a valid request is a clean `Truncated` (or a
+    // clean EOF for the empty prefix) — never a hang or panic.
+    #[test]
+    fn truncated_requests_fail_cleanly(
+        (wire, _, _, _) in valid_request(),
+        cut_ppm in 0u64..1_000_000,
+    ) {
+        let cut = (cut_ppm as usize * wire.len()) / 1_000_000;
+        prop_assume!(cut < wire.len());
+        let limits = Limits::default();
+        let got = parse_whole(&wire[..cut], &limits);
+        if cut == 0 {
+            prop_assert_eq!(got, Ok(None));
+        } else {
+            prop_assert_eq!(got, Err(ParseError::Truncated));
+        }
+    }
+
+    // Declared bodies beyond the cap are refused before any body byte
+    // is read.
+    #[test]
+    fn oversized_declared_bodies_are_refused(extra in 1u64..1_000_000) {
+        let limits = Limits { max_head_bytes: 16 * 1024, max_body_bytes: 64 };
+        let wire = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            64 + extra
+        );
+        prop_assert_eq!(
+            parse_whole(wire.as_bytes(), &limits),
+            Err(ParseError::TooLarge("request body"))
+        );
+    }
+
+    // Unterminated heads hit the head cap instead of buffering forever.
+    #[test]
+    fn unbounded_heads_hit_the_cap(len in 65usize..400, chunk in 1usize..5) {
+        let limits = Limits { max_head_bytes: 64, max_body_bytes: 64 };
+        let bytes = vec![b'A'; len];
+        prop_assert_eq!(
+            parse_chunked(&bytes, chunk, &limits),
+            Err(ParseError::TooLarge("message head"))
+        );
+    }
+
+    // Corrupted request lines are `Malformed`, not misparsed: valid
+    // requests with the method lower-cased or the version mangled.
+    #[test]
+    fn corrupted_request_lines_are_malformed(
+        path in "/[a-z0-9]{0,12}",
+        version in "HTTP/[02-9]\\.[0-9]",
+    ) {
+        let limits = Limits::default();
+        for wire in [
+            format!("get {path} HTTP/1.1\r\n\r\n"),
+            format!("GET {path} {version}\r\n\r\n"),
+            format!("GET{path} HTTP/1.1\r\n\r\n"),
+            format!("GET {path} HTTP/1.1 tail\r\n\r\n"),
+        ] {
+            let got = parse_whole(wire.as_bytes(), &limits);
+            prop_assert!(
+                matches!(got, Err(ParseError::Malformed(_))),
+                "{wire:?} gave {got:?}"
+            );
+        }
+    }
+
+    // JSON parser: arbitrary text never panics; a document that parses
+    // must re-render stable primitives.
+    #[test]
+    fn json_parser_survives_arbitrary_text(text in "[ -~\\r\\n\\t{}\\[\\]\":,0-9a-z\\\\]{0,150}") {
+        let _ = parse_json(&text);
+    }
+
+    // Escaped strings round-trip through the JSON layer.
+    #[test]
+    fn json_strings_roundtrip(s in "[ -~]{0,40}") {
+        let doc = format!("\"{}\"", escape_json(&s));
+        let parsed = parse_json(&doc).expect("escaped string must parse");
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+
+    // Nesting bombs error out instead of exhausting the stack.
+    #[test]
+    fn json_nesting_bombs_are_rejected(depth in 100usize..5_000) {
+        let doc = "[".repeat(depth) + &"]".repeat(depth);
+        prop_assert!(parse_json(&doc).is_err());
+        let doc = "{\"a\":".repeat(depth) + "1" + &"}".repeat(depth);
+        prop_assert!(parse_json(&doc).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Graceful-shutdown robustness for `em-serve`, with the `em-obs` span
+//! tree as the witness. Lives in its own test binary because the obs
+//! registry is process-global: enabling it here must not race the other
+//! serve suites.
+//!
+//! The contract: `shutdown()` lets the in-flight request complete,
+//! answers everything already queued (never drops an accepted request),
+//! and closes the listener so the exact same address can be rebound
+//! immediately. The collected trace must show the four serve roots
+//! (`serve/accept`, `serve/parse`, `serve/coalesce`, `serve/query`) as
+//! well-formed depth-0 spans with coherent counters.
+
+use em_eval::ExperimentConfig;
+use em_serve::{write_request, Connection, Limits, ServeOptions, ServeState, Server};
+use em_synth::Family;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn explain_body(pair: &em_data::EntityPair) -> String {
+    let side = |r: &em_data::Record| {
+        let vals: Vec<String> = r
+            .values()
+            .iter()
+            .map(|v| format!("\"{}\"", em_serve::escape_json(v)))
+            .collect();
+        format!("[{}]", vals.join(","))
+    };
+    format!(
+        "{{\"pairs\":[{{\"left\":{},\"right\":{}}}]}}",
+        side(pair.left()),
+        side(pair.right())
+    )
+}
+
+#[test]
+fn shutdown_answers_queued_requests_releases_the_port_and_leaves_a_clean_trace() {
+    em_obs::set_enabled(true);
+    em_obs::reset();
+
+    let state =
+        Arc::new(ServeState::load(Family::Restaurants, ExperimentConfig::smoke()).expect("load"));
+    let body = explain_body(&state.ctx.pairs_to_explain(1).remove(0).pair);
+
+    // A long coalescing window guarantees the request is still QUEUED
+    // (parked in the window, not yet dispatched) when shutdown starts.
+    let mut server = Server::start(
+        Arc::clone(&state),
+        ServeOptions {
+            window: Duration::from_millis(200),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.addr();
+
+    let client = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut conn = Connection::new(stream);
+        write_request(conn.stream_mut(), "POST", "/explain", body.as_bytes()).expect("write");
+        conn.read_response(&Limits::default()).expect("response")
+    });
+
+    // Let the request land in the coalescing window, then pull the plug
+    // mid-window. The drain must still answer it.
+    std::thread::sleep(Duration::from_millis(50));
+    server.shutdown();
+
+    let resp = client.join().expect("client thread");
+    assert_eq!(
+        resp.status,
+        200,
+        "queued request dropped during shutdown: {}",
+        String::from_utf8_lossy(&resp.body)
+    );
+    assert!(!resp.body.is_empty(), "empty body for a drained request");
+
+    // Shutdown is idempotent.
+    server.shutdown();
+
+    // The listener is really closed: the exact same address rebinds.
+    let reborn = Server::start(
+        Arc::clone(&state),
+        ServeOptions {
+            addr: addr.to_string(),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("rebinding the same address after shutdown must succeed");
+    assert_eq!(reborn.addr(), addr);
+    {
+        let stream = TcpStream::connect(addr).expect("connect to reborn");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut conn = Connection::new(stream);
+        write_request(conn.stream_mut(), "GET", "/health", b"").expect("write");
+        let health = conn.read_response(&Limits::default()).expect("health");
+        assert_eq!(health.status, 200);
+    }
+    drop(reborn); // Drop is a shutdown too.
+
+    // The span tree: all four serve roots present, at depth 0, each
+    // having fired at least once across the two server lifetimes.
+    let report = em_obs::collect();
+    em_obs::set_enabled(false);
+    assert!(!report.is_empty(), "obs collected nothing");
+    for root in [
+        "serve/accept",
+        "serve/parse",
+        "serve/coalesce",
+        "serve/query",
+    ] {
+        let span = report
+            .span(root)
+            .unwrap_or_else(|| panic!("span {root} missing from:\n{}", report.structure()));
+        assert_eq!(span.depth, 0, "{root} is not a root span");
+        assert!(span.count >= 1, "{root} never fired");
+    }
+
+    let counter = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    };
+    // explain + health = at least two requests parsed.
+    assert!(counter("serve/requests").expect("serve/requests counter") >= 2);
+    assert!(counter("serve/batches").expect("serve/batches counter") >= 1);
+    assert!(counter("serve/connections").expect("serve/connections counter") >= 2);
+    // Always published, even when nothing merged in the window.
+    assert!(
+        counter("serve/coalesced").is_some(),
+        "serve/coalesced counter missing"
+    );
+}
